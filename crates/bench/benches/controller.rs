@@ -1,0 +1,46 @@
+//! Criterion benches for the DSSP synchronization controller (Algorithm 2) and its
+//! `r_max` / interval-estimator ablations (DESIGN.md §6).
+//!
+//! The paper argues the controller is "lightweight"; these benches quantify the cost of
+//! one decision, which is on the server's critical path for the fastest worker's pushes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dssp_ps::{IntervalTracker, SyncController};
+use std::hint::black_box;
+
+fn tracker(workers: usize) -> IntervalTracker {
+    let mut t = IntervalTracker::new(workers);
+    for w in 0..workers {
+        let interval = 1.0 + w as f64 * 0.75;
+        t.record_push(w, 10.0);
+        t.record_push(w, 10.0 + interval);
+    }
+    t
+}
+
+fn bench_controller_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_decision");
+    for &r_max in &[0u64, 4, 8, 12, 32] {
+        group.bench_with_input(BenchmarkId::new("r_max", r_max), &r_max, |b, &r_max| {
+            let t = tracker(4);
+            let mut controller = SyncController::new(4, r_max);
+            b.iter(|| black_box(controller.decide(black_box(0), black_box(3), &t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_worker_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_vs_workers");
+    for &workers in &[2usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            let t = tracker(workers);
+            let mut controller = SyncController::new(workers, 12);
+            b.iter(|| black_box(controller.decide(black_box(0), black_box(workers - 1), &t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_decision, bench_controller_worker_count);
+criterion_main!(benches);

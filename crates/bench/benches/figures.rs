@@ -1,0 +1,74 @@
+//! Criterion benches that time a full quick-scale simulation of each paper experiment:
+//! one benchmark per figure/table workload. These are end-to-end timings of the
+//! reproduction harness itself (simulator + training), complementing the `repro`
+//! binary which prints the figures' data series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dssp_core::presets::{
+    alexnet_homogeneous, dssp_reference, resnet110_heterogeneous, resnet50_homogeneous, Scale,
+};
+use dssp_ps::PolicyKind;
+use dssp_sim::Simulation;
+use std::hint::black_box;
+
+fn bench_fig3a_paradigms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a_alexnet_homogeneous");
+    group.sample_size(10);
+    for policy in [PolicyKind::Bsp, PolicyKind::Asp, PolicyKind::Ssp { s: 3 }, dssp_reference()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label().replace(' ', "_")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let config = alexnet_homogeneous(policy, Scale::Quick);
+                    black_box(Simulation::new(config).run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig3c_resnet50(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3c_resnet50_homogeneous");
+    group.sample_size(10);
+    for policy in [PolicyKind::Bsp, dssp_reference()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label().replace(' ', "_")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let config = resnet50_homogeneous(policy, Scale::Quick);
+                    black_box(Simulation::new(config).run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig4_table1_heterogeneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_table1_resnet110_heterogeneous");
+    group.sample_size(10);
+    for policy in [PolicyKind::Ssp { s: 3 }, dssp_reference()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label().replace(' ', "_")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let config = resnet110_heterogeneous(policy, Scale::Quick);
+                    black_box(Simulation::new(config).run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3a_paradigms,
+    bench_fig3c_resnet50,
+    bench_fig4_table1_heterogeneous
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the parameter server's push path under each paradigm.
+//!
+//! `handle_push` applies the gradient, updates the clocks and runs the policy decision;
+//! its cost bounds the server's sustainable aggregate push rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dssp_nn::{LrSchedule, Sgd, SgdConfig};
+use dssp_ps::{ParameterServer, PolicyKind, ServerConfig};
+use std::hint::black_box;
+
+const PARAMS: usize = 100_000;
+const WORKERS: usize = 4;
+
+fn make_server(policy: PolicyKind) -> ParameterServer {
+    let sgd = Sgd::new(
+        SgdConfig {
+            schedule: LrSchedule::constant(0.01),
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        PARAMS,
+    );
+    ParameterServer::new(vec![0.0; PARAMS], sgd, ServerConfig::new(WORKERS, policy))
+}
+
+fn bench_push_per_policy(c: &mut Criterion) {
+    let policies = [
+        ("BSP", PolicyKind::Bsp),
+        ("ASP", PolicyKind::Asp),
+        ("SSP_s3", PolicyKind::Ssp { s: 3 }),
+        ("DSSP_3_12", PolicyKind::Dssp { s_l: 3, r_max: 12 }),
+    ];
+    let grads = vec![0.001f32; PARAMS];
+    let mut group = c.benchmark_group("server_push");
+    group.throughput(Throughput::Elements(PARAMS as u64));
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut server = make_server(policy);
+            let mut now = 0.0;
+            let mut worker = 0usize;
+            b.iter(|| {
+                now += 0.001;
+                // Round-robin pushes keep every paradigm's clocks balanced so no policy
+                // permanently blocks a worker inside the benchmark loop.
+                worker = (worker + 1) % WORKERS;
+                black_box(server.handle_push(worker, black_box(&grads), now))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pull(c: &mut Criterion) {
+    let server = make_server(PolicyKind::Asp);
+    c.bench_function("server_pull_100k_params", |b| b.iter(|| black_box(server.pull())));
+}
+
+criterion_group!(benches, bench_push_per_policy, bench_pull);
+criterion_main!(benches);

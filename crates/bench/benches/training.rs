@@ -1,0 +1,65 @@
+//! Criterion benches for the training substrate: one mini-batch forward/backward pass
+//! for each of the paper's three model analogues, plus the loss kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dssp_nn::models::{downsized_alexnet, resnet_cifar};
+use dssp_nn::{Model, SoftmaxCrossEntropy};
+use dssp_tensor::{uniform_init, Tensor};
+use std::hint::black_box;
+
+const BATCH: usize = 32;
+const SIDE: usize = 8;
+
+fn batch() -> Tensor {
+    uniform_init(&[BATCH, 3, SIDE, SIDE], 1.0, 3)
+}
+
+fn bench_model_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_iteration");
+    group.sample_size(20);
+    let workloads: Vec<(&str, Box<dyn FnMut(&Tensor)>)> = vec![
+        ("downsized_alexnet", {
+            let mut m = downsized_alexnet(SIDE, 10, 1);
+            Box::new(move |x: &Tensor| {
+                let y = m.forward(x, true);
+                m.zero_grads();
+                m.backward(&Tensor::ones(y.shape().dims()));
+            })
+        }),
+        ("resnet50_like", {
+            let mut m = resnet_cifar(SIDE, 4, 20, 1);
+            Box::new(move |x: &Tensor| {
+                let y = m.forward(x, true);
+                m.zero_grads();
+                m.backward(&Tensor::ones(y.shape().dims()));
+            })
+        }),
+        ("resnet110_like", {
+            let mut m = resnet_cifar(SIDE, 9, 20, 1);
+            Box::new(move |x: &Tensor| {
+                let y = m.forward(x, true);
+                m.zero_grads();
+                m.backward(&Tensor::ones(y.shape().dims()));
+            })
+        }),
+    ];
+    let x = batch();
+    for (name, mut step) in workloads {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| step(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let logits = uniform_init(&[128, 100], 1.0, 9);
+    let labels: Vec<usize> = (0..128).map(|i| i % 100).collect();
+    let loss = SoftmaxCrossEntropy::new();
+    c.bench_function("softmax_cross_entropy_128x100", |b| {
+        b.iter(|| black_box(loss.loss_and_grad(black_box(&logits), black_box(&labels))))
+    });
+}
+
+criterion_group!(benches, bench_model_iteration, bench_loss);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p dssp-bench --bin repro -- <experiment> [--full]
+//! cargo run --release -p dssp-bench --bin repro -- all --full
+//! ```
+//!
+//! Experiments: `fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 table1 throughput
+//! theory ablation all`. By default experiments run at the quick scale; `--full` uses
+//! the scale documented in EXPERIMENTS.md.
+
+use dssp_bench as bench;
+use dssp_core::presets::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let selected = if targets.is_empty() { vec!["all"] } else { targets };
+
+    for target in selected {
+        match target {
+            "fig1" => print_experiment("fig1", bench::fig1()),
+            "fig2" => print_experiment("fig2", bench::fig2()),
+            "fig3a" => print_experiment("fig3a", bench::fig3a(scale)),
+            "fig3b" => print_experiment("fig3b", bench::fig3b(scale)),
+            "fig3c" => print_experiment("fig3c", bench::fig3c(scale)),
+            "fig3d" => print_experiment("fig3d", bench::fig3d(scale)),
+            "fig3e" => print_experiment("fig3e", bench::fig3e(scale)),
+            "fig3f" => print_experiment("fig3f", bench::fig3f(scale)),
+            "fig4" => print_experiment("fig4", bench::fig4(scale)),
+            "table1" => print_experiment("table1", bench::table1(scale)),
+            "throughput" => print_experiment("throughput", bench::throughput(scale)),
+            "theory" => print_experiment("theory", bench::theory()),
+            "ablation" => print_experiment("ablation", bench::ablation_rmax(scale)),
+            "ablation_strict" => print_experiment("ablation_strict", bench::ablation_strict(scale)),
+            "ablation_estimator" => {
+                print_experiment("ablation_estimator", bench::ablation_estimator())
+            }
+            "ablation_aggregation" => {
+                print_experiment("ablation_aggregation", bench::ablation_aggregation())
+            }
+            "all" => {
+                print_experiment("fig1", bench::fig1());
+                print_experiment("fig2", bench::fig2());
+                print_experiment("fig3a", bench::fig3a(scale));
+                print_experiment("fig3b", bench::fig3b(scale));
+                print_experiment("fig3c", bench::fig3c(scale));
+                print_experiment("fig3d", bench::fig3d(scale));
+                print_experiment("fig3e", bench::fig3e(scale));
+                print_experiment("fig3f", bench::fig3f(scale));
+                print_experiment("fig4", bench::fig4(scale));
+                print_experiment("table1", bench::table1(scale));
+                print_experiment("throughput", bench::throughput(scale));
+                print_experiment("theory", bench::theory());
+                print_experiment("ablation", bench::ablation_rmax(scale));
+                print_experiment("ablation_strict", bench::ablation_strict(scale));
+                print_experiment("ablation_estimator", bench::ablation_estimator());
+                print_experiment("ablation_aggregation", bench::ablation_aggregation());
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
+                     table1 throughput theory ablation ablation_strict ablation_estimator \
+                     ablation_aggregation all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn print_experiment(id: &str, body: String) {
+    println!("################################################################");
+    println!("# {id}");
+    println!("################################################################");
+    println!("{body}");
+}

@@ -1,0 +1,62 @@
+//! Calibration helper for the Figure-3c/3e workloads: runs the ResNet analogue on the
+//! homogeneous cluster under BSP, ASP and DSSP with a given learning rate and momentum
+//! and prints the headline numbers, mirroring `stale_check` for the AlexNet workload.
+//!
+//! ```text
+//! cargo run --release -p dssp-bench --bin resnet_check -- [lr] [momentum] [epochs] [blocks]
+//! ```
+
+use dssp_core::presets::{dssp_reference, resnet110_homogeneous, resnet50_homogeneous, Scale};
+use dssp_nn::{LrSchedule, SgdConfig};
+use dssp_ps::PolicyKind;
+use dssp_sim::Simulation;
+
+fn main() {
+    let arg = |i: usize, default: f64| {
+        std::env::args()
+            .nth(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let lr = arg(1, 0.03) as f32;
+    let momentum = arg(2, 0.9) as f32;
+    let epochs = arg(3, 0.0) as usize;
+    let blocks = arg(4, 4.0) as usize;
+
+    println!("ResNet analogue ({blocks} blocks), homogeneous cluster, lr={lr}, momentum={momentum}");
+    let mut traces = Vec::new();
+    for policy in [PolicyKind::Bsp, PolicyKind::Asp, dssp_reference()] {
+        let mut config = if blocks >= 9 {
+            resnet110_homogeneous(policy, Scale::Full)
+        } else {
+            resnet50_homogeneous(policy, Scale::Full)
+        };
+        let epochs_actual = if epochs > 0 { epochs } else { config.epochs };
+        config.epochs = epochs_actual;
+        let milestones = [(epochs_actual * 2) / 3, (epochs_actual * 5) / 6];
+        config.sgd = SgdConfig {
+            schedule: LrSchedule::step(lr, 0.1, &milestones),
+            momentum,
+            weight_decay: 1e-4,
+        };
+        let trace = Simulation::new(config).run();
+        println!(
+            "{:<16} time={:>6.1}s best={:.3} final={:.3} wait={:>6.1}s max_stale={:>3}",
+            trace.policy,
+            trace.total_time_s,
+            trace.best_accuracy(),
+            trace.final_accuracy(),
+            trace.total_waiting_time(),
+            trace.server_stats.staleness_max,
+        );
+        traces.push(trace);
+    }
+    let target = traces[0].best_accuracy() * 0.95;
+    println!("\ntime to reach {target:.3} (95% of BSP best):");
+    for t in &traces {
+        match t.time_to_sustained_accuracy(target) {
+            Some(s) => println!("{:<16} {s:>6.1}s", t.policy),
+            None => println!("{:<16}      -", t.policy),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Calibration helper for the Figure-3a workload: runs the downsized-AlexNet
+//! homogeneous-cluster experiment under all four paradigms with a given learning rate,
+//! momentum, dataset noise and parameter-server co-location slowdown, and prints the
+//! headline numbers of each run side by side.
+//!
+//! The asynchronous paradigms inject staleness into SGD; if the learning rate or
+//! momentum is set too aggressively, stale gradients tip the run into divergence and the
+//! paradigm comparison collapses. This binary is how the preset hyperparameters in
+//! `dssp-core::presets` were chosen: pick the most aggressive setting at which ASP (the
+//! most stale paradigm) still converges, which is the regime the paper's experiments
+//! operate in.
+//!
+//! ```text
+//! cargo run --release -p dssp-bench --bin stale_check -- [lr] [momentum] [epochs] [noise] [slow0]
+//! ```
+//!
+//! `slow0` is the relative speed of worker 0 (the worker that also hosts the parameter
+//! server in the paper's MXNet deployment); `1.0` means no co-location overhead.
+
+use dssp_cluster::{ClusterSpec, DeviceProfile, LinkProfile, WorkerSpec};
+use dssp_core::presets::{alexnet_homogeneous, dssp_reference, Scale};
+use dssp_nn::{LrSchedule, SgdConfig};
+use dssp_ps::PolicyKind;
+use dssp_sim::{DataSpec, Simulation};
+
+fn main() {
+    let arg = |i: usize, default: f64| {
+        std::env::args()
+            .nth(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let lr = arg(1, 0.02) as f32;
+    let momentum = arg(2, 0.9) as f32;
+    let epochs = arg(3, 0.0) as usize;
+    let noise = arg(4, 0.0) as f32;
+    let slow0 = arg(5, 1.0);
+
+    println!(
+        "downsized AlexNet, homogeneous cluster, lr={lr}, momentum={momentum}, \
+         noise={noise}, worker-0 speed factor={slow0}"
+    );
+    let policies = [
+        PolicyKind::Bsp,
+        PolicyKind::Asp,
+        PolicyKind::Ssp { s: 3 },
+        PolicyKind::Ssp { s: 15 },
+        dssp_reference(),
+    ];
+    let mut traces = Vec::new();
+    for policy in policies {
+        let mut config = alexnet_homogeneous(policy, Scale::Full);
+        config.sgd = SgdConfig {
+            schedule: LrSchedule::constant(lr),
+            momentum,
+            weight_decay: 1e-4,
+        };
+        if epochs > 0 {
+            config.epochs = epochs;
+        }
+        if noise > 0.0 {
+            if let DataSpec::Image(spec) = &config.data {
+                config.data = DataSpec::Image(spec.clone().with_noise(noise));
+            }
+        }
+        if (slow0 - 1.0).abs() > 1e-9 {
+            let mut workers = vec![WorkerSpec::multi(DeviceProfile::p100(), 4); 4];
+            workers[0] = WorkerSpec::multi(
+                DeviceProfile::new("P100 (PS host)", 260.0e6 * slow0, 0.03),
+                4,
+            );
+            config.cluster = ClusterSpec::new(workers, LinkProfile::infiniband_edr());
+        }
+        let trace = Simulation::new(config).run();
+        println!(
+            "{:<16} time={:>6.1}s best={:.3} final={:.3} wait={:>6.1}s max_stale={:>3} mean_stale={:.2}",
+            trace.policy,
+            trace.total_time_s,
+            trace.best_accuracy(),
+            trace.final_accuracy(),
+            trace.total_waiting_time(),
+            trace.server_stats.staleness_max,
+            trace.server_stats.mean_staleness(),
+        );
+        traces.push(trace);
+    }
+    // Time to reach 95% of BSP's best accuracy, the shape Table-I-style comparisons need.
+    let target = traces[0].best_accuracy() * 0.95;
+    println!("\ntime to reach {target:.3} (95% of BSP best):");
+    for t in &traces {
+        match t.time_to_sustained_accuracy(target) {
+            Some(s) => println!("{:<16} {s:>6.1}s", t.policy),
+            None => println!("{:<16}      -", t.policy),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Cluster substrate: device profiles, network links and the per-iteration time model.
+//!
+//! The paper evaluates on two testbeds that we do not have:
+//!
+//! * the SOSCIP GPU cluster — four IBM POWER8 servers, each with four NVIDIA P100 GPUs,
+//!   connected by 100 Gbps InfiniBand EDR (the *homogeneous* environment);
+//! * a two-container Docker cluster where one worker owns a GTX 1060 and the other a
+//!   GTX 1080 Ti (the *heterogeneous* environment of Figure 4 / Table I).
+//!
+//! This crate models those testbeds: a [`DeviceProfile`] gives a worker's effective
+//! training throughput (with jitter), a [`LinkProfile`] gives bandwidth and latency to
+//! the parameter server, and a [`ClusterSpec`] combines them into a cluster whose
+//! [`TimeModel`] converts a model's [`dssp_nn::CostProfile`] into per-iteration compute
+//! and communication times. Relative device speeds follow the real GPUs' training
+//! throughput ratios, which is what determines the paradigms' ordering; the absolute
+//! scale is chosen so the small reproduction models take a fraction of a second of
+//! *virtual* time per iteration.
+//!
+//! # Example
+//!
+//! ```
+//! use dssp_cluster::{ClusterSpec, DeviceProfile, LinkProfile};
+//! use dssp_nn::CostProfile;
+//!
+//! let cluster = ClusterSpec::heterogeneous_pair();
+//! let cost = CostProfile { flops_per_example: 1_000_000, param_count: 10_000, has_fc_layers: true };
+//! let fast = cluster.iteration_cost(1, &cost, 128);
+//! let slow = cluster.iteration_cost(0, &cost, 128);
+//! assert!(fast.compute_s < slow.compute_s);
+//! ```
+
+mod cluster;
+mod device;
+mod timemodel;
+
+pub use cluster::{ClusterSpec, LinkProfile, SlowdownEvent, WorkerSpec};
+pub use device::DeviceProfile;
+pub use timemodel::{IterationCost, TimeModel};

@@ -1,0 +1,39 @@
+//! High-level API for the DSSP reproduction.
+//!
+//! `dssp-core` ties the substrates together into the workflow a user of the system
+//! actually runs:
+//!
+//! * [`Experiment`] / [`ExperimentBuilder`] — configure a distributed training run
+//!   (model, dataset, cluster, paradigm) and execute it on the discrete-event simulator,
+//!   producing a [`RunTrace`];
+//! * [`presets`] — ready-made configurations for every experiment in the paper's
+//!   evaluation section (Figures 3a–3f, Figure 4, Table I), at a quick and a full scale;
+//! * [`metrics`] — time-to-accuracy tables (Table I), curve averaging ("Average SSP
+//!   s=3 to 15"), throughput summaries;
+//! * [`report`] — CSV and Markdown rendering of traces and tables;
+//! * [`runtime`] — a real multi-threaded parameter-server runtime built on crossbeam
+//!   channels that exercises the exact same [`dssp_ps::ParameterServer`] logic with real
+//!   concurrency and wall-clock time.
+//!
+//! # Example
+//!
+//! ```
+//! use dssp_core::ExperimentBuilder;
+//! use dssp_ps::PolicyKind;
+//!
+//! let trace = ExperimentBuilder::small_mlp()
+//!     .policy(PolicyKind::Dssp { s_l: 3, r_max: 12 })
+//!     .epochs(1)
+//!     .run();
+//! assert!(trace.total_pushes > 0);
+//! ```
+
+mod experiment;
+pub mod metrics;
+pub mod presets;
+pub mod report;
+pub mod runtime;
+
+pub use dssp_sim::{RunTrace, TracePoint, WorkerSummary};
+pub use experiment::{Experiment, ExperimentBuilder};
+pub use presets::Scale;

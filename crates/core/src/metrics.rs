@@ -1,0 +1,215 @@
+//! Metrics over run traces: time-to-accuracy tables, curve averaging, throughput.
+
+use dssp_sim::{RunTrace, TracePoint};
+use serde::{Deserialize, Serialize};
+
+/// One row of a time-to-accuracy table (the paper's Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeToAccuracyRow {
+    /// The paradigm label.
+    pub policy: String,
+    /// For each requested target accuracy: the earliest virtual time (seconds) at which
+    /// it was reached, or `None` if it never was (the paper prints a dash).
+    pub times: Vec<Option<f64>>,
+}
+
+/// Builds the paper's Table I: for each trace, the time to reach each target accuracy.
+pub fn time_to_accuracy_table(traces: &[RunTrace], targets: &[f64]) -> Vec<TimeToAccuracyRow> {
+    traces
+        .iter()
+        .map(|trace| TimeToAccuracyRow {
+            policy: trace.policy.clone(),
+            times: targets.iter().map(|&t| trace.time_to_accuracy(t)).collect(),
+        })
+        .collect()
+}
+
+/// Averages several runs into one accuracy-versus-time curve by resampling each run on a
+/// common time grid and averaging the accuracies.
+///
+/// This is how the paper's "Average SSP s=3 to 15" curves (right column of Figure 3) are
+/// produced from the 13 individual SSP runs.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or `samples` is zero.
+pub fn average_curve(traces: &[RunTrace], samples: usize, label: impl Into<String>) -> RunTrace {
+    assert!(!traces.is_empty(), "cannot average zero traces");
+    assert!(samples > 0, "need at least one sample point");
+    let max_time = traces
+        .iter()
+        .map(|t| t.total_time_s)
+        .fold(0.0f64, f64::max);
+    let points: Vec<TracePoint> = (1..=samples)
+        .map(|i| {
+            let time_s = max_time * i as f64 / samples as f64;
+            let mean_acc = traces.iter().map(|t| t.accuracy_at_time(time_s)).sum::<f64>()
+                / traces.len() as f64;
+            let mean_pushes = (traces
+                .iter()
+                .map(|t| {
+                    t.points
+                        .iter()
+                        .take_while(|p| p.time_s <= time_s)
+                        .last()
+                        .map(|p| p.pushes)
+                        .unwrap_or(0)
+                })
+                .sum::<u64>() as f64
+                / traces.len() as f64) as u64;
+            TracePoint {
+                time_s,
+                pushes: mean_pushes,
+                epoch: 0,
+                test_accuracy: mean_acc,
+                train_loss: 0.0,
+            }
+        })
+        .collect();
+    RunTrace {
+        policy: label.into(),
+        model: traces[0].model.clone(),
+        workers: traces[0].workers,
+        points,
+        total_time_s: max_time,
+        total_pushes: (traces.iter().map(|t| t.total_pushes).sum::<u64>() as f64
+            / traces.len() as f64) as u64,
+        worker_summaries: Vec::new(),
+        server_stats: Default::default(),
+    }
+}
+
+/// Summary statistics of a single run used by the throughput analysis (Section V-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSummary {
+    /// The paradigm label.
+    pub policy: String,
+    /// Applied pushes per second of virtual time.
+    pub pushes_per_second: f64,
+    /// Total virtual training time.
+    pub total_time_s: f64,
+    /// Total time workers spent waiting for deferred `OK`s.
+    pub waiting_time_s: f64,
+    /// Mean staleness observed at push time.
+    pub mean_staleness: f64,
+    /// Final test accuracy.
+    pub final_accuracy: f64,
+    /// Best test accuracy seen at any evaluation point.
+    pub best_accuracy: f64,
+}
+
+impl ThroughputSummary {
+    /// Builds the summary for one trace.
+    pub fn of(trace: &RunTrace) -> Self {
+        Self {
+            policy: trace.policy.clone(),
+            pushes_per_second: trace.iteration_throughput(),
+            total_time_s: trace.total_time_s,
+            waiting_time_s: trace.total_waiting_time(),
+            mean_staleness: trace.server_stats.mean_staleness(),
+            final_accuracy: trace.final_accuracy(),
+            best_accuracy: trace.best_accuracy(),
+        }
+    }
+}
+
+/// The area under the accuracy-versus-time curve, normalised by total time.
+///
+/// A higher value means the run spent more of its wall-clock time at high accuracy —
+/// a scalar proxy for "converges to a higher accuracy earlier" that is convenient for
+/// regression tests comparing paradigms.
+pub fn accuracy_time_auc(trace: &RunTrace) -> f64 {
+    if trace.points.len() < 2 || trace.total_time_s <= 0.0 {
+        return trace.final_accuracy();
+    }
+    let mut area = 0.0;
+    let mut prev_t = 0.0;
+    let mut prev_acc = 0.0;
+    for p in &trace.points {
+        area += (p.time_s - prev_t) * prev_acc;
+        prev_t = p.time_s;
+        prev_acc = p.test_accuracy;
+    }
+    area += (trace.total_time_s - prev_t) * prev_acc;
+    area / trace.total_time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssp_ps::ServerStats;
+
+    fn trace(policy: &str, times: &[f64], accs: &[f64]) -> RunTrace {
+        let points = times
+            .iter()
+            .zip(accs)
+            .enumerate()
+            .map(|(i, (&t, &a))| TracePoint {
+                time_s: t,
+                pushes: (i as u64 + 1) * 10,
+                epoch: i,
+                test_accuracy: a,
+                train_loss: 1.0,
+            })
+            .collect();
+        RunTrace {
+            policy: policy.to_string(),
+            model: "m".into(),
+            workers: 2,
+            points,
+            total_time_s: *times.last().unwrap_or(&0.0),
+            total_pushes: times.len() as u64 * 10,
+            worker_summaries: vec![],
+            server_stats: ServerStats::default(),
+        }
+    }
+
+    #[test]
+    fn table_reports_first_crossing_or_none() {
+        let traces = vec![
+            trace("FAST", &[1.0, 2.0, 3.0], &[0.3, 0.6, 0.7]),
+            trace("SLOW", &[1.0, 2.0, 3.0], &[0.1, 0.2, 0.3]),
+        ];
+        let table = time_to_accuracy_table(&traces, &[0.5, 0.65]);
+        assert_eq!(table[0].times, vec![Some(2.0), Some(3.0)]);
+        assert_eq!(table[1].times, vec![None, None]);
+    }
+
+    #[test]
+    fn average_curve_is_between_the_inputs() {
+        let traces = vec![
+            trace("A", &[1.0, 2.0], &[0.2, 0.4]),
+            trace("B", &[1.0, 2.0], &[0.6, 0.8]),
+        ];
+        let avg = average_curve(&traces, 4, "avg");
+        assert_eq!(avg.policy, "avg");
+        let final_acc = avg.final_accuracy();
+        assert!((final_acc - 0.6).abs() < 1e-9, "avg of 0.4 and 0.8 is 0.6, got {final_acc}");
+        // Every averaged point lies between the per-trace extremes at that time.
+        for p in &avg.points {
+            assert!(p.test_accuracy <= 0.8 && p.test_accuracy >= 0.0);
+        }
+    }
+
+    #[test]
+    fn auc_rewards_early_convergence() {
+        let early = trace("early", &[1.0, 2.0, 10.0], &[0.7, 0.7, 0.7]);
+        let late = trace("late", &[1.0, 9.0, 10.0], &[0.0, 0.0, 0.7]);
+        assert!(accuracy_time_auc(&early) > accuracy_time_auc(&late));
+    }
+
+    #[test]
+    fn throughput_summary_copies_headline_numbers() {
+        let t = trace("X", &[1.0, 2.0], &[0.5, 0.9]);
+        let s = ThroughputSummary::of(&t);
+        assert_eq!(s.policy, "X");
+        assert!((s.final_accuracy - 0.9).abs() < 1e-12);
+        assert!((s.pushes_per_second - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero traces")]
+    fn averaging_nothing_panics() {
+        average_curve(&[], 4, "x");
+    }
+}

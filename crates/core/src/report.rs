@@ -1,0 +1,145 @@
+//! Plain-text rendering of traces and tables (CSV for plotting, Markdown for reports).
+
+use crate::metrics::{ThroughputSummary, TimeToAccuracyRow};
+use dssp_sim::RunTrace;
+use std::fmt::Write as _;
+
+/// Renders a set of traces as a long-format CSV:
+/// `policy,model,time_s,pushes,epoch,test_accuracy,train_loss`.
+///
+/// One row per evaluation point per trace — the format the paper's accuracy-versus-time
+/// figures plot directly.
+pub fn traces_to_csv(traces: &[RunTrace]) -> String {
+    let mut out = String::from("policy,model,time_s,pushes,epoch,test_accuracy,train_loss\n");
+    for trace in traces {
+        for p in &trace.points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{},{},{:.4},{:.4}",
+                trace.policy, trace.model, p.time_s, p.pushes, p.epoch, p.test_accuracy, p.train_loss
+            );
+        }
+    }
+    out
+}
+
+/// Renders the time-to-accuracy table (Table I) as Markdown. Unreached targets are shown
+/// as a dash, exactly as in the paper.
+pub fn time_to_accuracy_markdown(rows: &[TimeToAccuracyRow], targets: &[f64]) -> String {
+    let mut out = String::from("| Distributed Paradigm |");
+    for t in targets {
+        let _ = write!(out, " Time to reach {t:.2} accuracy |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in targets {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        let _ = write!(out, "| {} |", row.policy);
+        for time in &row.times {
+            match time {
+                Some(t) => {
+                    let _ = write!(out, " {t:.1} |");
+                }
+                None => {
+                    let _ = write!(out, " − |");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders per-policy throughput summaries as a Markdown table (the Section V-C
+/// iteration-throughput analysis).
+pub fn throughput_markdown(summaries: &[ThroughputSummary]) -> String {
+    let mut out = String::from(
+        "| Paradigm | Pushes/s | Total time (s) | Waiting time (s) | Mean staleness | Best accuracy |\n|---|---|---|---|---|---|\n",
+    );
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.1} | {:.1} | {:.2} | {:.3} |",
+            s.policy, s.pushes_per_second, s.total_time_s, s.waiting_time_s, s.mean_staleness, s.best_accuracy
+        );
+    }
+    out
+}
+
+/// Renders a compact per-trace summary line, useful for example binaries.
+pub fn trace_summary_line(trace: &RunTrace) -> String {
+    format!(
+        "{:<16} time={:>8.1}s pushes={:>6} throughput={:>7.1}/s best_acc={:.3} final_acc={:.3} wait={:>7.1}s",
+        trace.policy,
+        trace.total_time_s,
+        trace.total_pushes,
+        trace.iteration_throughput(),
+        trace.best_accuracy(),
+        trace.final_accuracy(),
+        trace.total_waiting_time()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssp_ps::ServerStats;
+    use dssp_sim::TracePoint;
+
+    fn trace() -> RunTrace {
+        RunTrace {
+            policy: "DSSP s=3, r=12".into(),
+            model: "downsized-alexnet".into(),
+            workers: 4,
+            points: vec![TracePoint {
+                time_s: 1.5,
+                pushes: 10,
+                epoch: 0,
+                test_accuracy: 0.42,
+                train_loss: 1.8,
+            }],
+            total_time_s: 1.5,
+            total_pushes: 10,
+            worker_summaries: vec![],
+            server_stats: ServerStats::default(),
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let csv = traces_to_csv(&[trace()]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("policy,model,time_s"));
+        assert!(lines[1].starts_with("DSSP s=3, r=12,downsized-alexnet,1.5"));
+    }
+
+    #[test]
+    fn table_markdown_prints_dash_for_unreached_targets() {
+        let rows = vec![TimeToAccuracyRow {
+            policy: "BSP".into(),
+            times: vec![Some(6159.2), None],
+        }];
+        let md = time_to_accuracy_markdown(&rows, &[0.67, 0.68]);
+        assert!(md.contains("| BSP | 6159.2 | − |"));
+        assert!(md.contains("Time to reach 0.67 accuracy"));
+    }
+
+    #[test]
+    fn throughput_markdown_has_one_row_per_summary() {
+        let summaries = vec![crate::metrics::ThroughputSummary::of(&trace())];
+        let md = throughput_markdown(&summaries);
+        assert_eq!(md.trim().lines().count(), 3);
+        assert!(md.contains("DSSP"));
+    }
+
+    #[test]
+    fn summary_line_mentions_policy_and_accuracy() {
+        let line = trace_summary_line(&trace());
+        assert!(line.contains("DSSP"));
+        assert!(line.contains("0.420"));
+    }
+}

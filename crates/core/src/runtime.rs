@@ -1,0 +1,329 @@
+//! A real multi-threaded parameter-server runtime.
+//!
+//! The discrete-event simulator (`dssp-sim`) is the primary vehicle for reproducing the
+//! paper's figures because it is deterministic and fast. This module provides the
+//! complementary piece a downstream user would actually deploy on one machine: worker
+//! **threads** that compute gradients concurrently and exchange them with a server
+//! thread over channels, driving the *same* [`dssp_ps::ParameterServer`] decision logic
+//! under real wall-clock time.
+//!
+//! Heterogeneity can be emulated by giving workers artificial per-iteration compute
+//! delays (`extra_compute_delay_ms`), which plays the role of the mixed GPU models in
+//! the paper's Figure 4 experiment.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use dssp_data::BatchIter;
+use dssp_nn::{accuracy, Model, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy};
+use dssp_ps::{ParameterServer, PolicyKind, ServerConfig, ServerStats};
+use dssp_sim::{DataSpec, RunTrace, TracePoint, WorkerSummary};
+use dssp_nn::models::ModelSpec;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded training run.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Model architecture replicated by every worker.
+    pub model: ModelSpec,
+    /// Dataset specification.
+    pub data: DataSpec,
+    /// Number of worker threads.
+    pub num_workers: usize,
+    /// Synchronization paradigm.
+    pub policy: PolicyKind,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Passes over each worker's shard.
+    pub epochs: usize,
+    /// Server-side SGD configuration.
+    pub sgd: SgdConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluate the global weights every this many pushes.
+    pub eval_every_pushes: u64,
+    /// Cap on test examples per evaluation.
+    pub eval_max_examples: usize,
+    /// Artificial extra compute delay per iteration for each worker, in milliseconds.
+    /// An empty vector means no extra delay; otherwise it must have one entry per
+    /// worker. Unequal delays emulate a heterogeneous cluster.
+    pub extra_compute_delay_ms: Vec<u64>,
+}
+
+impl ThreadedConfig {
+    /// A small default configuration: MLP on a synthetic vector task, two workers.
+    pub fn small(policy: PolicyKind) -> Self {
+        Self {
+            model: ModelSpec::Mlp {
+                input_dim: 16,
+                hidden: vec![24],
+                classes: 4,
+            },
+            data: DataSpec::Vector(dssp_data::SyntheticVectorSpec {
+                classes: 4,
+                dim: 16,
+                train_size: 512,
+                test_size: 128,
+                noise_std: 0.7,
+            }),
+            num_workers: 2,
+            policy,
+            batch_size: 16,
+            epochs: 2,
+            sgd: SgdConfig::default(),
+            seed: 11,
+            eval_every_pushes: 16,
+            eval_max_examples: 128,
+            extra_compute_delay_ms: Vec::new(),
+        }
+    }
+}
+
+enum WorkerMsg {
+    Push {
+        worker: usize,
+        grads: Vec<f32>,
+    },
+    Done {
+        worker: usize,
+        iterations: u64,
+        epochs: usize,
+        waiting_time_s: f64,
+    },
+}
+
+/// Runs a training job on real threads and returns the same [`RunTrace`] the simulator
+/// produces (times are wall-clock seconds since the start of training).
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (zero workers, class mismatch, or a
+/// delay vector whose length differs from the worker count).
+pub fn run_threaded(config: ThreadedConfig) -> RunTrace {
+    assert!(config.num_workers > 0, "need at least one worker");
+    assert_eq!(
+        config.model.classes(),
+        config.data.classes(),
+        "model and dataset class counts must agree"
+    );
+    assert!(
+        config.extra_compute_delay_ms.is_empty()
+            || config.extra_compute_delay_ms.len() == config.num_workers,
+        "extra_compute_delay_ms must be empty or have one entry per worker"
+    );
+
+    let dataset = config.data.generate(config.seed);
+    let shards = dataset.shard_train(config.num_workers);
+    let reference = config.model.build(config.seed);
+    let initial_params = reference.params_flat();
+
+    let sgd = Sgd::new(config.sgd.clone(), initial_params.len());
+    let mut server = ParameterServer::new(
+        initial_params.clone(),
+        sgd,
+        ServerConfig::new(config.num_workers, config.policy),
+    );
+
+    let (push_tx, push_rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+    let mut ok_txs: Vec<Sender<Vec<f32>>> = Vec::with_capacity(config.num_workers);
+    let mut handles = Vec::with_capacity(config.num_workers);
+
+    for (w, shard) in shards.into_iter().enumerate() {
+        let (ok_tx, ok_rx): (Sender<Vec<f32>>, Receiver<Vec<f32>>) = unbounded();
+        ok_txs.push(ok_tx);
+        let target = (config.epochs as u64) * (shard.len().div_ceil(config.batch_size) as u64);
+        let batches = BatchIter::new(shard, config.batch_size, config.seed.wrapping_add(w as u64 + 1));
+        let model = config.model.build(config.seed);
+        let delay = config
+            .extra_compute_delay_ms
+            .get(w)
+            .copied()
+            .map(Duration::from_millis);
+        let tx = push_tx.clone();
+        let init = initial_params.clone();
+        handles.push(thread::spawn(move || {
+            worker_loop(w, model, batches, target, delay, init, tx, ok_rx);
+        }));
+    }
+    drop(push_tx);
+
+    // Server loop (current thread): apply pushes, gate workers, evaluate periodically.
+    let mut eval_model = config.model.build(config.seed);
+    let eval_batch = dataset.test_batch(config.eval_max_examples);
+    let start = Instant::now();
+    let mut points: Vec<TracePoint> = Vec::new();
+    let mut last_eval = 0u64;
+    let mut summaries: Vec<Option<WorkerSummary>> = vec![None; config.num_workers];
+    let mut done = 0usize;
+
+    while done < config.num_workers {
+        let msg = push_rx.recv().expect("workers hung up unexpectedly");
+        let now = start.elapsed().as_secs_f64();
+        match msg {
+            WorkerMsg::Push { worker, grads } => {
+                let result = server.handle_push(worker, &grads, now);
+                if result.ok_now {
+                    // A send can only fail if the worker already exited after its final
+                    // push; that is expected and harmless.
+                    let _ = ok_txs[worker].send(server.pull());
+                }
+                for released in result.released {
+                    let _ = ok_txs[released].send(server.pull());
+                }
+                if server.version() - last_eval >= config.eval_every_pushes {
+                    last_eval = server.version();
+                    points.push(evaluate(&mut eval_model, &server, &eval_batch, now));
+                }
+            }
+            WorkerMsg::Done {
+                worker,
+                iterations,
+                epochs,
+                waiting_time_s,
+            } => {
+                summaries[worker] = Some(WorkerSummary {
+                    worker,
+                    iterations,
+                    epochs,
+                    waiting_time_s,
+                });
+                done += 1;
+                for released in server.retire_worker(worker, now) {
+                    let _ = ok_txs[released].send(server.pull());
+                }
+            }
+        }
+    }
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+
+    let final_time = start.elapsed().as_secs_f64();
+    points.push(evaluate(&mut eval_model, &server, &eval_batch, final_time));
+
+    let stats: ServerStats = server.stats().clone();
+    RunTrace {
+        policy: config.policy.label(),
+        model: config.model.display_name(),
+        workers: config.num_workers,
+        points,
+        total_time_s: final_time,
+        total_pushes: server.version(),
+        worker_summaries: summaries.into_iter().map(|s| s.expect("summary recorded")).collect(),
+        server_stats: stats,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    worker: usize,
+    mut model: Sequential,
+    mut batches: BatchIter,
+    target: u64,
+    delay: Option<Duration>,
+    initial_params: Vec<f32>,
+    tx: Sender<WorkerMsg>,
+    ok_rx: Receiver<Vec<f32>>,
+) {
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut weights = initial_params;
+    let mut waiting_time_s = 0.0;
+    for iter in 0..target {
+        if let Some(d) = delay {
+            thread::sleep(d);
+        }
+        model.set_params_flat(&weights);
+        let (x, labels) = batches.next_batch();
+        let logits = model.forward(&x, true);
+        let (_, grad_logits) = loss_fn.loss_and_grad(&logits, &labels);
+        model.zero_grads();
+        model.backward(&grad_logits);
+        let grads = model.grads_flat();
+        tx.send(WorkerMsg::Push { worker, grads }).expect("server hung up");
+        if iter + 1 < target {
+            let wait_start = Instant::now();
+            weights = ok_rx.recv().expect("server hung up before sending OK");
+            waiting_time_s += wait_start.elapsed().as_secs_f64();
+        }
+    }
+    tx.send(WorkerMsg::Done {
+        worker,
+        iterations: target,
+        epochs: batches.epoch(),
+        waiting_time_s,
+    })
+    .expect("server hung up");
+}
+
+fn evaluate(
+    eval_model: &mut Sequential,
+    server: &ParameterServer,
+    eval_batch: &(dssp_tensor::Tensor, Vec<usize>),
+    now: f64,
+) -> TracePoint {
+    eval_model.set_params_flat(server.weights());
+    let logits = eval_model.forward(&eval_batch.0, false);
+    let acc = accuracy(&logits, &eval_batch.1);
+    TracePoint {
+        time_s: now,
+        pushes: server.version(),
+        epoch: 0,
+        test_accuracy: f64::from(acc),
+        train_loss: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_bsp_run_completes_and_learns() {
+        let trace = run_threaded(ThreadedConfig::small(PolicyKind::Bsp));
+        assert_eq!(trace.workers, 2);
+        assert!(trace.total_pushes > 0);
+        assert!(trace.final_accuracy() > 0.3, "accuracy {}", trace.final_accuracy());
+        // Every worker completed all of its iterations.
+        let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
+        assert_eq!(per_worker, trace.total_pushes);
+    }
+
+    #[test]
+    fn threaded_strict_dssp_respects_staleness_bound() {
+        // The strict-range variant is the one that promises a hard staleness cap; the
+        // literal Algorithm-1 policy may run further ahead on repeated controller grants.
+        let mut config = ThreadedConfig::small(PolicyKind::DsspStrict { s_l: 2, r_max: 4 });
+        // Make worker 1 an artificial straggler so staleness actually arises.
+        config.extra_compute_delay_ms = vec![0, 3];
+        let trace = run_threaded(config);
+        assert!(trace.server_stats.staleness_max <= 2 + 4 + 1);
+        assert!(trace.total_pushes > 0);
+    }
+
+    #[test]
+    fn threaded_literal_dssp_completes_all_work_under_a_straggler() {
+        let mut config = ThreadedConfig::small(PolicyKind::Dssp { s_l: 2, r_max: 4 });
+        config.extra_compute_delay_ms = vec![0, 3];
+        let trace = run_threaded(config);
+        assert!(trace.total_pushes > 0);
+        let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
+        assert_eq!(per_worker, trace.total_pushes);
+        assert_eq!(trace.server_stats.blocked_pushes, trace.server_stats.releases);
+    }
+
+    #[test]
+    fn threaded_asp_never_blocks() {
+        let mut config = ThreadedConfig::small(PolicyKind::Asp);
+        config.extra_compute_delay_ms = vec![0, 2];
+        let trace = run_threaded(config);
+        assert_eq!(trace.server_stats.blocked_pushes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per worker")]
+    fn wrong_delay_vector_length_panics() {
+        let mut config = ThreadedConfig::small(PolicyKind::Asp);
+        config.extra_compute_delay_ms = vec![1];
+        config.num_workers = 3;
+        run_threaded(config);
+    }
+}

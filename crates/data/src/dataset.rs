@@ -1,0 +1,295 @@
+//! In-memory datasets, train/test splits and per-worker shards.
+
+use crate::synthetic::{generate_images, generate_vectors, RawExamples, SyntheticImageSpec, SyntheticVectorSpec};
+use dssp_tensor::Tensor;
+
+/// Which portion of a dataset an operation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// The training split (sharded across workers).
+    Train,
+    /// The held-out test split (used for accuracy evaluation).
+    Test,
+}
+
+/// A complete in-memory dataset with a train and a test split.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    train: RawExamples,
+    test: RawExamples,
+}
+
+impl Dataset {
+    /// Generates a synthetic image dataset from a spec with the given seed.
+    pub fn generate(spec: &SyntheticImageSpec, seed: u64) -> Self {
+        Self {
+            train: generate_images(spec, seed, spec.train_size, true),
+            test: generate_images(spec, seed, spec.test_size, false),
+        }
+    }
+
+    /// Generates a synthetic flat-vector dataset from a spec with the given seed.
+    pub fn generate_vectors(spec: &SyntheticVectorSpec, seed: u64) -> Self {
+        Self {
+            train: generate_vectors(spec, seed, spec.train_size, true),
+            test: generate_vectors(spec, seed, spec.test_size, false),
+        }
+    }
+
+    /// Number of training examples.
+    pub fn train_len(&self) -> usize {
+        self.train.labels.len()
+    }
+
+    /// Number of test examples.
+    pub fn test_len(&self) -> usize {
+        self.test.labels.len()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.train.classes
+    }
+
+    /// Per-example tensor dimensions (without the batch dimension).
+    pub fn example_dims(&self) -> &[usize] {
+        &self.train.example_dims
+    }
+
+    /// Assembles a batch tensor and label vector from the given example indices of a
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for the split.
+    pub fn batch(&self, split: Split, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let raw = match split {
+            Split::Train => &self.train,
+            Split::Test => &self.test,
+        };
+        assemble_batch(raw, indices)
+    }
+
+    /// Returns the whole test split as one batch, capped at `max_examples` examples to
+    /// keep evaluation cheap inside the simulator.
+    pub fn test_batch(&self, max_examples: usize) -> (Tensor, Vec<usize>) {
+        let n = self.test_len().min(max_examples);
+        let indices: Vec<usize> = (0..n).collect();
+        self.batch(Split::Test, &indices)
+    }
+
+    /// Splits the training set into `workers` equal-sized shards (the paper's data
+    /// parallelism: "the training data is partitioned based on the number of workers").
+    ///
+    /// Each worker receives a contiguous block of the training set; because the
+    /// generator interleaves classes, every block of at least `classes` examples covers
+    /// every class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn shard_train(&self, workers: usize) -> Vec<Shard> {
+        assert!(workers > 0, "cannot shard across zero workers");
+        let n = self.train_len();
+        let base = n / workers;
+        let remainder = n % workers;
+        let mut shards: Vec<Vec<usize>> = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let size = base + usize::from(w < remainder);
+            shards.push((start..start + size).collect());
+            start += size;
+        }
+        shards
+            .into_iter()
+            .enumerate()
+            .map(|(worker, indices)| {
+                let (features, labels) = gather(&self.train, &indices);
+                Shard {
+                    worker,
+                    features,
+                    labels,
+                    example_len: self.train.example_len,
+                    example_dims: self.train.example_dims.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+fn gather(raw: &RawExamples, indices: &[usize]) -> (Vec<f32>, Vec<usize>) {
+    let mut features = Vec::with_capacity(indices.len() * raw.example_len);
+    let mut labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let start = i * raw.example_len;
+        features.extend_from_slice(&raw.features[start..start + raw.example_len]);
+        labels.push(raw.labels[i]);
+    }
+    (features, labels)
+}
+
+fn assemble_batch(raw: &RawExamples, indices: &[usize]) -> (Tensor, Vec<usize>) {
+    let mut features = Vec::with_capacity(indices.len() * raw.example_len);
+    let mut labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        assert!(i < raw.labels.len(), "example index {i} out of range");
+        let start = i * raw.example_len;
+        features.extend_from_slice(&raw.features[start..start + raw.example_len]);
+        labels.push(raw.labels[i]);
+    }
+    let mut dims = vec![indices.len()];
+    dims.extend_from_slice(&raw.example_dims);
+    (Tensor::from_vec(features, &dims), labels)
+}
+
+/// One worker's partition of the training data.
+///
+/// A shard owns its examples so it can be moved onto a worker thread in the threaded
+/// runtime or held by a simulated worker process.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    worker: usize,
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    example_len: usize,
+    example_dims: Vec<usize>,
+}
+
+impl Shard {
+    /// The worker index this shard was created for.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Number of examples in the shard.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns true if the shard has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-example tensor dimensions.
+    pub fn example_dims(&self) -> &[usize] {
+        &self.example_dims
+    }
+
+    /// Assembles a batch from local example indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut features = Vec::with_capacity(indices.len() * self.example_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "shard index {i} out of range");
+            let start = i * self.example_len;
+            features.extend_from_slice(&self.features[start..start + self.example_len]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&self.example_dims);
+        (Tensor::from_vec(features, &dims), labels)
+    }
+
+    /// The label of a single local example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticImageSpec;
+
+    fn small_dataset() -> Dataset {
+        let spec = SyntheticImageSpec::cifar10_like()
+            .with_sizes(100, 20)
+            .with_image_side(8);
+        Dataset::generate(&spec, 1)
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        let d = small_dataset();
+        assert_eq!(d.train_len(), 100);
+        assert_eq!(d.test_len(), 20);
+        assert_eq!(d.classes(), 10);
+        assert_eq!(d.example_dims(), &[3, 8, 8]);
+    }
+
+    #[test]
+    fn batch_has_batch_dimension_first() {
+        let d = small_dataset();
+        let (x, y) = d.batch(Split::Train, &[0, 5, 7]);
+        assert_eq!(x.shape().dims(), &[3, 3, 8, 8]);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn test_batch_is_capped() {
+        let d = small_dataset();
+        let (x, y) = d.test_batch(8);
+        assert_eq!(x.shape().dim(0), 8);
+        assert_eq!(y.len(), 8);
+    }
+
+    #[test]
+    fn shards_partition_the_training_set() {
+        let d = small_dataset();
+        let shards = d.shard_train(4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, d.train_len());
+        // Equal-sized partitions (paper: "a partition is assigned to each worker ...
+        // equal-sized partition of the entire training data").
+        for s in &shards {
+            assert_eq!(s.len(), 25);
+        }
+    }
+
+    #[test]
+    fn shards_see_every_class() {
+        let d = small_dataset();
+        for shard in d.shard_train(4) {
+            let mut seen = vec![false; d.classes()];
+            for i in 0..shard.len() {
+                seen[shard.label(i)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "worker {} missing a class", shard.worker());
+        }
+    }
+
+    #[test]
+    fn shard_batch_matches_dataset_batch() {
+        let d = small_dataset();
+        let shards = d.shard_train(2);
+        // Worker 1 got the second contiguous block (global indices 50..100); its local
+        // example 3 is global example 53.
+        let (from_shard, label_shard) = shards[1].batch(&[3]);
+        let (from_dataset, label_dataset) = d.batch(Split::Train, &[53]);
+        assert_eq!(from_shard.as_slice(), from_dataset.as_slice());
+        assert_eq!(label_shard, label_dataset);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_batch_index_panics() {
+        let d = small_dataset();
+        d.batch(Split::Test, &[1000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero workers")]
+    fn zero_workers_panics() {
+        small_dataset().shard_train(0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The Adam optimizer and the [`Optimizer`] trait shared with [`crate::Sgd`].
+//!
+//! The paper's experiments train with SGD (plus momentum) at the parameter server, and
+//! its convergence analysis (Theorems 1–2) is stated for SGD. Adam is provided because
+//! it is the most common drop-in alternative a user of the library will reach for, and
+//! because the staleness sensitivity of adaptive optimizers is a natural extension
+//! experiment (the paper's related work discusses staleness-aware momentum tuning in
+//! Omnivore).
+
+use crate::optimizer::Sgd;
+use serde::{Deserialize, Serialize};
+
+/// A server-side optimizer over a flat parameter vector.
+///
+/// Both [`Sgd`] and [`Adam`] implement this trait, so runtimes that want to swap the
+/// server optimizer can hold a `Box<dyn Optimizer>`.
+pub trait Optimizer: Send {
+    /// Applies one update step to `params` given `grads`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Informs the optimizer of the current epoch so learning-rate schedules take effect.
+    fn set_epoch(&mut self, epoch: usize);
+
+    /// The learning rate the next step will use.
+    fn current_lr(&self) -> f32;
+
+    /// A short display name ("sgd", "adam").
+    fn name(&self) -> &str;
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        Sgd::step(self, params, grads);
+    }
+
+    fn set_epoch(&mut self, epoch: usize) {
+        Sgd::set_epoch(self, epoch);
+    }
+
+    fn current_lr(&self) -> f32 {
+        Sgd::current_lr(self)
+    }
+
+    fn name(&self) -> &str {
+        "sgd"
+    }
+}
+
+/// Configuration for [`Adam`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay rate of the first-moment estimate.
+    pub beta1: f32,
+    /// Exponential decay rate of the second-moment estimate.
+    pub beta2: f32,
+    /// Numerical-stability constant added to the denominator.
+    pub epsilon: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adam (adaptive moment estimation) over a flat parameter vector, with bias-corrected
+/// moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for a parameter vector of length `param_len`.
+    pub fn new(config: AdamConfig, param_len: usize) -> Self {
+        Self {
+            config,
+            m: vec![0.0; param_len],
+            v: vec![0.0; param_len],
+            t: 0,
+        }
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    /// Applies one bias-corrected Adam update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `grads` length differs from the length the optimizer was
+    /// created with.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let c = &self.config;
+        let bias1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + c.weight_decay * params[i];
+            self.m[i] = c.beta1 * self.m[i] + (1.0 - c.beta1) * g;
+            self.v[i] = c.beta2 * self.v[i] + (1.0 - c.beta2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= c.lr * m_hat / (v_hat.sqrt() + c.epsilon);
+        }
+    }
+
+    fn set_epoch(&mut self, _epoch: usize) {
+        // Adam's effective step size adapts automatically; no schedule is applied.
+    }
+
+    fn current_lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    fn name(&self) -> &str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LrSchedule, SgdConfig};
+
+    #[test]
+    fn first_adam_step_moves_each_parameter_by_roughly_the_learning_rate() {
+        // With bias correction, the very first update is ≈ lr * sign(g).
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 2);
+        let mut p = vec![1.0, -1.0];
+        adam.step(&mut p, &[0.5, -0.25]);
+        assert!((p[0] - 0.9).abs() < 1e-3, "p[0] = {}", p[0]);
+        assert!((p[1] + 0.9).abs() < 1e-3, "p[1] = {}", p[1]);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimise f(w) = (w - 3)^2 from w = 0.
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() }, 1);
+        let mut w = vec![0.0f32];
+        for _ in 0..2_000 {
+            let grad = 2.0 * (w[0] - 3.0);
+            adam.step(&mut w, &[grad]);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn adam_adapts_to_badly_scaled_gradients() {
+        // One coordinate has gradients 100× the other; Adam's per-coordinate scaling
+        // still moves both at a comparable rate on the first step.
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 2);
+        let mut p = vec![0.0, 0.0];
+        adam.step(&mut p, &[100.0, 1.0]);
+        assert!((p[0] - p[1]).abs() < 1e-3, "steps should be nearly equal: {p:?}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_parameters_toward_zero() {
+        let mut adam = Adam::new(
+            AdamConfig { lr: 0.1, weight_decay: 0.5, ..AdamConfig::default() },
+            1,
+        );
+        let mut p = vec![5.0];
+        adam.step(&mut p, &[0.0]);
+        assert!(p[0] < 5.0);
+    }
+
+    #[test]
+    fn optimizer_trait_is_object_safe_and_covers_both_optimizers() {
+        let sgd = Sgd::new(
+            SgdConfig {
+                schedule: LrSchedule::constant(0.5),
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+            1,
+        );
+        let adam = Adam::new(AdamConfig::default(), 1);
+        let mut optimizers: Vec<Box<dyn Optimizer>> = vec![Box::new(sgd), Box::new(adam)];
+        let mut p = vec![1.0];
+        for opt in &mut optimizers {
+            opt.step(&mut p, &[1.0]);
+            opt.set_epoch(1);
+            assert!(opt.current_lr() > 0.0);
+        }
+        assert_eq!(optimizers[0].name(), "sgd");
+        assert_eq!(optimizers[1].name(), "adam");
+        assert!(p[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "param length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut adam = Adam::new(AdamConfig::default(), 2);
+        let mut p = vec![0.0; 3];
+        adam.step(&mut p, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-model cost profile used by the cluster time model.
+
+use crate::Model;
+use serde::{Deserialize, Serialize};
+
+/// Compute and communication cost profile of a model.
+///
+/// The paper's Section V-C explains the opposite throughput trends of the four paradigms
+/// via the *ratio of computing time to communication time per iteration*: models with
+/// fully connected layers have many parameters (large communication) and relatively
+/// little compute, pure convolutional models are the opposite. `CostProfile` captures
+/// exactly the quantities that determine this ratio, and `dssp-cluster` turns them into
+/// per-iteration compute and communication times for a given device and link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Floating-point operations for one example's forward + backward pass.
+    pub flops_per_example: u64,
+    /// Number of learnable parameters.
+    pub param_count: usize,
+    /// Whether the model contains fully connected layers other than the classifier head
+    /// (the paper's "DNNs with fully connected layers" category).
+    pub has_fc_layers: bool,
+}
+
+impl CostProfile {
+    /// Derives a cost profile from a model.
+    pub fn of_model<M: Model + ?Sized>(model: &M, has_fc_layers: bool) -> Self {
+        Self {
+            flops_per_example: model.flops_per_example(),
+            param_count: model.param_len(),
+            has_fc_layers,
+        }
+    }
+
+    /// Bytes exchanged in one direction per push or pull (f32 parameters).
+    pub fn param_bytes(&self) -> u64 {
+        4 * self.param_count as u64
+    }
+
+    /// FLOPs for a whole mini-batch.
+    pub fn flops_per_batch(&self, batch_size: usize) -> u64 {
+        self.flops_per_example * batch_size as u64
+    }
+
+    /// Ratio of compute work (FLOPs per batch) to communication volume (bytes per
+    /// iteration, push + pull). Dimensionless; higher means compute-bound, which is the
+    /// regime where the paper observes BSP achieving the highest iteration throughput.
+    pub fn compute_comm_ratio(&self, batch_size: usize) -> f64 {
+        let comm = (2 * self.param_bytes()) as f64;
+        if comm == 0.0 {
+            return f64::INFINITY;
+        }
+        self.flops_per_batch(batch_size) as f64 / comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn alexnet_like_has_lower_compute_comm_ratio_than_resnet_like() {
+        // The paper's central observation: FC-heavy models are communication-bound,
+        // pure-conv models are compute-bound.
+        let alexnet = models::downsized_alexnet(16, 10, 1);
+        let resnet = models::resnet_cifar(16, 9, 10, 1);
+        let a = CostProfile::of_model(&alexnet, true);
+        let r = CostProfile::of_model(&resnet, false);
+        assert!(
+            a.compute_comm_ratio(128) < r.compute_comm_ratio(128),
+            "alexnet ratio {} should be below resnet ratio {}",
+            a.compute_comm_ratio(128),
+            r.compute_comm_ratio(128)
+        );
+    }
+
+    #[test]
+    fn param_bytes_is_four_per_parameter() {
+        let m = models::mlp(4, &[8], 2, 0);
+        let profile = CostProfile::of_model(&m, true);
+        assert_eq!(profile.param_bytes(), 4 * profile.param_count as u64);
+    }
+
+    #[test]
+    fn zero_param_profile_has_infinite_ratio() {
+        let p = CostProfile {
+            flops_per_example: 10,
+            param_count: 0,
+            has_fc_layers: false,
+        };
+        assert!(p.compute_comm_ratio(1).is_infinite());
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let p = CostProfile {
+            flops_per_example: 100,
+            param_count: 10,
+            has_fc_layers: false,
+        };
+        assert_eq!(p.flops_per_batch(32), 3200);
+    }
+}

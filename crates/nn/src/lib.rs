@@ -1,0 +1,53 @@
+//! Neural-network substrate for the DSSP reproduction.
+//!
+//! The DSSP paper evaluates its distributed paradigms by training three deep neural
+//! networks (a downsized AlexNet, ResNet-50 and ResNet-110) with data-parallel SGD on a
+//! parameter server. This crate provides the corresponding training substrate:
+//!
+//! * a [`Layer`] trait with dense, convolutional, pooling, activation and residual
+//!   layers, each implementing forward **and** backward passes;
+//! * a [`Sequential`] container and a model zoo ([`models`]) with laptop-scale analogues
+//!   of the paper's three architectures;
+//! * the [`SoftmaxCrossEntropy`] loss used for image classification;
+//! * an [`Sgd`] optimizer with momentum, weight decay and the step learning-rate decay
+//!   schedule the paper uses for the ResNets;
+//! * a [`CostProfile`] per model (FLOPs per example, parameter bytes) that feeds the
+//!   cluster time model in `dssp-cluster`.
+//!
+//! All parameters and gradients can be read and written as flat `f32` slices, which is
+//! the representation the parameter server (`dssp-ps`) pushes and pulls.
+//!
+//! # Example
+//!
+//! ```
+//! use dssp_nn::{models, Model};
+//! use dssp_tensor::Tensor;
+//!
+//! let mut model = models::mlp(8, &[16], 4, 42);
+//! let x = Tensor::zeros(&[2, 8]);
+//! let logits = model.forward(&x, true);
+//! assert_eq!(logits.shape().dims(), &[2, 4]);
+//! ```
+
+mod adam;
+mod cost;
+pub mod gradcheck;
+mod layer;
+mod layers;
+mod loss;
+pub mod models;
+mod optimizer;
+mod pooling;
+mod regularize;
+mod sequential;
+
+pub use adam::{Adam, AdamConfig, Optimizer};
+pub use cost::CostProfile;
+pub use gradcheck::{check_model_gradients, GradCheckReport};
+pub use layer::{Layer, Model};
+pub use layers::{Conv2dLayer, DenseLayer, Flatten, MaxPool2dLayer, ReluLayer, ResidualBlock};
+pub use loss::{accuracy, SoftmaxCrossEntropy};
+pub use optimizer::{LrSchedule, Sgd, SgdConfig};
+pub use pooling::{AvgPool2dLayer, GlobalAvgPool2dLayer};
+pub use regularize::DropoutLayer;
+pub use sequential::Sequential;

@@ -1,0 +1,324 @@
+//! SGD with momentum and the step learning-rate schedule used in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// An epoch-indexed learning-rate schedule.
+///
+/// The paper uses the step variant for the ResNets ("learning rate 0.05 and decay 0.1
+/// twice at epoch 200 and 250 in 300 epochs") and a constant rate for the downsized
+/// AlexNet; cosine annealing and linear warm-up are provided for users extending the
+/// library beyond the paper's exact settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// A constant learning rate.
+    Constant {
+        /// The learning rate used in every epoch.
+        base_lr: f32,
+    },
+    /// Multiply the rate by `decay_factor` at each milestone epoch (kept sorted).
+    Step {
+        /// The epoch-0 learning rate.
+        base_lr: f32,
+        /// Multiplicative decay applied at each milestone.
+        decay_factor: f32,
+        /// Epochs at which the decay is applied.
+        milestones: Vec<usize>,
+    },
+    /// Cosine annealing from `base_lr` down to `min_lr` over `total_epochs`.
+    Cosine {
+        /// The epoch-0 learning rate.
+        base_lr: f32,
+        /// The floor the rate anneals towards.
+        min_lr: f32,
+        /// Length of the annealing horizon in epochs.
+        total_epochs: usize,
+    },
+    /// Linear warm-up from `base_lr / warmup_epochs` to `base_lr` over `warmup_epochs`,
+    /// then constant.
+    Warmup {
+        /// The post-warm-up learning rate.
+        base_lr: f32,
+        /// Number of warm-up epochs (0 behaves like a constant schedule).
+        warmup_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// A constant learning rate (no decay).
+    pub fn constant(base_lr: f32) -> Self {
+        LrSchedule::Constant { base_lr }
+    }
+
+    /// A step schedule multiplying the rate by `decay_factor` at each milestone epoch.
+    pub fn step(base_lr: f32, decay_factor: f32, milestones: &[usize]) -> Self {
+        let mut m = milestones.to_vec();
+        m.sort_unstable();
+        LrSchedule::Step {
+            base_lr,
+            decay_factor,
+            milestones: m,
+        }
+    }
+
+    /// Cosine annealing from `base_lr` to `min_lr` over `total_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs` is zero.
+    pub fn cosine(base_lr: f32, min_lr: f32, total_epochs: usize) -> Self {
+        assert!(total_epochs > 0, "cosine schedule needs at least one epoch");
+        LrSchedule::Cosine {
+            base_lr,
+            min_lr,
+            total_epochs,
+        }
+    }
+
+    /// Linear warm-up to `base_lr` over `warmup_epochs`, then constant.
+    pub fn warmup(base_lr: f32, warmup_epochs: usize) -> Self {
+        LrSchedule::Warmup {
+            base_lr,
+            warmup_epochs,
+        }
+    }
+
+    /// Learning rate to use during `epoch` (0-based).
+    pub fn lr_at_epoch(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { base_lr } => *base_lr,
+            LrSchedule::Step {
+                base_lr,
+                decay_factor,
+                milestones,
+            } => {
+                let passed = milestones.iter().filter(|&&m| epoch >= m).count() as i32;
+                base_lr * decay_factor.powi(passed)
+            }
+            LrSchedule::Cosine {
+                base_lr,
+                min_lr,
+                total_epochs,
+            } => {
+                let t = (epoch.min(*total_epochs) as f32) / (*total_epochs as f32);
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup {
+                base_lr,
+                warmup_epochs,
+            } => {
+                if *warmup_epochs == 0 || epoch >= *warmup_epochs {
+                    *base_lr
+                } else {
+                    base_lr * (epoch + 1) as f32 / *warmup_epochs as f32
+                }
+            }
+        }
+    }
+
+    /// The base learning rate (the rate at epoch 0 for constant/step schedules, the peak
+    /// rate for cosine and warm-up schedules).
+    pub fn base_lr(&self) -> f32 {
+        match self {
+            LrSchedule::Constant { base_lr }
+            | LrSchedule::Step { base_lr, .. }
+            | LrSchedule::Cosine { base_lr, .. }
+            | LrSchedule::Warmup { base_lr, .. } => *base_lr,
+        }
+    }
+}
+
+/// Configuration for [`Sgd`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Momentum coefficient (0.0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            schedule: LrSchedule::constant(0.01),
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Stochastic gradient descent with momentum over a flat parameter vector.
+///
+/// In the parameter-server architecture the optimizer state lives at the **server**: the
+/// server applies each worker's pushed gradient to the globally shared weights
+/// (Algorithm 1, server line 2). `Sgd` therefore operates on the flat `f32` parameter
+/// vector held by `dssp-ps`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<f32>,
+    current_epoch: usize,
+}
+
+impl Sgd {
+    /// Creates an optimizer for a parameter vector of length `param_len`.
+    pub fn new(config: SgdConfig, param_len: usize) -> Self {
+        Self {
+            config,
+            velocity: vec![0.0; param_len],
+            current_epoch: 0,
+        }
+    }
+
+    /// Informs the optimizer of the current epoch so the schedule can take effect.
+    pub fn set_epoch(&mut self, epoch: usize) {
+        self.current_epoch = epoch;
+    }
+
+    /// The learning rate that the next [`Sgd::step`] call will use.
+    pub fn current_lr(&self) -> f32 {
+        self.config.schedule.lr_at_epoch(self.current_epoch)
+    }
+
+    /// Applies one SGD update: `v = momentum*v + grad + wd*param; param -= lr * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` lengths differ from the length the optimizer was
+    /// created with.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.velocity.len(), "grad length mismatch");
+        let lr = self.current_lr();
+        let momentum = self.config.momentum;
+        let wd = self.config.weight_decay;
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+            let effective = g + wd * *p;
+            *v = momentum * *v + effective;
+            *p -= lr * *v;
+        }
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_decays() {
+        let s = LrSchedule::constant(0.1);
+        assert_eq!(s.lr_at_epoch(0), 0.1);
+        assert_eq!(s.lr_at_epoch(1000), 0.1);
+    }
+
+    #[test]
+    fn step_schedule_matches_paper_resnet_settings() {
+        // lr 0.05, decay 0.1 at epochs 200 and 250
+        let s = LrSchedule::step(0.05, 0.1, &[200, 250]);
+        assert!((s.lr_at_epoch(0) - 0.05).abs() < 1e-9);
+        assert!((s.lr_at_epoch(199) - 0.05).abs() < 1e-9);
+        assert!((s.lr_at_epoch(200) - 0.005).abs() < 1e-9);
+        assert!((s.lr_at_epoch(249) - 0.005).abs() < 1e-9);
+        assert!((s.lr_at_epoch(250) - 0.0005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_schedule_anneals_from_base_to_min() {
+        let s = LrSchedule::cosine(1.0, 0.1, 10);
+        assert!((s.lr_at_epoch(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at_epoch(10) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at_epoch(100) - 0.1).abs() < 1e-6, "clamps past the horizon");
+        // Midpoint sits halfway between base and min.
+        assert!((s.lr_at_epoch(5) - 0.55).abs() < 1e-6);
+        // Monotone non-increasing.
+        for e in 0..10 {
+            assert!(s.lr_at_epoch(e + 1) <= s.lr_at_epoch(e) + 1e-9);
+        }
+        assert_eq!(s.base_lr(), 1.0);
+    }
+
+    #[test]
+    fn warmup_schedule_ramps_linearly_then_holds() {
+        let s = LrSchedule::warmup(0.8, 4);
+        assert!((s.lr_at_epoch(0) - 0.2).abs() < 1e-6);
+        assert!((s.lr_at_epoch(1) - 0.4).abs() < 1e-6);
+        assert!((s.lr_at_epoch(3) - 0.8).abs() < 1e-6);
+        assert!((s.lr_at_epoch(50) - 0.8).abs() < 1e-6);
+        // Zero warm-up epochs degenerate to a constant schedule.
+        assert!((LrSchedule::warmup(0.8, 0).lr_at_epoch(0) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_length_cosine_rejected() {
+        LrSchedule::cosine(1.0, 0.0, 0);
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_gradient_descent() {
+        let cfg = SgdConfig {
+            schedule: LrSchedule::constant(0.5),
+            momentum: 0.0,
+            weight_decay: 0.0,
+        };
+        let mut sgd = Sgd::new(cfg, 2);
+        let mut p = vec![1.0, 2.0];
+        sgd.step(&mut p, &[0.2, -0.4]);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+        assert!((p[1] - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let cfg = SgdConfig {
+            schedule: LrSchedule::constant(1.0),
+            momentum: 0.5,
+            weight_decay: 0.0,
+        };
+        let mut sgd = Sgd::new(cfg, 1);
+        let mut p = vec![0.0];
+        sgd.step(&mut p, &[1.0]); // v=1, p=-1
+        sgd.step(&mut p, &[1.0]); // v=1.5, p=-2.5
+        assert!((p[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_parameters_toward_zero() {
+        let cfg = SgdConfig {
+            schedule: LrSchedule::constant(0.1),
+            momentum: 0.0,
+            weight_decay: 0.1,
+        };
+        let mut sgd = Sgd::new(cfg, 1);
+        let mut p = vec![10.0];
+        sgd.step(&mut p, &[0.0]);
+        assert!(p[0] < 10.0);
+    }
+
+    #[test]
+    fn epoch_changes_learning_rate() {
+        let cfg = SgdConfig {
+            schedule: LrSchedule::step(1.0, 0.1, &[5]),
+            momentum: 0.0,
+            weight_decay: 0.0,
+        };
+        let mut sgd = Sgd::new(cfg, 1);
+        assert_eq!(sgd.current_lr(), 1.0);
+        sgd.set_epoch(5);
+        assert!((sgd.current_lr() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "param length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut sgd = Sgd::new(SgdConfig::default(), 2);
+        let mut p = vec![0.0; 3];
+        sgd.step(&mut p, &[0.0; 3]);
+    }
+}

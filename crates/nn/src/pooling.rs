@@ -1,0 +1,256 @@
+//! Additional pooling layers: global and windowed average pooling over NCHW input.
+//!
+//! The CIFAR ResNets of He et al. end in a global average pool before the classifier;
+//! the reproduction's scaled-down residual models flatten instead (to keep their
+//! parameter profile comparable to the paper's cost model), and these layers are
+//! provided so users of the library can build the textbook variant as well.
+
+use crate::Layer;
+use dssp_tensor::Tensor;
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`, averaging over all spatial
+/// positions of each channel.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool2dLayer {
+    input_dims: Vec<usize>,
+}
+
+impl GlobalAvgPool2dLayer {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool2dLayer {
+    fn name(&self) -> &str {
+        "global-avgpool"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "global average pooling expects NCHW input");
+        self.input_dims = dims.to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let spatial = h * w;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * spatial;
+                let sum: f32 = x[base..base + spatial].iter().sum();
+                out[i * c + ch] = sum / spatial as f32;
+            }
+        }
+        Tensor::from_vec(out, &[n, c])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, c, h, w) = (
+            self.input_dims[0],
+            self.input_dims[1],
+            self.input_dims[2],
+            self.input_dims[3],
+        );
+        let spatial = h * w;
+        let g = grad_output.as_slice();
+        let mut out = vec![0.0f32; n * c * spatial];
+        for i in 0..n {
+            for ch in 0..c {
+                let share = g[i * c + ch] / spatial as f32;
+                let base = (i * c + ch) * spatial;
+                out[base..base + spatial].iter_mut().for_each(|v| *v = share);
+            }
+        }
+        Tensor::from_vec(out, &self.input_dims)
+    }
+
+    fn flops_per_example(&self) -> u64 {
+        self.input_dims.iter().skip(1).product::<usize>().max(1) as u64
+    }
+}
+
+/// Windowed average pooling over NCHW input with a square kernel and stride.
+#[derive(Debug)]
+pub struct AvgPool2dLayer {
+    kernel: usize,
+    stride: usize,
+    in_h: usize,
+    in_w: usize,
+    input_dims: Vec<usize>,
+}
+
+impl AvgPool2dLayer {
+    /// Creates an average-pooling layer for inputs of spatial size `in_h` × `in_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel or stride is zero, or the kernel exceeds the input size.
+    pub fn new(kernel: usize, stride: usize, in_h: usize, in_w: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(kernel <= in_h && kernel <= in_w, "kernel larger than the input");
+        Self {
+            kernel,
+            stride,
+            in_h,
+            in_w,
+            input_dims: Vec::new(),
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w - self.kernel) / self.stride + 1
+    }
+}
+
+impl Layer for AvgPool2dLayer {
+    fn name(&self) -> &str {
+        "avgpool"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "average pooling expects NCHW input");
+        assert_eq!(dims[2], self.in_h, "input height mismatch");
+        assert_eq!(dims[3], self.in_w, "input width mismatch");
+        self.input_dims = dims.to_vec();
+        let (n, c) = (dims[0], dims[1]);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let x = input.as_slice();
+        let window = (self.kernel * self.kernel) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for i in 0..n {
+            for ch in 0..c {
+                let in_base = (i * c + ch) * self.in_h * self.in_w;
+                let out_base = (i * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut sum = 0.0;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let y = oy * self.stride + ky;
+                                let xcol = ox * self.stride + kx;
+                                sum += x[in_base + y * self.in_w + xcol];
+                            }
+                        }
+                        out[out_base + oy * ow + ox] = sum / window;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, c) = (self.input_dims[0], self.input_dims[1]);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let g = grad_output.as_slice();
+        let window = (self.kernel * self.kernel) as f32;
+        let mut out = vec![0.0f32; n * c * self.in_h * self.in_w];
+        for i in 0..n {
+            for ch in 0..c {
+                let in_base = (i * c + ch) * self.in_h * self.in_w;
+                let out_base = (i * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let share = g[out_base + oy * ow + ox] / window;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let y = oy * self.stride + ky;
+                                let xcol = ox * self.stride + kx;
+                                out[in_base + y * self.in_w + xcol] += share;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &self.input_dims)
+    }
+
+    fn flops_per_example(&self) -> u64 {
+        (self.out_h() * self.out_w() * self.kernel * self.kernel) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_avg_pool_averages_each_channel() {
+        let mut pool = GlobalAvgPool2dLayer::new();
+        // One example, two channels of 2×2.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 20.0, 20.0], &[1, 2, 2, 2]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert!((y.as_slice()[0] - 2.5).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads_gradient_uniformly() {
+        let mut pool = GlobalAvgPool2dLayer::new();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![4.0], &[1, 1]));
+        assert_eq!(g.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(g.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn avg_pool_matches_hand_computed_windows() {
+        let mut pool = AvgPool2dLayer::new(2, 2, 4, 4);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        // Windows: {0,1,4,5} {2,3,6,7} {8,9,12,13} {10,11,14,15}.
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        assert_eq!(pool.out_h(), 2);
+        assert_eq!(pool.out_w(), 2);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_each_gradient_over_its_window() {
+        let mut pool = AvgPool2dLayer::new(2, 2, 2, 2);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]));
+        assert_eq!(g.as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn gradient_sum_is_preserved_by_both_pools() {
+        // Pooling only redistributes gradient mass, it neither creates nor destroys it.
+        let mut gap = GlobalAvgPool2dLayer::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        gap.forward(&x, true);
+        let upstream = Tensor::ones(&[2, 3]);
+        let back = gap.backward(&upstream);
+        assert!((back.sum() - upstream.sum()).abs() < 1e-4);
+
+        let mut avg = AvgPool2dLayer::new(2, 2, 4, 4);
+        avg.forward(&x, true);
+        let upstream = Tensor::ones(&[2, 3, 2, 2]);
+        let back = avg.backward(&upstream);
+        assert!((back.sum() - upstream.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn oversized_kernel_rejected() {
+        AvgPool2dLayer::new(5, 1, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NCHW")]
+    fn non_image_input_rejected() {
+        GlobalAvgPool2dLayer::new().forward(&Tensor::ones(&[2, 8]), true);
+    }
+}

@@ -1,0 +1,153 @@
+//! Regularization layers: inverted dropout.
+//!
+//! Section V-C of the paper explains the surprising accuracy results of the stale
+//! paradigms on pure CNNs through the lens of regularization — delayed updates inject
+//! noise much like data augmentation or dropout does. [`DropoutLayer`] provides the
+//! explicit counterpart so experiments can compare "noise from staleness" against "noise
+//! from dropout" on the same architectures (and because the original AlexNet the paper's
+//! downsized model is derived from trains its fully connected layers with dropout).
+
+use crate::Layer;
+use dssp_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Inverted dropout: during training each activation is zeroed with probability `p` and
+/// the survivors are scaled by `1 / (1 - p)`, so evaluation needs no rescaling.
+pub struct DropoutLayer {
+    p: f32,
+    rng: ChaCha8Rng,
+    mask: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for DropoutLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DropoutLayer").field("p", &self.p).finish()
+    }
+}
+
+impl DropoutLayer {
+    /// Creates a dropout layer that zeroes activations with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self {
+            p,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: Vec::new(),
+            shape: Vec::new(),
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for DropoutLayer {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.shape = input.shape().dims().to_vec();
+        if !train || self.p == 0.0 {
+            // Evaluation (or p = 0): identity, and the backward mask is all-ones.
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn flops_per_example(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_mode_is_identity() {
+        let mut d = DropoutLayer::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0], &[2, 2]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+        // Backward through the identity mask leaves gradients untouched.
+        let g = d.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn training_mode_zeroes_some_activations_and_rescales_the_rest() {
+        let mut d = DropoutLayer::new(0.5, 7);
+        let x = Tensor::ones(&[1, 100]);
+        let y = d.forward(&x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 100, "every activation is either dropped or scaled by 2");
+        assert!(zeros > 10 && zeros < 90, "roughly half should be dropped, got {zeros}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask_as_forward() {
+        let mut d = DropoutLayer::new(0.3, 11);
+        let x = Tensor::ones(&[1, 50]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[1, 50]));
+        for (out, grad) in y.as_slice().iter().zip(g.as_slice()) {
+            assert!((out - grad).abs() < 1e-6, "mask mismatch: {out} vs {grad}");
+        }
+    }
+
+    #[test]
+    fn expected_activation_scale_is_preserved() {
+        let mut d = DropoutLayer::new(0.4, 3);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, true);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps the mean ≈ 1, got {mean}");
+    }
+
+    #[test]
+    fn zero_probability_never_drops_even_in_training() {
+        let mut d = DropoutLayer::new(0.0, 5);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        assert_eq!(d.forward(&x, true).as_slice(), x.as_slice());
+        assert_eq!(d.param_len(), 0);
+        assert_eq!(d.name(), "dropout");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn invalid_probability_rejected() {
+        DropoutLayer::new(1.0, 1);
+    }
+}

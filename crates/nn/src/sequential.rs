@@ -1,0 +1,230 @@
+//! A sequential container over [`Layer`]s implementing [`Model`].
+
+use crate::{Layer, Model};
+use dssp_tensor::Tensor;
+
+/// A feed-forward stack of layers executed in order.
+///
+/// `Sequential` is the model representation every worker replica holds in the DSSP
+/// reproduction: the downsized AlexNet, the CIFAR ResNets and the MLP baselines are all
+/// built as `Sequential` stacks by [`crate::models`].
+pub struct Sequential {
+    arch_name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("arch", &self.arch_name)
+            .field("layers", &self.layers.len())
+            .field("params", &self.param_len())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty model with the given architecture name.
+    pub fn new(arch_name: impl Into<String>) -> Self {
+        Self {
+            arch_name: arch_name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer, returning `self` for chaining.
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the stack.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Names of all layers, in execution order.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name().to_string()).collect()
+    }
+
+    /// Total parameter count in the fully connected layers only.
+    ///
+    /// Used to classify a model into the paper's "with FC layers" / "without FC layers"
+    /// categories (the final classifier head is excluded by convention, matching the
+    /// paper's note that the softmax layer does not count).
+    pub fn dense_param_len_excluding_head(&self) -> usize {
+        let dense_layers: Vec<&Box<dyn Layer>> = self
+            .layers
+            .iter()
+            .filter(|l| l.name().starts_with("dense"))
+            .collect();
+        if dense_layers.is_empty() {
+            return 0;
+        }
+        // Exclude the last dense layer (the softmax classifier head).
+        dense_layers[..dense_layers.len() - 1]
+            .iter()
+            .map(|l| l.param_len())
+            .sum()
+    }
+}
+
+impl Model for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn param_len(&self) -> usize {
+        self.layers.iter().map(|l| l.param_len()).sum()
+    }
+
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.param_len()];
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_len();
+            layer.read_params(&mut out[offset..offset + n]);
+            offset += n;
+        }
+        out
+    }
+
+    fn set_params_flat(&mut self, src: &[f32]) {
+        assert_eq!(
+            src.len(),
+            self.param_len(),
+            "parameter vector length mismatch for {}",
+            self.arch_name
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let n = layer.param_len();
+            layer.write_params(&src[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    fn grads_flat(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.param_len()];
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_len();
+            layer.read_grads(&mut out[offset..offset + n]);
+            offset += n;
+        }
+        out
+    }
+
+    fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    fn flops_per_example(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops_per_example()).sum()
+    }
+
+    fn arch_name(&self) -> &str {
+        &self.arch_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{DenseLayer, ReluLayer};
+    use dssp_tensor::uniform_init;
+
+    fn tiny_mlp() -> Sequential {
+        Sequential::new("tiny")
+            .push(Box::new(DenseLayer::new(4, 8, 1)))
+            .push(Box::new(ReluLayer::new()))
+            .push(Box::new(DenseLayer::new(8, 3, 2)))
+    }
+
+    #[test]
+    fn forward_produces_logits_of_right_shape() {
+        let mut m = tiny_mlp();
+        let x = uniform_init(&[5, 4], 1.0, 3);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn params_flat_roundtrip() {
+        let mut m = tiny_mlp();
+        let p = m.params_flat();
+        assert_eq!(p.len(), m.param_len());
+        let new: Vec<f32> = (0..p.len()).map(|i| i as f32 * 1e-3).collect();
+        m.set_params_flat(&new);
+        assert_eq!(m.params_flat(), new);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter vector length mismatch")]
+    fn set_params_with_wrong_length_panics() {
+        let mut m = tiny_mlp();
+        m.set_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn zero_grads_resets_accumulation() {
+        let mut m = tiny_mlp();
+        let x = uniform_init(&[2, 4], 1.0, 5);
+        let y = m.forward(&x, true);
+        m.backward(&dssp_tensor::Tensor::ones(y.shape().dims()));
+        assert!(m.grads_flat().iter().any(|&g| g != 0.0));
+        m.zero_grads();
+        assert!(m.grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn grads_accumulate_across_backward_calls() {
+        let mut m = tiny_mlp();
+        let x = uniform_init(&[2, 4], 1.0, 6);
+        let y = m.forward(&x, true);
+        let ones = dssp_tensor::Tensor::ones(y.shape().dims());
+        m.backward(&ones);
+        let g1 = m.grads_flat();
+        let _ = m.forward(&x, true);
+        m.backward(&ones);
+        let g2 = m.grads_flat();
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((b - 2.0 * a).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layer_names_and_counts() {
+        let m = tiny_mlp();
+        assert_eq!(m.layer_count(), 3);
+        assert_eq!(m.layer_names()[1], "relu");
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn dense_param_len_excludes_classifier_head() {
+        let m = tiny_mlp();
+        // Only the first dense layer counts; the 8x3 head is excluded.
+        assert_eq!(m.dense_param_len_excluding_head(), 4 * 8 + 8);
+    }
+}

@@ -1,0 +1,53 @@
+//! Parameter-server core for the DSSP reproduction.
+//!
+//! This crate implements the paper's primary contribution and the synchronization
+//! machinery it sits on:
+//!
+//! * [`ClockTable`] — the array `t` of Algorithm 1 (push requests received per worker);
+//! * [`IntervalTracker`] — table `A` of Algorithm 2 (the two most recent push
+//!   timestamps per worker, from which iteration intervals are measured, Figure 1);
+//! * [`SyncPolicy`] — the server-side decision logic with the four paradigms:
+//!   [`Bsp`], [`Asp`], [`Ssp`] and [`Dssp`];
+//! * [`SyncController`] — Algorithm 2: the DSSP synchronization controller that
+//!   simulates the next `r_max` iterations of the fastest and slowest workers and picks
+//!   the number of extra iterations `r*` minimizing the predicted waiting time
+//!   (Figure 2);
+//! * [`ParameterServer`] — the server of Algorithm 1: applies pushed gradients to the
+//!   globally shared weights via SGD and gates each worker's next iteration with an
+//!   `OK` decision;
+//! * [`theory`] — numeric helpers for the regret bounds of Theorems 1 and 2.
+//!
+//! The crate is runtime-agnostic: it contains no threads and no virtual clock. Both the
+//! discrete-event simulator (`dssp-sim`) and the multi-threaded runtime
+//! (`dssp-core::runtime`) drive the same `ParameterServer`, so the decision logic under
+//! test is identical in both settings.
+//!
+//! # Example
+//!
+//! ```
+//! use dssp_ps::{ParameterServer, PolicyKind, ServerConfig};
+//! use dssp_nn::{Sgd, SgdConfig};
+//!
+//! let config = ServerConfig::new(2, PolicyKind::Dssp { s_l: 3, r_max: 12 });
+//! let sgd = Sgd::new(SgdConfig::default(), 4);
+//! let mut server = ParameterServer::new(vec![0.0; 4], sgd, config);
+//! let result = server.handle_push(0, &[0.1, 0.1, 0.1, 0.1], 1.0);
+//! assert!(result.ok_now);
+//! ```
+
+mod aggregator;
+mod clock;
+mod controller;
+mod policy;
+mod server;
+mod sharded;
+mod staleness;
+pub mod theory;
+
+pub use aggregator::{AggregationMode, GradientBuffer};
+pub use clock::{ClockTable, IntervalTracker, WorkerId};
+pub use controller::{ControllerDecision, IntervalEstimator, SyncController};
+pub use policy::{Asp, Bsp, Dssp, PolicyCtx, PolicyKind, Ssp, SyncPolicy};
+pub use server::{ParameterServer, PushResult, ServerConfig, ServerStats};
+pub use sharded::ShardedStore;
+pub use staleness::StalenessTracker;

@@ -1,0 +1,591 @@
+//! Server-side synchronization policies: BSP, ASP, SSP and DSSP.
+//!
+//! A policy answers one question for the parameter server (Algorithm 1, server part):
+//! after worker `p`'s push has been applied, may `p` start its next iteration now, or
+//! must it wait until other workers catch up? Blocked workers are re-evaluated whenever
+//! any other worker pushes.
+
+use crate::clock::{ClockTable, IntervalTracker, WorkerId};
+use crate::controller::{ControllerDecision, SyncController};
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a synchronization policy, used in experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Bulk Synchronous Parallel: every worker waits for all others at every iteration.
+    Bsp,
+    /// Asynchronous Parallel: no synchronization at all.
+    Asp,
+    /// Stale Synchronous Parallel with a fixed staleness threshold `s`.
+    Ssp {
+        /// The staleness threshold.
+        s: u64,
+    },
+    /// Dynamic Stale Synchronous Parallel with a staleness threshold range
+    /// `[s_l, s_l + r_max]`, following Algorithm 1 of the paper literally: every time the
+    /// fastest worker exceeds `s_l`, the synchronization controller may grant it up to
+    /// `r_max` further iterations, and nothing stops it from being granted again later,
+    /// so the *cumulative* lead over the slowest worker is not hard-capped at
+    /// `s_U = s_l + r_max`. This is what lets DSSP track ASP's progress on strongly
+    /// heterogeneous clusters (the paper's Figure 4 / Table I behaviour) while staying
+    /// SSP-like on nearly homogeneous ones.
+    Dssp {
+        /// Lower bound of the staleness threshold range (`s_L`).
+        s_l: u64,
+        /// Width of the range (`r_max = s_U − s_L`), the most extra iterations a single
+        /// controller decision may grant.
+        r_max: u64,
+    },
+    /// DSSP with strict range enforcement: like [`PolicyKind::Dssp`] but the worker's
+    /// cumulative lead over the slowest worker is additionally capped at
+    /// `s_U = s_l + r_max`, so the realized staleness never leaves the range Theorem 2
+    /// assumes. Provided as an ablation of the design choice (DESIGN.md §6).
+    DsspStrict {
+        /// Lower bound of the staleness threshold range (`s_L`).
+        s_l: u64,
+        /// Width of the range (`r_max = s_U − s_L`).
+        r_max: u64,
+    },
+}
+
+impl PolicyKind {
+    /// Builds the runtime policy object for `num_workers` workers.
+    pub fn build(&self, num_workers: usize) -> Box<dyn SyncPolicy> {
+        match *self {
+            PolicyKind::Bsp => Box::new(Bsp::new(num_workers)),
+            PolicyKind::Asp => Box::new(Asp::new()),
+            PolicyKind::Ssp { s } => Box::new(Ssp::new(s)),
+            PolicyKind::Dssp { s_l, r_max } => Box::new(Dssp::new(num_workers, s_l, r_max)),
+            PolicyKind::DsspStrict { s_l, r_max } => {
+                Box::new(Dssp::strict(num_workers, s_l, r_max))
+            }
+        }
+    }
+
+    /// A short label for reports and plots ("BSP", "SSP s=3", ...).
+    pub fn label(&self) -> String {
+        match *self {
+            PolicyKind::Bsp => "BSP".to_string(),
+            PolicyKind::Asp => "ASP".to_string(),
+            PolicyKind::Ssp { s } => format!("SSP s={s}"),
+            PolicyKind::Dssp { s_l, r_max } => format!("DSSP s={s_l}, r={r_max}"),
+            PolicyKind::DsspStrict { s_l, r_max } => format!("DSSP-strict s={s_l}, r={r_max}"),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Read-only view of the server state handed to a policy when it makes a decision.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// The worker the decision is about.
+    pub worker: WorkerId,
+    /// Current time in seconds (virtual or wall-clock, depending on the runtime).
+    pub now: f64,
+    /// Push counters for all workers.
+    pub clocks: &'a ClockTable,
+    /// Push timestamp table (table `A` of Algorithm 2).
+    pub intervals: &'a IntervalTracker,
+}
+
+/// A server-side synchronization policy.
+pub trait SyncPolicy: Send {
+    /// The policy's display name.
+    fn name(&self) -> String;
+
+    /// Called after `ctx.worker`'s push has been applied and its clock incremented.
+    /// Returns `true` if the worker may start its next iteration immediately.
+    fn on_push(&mut self, ctx: PolicyCtx<'_>) -> bool;
+
+    /// Called for a currently blocked worker whenever any clock has advanced.
+    /// Returns `true` if that worker may now be released.
+    fn may_release(&mut self, ctx: PolicyCtx<'_>) -> bool;
+
+    /// The most recent controller decision, if this policy uses one (DSSP only).
+    fn last_controller_decision(&self) -> Option<&ControllerDecision> {
+        None
+    }
+}
+
+/// Bulk Synchronous Parallel: a worker may proceed only when no other worker is behind
+/// it, i.e. everyone has pushed the same number of times.
+#[derive(Debug, Clone)]
+pub struct Bsp {
+    num_workers: usize,
+}
+
+impl Bsp {
+    /// Creates a BSP policy for `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        Self { num_workers }
+    }
+
+    fn everyone_caught_up(&self, ctx: &PolicyCtx<'_>) -> bool {
+        let mine = ctx.clocks.count(ctx.worker);
+        (0..self.num_workers)
+            .filter(|&w| ctx.clocks.is_active(w) || w == ctx.worker)
+            .all(|w| ctx.clocks.count(w) >= mine)
+    }
+}
+
+impl SyncPolicy for Bsp {
+    fn name(&self) -> String {
+        "BSP".to_string()
+    }
+
+    fn on_push(&mut self, ctx: PolicyCtx<'_>) -> bool {
+        self.everyone_caught_up(&ctx)
+    }
+
+    fn may_release(&mut self, ctx: PolicyCtx<'_>) -> bool {
+        self.everyone_caught_up(&ctx)
+    }
+}
+
+/// Asynchronous Parallel: never blocks anyone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Asp;
+
+impl Asp {
+    /// Creates an ASP policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SyncPolicy for Asp {
+    fn name(&self) -> String {
+        "ASP".to_string()
+    }
+
+    fn on_push(&mut self, _ctx: PolicyCtx<'_>) -> bool {
+        true
+    }
+
+    fn may_release(&mut self, _ctx: PolicyCtx<'_>) -> bool {
+        true
+    }
+}
+
+/// Stale Synchronous Parallel with a fixed threshold `s`: a worker may proceed as long
+/// as it is no more than `s` iterations ahead of the slowest worker.
+#[derive(Debug, Clone, Copy)]
+pub struct Ssp {
+    s: u64,
+}
+
+impl Ssp {
+    /// Creates an SSP policy with staleness threshold `s`.
+    pub fn new(s: u64) -> Self {
+        Self { s }
+    }
+
+    /// The staleness threshold.
+    pub fn threshold(&self) -> u64 {
+        self.s
+    }
+
+    fn within_threshold(&self, ctx: &PolicyCtx<'_>) -> bool {
+        ctx.clocks.lead_over_slowest(ctx.worker) <= self.s
+    }
+}
+
+impl SyncPolicy for Ssp {
+    fn name(&self) -> String {
+        format!("SSP s={}", self.s)
+    }
+
+    fn on_push(&mut self, ctx: PolicyCtx<'_>) -> bool {
+        self.within_threshold(&ctx)
+    }
+
+    fn may_release(&mut self, ctx: PolicyCtx<'_>) -> bool {
+        self.within_threshold(&ctx)
+    }
+}
+
+/// Dynamic Stale Synchronous Parallel (the paper's contribution, Algorithm 1 + 2).
+///
+/// Behaves like SSP with threshold `s_L` until the fastest worker exceeds `s_L`; at that
+/// point the [`SyncController`] predicts how many extra iterations (up to `r_max`) the
+/// worker should run to minimise its waiting time, and the worker receives that many
+/// credits (`r_p` in Algorithm 1). Credits are consumed one per push, can be held by
+/// different workers simultaneously, and can change over time — which is exactly the
+/// paper's claim of per-worker, time-varying thresholds.
+pub struct Dssp {
+    s_l: u64,
+    r_max: u64,
+    strict: bool,
+    credits: Vec<u64>,
+    controller: SyncController,
+    last_decision: Option<ControllerDecision>,
+    credits_granted: u64,
+}
+
+impl std::fmt::Debug for Dssp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dssp")
+            .field("s_l", &self.s_l)
+            .field("r_max", &self.r_max)
+            .field("strict", &self.strict)
+            .field("credits", &self.credits)
+            .finish()
+    }
+}
+
+impl Dssp {
+    /// Creates a DSSP policy with staleness range `[s_l, s_l + r_max]`, following the
+    /// paper's Algorithm 1 literally (no cumulative cap on the realized lead).
+    pub fn new(num_workers: usize, s_l: u64, r_max: u64) -> Self {
+        Self {
+            s_l,
+            r_max,
+            strict: false,
+            credits: vec![0; num_workers],
+            controller: SyncController::new(num_workers, r_max),
+            last_decision: None,
+            credits_granted: 0,
+        }
+    }
+
+    /// Creates a DSSP policy that additionally caps the worker's cumulative lead at
+    /// `s_U = s_l + r_max` (the strict-range ablation of DESIGN.md §6).
+    pub fn strict(num_workers: usize, s_l: u64, r_max: u64) -> Self {
+        Self {
+            strict: true,
+            ..Self::new(num_workers, s_l, r_max)
+        }
+    }
+
+    /// Whether this policy enforces the upper staleness bound on the cumulative lead.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The lower staleness bound `s_L`.
+    pub fn s_l(&self) -> u64 {
+        self.s_l
+    }
+
+    /// The range width `r_max = s_U − s_L`.
+    pub fn r_max(&self) -> u64 {
+        self.r_max
+    }
+
+    /// The remaining extra-iteration credit of a worker (`r_p`).
+    pub fn credit(&self, worker: WorkerId) -> u64 {
+        self.credits[worker]
+    }
+
+    /// Total number of extra-iteration credits granted so far.
+    pub fn credits_granted(&self) -> u64 {
+        self.credits_granted
+    }
+
+    /// Number of controller invocations so far.
+    pub fn controller_invocations(&self) -> u64 {
+        self.controller.invocations()
+    }
+}
+
+impl SyncPolicy for Dssp {
+    fn name(&self) -> String {
+        if self.strict {
+            format!("DSSP-strict s={}, r={}", self.s_l, self.r_max)
+        } else {
+            format!("DSSP s={}, r={}", self.s_l, self.r_max)
+        }
+    }
+
+    fn on_push(&mut self, ctx: PolicyCtx<'_>) -> bool {
+        let p = ctx.worker;
+        // Algorithm 1, server lines 3-5: spend an existing credit.
+        if self.credits[p] > 0 {
+            self.credits[p] -= 1;
+            return true;
+        }
+        // Lines 7-9: within the lower bound, proceed.
+        if ctx.clocks.lead_over_slowest(p) <= self.s_l {
+            return true;
+        }
+        // Lines 11-15: only the current fastest worker consults the controller (the
+        // paper calls the controller only for the fastest worker to save server time).
+        if ctx.clocks.is_fastest(p) {
+            let slowest = ctx.clocks.slowest_worker();
+            let decision = self.controller.decide(p, slowest, ctx.intervals);
+            // Algorithm 1 grants the controller's r* outright; the strict variant
+            // additionally caps the grant so the worker's lead over the slowest worker
+            // never exceeds s_U = s_L + r_max (the range Theorem 2 reasons about).
+            let granted = if self.strict {
+                let lead = ctx.clocks.lead_over_slowest(p);
+                let available = (self.s_l + self.r_max + 1).saturating_sub(lead);
+                decision.extra_iterations.min(available)
+            } else {
+                decision.extra_iterations
+            };
+            self.last_decision = Some(decision);
+            if granted > 0 {
+                self.credits_granted += granted;
+                // The worker runs exactly `granted` extra iterations: this OK starts the
+                // first one, the remaining `granted - 1` are spent at future pushes.
+                self.credits[p] = granted - 1;
+                return true;
+            }
+        }
+        // Line 17: wait until the slowest worker catches up to within s_L.
+        false
+    }
+
+    fn may_release(&mut self, ctx: PolicyCtx<'_>) -> bool {
+        ctx.clocks.lead_over_slowest(ctx.worker) <= self.s_l
+    }
+
+    fn last_controller_decision(&self) -> Option<&ControllerDecision> {
+        self.last_decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Harness {
+        clocks: ClockTable,
+        intervals: IntervalTracker,
+        now: f64,
+    }
+
+    impl Harness {
+        fn new(workers: usize) -> Self {
+            Self {
+                clocks: ClockTable::new(workers),
+                intervals: IntervalTracker::new(workers),
+                now: 0.0,
+            }
+        }
+
+        /// Simulates worker `w` pushing at time `now` and asks the policy for a decision.
+        fn push(&mut self, policy: &mut dyn SyncPolicy, w: WorkerId, now: f64) -> bool {
+            self.now = now;
+            self.clocks.increment(w);
+            self.intervals.record_push(w, now);
+            policy.on_push(PolicyCtx {
+                worker: w,
+                now,
+                clocks: &self.clocks,
+                intervals: &self.intervals,
+            })
+        }
+
+        fn release(&self, policy: &mut dyn SyncPolicy, w: WorkerId) -> bool {
+            policy.may_release(PolicyCtx {
+                worker: w,
+                now: self.now,
+                clocks: &self.clocks,
+                intervals: &self.intervals,
+            })
+        }
+    }
+
+    #[test]
+    fn bsp_blocks_until_everyone_pushes() {
+        let mut h = Harness::new(3);
+        let mut bsp = Bsp::new(3);
+        assert!(!h.push(&mut bsp, 0, 1.0), "first pusher must wait for the rest");
+        assert!(!h.push(&mut bsp, 1, 2.0));
+        assert!(h.push(&mut bsp, 2, 3.0), "last pusher completes the superstep");
+        // After worker 2's push all three are at clock 1, so the blocked ones release.
+        assert!(h.release(&mut bsp, 0));
+        assert!(h.release(&mut bsp, 1));
+    }
+
+    #[test]
+    fn asp_never_blocks() {
+        let mut h = Harness::new(2);
+        let mut asp = Asp::new();
+        for i in 0..10 {
+            assert!(h.push(&mut asp, 0, i as f64));
+        }
+    }
+
+    #[test]
+    fn ssp_allows_lead_up_to_threshold() {
+        let mut h = Harness::new(2);
+        let mut ssp = Ssp::new(2);
+        // Worker 0 pushes repeatedly while worker 1 never pushes.
+        assert!(h.push(&mut ssp, 0, 1.0)); // lead 1
+        assert!(h.push(&mut ssp, 0, 2.0)); // lead 2
+        assert!(!h.push(&mut ssp, 0, 3.0), "lead 3 exceeds threshold 2");
+        // Once worker 1 pushes, worker 0's lead drops to 2 and it can be released.
+        assert!(!h.release(&mut ssp, 0));
+        h.push(&mut ssp, 1, 4.0);
+        assert!(h.release(&mut ssp, 0));
+    }
+
+    #[test]
+    fn ssp_zero_threshold_degenerates_to_bsp_like_lockstep() {
+        let mut h = Harness::new(2);
+        let mut ssp = Ssp::new(0);
+        assert!(!h.push(&mut ssp, 0, 1.0));
+        assert!(h.push(&mut ssp, 1, 2.0));
+    }
+
+    #[test]
+    fn dssp_with_zero_range_behaves_like_ssp_at_lower_bound() {
+        let mut ha = Harness::new(2);
+        let mut hb = Harness::new(2);
+        let mut dssp = Dssp::new(2, 2, 0);
+        let mut ssp = Ssp::new(2);
+        // Same push sequence must give identical decisions.
+        let sequence: Vec<(WorkerId, f64)> =
+            vec![(0, 1.0), (0, 2.0), (0, 3.0), (1, 4.0), (0, 5.0), (0, 6.0), (1, 7.0)];
+        for &(w, t) in &sequence {
+            let a = ha.push(&mut dssp, w, t);
+            let b = hb.push(&mut ssp, w, t);
+            assert_eq!(a, b, "divergence at push ({w}, {t})");
+        }
+    }
+
+    #[test]
+    fn dssp_grants_extra_iterations_to_a_fast_worker() {
+        let mut h = Harness::new(2);
+        let mut dssp = Dssp::new(2, 1, 8);
+        // Build interval history: worker 0 pushes every second, worker 1 every 10 s.
+        assert!(h.push(&mut dssp, 0, 1.0)); // lead 1 <= s_l
+        assert!(h.push(&mut dssp, 1, 10.0)); // lead 0
+        assert!(h.push(&mut dssp, 0, 2.0)); // lead 1, interval(0) = 1
+        assert!(h.push(&mut dssp, 1, 20.0)); // lead 0, interval(1) = 10
+        assert!(h.push(&mut dssp, 0, 3.0)); // lead 1
+        // Next push exceeds s_l = 1: the controller should grant extra iterations
+        // because worker 0 is much faster than worker 1.
+        let ok = h.push(&mut dssp, 0, 4.0);
+        assert!(ok, "controller should let the fast worker run ahead");
+        assert!(dssp.credits_granted() > 0);
+        assert!(dssp.last_controller_decision().is_some());
+    }
+
+    #[test]
+    fn dssp_strict_credits_are_spent_one_per_push_and_lead_stays_in_range() {
+        let mut h = Harness::new(2);
+        let mut dssp = Dssp::strict(2, 1, 4);
+        // Worker 0 is fast (interval 1 s), worker 1 is slow (interval 10 s).
+        assert!(h.push(&mut dssp, 0, 1.0));
+        assert!(h.push(&mut dssp, 1, 10.0));
+        assert!(h.push(&mut dssp, 0, 2.0));
+        assert!(h.push(&mut dssp, 1, 20.0));
+        assert!(h.push(&mut dssp, 0, 3.0)); // lead 1, still within s_l
+        // Exceed s_l: the controller grants extra iterations (clamped to r_max = 4).
+        let ok = h.push(&mut dssp, 0, 4.0);
+        assert!(ok);
+        let granted = dssp.credits_granted();
+        assert!(granted > 0 && granted <= 4, "granted={granted}");
+        let mut extra_ok = 0;
+        let mut t = 5.0;
+        loop {
+            if h.push(&mut dssp, 0, t) {
+                extra_ok += 1;
+                t += 1.0;
+            } else {
+                break;
+            }
+            assert!(extra_ok < 20, "worker 0 should eventually block");
+        }
+        // The realized lead never exceeds s_U = s_l + r_max under the strict variant.
+        assert!(h.clocks.spread() <= 1 + 4 + 1);
+        assert!(dssp.is_strict());
+    }
+
+    #[test]
+    fn dssp_literal_regrants_extra_iterations_to_a_persistently_faster_worker() {
+        // Algorithm 1 taken literally: whenever the fastest worker exceeds s_L and its
+        // credit is exhausted, the controller is consulted again and may grant more
+        // iterations, so a much faster worker keeps making progress well past
+        // s_U = s_L + r_max instead of degenerating into SSP at the upper bound.
+        let mut h = Harness::new(2);
+        let mut dssp = Dssp::new(2, 1, 4);
+        assert!(h.push(&mut dssp, 0, 1.0));
+        assert!(h.push(&mut dssp, 1, 10.0));
+        assert!(h.push(&mut dssp, 0, 2.0));
+        assert!(h.push(&mut dssp, 1, 20.0));
+        let mut t = 3.0;
+        let mut consecutive_ok = 0;
+        while h.push(&mut dssp, 0, t) {
+            consecutive_ok += 1;
+            t += 1.0;
+            assert!(consecutive_ok < 200, "the fast worker must still block eventually");
+        }
+        // The fast worker ran far beyond the strict upper bound before finally blocking
+        // (it blocks once its predicted timeline has overtaken every predicted push of
+        // the slow worker), and the controller was consulted more than once.
+        assert!(
+            h.clocks.spread() > 1 + 4 + 1,
+            "literal DSSP should exceed s_U, spread = {}",
+            h.clocks.spread()
+        );
+        assert!(dssp.controller_invocations() >= 2);
+        assert!(!dssp.is_strict());
+    }
+
+    #[test]
+    fn dssp_strict_blocks_no_later_than_literal_dssp() {
+        // The strict variant can only be more conservative than the literal algorithm.
+        let sequence: Vec<(WorkerId, f64)> = vec![
+            (0, 1.0),
+            (1, 10.0),
+            (0, 2.0),
+            (1, 20.0),
+            (0, 3.0),
+            (0, 4.0),
+            (0, 5.0),
+            (0, 6.0),
+            (0, 7.0),
+            (0, 8.0),
+        ];
+        let mut ha = Harness::new(2);
+        let mut hb = Harness::new(2);
+        let mut literal = Dssp::new(2, 1, 2);
+        let mut strict = Dssp::strict(2, 1, 2);
+        for &(w, t) in &sequence {
+            let a = ha.push(&mut literal, w, t);
+            let b = hb.push(&mut strict, w, t);
+            if b {
+                assert!(a, "strict granted an OK at ({w}, {t}) that literal DSSP denied");
+            }
+        }
+    }
+
+    #[test]
+    fn dssp_blocked_worker_released_when_slowest_catches_up() {
+        let mut h = Harness::new(2);
+        let mut dssp = Dssp::new(2, 1, 2);
+        h.push(&mut dssp, 0, 1.0);
+        h.push(&mut dssp, 0, 2.0);
+        // Without interval data for worker 1 the controller returns 0, so worker 0 blocks.
+        assert!(!h.push(&mut dssp, 0, 3.0));
+        assert!(!h.release(&mut dssp, 0));
+        h.push(&mut dssp, 1, 4.0);
+        h.push(&mut dssp, 1, 5.0);
+        assert!(h.release(&mut dssp, 0));
+    }
+
+    #[test]
+    fn policy_kind_builds_and_labels() {
+        assert_eq!(PolicyKind::Bsp.build(2).name(), "BSP");
+        assert_eq!(PolicyKind::Asp.build(2).name(), "ASP");
+        assert_eq!(PolicyKind::Ssp { s: 5 }.build(2).name(), "SSP s=5");
+        assert_eq!(
+            PolicyKind::Dssp { s_l: 3, r_max: 12 }.build(2).name(),
+            "DSSP s=3, r=12"
+        );
+        assert_eq!(
+            PolicyKind::DsspStrict { s_l: 3, r_max: 12 }.build(2).name(),
+            "DSSP-strict s=3, r=12"
+        );
+        assert_eq!(PolicyKind::Ssp { s: 5 }.to_string(), "SSP s=5");
+    }
+}

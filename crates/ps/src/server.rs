@@ -1,0 +1,490 @@
+//! The parameter server of Algorithm 1 (server part).
+
+use crate::aggregator::{AggregationMode, GradientBuffer};
+use crate::clock::{ClockTable, IntervalTracker, WorkerId};
+use crate::policy::{PolicyCtx, PolicyKind, SyncPolicy};
+use crate::staleness::StalenessTracker;
+use dssp_nn::Sgd;
+use serde::{Deserialize, Serialize};
+
+/// Number of exact histogram buckets kept by the server's staleness tracker; pushes with
+/// a larger lead share the final overflow bucket (their exact maximum is still tracked).
+const STALENESS_BUCKETS: u64 = 64;
+
+/// Configuration of a [`ParameterServer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Number of workers connected to the server.
+    pub num_workers: usize,
+    /// The synchronization policy to apply.
+    pub policy: PolicyKind,
+    /// How pushed gradients are folded into the weights (DESIGN.md §6 ablation).
+    #[serde(default)]
+    pub aggregation: AggregationMode,
+}
+
+impl ServerConfig {
+    /// Creates a configuration for `num_workers` workers under `policy`, applying each
+    /// push to the weights immediately.
+    pub fn new(num_workers: usize, policy: PolicyKind) -> Self {
+        Self {
+            num_workers,
+            policy,
+            aggregation: AggregationMode::PerPush,
+        }
+    }
+
+    /// Switches the server to the given aggregation mode, returning `self` for chaining.
+    pub fn with_aggregation(mut self, aggregation: AggregationMode) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+}
+
+/// Outcome of one push request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushResult {
+    /// Whether the pushing worker may start its next iteration immediately
+    /// (the `OK` signal of Algorithm 1).
+    pub ok_now: bool,
+    /// Other workers that become unblocked as a consequence of this push and should now
+    /// receive their deferred `OK`.
+    pub released: Vec<WorkerId>,
+    /// The server weight version (total pushes applied) after this push.
+    pub version: u64,
+}
+
+/// Aggregate statistics the server keeps about synchronization behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Total pushes applied.
+    pub pushes: u64,
+    /// Number of pushes that resulted in the pusher being blocked.
+    pub blocked_pushes: u64,
+    /// Number of deferred `OK`s that were eventually sent (worker releases).
+    pub releases: u64,
+    /// Histogram source: sum of the pusher's lead over the slowest worker at push time.
+    pub staleness_sum: u64,
+    /// Maximum observed lead over the slowest worker at push time.
+    pub staleness_max: u64,
+}
+
+impl ServerStats {
+    /// Mean staleness (lead over the slowest worker) observed at push time.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.pushes == 0 {
+            0.0
+        } else {
+            self.staleness_sum as f64 / self.pushes as f64
+        }
+    }
+
+    /// Fraction of pushes whose worker had to wait for a deferred `OK`.
+    pub fn blocked_fraction(&self) -> f64 {
+        if self.pushes == 0 {
+            0.0
+        } else {
+            self.blocked_pushes as f64 / self.pushes as f64
+        }
+    }
+}
+
+/// The parameter server: holds the globally shared weights, applies pushed gradients via
+/// SGD, and gates workers according to the configured [`SyncPolicy`].
+///
+/// The server is runtime-agnostic — it never blocks a thread itself. `handle_push`
+/// reports whether the pushing worker may continue and which previously blocked workers
+/// are released; the surrounding runtime (simulator or thread pool) is responsible for
+/// actually delivering the `OK` signals.
+pub struct ParameterServer {
+    params: Vec<f32>,
+    optimizer: Sgd,
+    clocks: ClockTable,
+    intervals: IntervalTracker,
+    policy: Box<dyn SyncPolicy>,
+    blocked: Vec<WorkerId>,
+    stats: ServerStats,
+    staleness: StalenessTracker,
+    buffer: GradientBuffer,
+    version: u64,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for ParameterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParameterServer")
+            .field("params", &self.params.len())
+            .field("policy", &self.policy.name())
+            .field("version", &self.version)
+            .field("blocked", &self.blocked)
+            .finish()
+    }
+}
+
+impl ParameterServer {
+    /// Creates a server holding `initial_params` and applying pushes with `optimizer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero workers.
+    pub fn new(initial_params: Vec<f32>, optimizer: Sgd, config: ServerConfig) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        let policy = config.policy.build(config.num_workers);
+        let staleness = StalenessTracker::new(config.num_workers, STALENESS_BUCKETS);
+        let buffer = GradientBuffer::new(initial_params.len(), config.aggregation);
+        Self {
+            params: initial_params,
+            optimizer,
+            clocks: ClockTable::new(config.num_workers),
+            intervals: IntervalTracker::new(config.num_workers),
+            policy,
+            blocked: Vec::new(),
+            stats: ServerStats::default(),
+            staleness,
+            buffer,
+            version: 0,
+            config,
+        }
+    }
+
+    /// The current globally shared weights (what a `pull` returns).
+    pub fn weights(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// The server weight version: the total number of pushes applied so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The per-worker push counters.
+    pub fn clocks(&self) -> &ClockTable {
+        &self.clocks
+    }
+
+    /// The push-timestamp table (table `A` of Algorithm 2).
+    pub fn intervals(&self) -> &IntervalTracker {
+        &self.intervals
+    }
+
+    /// Synchronization statistics accumulated so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The active policy's display name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Workers currently waiting for a deferred `OK`.
+    pub fn blocked_workers(&self) -> &[WorkerId] {
+        &self.blocked
+    }
+
+    /// Direct access to the policy, for introspection (e.g. DSSP controller decisions).
+    pub fn policy(&self) -> &dyn SyncPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Informs the server-side optimizer of the current epoch so learning-rate schedules
+    /// can take effect.
+    pub fn set_epoch(&mut self, epoch: usize) {
+        self.optimizer.set_epoch(epoch);
+    }
+
+    /// Handles a push request from `worker` carrying mini-batch gradients, at time
+    /// `now` (seconds).
+    ///
+    /// The gradients are applied to the global weights immediately (Algorithm 1, server
+    /// line 2), the worker's clock is incremented, and the policy decides whether the
+    /// worker gets its `OK` now or must wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the parameter vector length or the worker id
+    /// is out of range.
+    pub fn handle_push(&mut self, worker: WorkerId, grads: &[f32], now: f64) -> PushResult {
+        assert_eq!(
+            grads.len(),
+            self.params.len(),
+            "gradient length {} does not match parameter length {}",
+            grads.len(),
+            self.params.len()
+        );
+        assert!(worker < self.config.num_workers, "worker id out of range");
+
+        // Fold the push into the weights according to the aggregation mode: per-push
+        // aggregation applies it immediately, buffered aggregation applies the buffer
+        // average once enough pushes have accumulated.
+        if let Some(update) = self.buffer.add(grads) {
+            self.optimizer.step(&mut self.params, &update);
+        }
+        self.version += 1;
+        self.clocks.increment(worker);
+        self.intervals.record_push(worker, now);
+
+        self.stats.pushes += 1;
+        let lead = self.clocks.lead_over_slowest(worker);
+        self.stats.staleness_sum += lead;
+        self.stats.staleness_max = self.stats.staleness_max.max(lead);
+        self.staleness.record(worker, lead);
+
+        let ok_now = self.policy.on_push(PolicyCtx {
+            worker,
+            now,
+            clocks: &self.clocks,
+            intervals: &self.intervals,
+        });
+        if !ok_now {
+            self.stats.blocked_pushes += 1;
+            self.blocked.push(worker);
+        }
+
+        let released = self.drain_released(now, if ok_now { None } else { Some(worker) });
+        PushResult {
+            ok_now,
+            released,
+            version: self.version,
+        }
+    }
+
+    /// Re-evaluates blocked workers after a clock change and returns those released.
+    fn drain_released(&mut self, now: f64, just_blocked: Option<WorkerId>) -> Vec<WorkerId> {
+        let mut released = Vec::new();
+        let mut still_blocked = Vec::new();
+        let blocked = std::mem::take(&mut self.blocked);
+        for w in blocked {
+            // The worker that was blocked by this very push cannot be released by it.
+            if Some(w) == just_blocked {
+                still_blocked.push(w);
+                continue;
+            }
+            let free = self.policy.may_release(PolicyCtx {
+                worker: w,
+                now,
+                clocks: &self.clocks,
+                intervals: &self.intervals,
+            });
+            if free {
+                self.stats.releases += 1;
+                released.push(w);
+            } else {
+                still_blocked.push(w);
+            }
+        }
+        self.blocked = still_blocked;
+        released
+    }
+
+    /// Pulls the current weights, copying them into a fresh vector (what a worker's
+    /// `pull` request returns before it overwrites its local replica).
+    pub fn pull(&self) -> Vec<f32> {
+        self.params.clone()
+    }
+
+    /// Marks a worker as retired (it has completed its configured epochs and will push
+    /// no more). Retired workers no longer count as the "slowest" worker, so workers
+    /// that were waiting on them can be released; any such releases are returned.
+    pub fn retire_worker(&mut self, worker: WorkerId, now: f64) -> Vec<WorkerId> {
+        self.clocks.retire(worker);
+        self.drain_released(now, None)
+    }
+
+    /// The per-push staleness distribution observed so far.
+    pub fn staleness(&self) -> &StalenessTracker {
+        &self.staleness
+    }
+
+    /// Applies whatever gradients are still sitting in the aggregation buffer (a no-op
+    /// under per-push aggregation). Call at the end of training so buffered aggregation
+    /// does not silently drop the trailing partial buffer.
+    pub fn flush_aggregation(&mut self) {
+        if let Some(update) = self.buffer.flush() {
+            self.optimizer.step(&mut self.params, &update);
+        }
+    }
+
+    /// Number of weight updates actually applied (equals [`ParameterServer::version`]
+    /// under per-push aggregation, smaller under buffered aggregation).
+    pub fn updates_applied(&self) -> u64 {
+        self.buffer.emitted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssp_nn::{LrSchedule, SgdConfig};
+
+    fn server(policy: PolicyKind, workers: usize, dims: usize) -> ParameterServer {
+        let sgd = Sgd::new(
+            SgdConfig {
+                schedule: LrSchedule::constant(1.0),
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+            dims,
+        );
+        ParameterServer::new(vec![0.0; dims], sgd, ServerConfig::new(workers, policy))
+    }
+
+    #[test]
+    fn push_applies_gradient_to_weights() {
+        let mut s = server(PolicyKind::Asp, 1, 3);
+        s.handle_push(0, &[1.0, 2.0, 3.0], 0.0);
+        assert_eq!(s.weights(), &[-1.0, -2.0, -3.0]);
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.pull(), vec![-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn bsp_releases_waiters_when_last_worker_pushes() {
+        let mut s = server(PolicyKind::Bsp, 3, 1);
+        let r0 = s.handle_push(0, &[0.1], 1.0);
+        assert!(!r0.ok_now);
+        let r1 = s.handle_push(1, &[0.1], 2.0);
+        assert!(!r1.ok_now);
+        assert!(r1.released.is_empty());
+        let r2 = s.handle_push(2, &[0.1], 3.0);
+        assert!(r2.ok_now);
+        let mut released = r2.released.clone();
+        released.sort_unstable();
+        assert_eq!(released, vec![0, 1]);
+        assert!(s.blocked_workers().is_empty());
+    }
+
+    #[test]
+    fn asp_never_blocks_any_worker() {
+        let mut s = server(PolicyKind::Asp, 2, 1);
+        for i in 0..20 {
+            let r = s.handle_push(0, &[0.0], i as f64);
+            assert!(r.ok_now);
+            assert!(r.released.is_empty());
+        }
+        assert_eq!(s.stats().blocked_pushes, 0);
+        assert_eq!(s.stats().staleness_max, 20);
+    }
+
+    #[test]
+    fn ssp_blocks_beyond_threshold_and_releases_after_catch_up() {
+        let mut s = server(PolicyKind::Ssp { s: 1 }, 2, 1);
+        assert!(s.handle_push(0, &[0.0], 1.0).ok_now);
+        let r = s.handle_push(0, &[0.0], 2.0);
+        assert!(!r.ok_now, "lead 2 exceeds threshold 1");
+        assert_eq!(s.blocked_workers(), &[0]);
+        // Worker 1 pushes once: lead of worker 0 drops to 1, so it gets released.
+        let r = s.handle_push(1, &[0.0], 3.0);
+        assert!(r.ok_now);
+        assert_eq!(r.released, vec![0]);
+        assert_eq!(s.stats().releases, 1);
+    }
+
+    #[test]
+    fn stats_track_staleness_and_blocking() {
+        let mut s = server(PolicyKind::Ssp { s: 0 }, 2, 1);
+        s.handle_push(0, &[0.0], 1.0); // lead 1, blocked
+        s.handle_push(1, &[0.0], 2.0); // lead 0, ok + releases worker 0
+        let st = s.stats();
+        assert_eq!(st.pushes, 2);
+        assert_eq!(st.blocked_pushes, 1);
+        assert_eq!(st.releases, 1);
+        assert!((st.mean_staleness() - 0.5).abs() < 1e-9);
+        assert!((st.blocked_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_forwarding_changes_learning_rate() {
+        let sgd = Sgd::new(
+            SgdConfig {
+                schedule: LrSchedule::step(1.0, 0.1, &[1]),
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+            1,
+        );
+        let mut s = ParameterServer::new(vec![0.0], sgd, ServerConfig::new(1, PolicyKind::Asp));
+        s.handle_push(0, &[1.0], 0.0);
+        assert!((s.weights()[0] + 1.0).abs() < 1e-6);
+        s.set_epoch(1);
+        s.handle_push(0, &[1.0], 1.0);
+        assert!((s.weights()[0] + 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retiring_a_finished_worker_releases_the_waiters() {
+        // Two-worker BSP: worker 0 pushes and waits for worker 1. If worker 1 has
+        // finished training, retiring it must release worker 0.
+        let mut s = server(PolicyKind::Bsp, 2, 1);
+        let r = s.handle_push(0, &[0.0], 1.0);
+        assert!(!r.ok_now);
+        let released = s.retire_worker(1, 2.0);
+        assert_eq!(released, vec![0]);
+        assert!(s.blocked_workers().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match parameter length")]
+    fn wrong_gradient_length_panics() {
+        let mut s = server(PolicyKind::Asp, 1, 2);
+        s.handle_push(0, &[1.0], 0.0);
+    }
+
+    #[test]
+    fn buffered_aggregation_applies_the_average_once_the_buffer_fills() {
+        let sgd = Sgd::new(
+            SgdConfig {
+                schedule: LrSchedule::constant(1.0),
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+            1,
+        );
+        let config = ServerConfig::new(2, PolicyKind::Asp)
+            .with_aggregation(AggregationMode::Buffered { capacity: 2 });
+        let mut s = ParameterServer::new(vec![0.0], sgd, config);
+        s.handle_push(0, &[1.0], 0.0);
+        // The first push is buffered: weights unchanged, but the push still counts.
+        assert_eq!(s.weights(), &[0.0]);
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.updates_applied(), 0);
+        s.handle_push(1, &[3.0], 1.0);
+        // The buffer emits the average (2.0), applied with lr 1.0.
+        assert_eq!(s.weights(), &[-2.0]);
+        assert_eq!(s.updates_applied(), 1);
+        // A trailing partial buffer is applied by the explicit flush.
+        s.handle_push(0, &[4.0], 2.0);
+        assert_eq!(s.weights(), &[-2.0]);
+        s.flush_aggregation();
+        assert_eq!(s.weights(), &[-6.0]);
+        assert_eq!(s.updates_applied(), 2);
+    }
+
+    #[test]
+    fn staleness_histogram_matches_the_aggregate_stats() {
+        let mut s = server(PolicyKind::Asp, 2, 1);
+        for i in 0..5 {
+            s.handle_push(0, &[0.0], i as f64);
+        }
+        s.handle_push(1, &[0.0], 5.0);
+        let hist = s.staleness();
+        assert_eq!(hist.total_pushes(), s.stats().pushes);
+        assert_eq!(hist.max(), s.stats().staleness_max);
+        assert!((hist.mean() - s.stats().mean_staleness()).abs() < 1e-12);
+        assert_eq!(hist.worker_pushes(0), 5);
+        assert_eq!(hist.worker_pushes(1), 1);
+    }
+
+    #[test]
+    fn debug_output_mentions_policy() {
+        let s = server(PolicyKind::Dssp { s_l: 3, r_max: 12 }, 2, 1);
+        assert!(format!("{s:?}").contains("DSSP"));
+        assert_eq!(s.policy_name(), "DSSP s=3, r=12");
+        assert_eq!(s.config().num_workers, 2);
+    }
+}

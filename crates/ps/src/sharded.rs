@@ -1,0 +1,227 @@
+//! Key-sharded parameter storage.
+//!
+//! Production parameter servers (MXNet's KVStore, Li et al.'s Parameter Server) split
+//! the model into key ranges and spread them over several server shards so that pushes
+//! and pulls for different parts of the model can proceed in parallel and no single
+//! machine has to hold the whole model. The synchronization paradigms studied in the
+//! paper are orthogonal to this sharding — they gate whole worker iterations, not
+//! individual keys — so the single-vector [`crate::ParameterServer`] is what the
+//! experiments use, and [`ShardedStore`] provides the key-sharded storage layer that a
+//! multi-server deployment would put underneath it.
+
+use serde::{Deserialize, Serialize};
+
+/// A parameter vector split into contiguous, near-equal key ranges ("shards"), each with
+/// its own update version counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedStore {
+    shards: Vec<Vec<f32>>,
+    /// Start offset of each shard within the flat parameter vector (plus a final
+    /// sentinel equal to the total length).
+    offsets: Vec<usize>,
+    versions: Vec<u64>,
+}
+
+impl ShardedStore {
+    /// Splits `initial` into `num_shards` contiguous shards of near-equal size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or exceeds the parameter count (for a non-empty
+    /// vector).
+    pub fn new(initial: Vec<f32>, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(
+            initial.is_empty() || num_shards <= initial.len(),
+            "cannot split {} parameters into {num_shards} shards",
+            initial.len()
+        );
+        let total = initial.len();
+        let base = total / num_shards;
+        let remainder = total % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offsets = Vec::with_capacity(num_shards + 1);
+        let mut start = 0;
+        for i in 0..num_shards {
+            let len = base + usize::from(i < remainder);
+            offsets.push(start);
+            shards.push(initial[start..start + len].to_vec());
+            start += len;
+        }
+        offsets.push(total);
+        Self {
+            shards,
+            offsets,
+            versions: vec![0; num_shards],
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of parameters across all shards.
+    pub fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets always has a sentinel")
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shard that owns the flat parameter index `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn shard_of(&self, key: usize) -> usize {
+        assert!(key < self.len(), "key {key} out of range ({})", self.len());
+        // offsets is sorted; find the last offset <= key.
+        match self.offsets.binary_search(&key) {
+            Ok(i) => i.min(self.num_shards() - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The key range `[start, end)` owned by `shard`.
+    pub fn key_range(&self, shard: usize) -> (usize, usize) {
+        (self.offsets[shard], self.offsets[shard + 1])
+    }
+
+    /// The current parameters of one shard.
+    pub fn shard(&self, shard: usize) -> &[f32] {
+        &self.shards[shard]
+    }
+
+    /// The update version (number of applied updates) of one shard.
+    pub fn version(&self, shard: usize) -> u64 {
+        self.versions[shard]
+    }
+
+    /// Applies a gradient to one shard with a plain SGD step (`w -= lr * g`), bumping
+    /// that shard's version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length differs from the shard length.
+    pub fn apply_shard(&mut self, shard: usize, grads: &[f32], lr: f32) {
+        let params = &mut self.shards[shard];
+        assert_eq!(grads.len(), params.len(), "shard gradient length mismatch");
+        for (w, &g) in params.iter_mut().zip(grads) {
+            *w -= lr * g;
+        }
+        self.versions[shard] += 1;
+    }
+
+    /// Applies a full-model gradient by splitting it across all shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length differs from the total parameter count.
+    pub fn apply_all(&mut self, grads: &[f32], lr: f32) {
+        assert_eq!(grads.len(), self.len(), "gradient length mismatch");
+        for shard in 0..self.num_shards() {
+            let (start, end) = self.key_range(shard);
+            self.apply_shard(shard, &grads[start..end], lr);
+        }
+    }
+
+    /// Reassembles the full flat parameter vector (what a whole-model pull returns).
+    pub fn pull_all(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend_from_slice(shard);
+        }
+        out
+    }
+
+    /// The lowest shard version — how many whole-model updates are guaranteed to be
+    /// visible in every shard.
+    pub fn min_version(&self) -> u64 {
+        self.versions.iter().copied().min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_parameters_into_near_equal_contiguous_shards() {
+        let store = ShardedStore::new((0..10).map(|i| i as f32).collect(), 3);
+        assert_eq!(store.num_shards(), 3);
+        assert_eq!(store.len(), 10);
+        // 10 = 4 + 3 + 3
+        assert_eq!(store.shard(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(store.shard(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(store.shard(2), &[7.0, 8.0, 9.0]);
+        assert_eq!(store.key_range(0), (0, 4));
+        assert_eq!(store.key_range(2), (7, 10));
+        assert_eq!(store.pull_all(), (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_of_maps_keys_to_their_owner() {
+        let store = ShardedStore::new(vec![0.0; 10], 3);
+        assert_eq!(store.shard_of(0), 0);
+        assert_eq!(store.shard_of(3), 0);
+        assert_eq!(store.shard_of(4), 1);
+        assert_eq!(store.shard_of(6), 1);
+        assert_eq!(store.shard_of(7), 2);
+        assert_eq!(store.shard_of(9), 2);
+    }
+
+    #[test]
+    fn shard_updates_bump_only_that_shards_version() {
+        let mut store = ShardedStore::new(vec![0.0; 6], 2);
+        store.apply_shard(1, &[1.0, 1.0, 1.0], 0.5);
+        assert_eq!(store.version(0), 0);
+        assert_eq!(store.version(1), 1);
+        assert_eq!(store.min_version(), 0);
+        assert_eq!(store.shard(1), &[-0.5, -0.5, -0.5]);
+        assert_eq!(store.shard(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn whole_model_update_touches_every_shard() {
+        let mut store = ShardedStore::new(vec![1.0; 5], 2);
+        store.apply_all(&[1.0; 5], 1.0);
+        assert_eq!(store.pull_all(), vec![0.0; 5]);
+        assert_eq!(store.min_version(), 1);
+    }
+
+    #[test]
+    fn single_shard_behaves_like_a_flat_store() {
+        let mut store = ShardedStore::new(vec![0.0; 4], 1);
+        store.apply_all(&[2.0; 4], 0.25);
+        assert_eq!(store.pull_all(), vec![-0.5; 4]);
+        assert_eq!(store.shard_of(3), 0);
+    }
+
+    #[test]
+    fn empty_store_is_permitted() {
+        let store = ShardedStore::new(vec![], 2);
+        assert!(store.is_empty());
+        assert_eq!(store.pull_all(), Vec::<f32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedStore::new(vec![0.0; 4], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_shards_than_parameters_rejected() {
+        ShardedStore::new(vec![0.0; 2], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_rejected() {
+        ShardedStore::new(vec![0.0; 4], 2).shard_of(4);
+    }
+}

@@ -1,0 +1,566 @@
+//! The simulation engine: configuration and the main event loop.
+
+use crate::event::{EventKind, EventQueue};
+use crate::trace::{RunTrace, TracePoint, WorkerSummary};
+use crate::worker::{SimWorker, WorkerState};
+use dssp_cluster::{ClusterSpec, TimeModel};
+use dssp_data::{BatchIter, Dataset, SyntheticImageSpec, SyntheticVectorSpec};
+use dssp_nn::models::ModelSpec;
+use dssp_nn::{accuracy, CostProfile, Model, Sequential, Sgd, SgdConfig};
+use dssp_ps::{ParameterServer, PolicyKind, ServerConfig};
+use dssp_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic dataset a run trains on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// Image tensors (`[N, 3, side, side]`) for the convolutional models.
+    Image(SyntheticImageSpec),
+    /// Flat feature vectors for the MLP / logistic-regression models.
+    Vector(SyntheticVectorSpec),
+}
+
+impl DataSpec {
+    /// Generates the dataset with the given seed.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        match self {
+            DataSpec::Image(spec) => Dataset::generate(spec, seed),
+            DataSpec::Vector(spec) => Dataset::generate_vectors(spec, seed),
+        }
+    }
+
+    /// Number of classes in the task.
+    pub fn classes(&self) -> usize {
+        match self {
+            DataSpec::Image(spec) => spec.classes,
+            DataSpec::Vector(spec) => spec.classes,
+        }
+    }
+}
+
+/// Configuration of one simulated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The model architecture every worker replicates.
+    pub model: ModelSpec,
+    /// The dataset to train on.
+    pub data: DataSpec,
+    /// The cluster (devices, link, injected slowdowns).
+    pub cluster: ClusterSpec,
+    /// The synchronization paradigm.
+    pub policy: PolicyKind,
+    /// Mini-batch size per worker iteration.
+    pub batch_size: usize,
+    /// Number of passes each worker makes over its shard.
+    pub epochs: usize,
+    /// Server-side SGD configuration.
+    pub sgd: SgdConfig,
+    /// Master seed controlling weight init, data generation, shuffling and jitter.
+    pub seed: u64,
+    /// Evaluate test accuracy every this many applied pushes.
+    pub eval_every_pushes: u64,
+    /// Cap on the number of test examples used per evaluation.
+    pub eval_max_examples: usize,
+    /// Optional cost profile used by the cluster time model *instead of* the trained
+    /// model's own cost.
+    ///
+    /// The reproduction trains laptop-scale stand-ins for the paper's networks; their
+    /// convergence behaviour under staleness is real, but their FLOP and parameter
+    /// counts are orders of magnitude below the originals, so their
+    /// compute/communication ratio is not representative. Setting `cost_override` to the
+    /// original architecture's cost profile (see `dssp-core::presets`) makes the
+    /// *virtual time* follow the paper's models while the *learning* follows the
+    /// stand-in. `None` uses the trained model's own cost.
+    pub cost_override: Option<CostProfile>,
+}
+
+impl SimConfig {
+    /// A small, fully specified configuration suitable for tests and doc examples;
+    /// callers typically override `model`, `data`, `cluster` and `policy` via struct
+    /// update syntax.
+    pub fn default_small() -> Self {
+        Self {
+            model: ModelSpec::Mlp {
+                input_dim: 16,
+                hidden: vec![16],
+                classes: 4,
+            },
+            data: DataSpec::Vector(SyntheticVectorSpec {
+                classes: 4,
+                dim: 16,
+                train_size: 256,
+                test_size: 64,
+                noise_std: 0.6,
+            }),
+            cluster: ClusterSpec::heterogeneous_pair(),
+            policy: PolicyKind::Ssp { s: 3 },
+            batch_size: 16,
+            epochs: 2,
+            sgd: SgdConfig::default(),
+            seed: 42,
+            eval_every_pushes: 20,
+            eval_max_examples: 256,
+            cost_override: None,
+        }
+    }
+
+    /// Per-worker iteration target for a given shard size.
+    fn target_iterations(&self, shard_len: usize) -> u64 {
+        (self.epochs as u64) * (shard_len.div_ceil(self.batch_size) as u64)
+    }
+}
+
+/// A discrete-event simulation of one training run.
+pub struct Simulation {
+    config: SimConfig,
+    workers: Vec<SimWorker>,
+    local_weights: Vec<Vec<f32>>,
+    server: ParameterServer,
+    time_model: TimeModel,
+    eval_model: Sequential,
+    eval_batch: (Tensor, Vec<usize>),
+    queue: EventQueue,
+    trace: Vec<TracePoint>,
+    last_eval_pushes: u64,
+    now: f64,
+    /// Time at which the parameter server's link becomes free again. Every push and pull
+    /// transfer occupies the link exclusively for its serialization time, which models
+    /// the parameter-server communication bottleneck responsible for BSP's
+    /// burst-synchronized slowdown on parameter-heavy models (paper Section V-C).
+    nic_free_at: f64,
+    /// Link occupancy (serialization time) of one parameter/gradient transfer.
+    comm_occupancy: f64,
+    /// One-way propagation latency added to each transfer without occupying the link.
+    comm_latency: f64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("policy", &self.config.policy.label())
+            .field("workers", &self.workers.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation from its configuration (generates data, builds replicas,
+    /// initialises the server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's class count differs from the dataset's.
+    pub fn new(config: SimConfig) -> Self {
+        assert_eq!(
+            config.model.classes(),
+            config.data.classes(),
+            "model and dataset class counts must agree"
+        );
+        let dataset = config.data.generate(config.seed);
+        let num_workers = config.cluster.num_workers();
+        let shards = dataset.shard_train(num_workers);
+
+        let reference = config.model.build(config.seed);
+        let initial_params = reference.params_flat();
+        let cost = config
+            .cost_override
+            .unwrap_or_else(|| CostProfile::of_model(&reference, config.model.has_fc_layers()));
+
+        let workers: Vec<SimWorker> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let target = config.target_iterations(shard.len());
+                let batches = BatchIter::new(shard, config.batch_size, config.seed.wrapping_add(w as u64 + 1));
+                SimWorker::new(w, config.model.build(config.seed), batches, target)
+            })
+            .collect();
+        let local_weights = vec![initial_params.clone(); num_workers];
+
+        let sgd = Sgd::new(config.sgd.clone(), initial_params.len());
+        let server = ParameterServer::new(
+            initial_params,
+            sgd,
+            ServerConfig::new(num_workers, config.policy),
+        );
+        let time_model = TimeModel::new(config.cluster.clone(), cost, config.batch_size, config.seed);
+        let comm_occupancy = time_model.link_occupancy_seconds();
+        let comm_latency = time_model.link_latency_seconds();
+        let eval_batch = dataset.test_batch(config.eval_max_examples);
+        let eval_model = config.model.build(config.seed);
+
+        Self {
+            config,
+            workers,
+            local_weights,
+            server,
+            time_model,
+            eval_model,
+            eval_batch,
+            queue: EventQueue::new(),
+            trace: Vec::new(),
+            last_eval_pushes: 0,
+            now: 0.0,
+            nic_free_at: 0.0,
+            comm_occupancy,
+            comm_latency,
+        }
+    }
+
+    /// The configuration this simulation was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and returns the trace.
+    pub fn run(mut self) -> RunTrace {
+        // Every worker pulls the initial weights and starts its first iteration at t=0.
+        for w in 0..self.workers.len() {
+            self.start_iteration(w, 0.0);
+        }
+        loop {
+            while let Some(event) = self.queue.pop() {
+                self.now = event.time;
+                match event.kind {
+                    EventKind::ComputeDone => self.handle_compute_done(event.worker, event.time),
+                    EventKind::PushArrives => self.handle_push_arrival(event.worker, event.time),
+                }
+            }
+            // End-of-training drain: workers can remain blocked forever if the workers
+            // that would have released them already finished. Release them so every
+            // worker completes its configured epochs, as in the paper's fixed-epoch runs.
+            let stuck: Vec<usize> = self
+                .workers
+                .iter()
+                .filter(|w| w.state == WorkerState::Blocked && !w.finished())
+                .map(|w| w.id)
+                .collect();
+            if stuck.is_empty() {
+                break;
+            }
+            for w in stuck {
+                let wait_start = self.workers[w].last_push_time;
+                self.workers[w].waiting_time += self.now - wait_start;
+                self.start_iteration(w, self.now);
+            }
+        }
+        self.record_eval(self.now);
+        self.finish()
+    }
+
+    /// Reserves the server link for one transfer starting no earlier than `now` and
+    /// returns the time at which the transfer is fully delivered (occupancy on the
+    /// shared link, then propagation latency).
+    fn reserve_link(&mut self, now: f64) -> f64 {
+        let start = now.max(self.nic_free_at);
+        self.nic_free_at = start + self.comm_occupancy;
+        self.nic_free_at + self.comm_latency
+    }
+
+    /// Pulls the global weights for `worker` (queuing the pull transfer on the server
+    /// link), runs the compute phase, and schedules the `ComputeDone` event.
+    fn start_iteration(&mut self, worker: usize, now: f64) {
+        self.local_weights[worker] = self.server.pull();
+        let pull_done = self.reserve_link(now);
+        let cost = self.time_model.sample_iteration(worker, now);
+        self.workers[worker].state = WorkerState::Computing;
+        self.queue
+            .schedule(pull_done + cost.compute_s, worker, EventKind::ComputeDone);
+    }
+
+    /// The worker finished computing; its push now queues on the server link.
+    fn handle_compute_done(&mut self, worker: usize, now: f64) {
+        let push_done = self.reserve_link(now);
+        self.queue.schedule(push_done, worker, EventKind::PushArrives);
+    }
+
+    /// Processes the arrival of a worker's push request at the server.
+    fn handle_push_arrival(&mut self, worker: usize, now: f64) {
+        let grad = self.workers[worker].compute_gradient(&self.local_weights[worker]);
+        let result = self.server.handle_push(worker, &grad, now);
+        self.workers[worker].iterations += 1;
+        self.workers[worker].last_push_time = now;
+
+        // Keep the server-side learning-rate schedule in step with the slowest worker.
+        let min_epoch = self.min_epoch();
+        self.server.set_epoch(min_epoch);
+
+        if self.workers[worker].finished() {
+            self.workers[worker].state = WorkerState::Done;
+        } else if result.ok_now {
+            self.start_iteration(worker, now);
+        } else {
+            self.workers[worker].state = WorkerState::Blocked;
+        }
+
+        for released in result.released {
+            if self.workers[released].state != WorkerState::Blocked {
+                continue;
+            }
+            let wait_start = self.workers[released].last_push_time;
+            self.workers[released].waiting_time += now - wait_start;
+            if self.workers[released].finished() {
+                self.workers[released].state = WorkerState::Done;
+            } else {
+                self.start_iteration(released, now);
+            }
+        }
+
+        if self.server.version() - self.last_eval_pushes >= self.config.eval_every_pushes {
+            self.record_eval(now);
+        }
+    }
+
+    fn min_epoch(&self) -> usize {
+        self.workers.iter().map(|w| w.epoch()).min().unwrap_or(0)
+    }
+
+    /// Evaluates the current global weights on the held-out batch and appends a trace
+    /// point. Evaluation happens outside simulated time (it is measurement, not work the
+    /// cluster performs).
+    fn record_eval(&mut self, now: f64) {
+        self.last_eval_pushes = self.server.version();
+        self.eval_model.set_params_flat(self.server.weights());
+        let logits = self.eval_model.forward(&self.eval_batch.0, false);
+        let acc = accuracy(&logits, &self.eval_batch.1);
+        let total_iters: u64 = self.workers.iter().map(|w| w.iterations).sum();
+        let total_loss: f64 = self.workers.iter().map(|w| w.loss_sum).sum();
+        let train_loss = if total_iters == 0 {
+            0.0
+        } else {
+            total_loss / total_iters as f64
+        };
+        self.trace.push(TracePoint {
+            time_s: now,
+            pushes: self.server.version(),
+            epoch: self.min_epoch(),
+            test_accuracy: f64::from(acc),
+            train_loss,
+        });
+    }
+
+    fn finish(self) -> RunTrace {
+        let worker_summaries = self
+            .workers
+            .iter()
+            .map(|w| WorkerSummary {
+                worker: w.id,
+                iterations: w.iterations,
+                epochs: w.epoch(),
+                waiting_time_s: w.waiting_time,
+            })
+            .collect();
+        RunTrace {
+            policy: self.config.policy.label(),
+            model: self.config.model.display_name(),
+            workers: self.workers.len(),
+            points: self.trace,
+            total_time_s: self.now,
+            total_pushes: self.server.version(),
+            worker_summaries,
+            server_stats: self.server.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssp_cluster::{DeviceProfile, LinkProfile, WorkerSpec};
+
+    fn vector_config(policy: PolicyKind) -> SimConfig {
+        SimConfig {
+            model: ModelSpec::Mlp {
+                input_dim: 16,
+                hidden: vec![24],
+                classes: 4,
+            },
+            data: DataSpec::Vector(SyntheticVectorSpec {
+                classes: 4,
+                dim: 16,
+                train_size: 240,
+                test_size: 80,
+                noise_std: 0.7,
+            }),
+            cluster: ClusterSpec::heterogeneous_pair(),
+            policy,
+            batch_size: 16,
+            epochs: 3,
+            sgd: SgdConfig {
+                schedule: dssp_nn::LrSchedule::constant(0.05),
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            seed: 7,
+            eval_every_pushes: 10,
+            eval_max_examples: 80,
+            cost_override: None,
+        }
+    }
+
+    #[test]
+    fn run_completes_all_worker_iterations() {
+        let config = vector_config(PolicyKind::Ssp { s: 2 });
+        let trace = Simulation::new(config.clone()).run();
+        assert_eq!(trace.workers, 2);
+        // 240 examples / 2 workers = 120 per shard; 120/16 = 8 batches/epoch (ceil),
+        // 3 epochs = 24 iterations per worker.
+        for w in &trace.worker_summaries {
+            assert_eq!(w.iterations, 24, "worker {} iterations", w.worker);
+            // The epoch counter reports *completed* passes; after the final batch of the
+            // last epoch it reads one less than the configured epoch count.
+            assert!(w.epochs >= 2);
+        }
+        assert_eq!(trace.total_pushes, 48);
+        assert!(trace.total_time_s > 0.0);
+        assert!(!trace.points.is_empty());
+    }
+
+    #[test]
+    fn same_seed_gives_identical_traces() {
+        let config = vector_config(PolicyKind::Dssp { s_l: 1, r_max: 4 });
+        let a = Simulation::new(config.clone()).run();
+        let b = Simulation::new(config).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_improves_accuracy_over_random_guessing() {
+        let config = vector_config(PolicyKind::Bsp);
+        let trace = Simulation::new(config).run();
+        // 4 balanced classes => random guessing is 25%.
+        assert!(
+            trace.final_accuracy() > 0.4,
+            "final accuracy {} should beat random guessing",
+            trace.final_accuracy()
+        );
+    }
+
+    /// A configuration where communication is a significant but non-saturating fraction
+    /// of an iteration, which is the regime in which the paper observes BSP losing
+    /// wall-clock time to the asynchronous paradigms (Section V-C, "DNNs with fully
+    /// connected layers").
+    fn comm_heavy_config(policy: PolicyKind) -> SimConfig {
+        SimConfig {
+            model: ModelSpec::Mlp {
+                input_dim: 16,
+                hidden: vec![64, 64],
+                classes: 4,
+            },
+            data: DataSpec::Vector(SyntheticVectorSpec {
+                classes: 4,
+                dim: 16,
+                train_size: 1280,
+                test_size: 80,
+                noise_std: 0.7,
+            }),
+            cluster: ClusterSpec::homogeneous(
+                4,
+                WorkerSpec::single(DeviceProfile::gtx1060()),
+                LinkProfile::infiniband_edr(),
+            ),
+            batch_size: 32,
+            epochs: 2,
+            ..vector_config(policy)
+        }
+    }
+
+    #[test]
+    fn bsp_takes_longer_than_asp_when_communication_matters() {
+        let bsp = Simulation::new(comm_heavy_config(PolicyKind::Bsp)).run();
+        let asp = Simulation::new(comm_heavy_config(PolicyKind::Asp)).run();
+        assert!(
+            bsp.total_time_s > asp.total_time_s * 1.05,
+            "BSP ({}) should be noticeably slower than ASP ({})",
+            bsp.total_time_s,
+            asp.total_time_s
+        );
+        // And BSP's workers spend strictly more time waiting for the barrier.
+        assert!(bsp.total_waiting_time() > asp.total_waiting_time());
+    }
+
+    #[test]
+    fn dssp_waits_less_than_ssp_at_the_lower_bound() {
+        let ssp = Simulation::new(vector_config(PolicyKind::Ssp { s: 1 })).run();
+        let dssp = Simulation::new(vector_config(PolicyKind::Dssp { s_l: 1, r_max: 8 })).run();
+        assert!(
+            dssp.total_waiting_time() <= ssp.total_waiting_time() + 1e-9,
+            "DSSP waiting {} should not exceed SSP waiting {}",
+            dssp.total_waiting_time(),
+            ssp.total_waiting_time()
+        );
+    }
+
+    #[test]
+    fn staleness_bound_holds_in_full_simulation_for_strict_dssp() {
+        let config = vector_config(PolicyKind::DsspStrict { s_l: 2, r_max: 5 });
+        let trace = Simulation::new(config).run();
+        assert!(trace.server_stats.staleness_max <= 2 + 5 + 1);
+    }
+
+    #[test]
+    fn literal_dssp_runs_further_ahead_than_strict_dssp_on_a_skewed_cluster() {
+        // On the strongly heterogeneous cluster the literal Algorithm-1 policy keeps
+        // re-granting extra iterations to the fast worker, so its realized staleness can
+        // exceed the strict variant's hard cap — this is the mechanism behind the paper's
+        // Figure 4, where DSSP tracks ASP's progress on mixed GPUs.
+        let literal =
+            Simulation::new(vector_config(PolicyKind::Dssp { s_l: 2, r_max: 5 })).run();
+        let strict =
+            Simulation::new(vector_config(PolicyKind::DsspStrict { s_l: 2, r_max: 5 })).run();
+        assert!(strict.server_stats.staleness_max <= 2 + 5 + 1);
+        assert!(
+            literal.server_stats.staleness_max >= strict.server_stats.staleness_max,
+            "literal staleness {} should be at least the strict variant's {}",
+            literal.server_stats.staleness_max,
+            strict.server_stats.staleness_max
+        );
+        assert!(literal.total_waiting_time() <= strict.total_waiting_time() + 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_cluster_runs_image_model() {
+        let config = SimConfig {
+            model: ModelSpec::DownsizedAlexNet {
+                image_side: 8,
+                classes: 4,
+            },
+            data: DataSpec::Image(
+                SyntheticImageSpec::cifar10_like()
+                    .with_classes(4)
+                    .with_image_side(8)
+                    .with_sizes(64, 32),
+            ),
+            cluster: ClusterSpec::homogeneous(
+                2,
+                WorkerSpec::single(DeviceProfile::p100()),
+                LinkProfile::infiniband_edr(),
+            ),
+            policy: PolicyKind::Dssp { s_l: 3, r_max: 12 },
+            batch_size: 8,
+            epochs: 1,
+            sgd: SgdConfig::default(),
+            seed: 3,
+            eval_every_pushes: 4,
+            eval_max_examples: 32,
+            cost_override: None,
+        };
+        let trace = Simulation::new(config).run();
+        assert_eq!(trace.model, "downsized-alexnet");
+        assert!(trace.total_pushes > 0);
+        assert!(trace.iteration_throughput() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class counts must agree")]
+    fn mismatched_classes_rejected() {
+        let mut config = vector_config(PolicyKind::Asp);
+        config.model = ModelSpec::Mlp {
+            input_dim: 16,
+            hidden: vec![8],
+            classes: 7,
+        };
+        Simulation::new(config);
+    }
+}

@@ -1,0 +1,112 @@
+//! The simulator's event queue: a time-ordered min-heap of pending worker events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EventKind {
+    /// The worker finished computing its mini-batch gradient and now needs to transmit
+    /// its push over the (shared) server link.
+    ComputeDone,
+    /// The worker's push request has fully arrived at the parameter server.
+    PushArrives,
+}
+
+/// A pending simulator event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Event {
+    pub time: f64,
+    pub worker: usize,
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so BinaryHeap pops the earliest event; ties break by worker
+        // id and kind so runs are fully deterministic.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.worker.cmp(&self.worker))
+            .then_with(|| other.kind.cmp(&self.kind))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn schedule(&mut self, time: f64, worker: usize, kind: EventKind) {
+        debug_assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Event { time, worker, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 0, EventKind::PushArrives);
+        q.schedule(1.0, 1, EventKind::ComputeDone);
+        q.schedule(2.0, 2, EventKind::PushArrives);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().worker, 1);
+        assert_eq!(q.pop().unwrap().worker, 2);
+        assert_eq!(q.pop().unwrap().worker, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_worker_id_then_kind() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 2, EventKind::PushArrives);
+        q.schedule(5.0, 0, EventKind::PushArrives);
+        q.schedule(5.0, 0, EventKind::ComputeDone);
+        q.schedule(5.0, 1, EventKind::PushArrives);
+        let first = q.pop().unwrap();
+        assert_eq!((first.worker, first.kind), (0, EventKind::ComputeDone));
+        assert_eq!(q.pop().unwrap().worker, 0);
+        assert_eq!(q.pop().unwrap().worker, 1);
+        assert_eq!(q.pop().unwrap().worker, 2);
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q = EventQueue::new();
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Discrete-event simulator for data-parallel parameter-server training.
+//!
+//! The paper's experiments run four distributed paradigms on physical GPU clusters and
+//! measure test accuracy against wall-clock training time. This crate reproduces those
+//! experiments by combining:
+//!
+//! * **real training** — every simulated worker holds a real model replica
+//!   (`dssp-nn`), computes real mini-batch gradients on its data shard (`dssp-data`),
+//!   and the real parameter server (`dssp-ps`) applies them, so staleness has its true
+//!   effect on convergence; with
+//! * **virtual time** — per-iteration compute and communication durations come from the
+//!   cluster time model (`dssp-cluster`), so a 300-epoch multi-GPU experiment collapses
+//!   to seconds of CPU time while preserving the ordering, waiting-time and throughput
+//!   phenomena the paradigms differ in.
+//!
+//! The simulation loop mirrors Algorithm 1: a worker pulls the global weights, computes
+//! a mini-batch gradient, pushes it, and may start its next iteration only after the
+//! server's `OK`. Blocked workers are woken by the pushes that release them.
+//!
+//! # Example
+//!
+//! ```
+//! use dssp_sim::{SimConfig, Simulation};
+//! use dssp_nn::models::ModelSpec;
+//! use dssp_ps::PolicyKind;
+//! use dssp_cluster::ClusterSpec;
+//! use dssp_data::SyntheticVectorSpec;
+//!
+//! let config = SimConfig {
+//!     model: ModelSpec::Mlp { input_dim: 16, hidden: vec![16], classes: 4 },
+//!     data: dssp_sim::DataSpec::Vector(SyntheticVectorSpec {
+//!         classes: 4, dim: 16, train_size: 128, test_size: 64, noise_std: 0.5,
+//!     }),
+//!     cluster: ClusterSpec::heterogeneous_pair(),
+//!     policy: PolicyKind::Dssp { s_l: 3, r_max: 12 },
+//!     batch_size: 16,
+//!     epochs: 2,
+//!     ..SimConfig::default_small()
+//! };
+//! let trace = Simulation::new(config).run();
+//! assert!(trace.total_pushes > 0);
+//! ```
+
+mod engine;
+mod event;
+mod trace;
+mod worker;
+
+pub use engine::{DataSpec, SimConfig, Simulation};
+pub use trace::{RunTrace, TracePoint, WorkerSummary};

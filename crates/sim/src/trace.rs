@@ -1,0 +1,211 @@
+//! Run traces: what a simulated training run records for analysis and plotting.
+
+use dssp_ps::ServerStats;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point on the accuracy-versus-time curve (what the paper's Figures 3 and 4
+/// plot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Virtual training time in seconds.
+    pub time_s: f64,
+    /// Total pushes applied by the server so far (iteration throughput numerator).
+    pub pushes: u64,
+    /// The slowest worker's completed epochs at this point.
+    pub epoch: usize,
+    /// Test accuracy of the current global weights.
+    pub test_accuracy: f64,
+    /// Mean training loss across workers so far.
+    pub train_loss: f64,
+}
+
+/// Per-worker summary statistics at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSummary {
+    /// Worker id.
+    pub worker: usize,
+    /// Completed iterations (pushes).
+    pub iterations: u64,
+    /// Completed epochs over its shard.
+    pub epochs: usize,
+    /// Total time spent waiting for deferred `OK`s, in seconds.
+    pub waiting_time_s: f64,
+}
+
+/// The full record of one simulated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// The policy label ("BSP", "SSP s=3", "DSSP s=3, r=12", ...).
+    pub policy: String,
+    /// The model architecture name.
+    pub model: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Accuracy-versus-time samples, in time order.
+    pub points: Vec<TracePoint>,
+    /// Virtual time at which the run finished (all workers done), in seconds.
+    pub total_time_s: f64,
+    /// Total pushes applied by the server.
+    pub total_pushes: u64,
+    /// Per-worker summaries.
+    pub worker_summaries: Vec<WorkerSummary>,
+    /// The server's synchronization statistics.
+    pub server_stats: ServerStats,
+}
+
+impl RunTrace {
+    /// The final test accuracy (the last sampled point), or 0 if nothing was sampled.
+    pub fn final_accuracy(&self) -> f64 {
+        self.points.last().map(|p| p.test_accuracy).unwrap_or(0.0)
+    }
+
+    /// The best test accuracy seen at any sample point.
+    pub fn best_accuracy(&self) -> f64 {
+        self.points.iter().map(|p| p.test_accuracy).fold(0.0, f64::max)
+    }
+
+    /// The earliest virtual time at which test accuracy reached `target`, if ever
+    /// (the quantity reported in Table I).
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.test_accuracy >= target)
+            .map(|p| p.time_s)
+    }
+
+    /// The earliest virtual time from which test accuracy reached `target` and never
+    /// dropped below it again for the rest of the run.
+    ///
+    /// [`RunTrace::time_to_accuracy`] reports the *first* crossing, which is what the
+    /// paper's Table I prints; on short, noisy runs a single lucky evaluation can cross a
+    /// low target early, so comparative tests use this sustained variant instead.
+    pub fn time_to_sustained_accuracy(&self, target: f64) -> Option<f64> {
+        let mut result = None;
+        for p in &self.points {
+            if p.test_accuracy >= target {
+                if result.is_none() {
+                    result = Some(p.time_s);
+                }
+            } else {
+                result = None;
+            }
+        }
+        result
+    }
+
+    /// Overall iteration throughput: pushes per second of virtual time.
+    pub fn iteration_throughput(&self) -> f64 {
+        if self.total_time_s <= 0.0 {
+            0.0
+        } else {
+            self.total_pushes as f64 / self.total_time_s
+        }
+    }
+
+    /// Total waiting time across all workers, in seconds.
+    pub fn total_waiting_time(&self) -> f64 {
+        self.worker_summaries.iter().map(|w| w.waiting_time_s).sum()
+    }
+
+    /// Applied pushes at or before the given virtual time (for comparing how much update
+    /// progress two paradigms have made by the same wall-clock point).
+    pub fn pushes_at_time(&self, time_s: f64) -> u64 {
+        self.points
+            .iter()
+            .take_while(|p| p.time_s <= time_s)
+            .last()
+            .map(|p| p.pushes)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy at or before the given virtual time (for aligning curves across runs).
+    pub fn accuracy_at_time(&self, time_s: f64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|p| p.time_s <= time_s)
+            .last()
+            .map(|p| p.test_accuracy)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> RunTrace {
+        RunTrace {
+            policy: "SSP s=3".to_string(),
+            model: "mlp".to_string(),
+            workers: 2,
+            points: vec![
+                TracePoint { time_s: 1.0, pushes: 10, epoch: 0, test_accuracy: 0.2, train_loss: 2.0 },
+                TracePoint { time_s: 2.0, pushes: 20, epoch: 1, test_accuracy: 0.5, train_loss: 1.5 },
+                TracePoint { time_s: 3.0, pushes: 30, epoch: 2, test_accuracy: 0.45, train_loss: 1.4 },
+                TracePoint { time_s: 4.0, pushes: 40, epoch: 3, test_accuracy: 0.7, train_loss: 1.0 },
+            ],
+            total_time_s: 4.0,
+            total_pushes: 40,
+            worker_summaries: vec![
+                WorkerSummary { worker: 0, iterations: 20, epochs: 3, waiting_time_s: 0.5 },
+                WorkerSummary { worker: 1, iterations: 20, epochs: 3, waiting_time_s: 1.5 },
+            ],
+            server_stats: ServerStats::default(),
+        }
+    }
+
+    #[test]
+    fn accuracy_accessors() {
+        let t = trace();
+        assert_eq!(t.final_accuracy(), 0.7);
+        assert_eq!(t.best_accuracy(), 0.7);
+        assert_eq!(t.accuracy_at_time(2.5), 0.5);
+        assert_eq!(t.accuracy_at_time(0.5), 0.0);
+        assert_eq!(t.pushes_at_time(2.5), 20);
+        assert_eq!(t.pushes_at_time(0.5), 0);
+        assert_eq!(t.pushes_at_time(100.0), 40);
+    }
+
+    #[test]
+    fn time_to_accuracy_finds_first_crossing() {
+        let t = trace();
+        assert_eq!(t.time_to_accuracy(0.4), Some(2.0));
+        assert_eq!(t.time_to_accuracy(0.7), Some(4.0));
+        assert_eq!(t.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn sustained_accuracy_ignores_transient_crossings() {
+        let t = trace();
+        // Accuracy reaches 0.5 at t=2 but dips to 0.45 at t=3, so the sustained crossing
+        // of 0.5 only happens at t=4.
+        assert_eq!(t.time_to_sustained_accuracy(0.5), Some(4.0));
+        // A target the run holds from its first crossing onwards matches the plain metric.
+        assert_eq!(t.time_to_sustained_accuracy(0.2), Some(1.0));
+        assert_eq!(t.time_to_sustained_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn throughput_and_waiting_time() {
+        let t = trace();
+        assert!((t.iteration_throughput() - 10.0).abs() < 1e-12);
+        assert!((t.total_waiting_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = RunTrace {
+            policy: "ASP".into(),
+            model: "mlp".into(),
+            workers: 1,
+            points: vec![],
+            total_time_s: 0.0,
+            total_pushes: 0,
+            worker_summaries: vec![],
+            server_stats: ServerStats::default(),
+        };
+        assert_eq!(t.final_accuracy(), 0.0);
+        assert_eq!(t.iteration_throughput(), 0.0);
+        assert_eq!(t.time_to_accuracy(0.1), None);
+    }
+}

@@ -1,0 +1,448 @@
+//! Convolution and pooling kernels (NCHW layout) built on `im2col`.
+//!
+//! These kernels are what make the "pure convolutional" models of the paper
+//! (ResNet-50/110 analogues) compute-heavy relative to their parameter count, which is
+//! the property the paper's Section V-C analysis hinges on.
+
+use crate::Tensor;
+
+/// Static description of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding added on every side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Returns the output spatial size for an input of side `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not produce at least one output position.
+    pub fn out_size(&self, h: usize) -> usize {
+        let padded = h + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "input of size {h} with padding {} is smaller than kernel {}",
+            self.padding,
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Number of weight parameters (excluding bias) for this convolution.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Static description of a 2-D max pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dSpec {
+    /// Square pooling window side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// Returns the output spatial size for an input of side `h`.
+    pub fn out_size(&self, h: usize) -> usize {
+        if h < self.kernel {
+            0
+        } else {
+            (h - self.kernel) / self.stride + 1
+        }
+    }
+}
+
+/// Unrolls an `[N, C, H, W]` input into column form `[N * OH * OW, C * K * K]`.
+///
+/// Each output row contains the receptive field of one output position, so the
+/// convolution reduces to a single matrix multiplication with the filter matrix.
+pub fn im2col(input: &Tensor, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let dims = input.shape().dims();
+    let n = dims[0];
+    let c = spec.in_channels;
+    debug_assert_eq!(dims[1], c, "im2col channel mismatch");
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let k = spec.kernel;
+    let cols_per_row = c * k * k;
+    let mut out = vec![0.0f32; n * oh * ow * cols_per_row];
+    let x = input.as_slice();
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols_per_row;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * stride) as isize + ky as isize - pad;
+                        for kx in 0..k {
+                            let ix = (ox * stride) as isize + kx as isize - pad;
+                            let col = (ci * k + ky) * k + kx;
+                            let v = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                            {
+                                x[((ni * c + ci) * h + iy as usize) * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row + col] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, cols_per_row])
+}
+
+/// Folds column form `[N * OH * OW, C * K * K]` back into `[N, C, H, W]`, accumulating
+/// overlapping contributions. This is the adjoint of [`im2col`], used for the gradient
+/// with respect to the convolution input.
+pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let c = spec.in_channels;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let k = spec.kernel;
+    let cols_per_row = c * k * k;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let src = cols.as_slice();
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols_per_row;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * stride) as isize + ky as isize - pad;
+                        for kx in 0..k {
+                            let ix = (ox * stride) as isize + kx as isize - pad;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                let col = (ci * k + ky) * k + kx;
+                                out[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                    src[row + col];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`  — `[N, C, H, W]`
+/// * `weight` — `[OC, C*K*K]` (filters flattened row-major)
+/// * `bias`   — `[OC]`
+///
+/// Returns `[N, OC, OH, OW]` along with the cached `im2col` matrix (needed by the
+/// backward pass).
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor) {
+    let n = input.shape().dims()[0];
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let cols = im2col(input, h, w, spec);
+    // [N*OH*OW, C*K*K] x [C*K*K, OC] -> [N*OH*OW, OC]
+    let prod = cols.matmul_nt(weight);
+    let with_bias = prod.add_row_broadcast(bias);
+    // Rearrange [N*OH*OW, OC] into [N, OC, OH, OW].
+    let oc = spec.out_channels;
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    let src = with_bias.as_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * oc;
+                for co in 0..oc {
+                    out[((ni * oc + co) * oh + oy) * ow + ox] = src[row + co];
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, oc, oh, ow]), cols)
+}
+
+/// Backward 2-D convolution.
+///
+/// Given the upstream gradient `grad_out` (`[N, OC, OH, OW]`), the cached `im2col`
+/// matrix from the forward pass, and the filter matrix, returns
+/// `(grad_input, grad_weight, grad_bias)`.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let oc = spec.out_channels;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    // Rearrange grad_out [N, OC, OH, OW] -> [N*OH*OW, OC]
+    let mut g = vec![0.0f32; n * oh * ow * oc];
+    let src = grad_out.as_slice();
+    for ni in 0..n {
+        for co in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    g[((ni * oh + oy) * ow + ox) * oc + co] =
+                        src[((ni * oc + co) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    let g = Tensor::from_vec(g, &[n * oh * ow, oc]);
+    // grad_weight = g^T x cols  -> [OC, C*K*K]
+    let grad_weight = g.matmul_tn(cols);
+    // grad_bias = column sums of g -> [OC]
+    let grad_bias = g.sum_rows();
+    // grad_cols = g x weight -> [N*OH*OW, C*K*K]
+    let grad_cols = g.matmul(weight);
+    let grad_input = col2im(&grad_cols, n, h, w, spec);
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// Forward 2-D max pooling over an `[N, C, H, W]` input.
+///
+/// Returns the pooled output `[N, C, OH, OW]` and the flat indices of the winning
+/// elements (needed to route gradients in the backward pass).
+pub fn max_pool2d(input: &Tensor, h: usize, w: usize, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
+    let dims = input.shape().dims();
+    let (n, c) = (dims[0], dims[1]);
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            if iy < h && ix < w {
+                                let i = ((ni * c + ci) * h + iy) * w + ix;
+                                if x[i] > best {
+                                    best = x[i];
+                                    best_i = i;
+                                }
+                            }
+                        }
+                    }
+                    let o = ((ni * c + ci) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    idx[o] = best_i;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, c, oh, ow]), idx)
+}
+
+/// Backward 2-D max pooling: routes each upstream gradient element to the input position
+/// that won the corresponding pooling window.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    winner_indices: &[usize],
+    input_dims: &[usize],
+) -> Tensor {
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.as_mut_slice();
+    for (g, &i) in grad_out.as_slice().iter().zip(winner_indices) {
+        gi[i] += *g;
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(c: usize, oc: usize, k: usize, stride: usize, pad: usize) -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: c,
+            out_channels: oc,
+            kernel: k,
+            stride,
+            padding: pad,
+        }
+    }
+
+    #[test]
+    fn out_size_matches_formula() {
+        let s = spec(3, 8, 3, 1, 1);
+        assert_eq!(s.out_size(32), 32);
+        let s2 = spec(3, 8, 3, 2, 1);
+        assert_eq!(s2.out_size(32), 16);
+        let s3 = spec(3, 8, 5, 1, 0);
+        assert_eq!(s3.out_size(32), 28);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 conv with a single filter of weight 1 must copy the input channel.
+        let s = spec(1, 1, 1, 1, 0);
+        let input = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let (out, _) = conv2d(&input, &weight, &bias, 4, 4, &s);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv_matches_hand_computed_sum_filter() {
+        // 2x2 all-ones filter on a 3x3 input, stride 1, no padding:
+        // each output is the sum of the corresponding 2x2 window.
+        let s = spec(1, 1, 2, 1, 0);
+        let input = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6., 7., 8., 9.], &[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[1, 4]);
+        let bias = Tensor::zeros(&[1]);
+        let (out, _) = conv2d(&input, &weight, &bias, 3, 3, &s);
+        assert_eq!(out.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn bias_is_added_to_every_position() {
+        let s = spec(1, 2, 1, 1, 0);
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let weight = Tensor::zeros(&[2, 1]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]);
+        let (out, _) = conv2d(&input, &weight, &bias, 2, 2, &s);
+        assert_eq!(out.shape().dims(), &[1, 2, 2, 2]);
+        assert_eq!(&out.as_slice()[..4], &[1.5; 4]);
+        assert_eq!(&out.as_slice()[4..], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_sum() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary y: check with a simple case.
+        let s = spec(1, 1, 2, 1, 0);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let cols = im2col(&x, 3, 3, &s);
+        let y = Tensor::ones(&[cols.shape().dim(0), cols.shape().dim(1)]);
+        let lhs: f32 = cols.mul(&y).sum();
+        let back = col2im(&y, 1, 3, 3, &s);
+        let rhs: f32 = x.mul(&back).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn conv_backward_gradient_check() {
+        // Finite-difference check of dLoss/dWeight where Loss = sum(conv(x)).
+        let s = spec(2, 3, 3, 1, 1);
+        let x = crate::uniform_init(&[2, 2, 5, 5], 1.0, 3);
+        let w = crate::uniform_init(&[3, 2 * 3 * 3], 0.5, 4);
+        let b = crate::uniform_init(&[3], 0.5, 5);
+        let (out, cols) = conv2d(&x, &w, &b, 5, 5, &s);
+        let grad_out = Tensor::ones(out.shape().dims());
+        let (_, grad_w, grad_b) = conv2d_backward(&grad_out, &cols, &w, 2, 5, 5, &s);
+
+        let eps = 1e-2f32;
+        // Check a few weight entries.
+        for &i in &[0usize, 7, 20, 53] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let (op, _) = conv2d(&x, &wp, &b, 5, 5, &s);
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let (om, _) = conv2d(&x, &wm, &b, 5, 5, &s);
+            let numeric = (op.sum() - om.sum()) / (2.0 * eps);
+            let analytic = grad_w.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "weight grad mismatch at {i}: numeric={numeric} analytic={analytic}"
+            );
+        }
+        // Bias gradient for a sum loss is the number of output positions per channel.
+        let positions = (2 * 5 * 5) as f32;
+        for &g in grad_b.as_slice() {
+            assert!((g - positions).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_backward_input_gradient_check() {
+        let s = spec(1, 2, 3, 1, 1);
+        let x = crate::uniform_init(&[1, 1, 4, 4], 1.0, 9);
+        let w = crate::uniform_init(&[2, 9], 0.5, 10);
+        let b = Tensor::zeros(&[2]);
+        let (out, cols) = conv2d(&x, &w, &b, 4, 4, &s);
+        let grad_out = Tensor::ones(out.shape().dims());
+        let (grad_x, _, _) = conv2d_backward(&grad_out, &cols, &w, 1, 4, 4, &s);
+        let eps = 1e-2f32;
+        for &i in &[0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let (op, _) = conv2d(&xp, &w, &b, 4, 4, &s);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let (om, _) = conv2d(&xm, &w, &b, 4, 4, &s);
+            let numeric = (op.sum() - om.sum()) / (2.0 * eps);
+            let analytic = grad_x.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "input grad mismatch at {i}: numeric={numeric} analytic={analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_pool_selects_window_maxima() {
+        let p = Pool2dSpec { kernel: 2, stride: 2 };
+        let x = Tensor::from_vec(
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            &[1, 1, 4, 4],
+        );
+        let (out, idx) = max_pool2d(&x, 4, 4, &p);
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(idx, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_winners() {
+        let p = Pool2dSpec { kernel: 2, stride: 2 };
+        let x = Tensor::from_vec(
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            &[1, 1, 4, 4],
+        );
+        let (out, idx) = max_pool2d(&x, 4, 4, &p);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], out.shape().dims());
+        let gi = max_pool2d_backward(&g, &idx, &[1, 1, 4, 4]);
+        assert_eq!(gi.as_slice()[5], 1.0);
+        assert_eq!(gi.as_slice()[7], 2.0);
+        assert_eq!(gi.as_slice()[13], 3.0);
+        assert_eq!(gi.as_slice()[15], 4.0);
+        assert_eq!(gi.sum(), 10.0);
+    }
+
+    #[test]
+    fn weight_count_matches_dims() {
+        assert_eq!(spec(3, 16, 3, 1, 1).weight_count(), 16 * 27);
+    }
+}

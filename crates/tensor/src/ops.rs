@@ -1,0 +1,475 @@
+//! Elementwise, reduction and linear-algebra operations on [`Tensor`].
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Returns the elementwise sum of `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ. Use [`Tensor::try_add`] for a fallible variant.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.try_add(other).expect("add requires equal shapes")
+    }
+
+    /// Returns the elementwise sum of `self` and `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn try_add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Returns the elementwise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "sub", |a, b| a - b)
+            .expect("sub requires equal shapes")
+    }
+
+    /// Returns the elementwise product of `self` and `other` (Hadamard product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "mul", |a, b| a * b)
+            .expect("mul requires equal shapes")
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert!(
+            self.shape().same_as(other.shape()),
+            "add_assign requires equal shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += *b;
+        }
+    }
+
+    /// Adds `scale * other` into `self` in place (axpy).
+    ///
+    /// This is the hot path for SGD updates and gradient aggregation in the parameter
+    /// server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) {
+        assert!(
+            self.shape().same_as(other.shape()),
+            "axpy requires equal shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += scale * *b;
+        }
+    }
+
+    /// Returns `self` scaled by `factor`.
+    pub fn scaled(&self, factor: f32) -> Tensor {
+        self.map(|v| v * factor)
+    }
+
+    /// Scales the tensor in place.
+    pub fn scale_inplace(&mut self, factor: f32) {
+        for v in self.as_mut_slice() {
+            *v *= factor;
+        }
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let data = self.as_slice().iter().map(|&v| f(v)).collect();
+        Tensor::from_vec(data, self.shape().dims())
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: F,
+    ) -> Result<Tensor, TensorError> {
+        if !self.shape().same_as(other.shape()) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+                op,
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor::from_vec(data, self.shape().dims()))
+    }
+
+    /// Returns the sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Returns the arithmetic mean of all elements, or 0.0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Returns the maximum element, or negative infinity for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Returns the index of the maximum element, or `None` for an empty tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_v = self.as_slice()[0];
+        for (i, &v) in self.as_slice().iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        Some(best)
+    }
+
+    /// Returns the squared L2 norm of the tensor.
+    pub fn squared_norm(&self) -> f32 {
+        self.as_slice().iter().map(|&v| v * v).sum()
+    }
+
+    /// Returns the L2 norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.squared_norm().sqrt()
+    }
+
+    /// Clips every element to `[-limit, limit]` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is negative.
+    pub fn clip_inplace(&mut self, limit: f32) {
+        assert!(limit >= 0.0, "clip limit must be non-negative");
+        self.map_inplace(|v| v.clamp(-limit, limit));
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `(m x k) * (k x n) -> (m x n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.shape().rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions must agree: lhs {}x{}, rhs {}x{}",
+            m, k, k2, n
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the inner loop contiguous over both b and out.
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix multiplication with the left operand transposed: `A^T * B`.
+    ///
+    /// `self` is `(k x m)`, `other` is `(k x n)`, the result is `(m x n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension differs.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul_tn lhs must be rank-2");
+        assert_eq!(other.shape().rank(), 2, "matmul_tn rhs must be rank-2");
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_tn shared dimension must agree");
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_pi * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix multiplication with the right operand transposed: `A * B^T`.
+    ///
+    /// `self` is `(m x k)`, `other` is `(n x k)`, the result is `(m x n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension differs.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul_nt lhs must be rank-2");
+        assert_eq!(other.shape().rank(), 2, "matmul_nt rhs must be rank-2");
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_nt shared dimension must agree");
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Returns the transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.as_slice()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Adds a bias row vector to every row of a rank-2 tensor, returning a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 2 or `bias` length differs from the column count.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "add_row_broadcast requires rank-2");
+        let n = self.cols();
+        assert_eq!(bias.len(), n, "bias length must equal column count");
+        let mut out = self.clone();
+        let b = bias.as_slice();
+        for row in out.as_mut_slice().chunks_mut(n) {
+            for (v, &bi) in row.iter_mut().zip(b) {
+                *v += bi;
+            }
+        }
+        out
+    }
+
+    /// Sums a rank-2 tensor over its rows, producing a row vector of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "sum_rows requires rank-2");
+        let n = self.cols();
+        let mut out = vec![0.0f32; n];
+        for row in self.as_slice().chunks(n) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "softmax_rows requires rank-2");
+        let n = self.cols();
+        let mut out = self.clone();
+        for row in out.as_mut_slice().chunks_mut(n) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims)
+    }
+
+    #[test]
+    fn add_sub_mul_elementwise() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn try_add_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let err = a.try_add(&b).unwrap_err();
+        assert!(format!("{err}").contains("shape mismatch"));
+    }
+
+    #[test]
+    fn axpy_accumulates_scaled_values() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let g = t(&[2.0, 4.0], &[2]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed_values() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity_op() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).as_slice(), a.as_slice());
+        assert_eq!(Tensor::eye(2).matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], &[3, 2]);
+        let via_tn = a.matmul_tn(&b);
+        let via_t = a.transposed().matmul(&b);
+        assert_eq!(via_tn, via_t);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transposed());
+        assert_eq!(via_nt, via_t);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = a.transposed();
+        assert_eq!(at.shape().dims(), &[3, 2]);
+        assert_eq!(at.at2(2, 1), a.at2(1, 2));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[4]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.argmax(), Some(3));
+        assert!((a.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_of_empty_is_none() {
+        assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+
+    #[test]
+    fn bias_broadcast_and_row_sum_are_inverse_shapes() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(y.sum_rows().as_slice(), &[24.0, 46.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_orders_preserved() {
+        let x = t(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = x.softmax_rows();
+        for row in s.as_slice().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[2] > row[1] && row[1] > row[0]);
+        }
+    }
+
+    #[test]
+    fn clip_limits_magnitude() {
+        let mut x = t(&[-5.0, 0.5, 5.0], &[3]);
+        x.clip_inplace(1.0);
+        assert_eq!(x.as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the tensor algebra invariants that the training stack and
+//! the parameter server rely on (associativity of aggregation, linearity of axpy, etc.).
+
+use dssp_tensor::Tensor;
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(data_a in vec_f32(24), data_b in vec_f32(24)) {
+        let a = Tensor::from_vec(data_a, &[4, 6]);
+        let b = Tensor::from_vec(data_b, &[4, 6]);
+        prop_assert!(approx_eq(a.add(&b).as_slice(), b.add(&a).as_slice(), 1e-6));
+    }
+
+    #[test]
+    fn add_is_associative_within_tolerance(
+        data_a in vec_f32(16), data_b in vec_f32(16), data_c in vec_f32(16)
+    ) {
+        let a = Tensor::from_vec(data_a, &[16]);
+        let b = Tensor::from_vec(data_b, &[16]);
+        let c = Tensor::from_vec(data_c, &[16]);
+        let left = a.add(&b).add(&c);
+        let right = a.add(&b.add(&c));
+        prop_assert!(approx_eq(left.as_slice(), right.as_slice(), 1e-5));
+    }
+
+    #[test]
+    fn axpy_matches_scaled_add(data_a in vec_f32(12), data_b in vec_f32(12), scale in -5.0f32..5.0) {
+        let a = Tensor::from_vec(data_a, &[12]);
+        let b = Tensor::from_vec(data_b, &[12]);
+        let mut via_axpy = a.clone();
+        via_axpy.axpy(scale, &b);
+        let via_ops = a.add(&b.scaled(scale));
+        prop_assert!(approx_eq(via_axpy.as_slice(), via_ops.as_slice(), 1e-5));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(data in vec_f32(25)) {
+        let a = Tensor::from_vec(data, &[5, 5]);
+        let i = Tensor::eye(5);
+        prop_assert!(approx_eq(a.matmul(&i).as_slice(), a.as_slice(), 1e-6));
+        prop_assert!(approx_eq(i.matmul(&a).as_slice(), a.as_slice(), 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        data_a in vec_f32(6), data_b in vec_f32(12), data_c in vec_f32(12)
+    ) {
+        let a = Tensor::from_vec(data_a, &[2, 3]);
+        let b = Tensor::from_vec(data_b, &[3, 4]);
+        let c = Tensor::from_vec(data_c, &[3, 4]);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(approx_eq(left.as_slice(), right.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_involution(data in vec_f32(21)) {
+        let a = Tensor::from_vec(data, &[3, 7]);
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn matmul_nt_agrees_with_explicit_transpose(data_a in vec_f32(8), data_b in vec_f32(12)) {
+        let a = Tensor::from_vec(data_a, &[2, 4]);
+        let b = Tensor::from_vec(data_b, &[3, 4]);
+        let fused = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transposed());
+        prop_assert!(approx_eq(fused.as_slice(), explicit.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_agrees_with_explicit_transpose(data_a in vec_f32(8), data_b in vec_f32(12)) {
+        let a = Tensor::from_vec(data_a, &[4, 2]);
+        let b = Tensor::from_vec(data_b, &[4, 3]);
+        let fused = a.matmul_tn(&b);
+        let explicit = a.transposed().matmul(&b);
+        prop_assert!(approx_eq(fused.as_slice(), explicit.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(data in vec_f32(30)) {
+        let a = Tensor::from_vec(data, &[5, 6]);
+        let s = a.softmax_rows();
+        for row in s.as_slice().chunks(6) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn norm_is_scale_homogeneous(data in vec_f32(10), scale in -4.0f32..4.0) {
+        let a = Tensor::from_vec(data, &[10]);
+        let scaled_norm = a.scaled(scale).norm();
+        prop_assert!((scaled_norm - scale.abs() * a.norm()).abs() < 1e-2 * (1.0 + scaled_norm));
+    }
+
+    #[test]
+    fn sum_rows_preserves_total(data in vec_f32(20)) {
+        let a = Tensor::from_vec(data, &[4, 5]);
+        prop_assert!((a.sum_rows().sum() - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clip_bounds_all_elements(data in vec_f32(15), limit in 0.0f32..10.0) {
+        let mut a = Tensor::from_vec(data, &[15]);
+        a.clip_inplace(limit);
+        prop_assert!(a.as_slice().iter().all(|&v| v.abs() <= limit + f32::EPSILON));
+    }
+}

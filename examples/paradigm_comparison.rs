@@ -1,0 +1,31 @@
+//! The paper's Figure 3a workflow at a quick scale: the downsized AlexNet on the
+//! CIFAR-10-like task over the homogeneous 4-worker cluster, trained under BSP, ASP,
+//! SSP (s = 3) and DSSP (s_L = 3, r_max = 12).
+//!
+//! ```text
+//! cargo run --release --example paradigm_comparison
+//! ```
+
+use dssp_core::metrics::ThroughputSummary;
+use dssp_core::presets::{alexnet_homogeneous, headline_policies, Scale};
+use dssp_core::report;
+use dssp_sim::Simulation;
+
+fn main() {
+    println!("Downsized AlexNet (FC-heavy) on a 4-worker homogeneous cluster (Figure 3a)\n");
+
+    let mut traces = Vec::new();
+    for policy in headline_policies() {
+        let config = alexnet_homogeneous(policy, Scale::Quick);
+        let trace = Simulation::new(config).run();
+        println!("{}", report::trace_summary_line(&trace));
+        traces.push(trace);
+    }
+
+    println!("\nThroughput and synchronization summary (paper Section V-C):\n");
+    let summaries: Vec<ThroughputSummary> = traces.iter().map(ThroughputSummary::of).collect();
+    print!("{}", report::throughput_markdown(&summaries));
+
+    println!("\nCSV of all accuracy-versus-time curves (plot to reproduce Figure 3a):\n");
+    print!("{}", report::traces_to_csv(&traces));
+}

@@ -1,0 +1,36 @@
+//! The paper's Figure 3b/3d/3f workflow at a quick scale: DSSP with range [3, 15]
+//! against each individual SSP threshold s = 3..=15, plus their average.
+//!
+//! ```text
+//! cargo run --release --example staleness_sweep
+//! ```
+
+use dssp_core::metrics::average_curve;
+use dssp_core::presets::{alexnet_homogeneous, dssp_reference, ssp_sweep, Scale};
+use dssp_core::report;
+use dssp_sim::Simulation;
+
+fn main() {
+    println!("SSP threshold sweep (s = 3..15) vs DSSP [3, 15] on the downsized AlexNet\n");
+
+    let mut ssp_traces = Vec::new();
+    for policy in ssp_sweep() {
+        let trace = Simulation::new(alexnet_homogeneous(policy, Scale::Quick)).run();
+        println!("{}", report::trace_summary_line(&trace));
+        ssp_traces.push(trace);
+    }
+    let dssp = Simulation::new(alexnet_homogeneous(dssp_reference(), Scale::Quick)).run();
+    println!("{}", report::trace_summary_line(&dssp));
+
+    let avg = average_curve(&ssp_traces, 24, "Average SSP s=3 to 15");
+    println!("\nAverage SSP vs DSSP (accuracy at matched times):");
+    println!("{:>10}  {:>12}  {:>12}", "time (s)", "avg SSP", "DSSP");
+    for p in &avg.points {
+        println!(
+            "{:>10.2}  {:>12.3}  {:>12.3}",
+            p.time_s,
+            p.test_accuracy,
+            dssp.accuracy_at_time(p.time_s)
+        );
+    }
+}

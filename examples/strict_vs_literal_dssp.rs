@@ -1,0 +1,47 @@
+//! Literal Algorithm-1 DSSP versus the strict-range variant on the mixed-GPU cluster.
+//!
+//! The paper's Algorithm 1, read literally, lets the synchronization controller grant
+//! the fastest worker extra iterations *every* time it exceeds the lower staleness bound
+//! `s_L`, so on a strongly heterogeneous cluster the fast worker keeps making progress
+//! and DSSP tracks ASP (the Figure 4 / Table I behaviour). A natural alternative reading
+//! caps the cumulative lead at `s_U = s_L + r_max`, which is the range Theorem 2 reasons
+//! about; that variant degenerates towards SSP at the upper bound. This example puts the
+//! two side by side.
+//!
+//! ```text
+//! cargo run --release --example strict_vs_literal_dssp
+//! ```
+
+use dssp_core::presets::{resnet110_heterogeneous, Scale};
+use dssp_ps::PolicyKind;
+use dssp_sim::Simulation;
+
+fn main() {
+    println!("Literal vs strict-range DSSP on the GTX1060 + GTX1080Ti cluster\n");
+    println!(
+        "{:<24} {:>10} {:>12} {:>11} {:>11} {:>10}",
+        "policy", "time (s)", "waiting (s)", "max stale", "mean stale", "best acc"
+    );
+    for policy in [
+        PolicyKind::Dssp { s_l: 3, r_max: 12 },
+        PolicyKind::DsspStrict { s_l: 3, r_max: 12 },
+        PolicyKind::Ssp { s: 15 },
+        PolicyKind::Asp,
+    ] {
+        let trace = Simulation::new(resnet110_heterogeneous(policy, Scale::Quick)).run();
+        println!(
+            "{:<24} {:>10.1} {:>12.1} {:>11} {:>11.2} {:>10.3}",
+            trace.policy,
+            trace.total_time_s,
+            trace.total_waiting_time(),
+            trace.server_stats.staleness_max,
+            trace.server_stats.mean_staleness(),
+            trace.best_accuracy()
+        );
+    }
+    println!(
+        "\nThe literal policy waits far less than the strict variant because the fast \
+         worker keeps receiving fresh credits; its realized staleness exceeds s_U, which \
+         is exactly what lets the paper's DSSP match ASP's time-to-accuracy on mixed GPUs."
+    );
+}

@@ -1,0 +1,128 @@
+//! Failure-injection tests: transient stragglers and unstable workers.
+//!
+//! The paper's future-work section asks how DSSP adapts to an unstable environment
+//! where worker speeds fluctuate. These tests inject transient slowdowns through the
+//! cluster model and check that (a) the synchronization invariants still hold and
+//! (b) DSSP's adaptive threshold reduces the waiting time that a fixed-threshold SSP
+//! suffers under the same disturbance.
+
+use dssp_cluster::{ClusterSpec, DeviceProfile, LinkProfile, SlowdownEvent, WorkerSpec};
+use dssp_core::ExperimentBuilder;
+use dssp_data::SyntheticVectorSpec;
+use dssp_nn::models::ModelSpec;
+use dssp_ps::PolicyKind;
+use dssp_sim::RunTrace;
+
+/// Four equal workers, one of which suffers a 5× slowdown for part of the run.
+fn cluster_with_transient_straggler() -> ClusterSpec {
+    ClusterSpec::homogeneous(
+        4,
+        WorkerSpec::single(DeviceProfile::gtx1080ti()),
+        LinkProfile::infiniband_edr(),
+    )
+    .with_slowdown(SlowdownEvent {
+        worker: 2,
+        start_s: 0.05,
+        duration_s: 0.6,
+        factor: 5.0,
+    })
+}
+
+fn run_with_straggler(policy: PolicyKind) -> RunTrace {
+    ExperimentBuilder::small_mlp()
+        .model(ModelSpec::Mlp {
+            input_dim: 32,
+            hidden: vec![48],
+            classes: 10,
+        })
+        .vector_data(SyntheticVectorSpec {
+            classes: 10,
+            dim: 32,
+            train_size: 1_200,
+            test_size: 200,
+            noise_std: 0.8,
+        })
+        .cluster(cluster_with_transient_straggler())
+        .policy(policy)
+        .epochs(3)
+        .run()
+}
+
+#[test]
+fn staleness_bounds_hold_under_a_transient_straggler() {
+    let ssp = run_with_straggler(PolicyKind::Ssp { s: 3 });
+    assert!(ssp.server_stats.staleness_max <= 4);
+
+    // Strict-range DSSP promises a hard cap at s_U; the literal Algorithm-1 variant may
+    // exceed it when the controller keeps granting extra iterations, but each individual
+    // grant is still bounded by r_max.
+    let dssp = run_with_straggler(PolicyKind::DsspStrict { s_l: 3, r_max: 12 });
+    assert!(dssp.server_stats.staleness_max <= 3 + 12 + 1);
+
+    let bsp = run_with_straggler(PolicyKind::Bsp);
+    assert!(bsp.server_stats.staleness_max <= 1);
+}
+
+#[test]
+fn every_worker_still_finishes_its_epochs_despite_the_straggler() {
+    for policy in [
+        PolicyKind::Bsp,
+        PolicyKind::Asp,
+        PolicyKind::Ssp { s: 3 },
+        PolicyKind::Dssp { s_l: 3, r_max: 12 },
+    ] {
+        let trace = run_with_straggler(policy);
+        let expected_per_worker = trace.total_pushes / trace.workers as u64;
+        for w in &trace.worker_summaries {
+            assert_eq!(
+                w.iterations, expected_per_worker,
+                "{}: worker {} did {} of {} iterations",
+                trace.policy, w.worker, w.iterations, expected_per_worker
+            );
+        }
+    }
+}
+
+#[test]
+fn dssp_adapts_to_the_disturbance_better_than_fixed_ssp() {
+    let ssp = run_with_straggler(PolicyKind::Ssp { s: 3 });
+    let dssp = run_with_straggler(PolicyKind::Dssp { s_l: 3, r_max: 12 });
+    assert!(
+        dssp.total_waiting_time() <= ssp.total_waiting_time(),
+        "DSSP waiting {} should not exceed SSP waiting {} under a transient straggler",
+        dssp.total_waiting_time(),
+        ssp.total_waiting_time()
+    );
+    // The run should still learn something despite the disturbance.
+    assert!(dssp.best_accuracy() > 0.3);
+}
+
+#[test]
+fn a_permanently_degraded_worker_does_not_stall_asp_or_dssp() {
+    let cluster = ClusterSpec::homogeneous(
+        3,
+        WorkerSpec::single(DeviceProfile::gtx1060()),
+        LinkProfile::ethernet_10g(),
+    )
+    .with_slowdown(SlowdownEvent {
+        worker: 0,
+        start_s: 0.0,
+        duration_s: f64::MAX,
+        factor: 8.0,
+    });
+    for policy in [PolicyKind::Asp, PolicyKind::Dssp { s_l: 3, r_max: 12 }] {
+        let trace = ExperimentBuilder::small_mlp()
+            .cluster(cluster.clone())
+            .policy(policy)
+            .epochs(2)
+            .run();
+        assert!(trace.total_pushes > 0);
+        let healthy_iters: u64 = trace
+            .worker_summaries
+            .iter()
+            .filter(|w| w.worker != 0)
+            .map(|w| w.iterations)
+            .sum();
+        assert!(healthy_iters > 0, "{}: healthy workers made no progress", trace.policy);
+    }
+}

@@ -1,0 +1,157 @@
+//! Behavioural tests of the four paradigms on the paper's workload presets (quick
+//! scale): the qualitative relationships the paper reports must hold in the simulator.
+
+use dssp_core::metrics::average_curve;
+use dssp_core::presets::{
+    alexnet_homogeneous, dssp_reference, resnet110_heterogeneous, resnet50_homogeneous, Scale,
+};
+use dssp_ps::PolicyKind;
+use dssp_sim::{RunTrace, Simulation};
+
+fn run(config: dssp_sim::SimConfig) -> RunTrace {
+    Simulation::new(config).run()
+}
+
+#[test]
+fn fc_heavy_model_bsp_is_slower_than_asynchronous_paradigms() {
+    // Paper Section V-C: for DNNs with fully connected layers, DSSP/SSP/ASP take less
+    // training time than BSP (the iteration throughput ordering ASP >= DSSP >= SSP > BSP).
+    let bsp = run(alexnet_homogeneous(PolicyKind::Bsp, Scale::Quick));
+    let asp = run(alexnet_homogeneous(PolicyKind::Asp, Scale::Quick));
+    let dssp = run(alexnet_homogeneous(dssp_reference(), Scale::Quick));
+    assert!(
+        bsp.total_time_s > asp.total_time_s,
+        "BSP {} should take longer than ASP {}",
+        bsp.total_time_s,
+        asp.total_time_s
+    );
+    assert!(
+        bsp.total_time_s > dssp.total_time_s,
+        "BSP {} should take longer than DSSP {}",
+        bsp.total_time_s,
+        dssp.total_time_s
+    );
+    assert!(asp.iteration_throughput() >= dssp.iteration_throughput());
+}
+
+#[test]
+fn conv_only_model_paradigm_times_are_much_closer() {
+    // Paper Section V-C: for pure convolutional models the compute/communication ratio
+    // is large, so the asynchronous paradigms save much less wall-clock time relative to
+    // BSP than they do on the FC-heavy model.
+    let bsp_alex = run(alexnet_homogeneous(PolicyKind::Bsp, Scale::Quick));
+    let asp_alex = run(alexnet_homogeneous(PolicyKind::Asp, Scale::Quick));
+    let bsp_res = run(resnet50_homogeneous(PolicyKind::Bsp, Scale::Quick));
+    let asp_res = run(resnet50_homogeneous(PolicyKind::Asp, Scale::Quick));
+    let alex_speedup = bsp_alex.total_time_s / asp_alex.total_time_s;
+    let res_speedup = bsp_res.total_time_s / asp_res.total_time_s;
+    assert!(
+        alex_speedup > res_speedup,
+        "ASP's advantage over BSP should be larger for the FC-heavy model \
+         (alexnet speedup {alex_speedup:.3} vs resnet speedup {res_speedup:.3})"
+    );
+}
+
+#[test]
+fn dssp_reduces_waiting_time_compared_to_ssp_at_the_lower_bound() {
+    // The DSSP design goal: relax the fastest worker's waiting at the s_L boundary.
+    let ssp = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 3 }, Scale::Quick));
+    let dssp = run(resnet110_heterogeneous(dssp_reference(), Scale::Quick));
+    assert!(
+        dssp.total_waiting_time() < ssp.total_waiting_time(),
+        "DSSP waiting {} should be below SSP(s=3) waiting {}",
+        dssp.total_waiting_time(),
+        ssp.total_waiting_time()
+    );
+    assert!(
+        dssp.server_stats.blocked_pushes <= ssp.server_stats.blocked_pushes,
+        "DSSP should block no more pushes than SSP at its lower bound"
+    );
+}
+
+#[test]
+fn dssp_makes_faster_update_progress_than_bsp_and_ssp_on_the_mixed_cluster() {
+    // Figure 4 / Table I mechanism: on the mixed-GPU cluster the fast GTX 1080 Ti worker
+    // keeps contributing updates under DSSP instead of idling at BSP's barrier or SSP's
+    // fixed threshold, so by any given wall-clock point DSSP has applied at least as many
+    // updates — which is what lets it reach the target accuracy earlier at full scale
+    // (the full-scale accuracy reproduction is recorded in EXPERIMENTS.md / `repro fig4`).
+    let bsp = run(resnet110_heterogeneous(PolicyKind::Bsp, Scale::Quick));
+    let ssp3 = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 3 }, Scale::Quick));
+    let asp = run(resnet110_heterogeneous(PolicyKind::Asp, Scale::Quick));
+    let dssp = run(resnet110_heterogeneous(dssp_reference(), Scale::Quick));
+
+    // Update progress by the halfway point of the (common) fixed-epoch makespan.
+    let mid = 0.5 * bsp.total_time_s;
+    let p_bsp = bsp.pushes_at_time(mid);
+    let p_ssp = ssp3.pushes_at_time(mid);
+    let p_dssp = dssp.pushes_at_time(mid);
+    let p_asp = asp.pushes_at_time(mid);
+    assert!(
+        p_dssp >= p_ssp && p_ssp >= p_bsp,
+        "mid-run update progress should be ordered DSSP ({p_dssp}) >= SSP s=3 ({p_ssp}) >= BSP ({p_bsp})"
+    );
+    assert!(
+        p_dssp > p_bsp,
+        "DSSP ({p_dssp}) must be strictly ahead of BSP ({p_bsp}) at the halfway point"
+    );
+    // DSSP tracks ASP's unhindered progress closely (the paper's Figure 4 finding that
+    // DSSP is "close to ASP" on the mixed cluster).
+    assert!(
+        p_dssp as f64 >= 0.8 * p_asp as f64,
+        "DSSP progress ({p_dssp}) should be close to ASP's ({p_asp})"
+    );
+
+    // The mechanism behind the progress gap: DSSP removes nearly all waiting.
+    assert!(dssp.total_waiting_time() < bsp.total_waiting_time());
+    assert!(dssp.total_waiting_time() <= ssp3.total_waiting_time());
+
+    // Makespan sanity: the fixed-epoch workload is bounded by the slow worker, so DSSP
+    // can never take longer than BSP overall.
+    assert!(dssp.total_time_s <= bsp.total_time_s * 1.01);
+}
+
+#[test]
+fn staleness_grows_with_the_ssp_threshold() {
+    // Larger thresholds admit staler updates (the paper's theoretical trade-off).
+    let s3 = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 3 }, Scale::Quick));
+    let s15 = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 15 }, Scale::Quick));
+    assert!(s15.server_stats.staleness_max >= s3.server_stats.staleness_max);
+    assert!(s15.server_stats.mean_staleness() >= s3.server_stats.mean_staleness());
+    assert!(s3.server_stats.staleness_max <= 4);
+}
+
+#[test]
+fn dssp_tracks_the_average_ssp_curve_without_a_tuned_threshold() {
+    // Figure 3b's message: DSSP (given only the range) performs at least on par with the
+    // averaged SSP over thresholds 3..15 — the user did not have to find the best s.
+    let sweep: Vec<RunTrace> = [3u64, 7, 11, 15]
+        .iter()
+        .map(|&s| run(alexnet_homogeneous(PolicyKind::Ssp { s }, Scale::Quick)))
+        .collect();
+    let avg = average_curve(&sweep, 16, "Average SSP");
+    let dssp = run(alexnet_homogeneous(dssp_reference(), Scale::Quick));
+    // Compare final accuracy with a small tolerance: DSSP should not be meaningfully
+    // worse than the average of the fixed thresholds.
+    assert!(
+        dssp.best_accuracy() >= avg.final_accuracy() - 0.05,
+        "DSSP best {} should be within 0.05 of averaged SSP final {}",
+        dssp.best_accuracy(),
+        avg.final_accuracy()
+    );
+}
+
+#[test]
+fn bsp_keeps_workers_in_lockstep_on_every_preset() {
+    for config in [
+        alexnet_homogeneous(PolicyKind::Bsp, Scale::Quick),
+        resnet110_heterogeneous(PolicyKind::Bsp, Scale::Quick),
+    ] {
+        let trace = run(config);
+        assert!(
+            trace.server_stats.staleness_max <= 1,
+            "BSP must keep the clock spread at or below 1, got {}",
+            trace.server_stats.staleness_max
+        );
+    }
+}
