@@ -33,14 +33,22 @@ fn bench_controller_decision(c: &mut Criterion) {
 fn bench_controller_worker_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller_vs_workers");
     for &workers in &[2usize, 4, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
-            let t = tracker(workers);
-            let mut controller = SyncController::new(workers, 12);
-            b.iter(|| black_box(controller.decide(black_box(0), black_box(workers - 1), &t)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let t = tracker(workers);
+                let mut controller = SyncController::new(workers, 12);
+                b.iter(|| black_box(controller.decide(black_box(0), black_box(workers - 1), &t)));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_controller_decision, bench_controller_worker_count);
+criterion_group!(
+    benches,
+    bench_controller_decision,
+    bench_controller_worker_count
+);
 criterion_main!(benches);

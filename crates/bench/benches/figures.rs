@@ -14,7 +14,12 @@ use std::hint::black_box;
 fn bench_fig3a_paradigms(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3a_alexnet_homogeneous");
     group.sample_size(10);
-    for policy in [PolicyKind::Bsp, PolicyKind::Asp, PolicyKind::Ssp { s: 3 }, dssp_reference()] {
+    for policy in [
+        PolicyKind::Bsp,
+        PolicyKind::Asp,
+        PolicyKind::Ssp { s: 3 },
+        dssp_reference(),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label().replace(' ', "_")),
             &policy,

@@ -52,7 +52,9 @@ fn bench_push_per_policy(c: &mut Criterion) {
 
 fn bench_pull(c: &mut Criterion) {
     let server = make_server(PolicyKind::Asp);
-    c.bench_function("server_pull_100k_params", |b| b.iter(|| black_box(server.pull())));
+    c.bench_function("server_pull_100k_params", |b| {
+        b.iter(|| black_box(server.pull()))
+    });
 }
 
 criterion_group!(benches, bench_push_per_policy, bench_pull);

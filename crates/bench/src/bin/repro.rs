@@ -19,8 +19,16 @@ fn main() {
     } else {
         Scale::Quick
     };
-    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    let selected = if targets.is_empty() { vec!["all"] } else { targets };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let selected = if targets.is_empty() {
+        vec!["all"]
+    } else {
+        targets
+    };
 
     for target in selected {
         match target {

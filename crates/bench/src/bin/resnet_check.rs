@@ -23,7 +23,9 @@ fn main() {
     let epochs = arg(3, 0.0) as usize;
     let blocks = arg(4, 4.0) as usize;
 
-    println!("ResNet analogue ({blocks} blocks), homogeneous cluster, lr={lr}, momentum={momentum}");
+    println!(
+        "ResNet analogue ({blocks} blocks), homogeneous cluster, lr={lr}, momentum={momentum}"
+    );
     let mut traces = Vec::new();
     for policy in [PolicyKind::Bsp, PolicyKind::Asp, dssp_reference()] {
         let mut config = if blocks >= 9 {

@@ -24,7 +24,10 @@ pub fn run(config: SimConfig) -> RunTrace {
 }
 
 /// Runs one configuration per policy, holding everything else fixed.
-pub fn run_policies(base: impl Fn(PolicyKind) -> SimConfig, policies: &[PolicyKind]) -> Vec<RunTrace> {
+pub fn run_policies(
+    base: impl Fn(PolicyKind) -> SimConfig,
+    policies: &[PolicyKind],
+) -> Vec<RunTrace> {
     policies.iter().map(|&p| run(base(p))).collect()
 }
 
@@ -72,7 +75,11 @@ pub fn fig1() -> String {
         32,
         7,
     );
-    let _ = writeln!(out, "{:>8} {:>10} {:>14} {:>14} {:>14}", "worker", "iteration", "compute (s)", "comm (s)", "interval (s)");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>14} {:>14} {:>14}",
+        "worker", "iteration", "compute (s)", "comm (s)", "interval (s)"
+    );
     for worker in 0..cluster.num_workers() {
         let mut now = 0.0;
         for iteration in 0..6 {
@@ -105,7 +112,11 @@ pub fn fig2() -> String {
     tracker.record_push(1, 10.0); // slow worker: interval 4 s
     let mut controller = SyncController::new(2, 8);
     let decision = controller.decide(0, 1, &tracker);
-    let _ = writeln!(out, "{:>4} {:>18} {:>22} {:>16}", "r", "fast stops at (s)", "nearest slow push (s)", "predicted wait (s)");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>18} {:>22} {:>16}",
+        "r", "fast stops at (s)", "nearest slow push (s)", "predicted wait (s)"
+    );
     for (r, &fast_t) in decision.fast_timeline.iter().enumerate() {
         let (nearest, wait) = decision
             .slow_timeline
@@ -113,8 +124,15 @@ pub fn fig2() -> String {
             .map(|&s| (s, (s - fast_t).abs()))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
-        let marker = if r as u64 == decision.extra_iterations { "  <= r*" } else { "" };
-        let _ = writeln!(out, "{r:>4} {fast_t:>18.2} {nearest:>22.2} {wait:>16.2}{marker}");
+        let marker = if r as u64 == decision.extra_iterations {
+            "  <= r*"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{r:>4} {fast_t:>18.2} {nearest:>22.2} {wait:>16.2}{marker}"
+        );
     }
     let _ = writeln!(
         out,
@@ -185,9 +203,8 @@ fn fig4_traces(scale: Scale) -> Vec<RunTrace> {
 
 /// Figure 4: accuracy versus time on the heterogeneous GTX 1060 + GTX 1080 Ti cluster.
 pub fn fig4(scale: Scale) -> String {
-    let mut out = String::from(
-        "Figure 4 — ResNet-110 analogue on the mixed GTX1060 + GTX1080Ti cluster\n\n",
-    );
+    let mut out =
+        String::from("Figure 4 — ResNet-110 analogue on the mixed GTX1060 + GTX1080Ti cluster\n\n");
     let traces = fig4_traces(scale);
     for t in &traces {
         let _ = writeln!(out, "{}", report::trace_summary_line(t));
@@ -217,7 +234,11 @@ pub fn table1(scale: Scale) -> String {
         targets[0], targets[1], bsp_best
     );
     let table = time_to_accuracy_table(&traces, &targets);
-    let _ = writeln!(out, "{}", report::time_to_accuracy_markdown(&table, &targets));
+    let _ = writeln!(
+        out,
+        "{}",
+        report::time_to_accuracy_markdown(&table, &targets)
+    );
     out
 }
 
@@ -228,7 +249,8 @@ pub fn throughput(scale: Scale) -> String {
     for (name, base) in [
         (
             "downsized AlexNet (with FC layers)",
-            Box::new(move |p| alexnet_homogeneous(p, scale)) as Box<dyn Fn(PolicyKind) -> SimConfig>,
+            Box::new(move |p| alexnet_homogeneous(p, scale))
+                as Box<dyn Fn(PolicyKind) -> SimConfig>,
         ),
         (
             "ResNet-110 analogue (no FC layers)",
@@ -276,14 +298,18 @@ pub fn theory() -> String {
 /// Ablation (DESIGN.md §6): DSSP controller look-ahead `r_max` on the heterogeneous
 /// cluster. `r_max = 0` degenerates to SSP at the lower bound.
 pub fn ablation_rmax(scale: Scale) -> String {
-    let mut out = String::from("Ablation — DSSP controller look-ahead r_max (heterogeneous cluster)\n\n");
+    let mut out =
+        String::from("Ablation — DSSP controller look-ahead r_max (heterogeneous cluster)\n\n");
     let _ = writeln!(
         out,
         "{:>8} {:>14} {:>16} {:>14} {:>14}",
         "r_max", "total time(s)", "waiting time(s)", "mean stale", "best acc"
     );
     for r_max in [0u64, 2, 4, 8, 12] {
-        let trace = run(resnet110_heterogeneous(PolicyKind::Dssp { s_l: 3, r_max }, scale));
+        let trace = run(resnet110_heterogeneous(
+            PolicyKind::Dssp { s_l: 3, r_max },
+            scale,
+        ));
         let _ = writeln!(
             out,
             "{:>8} {:>14.1} {:>16.1} {:>14.2} {:>14.3}",
@@ -345,15 +371,18 @@ pub fn ablation_strict(scale: Scale) -> String {
 /// the granted number of extra iterations.
 pub fn ablation_estimator() -> String {
     use dssp_ps::IntervalEstimator;
-    let mut out = String::from(
-        "Ablation — controller interval estimator on a jittery two-worker stream\n\n",
-    );
+    let mut out =
+        String::from("Ablation — controller interval estimator on a jittery two-worker stream\n\n");
     let estimators = [
         ("last-interval (paper)", IntervalEstimator::LastInterval),
         ("EWMA alpha=0.5", IntervalEstimator::Ewma { alpha: 0.5 }),
         ("EWMA alpha=0.2", IntervalEstimator::Ewma { alpha: 0.2 }),
     ];
-    let _ = writeln!(out, "{:<24} {:>18} {:>16}", "estimator", "mean |wait error|", "mean r*");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>18} {:>16}",
+        "estimator", "mean |wait error|", "mean r*"
+    );
     for (label, estimator) in estimators {
         let mut controller = dssp_ps::SyncController::with_estimator(2, 8, estimator);
         let mut tracker = IntervalTracker::new(2);
@@ -399,7 +428,8 @@ pub fn ablation_estimator() -> String {
 pub fn ablation_aggregation() -> String {
     use dssp_nn::{LrSchedule, Sgd, SgdConfig};
     use dssp_ps::{AggregationMode, ParameterServer, ServerConfig};
-    let mut out = String::from("Ablation — server aggregation granularity (4 workers, ASP schedule)\n\n");
+    let mut out =
+        String::from("Ablation — server aggregation granularity (4 workers, ASP schedule)\n\n");
     let _ = writeln!(
         out,
         "{:<16} {:>16} {:>18} {:>18}",
@@ -427,7 +457,11 @@ pub fn ablation_aggregation() -> String {
         let mut steps = 0u64;
         for round in 0..64u64 {
             for worker in 0..4usize {
-                let sign = if (round as usize + worker) % 2 == 0 { 1.0 } else { -1.0 };
+                let sign = if (round as usize + worker) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let magnitude = 1.0 + worker as f32;
                 server.handle_push(worker, &[sign * magnitude], round as f64);
                 let w = server.weights()[0];
@@ -439,7 +473,11 @@ pub fn ablation_aggregation() -> String {
             }
         }
         server.flush_aggregation();
-        let variance = if steps == 0 { 0.0 } else { squared_steps / steps as f64 };
+        let variance = if steps == 0 {
+            0.0
+        } else {
+            squared_steps / steps as f64
+        };
         let _ = writeln!(
             out,
             "{:<16} {:>16} {:>18.4} {:>18.5}",
@@ -472,7 +510,12 @@ mod tests {
     fn fig1_lists_both_workers() {
         let text = fig1();
         assert!(text.contains("compute (s)"));
-        assert!(text.lines().filter(|l| l.trim_start().starts_with('0')).count() >= 6);
+        assert!(
+            text.lines()
+                .filter(|l| l.trim_start().starts_with('0'))
+                .count()
+                >= 6
+        );
     }
 
     #[test]

@@ -193,7 +193,10 @@ impl ClusterSpec {
 
     /// Adds an injected slowdown, returning `self` for chaining.
     pub fn with_slowdown(mut self, event: SlowdownEvent) -> Self {
-        assert!(event.worker < self.workers.len(), "slowdown targets unknown worker");
+        assert!(
+            event.worker < self.workers.len(),
+            "slowdown targets unknown worker"
+        );
         self.slowdowns.push(event);
         self
     }
@@ -227,7 +230,12 @@ impl ClusterSpec {
     /// # Panics
     ///
     /// Panics if the worker index is out of range.
-    pub fn iteration_cost(&self, worker: usize, cost: &CostProfile, batch_size: usize) -> IterationCost {
+    pub fn iteration_cost(
+        &self,
+        worker: usize,
+        cost: &CostProfile,
+        batch_size: usize,
+    ) -> IterationCost {
         let spec = &self.workers[worker];
         let compute_s = cost.flops_per_batch(batch_size) as f64 / spec.effective_flops_per_sec();
         // Push the gradients up and pull the new weights down, each one model's worth.

@@ -89,7 +89,10 @@ mod tests {
         assert!(p100.flops_per_sec > ti.flops_per_sec);
         assert!(ti.flops_per_sec > gtx.flops_per_sec);
         let ratio = ti.flops_per_sec / gtx.flops_per_sec;
-        assert!((1.5..2.5).contains(&ratio), "1080Ti/1060 ratio {ratio} out of range");
+        assert!(
+            (1.5..2.5).contains(&ratio),
+            "1080Ti/1060 ratio {ratio} out of range"
+        );
     }
 
     #[test]

@@ -78,7 +78,8 @@ impl TimeModel {
 
     /// The deterministic iteration cost of `worker` (no jitter, no slowdowns).
     pub fn nominal_cost(&self, worker: usize) -> IterationCost {
-        self.cluster.iteration_cost(worker, &self.cost, self.batch_size)
+        self.cluster
+            .iteration_cost(worker, &self.cost, self.batch_size)
     }
 
     /// Seconds needed to move one model's worth of parameters (or gradients) one way
@@ -135,10 +136,16 @@ mod tests {
 
     #[test]
     fn iteration_cost_helpers() {
-        let c = IterationCost { compute_s: 2.0, comm_s: 0.5 };
+        let c = IterationCost {
+            compute_s: 2.0,
+            comm_s: 0.5,
+        };
         assert!((c.total() - 2.5).abs() < 1e-12);
         assert!((c.compute_comm_ratio() - 4.0).abs() < 1e-12);
-        let free = IterationCost { compute_s: 1.0, comm_s: 0.0 };
+        let free = IterationCost {
+            compute_s: 1.0,
+            comm_s: 0.0,
+        };
         assert!(free.compute_comm_ratio().is_infinite());
     }
 

@@ -156,7 +156,9 @@ impl ExperimentBuilder {
 
     /// Builds the experiment without running it.
     pub fn build(self) -> Experiment {
-        Experiment { config: self.config }
+        Experiment {
+            config: self.config,
+        }
     }
 
     /// Builds and runs the experiment.
@@ -199,6 +201,10 @@ mod tests {
     #[test]
     fn run_produces_non_trivial_accuracy() {
         let trace = ExperimentBuilder::small_mlp().epochs(2).run();
-        assert!(trace.final_accuracy() > 0.2, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.2,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
     }
 }

@@ -28,6 +28,8 @@
 //! assert!(trace.total_pushes > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod experiment;
 pub mod metrics;
 pub mod presets;

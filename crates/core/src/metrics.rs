@@ -36,14 +36,14 @@ pub fn time_to_accuracy_table(traces: &[RunTrace], targets: &[f64]) -> Vec<TimeT
 pub fn average_curve(traces: &[RunTrace], samples: usize, label: impl Into<String>) -> RunTrace {
     assert!(!traces.is_empty(), "cannot average zero traces");
     assert!(samples > 0, "need at least one sample point");
-    let max_time = traces
-        .iter()
-        .map(|t| t.total_time_s)
-        .fold(0.0f64, f64::max);
+    let max_time = traces.iter().map(|t| t.total_time_s).fold(0.0f64, f64::max);
     let points: Vec<TracePoint> = (1..=samples)
         .map(|i| {
             let time_s = max_time * i as f64 / samples as f64;
-            let mean_acc = traces.iter().map(|t| t.accuracy_at_time(time_s)).sum::<f64>()
+            let mean_acc = traces
+                .iter()
+                .map(|t| t.accuracy_at_time(time_s))
+                .sum::<f64>()
                 / traces.len() as f64;
             let mean_pushes = (traces
                 .iter()
@@ -184,7 +184,10 @@ mod tests {
         let avg = average_curve(&traces, 4, "avg");
         assert_eq!(avg.policy, "avg");
         let final_acc = avg.final_accuracy();
-        assert!((final_acc - 0.6).abs() < 1e-9, "avg of 0.4 and 0.8 is 0.6, got {final_acc}");
+        assert!(
+            (final_acc - 0.6).abs() < 1e-9,
+            "avg of 0.4 and 0.8 is 0.6, got {final_acc}"
+        );
         // Every averaged point lies between the per-trace extremes at that time.
         for p in &avg.points {
             assert!(p.test_accuracy <= 0.8 && p.test_accuracy >= 0.0);

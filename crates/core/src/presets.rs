@@ -96,7 +96,12 @@ pub fn ssp_sweep() -> Vec<PolicyKind> {
 /// The four headline paradigms compared in Figures 3a/3c/3e (SSP represented by its
 /// lower-bound threshold; the averaged-SSP curve is produced by [`ssp_sweep`]).
 pub fn headline_policies() -> Vec<PolicyKind> {
-    vec![PolicyKind::Bsp, PolicyKind::Asp, PolicyKind::Ssp { s: 3 }, dssp_reference()]
+    vec![
+        PolicyKind::Bsp,
+        PolicyKind::Asp,
+        PolicyKind::Ssp { s: 3 },
+        dssp_reference(),
+    ]
 }
 
 /// The number of classes used for the CIFAR-10-like task.
@@ -237,8 +242,12 @@ mod tests {
         // conv model — that is the entire premise of the paper's Section V-C analysis.
         // The presets encode this through the paper-architecture cost overrides that
         // drive the cluster time model.
-        let a_cost = alexnet.cost_override.expect("alexnet preset sets a cost override");
-        let r_cost = resnet.cost_override.expect("resnet preset sets a cost override");
+        let a_cost = alexnet
+            .cost_override
+            .expect("alexnet preset sets a cost override");
+        let r_cost = resnet
+            .cost_override
+            .expect("resnet preset sets a cost override");
         assert!(
             a_cost.param_count > r_cost.param_count,
             "alexnet params {} should exceed resnet params {}",
@@ -260,8 +269,12 @@ mod tests {
 
     #[test]
     fn resnet110_is_deeper_than_resnet50() {
-        let r50 = resnet50_homogeneous(PolicyKind::Bsp, Scale::Quick).model.build(0);
-        let r110 = resnet110_homogeneous(PolicyKind::Bsp, Scale::Quick).model.build(0);
+        let r50 = resnet50_homogeneous(PolicyKind::Bsp, Scale::Quick)
+            .model
+            .build(0);
+        let r110 = resnet110_homogeneous(PolicyKind::Bsp, Scale::Quick)
+            .model
+            .build(0);
         assert!(r110.flops_per_example() > 2 * r50.flops_per_example());
     }
 

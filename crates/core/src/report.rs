@@ -16,7 +16,13 @@ pub fn traces_to_csv(traces: &[RunTrace]) -> String {
             let _ = writeln!(
                 out,
                 "{},{},{:.6},{},{},{:.4},{:.4}",
-                trace.policy, trace.model, p.time_s, p.pushes, p.epoch, p.test_accuracy, p.train_loss
+                trace.policy,
+                trace.model,
+                p.time_s,
+                p.pushes,
+                p.epoch,
+                p.test_accuracy,
+                p.train_loss
             );
         }
     }
@@ -63,7 +69,12 @@ pub fn throughput_markdown(summaries: &[ThroughputSummary]) -> String {
         let _ = writeln!(
             out,
             "| {} | {:.1} | {:.1} | {:.1} | {:.2} | {:.3} |",
-            s.policy, s.pushes_per_second, s.total_time_s, s.waiting_time_s, s.mean_staleness, s.best_accuracy
+            s.policy,
+            s.pushes_per_second,
+            s.total_time_s,
+            s.waiting_time_s,
+            s.mean_staleness,
+            s.best_accuracy
         );
     }
     out

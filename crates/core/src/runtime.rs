@@ -13,10 +13,10 @@
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use dssp_data::BatchIter;
+use dssp_nn::models::ModelSpec;
 use dssp_nn::{accuracy, Model, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy};
 use dssp_ps::{ParameterServer, PolicyKind, ServerConfig, ServerStats};
 use dssp_sim::{DataSpec, RunTrace, TracePoint, WorkerSummary};
-use dssp_nn::models::ModelSpec;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -78,6 +78,7 @@ impl ThreadedConfig {
     }
 }
 
+#[derive(Debug)]
 enum WorkerMsg {
     Push {
         worker: usize,
@@ -131,7 +132,11 @@ pub fn run_threaded(config: ThreadedConfig) -> RunTrace {
         let (ok_tx, ok_rx): (Sender<Vec<f32>>, Receiver<Vec<f32>>) = unbounded();
         ok_txs.push(ok_tx);
         let target = (config.epochs as u64) * (shard.len().div_ceil(config.batch_size) as u64);
-        let batches = BatchIter::new(shard, config.batch_size, config.seed.wrapping_add(w as u64 + 1));
+        let batches = BatchIter::new(
+            shard,
+            config.batch_size,
+            config.seed.wrapping_add(w as u64 + 1),
+        );
         let model = config.model.build(config.seed);
         let delay = config
             .extra_compute_delay_ms
@@ -208,7 +213,10 @@ pub fn run_threaded(config: ThreadedConfig) -> RunTrace {
         points,
         total_time_s: final_time,
         total_pushes: server.version(),
-        worker_summaries: summaries.into_iter().map(|s| s.expect("summary recorded")).collect(),
+        worker_summaries: summaries
+            .into_iter()
+            .map(|s| s.expect("summary recorded"))
+            .collect(),
         server_stats: stats,
     }
 }
@@ -238,7 +246,8 @@ fn worker_loop(
         model.zero_grads();
         model.backward(&grad_logits);
         let grads = model.grads_flat();
-        tx.send(WorkerMsg::Push { worker, grads }).expect("server hung up");
+        tx.send(WorkerMsg::Push { worker, grads })
+            .expect("server hung up");
         if iter + 1 < target {
             let wait_start = Instant::now();
             weights = ok_rx.recv().expect("server hung up before sending OK");
@@ -281,7 +290,11 @@ mod tests {
         let trace = run_threaded(ThreadedConfig::small(PolicyKind::Bsp));
         assert_eq!(trace.workers, 2);
         assert!(trace.total_pushes > 0);
-        assert!(trace.final_accuracy() > 0.3, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.3,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
         // Every worker completed all of its iterations.
         let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
         assert_eq!(per_worker, trace.total_pushes);
@@ -307,7 +320,10 @@ mod tests {
         assert!(trace.total_pushes > 0);
         let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
         assert_eq!(per_worker, trace.total_pushes);
-        assert_eq!(trace.server_stats.blocked_pushes, trace.server_stats.releases);
+        assert_eq!(
+            trace.server_stats.blocked_pushes,
+            trace.server_stats.releases
+        );
     }
 
     #[test]

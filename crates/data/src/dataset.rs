@@ -1,6 +1,8 @@
 //! In-memory datasets, train/test splits and per-worker shards.
 
-use crate::synthetic::{generate_images, generate_vectors, RawExamples, SyntheticImageSpec, SyntheticVectorSpec};
+use crate::synthetic::{
+    generate_images, generate_vectors, RawExamples, SyntheticImageSpec, SyntheticVectorSpec,
+};
 use dssp_tensor::Tensor;
 
 /// Which portion of a dataset an operation refers to.
@@ -264,7 +266,11 @@ mod tests {
             for i in 0..shard.len() {
                 seen[shard.label(i)] = true;
             }
-            assert!(seen.iter().all(|&s| s), "worker {} missing a class", shard.worker());
+            assert!(
+                seen.iter().all(|&s| s),
+                "worker {} missing a class",
+                shard.worker()
+            );
         }
     }
 

@@ -167,11 +167,11 @@ fn smooth_field(rng: &mut ChaCha8Rng, side: usize, scale: f32) -> Vec<f32> {
         let comps: Vec<(f32, f32, f32, f32, f32)> = (0..4)
             .map(|_| {
                 (
-                    rng.gen_range(0.3..1.8),               // fx
-                    rng.gen_range(0.3..1.8),               // fy
+                    rng.gen_range(0.3..1.8),                   // fx
+                    rng.gen_range(0.3..1.8),                   // fy
                     rng.gen_range(0.0..std::f32::consts::TAU), // phase
-                    rng.gen_range(-1.0..1.0),              // amplitude
-                    rng.gen_range(-0.3..0.3),              // offset
+                    rng.gen_range(-1.0..1.0),                  // amplitude
+                    rng.gen_range(-0.3..0.3),                  // offset
                 )
             })
             .collect();
@@ -201,7 +201,12 @@ pub(crate) struct RawExamples {
     pub classes: usize,
 }
 
-pub(crate) fn generate_images(spec: &SyntheticImageSpec, seed: u64, count: usize, train: bool) -> RawExamples {
+pub(crate) fn generate_images(
+    spec: &SyntheticImageSpec,
+    seed: u64,
+    count: usize,
+    train: bool,
+) -> RawExamples {
     assert!(spec.classes >= 2, "need at least two classes");
     let mut proto_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1A5_5E5A);
     let side2 = spec.image_side * spec.image_side;
@@ -237,7 +242,8 @@ pub(crate) fn generate_images(spec: &SyntheticImageSpec, seed: u64, count: usize
         let proto = &prototypes[label];
         let mode = &modes[rng.gen_range(0..modes.len())];
         let mode_weight = spec.intra_class_variation * rng.gen_range(-1.0f32..1.0);
-        let distort = train && spec.distortion_prob > 0.0 && rng.gen::<f32>() < spec.distortion_prob;
+        let distort =
+            train && spec.distortion_prob > 0.0 && rng.gen::<f32>() < spec.distortion_prob;
         let dropped_channel = if distort { rng.gen_range(0..3usize) } else { 3 };
         for (j, (&p, &m)) in proto.iter().zip(mode.iter()).enumerate() {
             let channel = j / (spec.image_side * spec.image_side);
@@ -258,11 +264,20 @@ pub(crate) fn generate_images(spec: &SyntheticImageSpec, seed: u64, count: usize
     }
 }
 
-pub(crate) fn generate_vectors(spec: &SyntheticVectorSpec, seed: u64, count: usize, train: bool) -> RawExamples {
+pub(crate) fn generate_vectors(
+    spec: &SyntheticVectorSpec,
+    seed: u64,
+    count: usize,
+    train: bool,
+) -> RawExamples {
     assert!(spec.classes >= 2, "need at least two classes");
     let mut proto_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFEED_BEEF);
     let prototypes: Vec<Vec<f32>> = (0..spec.classes)
-        .map(|_| (0..spec.dim).map(|_| 1.5 * normal(&mut proto_rng)).collect())
+        .map(|_| {
+            (0..spec.dim)
+                .map(|_| 1.5 * normal(&mut proto_rng))
+                .collect()
+        })
         .collect();
     let stream = if train { 1u64 } else { 2u64 };
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x51ED_2705).wrapping_add(stream));
@@ -290,7 +305,9 @@ mod tests {
 
     #[test]
     fn image_generation_is_deterministic() {
-        let spec = SyntheticImageSpec::cifar10_like().with_sizes(64, 16).with_image_side(8);
+        let spec = SyntheticImageSpec::cifar10_like()
+            .with_sizes(64, 16)
+            .with_image_side(8);
         let a = generate_images(&spec, 7, 64, true);
         let b = generate_images(&spec, 7, 64, true);
         assert_eq!(a.features, b.features);
@@ -299,7 +316,9 @@ mod tests {
 
     #[test]
     fn train_and_test_streams_differ() {
-        let spec = SyntheticImageSpec::cifar10_like().with_sizes(32, 32).with_image_side(8);
+        let spec = SyntheticImageSpec::cifar10_like()
+            .with_sizes(32, 32)
+            .with_image_side(8);
         let train = generate_images(&spec, 7, 32, true);
         let test = generate_images(&spec, 7, 32, false);
         assert_ne!(train.features, test.features);
@@ -307,7 +326,9 @@ mod tests {
 
     #[test]
     fn labels_cover_all_classes_roughly_evenly() {
-        let spec = SyntheticImageSpec::cifar10_like().with_sizes(100, 10).with_image_side(8);
+        let spec = SyntheticImageSpec::cifar10_like()
+            .with_sizes(100, 10)
+            .with_image_side(8);
         let raw = generate_images(&spec, 3, 100, true);
         for c in 0..10 {
             let count = raw.labels.iter().filter(|&&l| l == c).count();
@@ -341,18 +362,27 @@ mod tests {
                 }
             }
         }
-        assert!(found_zeroed, "with probability 1.0 every example should have a dropped channel");
+        assert!(
+            found_zeroed,
+            "with probability 1.0 every example should have a dropped channel"
+        );
     }
 
     #[test]
     fn vector_classes_are_separated_from_each_other() {
-        let spec = SyntheticVectorSpec::small().with_sizes(200, 10).with_noise(0.1);
+        let spec = SyntheticVectorSpec::small()
+            .with_sizes(200, 10)
+            .with_noise(0.1);
         let raw = generate_vectors(&spec, 9, 200, true);
         // With tiny noise, examples of the same class should be much closer to each
         // other than to examples of a different class.
         let ex = |i: usize| &raw.features[i * raw.example_len..(i + 1) * raw.example_len];
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         // examples 0 and 10 share a class (labels cycle with 10 classes), 0 and 1 do not
         assert_eq!(raw.labels[0], raw.labels[10]);

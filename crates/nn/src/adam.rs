@@ -150,7 +150,13 @@ mod tests {
     #[test]
     fn first_adam_step_moves_each_parameter_by_roughly_the_learning_rate() {
         // With bias correction, the very first update is ≈ lr * sign(g).
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 2);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..AdamConfig::default()
+            },
+            2,
+        );
         let mut p = vec![1.0, -1.0];
         adam.step(&mut p, &[0.5, -0.25]);
         assert!((p[0] - 0.9).abs() < 1e-3, "p[0] = {}", p[0]);
@@ -161,7 +167,13 @@ mod tests {
     #[test]
     fn adam_converges_on_a_quadratic() {
         // Minimise f(w) = (w - 3)^2 from w = 0.
-        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() }, 1);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.05,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         let mut w = vec![0.0f32];
         for _ in 0..2_000 {
             let grad = 2.0 * (w[0] - 3.0);
@@ -174,16 +186,29 @@ mod tests {
     fn adam_adapts_to_badly_scaled_gradients() {
         // One coordinate has gradients 100× the other; Adam's per-coordinate scaling
         // still moves both at a comparable rate on the first step.
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 2);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..AdamConfig::default()
+            },
+            2,
+        );
         let mut p = vec![0.0, 0.0];
         adam.step(&mut p, &[100.0, 1.0]);
-        assert!((p[0] - p[1]).abs() < 1e-3, "steps should be nearly equal: {p:?}");
+        assert!(
+            (p[0] - p[1]).abs() < 1e-3,
+            "steps should be nearly equal: {p:?}"
+        );
     }
 
     #[test]
     fn weight_decay_pulls_parameters_toward_zero() {
         let mut adam = Adam::new(
-            AdamConfig { lr: 0.1, weight_decay: 0.5, ..AdamConfig::default() },
+            AdamConfig {
+                lr: 0.1,
+                weight_decay: 0.5,
+                ..AdamConfig::default()
+            },
             1,
         );
         let mut p = vec![5.0];

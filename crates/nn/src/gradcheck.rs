@@ -97,14 +97,18 @@ mod tests {
 
     fn batch(dim: usize, classes: usize, n: usize) -> (Tensor, Vec<usize>) {
         // A small deterministic batch with non-trivial inputs and spread-out labels.
-        let data: Vec<f32> = (0..n * dim).map(|i| ((i * 37 % 23) as f32 - 11.0) / 7.0).collect();
+        let data: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 37 % 23) as f32 - 11.0) / 7.0)
+            .collect();
         let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
         (Tensor::from_vec(data, &[n, dim]), labels)
     }
 
     fn image_batch(side: usize, classes: usize, n: usize) -> (Tensor, Vec<usize>) {
         let dim = 3 * side * side;
-        let data: Vec<f32> = (0..n * dim).map(|i| ((i * 53 % 19) as f32 - 9.0) / 6.0).collect();
+        let data: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 53 % 19) as f32 - 9.0) / 6.0)
+            .collect();
         let labels: Vec<usize> = (0..n).map(|i| (i * 3) % classes).collect();
         (Tensor::from_vec(data, &[n, 3, side, side]), labels)
     }
@@ -144,7 +148,12 @@ mod tests {
     fn resnet_gradients_match_finite_differences() {
         let mut model = models::resnet_cifar(8, 2, 4, 7);
         let (x, y) = image_batch(8, 4, 2);
-        let report = check_model_gradients(&mut model, &x, &y, 1e-2, 211);
+        // epsilon must stay well below the typical pre-activation magnitude: a 1e-2
+        // probe can push a pre-activation across its ReLU kink, producing an isolated
+        // O(1) finite-difference deviation that says nothing about the analytic
+        // gradient (the measured deviation collapses from ~2.5e-1 at eps = 1e-2 to
+        // ~1.6e-4 at eps = 1e-3 with identical gradients).
+        let report = check_model_gradients(&mut model, &x, &y, 1e-3, 211);
         assert!(report.passes(5e-2), "report: {report:?}");
     }
 

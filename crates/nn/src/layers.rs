@@ -30,7 +30,12 @@ impl DenseLayer {
             name: format!("dense_{in_features}x{out_features}"),
             in_features,
             out_features,
-            weight: xavier_uniform(in_features, out_features, &[in_features, out_features], seed),
+            weight: xavier_uniform(
+                in_features,
+                out_features,
+                &[in_features, out_features],
+                seed,
+            ),
             bias: Tensor::zeros(&[out_features]),
             grad_weight: Tensor::zeros(&[in_features, out_features]),
             grad_bias: Tensor::zeros(&[out_features]),
@@ -166,7 +171,14 @@ impl Layer for Conv2dLayer {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.cached_batch = input.shape().dim(0);
-        let (out, cols) = conv2d(input, &self.weight, &self.bias, self.in_h, self.in_w, &self.spec);
+        let (out, cols) = conv2d(
+            input,
+            &self.weight,
+            &self.bias,
+            self.in_h,
+            self.in_w,
+            &self.spec,
+        );
         self.cached_cols = Some(cols);
         out
     }
@@ -364,7 +376,9 @@ pub struct ResidualBlock {
 
 impl std::fmt::Debug for ResidualBlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ResidualBlock").field("name", &self.name).finish()
+        f.debug_struct("ResidualBlock")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -469,7 +483,10 @@ mod tests {
         let w = &params[..6];
         let b = &params[6..];
         for j in 0..2 {
-            let manual = x.as_slice()[0] * w[j] + x.as_slice()[1] * w[2 + j] + x.as_slice()[2] * w[4 + j] + b[j];
+            let manual = x.as_slice()[0] * w[j]
+                + x.as_slice()[1] * w[2 + j]
+                + x.as_slice()[2] * w[4 + j]
+                + b[j];
             assert!((y.as_slice()[j] - manual).abs() < 1e-5);
         }
     }

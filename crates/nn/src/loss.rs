@@ -37,7 +37,10 @@ impl SoftmaxCrossEntropy {
         let mut grad = probs.clone();
         let mut loss = 0.0f32;
         for (i, &label) in labels.iter().enumerate() {
-            assert!(label < classes, "label {label} out of range for {classes} classes");
+            assert!(
+                label < classes,
+                "label {label} out of range for {classes} classes"
+            );
             let p = probs.at2(i, label).max(1e-12);
             loss -= p.ln();
             let current = grad.at2(i, label);

@@ -74,9 +74,10 @@ impl ModelSpec {
             ModelSpec::LogisticRegression { input_dim, classes } => {
                 logistic_regression(*input_dim, *classes, seed)
             }
-            ModelSpec::DownsizedAlexNet { image_side, classes } => {
-                downsized_alexnet(*image_side, *classes, seed)
-            }
+            ModelSpec::DownsizedAlexNet {
+                image_side,
+                classes,
+            } => downsized_alexnet(*image_side, *classes, seed),
             ModelSpec::ResNetCifar {
                 image_side,
                 blocks,
@@ -90,7 +91,9 @@ impl ModelSpec {
     pub fn has_fc_layers(&self) -> bool {
         matches!(
             self,
-            ModelSpec::Mlp { .. } | ModelSpec::LogisticRegression { .. } | ModelSpec::DownsizedAlexNet { .. }
+            ModelSpec::Mlp { .. }
+                | ModelSpec::LogisticRegression { .. }
+                | ModelSpec::DownsizedAlexNet { .. }
         )
     }
 
@@ -129,11 +132,19 @@ pub fn mlp(input_dim: usize, hidden: &[usize], classes: usize, seed: u64) -> Seq
     let mut model = Sequential::new(format!("mlp-{}h", hidden.len()));
     let mut prev = input_dim;
     for (i, &h) in hidden.iter().enumerate() {
-        model.add(Box::new(DenseLayer::new(prev, h, seed.wrapping_add(i as u64 * 101))));
+        model.add(Box::new(DenseLayer::new(
+            prev,
+            h,
+            seed.wrapping_add(i as u64 * 101),
+        )));
         model.add(Box::new(ReluLayer::new()));
         prev = h;
     }
-    model.add(Box::new(DenseLayer::new(prev, classes, seed.wrapping_add(9999))));
+    model.add(Box::new(DenseLayer::new(
+        prev,
+        classes,
+        seed.wrapping_add(9999),
+    )));
     model
 }
 
@@ -162,15 +173,30 @@ pub fn downsized_alexnet(image_side: usize, classes: usize, seed: u64) -> Sequen
         padding: 1,
     };
     let mut m = Sequential::new("downsized-alexnet");
-    m.add(Box::new(Conv2dLayer::new(conv(3, 8), s, s, seed.wrapping_add(1))));
+    m.add(Box::new(Conv2dLayer::new(
+        conv(3, 8),
+        s,
+        s,
+        seed.wrapping_add(1),
+    )));
     m.add(Box::new(ReluLayer::new()));
     m.add(Box::new(MaxPool2dLayer::new(2, 2, s, s)));
     let s2 = s / 2;
-    m.add(Box::new(Conv2dLayer::new(conv(8, 16), s2, s2, seed.wrapping_add(2))));
+    m.add(Box::new(Conv2dLayer::new(
+        conv(8, 16),
+        s2,
+        s2,
+        seed.wrapping_add(2),
+    )));
     m.add(Box::new(ReluLayer::new()));
     m.add(Box::new(MaxPool2dLayer::new(2, 2, s2, s2)));
     let s4 = s / 4;
-    m.add(Box::new(Conv2dLayer::new(conv(16, 16), s4, s4, seed.wrapping_add(3))));
+    m.add(Box::new(Conv2dLayer::new(
+        conv(16, 16),
+        s4,
+        s4,
+        seed.wrapping_add(3),
+    )));
     m.add(Box::new(ReluLayer::new()));
     m.add(Box::new(MaxPool2dLayer::new(2, 2, s4, s4)));
     let s8 = s / 8;
@@ -181,7 +207,11 @@ pub fn downsized_alexnet(image_side: usize, classes: usize, seed: u64) -> Sequen
     // communication-bound category.
     m.add(Box::new(DenseLayer::new(feat, 384, seed.wrapping_add(4))));
     m.add(Box::new(ReluLayer::new()));
-    m.add(Box::new(DenseLayer::new(384, classes, seed.wrapping_add(5))));
+    m.add(Box::new(DenseLayer::new(
+        384,
+        classes,
+        seed.wrapping_add(5),
+    )));
     m
 }
 

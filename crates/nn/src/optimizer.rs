@@ -233,7 +233,10 @@ mod tests {
         let s = LrSchedule::cosine(1.0, 0.1, 10);
         assert!((s.lr_at_epoch(0) - 1.0).abs() < 1e-6);
         assert!((s.lr_at_epoch(10) - 0.1).abs() < 1e-6);
-        assert!((s.lr_at_epoch(100) - 0.1).abs() < 1e-6, "clamps past the horizon");
+        assert!(
+            (s.lr_at_epoch(100) - 0.1).abs() < 1e-6,
+            "clamps past the horizon"
+        );
         // Midpoint sits halfway between base and min.
         assert!((s.lr_at_epoch(5) - 0.55).abs() < 1e-6);
         // Monotone non-increasing.

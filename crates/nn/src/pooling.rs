@@ -59,7 +59,9 @@ impl Layer for GlobalAvgPool2dLayer {
             for ch in 0..c {
                 let share = g[i * c + ch] / spatial as f32;
                 let base = (i * c + ch) * spatial;
-                out[base..base + spatial].iter_mut().for_each(|v| *v = share);
+                out[base..base + spatial]
+                    .iter_mut()
+                    .for_each(|v| *v = share);
             }
         }
         Tensor::from_vec(out, &self.input_dims)
@@ -87,8 +89,14 @@ impl AvgPool2dLayer {
     ///
     /// Panics if the kernel or stride is zero, or the kernel exceeds the input size.
     pub fn new(kernel: usize, stride: usize, in_h: usize, in_w: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
-        assert!(kernel <= in_h && kernel <= in_w, "kernel larger than the input");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
+        assert!(
+            kernel <= in_h && kernel <= in_w,
+            "kernel larger than the input"
+        );
         Self {
             kernel,
             stride,
@@ -187,7 +195,10 @@ mod tests {
     fn global_avg_pool_averages_each_channel() {
         let mut pool = GlobalAvgPool2dLayer::new();
         // One example, two channels of 2×2.
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 20.0, 20.0], &[1, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 20.0, 20.0],
+            &[1, 2, 2, 2],
+        );
         let y = pool.forward(&x, true);
         assert_eq!(y.shape().dims(), &[1, 2]);
         assert!((y.as_slice()[0] - 2.5).abs() < 1e-6);

@@ -34,7 +34,10 @@ impl DropoutLayer {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Self {
             p,
             rng: ChaCha8Rng::seed_from_u64(seed),
@@ -64,7 +67,13 @@ impl Layer for DropoutLayer {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         self.mask = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = input
             .as_slice()
@@ -111,9 +120,20 @@ mod tests {
         let x = Tensor::ones(&[1, 100]);
         let y = d.forward(&x, true);
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
-        assert_eq!(zeros + kept, 100, "every activation is either dropped or scaled by 2");
-        assert!(zeros > 10 && zeros < 90, "roughly half should be dropped, got {zeros}");
+        let kept = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
+        assert_eq!(
+            zeros + kept,
+            100,
+            "every activation is either dropped or scaled by 2"
+        );
+        assert!(
+            zeros > 10 && zeros < 90,
+            "roughly half should be dropped, got {zeros}"
+        );
     }
 
     #[test]
@@ -133,7 +153,10 @@ mod tests {
         let x = Tensor::ones(&[1, 10_000]);
         let y = d.forward(&x, true);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
-        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps the mean ≈ 1, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "inverted dropout keeps the mean ≈ 1, got {mean}"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl GradientBuffer {
     /// Panics if the mode is [`AggregationMode::Buffered`] with a zero capacity.
     pub fn new(dim: usize, mode: AggregationMode) -> Self {
         if let AggregationMode::Buffered { capacity } = mode {
-            assert!(capacity > 0, "buffered aggregation needs a positive capacity");
+            assert!(
+                capacity > 0,
+                "buffered aggregation needs a positive capacity"
+            );
         }
         Self {
             mode,
@@ -188,7 +191,10 @@ mod tests {
     #[test]
     fn labels_describe_the_mode() {
         assert_eq!(AggregationMode::PerPush.label(), "per-push");
-        assert_eq!(AggregationMode::Buffered { capacity: 4 }.label(), "buffered x4");
+        assert_eq!(
+            AggregationMode::Buffered { capacity: 4 }.label(),
+            "buffered x4"
+        );
         assert_eq!(AggregationMode::default(), AggregationMode::PerPush);
     }
 

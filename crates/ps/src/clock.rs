@@ -88,13 +88,21 @@ impl ClockTable {
     /// The smallest counter value among active workers (the slowest worker's iteration
     /// count).
     pub fn slowest_count(&self) -> u64 {
-        *self.active_counts().iter().min().expect("non-empty by construction")
+        *self
+            .active_counts()
+            .iter()
+            .min()
+            .expect("non-empty by construction")
     }
 
     /// The largest counter value among active workers (the fastest worker's iteration
     /// count).
     pub fn fastest_count(&self) -> u64 {
-        *self.active_counts().iter().max().expect("non-empty by construction")
+        *self
+            .active_counts()
+            .iter()
+            .max()
+            .expect("non-empty by construction")
     }
 
     /// An active worker with the smallest counter (lowest id wins ties).

@@ -122,7 +122,8 @@ impl SyncController {
         else {
             return fallback;
         };
-        let (Some(fast_latest), Some(slow_latest)) = (tracker.latest(fast), tracker.latest(slowest))
+        let (Some(fast_latest), Some(slow_latest)) =
+            (tracker.latest(fast), tracker.latest(slowest))
         else {
             return fallback;
         };
@@ -131,7 +132,9 @@ impl SyncController {
 
         let n = (self.r_max + 1) as usize;
         // Sim_p[r]: the fast worker's predicted push time after r extra iterations.
-        let fast_timeline: Vec<f64> = (0..n).map(|r| fast_latest + r as f64 * fast_interval).collect();
+        let fast_timeline: Vec<f64> = (0..n)
+            .map(|r| fast_latest + r as f64 * fast_interval)
+            .collect();
         // Sim_slowest[k]: the slowest worker's predicted push times, starting from its
         // *next* push (Algorithm 2 line 7: Sim_slowest[0] = A[slowest][0] + I_slowest).
         let slow_timeline: Vec<f64> = (0..n)
@@ -191,7 +194,11 @@ mod tests {
         // aligns the fast worker's stop with the slow worker's next push.
         let mut c = SyncController::new(2, 8);
         let d = c.decide(0, 1, &tracker(1.0, 4.0));
-        assert!(d.extra_iterations >= 3, "expected >=3 extra, got {}", d.extra_iterations);
+        assert!(
+            d.extra_iterations >= 3,
+            "expected >=3 extra, got {}",
+            d.extra_iterations
+        );
         assert!(d.predicted_wait <= 1.0);
     }
 
@@ -252,7 +259,10 @@ mod tests {
         t2.record_push(1, 3.0);
         let d = c.decide(0, 1, &t2);
         let spacing = d.fast_timeline[1] - d.fast_timeline[0];
-        assert!((spacing - 5.0).abs() < 1e-9, "expected smoothed 5.0, got {spacing}");
+        assert!(
+            (spacing - 5.0).abs() < 1e-9,
+            "expected smoothed 5.0, got {spacing}"
+        );
     }
 
     #[test]

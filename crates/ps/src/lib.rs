@@ -35,6 +35,8 @@
 //! assert!(result.ok_now);
 //! ```
 
+#![deny(missing_docs)]
+
 mod aggregator;
 mod clock;
 mod controller;

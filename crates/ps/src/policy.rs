@@ -396,9 +396,15 @@ mod tests {
     fn bsp_blocks_until_everyone_pushes() {
         let mut h = Harness::new(3);
         let mut bsp = Bsp::new(3);
-        assert!(!h.push(&mut bsp, 0, 1.0), "first pusher must wait for the rest");
+        assert!(
+            !h.push(&mut bsp, 0, 1.0),
+            "first pusher must wait for the rest"
+        );
         assert!(!h.push(&mut bsp, 1, 2.0));
-        assert!(h.push(&mut bsp, 2, 3.0), "last pusher completes the superstep");
+        assert!(
+            h.push(&mut bsp, 2, 3.0),
+            "last pusher completes the superstep"
+        );
         // After worker 2's push all three are at clock 1, so the blocked ones release.
         assert!(h.release(&mut bsp, 0));
         assert!(h.release(&mut bsp, 1));
@@ -442,8 +448,15 @@ mod tests {
         let mut dssp = Dssp::new(2, 2, 0);
         let mut ssp = Ssp::new(2);
         // Same push sequence must give identical decisions.
-        let sequence: Vec<(WorkerId, f64)> =
-            vec![(0, 1.0), (0, 2.0), (0, 3.0), (1, 4.0), (0, 5.0), (0, 6.0), (1, 7.0)];
+        let sequence: Vec<(WorkerId, f64)> = vec![
+            (0, 1.0),
+            (0, 2.0),
+            (0, 3.0),
+            (1, 4.0),
+            (0, 5.0),
+            (0, 6.0),
+            (1, 7.0),
+        ];
         for &(w, t) in &sequence {
             let a = ha.push(&mut dssp, w, t);
             let b = hb.push(&mut ssp, w, t);
@@ -461,8 +474,8 @@ mod tests {
         assert!(h.push(&mut dssp, 0, 2.0)); // lead 1, interval(0) = 1
         assert!(h.push(&mut dssp, 1, 20.0)); // lead 0, interval(1) = 10
         assert!(h.push(&mut dssp, 0, 3.0)); // lead 1
-        // Next push exceeds s_l = 1: the controller should grant extra iterations
-        // because worker 0 is much faster than worker 1.
+                                            // Next push exceeds s_l = 1: the controller should grant extra iterations
+                                            // because worker 0 is much faster than worker 1.
         let ok = h.push(&mut dssp, 0, 4.0);
         assert!(ok, "controller should let the fast worker run ahead");
         assert!(dssp.credits_granted() > 0);
@@ -479,7 +492,7 @@ mod tests {
         assert!(h.push(&mut dssp, 0, 2.0));
         assert!(h.push(&mut dssp, 1, 20.0));
         assert!(h.push(&mut dssp, 0, 3.0)); // lead 1, still within s_l
-        // Exceed s_l: the controller grants extra iterations (clamped to r_max = 4).
+                                            // Exceed s_l: the controller grants extra iterations (clamped to r_max = 4).
         let ok = h.push(&mut dssp, 0, 4.0);
         assert!(ok);
         let granted = dssp.credits_granted();
@@ -517,7 +530,10 @@ mod tests {
         while h.push(&mut dssp, 0, t) {
             consecutive_ok += 1;
             t += 1.0;
-            assert!(consecutive_ok < 200, "the fast worker must still block eventually");
+            assert!(
+                consecutive_ok < 200,
+                "the fast worker must still block eventually"
+            );
         }
         // The fast worker ran far beyond the strict upper bound before finally blocking
         // (it blocks once its predicted timeline has overtaken every predicted push of
@@ -554,7 +570,10 @@ mod tests {
             let a = ha.push(&mut literal, w, t);
             let b = hb.push(&mut strict, w, t);
             if b {
-                assert!(a, "strict granted an OK at ({w}, {t}) that literal DSSP denied");
+                assert!(
+                    a,
+                    "strict granted an OK at ({w}, {t}) that literal DSSP denied"
+                );
             }
         }
     }

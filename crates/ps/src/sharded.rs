@@ -159,7 +159,10 @@ mod tests {
         assert_eq!(store.shard(2), &[7.0, 8.0, 9.0]);
         assert_eq!(store.key_range(0), (0, 4));
         assert_eq!(store.key_range(2), (7, 10));
-        assert_eq!(store.pull_all(), (0..10).map(|i| i as f32).collect::<Vec<_>>());
+        assert_eq!(
+            store.pull_all(),
+            (0..10).map(|i| i as f32).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ impl StalenessTracker {
             } else {
                 s.to_string()
             };
-            let _ = writeln!(out, "| {label} | {count} | {:.1}% |", 100.0 * count as f64 / total as f64);
+            let _ = writeln!(
+                out,
+                "| {label} | {count} | {:.1}% |",
+                100.0 * count as f64 / total as f64
+            );
         }
         out
     }

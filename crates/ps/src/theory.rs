@@ -26,7 +26,11 @@ pub struct BoundParams {
 
 impl Default for BoundParams {
     fn default() -> Self {
-        Self { f: 1.0, l: 1.0, p: 4 }
+        Self {
+            f: 1.0,
+            l: 1.0,
+            p: 4,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ mod tests {
     fn dssp_bound_equals_ssp_bound_at_upper_end_of_range() {
         let p = BoundParams::default();
         // DSSP with range [s_L, s_L + r_max] shares the bound of SSP with s = s_L + r_max.
-        assert_eq!(dssp_regret_bound(&p, 3, 12, 10_000), ssp_regret_bound(&p, 15, 10_000));
+        assert_eq!(
+            dssp_regret_bound(&p, 3, 12, 10_000),
+            ssp_regret_bound(&p, 15, 10_000)
+        );
     }
 
     #[test]

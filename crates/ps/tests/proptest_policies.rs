@@ -37,9 +37,8 @@ fn run_schedule(
     let mut max_spread = 0u64;
     let mut total = 0u64;
 
-    let iteration_time = |w: usize, k: usize| -> f64 {
-        durations[w] * (1.0 + jitters[w][k % jitters[w].len()])
-    };
+    let iteration_time =
+        |w: usize, k: usize| -> f64 { durations[w] * (1.0 + jitters[w][k % jitters[w].len()]) };
 
     loop {
         // Pick the earliest pending push.

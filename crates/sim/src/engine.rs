@@ -172,7 +172,11 @@ impl Simulation {
             .enumerate()
             .map(|(w, shard)| {
                 let target = config.target_iterations(shard.len());
-                let batches = BatchIter::new(shard, config.batch_size, config.seed.wrapping_add(w as u64 + 1));
+                let batches = BatchIter::new(
+                    shard,
+                    config.batch_size,
+                    config.seed.wrapping_add(w as u64 + 1),
+                );
                 SimWorker::new(w, config.model.build(config.seed), batches, target)
             })
             .collect();
@@ -184,7 +188,8 @@ impl Simulation {
             sgd,
             ServerConfig::new(num_workers, config.policy),
         );
-        let time_model = TimeModel::new(config.cluster.clone(), cost, config.batch_size, config.seed);
+        let time_model =
+            TimeModel::new(config.cluster.clone(), cost, config.batch_size, config.seed);
         let comm_occupancy = time_model.link_occupancy_seconds();
         let comm_latency = time_model.link_latency_seconds();
         let eval_batch = dataset.test_batch(config.eval_max_examples);
@@ -272,7 +277,8 @@ impl Simulation {
     /// The worker finished computing; its push now queues on the server link.
     fn handle_compute_done(&mut self, worker: usize, now: f64) {
         let push_done = self.reserve_link(now);
-        self.queue.schedule(push_done, worker, EventKind::PushArrives);
+        self.queue
+            .schedule(push_done, worker, EventKind::PushArrives);
     }
 
     /// Processes the arrival of a worker's push request at the server.
@@ -505,8 +511,7 @@ mod tests {
         // re-granting extra iterations to the fast worker, so its realized staleness can
         // exceed the strict variant's hard cap — this is the mechanism behind the paper's
         // Figure 4, where DSSP tracks ASP's progress on mixed GPUs.
-        let literal =
-            Simulation::new(vector_config(PolicyKind::Dssp { s_l: 2, r_max: 5 })).run();
+        let literal = Simulation::new(vector_config(PolicyKind::Dssp { s_l: 2, r_max: 5 })).run();
         let strict =
             Simulation::new(vector_config(PolicyKind::DsspStrict { s_l: 2, r_max: 5 })).run();
         assert!(strict.server_stats.staleness_max <= 2 + 5 + 1);

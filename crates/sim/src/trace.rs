@@ -61,7 +61,10 @@ impl RunTrace {
 
     /// The best test accuracy seen at any sample point.
     pub fn best_accuracy(&self) -> f64 {
-        self.points.iter().map(|p| p.test_accuracy).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.test_accuracy)
+            .fold(0.0, f64::max)
     }
 
     /// The earliest virtual time at which test accuracy reached `target`, if ever
@@ -139,16 +142,50 @@ mod tests {
             model: "mlp".to_string(),
             workers: 2,
             points: vec![
-                TracePoint { time_s: 1.0, pushes: 10, epoch: 0, test_accuracy: 0.2, train_loss: 2.0 },
-                TracePoint { time_s: 2.0, pushes: 20, epoch: 1, test_accuracy: 0.5, train_loss: 1.5 },
-                TracePoint { time_s: 3.0, pushes: 30, epoch: 2, test_accuracy: 0.45, train_loss: 1.4 },
-                TracePoint { time_s: 4.0, pushes: 40, epoch: 3, test_accuracy: 0.7, train_loss: 1.0 },
+                TracePoint {
+                    time_s: 1.0,
+                    pushes: 10,
+                    epoch: 0,
+                    test_accuracy: 0.2,
+                    train_loss: 2.0,
+                },
+                TracePoint {
+                    time_s: 2.0,
+                    pushes: 20,
+                    epoch: 1,
+                    test_accuracy: 0.5,
+                    train_loss: 1.5,
+                },
+                TracePoint {
+                    time_s: 3.0,
+                    pushes: 30,
+                    epoch: 2,
+                    test_accuracy: 0.45,
+                    train_loss: 1.4,
+                },
+                TracePoint {
+                    time_s: 4.0,
+                    pushes: 40,
+                    epoch: 3,
+                    test_accuracy: 0.7,
+                    train_loss: 1.0,
+                },
             ],
             total_time_s: 4.0,
             total_pushes: 40,
             worker_summaries: vec![
-                WorkerSummary { worker: 0, iterations: 20, epochs: 3, waiting_time_s: 0.5 },
-                WorkerSummary { worker: 1, iterations: 20, epochs: 3, waiting_time_s: 1.5 },
+                WorkerSummary {
+                    worker: 0,
+                    iterations: 20,
+                    epochs: 3,
+                    waiting_time_s: 0.5,
+                },
+                WorkerSummary {
+                    worker: 1,
+                    iterations: 20,
+                    epochs: 3,
+                    waiting_time_s: 1.5,
+                },
             ],
             server_stats: ServerStats::default(),
         }

@@ -414,9 +414,14 @@ mod tests {
 
     #[test]
     fn max_pool_selects_window_maxima() {
-        let p = Pool2dSpec { kernel: 2, stride: 2 };
+        let p = Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        };
         let x = Tensor::from_vec(
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            vec![
+                1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.,
+            ],
             &[1, 1, 4, 4],
         );
         let (out, idx) = max_pool2d(&x, 4, 4, &p);
@@ -426,9 +431,14 @@ mod tests {
 
     #[test]
     fn max_pool_backward_routes_to_winners() {
-        let p = Pool2dSpec { kernel: 2, stride: 2 };
+        let p = Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        };
         let x = Tensor::from_vec(
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            vec![
+                1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.,
+            ],
             &[1, 1, 4, 4],
         );
         let (out, idx) = max_pool2d(&x, 4, 4, &p);

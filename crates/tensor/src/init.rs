@@ -14,7 +14,10 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// Panics if `limit` is negative or not finite.
 pub fn uniform_init(dims: &[usize], limit: f32, seed: u64) -> Tensor {
-    assert!(limit.is_finite() && limit >= 0.0, "limit must be finite and non-negative");
+    assert!(
+        limit.is_finite() && limit >= 0.0,
+        "limit must be finite and non-negative"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n: usize = dims.iter().product();
     let data = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
@@ -83,10 +86,17 @@ mod tests {
     fn he_normal_has_reasonable_std() {
         let t = he_normal(100, &[10_000], 11);
         let mean = t.mean();
-        let var: f32 =
-            t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         let expected = 2.0 / 100.0;
-        assert!((var - expected).abs() < expected * 0.3, "var={var} expected~{expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.3,
+            "var={var} expected~{expected}"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ mod ops;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec, Pool2dSpec};
+pub use conv::{
+    col2im, conv2d, conv2d_backward, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec,
+    Pool2dSpec,
+};
 pub use init::{he_normal, uniform_init, xavier_uniform};
 pub use shape::Shape;
 pub use tensor::Tensor;
@@ -56,7 +59,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
             }
             TensorError::LengthMismatch { len, expected } => {
-                write!(f, "data length {len} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {len} does not match shape volume {expected}"
+                )
             }
         }
     }

@@ -141,7 +141,10 @@ impl Tensor {
 
     /// Returns the maximum element, or negative infinity for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Returns the index of the maximum element, or `None` for an empty tensor.

@@ -23,7 +23,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimension extents.
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Returns the dimension extents.

@@ -37,7 +37,9 @@ fn main() {
     // targets are set relative to the best accuracy any paradigm achieves.
     let best = traces.iter().map(|t| t.best_accuracy()).fold(0.0, f64::max);
     let targets = [0.9 * best, 0.97 * best];
-    println!("\nTime to reach target accuracy (Table I shape, targets relative to best = {best:.3}):\n");
+    println!(
+        "\nTime to reach target accuracy (Table I shape, targets relative to best = {best:.3}):\n"
+    );
     let table = time_to_accuracy_table(&traces, &targets);
     print!("{}", report::time_to_accuracy_markdown(&table, &targets));
 }

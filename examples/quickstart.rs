@@ -18,7 +18,10 @@ fn main() {
         .epochs(4)
         .run();
 
-    println!("{:>10}  {:>8}  {:>8}  {:>10}", "time (s)", "pushes", "epoch", "accuracy");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>10}",
+        "time (s)", "pushes", "epoch", "accuracy"
+    );
     for point in &trace.points {
         println!(
             "{:>10.2}  {:>8}  {:>8}  {:>10.3}",

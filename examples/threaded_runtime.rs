@@ -14,7 +14,10 @@ use dssp_ps::PolicyKind;
 fn main() {
     println!("Threaded parameter-server runtime: DSSP vs SSP with a real straggler thread\n");
 
-    for policy in [PolicyKind::Ssp { s: 3 }, PolicyKind::Dssp { s_l: 3, r_max: 12 }] {
+    for policy in [
+        PolicyKind::Ssp { s: 3 },
+        PolicyKind::Dssp { s_l: 3, r_max: 12 },
+    ] {
         let mut config = ThreadedConfig::small(policy);
         config.epochs = 3;
         // Worker 1 computes each iteration 4 ms slower than worker 0.

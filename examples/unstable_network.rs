@@ -11,8 +11,8 @@
 //! ```
 
 use dssp_cluster::{ClusterSpec, DeviceProfile, LinkProfile, SlowdownEvent, WorkerSpec};
-use dssp_core::presets::{dssp_reference, Scale};
 use dssp_core::presets::alexnet_homogeneous;
+use dssp_core::presets::{dssp_reference, Scale};
 use dssp_ps::PolicyKind;
 use dssp_sim::Simulation;
 

@@ -1,0 +1,193 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the harness surface the DSSP benches use — [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `throughput` / `bench_with_input`, [`Criterion::bench_function`],
+//! [`BenchmarkId`], [`Throughput`] and [`Bencher::iter`] — reporting a simple
+//! wall-clock mean per benchmark instead of criterion's full statistics.
+//!
+//! Mode selection mirrors real criterion: full measurement only under `cargo bench`
+//! (cargo passes `--bench` to the target); any other invocation — e.g.
+//! `cargo test --benches`, which passes no arguments — runs every benchmark body
+//! exactly once so test runs stay fast. `--quick` forces one-pass mode even under
+//! `cargo bench`. See `shims/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many iterations a measured benchmark may spend, at most.
+const MAX_ITERS: u32 = 25;
+/// Wall-clock budget per benchmark in measured mode.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Identifies one benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group. Accepted and echoed, not used
+/// in rate calculations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    quick: bool,
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time per call.
+    /// In quick mode (no `--bench` flag, or explicit `--quick`) the routine runs
+    /// exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.mean = Some(start.elapsed());
+            return;
+        }
+        // Warm-up call, excluded from the mean.
+        black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u32;
+        while iters < MAX_ITERS && started.elapsed() < TIME_BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean = Some(started.elapsed() / iters.max(1));
+    }
+}
+
+/// The bench harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion is in measured mode only when cargo passes `--bench`
+        // (which `cargo bench` does and `cargo test --benches` does not), so the
+        // shim keys on the same flag; `--quick` forces one-pass mode regardless.
+        let args: Vec<String> = std::env::args().collect();
+        let quick = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--quick");
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        self.run_one(&name, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: &mut F) {
+        let mut bencher = Bencher {
+            quick: self.quick,
+            mean: None,
+        };
+        f(&mut bencher);
+        match bencher.mean {
+            Some(mean) => println!("bench: {name} ... {:>12.1?}/iter", mean),
+            None => println!("bench: {name} ... no iter() call"),
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; recorded nowhere.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no summary beyond the per-benchmark lines).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}

@@ -1,0 +1,123 @@
+//! Offline shim for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Provides the multi-producer/single-consumer subset the DSSP threaded runtime uses:
+//! [`unbounded`], a cloneable [`Sender`], and a blocking [`Receiver`]. Unlike the real
+//! crate the `Receiver` is not cloneable and there is no `select!`; the runtime in
+//! `dssp-core` needs neither. See `shims/README.md`.
+
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiving side has hung up.
+/// Carries the unsent message like the real crate's `SendError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when every sender has hung up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// Every sender has hung up and the channel is drained.
+    Disconnected,
+}
+
+/// The sending half of an unbounded channel. Cloneable.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, never blocking (the channel is unbounded).
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(msg)
+            .map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Returns a pending message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Iterates over messages, blocking between them, until disconnection.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.inner.iter()
+    }
+}
+
+/// Creates an unbounded channel, mirroring `crossbeam_channel::unbounded`.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_in_from_clones() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_after_disconnect_errors() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset the DSSP property suites use: the [`proptest!`] macro,
+//! `prop_assert!` / `prop_assert_eq!`, a [`Strategy`] trait over numeric ranges,
+//! `prop::collection::vec`, and [`ProptestConfig::with_cases`]. Each test runs its
+//! body over `cases` randomly generated inputs from a per-test deterministic seed
+//! (FNV-1a of the test name), so failures replay identically run-to-run. Failing
+//! inputs are **not shrunk**; instead a [`CaseReporter`] prints the failing case's
+//! index and every generated input value to stderr. See `shims/README.md`.
+
+use std::ops::Range;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The random source handed to strategies; deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from the test's name so every run of the same
+    /// test replays the same case sequence.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}
+
+/// A generator of random values of an associated type, mirroring
+/// `proptest::strategy::Strategy` (minus shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one random value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    };
+}
+
+impl_range_strategy!(f32);
+impl_range_strategy!(f64);
+impl_range_strategy!(u32);
+impl_range_strategy!(u64);
+impl_range_strategy!(usize);
+impl_range_strategy!(i32);
+impl_range_strategy!(i64);
+
+/// Strategies over collections (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of a fixed length whose elements come from an
+    /// inner strategy. Returned by [`vec`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a strategy for vectors of `len` elements.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Prints the failing case's index and generated inputs when a property body
+/// panics, so failures are identifiable and replayable (the case sequence is
+/// deterministic per test name). Created by the [`proptest!`] expansion.
+pub struct CaseReporter {
+    case: u32,
+    inputs: String,
+}
+
+impl CaseReporter {
+    /// Arms a reporter for one case; `inputs` is the `name = value` rendering
+    /// of every generated argument.
+    pub fn new(case: u32, inputs: String) -> Self {
+        Self { case, inputs }
+    }
+
+    /// Disarms the reporter: the case passed, print nothing.
+    pub fn passed(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        // Only reached while unwinding out of a failing case body.
+        eprintln!(
+            "proptest shim: property failed on case #{} with inputs: {}",
+            self.case, self.inputs
+        );
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property; panics (failing the case) when unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` that runs `body` over `ProptestConfig::cases` random
+/// input tuples. Accepts the real macro's `#![proptest_config(..)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let mut inputs = String::new();
+                    $(
+                        inputs.push_str(concat!(stringify!($arg), " = "));
+                        inputs.push_str(&format!("{:?}; ", $arg));
+                    )*
+                    let reporter = $crate::CaseReporter::new(case, inputs);
+                    $body
+                    reporter.passed();
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,208 @@
+//! Offline shim for the `rand` 0.8 API surface used by the DSSP workspace.
+//!
+//! Implements [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`) and [`seq::SliceRandom`] (`shuffle`).
+//! Generators themselves live in the `rand_chacha` shim. See `shims/README.md`
+//! for the compatibility contract.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 32- and 64-bit uniform words.
+pub trait RngCore {
+    /// Returns the next uniformly distributed `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it deterministically
+    /// (upstream `rand` uses SplitMix64 for this; so do our shims).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce from raw generator output.
+pub trait StandardSample: Sized {
+    /// Draws one value from the "standard" distribution for this type
+    /// (uniform in `[0, 1)` for floats, uniform over all values for integers).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1) at full f32 precision.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1) at full f64 precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types usable as the element of a `gen_range` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[low, high]`.
+    fn sample_closed<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u = <$t as StandardSample>::standard_sample(rng);
+                let v = low + u * (high - low);
+                // Guard against rounding carrying `low + u*(high-low)` onto `high`.
+                if v >= high {
+                    low
+                } else {
+                    v
+                }
+            }
+
+            fn sample_closed<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u = <$t as StandardSample>::standard_sample(rng);
+                low + u * (high - low)
+            }
+        }
+    };
+}
+
+impl_sample_uniform_float!(f32);
+impl_sample_uniform_float!(f64);
+
+macro_rules! impl_sample_uniform_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Offset arithmetic stays in i128: a remainder up to the span can
+                // exceed $t's positive range when the range spans the type's sign.
+                (low as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+
+            fn sample_closed<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                (low as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    };
+}
+
+impl_sample_uniform_int!(u32);
+impl_sample_uniform_int!(u64);
+impl_sample_uniform_int!(usize);
+impl_sample_uniform_int!(i32);
+impl_sample_uniform_int!(i64);
+
+/// Range argument to [`Rng::gen_range`]: `a..b` and `a..=b` forms.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice utilities (`rand::seq`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffling for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

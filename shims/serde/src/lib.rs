@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as marker traits plus the no-op derive macros
+//! from the sibling `serde_derive` shim, mirroring the real crate's re-export layout.
+//! The workspace only *derives* these traits (so its types are serde-ready); it never
+//! serializes, so no data-model machinery is needed. See `shims/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

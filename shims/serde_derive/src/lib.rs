@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: no-op `Serialize` / `Deserialize` derives.
+//!
+//! The DSSP workspace derives these traits on its config and trace types so that
+//! swapping in the real `serde` later is a manifest-only change, but nothing in the
+//! repo serializes yet — so the derives expand to nothing. See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`. Registers the `#[serde(...)]`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`. Registers the `#[serde(...)]`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

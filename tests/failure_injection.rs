@@ -123,6 +123,10 @@ fn a_permanently_degraded_worker_does_not_stall_asp_or_dssp() {
             .filter(|w| w.worker != 0)
             .map(|w| w.iterations)
             .sum();
-        assert!(healthy_iters > 0, "{}: healthy workers made no progress", trace.policy);
+        assert!(
+            healthy_iters > 0,
+            "{}: healthy workers made no progress",
+            trace.policy
+        );
     }
 }

@@ -39,7 +39,12 @@ fn all_four_paradigms_complete_identical_work_on_the_same_experiment() {
     // Each paradigm produced a usable accuracy curve.
     for trace in &traces {
         assert!(!trace.points.is_empty());
-        assert!(trace.best_accuracy() > 0.2, "{}: {}", trace.policy, trace.best_accuracy());
+        assert!(
+            trace.best_accuracy() > 0.2,
+            "{}: {}",
+            trace.policy,
+            trace.best_accuracy()
+        );
     }
 }
 
@@ -61,7 +66,11 @@ fn time_to_accuracy_table_covers_every_policy() {
     for row in &table {
         // The 0.1 target should be reached; an above-1.0 target never can be.
         assert!(row.times[0].is_some(), "{} never reached 0.1", row.policy);
-        assert!(row.times[1].is_none(), "{} reached an impossible accuracy", row.policy);
+        assert!(
+            row.times[1].is_none(),
+            "{} reached an impossible accuracy",
+            row.policy
+        );
     }
 }
 
@@ -93,11 +102,19 @@ fn simulator_and_threaded_runtime_agree_on_synchronization_invariants() {
     }
     assert_eq!(
         sim_trace.total_pushes,
-        sim_trace.worker_summaries.iter().map(|w| w.iterations).sum::<u64>()
+        sim_trace
+            .worker_summaries
+            .iter()
+            .map(|w| w.iterations)
+            .sum::<u64>()
     );
     assert_eq!(
         threaded_trace.total_pushes,
-        threaded_trace.worker_summaries.iter().map(|w| w.iterations).sum::<u64>()
+        threaded_trace
+            .worker_summaries
+            .iter()
+            .map(|w| w.iterations)
+            .sum::<u64>()
     );
 }
 

@@ -55,7 +55,10 @@ fn conv_only_model_paradigm_times_are_much_closer() {
 #[test]
 fn dssp_reduces_waiting_time_compared_to_ssp_at_the_lower_bound() {
     // The DSSP design goal: relax the fastest worker's waiting at the s_L boundary.
-    let ssp = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 3 }, Scale::Quick));
+    let ssp = run(resnet110_heterogeneous(
+        PolicyKind::Ssp { s: 3 },
+        Scale::Quick,
+    ));
     let dssp = run(resnet110_heterogeneous(dssp_reference(), Scale::Quick));
     assert!(
         dssp.total_waiting_time() < ssp.total_waiting_time(),
@@ -77,7 +80,10 @@ fn dssp_makes_faster_update_progress_than_bsp_and_ssp_on_the_mixed_cluster() {
     // updates — which is what lets it reach the target accuracy earlier at full scale
     // (the full-scale accuracy reproduction is recorded in EXPERIMENTS.md / `repro fig4`).
     let bsp = run(resnet110_heterogeneous(PolicyKind::Bsp, Scale::Quick));
-    let ssp3 = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 3 }, Scale::Quick));
+    let ssp3 = run(resnet110_heterogeneous(
+        PolicyKind::Ssp { s: 3 },
+        Scale::Quick,
+    ));
     let asp = run(resnet110_heterogeneous(PolicyKind::Asp, Scale::Quick));
     let dssp = run(resnet110_heterogeneous(dssp_reference(), Scale::Quick));
 
@@ -114,8 +120,14 @@ fn dssp_makes_faster_update_progress_than_bsp_and_ssp_on_the_mixed_cluster() {
 #[test]
 fn staleness_grows_with_the_ssp_threshold() {
     // Larger thresholds admit staler updates (the paper's theoretical trade-off).
-    let s3 = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 3 }, Scale::Quick));
-    let s15 = run(resnet110_heterogeneous(PolicyKind::Ssp { s: 15 }, Scale::Quick));
+    let s3 = run(resnet110_heterogeneous(
+        PolicyKind::Ssp { s: 3 },
+        Scale::Quick,
+    ));
+    let s15 = run(resnet110_heterogeneous(
+        PolicyKind::Ssp { s: 15 },
+        Scale::Quick,
+    ));
     assert!(s15.server_stats.staleness_max >= s3.server_stats.staleness_max);
     assert!(s15.server_stats.mean_staleness() >= s3.server_stats.mean_staleness());
     assert!(s3.server_stats.staleness_max <= 4);
