@@ -1,9 +1,13 @@
 //! Criterion benches for the training substrate: one mini-batch forward/backward pass
 //! for each of the paper's three model analogues, plus the loss kernel.
+//!
+//! `model_iteration` measures the workspace-backed hot path that the simulator and the
+//! threaded runtime actually execute (zero allocations at steady state);
+//! `model_iteration_alloc` measures the legacy allocating `Model` API for comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dssp_nn::models::{downsized_alexnet, resnet_cifar};
-use dssp_nn::{Model, SoftmaxCrossEntropy};
+use dssp_nn::{Model, Sequential, SoftmaxCrossEntropy, Workspace};
 use dssp_tensor::{uniform_init, Tensor};
 use std::hint::black_box;
 
@@ -14,39 +18,45 @@ fn batch() -> Tensor {
     uniform_init(&[BATCH, 3, SIDE, SIDE], 1.0, 3)
 }
 
+fn models() -> Vec<(&'static str, Sequential)> {
+    vec![
+        ("downsized_alexnet", downsized_alexnet(SIDE, 10, 1)),
+        ("resnet50_like", resnet_cifar(SIDE, 4, 20, 1)),
+        ("resnet110_like", resnet_cifar(SIDE, 9, 20, 1)),
+    ]
+}
+
 fn bench_model_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_iteration");
     group.sample_size(20);
-    let workloads: Vec<(&str, Box<dyn FnMut(&Tensor)>)> = vec![
-        ("downsized_alexnet", {
-            let mut m = downsized_alexnet(SIDE, 10, 1);
-            Box::new(move |x: &Tensor| {
-                let y = m.forward(x, true);
-                m.zero_grads();
-                m.backward(&Tensor::ones(y.shape().dims()));
-            })
-        }),
-        ("resnet50_like", {
-            let mut m = resnet_cifar(SIDE, 4, 20, 1);
-            Box::new(move |x: &Tensor| {
-                let y = m.forward(x, true);
-                m.zero_grads();
-                m.backward(&Tensor::ones(y.shape().dims()));
-            })
-        }),
-        ("resnet110_like", {
-            let mut m = resnet_cifar(SIDE, 9, 20, 1);
-            Box::new(move |x: &Tensor| {
-                let y = m.forward(x, true);
-                m.zero_grads();
-                m.backward(&Tensor::ones(y.shape().dims()));
-            })
-        }),
-    ];
     let x = batch();
-    for (name, mut step) in workloads {
+    for (name, mut m) in models() {
+        let mut ws = Workspace::new();
+        let mut grad = Tensor::default();
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter(|| step(black_box(&x)))
+            b.iter(|| {
+                let y = m.forward_ws(black_box(&x), true, &mut ws);
+                grad.assign(y);
+                grad.fill(1.0);
+                m.zero_grads();
+                m.backward_ws(&grad, &mut ws);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_iteration_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_iteration_alloc");
+    group.sample_size(20);
+    let x = batch();
+    for (name, mut m) in models() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let y = m.forward(black_box(&x), true);
+                m.zero_grads();
+                m.backward(&Tensor::ones(y.shape().dims()));
+            })
         });
     }
     group.finish();
@@ -59,7 +69,16 @@ fn bench_loss(c: &mut Criterion) {
     c.bench_function("softmax_cross_entropy_128x100", |b| {
         b.iter(|| black_box(loss.loss_and_grad(black_box(&logits), black_box(&labels))))
     });
+    let mut grad = Tensor::default();
+    c.bench_function("softmax_cross_entropy_into_128x100", |b| {
+        b.iter(|| black_box(loss.loss_and_grad_into(black_box(&logits), &labels, &mut grad)))
+    });
 }
 
-criterion_group!(benches, bench_model_iteration, bench_loss);
+criterion_group!(
+    benches,
+    bench_model_iteration,
+    bench_model_iteration_alloc,
+    bench_loss
+);
 criterion_main!(benches);

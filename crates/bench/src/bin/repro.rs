@@ -8,12 +8,46 @@
 //! Experiments: `fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 table1 throughput
 //! theory ablation all`. By default experiments run at the quick scale; `--full` uses
 //! the scale documented in EXPERIMENTS.md.
+//!
+//! The `bench` mode measures the training-step hot path and the parallel sweep runner
+//! and writes a machine-readable `BENCH_<id>.json` record:
+//!
+//! ```text
+//! cargo run --release -p dssp-bench --bin repro -- bench [--id <id>] [--iters <n>]
+//! ```
 
 use dssp_bench as bench;
 use dssp_core::presets::Scale;
 
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run_bench_mode(args: &[String]) {
+    let id = flag_value(args, "--id").unwrap_or_else(|| "smoke".to_string());
+    let iters: u32 = flag_value(args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+        .max(1);
+    let record = bench::perf::collect(&id, iters);
+    let path = format!("BENCH_{id}.json");
+    std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", record.summary());
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench_mode(&args);
+        return;
+    }
     let scale = if args.iter().any(|a| a == "--full") {
         Scale::Full
     } else {
@@ -75,7 +109,7 @@ fn main() {
                 eprintln!(
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
-                     ablation_aggregation all"
+                     ablation_aggregation all bench"
                 );
                 std::process::exit(2);
             }

@@ -18,30 +18,41 @@ use dssp_ps::{IntervalTracker, PolicyKind, SyncController};
 use dssp_sim::{SimConfig, Simulation};
 use std::fmt::Write as _;
 
+pub mod perf;
+
 /// Runs one simulator configuration and returns its trace.
 pub fn run(config: SimConfig) -> RunTrace {
     Simulation::new(config).run()
 }
 
 /// Runs one configuration per policy, holding everything else fixed.
+///
+/// Independent policies execute concurrently on the [`dssp_core::pool`] thread pool
+/// (bounded by `DSSP_THREADS` / the machine's parallelism). Each simulation is
+/// deterministic given its configuration and results are returned in `policies` order,
+/// so the output is identical to a serial run.
 pub fn run_policies(
-    base: impl Fn(PolicyKind) -> SimConfig,
+    base: impl Fn(PolicyKind) -> SimConfig + Sync,
     policies: &[PolicyKind],
 ) -> Vec<RunTrace> {
-    policies.iter().map(|&p| run(base(p))).collect()
+    dssp_core::pool::parallel_map(policies.len(), dssp_core::pool::default_threads(), |i| {
+        run(base(policies[i]))
+    })
 }
 
 fn headline_with_average_ssp(
-    base: impl Fn(PolicyKind) -> SimConfig + Copy,
+    base: impl Fn(PolicyKind) -> SimConfig + Copy + Sync,
     out: &mut String,
 ) -> Vec<RunTrace> {
-    let bsp = run(base(PolicyKind::Bsp));
-    let asp = run(base(PolicyKind::Asp));
-    let dssp = run(base(dssp_reference()));
-    let ssp_traces = run_policies(base, &ssp_sweep());
+    // One parallel sweep over the headline paradigms and the whole SSP range.
+    let mut policies = vec![PolicyKind::Bsp, PolicyKind::Asp, dssp_reference()];
+    policies.extend(ssp_sweep());
+    let mut all = run_policies(base, &policies);
+    let ssp_traces = all.split_off(3);
     let avg_ssp = average_curve(&ssp_traces, 30, "Average SSP s=3 to 15");
 
-    let mut traces = vec![bsp, asp, dssp, avg_ssp];
+    let mut traces = all;
+    traces.push(avg_ssp);
     for t in &traces {
         let _ = writeln!(out, "{}", report::trace_summary_line(t));
     }
@@ -51,9 +62,13 @@ fn headline_with_average_ssp(
     traces
 }
 
-fn sweep_vs_dssp(base: impl Fn(PolicyKind) -> SimConfig + Copy, out: &mut String) -> Vec<RunTrace> {
-    let mut traces = run_policies(base, &ssp_sweep());
-    traces.push(run(base(dssp_reference())));
+fn sweep_vs_dssp(
+    base: impl Fn(PolicyKind) -> SimConfig + Copy + Sync,
+    out: &mut String,
+) -> Vec<RunTrace> {
+    let mut policies = ssp_sweep();
+    policies.push(dssp_reference());
+    let traces = run_policies(base, &policies);
     for t in &traces {
         let _ = writeln!(out, "{}", report::trace_summary_line(t));
     }
@@ -250,7 +265,7 @@ pub fn throughput(scale: Scale) -> String {
         (
             "downsized AlexNet (with FC layers)",
             Box::new(move |p| alexnet_homogeneous(p, scale))
-                as Box<dyn Fn(PolicyKind) -> SimConfig>,
+                as Box<dyn Fn(PolicyKind) -> SimConfig + Sync>,
         ),
         (
             "ResNet-110 analogue (no FC layers)",
@@ -498,6 +513,25 @@ pub fn bench_cost_profile() -> dssp_nn::CostProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_run_policies_is_identical_to_serial_runs() {
+        // Each simulation is deterministic given its config, and run_policies returns
+        // results in input order, so the thread pool must be invisible in the output.
+        let base = |p: PolicyKind| SimConfig {
+            policy: p,
+            ..SimConfig::default_small()
+        };
+        let policies = [
+            PolicyKind::Bsp,
+            PolicyKind::Asp,
+            PolicyKind::Ssp { s: 2 },
+            dssp_reference(),
+        ];
+        let parallel = run_policies(base, &policies);
+        let serial: Vec<RunTrace> = policies.iter().map(|&p| run(base(p))).collect();
+        assert_eq!(parallel, serial);
+    }
 
     #[test]
     fn fig2_reports_a_positive_r_star() {

@@ -13,7 +13,9 @@
 //! * [`report`] — CSV and Markdown rendering of traces and tables;
 //! * [`runtime`] — a real multi-threaded parameter-server runtime built on crossbeam
 //!   channels that exercises the exact same [`dssp_ps::ParameterServer`] logic with real
-//!   concurrency and wall-clock time.
+//!   concurrency and wall-clock time;
+//! * [`pool`] — a scoped thread pool used to run independent experiments (figure
+//!   sweeps) concurrently with deterministic, input-ordered results.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 
 mod experiment;
 pub mod metrics;
+pub mod pool;
 pub mod presets;
 pub mod report;
 pub mod runtime;

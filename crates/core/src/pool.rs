@@ -1,0 +1,117 @@
+//! A small scoped thread pool for running independent experiments concurrently.
+//!
+//! The paper's figure sweeps (Figures 3a–3f, Figure 4, Table I) run many *independent*
+//! simulations — one per synchronization policy or staleness threshold. Each simulation
+//! is deterministic given its configuration, so they can execute on worker threads in
+//! any order while the collected results are returned in **input order**, making a
+//! parallel sweep bit-identical to the serial one.
+//!
+//! [`parallel_map`] is deliberately dependency-free (scoped `std::thread` + an atomic
+//! work queue): the offline build environment has no rayon, and the jobs here are
+//! coarse (whole simulations), so work stealing would buy nothing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads to use for experiment sweeps.
+///
+/// Honors the `DSSP_THREADS` environment variable when set to a positive integer,
+/// otherwise uses the machine's available parallelism. Always at least 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DSSP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), ..., f(jobs - 1)` on up to `threads` worker threads and returns
+/// the results **in index order** (deterministic regardless of scheduling).
+///
+/// With `threads == 1` (or a single job) the jobs run inline on the calling thread, so
+/// a sweep forced serial via `DSSP_THREADS=1` takes exactly the pre-existing code path.
+///
+/// # Panics
+///
+/// Panics if any job panics (the panic is propagated).
+pub fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(jobs.max(1));
+    if threads <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut results: Vec<Option<T>> = Vec::with_capacity(jobs);
+    results.resize_with(jobs, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                // A send can only fail if the receiver was dropped, which only
+                // happens if another job panicked; exiting quietly lets the scope
+                // propagate that panic.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            results[i] = Some(value);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Jobs finish in scrambled order (larger index sleeps less); output order must
+        // still match input order.
+        let out = parallel_map(8, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((8 - i as u64) * 2));
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial: Vec<usize> = (0..16).map(|i| i * i).collect();
+        assert_eq!(parallel_map(16, 1, |i| i * i), serial);
+        assert_eq!(parallel_map(16, 3, |i| i * i), serial);
+        assert_eq!(parallel_map(16, 64, |i| i * i), serial);
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty_vec() {
+        let out: Vec<u32> = parallel_map(0, 4, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

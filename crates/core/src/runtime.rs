@@ -235,16 +235,20 @@ fn worker_loop(
     let loss_fn = SoftmaxCrossEntropy::new();
     let mut weights = initial_params;
     let mut waiting_time_s = 0.0;
+    let mut ws = dssp_nn::Workspace::new();
+    let mut grad_logits = dssp_tensor::Tensor::default();
     for iter in 0..target {
         if let Some(d) = delay {
             thread::sleep(d);
         }
         model.set_params_flat(&weights);
         let (x, labels) = batches.next_batch();
-        let logits = model.forward(&x, true);
-        let (_, grad_logits) = loss_fn.loss_and_grad(&logits, &labels);
+        let logits = model.forward_ws(&x, true, &mut ws);
+        let _ = loss_fn.loss_and_grad_into(logits, &labels, &mut grad_logits);
         model.zero_grads();
-        model.backward(&grad_logits);
+        model.backward_ws(&grad_logits, &mut ws);
+        // The gradient crosses a thread boundary, so this one allocation per push
+        // stays (the server consumes the Vec).
         let grads = model.grads_flat();
         tx.send(WorkerMsg::Push { worker, grads })
             .expect("server hung up");

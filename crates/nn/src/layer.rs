@@ -1,6 +1,7 @@
 //! The [`Layer`] and [`Model`] traits: the contract between the training substrate and
 //! the distributed runtimes.
 
+use crate::workspace::LayerScratch;
 use dssp_tensor::Tensor;
 
 /// A differentiable layer.
@@ -25,6 +26,38 @@ pub trait Layer: Send {
     /// accumulating parameter gradients internally, and returns the gradient with
     /// respect to the layer input.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Workspace-backed forward pass: writes the output into `out` and keeps any
+    /// intermediate state in `scratch`, so a warmed workspace runs without heap
+    /// allocations.
+    ///
+    /// The default implementation falls back to the allocating [`Layer::forward`];
+    /// hot-path layers override it. Like `forward`/`backward`, the workspace pair must
+    /// be called in strict `forward_ws` → `backward_ws` order with the same scratch.
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+        scratch: &mut LayerScratch,
+    ) {
+        let _ = scratch;
+        *out = self.forward(input, train);
+    }
+
+    /// Workspace-backed backward pass: writes the input gradient into `grad_input`,
+    /// reusing `scratch` buffers from the matching [`Layer::forward_ws`] call.
+    ///
+    /// The default implementation falls back to the allocating [`Layer::backward`].
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        scratch: &mut LayerScratch,
+    ) {
+        let _ = scratch;
+        *grad_input = self.backward(grad_output);
+    }
 
     /// Number of learnable parameters in this layer.
     fn param_len(&self) -> usize {

@@ -1,9 +1,16 @@
 //! Concrete layer implementations: dense, convolution, pooling, activation, residual.
+//!
+//! Every hot-path layer implements both the allocating [`Layer::forward`] /
+//! [`Layer::backward`] API and the workspace-backed [`Layer::forward_ws`] /
+//! [`Layer::backward_ws`] pair. The two paths share the same kernels (the allocating
+//! tensor ops are thin wrappers over the `*_into` kernels) and produce bitwise-identical
+//! results; the workspace path reuses every intermediate buffer across iterations.
 
+use crate::workspace::LayerScratch;
 use crate::Layer;
 use dssp_tensor::{
-    conv2d, conv2d_backward, he_normal, max_pool2d, max_pool2d_backward, xavier_uniform,
-    Conv2dSpec, Pool2dSpec, Tensor,
+    conv2d_backward_into, conv2d_into, he_normal, max_pool2d_backward_into, max_pool2d_into,
+    xavier_uniform, Conv2dSpec, ConvScratch, Pool2dSpec, Tensor,
 };
 
 /// Fully connected (dense) layer: `y = x W + b`.
@@ -52,6 +59,14 @@ impl DenseLayer {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Stores a copy of the forward input for the backward pass, reusing the cache
+    /// buffer across iterations.
+    fn cache_input(&mut self, input: &Tensor) {
+        self.cached_input
+            .get_or_insert_with(Tensor::default)
+            .assign(input);
+    }
 }
 
 impl Layer for DenseLayer {
@@ -61,7 +76,7 @@ impl Layer for DenseLayer {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         debug_assert_eq!(input.shape().dim(1), self.in_features);
-        self.cached_input = Some(input.clone());
+        self.cache_input(input);
         input.matmul(&self.weight).add_row_broadcast(&self.bias)
     }
 
@@ -74,6 +89,38 @@ impl Layer for DenseLayer {
         self.grad_weight.add_assign(&input.matmul_tn(grad_output));
         self.grad_bias.add_assign(&grad_output.sum_rows());
         grad_output.matmul_nt(&self.weight)
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _scratch: &mut LayerScratch,
+    ) {
+        debug_assert_eq!(input.shape().dim(1), self.in_features);
+        self.cache_input(input);
+        input.matmul_into(&self.weight, out);
+        out.add_row_broadcast_inplace(&self.bias);
+    }
+
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        scratch: &mut LayerScratch,
+    ) {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let dw = scratch.buf(0);
+        input.matmul_tn_into(grad_output, dw);
+        self.grad_weight.add_assign(dw);
+        let db = scratch.buf(1);
+        grad_output.sum_rows_into(db);
+        self.grad_bias.add_assign(db);
+        grad_output.matmul_nt_into(&self.weight, grad_input);
     }
 
     fn param_len(&self) -> usize {
@@ -122,6 +169,7 @@ pub struct Conv2dLayer {
     grad_bias: Tensor,
     cached_cols: Option<Tensor>,
     cached_batch: usize,
+    conv_scratch: ConvScratch,
 }
 
 impl Conv2dLayer {
@@ -145,6 +193,7 @@ impl Conv2dLayer {
             grad_bias: Tensor::zeros(&[spec.out_channels]),
             cached_cols: None,
             cached_batch: 0,
+            conv_scratch: ConvScratch::default(),
         }
     }
 
@@ -169,26 +218,57 @@ impl Layer for Conv2dLayer {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.forward_ws(input, &mut out, train, &mut scratch);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut grad_input = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.backward_ws(grad_output, &mut grad_input, &mut scratch);
+        grad_input
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _scratch: &mut LayerScratch,
+    ) {
         self.cached_batch = input.shape().dim(0);
-        let (out, cols) = conv2d(
+        let cols = self.cached_cols.get_or_insert_with(Tensor::default);
+        conv2d_into(
             input,
             &self.weight,
             &self.bias,
             self.in_h,
             self.in_w,
             &self.spec,
+            cols,
+            &mut self.conv_scratch,
+            out,
         );
-        self.cached_cols = Some(cols);
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        scratch: &mut LayerScratch,
+    ) {
         let cols = self
             .cached_cols
             .as_ref()
             .expect("backward called before forward");
-        let (grad_input, grad_w, grad_b) = conv2d_backward(
+        let (bufs, _) = scratch.parts(4, 0);
+        let (g, rest) = bufs.split_at_mut(1);
+        let (grad_cols, rest) = rest.split_at_mut(1);
+        let (dw, db) = rest.split_at_mut(1);
+        conv2d_backward_into(
             grad_output,
             cols,
             &self.weight,
@@ -196,10 +276,15 @@ impl Layer for Conv2dLayer {
             self.in_h,
             self.in_w,
             &self.spec,
+            &mut g[0],
+            &mut grad_cols[0],
+            &mut self.conv_scratch,
+            grad_input,
+            &mut dw[0],
+            &mut db[0],
         );
-        self.grad_weight.add_assign(&grad_w);
-        self.grad_bias.add_assign(&grad_b);
-        grad_input
+        self.grad_weight.add_assign(&dw[0]);
+        self.grad_bias.add_assign(&db[0]);
     }
 
     fn param_len(&self) -> usize {
@@ -256,20 +341,59 @@ impl Layer for ReluLayer {
         "relu"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
-        self.shape = input.shape().dims().to_vec();
-        input.map(|v| v.max(0.0))
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.forward_ws(input, &mut out, train, &mut scratch);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let data = grad_output
-            .as_slice()
-            .iter()
+        let mut grad_input = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.backward_ws(grad_output, &mut grad_input, &mut scratch);
+        grad_input
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _scratch: &mut LayerScratch,
+    ) {
+        self.shape.clear();
+        self.shape.extend_from_slice(input.shape().dims());
+        out.ensure_shape(&self.shape);
+        self.mask.resize(input.len(), false);
+        // Single fused pass: activation and backward mask together.
+        for ((o, &v), m) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .zip(self.mask.iter_mut())
+        {
+            let keep = v > 0.0;
+            *m = keep;
+            *o = if keep { v } else { 0.0 };
+        }
+    }
+
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        _scratch: &mut LayerScratch,
+    ) {
+        grad_input.ensure_shape(&self.shape);
+        for ((o, &g), &m) in grad_input
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
             .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(data, &self.shape)
+        {
+            *o = if m { g } else { 0.0 };
+        }
     }
 
     fn flops_per_example(&self) -> u64 {
@@ -310,15 +434,46 @@ impl Layer for MaxPool2dLayer {
         "maxpool"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.input_dims = input.shape().dims().to_vec();
-        let (out, winners) = max_pool2d(input, self.in_h, self.in_w, &self.spec);
-        self.winners = winners;
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.forward_ws(input, &mut out, train, &mut scratch);
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        max_pool2d_backward(grad_output, &self.winners, &self.input_dims)
+        let mut grad_input = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.backward_ws(grad_output, &mut grad_input, &mut scratch);
+        grad_input
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _scratch: &mut LayerScratch,
+    ) {
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.shape().dims());
+        max_pool2d_into(
+            input,
+            self.in_h,
+            self.in_w,
+            &self.spec,
+            out,
+            &mut self.winners,
+        );
+    }
+
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        _scratch: &mut LayerScratch,
+    ) {
+        max_pool2d_backward_into(grad_output, &self.winners, &self.input_dims, grad_input);
     }
 
     fn flops_per_example(&self) -> u64 {
@@ -353,6 +508,31 @@ impl Layer for Flatten {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         grad_output.reshaped(&self.input_dims)
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _scratch: &mut LayerScratch,
+    ) {
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.shape().dims());
+        let n = self.input_dims[0];
+        let rest: usize = self.input_dims[1..].iter().product();
+        out.assign(input);
+        out.reshape_inplace(&[n, rest]);
+    }
+
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        _scratch: &mut LayerScratch,
+    ) {
+        grad_input.assign(grad_output);
+        grad_input.reshape_inplace(&self.input_dims);
     }
 
     fn flops_per_example(&self) -> u64 {
@@ -416,21 +596,57 @@ impl Layer for ResidualBlock {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let a = self.conv1.forward(input, train);
-        let a = self.relu1.forward(&a, train);
-        let b = self.conv2.forward(&a, train);
-        let summed = b.add(input);
-        self.relu_out.forward(&summed, train)
+        let mut out = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.forward_ws(input, &mut out, train, &mut scratch);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let g_sum = self.relu_out.backward(grad_output);
-        // Branch path.
-        let g_b = self.conv2.backward(&g_sum);
-        let g_a = self.relu1.backward(&g_b);
-        let g_branch = self.conv1.backward(&g_a);
-        // Skip path contributes g_sum directly.
-        g_branch.add(&g_sum)
+        let mut grad_input = Tensor::default();
+        let mut scratch = LayerScratch::default();
+        self.backward_ws(grad_output, &mut grad_input, &mut scratch);
+        grad_input
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+        scratch: &mut LayerScratch,
+    ) {
+        let (bufs, kids) = scratch.parts(2, 4);
+        let (a, b) = bufs.split_at_mut(1);
+        let (a, b) = (&mut a[0], &mut b[0]);
+        self.conv1.forward_ws(input, a, train, &mut kids[0]);
+        self.relu1.forward_ws(a, b, train, &mut kids[1]);
+        self.conv2.forward_ws(b, a, train, &mut kids[2]);
+        // summed = conv2(..) + x, accumulated in place.
+        a.add_assign(input);
+        self.relu_out.forward_ws(a, out, train, &mut kids[3]);
+    }
+
+    fn backward_ws(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        scratch: &mut LayerScratch,
+    ) {
+        let (bufs, kids) = scratch.parts(2, 4);
+        let (a, b) = bufs.split_at_mut(1);
+        let (a, b) = (&mut a[0], &mut b[0]);
+        // grad_input first holds g_sum, the gradient at the skip-join point.
+        self.relu_out
+            .backward_ws(grad_output, grad_input, &mut kids[3]);
+        // Branch path: conv2 -> relu1 -> conv1.
+        self.conv2.backward_ws(grad_input, a, &mut kids[2]);
+        self.relu1.backward_ws(a, b, &mut kids[1]);
+        self.conv1.backward_ws(b, a, &mut kids[0]);
+        // Skip path contributes g_sum directly: grad_input = g_branch + g_sum.
+        for (o, &branch) in grad_input.as_mut_slice().iter_mut().zip(a.as_slice()) {
+            *o = branch + *o;
+        }
     }
 
     fn param_len(&self) -> usize {

@@ -40,6 +40,7 @@ mod optimizer;
 mod pooling;
 mod regularize;
 mod sequential;
+mod workspace;
 
 pub use adam::{Adam, AdamConfig, Optimizer};
 pub use cost::CostProfile;
@@ -51,3 +52,4 @@ pub use optimizer::{LrSchedule, Sgd, SgdConfig};
 pub use pooling::{AvgPool2dLayer, GlobalAvgPool2dLayer};
 pub use regularize::DropoutLayer;
 pub use sequential::Sequential;
+pub use workspace::{LayerScratch, Workspace};

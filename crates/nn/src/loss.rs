@@ -30,24 +30,35 @@ impl SoftmaxCrossEntropy {
     /// Panics if `labels.len()` differs from the number of logit rows or a label is out
     /// of range.
     pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let mut grad = Tensor::default();
+        let loss = self.loss_and_grad_into(logits, labels, &mut grad);
+        (loss, grad)
+    }
+
+    /// [`SoftmaxCrossEntropy::loss_and_grad`] writing the gradient into a
+    /// caller-provided buffer (reused without allocation once warmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the number of logit rows or a label is out
+    /// of range.
+    pub fn loss_and_grad_into(&self, logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
         let n = logits.rows();
         let classes = logits.cols();
         assert_eq!(labels.len(), n, "one label per logit row required");
-        let probs = logits.softmax_rows();
-        let mut grad = probs.clone();
+        logits.softmax_rows_into(grad);
         let mut loss = 0.0f32;
         for (i, &label) in labels.iter().enumerate() {
             assert!(
                 label < classes,
                 "label {label} out of range for {classes} classes"
             );
-            let p = probs.at2(i, label).max(1e-12);
-            loss -= p.ln();
             let current = grad.at2(i, label);
+            loss -= current.max(1e-12).ln();
             grad.set2(i, label, current - 1.0);
         }
         grad.scale_inplace(1.0 / n as f32);
-        (loss / n as f32, grad)
+        loss / n as f32
     }
 
     /// Computes only the mean loss (no gradient), for evaluation passes.

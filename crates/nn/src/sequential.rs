@@ -1,5 +1,6 @@
 //! A sequential container over [`Layer`]s implementing [`Model`].
 
+use crate::workspace::Workspace;
 use crate::{Layer, Model};
 use dssp_tensor::Tensor;
 
@@ -51,6 +52,83 @@ impl Sequential {
     /// Names of all layers, in execution order.
     pub fn layer_names(&self) -> Vec<String> {
         self.layers.iter().map(|l| l.name().to_string()).collect()
+    }
+
+    /// Workspace-backed forward pass over the whole stack.
+    ///
+    /// Activations ping-pong between the workspace's two activation buffers, and each
+    /// layer keeps its intermediates in its own [`crate::LayerScratch`], so once `ws`
+    /// has been warmed by one step this performs no heap allocations. Returns a
+    /// reference to the output activation (owned by `ws`).
+    pub fn forward_ws<'w>(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        ws: &'w mut Workspace,
+    ) -> &'w Tensor {
+        ws.ensure_layers(self.layers.len());
+        ws.ping.assign(input);
+        let mut flip = false;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (src, dst) = if flip {
+                (&ws.pong, &mut ws.ping)
+            } else {
+                (&ws.ping, &mut ws.pong)
+            };
+            layer.forward_ws(src, dst, train, &mut ws.layers[i]);
+            flip = !flip;
+        }
+        if flip {
+            &ws.pong
+        } else {
+            &ws.ping
+        }
+    }
+
+    /// Workspace-backed backward pass, mirroring [`Sequential::forward_ws`].
+    ///
+    /// Parameter gradients accumulate inside the layers exactly as with
+    /// [`Model::backward`]; the returned reference is the gradient with respect to the
+    /// model input (owned by `ws`).
+    pub fn backward_ws<'w>(&mut self, grad_output: &Tensor, ws: &'w mut Workspace) -> &'w Tensor {
+        ws.ensure_layers(self.layers.len());
+        ws.ping.assign(grad_output);
+        let mut flip = false;
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let (src, dst) = if flip {
+                (&ws.pong, &mut ws.ping)
+            } else {
+                (&ws.ping, &mut ws.pong)
+            };
+            layer.backward_ws(src, dst, &mut ws.layers[i]);
+            flip = !flip;
+        }
+        if flip {
+            &ws.pong
+        } else {
+            &ws.ping
+        }
+    }
+
+    /// Copies all accumulated gradients into `out` (length must be
+    /// [`Model::param_len`]), the allocation-free sibling of [`Model::grads_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.param_len()`.
+    pub fn read_grads_into(&self, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.param_len(),
+            "gradient buffer length mismatch for {}",
+            self.arch_name
+        );
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_len();
+            layer.read_grads(&mut out[offset..offset + n]);
+            offset += n;
+        }
     }
 
     /// Total parameter count in the fully connected layers only.

@@ -119,6 +119,7 @@ pub struct Simulation {
     time_model: TimeModel,
     eval_model: Sequential,
     eval_batch: (Tensor, Vec<usize>),
+    eval_ws: dssp_nn::Workspace,
     queue: EventQueue,
     trace: Vec<TracePoint>,
     last_eval_pushes: u64,
@@ -203,6 +204,7 @@ impl Simulation {
             time_model,
             eval_model,
             eval_batch,
+            eval_ws: dssp_nn::Workspace::new(),
             queue: EventQueue::new(),
             trace: Vec::new(),
             last_eval_pushes: 0,
@@ -266,7 +268,9 @@ impl Simulation {
     /// Pulls the global weights for `worker` (queuing the pull transfer on the server
     /// link), runs the compute phase, and schedules the `ComputeDone` event.
     fn start_iteration(&mut self, worker: usize, now: f64) {
-        self.local_weights[worker] = self.server.pull();
+        // Copy the global weights into the worker's reusable local buffer (same length
+        // every iteration, so no allocation).
+        self.local_weights[worker].copy_from_slice(self.server.weights());
         let pull_done = self.reserve_link(now);
         let cost = self.time_model.sample_iteration(worker, now);
         self.workers[worker].state = WorkerState::Computing;
@@ -284,7 +288,7 @@ impl Simulation {
     /// Processes the arrival of a worker's push request at the server.
     fn handle_push_arrival(&mut self, worker: usize, now: f64) {
         let grad = self.workers[worker].compute_gradient(&self.local_weights[worker]);
-        let result = self.server.handle_push(worker, &grad, now);
+        let result = self.server.handle_push(worker, grad, now);
         self.workers[worker].iterations += 1;
         self.workers[worker].last_push_time = now;
 
@@ -328,8 +332,10 @@ impl Simulation {
     fn record_eval(&mut self, now: f64) {
         self.last_eval_pushes = self.server.version();
         self.eval_model.set_params_flat(self.server.weights());
-        let logits = self.eval_model.forward(&self.eval_batch.0, false);
-        let acc = accuracy(&logits, &self.eval_batch.1);
+        let logits = self
+            .eval_model
+            .forward_ws(&self.eval_batch.0, false, &mut self.eval_ws);
+        let acc = accuracy(logits, &self.eval_batch.1);
         let total_iters: u64 = self.workers.iter().map(|w| w.iterations).sum();
         let total_loss: f64 = self.workers.iter().map(|w| w.loss_sum).sum();
         let train_loss = if total_iters == 0 {

@@ -2,7 +2,8 @@
 //! described in Algorithm 1 (worker part).
 
 use dssp_data::BatchIter;
-use dssp_nn::{Model, Sequential, SoftmaxCrossEntropy};
+use dssp_nn::{Model, Sequential, SoftmaxCrossEntropy, Workspace};
+use dssp_tensor::Tensor;
 
 /// The lifecycle state of a simulated worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,10 +33,16 @@ pub(crate) struct SimWorker {
     /// Sum of training losses observed by this worker (for the running average).
     pub loss_sum: f64,
     loss_fn: SoftmaxCrossEntropy,
+    /// Reusable scratch memory: after the first iteration, `compute_gradient` performs
+    /// no heap allocations in the model forward/backward passes.
+    ws: Workspace,
+    grad_logits: Tensor,
+    grad_buf: Vec<f32>,
 }
 
 impl SimWorker {
     pub fn new(id: usize, model: Sequential, batches: BatchIter, target_iterations: u64) -> Self {
+        let grad_buf = vec![0.0; model.param_len()];
         Self {
             id,
             model,
@@ -47,6 +54,9 @@ impl SimWorker {
             last_push_time: 0.0,
             loss_sum: 0.0,
             loss_fn: SoftmaxCrossEntropy::new(),
+            ws: Workspace::new(),
+            grad_logits: Tensor::default(),
+            grad_buf,
         }
     }
 
@@ -65,17 +75,21 @@ impl SimWorker {
     ///
     /// The returned gradient is the mean over the mini-batch, matching the paper's
     /// `g ← (1/m) Σ ∂loss`.
-    pub fn compute_gradient(&mut self, global_weights: &[f32]) -> Vec<f32> {
+    pub fn compute_gradient(&mut self, global_weights: &[f32]) -> &[f32] {
         // Line 3: replace local weights with the pulled global weights.
         self.model.set_params_flat(global_weights);
-        // Line 4: mini-batch gradient.
+        // Line 4: mini-batch gradient, computed on the reusable workspace so the
+        // steady-state step does not allocate.
         let (x, labels) = self.batches.next_batch();
-        let logits = self.model.forward(&x, true);
-        let (loss, grad_logits) = self.loss_fn.loss_and_grad(&logits, &labels);
+        let logits = self.model.forward_ws(&x, true, &mut self.ws);
+        let loss = self
+            .loss_fn
+            .loss_and_grad_into(logits, &labels, &mut self.grad_logits);
         self.loss_sum += f64::from(loss);
         self.model.zero_grads();
-        self.model.backward(&grad_logits);
-        self.model.grads_flat()
+        self.model.backward_ws(&self.grad_logits, &mut self.ws);
+        self.model.read_grads_into(&mut self.grad_buf);
+        &self.grad_buf
     }
 
     /// Mean training loss observed by this worker so far.

@@ -69,6 +69,17 @@ impl Pool2dSpec {
 /// Each output row contains the receptive field of one output position, so the
 /// convolution reduces to a single matrix multiplication with the filter matrix.
 pub fn im2col(input: &Tensor, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let mut out = Tensor::default();
+    im2col_into(input, h, w, spec, &mut out);
+    out
+}
+
+/// [`im2col`] writing into a caller-provided buffer.
+///
+/// Every output element is written (padding positions get explicit zeros), so the
+/// buffer never needs pre-zeroing and can be reused across iterations without any
+/// allocator traffic once warmed.
+pub fn im2col_into(input: &Tensor, h: usize, w: usize, spec: &Conv2dSpec, out: &mut Tensor) {
     let dims = input.shape().dims();
     let n = dims[0];
     let c = spec.in_channels;
@@ -77,7 +88,8 @@ pub fn im2col(input: &Tensor, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
     let ow = spec.out_size(w);
     let k = spec.kernel;
     let cols_per_row = c * k * k;
-    let mut out = vec![0.0f32; n * oh * ow * cols_per_row];
+    out.ensure_shape(&[n * oh * ow, cols_per_row]);
+    let o = out.as_mut_slice();
     let x = input.as_slice();
     let pad = spec.padding as isize;
     let stride = spec.stride;
@@ -85,38 +97,58 @@ pub fn im2col(input: &Tensor, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((ni * oh + oy) * ow + ox) * cols_per_row;
+                // The valid kx span is the same for every channel and kernel row:
+                // ix = ox*stride + kx - pad must land in [0, w).
+                let x0 = (ox * stride) as isize - pad;
+                let kx_lo = (-x0).clamp(0, k as isize) as usize;
+                let kx_hi = (w as isize - x0).clamp(0, k as isize) as usize;
                 for ci in 0..c {
                     for ky in 0..k {
                         let iy = (oy * stride) as isize + ky as isize - pad;
-                        for kx in 0..k {
-                            let ix = (ox * stride) as isize + kx as isize - pad;
-                            let col = (ci * k + ky) * k + kx;
-                            let v = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
-                            {
-                                x[((ni * c + ci) * h + iy as usize) * w + ix as usize]
-                            } else {
-                                0.0
-                            };
-                            out[row + col] = v;
+                        let col = (ci * k + ky) * k;
+                        let dst = &mut o[row + col..row + col + k];
+                        if iy < 0 || (iy as usize) >= h || kx_lo >= kx_hi {
+                            dst.fill(0.0);
+                            continue;
                         }
+                        let in_base = ((ni * c + ci) * h + iy as usize) * w;
+                        dst[..kx_lo].fill(0.0);
+                        let src0 = (in_base as isize + x0 + kx_lo as isize) as usize;
+                        dst[kx_lo..kx_hi].copy_from_slice(&x[src0..src0 + (kx_hi - kx_lo)]);
+                        dst[kx_hi..].fill(0.0);
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, cols_per_row])
 }
 
 /// Folds column form `[N * OH * OW, C * K * K]` back into `[N, C, H, W]`, accumulating
 /// overlapping contributions. This is the adjoint of [`im2col`], used for the gradient
 /// with respect to the convolution input.
 pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let mut out = Tensor::default();
+    col2im_into(cols, n, h, w, spec, &mut out);
+    out
+}
+
+/// [`col2im`] writing into a caller-provided buffer (zeroed, then accumulated).
+pub fn col2im_into(
+    cols: &Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    out: &mut Tensor,
+) {
     let c = spec.in_channels;
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let k = spec.kernel;
     let cols_per_row = c * k * k;
-    let mut out = vec![0.0f32; n * c * h * w];
+    out.ensure_shape(&[n, c, h, w]);
+    let out = out.as_mut_slice();
+    out.fill(0.0);
     let src = cols.as_slice();
     let pad = spec.padding as isize;
     let stride = spec.stride;
@@ -124,15 +156,83 @@ pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((ni * oh + oy) * ow + ox) * cols_per_row;
+                let x0 = (ox * stride) as isize - pad;
+                let kx_lo = (-x0).clamp(0, k as isize) as usize;
+                let kx_hi = (w as isize - x0).clamp(0, k as isize) as usize;
                 for ci in 0..c {
                     for ky in 0..k {
                         let iy = (oy * stride) as isize + ky as isize - pad;
-                        for kx in 0..k {
-                            let ix = (ox * stride) as isize + kx as isize - pad;
-                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                let col = (ci * k + ky) * k + kx;
-                                out[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
-                                    src[row + col];
+                        if iy < 0 || (iy as usize) >= h || kx_lo >= kx_hi {
+                            continue;
+                        }
+                        let col = (ci * k + ky) * k;
+                        let src_row = &src[row + col + kx_lo..row + col + kx_hi];
+                        let dst0 =
+                            (((ni * c + ci) * h + iy as usize) * w) as isize + x0 + kx_lo as isize;
+                        let dst = &mut out[dst0 as usize..dst0 as usize + src_row.len()];
+                        for (d, &s) in dst.iter_mut().zip(src_row) {
+                            *d += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Transposed `im2col`: unrolls an `[N, C, H, W]` input into `[C * K * K, N * OH * OW]`
+/// column form (one *row* per kernel point, one *column* per output position).
+///
+/// This is the layout the convolution kernels actually compute with: the GEMM's inner
+/// loop then runs over the long `N * OH * OW` dimension, which vectorizes, instead of
+/// over the (typically tiny) output-channel count. For `stride == 1` every valid span
+/// is a contiguous `copy_from_slice`.
+pub fn im2col_t_into(input: &Tensor, h: usize, w: usize, spec: &Conv2dSpec, out: &mut Tensor) {
+    let dims = input.shape().dims();
+    let n = dims[0];
+    let c = spec.in_channels;
+    debug_assert_eq!(dims[1], c, "im2col channel mismatch");
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let k = spec.kernel;
+    let npos = n * oh * ow;
+    out.ensure_shape(&[c * k * k, npos]);
+    let o = out.as_mut_slice();
+    let x = input.as_slice();
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    let ohow = oh * ow;
+    for ci in 0..c {
+        for ky in 0..k {
+            // Valid oy span: 0 <= oy*stride + ky - pad < h (same for every image).
+            let (oy_lo, oy_hi) = valid_out_span(ky, pad, stride, h, oh);
+            for kx in 0..k {
+                let col = (ci * k + ky) * k + kx;
+                // Valid ox span: 0 <= ox*stride + kx - pad < w.
+                let (ox_lo, ox_hi) = valid_out_span(kx, pad, stride, w, ow);
+                for ni in 0..n {
+                    let block = &mut o[col * npos + ni * ohow..col * npos + (ni + 1) * ohow];
+                    if ox_lo >= ox_hi || oy_lo >= oy_hi {
+                        block.fill(0.0);
+                        continue;
+                    }
+                    // Padding rows above and below the valid oy span, filled in bulk.
+                    block[..oy_lo * ow].fill(0.0);
+                    block[oy_hi * ow..].fill(0.0);
+                    for oy in oy_lo..oy_hi {
+                        let iy = oy * stride + ky - pad as usize;
+                        let dst = &mut block[oy * ow..(oy + 1) * ow];
+                        dst[..ox_lo].fill(0.0);
+                        dst[ox_hi..].fill(0.0);
+                        let src_base = ((ni * c + ci) * h + iy) * w;
+                        let ix0 = (ox_lo * stride) as isize + kx as isize - pad;
+                        if stride == 1 {
+                            let s0 = (src_base as isize + ix0) as usize;
+                            dst[ox_lo..ox_hi].copy_from_slice(&x[s0..s0 + (ox_hi - ox_lo)]);
+                        } else {
+                            for (j, d) in dst[ox_lo..ox_hi].iter_mut().enumerate() {
+                                let ix = (ix0 as usize) + j * stride;
+                                *d = x[src_base + ix];
                             }
                         }
                     }
@@ -140,7 +240,80 @@ pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Adjoint of [`im2col_t_into`]: folds `[C * K * K, N * OH * OW]` column form back into
+/// `[N, C, H, W]`, accumulating overlapping contributions.
+///
+/// The accumulation visits kernel points in row-major order (outermost loop), so the
+/// per-element summation order differs from [`col2im`]'s output-position-major order;
+/// the two agree to floating-point reassociation (the usual 1e-6 tolerance).
+pub fn col2im_t_into(
+    cols_t: &Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    out: &mut Tensor,
+) {
+    let c = spec.in_channels;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let k = spec.kernel;
+    let npos = n * oh * ow;
+    out.ensure_shape(&[n, c, h, w]);
+    let o = out.as_mut_slice();
+    o.fill(0.0);
+    let src = cols_t.as_slice();
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    for ci in 0..c {
+        for ky in 0..k {
+            let (oy_lo, oy_hi) = valid_out_span(ky, pad, stride, h, oh);
+            for kx in 0..k {
+                let col = (ci * k + ky) * k + kx;
+                let (ox_lo, ox_hi) = valid_out_span(kx, pad, stride, w, ow);
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                for ni in 0..n {
+                    for oy in oy_lo..oy_hi {
+                        let iy = oy * stride + ky - pad as usize;
+                        let src_base = col * npos + (ni * oh + oy) * ow;
+                        let s = &src[src_base + ox_lo..src_base + ox_hi];
+                        let dst_base = ((ni * c + ci) * h + iy) * w;
+                        let ix0 = ((ox_lo * stride) as isize + kx as isize - pad) as usize;
+                        if stride == 1 {
+                            let d = &mut o[dst_base + ix0..dst_base + ix0 + s.len()];
+                            for (dv, &sv) in d.iter_mut().zip(s) {
+                                *dv += sv;
+                            }
+                        } else {
+                            for (j, &sv) in s.iter().enumerate() {
+                                o[dst_base + ix0 + j * stride] += sv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The half-open `ox` range for which `ox * stride + kx - pad` lands inside `[0, w)`.
+fn valid_out_span(kx: usize, pad: isize, stride: usize, w: usize, ow: usize) -> (usize, usize) {
+    let off = kx as isize - pad; // ix = ox*stride + off
+    let lo = if off >= 0 {
+        0
+    } else {
+        ((-off) as usize).div_ceil(stride)
+    };
+    let hi = if (w as isize) <= off {
+        0
+    } else {
+        ((w as isize - off - 1) as usize) / stride + 1
+    };
+    (lo.min(ow), hi.min(ow))
 }
 
 /// Forward 2-D convolution.
@@ -149,8 +322,8 @@ pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
 /// * `weight` — `[OC, C*K*K]` (filters flattened row-major)
 /// * `bias`   — `[OC]`
 ///
-/// Returns `[N, OC, OH, OW]` along with the cached `im2col` matrix (needed by the
-/// backward pass).
+/// Returns `[N, OC, OH, OW]` along with the cached transposed `im2col` matrix
+/// (`[C*K*K, N*OH*OW]`, see [`im2col_t_into`]), which the backward pass consumes.
 pub fn conv2d(
     input: &Tensor,
     weight: &Tensor,
@@ -159,28 +332,82 @@ pub fn conv2d(
     w: usize,
     spec: &Conv2dSpec,
 ) -> (Tensor, Tensor) {
+    let mut cols = Tensor::default();
+    let mut scratch = ConvScratch::default();
+    let mut out = Tensor::default();
+    conv2d_into(
+        input,
+        weight,
+        bias,
+        h,
+        w,
+        spec,
+        &mut cols,
+        &mut scratch,
+        &mut out,
+    );
+    (out, cols)
+}
+
+/// Scratch buffers for the convolution kernels, reused across iterations.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    /// The `weight x cols_t` product (`[OC, N*OH*OW]`) before layout rearrangement.
+    pub prod: Tensor,
+    /// The filter matrix transposed to `[C*K*K, OC]` (used by the backward pass).
+    pub weight_t: Tensor,
+}
+
+/// [`conv2d`] writing into caller-provided buffers.
+///
+/// * `cols` receives the **transposed** `im2col` matrix (`[C*K*K, N*OH*OW]`, needed
+///   again by the backward pass);
+/// * `scratch` holds the pre-rearrangement product;
+/// * `out` receives the `[N, OC, OH, OW]` activation.
+///
+/// The product `weight x cols_t` runs the GEMM inner loop over the long
+/// `N*OH*OW` dimension (vectorizable) while accumulating the shared kernel-point
+/// dimension in ascending order — bitwise identical to the naive
+/// `im2col x weight^T` formulation. The bias addition is fused into the layout
+/// rearrangement, which copies one contiguous `OH*OW` run per `(image, channel)` pair.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    cols: &mut Tensor,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor,
+) {
     let n = input.shape().dims()[0];
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
-    let cols = im2col(input, h, w, spec);
-    // [N*OH*OW, C*K*K] x [C*K*K, OC] -> [N*OH*OW, OC]
-    let prod = cols.matmul_nt(weight);
-    let with_bias = prod.add_row_broadcast(bias);
-    // Rearrange [N*OH*OW, OC] into [N, OC, OH, OW].
+    im2col_t_into(input, h, w, spec, cols);
+    // [OC, C*K*K] x [C*K*K, N*OH*OW] -> [OC, N*OH*OW]
+    let prod = &mut scratch.prod;
+    weight.matmul_into(cols, prod);
+    // Rearrange [OC, N*OH*OW] into [N, OC, OH, OW], adding the bias on the way; both
+    // sides are contiguous OH*OW runs.
     let oc = spec.out_channels;
-    let mut out = vec![0.0f32; n * oc * oh * ow];
-    let src = with_bias.as_slice();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * oc;
-                for co in 0..oc {
-                    out[((ni * oc + co) * oh + oy) * ow + ox] = src[row + co];
-                }
+    let ohow = oh * ow;
+    let npos = n * ohow;
+    out.ensure_shape(&[n, oc, oh, ow]);
+    let o = out.as_mut_slice();
+    let src = prod.as_slice();
+    let b = bias.as_slice();
+    for co in 0..oc {
+        let bias_c = b[co];
+        for ni in 0..n {
+            let s = &src[co * npos + ni * ohow..co * npos + (ni + 1) * ohow];
+            let d = &mut o[(ni * oc + co) * ohow..(ni * oc + co + 1) * ohow];
+            for (dv, &sv) in d.iter_mut().zip(s) {
+                *dv = sv + bias_c;
             }
         }
     }
-    (Tensor::from_vec(out, &[n, oc, oh, ow]), cols)
 }
 
 /// Backward 2-D convolution.
@@ -197,31 +424,77 @@ pub fn conv2d_backward(
     w: usize,
     spec: &Conv2dSpec,
 ) -> (Tensor, Tensor, Tensor) {
+    let mut scratch = ConvScratch::default();
+    let mut g = Tensor::default();
+    let mut grad_cols = Tensor::default();
+    let mut grad_input = Tensor::default();
+    let mut grad_weight = Tensor::default();
+    let mut grad_bias = Tensor::default();
+    conv2d_backward_into(
+        grad_out,
+        cols,
+        weight,
+        n,
+        h,
+        w,
+        spec,
+        &mut g,
+        &mut grad_cols,
+        &mut scratch,
+        &mut grad_input,
+        &mut grad_weight,
+        &mut grad_bias,
+    );
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// [`conv2d_backward`] writing into caller-provided buffers.
+///
+/// `cols_t` is the transposed column matrix cached by [`conv2d_into`]. `g_t` and
+/// `grad_cols_t` are pure scratch (the rearranged upstream gradient and the gradient
+/// of the column matrix, both in kernel-point-major layout); `scratch` provides the
+/// transposed filter matrix; `grad_input`, `grad_weight` and `grad_bias` receive the
+/// results (overwritten, not accumulated).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    grad_out: &Tensor,
+    cols_t: &Tensor,
+    weight: &Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    g_t: &mut Tensor,
+    grad_cols_t: &mut Tensor,
+    scratch: &mut ConvScratch,
+    grad_input: &mut Tensor,
+    grad_weight: &mut Tensor,
+    grad_bias: &mut Tensor,
+) {
     let oc = spec.out_channels;
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
-    // Rearrange grad_out [N, OC, OH, OW] -> [N*OH*OW, OC]
-    let mut g = vec![0.0f32; n * oh * ow * oc];
+    let ohow = oh * ow;
+    let npos = n * ohow;
+    // Rearrange grad_out [N, OC, OH, OW] -> [OC, N*OH*OW]: pure contiguous copies.
+    g_t.ensure_shape(&[oc, npos]);
+    let gd = g_t.as_mut_slice();
     let src = grad_out.as_slice();
-    for ni in 0..n {
-        for co in 0..oc {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    g[((ni * oh + oy) * ow + ox) * oc + co] =
-                        src[((ni * oc + co) * oh + oy) * ow + ox];
-                }
-            }
+    for co in 0..oc {
+        for ni in 0..n {
+            gd[co * npos + ni * ohow..co * npos + (ni + 1) * ohow]
+                .copy_from_slice(&src[(ni * oc + co) * ohow..(ni * oc + co + 1) * ohow]);
         }
     }
-    let g = Tensor::from_vec(g, &[n * oh * ow, oc]);
-    // grad_weight = g^T x cols  -> [OC, C*K*K]
-    let grad_weight = g.matmul_tn(cols);
-    // grad_bias = column sums of g -> [OC]
-    let grad_bias = g.sum_rows();
-    // grad_cols = g x weight -> [N*OH*OW, C*K*K]
-    let grad_cols = g.matmul(weight);
-    let grad_input = col2im(&grad_cols, n, h, w, spec);
-    (grad_input, grad_weight, grad_bias)
+    // grad_weight = g_t x cols_t^T -> [OC, C*K*K] via the lane-reassociated nt kernel:
+    // equal to the naive g^T x cols formulation only to 1e-5 tolerance, not bitwise.
+    g_t.matmul_nt_into(cols_t, grad_weight);
+    // grad_bias = per-channel sums of g_t -> [OC]
+    g_t.sum_cols_into(grad_bias);
+    // grad_cols_t = weight^T x g_t -> [C*K*K, N*OH*OW]
+    weight.transposed_into(&mut scratch.weight_t);
+    scratch.weight_t.matmul_into(g_t, grad_cols_t);
+    col2im_t_into(grad_cols_t, n, h, w, spec, grad_input);
 }
 
 /// Forward 2-D max pooling over an `[N, C, H, W]` input.
@@ -229,13 +502,30 @@ pub fn conv2d_backward(
 /// Returns the pooled output `[N, C, OH, OW]` and the flat indices of the winning
 /// elements (needed to route gradients in the backward pass).
 pub fn max_pool2d(input: &Tensor, h: usize, w: usize, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
+    let mut out = Tensor::default();
+    let mut idx = Vec::new();
+    max_pool2d_into(input, h, w, spec, &mut out, &mut idx);
+    (out, idx)
+}
+
+/// [`max_pool2d`] writing the pooled output and winner indices into caller-provided
+/// buffers (both are reused without reallocation once warmed).
+pub fn max_pool2d_into(
+    input: &Tensor,
+    h: usize,
+    w: usize,
+    spec: &Pool2dSpec,
+    out: &mut Tensor,
+    idx: &mut Vec<usize>,
+) {
     let dims = input.shape().dims();
     let (n, c) = (dims[0], dims[1]);
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let x = input.as_slice();
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut idx = vec![0usize; n * c * oh * ow];
+    out.ensure_shape(&[n, c, oh, ow]);
+    let out = out.as_mut_slice();
+    idx.resize(n * c * oh * ow, 0);
     for ni in 0..n {
         for ci in 0..c {
             for oy in 0..oh {
@@ -262,7 +552,6 @@ pub fn max_pool2d(input: &Tensor, h: usize, w: usize, spec: &Pool2dSpec) -> (Ten
             }
         }
     }
-    (Tensor::from_vec(out, &[n, c, oh, ow]), idx)
 }
 
 /// Backward 2-D max pooling: routes each upstream gradient element to the input position
@@ -272,12 +561,24 @@ pub fn max_pool2d_backward(
     winner_indices: &[usize],
     input_dims: &[usize],
 ) -> Tensor {
-    let mut grad_in = Tensor::zeros(input_dims);
+    let mut grad_in = Tensor::default();
+    max_pool2d_backward_into(grad_out, winner_indices, input_dims, &mut grad_in);
+    grad_in
+}
+
+/// [`max_pool2d_backward`] writing into a caller-provided buffer.
+pub fn max_pool2d_backward_into(
+    grad_out: &Tensor,
+    winner_indices: &[usize],
+    input_dims: &[usize],
+    grad_in: &mut Tensor,
+) {
+    grad_in.ensure_shape(input_dims);
     let gi = grad_in.as_mut_slice();
+    gi.fill(0.0);
     for (g, &i) in grad_out.as_slice().iter().zip(winner_indices) {
         gi[i] += *g;
     }
-    grad_in
 }
 
 #[cfg(test)]

@@ -33,6 +33,13 @@ impl Shape {
         &self.dims
     }
 
+    /// Overwrites the extents in place, reusing the backing storage (no allocation
+    /// once the rank has been seen before).
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
     /// Returns the number of dimensions (the rank).
     pub fn rank(&self) -> usize {
         self.dims.len()

@@ -167,13 +167,12 @@ impl Tensor {
     ///
     /// Panics if the new shape has a different volume.
     pub fn reshape_inplace(&mut self, dims: &[usize]) {
-        let shape = Shape::new(dims);
         assert_eq!(
-            shape.volume(),
+            dims.iter().product::<usize>(),
             self.data.len(),
             "reshape must preserve element count"
         );
-        self.shape = shape;
+        self.shape.set_dims(dims);
     }
 
     /// Fills the tensor with `value`.
@@ -181,6 +180,31 @@ impl Tensor {
         for v in &mut self.data {
             *v = value;
         }
+    }
+
+    /// Reshapes this tensor to `dims`, resizing the backing storage while reusing its
+    /// capacity. Element values are unspecified afterwards (a mix of old data and
+    /// zeros); callers are expected to overwrite every element.
+    ///
+    /// This is the primitive behind every `*_into` kernel: once a buffer has been
+    /// warmed to its steady-state size, repeated `ensure_shape` calls never touch the
+    /// allocator.
+    pub fn ensure_shape(&mut self, dims: &[usize]) {
+        self.shape.set_dims(dims);
+        self.data.resize(self.shape.volume(), 0.0);
+    }
+
+    /// Copies `src`'s shape and contents into this tensor, reusing the existing
+    /// backing storage when it is large enough.
+    pub fn assign(&mut self, src: &Tensor) {
+        self.ensure_shape(src.shape().dims());
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// The capacity of the backing storage in elements (used by workspace-growth
+    /// regression tests).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Returns the number of rows for a rank-2 tensor.
