@@ -1,4 +1,4 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and deploys the networked runtime.
 //!
 //! ```text
 //! cargo run --release -p dssp-bench --bin repro -- <experiment> [--full]
@@ -15,15 +15,140 @@
 //! ```text
 //! cargo run --release -p dssp-bench --bin repro -- bench [--id <id>] [--iters <n>]
 //! ```
+//!
+//! The deployment modes run real networked training over TCP (`dssp-net`). Job flags
+//! (`--model --policy --workers --epochs --batch-size --seed --shards --eval-every
+//! --straggler-ms --deterministic --fail-after`) are shared by all three and must match
+//! between a server and its workers (enforced by a config digest in the handshake):
+//!
+//! ```text
+//! repro serve  --listen 127.0.0.1:7070 [job flags] [--trace-out FILE]
+//! repro worker --connect 127.0.0.1:7070 --rank K [job flags]
+//! repro launch [--listen ADDR] [job flags] [--trace-out FILE]   # server + N worker processes
+//! (prefix with `cargo run --release -p dssp-bench --bin repro -- ` to build-and-run)
+//! ```
 
 use dssp_bench as bench;
 use dssp_core::presets::Scale;
+use dssp_core::report;
+use dssp_net::cli::{flag_value, job_from_flags};
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+fn net_job_or_exit(args: &[String]) -> dssp_core::driver::JobConfig {
+    match job_from_flags(args) {
+        Ok(job) => job,
+        Err(msg) => {
+            eprintln!("invalid job flags: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_trace(trace: &dssp_core::RunTrace, args: &[String]) {
+    println!("{}", report::trace_summary_line(trace));
+    println!(
+        "DSSP extra iterations granted (r* total): {}",
+        trace.server_stats.credits_granted
+    );
+    if let Some(path) = flag_value(args, "--trace-out") {
+        let json = report::trace_json(trace);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+fn run_serve_mode(args: &[String]) {
+    let job = net_job_or_exit(args);
+    let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let mut transport = match dssp_net::TcpServerTransport::bind(&listen, job.num_workers) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving {} workers on {} (policy {})",
+        job.num_workers,
+        transport.local_addr(),
+        job.policy
+    );
+    match dssp_net::serve(&job, &mut transport) {
+        Ok(trace) => write_trace(&trace, args),
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_worker_mode(args: &[String]) {
+    let job = net_job_or_exit(args);
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("worker mode requires --connect ADDR");
+        std::process::exit(2);
+    };
+    let rank: usize = match flag_value(args, "--rank").map(|r| r.parse()) {
+        Some(Ok(rank)) if rank < job.num_workers => rank,
+        _ => {
+            eprintln!("worker mode requires --rank K with K < --workers");
+            std::process::exit(2);
+        }
+    };
+    let mut transport = match dssp_net::TcpWorkerTransport::connect(&addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("worker {rank} failed to connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match dssp_net::run_worker(&job, rank, &mut transport) {
+        Ok(r) => {
+            println!(
+                "worker {rank}: {} iterations, {} epochs, waited {:.3}s, r* credits seen {}{}",
+                r.iterations,
+                r.epochs,
+                r.waiting_time_s,
+                r.granted_extra_total,
+                if r.shutdown_early {
+                    " (server shut the run down early)"
+                } else {
+                    ""
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("worker {rank} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_launch_mode(args: &[String]) {
+    let job = net_job_or_exit(args);
+    let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "launching {} worker processes (policy {}, model {})",
+        job.num_workers,
+        job.policy,
+        job.model.display_name()
+    );
+    match dssp_net::launch::launch(&job, &listen, &exe) {
+        Ok(outcome) => write_trace(&outcome.trace, args),
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_bench_mode(args: &[String]) {
@@ -44,9 +169,24 @@ fn run_bench_mode(args: &[String]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("bench") {
-        run_bench_mode(&args);
-        return;
+    match args.first().map(String::as_str) {
+        Some("bench") => {
+            run_bench_mode(&args);
+            return;
+        }
+        Some("serve") => {
+            run_serve_mode(&args);
+            return;
+        }
+        Some("worker") => {
+            run_worker_mode(&args);
+            return;
+        }
+        Some("launch") => {
+            run_launch_mode(&args);
+            return;
+        }
+        _ => {}
     }
     let scale = if args.iter().any(|a| a == "--full") {
         Scale::Full
@@ -109,7 +249,7 @@ fn main() {
                 eprintln!(
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
-                     ablation_aggregation all bench"
+                     ablation_aggregation all bench serve worker launch"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,1065 @@
+//! The transport-agnostic training driver.
+//!
+//! The DSSP decision logic (`dssp_ps::ParameterServer`) is runtime-agnostic; what *was*
+//! duplicated between runtimes was everything around it: building the job (dataset,
+//! shards, model replicas, server), the worker step-loop (pull → compute → push) and
+//! the server decision-loop (apply push, gate, evaluate, summarize). This module
+//! extracts those pieces so that every substrate drives the same code:
+//!
+//! * the discrete-event simulator (`dssp-sim`) — virtual time, single thread;
+//! * the threaded runtime ([`crate::runtime`]) — real threads, channels;
+//! * the networked runtime (`dssp-net`) — real processes, TCP or loopback transports.
+//!
+//! The simulator keeps its own event loop (virtual time needs one), but the threaded
+//! and networked runtimes are thin substrate adapters over [`WorkerStep`] and
+//! [`ServerLoop`].
+//!
+//! # Deterministic mode
+//!
+//! Real-time substrates are racy: which worker's push reaches the server first depends
+//! on OS scheduling, so two runs — or the same run on two substrates — differ bitwise
+//! even with identical seeds. Setting [`JobConfig::deterministic`] imposes a canonical
+//! event order with [`DeterministicGate`]: the server buffers incoming events and only
+//! processes a push when every runnable worker's next event has arrived, always picking
+//! the lowest-ranked one, and the policy clock becomes a logical event counter instead
+//! of wall time. Two deterministic runs of the same job produce bitwise-identical
+//! weights, accuracies and synchronization statistics on *any* substrate (threads,
+//! loopback channels, TCP sockets); only wall-clock fields differ (see
+//! [`dssp_sim::RunTrace::with_times_zeroed`]). The cost is lockstep-ish pacing, so the
+//! mode is for equivalence testing and debugging, not throughput.
+
+use dssp_data::BatchIter;
+use dssp_nn::models::ModelSpec;
+use dssp_nn::{accuracy, Model, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy, Workspace};
+use dssp_ps::{ParameterServer, PolicyKind, ServerConfig};
+use dssp_sim::{DataSpec, RunTrace, TracePoint, WorkerSummary};
+use dssp_tensor::Tensor;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Configuration of one distributed training job, shared by the threaded and networked
+/// runtimes (the simulator has its own `SimConfig` because it also models the cluster).
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Model architecture replicated by every worker.
+    pub model: ModelSpec,
+    /// Dataset specification.
+    pub data: DataSpec,
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Synchronization paradigm.
+    pub policy: PolicyKind,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Passes over each worker's shard.
+    pub epochs: usize,
+    /// Server-side SGD configuration.
+    pub sgd: SgdConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluate the global weights every this many pushes.
+    pub eval_every_pushes: u64,
+    /// Cap on test examples per evaluation.
+    pub eval_max_examples: usize,
+    /// Artificial extra compute delay per iteration for each worker, in milliseconds.
+    /// An empty vector means no extra delay; otherwise it must have one entry per
+    /// worker. Unequal delays emulate a heterogeneous cluster.
+    pub extra_compute_delay_ms: Vec<u64>,
+    /// Number of contiguous key-range shards for the server's parameter storage
+    /// (1 = flat). Weight arithmetic is bitwise independent of this setting.
+    pub shards: usize,
+    /// Impose a canonical event order and a logical policy clock so runs are bitwise
+    /// reproducible across substrates (see the module docs). Off by default.
+    pub deterministic: bool,
+    /// Chaos hook: make the server abort the run after this many applied pushes, as if
+    /// it had failed. Exercises the graceful-shutdown path (workers receive a shutdown
+    /// command instead of being leaked). `None` disables the hook.
+    pub fail_after_pushes: Option<u64>,
+    /// How long the threaded runtime's server waits without any worker message before
+    /// checking for dead worker threads, in milliseconds.
+    pub stall_timeout_ms: u64,
+}
+
+impl JobConfig {
+    /// A small default configuration: MLP on a synthetic vector task, two workers.
+    pub fn small(policy: PolicyKind) -> Self {
+        Self {
+            model: ModelSpec::Mlp {
+                input_dim: 16,
+                hidden: vec![24],
+                classes: 4,
+            },
+            data: DataSpec::Vector(dssp_data::SyntheticVectorSpec {
+                classes: 4,
+                dim: 16,
+                train_size: 512,
+                test_size: 128,
+                noise_std: 0.7,
+            }),
+            num_workers: 2,
+            policy,
+            batch_size: 16,
+            epochs: 2,
+            sgd: SgdConfig::default(),
+            seed: 11,
+            eval_every_pushes: 16,
+            eval_max_examples: 128,
+            extra_compute_delay_ms: Vec::new(),
+            shards: 1,
+            deterministic: false,
+            fail_after_pushes: None,
+            stall_timeout_ms: 30_000,
+        }
+    }
+
+    /// A small configuration on the paper's downsized-AlexNet analogue (convolutional
+    /// image model), two workers.
+    pub fn small_alexnet(policy: PolicyKind) -> Self {
+        Self {
+            model: ModelSpec::DownsizedAlexNet {
+                image_side: 8,
+                classes: 4,
+            },
+            data: DataSpec::Image(
+                dssp_data::SyntheticImageSpec::cifar10_like()
+                    .with_classes(4)
+                    .with_image_side(8)
+                    .with_sizes(64, 32),
+            ),
+            batch_size: 8,
+            epochs: 1,
+            eval_every_pushes: 4,
+            eval_max_examples: 32,
+            seed: 5,
+            ..Self::small(policy)
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero workers, class mismatch, zero
+    /// shards, or a delay vector whose length differs from the worker count).
+    pub fn validate(&self) {
+        assert!(self.num_workers > 0, "need at least one worker");
+        assert!(self.shards > 0, "need at least one storage shard");
+        assert_eq!(
+            self.model.classes(),
+            self.data.classes(),
+            "model and dataset class counts must agree"
+        );
+        assert!(
+            self.extra_compute_delay_ms.is_empty()
+                || self.extra_compute_delay_ms.len() == self.num_workers,
+            "extra_compute_delay_ms must be empty or have one entry per worker"
+        );
+    }
+
+    /// A stable fingerprint of every training-relevant field (FNV-1a over a canonical
+    /// rendering). The networked runtime embeds it in the `Hello` handshake so a server
+    /// and its workers refuse to train under silently different configurations.
+    pub fn digest(&self) -> u64 {
+        let canonical = format!(
+            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{:?}",
+            self.model,
+            self.data,
+            self.num_workers,
+            self.policy,
+            self.batch_size,
+            self.epochs,
+            self.sgd,
+            self.seed,
+            self.eval_every_pushes,
+            self.eval_max_examples,
+            self.extra_compute_delay_ms,
+            self.shards,
+            self.deterministic,
+            self.fail_after_pushes,
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Per-worker iteration target for a shard of `shard_len` examples.
+    fn target_iterations(&self, shard_len: usize) -> u64 {
+        (self.epochs as u64) * (shard_len.div_ceil(self.batch_size) as u64)
+    }
+}
+
+/// One worker's training step-loop state: its model replica, shard iterator and scratch
+/// buffers. Transport-agnostic — the surrounding runtime decides how weights arrive and
+/// where gradients go.
+pub struct WorkerStep {
+    rank: usize,
+    model: Sequential,
+    batches: BatchIter,
+    loss_fn: SoftmaxCrossEntropy,
+    ws: Workspace,
+    grad_logits: Tensor,
+    target: u64,
+    completed: u64,
+    delay: Option<Duration>,
+}
+
+impl std::fmt::Debug for WorkerStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerStep")
+            .field("rank", &self.rank)
+            .field("target", &self.target)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl WorkerStep {
+    /// Builds the step-loop state for worker `rank`: regenerates the (deterministic)
+    /// dataset from the job seed and takes the rank's shard. Every substrate — and, in
+    /// the networked runtime, every *process* — arrives at identical state this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `rank` is out of range.
+    pub fn for_rank(config: &JobConfig, rank: usize) -> Self {
+        config.validate();
+        assert!(rank < config.num_workers, "worker rank out of range");
+        let dataset = config.data.generate(config.seed);
+        let shard = dataset
+            .shard_train(config.num_workers)
+            .into_iter()
+            .nth(rank)
+            .expect("shard for every rank");
+        Self::with_shard(config, rank, shard)
+    }
+
+    /// Like [`WorkerStep::for_rank`] but takes rank's shard directly, for substrates
+    /// that already generated the dataset in-process (the threaded runtime shares one
+    /// generation across the server and all workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `rank` is out of range.
+    pub fn with_shard(config: &JobConfig, rank: usize, shard: dssp_data::Shard) -> Self {
+        config.validate();
+        assert!(rank < config.num_workers, "worker rank out of range");
+        let target = config.target_iterations(shard.len());
+        let batches = BatchIter::new(
+            shard,
+            config.batch_size,
+            config.seed.wrapping_add(rank as u64 + 1),
+        );
+        Self {
+            rank,
+            model: config.model.build(config.seed),
+            batches,
+            loss_fn: SoftmaxCrossEntropy::new(),
+            ws: Workspace::new(),
+            grad_logits: Tensor::default(),
+            target,
+            completed: 0,
+            delay: config
+                .extra_compute_delay_ms
+                .get(rank)
+                .copied()
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+        }
+    }
+
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total iterations this worker will run.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Iterations completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether the worker has run all of its iterations.
+    pub fn finished(&self) -> bool {
+        self.completed >= self.target
+    }
+
+    /// Completed passes over this worker's shard.
+    pub fn epoch(&self) -> usize {
+        self.batches.epoch()
+    }
+
+    /// Runs one training iteration on `weights`: installs them in the local replica,
+    /// draws the next mini-batch, and returns the flat gradient vector to push.
+    ///
+    /// Applies the configured artificial compute delay first (heterogeneity emulation).
+    pub fn compute_gradient(&mut self, weights: &[f32]) -> Vec<f32> {
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        self.model.set_params_flat(weights);
+        let (x, labels) = self.batches.next_batch();
+        let logits = self.model.forward_ws(&x, true, &mut self.ws);
+        let _ = self
+            .loss_fn
+            .loss_and_grad_into(logits, &labels, &mut self.grad_logits);
+        self.model.zero_grads();
+        self.model.backward_ws(&self.grad_logits, &mut self.ws);
+        self.completed += 1;
+        // The gradient crosses a thread or process boundary, so this one allocation per
+        // push stays (the server consumes the vector).
+        self.model.grads_flat()
+    }
+}
+
+/// One event arriving at the server from a worker, as seen by [`ServerLoop`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerEvent {
+    /// The worker pushed the gradients of its `iteration`-th iteration (1-based).
+    Push {
+        /// Pushing worker's rank.
+        worker: usize,
+        /// 1-based iteration number of this push.
+        iteration: u64,
+        /// Flat gradient vector.
+        grads: Vec<f32>,
+    },
+    /// The worker finished all of its iterations.
+    Done {
+        /// Finishing worker's rank.
+        worker: usize,
+        /// Iterations it completed.
+        iterations: u64,
+        /// Epochs it completed.
+        epochs: usize,
+        /// Total time it spent waiting for deferred `OK`s, in seconds.
+        waiting_time_s: f64,
+    },
+    /// The worker asks for the current weights. Only the networked runtime uses this
+    /// variant — pulls are served by the transport layer and never reach
+    /// [`ServerLoop::handle`]; it exists so [`DeterministicGate`] can order pulls
+    /// relative to pushes.
+    Pull {
+        /// Pulling worker's rank.
+        worker: usize,
+    },
+}
+
+impl WorkerEvent {
+    /// The rank the event came from.
+    pub fn worker(&self) -> usize {
+        match *self {
+            WorkerEvent::Push { worker, .. }
+            | WorkerEvent::Done { worker, .. }
+            | WorkerEvent::Pull { worker } => worker,
+        }
+    }
+}
+
+/// An `OK` the server owes a worker after handling an event: the worker may start its
+/// next iteration. The substrate decides how to deliver it (channel send with fresh
+/// weights, or a `PushReply` frame followed by a served pull).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OkReply {
+    /// The worker to release.
+    pub worker: usize,
+    /// Extra-iteration credits the DSSP controller granted at this event (0 for
+    /// catch-up releases and non-DSSP policies).
+    pub granted_extra: u64,
+}
+
+/// The server decision-loop state shared by the threaded and networked runtimes: owns
+/// the [`ParameterServer`], periodic evaluation, and the run summary.
+pub struct ServerLoop {
+    server: ParameterServer,
+    eval_model: Sequential,
+    eval_batch: (Tensor, Vec<usize>),
+    eval_ws: Workspace,
+    eval_every: u64,
+    last_eval: u64,
+    points: Vec<TracePoint>,
+    summaries: Vec<Option<WorkerSummary>>,
+    done: Vec<bool>,
+    done_count: usize,
+    targets: Vec<u64>,
+    policy_label: String,
+    model_name: String,
+    num_workers: usize,
+    deterministic: bool,
+    tick: f64,
+    fail_after: Option<u64>,
+    aborted: bool,
+}
+
+impl std::fmt::Debug for ServerLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerLoop")
+            .field("policy", &self.policy_label)
+            .field("version", &self.server.version())
+            .field("done", &self.done_count)
+            .finish()
+    }
+}
+
+impl ServerLoop {
+    /// Builds the full server side of a job: dataset, evaluation batch, initial model
+    /// weights and the gated [`ParameterServer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn new(config: &JobConfig) -> Self {
+        config.validate();
+        let dataset = config.data.generate(config.seed);
+        Self::with_dataset(config, &dataset)
+    }
+
+    /// Like [`ServerLoop::new`] but reuses an already generated dataset (the threaded
+    /// runtime shares one generation between the server and all worker shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn with_dataset(config: &JobConfig, dataset: &dssp_data::Dataset) -> Self {
+        config.validate();
+        let targets: Vec<u64> = dataset
+            .shard_train(config.num_workers)
+            .iter()
+            .map(|shard| config.target_iterations(shard.len()))
+            .collect();
+        let reference = config.model.build(config.seed);
+        let initial_params = reference.params_flat();
+        let sgd = Sgd::new(config.sgd.clone(), initial_params.len());
+        let server = ParameterServer::new(
+            initial_params,
+            sgd,
+            ServerConfig::new(config.num_workers, config.policy).with_shards(config.shards),
+        );
+        Self {
+            server,
+            eval_model: reference,
+            eval_batch: dataset.test_batch(config.eval_max_examples),
+            eval_ws: Workspace::new(),
+            eval_every: config.eval_every_pushes,
+            last_eval: 0,
+            points: Vec::new(),
+            summaries: vec![None; config.num_workers],
+            done: vec![false; config.num_workers],
+            done_count: 0,
+            targets,
+            policy_label: config.policy.label(),
+            model_name: config.model.display_name(),
+            num_workers: config.num_workers,
+            deterministic: config.deterministic,
+            tick: 0.0,
+            fail_after: config.fail_after_pushes,
+            aborted: false,
+        }
+    }
+
+    /// Per-worker iteration targets (used by workers, the gate, and launch tooling).
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
+    /// The underlying parameter server (weights, clocks, statistics).
+    pub fn server(&self) -> &ParameterServer {
+        &self.server
+    }
+
+    /// Copies the current global weights (what an `OK` or pull reply ships).
+    pub fn pull(&self) -> Vec<f32> {
+        self.server.pull()
+    }
+
+    /// Total pushes applied so far.
+    pub fn version(&self) -> u64 {
+        self.server.version()
+    }
+
+    /// Whether every worker has reported [`WorkerEvent::Done`].
+    pub fn all_done(&self) -> bool {
+        self.done_count >= self.num_workers
+    }
+
+    /// Whether one specific worker has reported [`WorkerEvent::Done`].
+    pub fn worker_done(&self, worker: usize) -> bool {
+        self.done[worker]
+    }
+
+    /// Whether the chaos hook ([`JobConfig::fail_after_pushes`]) has tripped; the
+    /// substrate must stop the run and shut workers down.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Whether this loop runs on the logical clock (deterministic mode).
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    fn clock(&mut self, wall_now: f64) -> f64 {
+        if self.deterministic {
+            self.tick += 1.0;
+            self.tick
+        } else {
+            wall_now
+        }
+    }
+
+    /// Handles one worker event at wall-clock time `wall_now` (seconds since run start;
+    /// ignored in deterministic mode, where a logical event counter feeds the policy).
+    ///
+    /// Returns the `OK`s now owed, pusher first when its push was granted. Workers that
+    /// already reported `Done` are filtered out (their `OK`s have nowhere to go).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`WorkerEvent::Pull`] — pulls are transport-level and must be served
+    /// by the substrate.
+    pub fn handle(&mut self, event: WorkerEvent, wall_now: f64) -> Vec<OkReply> {
+        match event {
+            WorkerEvent::Push { worker, grads, .. } => {
+                let now = self.clock(wall_now);
+                let result = self.server.handle_push(worker, &grads, now);
+                let mut replies = Vec::with_capacity(1 + result.released.len());
+                if result.ok_now && !self.done[worker] {
+                    replies.push(OkReply {
+                        worker,
+                        granted_extra: result.granted_extra,
+                    });
+                }
+                for released in result.released {
+                    if !self.done[released] {
+                        replies.push(OkReply {
+                            worker: released,
+                            granted_extra: 0,
+                        });
+                    }
+                }
+                if self.server.version() - self.last_eval >= self.eval_every {
+                    self.record_eval(now);
+                }
+                if let Some(limit) = self.fail_after {
+                    if self.server.version() >= limit {
+                        self.aborted = true;
+                    }
+                }
+                replies
+            }
+            WorkerEvent::Done {
+                worker,
+                iterations,
+                epochs,
+                waiting_time_s,
+            } => {
+                let now = self.clock(wall_now);
+                if self.done[worker] {
+                    return Vec::new();
+                }
+                self.summaries[worker] = Some(WorkerSummary {
+                    worker,
+                    iterations,
+                    epochs,
+                    waiting_time_s,
+                });
+                self.done[worker] = true;
+                self.done_count += 1;
+                self.server
+                    .retire_worker(worker, now)
+                    .into_iter()
+                    .filter(|&released| !self.done[released])
+                    .map(|released| OkReply {
+                        worker: released,
+                        granted_extra: 0,
+                    })
+                    .collect()
+            }
+            WorkerEvent::Pull { worker } => {
+                panic!("pull from worker {worker} reached ServerLoop::handle; pulls are transport-level")
+            }
+        }
+    }
+
+    /// [`ServerLoop::handle`] plus the deterministic-gate bookkeeping both substrates
+    /// need: reports the push outcome and releases to the gate (when one is active) so
+    /// its view of which workers are runnable stays in lockstep with the policy. The
+    /// caller only delivers the returned `OK`s.
+    pub fn handle_gated(
+        &mut self,
+        gate: &mut Option<DeterministicGate>,
+        event: WorkerEvent,
+        wall_now: f64,
+    ) -> Vec<OkReply> {
+        let pushed = match &event {
+            WorkerEvent::Push {
+                worker, iteration, ..
+            } => Some((*worker, *iteration)),
+            _ => None,
+        };
+        let replies = self.handle(event, wall_now);
+        if let Some(g) = gate.as_mut() {
+            if let Some((pusher, iteration)) = pushed {
+                let ok = replies.iter().any(|r| r.worker == pusher);
+                g.on_push_processed(pusher, iteration, ok);
+            }
+            for reply in &replies {
+                if pushed.map(|(p, _)| p) != Some(reply.worker) {
+                    g.on_released(reply.worker);
+                }
+            }
+        }
+        replies
+    }
+
+    fn record_eval(&mut self, now: f64) {
+        self.last_eval = self.server.version();
+        self.eval_model.set_params_flat(self.server.weights());
+        let logits = self
+            .eval_model
+            .forward_ws(&self.eval_batch.0, false, &mut self.eval_ws);
+        let acc = accuracy(logits, &self.eval_batch.1);
+        self.points.push(TracePoint {
+            time_s: now,
+            pushes: self.server.version(),
+            epoch: 0,
+            test_accuracy: f64::from(acc),
+            train_loss: 0.0,
+        });
+    }
+
+    /// Final evaluation and trace assembly. `wall_total` is the wall-clock duration of
+    /// the run (replaced by the logical clock in deterministic mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some worker never reported `Done` (callers must check
+    /// [`ServerLoop::all_done`] / [`ServerLoop::aborted`] first).
+    pub fn finish(mut self, wall_total: f64) -> RunTrace {
+        let total = if self.deterministic {
+            self.tick
+        } else {
+            wall_total
+        };
+        self.record_eval(total);
+        RunTrace {
+            policy: self.policy_label,
+            model: self.model_name,
+            workers: self.num_workers,
+            points: self.points,
+            total_time_s: total,
+            total_pushes: self.server.version(),
+            worker_summaries: self
+                .summaries
+                .into_iter()
+                .map(|s| s.expect("summary recorded for every worker"))
+                .collect(),
+            server_stats: self.server.stats().clone(),
+        }
+    }
+}
+
+/// Gate state of one worker, from the server's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateState {
+    /// Computing; its next event will be a push (or its final push's `Done`).
+    Running,
+    /// Released but yet to collect weights; its next event will be a pull
+    /// (pull-step substrates only).
+    AwaitingPull,
+    /// Blocked by the policy; it will send nothing until released.
+    Blocked,
+    /// Its final push was dispatched; its next event will be `Done`.
+    Draining,
+    /// Retired.
+    Done,
+}
+
+/// Imposes a canonical, arrival-order-independent processing order on worker events
+/// (see the module docs on deterministic mode).
+///
+/// The substrate feeds every incoming event through [`DeterministicGate::offer`] and
+/// drains [`DeterministicGate::next`]; an event is only released once every worker that
+/// could still produce one has delivered its next event, and among the queued heads the
+/// smallest `(iteration, rank)` key wins — a Kahn-style merge that is fair across
+/// workers and independent of arrival timing. After processing a push the substrate
+/// reports the outcome ([`DeterministicGate::on_push_processed`] /
+/// [`DeterministicGate::on_released`]) so the gate can track which workers are
+/// runnable.
+#[derive(Debug)]
+pub struct DeterministicGate {
+    queues: Vec<VecDeque<WorkerEvent>>,
+    states: Vec<GateState>,
+    targets: Vec<u64>,
+    /// Iteration of the last dispatched push per worker; a silent runnable worker's
+    /// next event therefore has key `last_key + 1`, which bounds how long dispatch must
+    /// wait for it.
+    last_key: Vec<u64>,
+    /// Whether released workers fetch weights with an explicit pull event (networked
+    /// runtime) or receive them inline with the `OK` (threaded runtime).
+    pull_step: bool,
+}
+
+impl DeterministicGate {
+    /// Creates a gate for workers with the given iteration targets. `pull_step` says
+    /// whether the substrate's workers send an explicit pull after each `OK`.
+    pub fn new(targets: Vec<u64>, pull_step: bool) -> Self {
+        let n = targets.len();
+        Self {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            states: vec![
+                if pull_step {
+                    GateState::AwaitingPull
+                } else {
+                    GateState::Running
+                };
+                n
+            ],
+            targets,
+            last_key: vec![0; n],
+            pull_step,
+        }
+    }
+
+    /// Enqueues an incoming event.
+    pub fn offer(&mut self, event: WorkerEvent) {
+        let worker = event.worker();
+        self.queues[worker].push_back(event);
+    }
+
+    /// Releases the next event in canonical order, or `None` if the gate must wait for
+    /// more arrivals.
+    pub fn next(&mut self) -> Option<WorkerEvent> {
+        // Phase 1: while any released worker still owes a pull, only pulls may pass —
+        // serving a push first would let the pulled weights drift from the `OK`-time
+        // snapshot the pull-less substrates hand out.
+        let mut any_awaiting = false;
+        for w in 0..self.states.len() {
+            if self.states[w] == GateState::AwaitingPull {
+                any_awaiting = true;
+                if matches!(self.queues[w].front(), Some(WorkerEvent::Pull { .. })) {
+                    self.states[w] = GateState::Running;
+                    return self.queues[w].pop_front();
+                }
+            }
+        }
+        if any_awaiting {
+            return None;
+        }
+        // Phase 2: release the queued head with the smallest (iteration, rank) key —
+        // but only once no silent runnable worker could still produce a smaller one
+        // (its next key is bounded below by its last dispatched iteration + 1).
+        let mut best: Option<(u64, usize)> = None;
+        for w in 0..self.states.len() {
+            if matches!(self.states[w], GateState::Running | GateState::Draining) {
+                if let Some(front) = self.queues[w].front() {
+                    let key = Self::event_key(front);
+                    if best.map_or(true, |(k, r)| (key, w) < (k, r)) {
+                        best = Some((key, w));
+                    }
+                }
+            }
+        }
+        let (key, w) = best?;
+        for v in 0..self.states.len() {
+            if matches!(self.states[v], GateState::Running | GateState::Draining)
+                && self.queues[v].is_empty()
+                && (self.last_key[v] + 1, v) < (key, w)
+            {
+                return None; // worker v's in-flight event sorts earlier; wait for it
+            }
+        }
+        let event = self.queues[w].pop_front();
+        match &event {
+            Some(WorkerEvent::Push { iteration, .. }) => self.last_key[w] = *iteration,
+            Some(WorkerEvent::Done { .. }) => self.states[w] = GateState::Done,
+            _ => {}
+        }
+        event
+    }
+
+    /// Canonical ordering key of an event: the 1-based iteration it concludes (`Done`
+    /// sorts right after the worker's final push).
+    fn event_key(event: &WorkerEvent) -> u64 {
+        match event {
+            WorkerEvent::Push { iteration, .. } => *iteration,
+            WorkerEvent::Done { iterations, .. } => iterations + 1,
+            WorkerEvent::Pull { .. } => 0,
+        }
+    }
+
+    /// Reports the outcome of a dispatched push: whether the pusher was granted its
+    /// `OK` (`ok`), and which 1-based iteration the push carried.
+    pub fn on_push_processed(&mut self, worker: usize, iteration: u64, ok: bool) {
+        self.states[worker] = if iteration >= self.targets[worker] {
+            // The final push is followed by `Done` without waiting for the OK.
+            GateState::Draining
+        } else if !ok {
+            GateState::Blocked
+        } else if self.pull_step {
+            GateState::AwaitingPull
+        } else {
+            GateState::Running
+        };
+    }
+
+    /// Whether the gate has heard from this worker recently enough to know it is not
+    /// dead: either an event of its is still queued, or its `Done` was dispatched.
+    /// (Stall detectors use this so a worker whose final `Done` is gate-held while a
+    /// slow peer computes is not misdiagnosed as crashed.)
+    pub fn worker_accounted_for(&self, worker: usize) -> bool {
+        !self.queues[worker].is_empty() || self.states[worker] == GateState::Done
+    }
+
+    /// Reports that a previously blocked worker received its deferred `OK`.
+    pub fn on_released(&mut self, worker: usize) {
+        if self.states[worker] == GateState::Blocked {
+            self.states[worker] = if self.pull_step {
+                GateState::AwaitingPull
+            } else {
+                GateState::Running
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_digest_is_stable_and_sensitive() {
+        let a = JobConfig::small(PolicyKind::Bsp);
+        let b = JobConfig::small(PolicyKind::Bsp);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = JobConfig::small(PolicyKind::Bsp);
+        c.seed += 1;
+        assert_ne!(a.digest(), c.digest());
+        let d = JobConfig::small(PolicyKind::Asp);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn worker_step_runs_its_shard_deterministically() {
+        let config = JobConfig::small(PolicyKind::Bsp);
+        let mut a = WorkerStep::for_rank(&config, 0);
+        let mut b = WorkerStep::for_rank(&config, 0);
+        let init = ServerLoop::new(&config).pull();
+        assert_eq!(a.target(), b.target());
+        assert!(a.target() > 0);
+        let ga = a.compute_gradient(&init);
+        let gb = b.compute_gradient(&init);
+        assert_eq!(
+            ga, gb,
+            "same rank and seed must give bitwise-equal gradients"
+        );
+        assert_eq!(a.completed(), 1);
+        assert!(!a.finished());
+    }
+
+    #[test]
+    fn server_loop_tracks_done_workers_and_finishes() {
+        let mut config = JobConfig::small(PolicyKind::Asp);
+        config.num_workers = 2;
+        let mut sl = ServerLoop::new(&config);
+        let dims = sl.pull().len();
+        let replies = sl.handle(
+            WorkerEvent::Push {
+                worker: 0,
+                iteration: 1,
+                grads: vec![0.0; dims],
+            },
+            0.1,
+        );
+        assert_eq!(
+            replies,
+            vec![OkReply {
+                worker: 0,
+                granted_extra: 0
+            }]
+        );
+        assert!(!sl.all_done());
+        for w in 0..2 {
+            sl.handle(
+                WorkerEvent::Done {
+                    worker: w,
+                    iterations: 1,
+                    epochs: 1,
+                    waiting_time_s: 0.0,
+                },
+                0.2,
+            );
+        }
+        assert!(sl.all_done());
+        let trace = sl.finish(0.3);
+        assert_eq!(trace.total_pushes, 1);
+        assert_eq!(trace.worker_summaries.len(), 2);
+    }
+
+    #[test]
+    fn chaos_hook_trips_after_the_configured_push_count() {
+        let mut config = JobConfig::small(PolicyKind::Asp);
+        config.fail_after_pushes = Some(2);
+        let mut sl = ServerLoop::new(&config);
+        let dims = sl.pull().len();
+        for i in 0..2u64 {
+            sl.handle(
+                WorkerEvent::Push {
+                    worker: 0,
+                    iteration: i + 1,
+                    grads: vec![0.0; dims],
+                },
+                i as f64,
+            );
+        }
+        assert!(sl.aborted());
+    }
+
+    #[test]
+    fn gate_orders_concurrent_pushes_by_iteration_then_rank() {
+        let mut gate = DeterministicGate::new(vec![2, 2], false);
+        // Worker 1's push arrives first, but the gate holds it until worker 0's is in.
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 1,
+            grads: vec![],
+        });
+        assert!(gate.next().is_none(), "must wait for worker 0");
+        gate.offer(WorkerEvent::Push {
+            worker: 0,
+            iteration: 1,
+            grads: vec![],
+        });
+        let first = gate.next().expect("both queued");
+        assert_eq!(first.worker(), 0, "equal iterations break ties by rank");
+        gate.on_push_processed(0, 1, true);
+        // Worker 0's next push can only carry iteration 2, which sorts after worker 1's
+        // queued iteration 1 — so worker 1 dispatches without waiting (no starvation).
+        let second = gate.next().expect("worker 1's head is provably minimal");
+        assert_eq!(second.worker(), 1);
+        gate.on_push_processed(1, 1, true);
+        assert!(gate.next().is_none(), "both workers' next events in flight");
+        // Iteration 2 pushes tie again and break by rank, but only once both are in.
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 2,
+            grads: vec![],
+        });
+        assert!(
+            gate.next().is_none(),
+            "worker 0's iteration 2 could still win"
+        );
+        gate.offer(WorkerEvent::Push {
+            worker: 0,
+            iteration: 2,
+            grads: vec![],
+        });
+        assert_eq!(gate.next().unwrap().worker(), 0);
+    }
+
+    #[test]
+    fn gate_blocked_workers_do_not_stall_dispatch() {
+        let mut gate = DeterministicGate::new(vec![3, 3], false);
+        gate.offer(WorkerEvent::Push {
+            worker: 0,
+            iteration: 1,
+            grads: vec![],
+        });
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 1,
+            grads: vec![],
+        });
+        gate.next().unwrap();
+        gate.on_push_processed(0, 1, false); // worker 0 blocked
+                                             // Worker 1's queued push dispatches even though worker 0 will stay silent.
+        let ev = gate.next().expect("blocked worker must not gate others");
+        assert_eq!(ev.worker(), 1);
+        gate.on_push_processed(1, 1, true);
+        gate.on_released(0);
+        // Worker 0 is runnable again: dispatch now waits for both.
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 2,
+            grads: vec![],
+        });
+        assert!(gate.next().is_none(), "waits for released worker 0");
+    }
+
+    #[test]
+    fn gate_with_pull_step_serves_pulls_before_any_push() {
+        let mut gate = DeterministicGate::new(vec![2, 2], true);
+        // Worker 1 pulled and even pushed already; worker 0 still owes its initial
+        // pull, so nothing mutating may pass.
+        gate.offer(WorkerEvent::Pull { worker: 1 });
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 1,
+            grads: vec![],
+        });
+        assert!(matches!(gate.next(), Some(WorkerEvent::Pull { worker: 1 })));
+        assert!(
+            gate.next().is_none(),
+            "worker 0 owes a pull; pushes must wait"
+        );
+        gate.offer(WorkerEvent::Pull { worker: 0 });
+        assert!(matches!(gate.next(), Some(WorkerEvent::Pull { worker: 0 })));
+        // Now both are running; worker 1's push still waits for worker 0's.
+        assert!(gate.next().is_none());
+        gate.offer(WorkerEvent::Push {
+            worker: 0,
+            iteration: 1,
+            grads: vec![],
+        });
+        assert_eq!(gate.next().unwrap().worker(), 0);
+        gate.on_push_processed(0, 1, true);
+        // Worker 0 owes a pull again before worker 1's queued push may pass.
+        assert!(gate.next().is_none());
+        gate.offer(WorkerEvent::Pull { worker: 0 });
+        assert!(matches!(gate.next(), Some(WorkerEvent::Pull { worker: 0 })));
+        assert_eq!(gate.next().unwrap().worker(), 1);
+    }
+
+    #[test]
+    fn gate_final_push_expects_done_even_when_blocked() {
+        let mut gate = DeterministicGate::new(vec![1, 2], false);
+        gate.offer(WorkerEvent::Push {
+            worker: 0,
+            iteration: 1,
+            grads: vec![],
+        });
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 1,
+            grads: vec![],
+        });
+        assert_eq!(gate.next().unwrap().worker(), 0);
+        // Final push of worker 0, blocked by the policy: its Done is still expected
+        // (key 2), but worker 1's queued iteration-1 push sorts first.
+        gate.on_push_processed(0, 1, false);
+        gate.offer(WorkerEvent::Done {
+            worker: 0,
+            iterations: 1,
+            epochs: 1,
+            waiting_time_s: 0.0,
+        });
+        assert_eq!(gate.next().unwrap().worker(), 1);
+        gate.on_push_processed(1, 1, true);
+        let ev = gate.next().unwrap();
+        assert!(matches!(ev, WorkerEvent::Done { worker: 0, .. }));
+        // After Done, worker 0 no longer gates worker 1's second push.
+        assert!(gate.next().is_none(), "waits for worker 1's next event");
+        gate.offer(WorkerEvent::Push {
+            worker: 1,
+            iteration: 2,
+            grads: vec![],
+        });
+        assert_eq!(gate.next().unwrap().worker(), 1);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`metrics`] — time-to-accuracy tables (Table I), curve averaging ("Average SSP
 //!   s=3 to 15"), throughput summaries;
 //! * [`report`] — CSV and Markdown rendering of traces and tables;
+//! * [`driver`] — the transport-agnostic worker step-loop and server decision-loop
+//!   shared by the threaded runtime and the networked runtime (`dssp-net`), including
+//!   the deterministic scheduling gate used for cross-substrate equivalence testing;
 //! * [`runtime`] — a real multi-threaded parameter-server runtime built on crossbeam
 //!   channels that exercises the exact same [`dssp_ps::ParameterServer`] logic with real
 //!   concurrency and wall-clock time;
@@ -32,6 +35,7 @@
 
 #![deny(missing_docs)]
 
+pub mod driver;
 mod experiment;
 pub mod metrics;
 pub mod pool;
@@ -39,6 +43,7 @@ pub mod presets;
 pub mod report;
 pub mod runtime;
 
+pub use driver::{JobConfig, ServerLoop, WorkerStep};
 pub use dssp_sim::{RunTrace, TracePoint, WorkerSummary};
 pub use experiment::{Experiment, ExperimentBuilder};
 pub use presets::Scale;

@@ -80,6 +80,72 @@ pub fn throughput_markdown(summaries: &[ThroughputSummary]) -> String {
     out
 }
 
+/// Renders a trace as pretty-printed JSON (hand-rolled: the offline serde shim only
+/// marks types, it does not serialize). This is the machine-readable artifact the
+/// `repro -- serve` / `repro -- launch` subcommands write and CI uploads.
+pub fn trace_json(trace: &RunTrace) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"policy\": {},", json_str(&trace.policy));
+    let _ = writeln!(out, "  \"model\": {},", json_str(&trace.model));
+    let _ = writeln!(out, "  \"workers\": {},", trace.workers);
+    let _ = writeln!(out, "  \"total_time_s\": {:.6},", trace.total_time_s);
+    let _ = writeln!(out, "  \"total_pushes\": {},", trace.total_pushes);
+    out.push_str("  \"points\": [\n");
+    for (i, p) in trace.points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"time_s\": {:.6}, \"pushes\": {}, \"epoch\": {}, \"test_accuracy\": {:.6}, \"train_loss\": {:.6}}}",
+            p.time_s, p.pushes, p.epoch, p.test_accuracy, p.train_loss
+        );
+        out.push_str(if i + 1 < trace.points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n  \"worker_summaries\": [\n");
+    for (i, w) in trace.worker_summaries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"worker\": {}, \"iterations\": {}, \"epochs\": {}, \"waiting_time_s\": {:.6}}}",
+            w.worker, w.iterations, w.epochs, w.waiting_time_s
+        );
+        out.push_str(if i + 1 < trace.worker_summaries.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let s = &trace.server_stats;
+    out.push_str("  ],\n  \"server_stats\": {\n");
+    let _ = writeln!(out, "    \"pushes\": {},", s.pushes);
+    let _ = writeln!(out, "    \"blocked_pushes\": {},", s.blocked_pushes);
+    let _ = writeln!(out, "    \"releases\": {},", s.releases);
+    let _ = writeln!(out, "    \"staleness_sum\": {},", s.staleness_sum);
+    let _ = writeln!(out, "    \"staleness_max\": {},", s.staleness_max);
+    let _ = writeln!(out, "    \"credits_granted\": {}", s.credits_granted);
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Renders a compact per-trace summary line, useful for example binaries.
 pub fn trace_summary_line(trace: &RunTrace) -> String {
     format!(
@@ -152,5 +218,21 @@ mod tests {
         let line = trace_summary_line(&trace());
         assert!(line.contains("DSSP"));
         assert!(line.contains("0.420"));
+    }
+
+    #[test]
+    fn trace_json_is_balanced_and_contains_the_key_fields() {
+        let json = trace_json(&trace());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"policy\": \"DSSP s=3, r=12\""));
+        assert!(json.contains("\"total_pushes\": 10"));
+        assert!(json.contains("\"credits_granted\": 0"));
+        assert!(json.contains("\"test_accuracy\": 0.420000"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -7,287 +7,289 @@
 //! thread over channels, driving the *same* [`dssp_ps::ParameterServer`] decision logic
 //! under real wall-clock time.
 //!
+//! The worker step-loop and server decision-loop live in [`crate::driver`] and are
+//! shared with the networked runtime (`dssp-net`): one driver, three substrates —
+//! simulator events, threads + channels, and processes + sockets.
+//!
 //! Heterogeneity can be emulated by giving workers artificial per-iteration compute
 //! delays (`extra_compute_delay_ms`), which plays the role of the mixed GPU models in
 //! the paper's Figure 4 experiment.
+//!
+//! # Shutdown behaviour
+//!
+//! The server loop owns the run: when it finishes, aborts (the
+//! [`JobConfig::fail_after_pushes`] chaos hook), or panics, it broadcasts
+//! [`WorkerCommand::Shutdown`] to every worker and joins all threads before returning,
+//! so no worker thread is ever leaked — [`run_threaded`] either returns a complete
+//! trace or panics with every thread reaped.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use dssp_data::BatchIter;
-use dssp_nn::models::ModelSpec;
-use dssp_nn::{accuracy, Model, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy};
-use dssp_ps::{ParameterServer, PolicyKind, ServerConfig, ServerStats};
-use dssp_sim::{DataSpec, RunTrace, TracePoint, WorkerSummary};
-use std::thread;
+use crate::driver::{DeterministicGate, JobConfig, OkReply, ServerLoop, WorkerEvent, WorkerStep};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dssp_sim::RunTrace;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Configuration of a threaded training run.
+/// Configuration of a threaded training run (an alias of the shared driver
+/// configuration; the threaded runtime adds no substrate-specific knobs).
+pub use crate::driver::JobConfig as ThreadedConfig;
+
+/// What the server sends a worker in response to its push.
 #[derive(Debug, Clone)]
-pub struct ThreadedConfig {
-    /// Model architecture replicated by every worker.
-    pub model: ModelSpec,
-    /// Dataset specification.
-    pub data: DataSpec,
-    /// Number of worker threads.
-    pub num_workers: usize,
-    /// Synchronization paradigm.
-    pub policy: PolicyKind,
-    /// Mini-batch size.
-    pub batch_size: usize,
-    /// Passes over each worker's shard.
-    pub epochs: usize,
-    /// Server-side SGD configuration.
-    pub sgd: SgdConfig,
-    /// Master seed.
-    pub seed: u64,
-    /// Evaluate the global weights every this many pushes.
-    pub eval_every_pushes: u64,
-    /// Cap on test examples per evaluation.
-    pub eval_max_examples: usize,
-    /// Artificial extra compute delay per iteration for each worker, in milliseconds.
-    /// An empty vector means no extra delay; otherwise it must have one entry per
-    /// worker. Unequal delays emulate a heterogeneous cluster.
-    pub extra_compute_delay_ms: Vec<u64>,
+pub enum WorkerCommand {
+    /// The worker may start its next iteration on these fresh global weights.
+    Proceed(Vec<f32>),
+    /// The run is over (normally or because the server failed); the worker must exit
+    /// its loop immediately.
+    Shutdown,
 }
 
-impl ThreadedConfig {
-    /// A small default configuration: MLP on a synthetic vector task, two workers.
-    pub fn small(policy: PolicyKind) -> Self {
-        Self {
-            model: ModelSpec::Mlp {
-                input_dim: 16,
-                hidden: vec![24],
-                classes: 4,
-            },
-            data: DataSpec::Vector(dssp_data::SyntheticVectorSpec {
-                classes: 4,
-                dim: 16,
-                train_size: 512,
-                test_size: 128,
-                noise_std: 0.7,
-            }),
-            num_workers: 2,
-            policy,
-            batch_size: 16,
-            epochs: 2,
-            sgd: SgdConfig::default(),
-            seed: 11,
-            eval_every_pushes: 16,
-            eval_max_examples: 128,
-            extra_compute_delay_ms: Vec::new(),
+/// Why a threaded run ended without a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The server aborted after the configured number of pushes
+    /// ([`JobConfig::fail_after_pushes`]).
+    Aborted {
+        /// Pushes applied when the abort tripped.
+        pushes: u64,
+    },
+    /// One or more worker threads died (panicked or exited early) before reporting
+    /// `Done`.
+    WorkersFailed {
+        /// Ranks of the dead workers.
+        workers: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Aborted { pushes } => {
+                write!(f, "server aborted after {pushes} pushes (chaos hook)")
+            }
+            RuntimeError::WorkersFailed { workers } => {
+                write!(f, "worker threads {workers:?} died before finishing")
+            }
         }
     }
 }
 
-#[derive(Debug)]
-enum WorkerMsg {
-    Push {
-        worker: usize,
-        grads: Vec<f32>,
-    },
-    Done {
-        worker: usize,
-        iterations: u64,
-        epochs: usize,
-        waiting_time_s: f64,
-    },
-}
+impl std::error::Error for RuntimeError {}
 
 /// Runs a training job on real threads and returns the same [`RunTrace`] the simulator
-/// produces (times are wall-clock seconds since the start of training).
+/// produces (times are wall-clock seconds since the start of training, or logical event
+/// counts under [`JobConfig::deterministic`]).
 ///
 /// # Panics
 ///
 /// Panics if the configuration is inconsistent (zero workers, class mismatch, or a
-/// delay vector whose length differs from the worker count).
+/// delay vector whose length differs from the worker count), or if the run fails (see
+/// [`try_run_threaded`] for the non-panicking variant). In every case all worker
+/// threads are shut down and joined first.
 pub fn run_threaded(config: ThreadedConfig) -> RunTrace {
-    assert!(config.num_workers > 0, "need at least one worker");
-    assert_eq!(
-        config.model.classes(),
-        config.data.classes(),
-        "model and dataset class counts must agree"
-    );
-    assert!(
-        config.extra_compute_delay_ms.is_empty()
-            || config.extra_compute_delay_ms.len() == config.num_workers,
-        "extra_compute_delay_ms must be empty or have one entry per worker"
-    );
+    try_run_threaded(config).unwrap_or_else(|e| panic!("threaded run failed: {e}"))
+}
 
+/// Like [`run_threaded`], but reports server-side failures as an error instead of
+/// panicking. Worker threads are always joined before this returns.
+pub fn try_run_threaded(config: ThreadedConfig) -> Result<RunTrace, RuntimeError> {
+    config.validate();
+    // One dataset generation serves the evaluation batch and every worker's shard
+    // (separate processes in the networked runtime each regenerate it instead).
     let dataset = config.data.generate(config.seed);
-    let shards = dataset.shard_train(config.num_workers);
-    let reference = config.model.build(config.seed);
-    let initial_params = reference.params_flat();
+    let mut sl = ServerLoop::with_dataset(&config, &dataset);
+    let initial_params = sl.pull();
+    let targets = sl.targets().to_vec();
 
-    let sgd = Sgd::new(config.sgd.clone(), initial_params.len());
-    let mut server = ParameterServer::new(
-        initial_params.clone(),
-        sgd,
-        ServerConfig::new(config.num_workers, config.policy),
-    );
+    let (push_tx, push_rx): (Sender<WorkerEvent>, Receiver<WorkerEvent>) = unbounded();
+    let mut ok_txs: Vec<Sender<WorkerCommand>> = Vec::with_capacity(config.num_workers);
+    let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(config.num_workers);
 
-    let (push_tx, push_rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
-    let mut ok_txs: Vec<Sender<Vec<f32>>> = Vec::with_capacity(config.num_workers);
-    let mut handles = Vec::with_capacity(config.num_workers);
-
-    for (w, shard) in shards.into_iter().enumerate() {
-        let (ok_tx, ok_rx): (Sender<Vec<f32>>, Receiver<Vec<f32>>) = unbounded();
+    for (rank, shard) in dataset
+        .shard_train(config.num_workers)
+        .into_iter()
+        .enumerate()
+    {
+        let (ok_tx, ok_rx): (Sender<WorkerCommand>, Receiver<WorkerCommand>) = unbounded();
         ok_txs.push(ok_tx);
-        let target = (config.epochs as u64) * (shard.len().div_ceil(config.batch_size) as u64);
-        let batches = BatchIter::new(
-            shard,
-            config.batch_size,
-            config.seed.wrapping_add(w as u64 + 1),
-        );
-        let model = config.model.build(config.seed);
-        let delay = config
-            .extra_compute_delay_ms
-            .get(w)
-            .copied()
-            .map(Duration::from_millis);
+        let step = WorkerStep::with_shard(&config, rank, shard);
         let tx = push_tx.clone();
         let init = initial_params.clone();
         handles.push(thread::spawn(move || {
-            worker_loop(w, model, batches, target, delay, init, tx, ok_rx);
+            worker_loop(step, init, tx, ok_rx);
         }));
     }
     drop(push_tx);
 
-    // Server loop (current thread): apply pushes, gate workers, evaluate periodically.
-    let mut eval_model = config.model.build(config.seed);
-    let eval_batch = dataset.test_batch(config.eval_max_examples);
-    let start = Instant::now();
-    let mut points: Vec<TracePoint> = Vec::new();
-    let mut last_eval = 0u64;
-    let mut summaries: Vec<Option<WorkerSummary>> = vec![None; config.num_workers];
-    let mut done = 0usize;
+    // Server loop on the current thread. Any outcome — normal completion, chaos abort,
+    // worker death, or a panic inside the decision logic — falls through to the
+    // broadcast + join below, so threads are never leaked.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        server_loop(&config, &mut sl, &push_rx, &ok_txs, &handles, targets)
+    }));
 
-    while done < config.num_workers {
-        let msg = push_rx.recv().expect("workers hung up unexpectedly");
-        let now = start.elapsed().as_secs_f64();
-        match msg {
-            WorkerMsg::Push { worker, grads } => {
-                let result = server.handle_push(worker, &grads, now);
-                if result.ok_now {
-                    // A send can only fail if the worker already exited after its final
-                    // push; that is expected and harmless.
-                    let _ = ok_txs[worker].send(server.pull());
-                }
-                for released in result.released {
-                    let _ = ok_txs[released].send(server.pull());
-                }
-                if server.version() - last_eval >= config.eval_every_pushes {
-                    last_eval = server.version();
-                    points.push(evaluate(&mut eval_model, &server, &eval_batch, now));
-                }
-            }
-            WorkerMsg::Done {
-                worker,
-                iterations,
-                epochs,
-                waiting_time_s,
-            } => {
-                summaries[worker] = Some(WorkerSummary {
-                    worker,
-                    iterations,
-                    epochs,
-                    waiting_time_s,
-                });
-                done += 1;
-                for released in server.retire_worker(worker, now) {
-                    let _ = ok_txs[released].send(server.pull());
-                }
+    for tx in &ok_txs {
+        // Idempotent: workers that already exited just leave the message undelivered.
+        let _ = tx.send(WorkerCommand::Shutdown);
+    }
+    let mut dead = Vec::new();
+    for (rank, handle) in handles.into_iter().enumerate() {
+        if handle.join().is_err() {
+            dead.push(rank);
+        }
+    }
+
+    match outcome {
+        Err(panic) => resume_unwind(panic),
+        Ok(Err(e)) => Err(e),
+        Ok(Ok(elapsed)) => {
+            if dead.is_empty() {
+                Ok(sl.finish(elapsed))
+            } else {
+                Err(RuntimeError::WorkersFailed { workers: dead })
             }
         }
     }
-    for handle in handles {
-        handle.join().expect("worker thread panicked");
-    }
-
-    let final_time = start.elapsed().as_secs_f64();
-    points.push(evaluate(&mut eval_model, &server, &eval_batch, final_time));
-
-    let stats: ServerStats = server.stats().clone();
-    RunTrace {
-        policy: config.policy.label(),
-        model: config.model.display_name(),
-        workers: config.num_workers,
-        points,
-        total_time_s: final_time,
-        total_pushes: server.version(),
-        worker_summaries: summaries
-            .into_iter()
-            .map(|s| s.expect("summary recorded"))
-            .collect(),
-        server_stats: stats,
-    }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Runs the server decision-loop to completion, returning the elapsed wall-clock
+/// seconds.
+fn server_loop(
+    config: &JobConfig,
+    sl: &mut ServerLoop,
+    push_rx: &Receiver<WorkerEvent>,
+    ok_txs: &[Sender<WorkerCommand>],
+    handles: &[JoinHandle<()>],
+    targets: Vec<u64>,
+) -> Result<f64, RuntimeError> {
+    let start = Instant::now();
+    let stall = Duration::from_millis(config.stall_timeout_ms.max(1));
+    let mut gate = config
+        .deterministic
+        .then(|| DeterministicGate::new(targets, false));
+
+    'run: while !sl.all_done() {
+        // In deterministic mode, drain every event the gate is ready to release before
+        // waiting on the channel again.
+        loop {
+            let ready = match gate.as_mut() {
+                Some(g) => g.next(),
+                None => None,
+            };
+            match ready {
+                Some(event) => {
+                    dispatch(sl, ok_txs, &mut gate, event, &start)?;
+                    if sl.all_done() {
+                        break 'run;
+                    }
+                }
+                None => break,
+            }
+        }
+        let event = match push_rx.recv_timeout(stall) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => {
+                // A finished thread is only *dead* if its worker never reported Done —
+                // cleanly completed workers exit while slower peers keep training, and
+                // in deterministic mode a Done can sit gate-held for a while.
+                let dead: Vec<usize> = handles
+                    .iter()
+                    .enumerate()
+                    .filter(|(rank, h)| {
+                        h.is_finished()
+                            && !sl.worker_done(*rank)
+                            && !gate.as_ref().is_some_and(|g| g.worker_accounted_for(*rank))
+                    })
+                    .map(|(rank, _)| rank)
+                    .collect();
+                if dead.is_empty() {
+                    continue; // workers are just slow; keep waiting
+                }
+                return Err(RuntimeError::WorkersFailed { workers: dead });
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every worker hung up without all of them reporting Done.
+                return Err(RuntimeError::WorkersFailed {
+                    workers: (0..config.num_workers).collect(),
+                });
+            }
+        };
+        if gate.is_some() {
+            gate.as_mut().expect("checked").offer(event);
+        } else {
+            dispatch(sl, ok_txs, &mut gate, event, &start)?;
+        }
+    }
+    Ok(start.elapsed().as_secs_f64())
+}
+
+fn dispatch(
+    sl: &mut ServerLoop,
+    ok_txs: &[Sender<WorkerCommand>],
+    gate: &mut Option<DeterministicGate>,
+    event: WorkerEvent,
+    start: &Instant,
+) -> Result<(), RuntimeError> {
+    let now = start.elapsed().as_secs_f64();
+    let replies: Vec<OkReply> = sl.handle_gated(gate, event, now);
+    for reply in &replies {
+        // A send can only fail if the worker already exited after its final push; that
+        // is expected and harmless.
+        let _ = ok_txs[reply.worker].send(WorkerCommand::Proceed(sl.pull()));
+    }
+    if sl.aborted() {
+        return Err(RuntimeError::Aborted {
+            pushes: sl.version(),
+        });
+    }
+    Ok(())
+}
+
 fn worker_loop(
-    worker: usize,
-    mut model: Sequential,
-    mut batches: BatchIter,
-    target: u64,
-    delay: Option<Duration>,
+    mut step: WorkerStep,
     initial_params: Vec<f32>,
-    tx: Sender<WorkerMsg>,
-    ok_rx: Receiver<Vec<f32>>,
+    tx: Sender<WorkerEvent>,
+    ok_rx: Receiver<WorkerCommand>,
 ) {
-    let loss_fn = SoftmaxCrossEntropy::new();
+    let worker = step.rank();
+    let target = step.target();
     let mut weights = initial_params;
     let mut waiting_time_s = 0.0;
-    let mut ws = dssp_nn::Workspace::new();
-    let mut grad_logits = dssp_tensor::Tensor::default();
     for iter in 0..target {
-        if let Some(d) = delay {
-            thread::sleep(d);
+        let grads = step.compute_gradient(&weights);
+        if tx
+            .send(WorkerEvent::Push {
+                worker,
+                iteration: iter + 1,
+                grads,
+            })
+            .is_err()
+        {
+            return; // server gone; exit quietly
         }
-        model.set_params_flat(&weights);
-        let (x, labels) = batches.next_batch();
-        let logits = model.forward_ws(&x, true, &mut ws);
-        let _ = loss_fn.loss_and_grad_into(logits, &labels, &mut grad_logits);
-        model.zero_grads();
-        model.backward_ws(&grad_logits, &mut ws);
-        // The gradient crosses a thread boundary, so this one allocation per push
-        // stays (the server consumes the Vec).
-        let grads = model.grads_flat();
-        tx.send(WorkerMsg::Push { worker, grads })
-            .expect("server hung up");
         if iter + 1 < target {
             let wait_start = Instant::now();
-            weights = ok_rx.recv().expect("server hung up before sending OK");
-            waiting_time_s += wait_start.elapsed().as_secs_f64();
+            match ok_rx.recv() {
+                Ok(WorkerCommand::Proceed(w)) => {
+                    waiting_time_s += wait_start.elapsed().as_secs_f64();
+                    weights = w;
+                }
+                Ok(WorkerCommand::Shutdown) | Err(_) => return,
+            }
         }
     }
-    tx.send(WorkerMsg::Done {
+    let _ = tx.send(WorkerEvent::Done {
         worker,
         iterations: target,
-        epochs: batches.epoch(),
+        epochs: step.epoch(),
         waiting_time_s,
-    })
-    .expect("server hung up");
-}
-
-fn evaluate(
-    eval_model: &mut Sequential,
-    server: &ParameterServer,
-    eval_batch: &(dssp_tensor::Tensor, Vec<usize>),
-    now: f64,
-) -> TracePoint {
-    eval_model.set_params_flat(server.weights());
-    let logits = eval_model.forward(&eval_batch.0, false);
-    let acc = accuracy(&logits, &eval_batch.1);
-    TracePoint {
-        time_s: now,
-        pushes: server.version(),
-        epoch: 0,
-        test_accuracy: f64::from(acc),
-        train_loss: 0.0,
-    }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dssp_ps::PolicyKind;
 
     #[test]
     fn threaded_bsp_run_completes_and_learns() {
@@ -345,5 +347,35 @@ mod tests {
         config.extra_compute_delay_ms = vec![1];
         config.num_workers = 3;
         run_threaded(config);
+    }
+
+    #[test]
+    fn chaos_abort_shuts_workers_down_instead_of_leaking_them() {
+        let mut config = ThreadedConfig::small(PolicyKind::Asp);
+        config.fail_after_pushes = Some(3);
+        let started = Instant::now();
+        let err = try_run_threaded(config).expect_err("chaos hook must abort the run");
+        assert!(
+            matches!(err, RuntimeError::Aborted { pushes } if pushes >= 3),
+            "unexpected error: {err}"
+        );
+        // try_run_threaded joins every worker before returning; if Shutdown were not
+        // propagated the blocked workers would keep the join (and this test) hanging
+        // until their full epoch budget elapsed.
+        assert!(started.elapsed() < Duration::from_secs(20));
+    }
+
+    #[test]
+    fn deterministic_mode_is_bitwise_reproducible_across_runs() {
+        let mut config = ThreadedConfig::small(PolicyKind::Dssp { s_l: 1, r_max: 4 });
+        config.deterministic = true;
+        config.epochs = 1;
+        let a = run_threaded(config.clone());
+        let b = run_threaded(config);
+        assert_eq!(
+            a.with_times_zeroed(),
+            b.with_times_zeroed(),
+            "two deterministic runs must match bitwise (wall-clock fields aside)"
+        );
     }
 }

@@ -1,0 +1,241 @@
+//! Command-line flag parsing shared by the `repro` binary's `serve`/`worker`/`launch`
+//! subcommands and by [`crate::launch`] (which re-serializes the job into worker
+//! process arguments).
+//!
+//! A job built by [`job_from_flags`] round-trips exactly through [`job_args`]; any
+//! drift between a server's and a worker's configuration is caught by the
+//! `JobConfig::digest` check in the `Hello` handshake.
+
+use dssp_core::driver::JobConfig;
+use dssp_ps::PolicyKind;
+
+/// Returns the value following `flag` in `args`, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value '{v}' for {flag}")),
+    }
+}
+
+/// Parses a policy spec: `bsp`, `asp`, `ssp:S`, `dssp[:S_L[:R_MAX]]` or
+/// `dssp-strict:S_L:R_MAX`.
+pub fn parse_policy(spec: &str) -> Result<PolicyKind, String> {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    let nums: Vec<u64> = parts
+        .map(|p| {
+            p.parse()
+                .map_err(|_| format!("invalid number '{p}' in policy '{spec}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    match (head, nums.as_slice()) {
+        ("bsp", []) => Ok(PolicyKind::Bsp),
+        ("asp", []) => Ok(PolicyKind::Asp),
+        ("ssp", [s]) => Ok(PolicyKind::Ssp { s: *s }),
+        ("dssp", []) => Ok(PolicyKind::Dssp { s_l: 1, r_max: 8 }),
+        ("dssp", [s_l]) => Ok(PolicyKind::Dssp {
+            s_l: *s_l,
+            r_max: 8,
+        }),
+        ("dssp", [s_l, r_max]) => Ok(PolicyKind::Dssp {
+            s_l: *s_l,
+            r_max: *r_max,
+        }),
+        ("dssp-strict", [s_l, r_max]) => Ok(PolicyKind::DsspStrict {
+            s_l: *s_l,
+            r_max: *r_max,
+        }),
+        _ => Err(format!(
+            "invalid policy '{spec}' (expected bsp | asp | ssp:S | dssp[:S_L[:R_MAX]] | dssp-strict:S_L:R_MAX)"
+        )),
+    }
+}
+
+/// Renders a policy back into the spec syntax accepted by [`parse_policy`].
+pub fn policy_spec(policy: &PolicyKind) -> String {
+    match policy {
+        PolicyKind::Bsp => "bsp".to_string(),
+        PolicyKind::Asp => "asp".to_string(),
+        PolicyKind::Ssp { s } => format!("ssp:{s}"),
+        PolicyKind::Dssp { s_l, r_max } => format!("dssp:{s_l}:{r_max}"),
+        PolicyKind::DsspStrict { s_l, r_max } => format!("dssp-strict:{s_l}:{r_max}"),
+    }
+}
+
+/// Builds a [`JobConfig`] from CLI flags. Recognized flags (all optional):
+///
+/// | flag | default | meaning |
+/// |---|---|---|
+/// | `--model mlp\|alexnet` | `mlp` | model/dataset preset |
+/// | `--policy SPEC` | `dssp:1:8` | see [`parse_policy`] |
+/// | `--workers N` | 2 | worker count |
+/// | `--epochs E` | preset | passes over each shard |
+/// | `--batch-size B` | preset | mini-batch size |
+/// | `--seed S` | preset | master seed |
+/// | `--shards K` | 1 | server storage shards |
+/// | `--eval-every N` | preset | pushes between evaluations |
+/// | `--straggler-ms MS` | 4 | extra per-iteration delay of the last worker (0 = homogeneous) |
+/// | `--deterministic` | off | canonical event order + logical clock |
+/// | `--fail-after N` | off | chaos hook: server aborts after N pushes |
+pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
+    let policy =
+        parse_policy(&flag_value(args, "--policy").unwrap_or_else(|| "dssp:1:8".to_string()))?;
+    let model = flag_value(args, "--model").unwrap_or_else(|| "mlp".to_string());
+    let mut job = match model.as_str() {
+        "mlp" => JobConfig::small(policy),
+        "alexnet" => JobConfig::small_alexnet(policy),
+        other => return Err(format!("unknown model preset '{other}' (mlp | alexnet)")),
+    };
+    if let Some(n) = parse_flag::<usize>(args, "--workers")? {
+        if n == 0 {
+            return Err("--workers must be at least 1".to_string());
+        }
+        job.num_workers = n;
+    }
+    if let Some(e) = parse_flag::<usize>(args, "--epochs")? {
+        job.epochs = e.max(1);
+    }
+    if let Some(b) = parse_flag::<usize>(args, "--batch-size")? {
+        job.batch_size = b.max(1);
+    }
+    if let Some(s) = parse_flag::<u64>(args, "--seed")? {
+        job.seed = s;
+    }
+    if let Some(k) = parse_flag::<usize>(args, "--shards")? {
+        if k == 0 {
+            return Err("--shards must be at least 1".to_string());
+        }
+        job.shards = k;
+    }
+    if let Some(n) = parse_flag::<u64>(args, "--eval-every")? {
+        job.eval_every_pushes = n.max(1);
+    }
+    let straggler_ms = parse_flag::<u64>(args, "--straggler-ms")?.unwrap_or(4);
+    job.extra_compute_delay_ms = if straggler_ms == 0 || job.num_workers < 2 {
+        Vec::new()
+    } else {
+        let mut delays = vec![0; job.num_workers];
+        delays[job.num_workers - 1] = straggler_ms;
+        delays
+    };
+    job.deterministic = args.iter().any(|a| a == "--deterministic");
+    job.fail_after_pushes = parse_flag::<u64>(args, "--fail-after")?;
+    Ok(job)
+}
+
+/// Serializes a job back into the flags [`job_from_flags`] accepts, for spawning
+/// worker processes. Only CLI-representable jobs round-trip (model presets, a single
+/// trailing straggler); anything else is caught by the handshake digest check.
+pub fn job_args(job: &JobConfig) -> Vec<String> {
+    let model = match &job.model {
+        dssp_nn::models::ModelSpec::DownsizedAlexNet { .. } => "alexnet",
+        _ => "mlp",
+    };
+    let straggler_ms = job.extra_compute_delay_ms.last().copied().unwrap_or(0);
+    let mut args = vec![
+        "--model".to_string(),
+        model.to_string(),
+        "--policy".to_string(),
+        policy_spec(&job.policy),
+        "--workers".to_string(),
+        job.num_workers.to_string(),
+        "--epochs".to_string(),
+        job.epochs.to_string(),
+        "--batch-size".to_string(),
+        job.batch_size.to_string(),
+        "--seed".to_string(),
+        job.seed.to_string(),
+        "--shards".to_string(),
+        job.shards.to_string(),
+        "--eval-every".to_string(),
+        job.eval_every_pushes.to_string(),
+        "--straggler-ms".to_string(),
+        straggler_ms.to_string(),
+    ];
+    if job.deterministic {
+        args.push("--deterministic".to_string());
+    }
+    if let Some(n) = job.fail_after_pushes {
+        args.push("--fail-after".to_string());
+        args.push(n.to_string());
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn policy_specs_round_trip() {
+        for spec in ["bsp", "asp", "ssp:3", "dssp:1:8", "dssp-strict:2:5"] {
+            let policy = parse_policy(spec).unwrap();
+            assert_eq!(policy_spec(&policy), spec);
+        }
+        assert_eq!(
+            parse_policy("dssp").unwrap(),
+            PolicyKind::Dssp { s_l: 1, r_max: 8 }
+        );
+        assert!(parse_policy("nope").is_err());
+        assert!(parse_policy("ssp").is_err());
+        assert!(parse_policy("ssp:x").is_err());
+    }
+
+    #[test]
+    fn job_flags_round_trip_through_job_args() {
+        let args = strings(&[
+            "--model",
+            "alexnet",
+            "--policy",
+            "dssp:2:6",
+            "--workers",
+            "3",
+            "--epochs",
+            "2",
+            "--seed",
+            "99",
+            "--shards",
+            "4",
+            "--straggler-ms",
+            "7",
+            "--deterministic",
+        ]);
+        let job = job_from_flags(&args).unwrap();
+        assert_eq!(job.num_workers, 3);
+        assert_eq!(job.shards, 4);
+        assert_eq!(job.extra_compute_delay_ms, vec![0, 0, 7]);
+        assert!(job.deterministic);
+        let rebuilt = job_from_flags(&job_args(&job)).unwrap();
+        assert_eq!(job.digest(), rebuilt.digest());
+    }
+
+    #[test]
+    fn defaults_give_a_dssp_job_with_one_straggler() {
+        let job = job_from_flags(&[]).unwrap();
+        assert_eq!(job.policy, PolicyKind::Dssp { s_l: 1, r_max: 8 });
+        assert_eq!(job.num_workers, 2);
+        assert_eq!(job.extra_compute_delay_ms, vec![0, 4]);
+        let rebuilt = job_from_flags(&job_args(&job)).unwrap();
+        assert_eq!(job.digest(), rebuilt.digest());
+    }
+
+    #[test]
+    fn single_worker_jobs_drop_the_straggler() {
+        let job = job_from_flags(&strings(&["--workers", "1"])).unwrap();
+        assert!(job.extra_compute_delay_ms.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types of the networked runtime.
+
+use crate::wire::WireError;
+
+/// Anything that can go wrong in the networked runtime: transport I/O, malformed
+/// frames, or protocol violations.
+#[derive(Debug)]
+pub enum NetError {
+    /// An underlying socket or channel operation failed.
+    Io(std::io::Error),
+    /// A frame failed to decode.
+    Wire(WireError),
+    /// The peer hung up mid-run.
+    Disconnected,
+    /// The peer violated the protocol (wrong message, bad handshake, config mismatch).
+    Protocol(String),
+    /// The server aborted the run (the `fail_after_pushes` chaos hook) and shut the
+    /// cluster down.
+    Aborted {
+        /// Pushes applied when the abort tripped.
+        pushes: u64,
+    },
+    /// A spawned worker process failed.
+    WorkerProcess(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            NetError::Disconnected => write!(f, "peer disconnected mid-run"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Aborted { pushes } => {
+                write!(f, "server aborted after {pushes} pushes (chaos hook)")
+            }
+            NetError::WorkerProcess(msg) => write!(f, "worker process failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}

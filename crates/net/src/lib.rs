@@ -1,0 +1,68 @@
+//! `dssp-net` — the networked DSSP parameter server.
+//!
+//! The simulator (`dssp-sim`) and the threaded runtime (`dssp-core::runtime`) exercise
+//! the paper's server and synchronization controller inside one process. This crate
+//! adds the boundary that defines production parameter-server systems (Li et al.'s
+//! Parameter Server, MXNet's KVStore): a wire protocol, a transport, and per-worker
+//! connection state, so the *same* decision logic gates workers across OS processes —
+//! the single-machine analogue of the paper's 4-node testbed.
+//!
+//! Layers, bottom to top:
+//!
+//! | module | provides |
+//! |---|---|
+//! | [`wire`] | versioned, length-prefixed little-endian codec for the 7 protocol messages |
+//! | [`transport`] | [`ServerTransport`]/[`WorkerTransport`] traits + in-process [`transport::loopback`] |
+//! | [`tcp`] | the real-socket transport (`std::net`, blocking reader thread per connection) |
+//! | [`server`] | [`serve`]: the single-threaded, lock-free server command loop |
+//! | [`worker`] | [`run_worker`]: the client step-loop (shared with the threaded runtime) |
+//! | [`launch`] | [`launch::launch`]: server in-process + one child process per worker |
+//! | [`cli`] | flag parsing shared by the `repro` subcommands and the launcher |
+//!
+//! Both runtimes sit on `dssp_core::driver`, so a `LoopbackTransport` run in
+//! deterministic mode is bitwise-equal to a deterministic threaded run — the
+//! workspace-level `net_equivalence` test asserts exactly that, and the TCP transport
+//! ships IEEE-754 bit patterns verbatim so the equality extends across real sockets.
+//!
+//! # Example (in-process loopback)
+//!
+//! ```
+//! use dssp_core::driver::JobConfig;
+//! use dssp_net::{serve, run_worker, transport::loopback};
+//! use dssp_ps::PolicyKind;
+//!
+//! let mut job = JobConfig::small(PolicyKind::Bsp);
+//! job.epochs = 1;
+//! let (mut server, workers) = loopback(job.num_workers);
+//! let handles: Vec<_> = workers
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(rank, mut transport)| {
+//!         let job = job.clone();
+//!         std::thread::spawn(move || run_worker(&job, rank, &mut transport).unwrap())
+//!     })
+//!     .collect();
+//! let trace = serve(&job, &mut server).unwrap();
+//! for handle in handles {
+//!     handle.join().unwrap();
+//! }
+//! assert!(trace.total_pushes > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cli;
+mod error;
+pub mod launch;
+pub mod server;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use error::NetError;
+pub use server::serve;
+pub use tcp::{TcpServerTransport, TcpWorkerTransport};
+pub use transport::{ServerTransport, WorkerTransport};
+pub use wire::{Message, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerReport};

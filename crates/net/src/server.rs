@@ -1,0 +1,215 @@
+//! The networked parameter server: a single-threaded, lock-free command loop over a
+//! [`ServerTransport`], driving the shared [`dssp_core::driver::ServerLoop`].
+//!
+//! Connection reader threads (or loopback channels) feed one message stream; this loop
+//! is the only code that touches the [`dssp_ps::ParameterServer`], so the decision
+//! logic needs no mutex. Replies flow back through the transport: an `OK` becomes a
+//! `PushReply`, after which the worker fetches fresh weights with an explicit
+//! `Pull`/`PullReply` exchange (two round trips per iteration, like the parameter-server
+//! systems in the paper's lineage).
+
+use crate::transport::ServerTransport;
+use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
+use crate::NetError;
+use dssp_core::driver::{DeterministicGate, JobConfig, ServerLoop, WorkerEvent};
+use dssp_sim::RunTrace;
+use std::time::Instant;
+
+/// Runs a full training job as the server side of the given transport and returns the
+/// run trace.
+///
+/// The server handshakes every worker (protocol version, worker count and
+/// [`JobConfig::digest`] must all match), serves pulls, applies pushes through the
+/// shared decision loop, and — on every exit path, success or failure — broadcasts
+/// `Shutdown` so worker processes never hang.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent ([`JobConfig::validate`]).
+pub fn serve(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<RunTrace, NetError> {
+    job.validate();
+    if transport.num_workers() != job.num_workers {
+        return Err(NetError::Protocol(format!(
+            "transport serves {} workers but the job has {}",
+            transport.num_workers(),
+            job.num_workers
+        )));
+    }
+    match serve_inner(job, transport) {
+        Ok(trace) => {
+            transport.broadcast(&Message::Shutdown {
+                reason: SHUTDOWN_OK,
+            });
+            Ok(trace)
+        }
+        Err(e) => {
+            transport.broadcast(&Message::Shutdown {
+                reason: SHUTDOWN_SERVER_ERROR,
+            });
+            Err(e)
+        }
+    }
+}
+
+fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<RunTrace, NetError> {
+    let mut sl = ServerLoop::new(job);
+    let targets = sl.targets().to_vec();
+    let mut gate = job
+        .deterministic
+        .then(|| DeterministicGate::new(targets, true));
+    let mut helloed = vec![false; job.num_workers];
+    let expected_digest = job.digest();
+    let start = Instant::now();
+
+    while !sl.all_done() {
+        // Deterministic mode: drain everything the gate is ready to release before
+        // blocking on the transport again.
+        loop {
+            let ready = gate.as_mut().and_then(|g| g.next());
+            match ready {
+                Some(event) => {
+                    process_event(&mut sl, transport, &mut gate, event, &start)?;
+                    if sl.all_done() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        if sl.all_done() {
+            break;
+        }
+
+        let (rank, msg) = transport.recv()?;
+        match msg {
+            Message::Hello {
+                version,
+                rank: hello_rank,
+                num_workers,
+                config_digest,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} speaks protocol v{version}, server speaks v{PROTOCOL_VERSION}"
+                    )));
+                }
+                if hello_rank as usize != rank {
+                    return Err(NetError::Protocol(format!(
+                        "connection attributed to rank {rank} announced rank {hello_rank}"
+                    )));
+                }
+                if num_workers as usize != job.num_workers {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} expects {num_workers} workers, job has {}",
+                        job.num_workers
+                    )));
+                }
+                if config_digest != expected_digest {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} trains a different job (config digest {config_digest:#018x} != {expected_digest:#018x})"
+                    )));
+                }
+                if helloed[rank] {
+                    return Err(NetError::Protocol(format!(
+                        "duplicate Hello from rank {rank}"
+                    )));
+                }
+                helloed[rank] = true;
+            }
+            Message::Pull => {
+                require_helloed(&helloed, rank)?;
+                let event = WorkerEvent::Pull { worker: rank };
+                match gate.as_mut() {
+                    Some(g) => g.offer(event),
+                    None => process_event(&mut sl, transport, &mut gate, event, &start)?,
+                }
+            }
+            Message::Push { iteration, grads } => {
+                require_helloed(&helloed, rank)?;
+                let event = WorkerEvent::Push {
+                    worker: rank,
+                    iteration,
+                    grads,
+                };
+                match gate.as_mut() {
+                    Some(g) => g.offer(event),
+                    None => process_event(&mut sl, transport, &mut gate, event, &start)?,
+                }
+            }
+            Message::Done {
+                iterations,
+                epochs,
+                waiting_time_s,
+            } => {
+                require_helloed(&helloed, rank)?;
+                let event = WorkerEvent::Done {
+                    worker: rank,
+                    iterations,
+                    epochs: epochs as usize,
+                    waiting_time_s,
+                };
+                match gate.as_mut() {
+                    Some(g) => g.offer(event),
+                    None => process_event(&mut sl, transport, &mut gate, event, &start)?,
+                }
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected {other:?} from worker {rank}"
+                )))
+            }
+        }
+    }
+
+    Ok(sl.finish(start.elapsed().as_secs_f64()))
+}
+
+fn require_helloed(helloed: &[bool], rank: usize) -> Result<(), NetError> {
+    if helloed[rank] {
+        Ok(())
+    } else {
+        Err(NetError::Protocol(format!(
+            "worker {rank} sent traffic before Hello"
+        )))
+    }
+}
+
+/// Applies one gated-or-direct event to the decision loop and delivers the resulting
+/// protocol messages.
+fn process_event(
+    sl: &mut ServerLoop,
+    transport: &mut dyn ServerTransport,
+    gate: &mut Option<DeterministicGate>,
+    event: WorkerEvent,
+    start: &Instant,
+) -> Result<(), NetError> {
+    if let WorkerEvent::Pull { worker } = event {
+        // Pulls are pure reads served at the transport level; they never enter the
+        // decision loop (and must not advance its logical clock).
+        return transport.send(
+            worker,
+            &Message::PullReply {
+                clock: sl.version(),
+                shard_versions: sl.server().shard_versions().to_vec(),
+                weights: sl.pull(),
+            },
+        );
+    }
+    let now = start.elapsed().as_secs_f64();
+    let replies = sl.handle_gated(gate, event, now);
+    for reply in &replies {
+        transport.send(
+            reply.worker,
+            &Message::PushReply {
+                granted_extra: reply.granted_extra,
+                version: sl.version(),
+            },
+        )?;
+    }
+    if sl.aborted() {
+        return Err(NetError::Aborted {
+            pushes: sl.version(),
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,320 @@
+//! The TCP transport: real sockets over `std::net`, one blocking reader thread per
+//! connection.
+//!
+//! Threading model: the server binds a listener; an acceptor thread accepts exactly
+//! `num_workers` connections; each connection gets a reader thread that blocks on
+//! [`crate::wire::read_frame`] and forwards decoded frames — attributed with the rank
+//! announced in the connection's leading `Hello` — into one crossbeam channel. The
+//! server's command loop is the only consumer of that channel and the only writer to
+//! the sockets, so the parameter server itself stays single-threaded and lock-free.
+//!
+//! This is a cooperative-cluster transport, not a hardened public endpoint: a peer
+//! that violates the protocol (bad magic, wrong version, non-`Hello` first frame)
+//! aborts the run with an error rather than being quarantined.
+
+use crate::transport::{ServerTransport, WorkerTransport};
+use crate::wire::{read_frame, write_frame, Message};
+use crate::NetError;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+enum Event {
+    /// A connection completed its `Hello`; `stream` is the write half for its rank.
+    Register(usize, TcpStream),
+    /// A decoded frame from `rank` (or the error that ended its connection).
+    Frame(usize, Result<Message, NetError>),
+    /// A failure on a connection that never identified itself.
+    Unattributed(NetError),
+}
+
+/// Server end of the TCP transport.
+pub struct TcpServerTransport {
+    local_addr: SocketAddr,
+    num_workers: usize,
+    events: Receiver<Event>,
+    writers: Vec<Option<TcpStream>>,
+    scratch: Vec<u8>,
+}
+
+impl TcpServerTransport {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts accepting
+    /// exactly `num_workers` connections in the background.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` is zero.
+    pub fn bind(addr: &str, num_workers: usize) -> Result<Self, NetError> {
+        assert!(num_workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (event_tx, events) = unbounded();
+        thread::Builder::new()
+            .name("dssp-net-acceptor".into())
+            .spawn(move || accept_loop(listener, num_workers, event_tx))
+            .expect("spawn acceptor thread");
+        Ok(Self {
+            local_addr,
+            num_workers,
+            events,
+            writers: (0..num_workers).map(|_| None).collect(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The bound address (useful with port 0 to learn the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+fn accept_loop(listener: TcpListener, num_workers: usize, event_tx: Sender<Event>) {
+    for _ in 0..num_workers {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                let _ = event_tx.send(Event::Unattributed(e.into()));
+                return;
+            }
+        };
+        let tx = event_tx.clone();
+        let _ = thread::Builder::new()
+            .name("dssp-net-reader".into())
+            .spawn(move || reader_loop(stream, num_workers, tx));
+    }
+}
+
+fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>) {
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = tx.send(Event::Unattributed(e.into()));
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    // The first frame must be a Hello announcing the connection's rank.
+    let hello = match read_frame(&mut reader) {
+        Ok(msg @ Message::Hello { .. }) => msg,
+        Ok(other) => {
+            let _ = tx.send(Event::Unattributed(NetError::Protocol(format!(
+                "first frame was {other:?}, expected Hello"
+            ))));
+            return;
+        }
+        Err(e) => {
+            let _ = tx.send(Event::Unattributed(e));
+            return;
+        }
+    };
+    let rank = match hello {
+        Message::Hello { rank, .. } if (rank as usize) < num_workers => rank as usize,
+        Message::Hello { rank, .. } => {
+            let _ = tx.send(Event::Unattributed(NetError::Protocol(format!(
+                "rank {rank} out of range for {num_workers} workers"
+            ))));
+            return;
+        }
+        _ => unreachable!("matched Hello above"),
+    };
+    // Registration travels on the same channel before the Hello frame, so the command
+    // loop always owns the write half by the time it sees the rank's first message.
+    if tx.send(Event::Register(rank, write_half)).is_err() {
+        return;
+    }
+    if tx.send(Event::Frame(rank, Ok(hello))).is_err() {
+        return;
+    }
+    loop {
+        match read_frame(&mut reader) {
+            Ok(msg) => {
+                if tx.send(Event::Frame(rank, Ok(msg))).is_err() {
+                    return; // server gone
+                }
+            }
+            Err(e) => {
+                // EOF after shutdown is the normal end of a connection; the command
+                // loop has stopped receiving by then, so a failed send is fine too.
+                let _ = tx.send(Event::Frame(rank, Err(e)));
+                return;
+            }
+        }
+    }
+}
+
+impl ServerTransport for TcpServerTransport {
+    fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    fn recv(&mut self) -> Result<(usize, Message), NetError> {
+        loop {
+            match self.events.recv().map_err(|_| NetError::Disconnected)? {
+                Event::Register(rank, stream) => {
+                    let _ = stream.set_nodelay(true);
+                    self.writers[rank] = Some(stream);
+                }
+                Event::Frame(rank, Ok(msg)) => return Ok((rank, msg)),
+                Event::Frame(rank, Err(e)) => {
+                    return Err(NetError::Protocol(format!(
+                        "connection of worker {rank} failed: {e}"
+                    )))
+                }
+                Event::Unattributed(e) => return Err(e),
+            }
+        }
+    }
+
+    fn send(&mut self, rank: usize, msg: &Message) -> Result<(), NetError> {
+        let stream = self.writers[rank]
+            .as_mut()
+            .ok_or_else(|| NetError::Protocol(format!("worker {rank} never said Hello")))?;
+        write_frame(stream, msg, &mut self.scratch)?;
+        Ok(())
+    }
+}
+
+/// Worker end of the TCP transport.
+pub struct TcpWorkerTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl TcpWorkerTransport {
+    /// Connects to a server at `addr`, retrying for a few seconds so workers may be
+    /// launched before (or concurrently with) the server process.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        Self::connect_with_retry(addr, 50, Duration::from_millis(100))
+    }
+
+    /// Connects with an explicit retry schedule (`attempts` tries, `pause` apart).
+    pub fn connect_with_retry(
+        addr: &str,
+        attempts: u32,
+        pause: Duration,
+    ) -> Result<Self, NetError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                thread::sleep(pause);
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Self {
+                        reader,
+                        writer: stream,
+                        scratch: Vec::new(),
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.map(NetError::Io).unwrap_or(NetError::Disconnected))
+    }
+}
+
+impl WorkerTransport for TcpWorkerTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        write_frame(&mut self.writer, msg, &mut self.scratch)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, NetError> {
+        read_frame(&mut self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::PROTOCOL_VERSION;
+
+    #[test]
+    fn tcp_frames_flow_both_ways() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().to_string();
+        let client = thread::spawn(move || {
+            let mut worker = TcpWorkerTransport::connect(&addr).unwrap();
+            worker
+                .send(&Message::Hello {
+                    version: PROTOCOL_VERSION,
+                    rank: 0,
+                    num_workers: 1,
+                    config_digest: 7,
+                })
+                .unwrap();
+            worker
+                .send(&Message::Push {
+                    iteration: 1,
+                    grads: vec![0.5, -1.25],
+                })
+                .unwrap();
+            let reply = worker.recv().unwrap();
+            assert!(matches!(reply, Message::PushReply { version: 1, .. }));
+        });
+        let (rank, hello) = server.recv().unwrap();
+        assert_eq!(rank, 0);
+        assert!(matches!(
+            hello,
+            Message::Hello {
+                config_digest: 7,
+                ..
+            }
+        ));
+        let (_, push) = server.recv().unwrap();
+        match push {
+            Message::Push { iteration, grads } => {
+                assert_eq!(iteration, 1);
+                assert_eq!(grads, vec![0.5, -1.25]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        server
+            .send(
+                0,
+                &Message::PushReply {
+                    granted_extra: 0,
+                    version: 1,
+                },
+            )
+            .unwrap();
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn non_hello_first_frame_is_a_protocol_error() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().to_string();
+        let client = thread::spawn(move || {
+            let mut worker = TcpWorkerTransport::connect(&addr).unwrap();
+            worker.send(&Message::Pull).unwrap();
+        });
+        assert!(matches!(server.recv(), Err(NetError::Protocol(_))));
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rank_is_rejected() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().to_string();
+        let client = thread::spawn(move || {
+            let mut worker = TcpWorkerTransport::connect(&addr).unwrap();
+            worker
+                .send(&Message::Hello {
+                    version: PROTOCOL_VERSION,
+                    rank: 9,
+                    num_workers: 2,
+                    config_digest: 0,
+                })
+                .unwrap();
+        });
+        assert!(matches!(server.recv(), Err(NetError::Protocol(_))));
+        client.join().unwrap();
+    }
+}

@@ -1,0 +1,153 @@
+//! The transport abstraction and the in-process loopback implementation.
+//!
+//! A transport moves [`Message`]s between one server and `N` ranked workers. Two
+//! implementations exist:
+//!
+//! * [`crate::tcp`] — real sockets, one blocking reader thread per connection;
+//! * [`loopback`] — crossbeam channels inside one process, useful for tests and for
+//!   proving that the networked server is bitwise-equivalent to the threaded runtime
+//!   (no serialization happens, but the *protocol* — including the explicit pull step —
+//!   is exercised in full).
+
+use crate::wire::Message;
+use crate::NetError;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// Server side of a transport: a stream of rank-attributed incoming messages plus a
+/// way to address each worker.
+///
+/// Implementations attribute messages to ranks from each connection's `Hello`; the
+/// server logic on top still validates the handshake contents.
+pub trait ServerTransport: Send {
+    /// Number of workers this transport serves.
+    fn num_workers(&self) -> usize;
+
+    /// Blocks for the next message from any worker, attributed with its rank.
+    fn recv(&mut self) -> Result<(usize, Message), NetError>;
+
+    /// Sends a message to one worker.
+    fn send(&mut self, rank: usize, msg: &Message) -> Result<(), NetError>;
+
+    /// Best-effort broadcast (used for `Shutdown`); per-worker failures are ignored
+    /// because exiting workers legitimately race the broadcast.
+    fn broadcast(&mut self, msg: &Message) {
+        for rank in 0..self.num_workers() {
+            let _ = self.send(rank, msg);
+        }
+    }
+}
+
+/// Worker side of a transport: a bidirectional message pipe to the server.
+pub trait WorkerTransport: Send {
+    /// Sends a message to the server.
+    fn send(&mut self, msg: &Message) -> Result<(), NetError>;
+
+    /// Blocks for the next message from the server.
+    fn recv(&mut self) -> Result<Message, NetError>;
+}
+
+/// Server end of a [`loopback`] transport.
+pub struct LoopbackServer {
+    events: Receiver<(usize, Message)>,
+    replies: Vec<Sender<Message>>,
+}
+
+/// Worker end of a [`loopback`] transport.
+pub struct LoopbackWorker {
+    rank: usize,
+    to_server: Sender<(usize, Message)>,
+    from_server: Receiver<Message>,
+}
+
+/// Creates an in-process transport connecting one server to `num_workers` workers over
+/// unbounded channels. Messages are moved, not serialized, so weights and gradients
+/// are trivially bit-preserved; everything else about the protocol (handshake, explicit
+/// pulls, shutdown broadcast) behaves exactly like the TCP transport.
+///
+/// # Panics
+///
+/// Panics if `num_workers` is zero.
+pub fn loopback(num_workers: usize) -> (LoopbackServer, Vec<LoopbackWorker>) {
+    assert!(num_workers > 0, "need at least one worker");
+    let (event_tx, event_rx) = unbounded();
+    let mut replies = Vec::with_capacity(num_workers);
+    let mut workers = Vec::with_capacity(num_workers);
+    for rank in 0..num_workers {
+        let (reply_tx, reply_rx) = unbounded();
+        replies.push(reply_tx);
+        workers.push(LoopbackWorker {
+            rank,
+            to_server: event_tx.clone(),
+            from_server: reply_rx,
+        });
+    }
+    (
+        LoopbackServer {
+            events: event_rx,
+            replies,
+        },
+        workers,
+    )
+}
+
+impl ServerTransport for LoopbackServer {
+    fn num_workers(&self) -> usize {
+        self.replies.len()
+    }
+
+    fn recv(&mut self) -> Result<(usize, Message), NetError> {
+        self.events.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    fn send(&mut self, rank: usize, msg: &Message) -> Result<(), NetError> {
+        self.replies[rank]
+            .send(msg.clone())
+            .map_err(|_| NetError::Disconnected)
+    }
+}
+
+impl WorkerTransport for LoopbackWorker {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        self.to_server
+            .send((self.rank, msg.clone()))
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Message, NetError> {
+        self.from_server.recv().map_err(|_| NetError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_routes_by_rank() {
+        let (mut server, mut workers) = loopback(2);
+        workers[1].send(&Message::Pull).unwrap();
+        let (rank, msg) = server.recv().unwrap();
+        assert_eq!(rank, 1);
+        assert_eq!(msg, Message::Pull);
+        server
+            .send(
+                0,
+                &Message::PushReply {
+                    granted_extra: 0,
+                    version: 5,
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            workers[0].recv().unwrap(),
+            Message::PushReply { version: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn dropping_the_server_disconnects_workers() {
+        let (server, mut workers) = loopback(1);
+        drop(server);
+        assert!(matches!(workers[0].recv(), Err(NetError::Disconnected)));
+    }
+}

@@ -1,0 +1,556 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [ payload length: u32 LE ][ payload ]
+//! payload = [ tag: u8 ][ message fields, little-endian ]
+//! ```
+//!
+//! The codec is hand-rolled (no serde — the serde shim only marks types, it does not
+//! serialize) and strictly validating: truncated payloads, trailing bytes, unknown
+//! tags and oversized frames are all rejected rather than guessed at. `f32`/`f64`
+//! values travel as their IEEE-754 bit patterns, so weights and gradients cross the
+//! network bitwise intact — the property the cross-substrate equivalence tests rely
+//! on.
+//!
+//! Protocol flow (client = worker, server = parameter server):
+//!
+//! ```text
+//! worker                               server
+//!   | -- Hello{version,rank,digest} --> |   handshake, config fingerprint check
+//!   | -- Pull ------------------------> |
+//!   | <----- PullReply{clock,weights} - |   initial weights
+//!   | == per iteration ================ |
+//!   | -- Push{iteration,grads} -------> |   gradients applied, policy consulted
+//!   | <-- PushReply{granted_extra} ---- |   (deferred while the policy blocks)
+//!   | -- Pull ------------------------> |
+//!   | <----- PullReply{clock,weights} - |
+//!   | ================================= |
+//!   | -- Done{iterations,...} --------> |   after the final push
+//!   | <-- Shutdown{reason} ------------ |   broadcast once every worker is done
+//! ```
+
+/// Protocol version carried in [`Message::Hello`]; peers with a different version are
+/// rejected during the handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic number opening every `Hello` payload (`b"DSSP"` little-endian).
+pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"DSSP");
+
+/// Upper bound on a frame payload (256 MiB ≈ a 64M-parameter pull); larger length
+/// prefixes are rejected before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// Shutdown reason: the run completed normally.
+pub const SHUTDOWN_OK: u8 = 0;
+/// Shutdown reason: the server failed or aborted; workers must discard the run.
+pub const SHUTDOWN_SERVER_ERROR: u8 = 1;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → server: connection handshake.
+    Hello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u16,
+        /// The worker's rank, in `0..num_workers`.
+        rank: u32,
+        /// Number of workers the sender believes the job has.
+        num_workers: u32,
+        /// Fingerprint of the sender's `JobConfig` (`JobConfig::digest`); the server
+        /// refuses workers whose training configuration differs from its own.
+        config_digest: u64,
+    },
+    /// Worker → server: gradients of one completed iteration (1-based).
+    Push {
+        /// 1-based iteration number of this push.
+        iteration: u64,
+        /// Flat gradient vector.
+        grads: Vec<f32>,
+    },
+    /// Server → worker: the `OK` of Algorithm 1 — the worker may start its next
+    /// iteration. Sent immediately or deferred, according to the policy.
+    PushReply {
+        /// Extra iterations the DSSP controller granted at this push (`r*`; 0 for
+        /// catch-up releases and non-DSSP policies).
+        granted_extra: u64,
+        /// Server weight version when the reply was issued.
+        version: u64,
+    },
+    /// Worker → server: request the current global weights.
+    Pull,
+    /// Server → worker: the current global weights.
+    PullReply {
+        /// Server weight version (total pushes applied).
+        clock: u64,
+        /// Per-shard update versions of the server's `ShardedStore`, in shard order.
+        shard_versions: Vec<u64>,
+        /// The flat weight vector.
+        weights: Vec<f32>,
+    },
+    /// Worker → server: all iterations complete (sent after the final push, without
+    /// waiting for its reply).
+    Done {
+        /// Iterations the worker completed.
+        iterations: u64,
+        /// Epochs the worker completed.
+        epochs: u64,
+        /// Wall-clock seconds the worker spent waiting for deferred `OK`s.
+        waiting_time_s: f64,
+    },
+    /// Server → worker (broadcast): the run is over; the worker process exits.
+    Shutdown {
+        /// [`SHUTDOWN_OK`] or [`SHUTDOWN_SERVER_ERROR`].
+        reason: u8,
+    },
+}
+
+impl Message {
+    /// The payload tag identifying this message kind on the wire.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Push { .. } => 2,
+            Message::PushReply { .. } => 3,
+            Message::Pull => 4,
+            Message::PullReply { .. } => 5,
+            Message::Done { .. } => 6,
+            Message::Shutdown { .. } => 7,
+        }
+    }
+}
+
+/// A decoding failure. Every variant means the frame is unusable; the connection
+/// should be torn down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message was complete.
+    Truncated,
+    /// The payload had bytes left over after the message was complete.
+    TrailingBytes {
+        /// How many bytes were left.
+        extra: usize,
+    },
+    /// The payload tag is not a known message kind.
+    UnknownTag(u8),
+    /// The frame length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+    },
+    /// A `Hello` payload did not open with [`HELLO_MAGIC`].
+    BadMagic(u32),
+    /// An embedded vector declares more elements than the payload can hold.
+    BadLength {
+        /// The declared element count.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            WireError::BadMagic(m) => write!(f, "bad Hello magic {m:#010x}"),
+            WireError::BadLength { declared } => {
+                write!(
+                    f,
+                    "embedded vector declares {declared} elements beyond payload end"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes `msg` into a payload (tag + fields, no length prefix), appending to
+/// `buf`.
+pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
+    buf.push(msg.tag());
+    match msg {
+        Message::Hello {
+            version,
+            rank,
+            num_workers,
+            config_digest,
+        } => {
+            buf.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&rank.to_le_bytes());
+            buf.extend_from_slice(&num_workers.to_le_bytes());
+            buf.extend_from_slice(&config_digest.to_le_bytes());
+        }
+        Message::Push { iteration, grads } => {
+            buf.extend_from_slice(&iteration.to_le_bytes());
+            put_f32s(buf, grads);
+        }
+        Message::PushReply {
+            granted_extra,
+            version,
+        } => {
+            buf.extend_from_slice(&granted_extra.to_le_bytes());
+            buf.extend_from_slice(&version.to_le_bytes());
+        }
+        Message::Pull => {}
+        Message::PullReply {
+            clock,
+            shard_versions,
+            weights,
+        } => {
+            buf.extend_from_slice(&clock.to_le_bytes());
+            put_u64s(buf, shard_versions);
+            put_f32s(buf, weights);
+        }
+        Message::Done {
+            iterations,
+            epochs,
+            waiting_time_s,
+        } => {
+            buf.extend_from_slice(&iterations.to_le_bytes());
+            buf.extend_from_slice(&epochs.to_le_bytes());
+            buf.extend_from_slice(&waiting_time_s.to_bits().to_le_bytes());
+        }
+        Message::Shutdown { reason } => buf.push(*reason),
+    }
+}
+
+/// Deserializes one payload produced by [`encode`]. Strict: rejects unknown tags,
+/// truncation and trailing bytes.
+pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let msg = match tag {
+        1 => {
+            let magic = r.u32()?;
+            if magic != HELLO_MAGIC {
+                return Err(WireError::BadMagic(magic));
+            }
+            Message::Hello {
+                version: r.u16()?,
+                rank: r.u32()?,
+                num_workers: r.u32()?,
+                config_digest: r.u64()?,
+            }
+        }
+        2 => Message::Push {
+            iteration: r.u64()?,
+            grads: r.f32s()?,
+        },
+        3 => Message::PushReply {
+            granted_extra: r.u64()?,
+            version: r.u64()?,
+        },
+        4 => Message::Pull,
+        5 => Message::PullReply {
+            clock: r.u64()?,
+            shard_versions: r.u64s()?,
+            weights: r.f32s()?,
+        },
+        6 => Message::Done {
+            iterations: r.u64()?,
+            epochs: r.u64()?,
+            waiting_time_s: f64::from_bits(r.u64()?),
+        },
+        7 => Message::Shutdown { reason: r.u8()? },
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Writes one length-prefixed frame to `w`, reusing `scratch` as the serialization
+/// buffer (cleared first).
+pub fn write_frame<W: std::io::Write>(
+    w: &mut W,
+    msg: &Message,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    scratch.clear();
+    encode(msg, scratch);
+    let len = u32::try_from(scratch.len()).expect("payload fits in u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(scratch)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from `r` and decodes it. Returns
+/// [`crate::NetError::Disconnected`] on a clean EOF at a frame boundary.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Message, crate::NetError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(crate::NetError::Disconnected)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len }.into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(decode(&payload)?)
+}
+
+fn put_f32s(buf: &mut Vec<u8>, values: &[f32]) {
+    let len = u32::try_from(values.len()).expect("vector fits in u32");
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.reserve(values.len() * 4);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, values: &[u64]) {
+    let len = u32::try_from(values.len()).expect("vector fits in u32");
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.reserve(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let declared = self.u32()? as usize;
+        if declared.saturating_mul(4) > self.bytes.len() - self.pos {
+            return Err(WireError::BadLength { declared });
+        }
+        let mut out = Vec::with_capacity(declared);
+        for _ in 0..declared {
+            out.push(f32::from_le_bytes(self.take(4)?.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let declared = self.u32()? as usize;
+        if declared.saturating_mul(8) > self.bytes.len() - self.pos {
+            return Err(WireError::BadLength { declared });
+        }
+        let mut out = Vec::with_capacity(declared);
+        for _ in 0..declared {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                extra: self.bytes.len() - self.pos,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        encode(msg, &mut buf);
+        decode(&buf).expect("decodes")
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let messages = vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                rank: 2,
+                num_workers: 4,
+                config_digest: 0xdead_beef_cafe_f00d,
+            },
+            Message::Push {
+                iteration: 7,
+                grads: vec![1.5, -0.25, f32::MIN_POSITIVE, -0.0],
+            },
+            Message::PushReply {
+                granted_extra: 3,
+                version: 41,
+            },
+            Message::Pull,
+            Message::PullReply {
+                clock: 99,
+                shard_versions: vec![99, 98, 99],
+                weights: vec![0.125; 9],
+            },
+            Message::Done {
+                iterations: 24,
+                epochs: 2,
+                waiting_time_s: 1.75,
+            },
+            Message::Shutdown {
+                reason: SHUTDOWN_OK,
+            },
+        ];
+        for msg in &messages {
+            assert_eq!(&round_trip(msg), msg);
+        }
+    }
+
+    #[test]
+    fn special_floats_survive_bitwise() {
+        let grads = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 1e-42];
+        let mut buf = Vec::new();
+        encode(
+            &Message::Push {
+                iteration: 1,
+                grads: grads.clone(),
+            },
+            &mut buf,
+        );
+        match decode(&buf).unwrap() {
+            Message::Push { grads: got, .. } => {
+                assert_eq!(got.len(), grads.len());
+                for (a, b) in got.iter().zip(&grads) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let mut buf = Vec::new();
+        encode(
+            &Message::Push {
+                iteration: 3,
+                grads: vec![1.0, 2.0],
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let err = decode(&buf[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode(&Message::Pull, &mut buf);
+        buf.push(0);
+        assert_eq!(decode(&buf), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_magic_are_rejected() {
+        assert_eq!(decode(&[42]), Err(WireError::UnknownTag(42)));
+        let mut buf = Vec::new();
+        encode(
+            &Message::Hello {
+                version: 1,
+                rank: 0,
+                num_workers: 1,
+                config_digest: 0,
+            },
+            &mut buf,
+        );
+        buf[1] ^= 0xff; // corrupt the magic
+        assert!(matches!(decode(&buf), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn absurd_vector_lengths_are_rejected_before_allocation() {
+        // Push with a declared gradient count of u32::MAX but no data.
+        let mut buf = vec![2u8];
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&buf), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_by_the_frame_reader() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Err(crate::NetError::Wire(WireError::Oversized { len })) => {
+                assert_eq!(len, u32::MAX as usize);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let messages = vec![
+            Message::Pull,
+            Message::Push {
+                iteration: 1,
+                grads: vec![0.5; 3],
+            },
+            Message::Shutdown {
+                reason: SHUTDOWN_SERVER_ERROR,
+            },
+        ];
+        let mut stream = Vec::new();
+        let mut scratch = Vec::new();
+        for msg in &messages {
+            write_frame(&mut stream, msg, &mut scratch).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for msg in &messages {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), msg);
+        }
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(crate::NetError::Disconnected)
+        ));
+    }
+}

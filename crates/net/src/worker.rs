@@ -1,0 +1,150 @@
+//! The networked worker client: the same training step-loop as the threaded runtime
+//! ([`dssp_core::driver::WorkerStep`]), talking to the server over a
+//! [`WorkerTransport`].
+
+use crate::transport::WorkerTransport;
+use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK};
+use crate::NetError;
+use dssp_core::driver::{JobConfig, WorkerStep};
+use std::time::Instant;
+
+/// What a worker experienced during its run, for logging and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// This worker's rank.
+    pub rank: usize,
+    /// Iterations actually completed.
+    pub iterations: u64,
+    /// Epochs completed over its shard.
+    pub epochs: usize,
+    /// Wall-clock seconds spent waiting for deferred `OK`s.
+    pub waiting_time_s: f64,
+    /// Sum of `granted_extra` over every push reply — nonzero means the DSSP
+    /// controller let this worker run ahead (`r* > 0`).
+    pub granted_extra_total: u64,
+    /// Per-shard versions reported by the last pull (length = server shard count).
+    pub last_shard_versions: Vec<u64>,
+    /// Whether the server shut the run down before this worker finished (chaos abort
+    /// or server failure). The worker still exited cleanly.
+    pub shutdown_early: bool,
+}
+
+/// Runs the worker side of a training job over the given transport: handshake, initial
+/// pull, then push/pull rounds until the iteration target is reached.
+///
+/// A mid-run `Shutdown` from the server (abort paths) ends the loop cleanly with
+/// [`WorkerReport::shutdown_early`] set rather than erroring, so chaos-testing a server
+/// does not turn healthy workers into crashed processes.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent or `rank` is out of range.
+pub fn run_worker(
+    job: &JobConfig,
+    rank: usize,
+    transport: &mut dyn WorkerTransport,
+) -> Result<WorkerReport, NetError> {
+    let mut step = WorkerStep::for_rank(job, rank);
+    let mut report = WorkerReport {
+        rank,
+        iterations: 0,
+        epochs: 0,
+        waiting_time_s: 0.0,
+        granted_extra_total: 0,
+        last_shard_versions: Vec::new(),
+        shutdown_early: false,
+    };
+
+    transport.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        rank: rank as u32,
+        num_workers: job.num_workers as u32,
+        config_digest: job.digest(),
+    })?;
+
+    // Initial pull: fetch the server's starting weights.
+    transport.send(&Message::Pull)?;
+    let mut weights = match transport.recv()? {
+        Message::PullReply {
+            weights,
+            shard_versions,
+            ..
+        } => {
+            report.last_shard_versions = shard_versions;
+            weights
+        }
+        Message::Shutdown { .. } => {
+            report.shutdown_early = true;
+            return Ok(report);
+        }
+        other => return Err(unexpected(rank, &other)),
+    };
+
+    let target = step.target();
+    for iter in 0..target {
+        let grads = step.compute_gradient(&weights);
+        report.iterations = step.completed();
+        report.epochs = step.epoch();
+        transport.send(&Message::Push {
+            iteration: iter + 1,
+            grads,
+        })?;
+        if iter + 1 == target {
+            break; // final push: report Done without waiting for the OK
+        }
+        let wait_start = Instant::now();
+        match transport.recv()? {
+            Message::PushReply { granted_extra, .. } => {
+                report.waiting_time_s += wait_start.elapsed().as_secs_f64();
+                report.granted_extra_total += granted_extra;
+            }
+            Message::Shutdown { reason } => {
+                report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
+                return Ok(report);
+            }
+            other => return Err(unexpected(rank, &other)),
+        }
+        transport.send(&Message::Pull)?;
+        match transport.recv()? {
+            Message::PullReply {
+                weights: fresh,
+                shard_versions,
+                ..
+            } => {
+                weights = fresh;
+                report.last_shard_versions = shard_versions;
+            }
+            Message::Shutdown { reason } => {
+                report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
+                return Ok(report);
+            }
+            other => return Err(unexpected(rank, &other)),
+        }
+    }
+
+    transport.send(&Message::Done {
+        iterations: step.completed(),
+        epochs: step.epoch() as u64,
+        waiting_time_s: report.waiting_time_s,
+    })?;
+
+    // Drain until the shutdown broadcast; a PushReply for the final push may still be
+    // in flight (the server answers every granted push, even the last one).
+    loop {
+        match transport.recv()? {
+            Message::Shutdown { reason } => {
+                report.shutdown_early = reason != SHUTDOWN_OK;
+                return Ok(report);
+            }
+            Message::PushReply { granted_extra, .. } => {
+                report.granted_extra_total += granted_extra;
+            }
+            Message::PullReply { .. } => {}
+            other => return Err(unexpected(rank, &other)),
+        }
+    }
+}
+
+fn unexpected(rank: usize, msg: &Message) -> NetError {
+    NetError::Protocol(format!("worker {rank} received unexpected {msg:?}"))
+}

@@ -1,0 +1,151 @@
+//! End-to-end tests of the networked runtime over the in-process loopback transport:
+//! full training runs, sharded-versus-flat storage equality, and shutdown behaviour.
+
+use dssp_core::driver::JobConfig;
+use dssp_net::transport::loopback;
+use dssp_net::{run_worker, serve, NetError, WorkerReport};
+use dssp_ps::PolicyKind;
+use dssp_sim::RunTrace;
+use std::thread;
+
+/// Runs a full job over loopback: server on this thread, one thread per worker.
+fn run_loopback(job: &JobConfig) -> (Result<RunTrace, NetError>, Vec<WorkerReport>) {
+    let (mut server, workers) = loopback(job.num_workers);
+    let handles: Vec<_> = workers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut transport)| {
+            let job = job.clone();
+            thread::spawn(move || run_worker(&job, rank, &mut transport).expect("worker runs"))
+        })
+        .collect();
+    let result = serve(job, &mut server);
+    let reports = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread"))
+        .collect();
+    (result, reports)
+}
+
+fn small_job(policy: PolicyKind) -> JobConfig {
+    let mut job = JobConfig::small(policy);
+    job.epochs = 1;
+    job
+}
+
+#[test]
+fn bsp_over_loopback_completes_and_learns() {
+    let (result, reports) = run_loopback(&small_job(PolicyKind::Bsp));
+    let trace = result.expect("run completes");
+    assert_eq!(trace.workers, 2);
+    let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
+    assert_eq!(per_worker, trace.total_pushes);
+    assert!(
+        trace.final_accuracy() > 0.3,
+        "accuracy {}",
+        trace.final_accuracy()
+    );
+    for report in &reports {
+        assert!(!report.shutdown_early);
+        assert_eq!(
+            report.last_shard_versions.len(),
+            1,
+            "flat storage = 1 shard"
+        );
+    }
+}
+
+#[test]
+fn dssp_with_a_straggler_grants_extra_iterations_over_the_wire() {
+    let mut job = JobConfig::small(PolicyKind::Dssp { s_l: 1, r_max: 8 });
+    job.epochs = 2;
+    job.extra_compute_delay_ms = vec![0, 6];
+    let (result, reports) = run_loopback(&job);
+    let trace = result.expect("run completes");
+    assert!(
+        trace.server_stats.credits_granted > 0,
+        "the controller should have granted extras to the fast worker"
+    );
+    // The fast worker saw those grants in its push replies.
+    let total_seen: u64 = reports.iter().map(|r| r.granted_extra_total).sum();
+    assert_eq!(total_seen, trace.server_stats.credits_granted);
+    let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
+    assert_eq!(per_worker, trace.total_pushes);
+}
+
+#[test]
+fn sharded_and_flat_storage_produce_identical_runs() {
+    // Identical job, 1-shard vs 5-shard server storage, deterministic scheduling:
+    // every learning-relevant number must agree bitwise.
+    let mut flat = small_job(PolicyKind::Ssp { s: 2 });
+    flat.deterministic = true;
+    let mut sharded = flat.clone();
+    sharded.shards = 5;
+    let (flat_result, _) = run_loopback(&flat);
+    let (sharded_result, sharded_reports) = run_loopback(&sharded);
+    let flat_trace = flat_result.expect("flat run");
+    let sharded_trace = sharded_result.expect("sharded run");
+    for report in &sharded_reports {
+        assert_eq!(report.last_shard_versions.len(), 5);
+    }
+    // Shard count is config, not math: only the policy label/config could differ, and
+    // it does not — so the zeroed-time traces must be equal outright.
+    assert_eq!(
+        flat_trace.with_times_zeroed(),
+        sharded_trace.with_times_zeroed()
+    );
+}
+
+#[test]
+fn pull_replies_report_monotonically_complete_shard_versions() {
+    let mut job = small_job(PolicyKind::Bsp);
+    job.shards = 3;
+    let (result, reports) = run_loopback(&job);
+    let trace = result.expect("run completes");
+    for report in &reports {
+        assert_eq!(report.last_shard_versions.len(), 3);
+        // Every shard sees every whole-model update, so versions are uniform and
+        // bounded by the total push count.
+        let v0 = report.last_shard_versions[0];
+        assert!(report.last_shard_versions.iter().all(|&v| v == v0));
+        assert!(v0 <= trace.total_pushes);
+    }
+}
+
+#[test]
+fn chaos_abort_shuts_workers_down_cleanly() {
+    let mut job = small_job(PolicyKind::Asp);
+    job.fail_after_pushes = Some(3);
+    let (result, reports) = run_loopback(&job);
+    match result {
+        Err(NetError::Aborted { pushes }) => assert!(pushes >= 3),
+        other => panic!("expected Aborted, got {other:?}"),
+    }
+    // Workers exited via the Shutdown broadcast, not by crashing.
+    assert!(reports.iter().any(|r| r.shutdown_early));
+}
+
+#[test]
+fn config_digest_mismatch_is_rejected_at_handshake() {
+    let server_job = small_job(PolicyKind::Bsp);
+    let mut worker_job = server_job.clone();
+    worker_job.seed += 1; // a silently different dataset — must not train
+    let (mut server, workers) = loopback(server_job.num_workers);
+    let handles: Vec<_> = workers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut transport)| {
+            let job = worker_job.clone();
+            thread::spawn(move || run_worker(&job, rank, &mut transport))
+        })
+        .collect();
+    let result = serve(&server_job, &mut server);
+    assert!(
+        matches!(result, Err(NetError::Protocol(ref msg)) if msg.contains("digest")),
+        "got {result:?}"
+    );
+    for handle in handles {
+        // Workers end via Shutdown (clean) or a disconnect error; neither may hang.
+        let _ = handle.join().expect("worker thread must exit");
+    }
+}

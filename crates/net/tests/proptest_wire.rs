@@ -1,0 +1,133 @@
+//! Property-based tests for the wire codec: encode→decode is the identity on every
+//! message kind, and corrupted frames (truncation, trailing bytes, absurd lengths) are
+//! rejected rather than misparsed.
+
+use dssp_net::wire::{decode, encode, Message, WireError, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+/// Builds an arbitrary message from flat random draws (the proptest shim has no enum
+/// strategies, so the variant is picked by an index).
+#[allow(clippy::too_many_arguments)]
+fn build_message(
+    variant: u32,
+    a: u64,
+    b: u64,
+    c: f64,
+    floats: Vec<f32>,
+    float_len: usize,
+    versions: Vec<u64>,
+    version_len: usize,
+) -> Message {
+    let floats = floats[..float_len.min(floats.len())].to_vec();
+    let versions = versions[..version_len.min(versions.len())].to_vec();
+    match variant % 7 {
+        0 => Message::Hello {
+            version: PROTOCOL_VERSION,
+            rank: (a % 1024) as u32,
+            num_workers: (b % 1024) as u32,
+            config_digest: a.wrapping_mul(b),
+        },
+        1 => Message::Push {
+            iteration: a,
+            grads: floats,
+        },
+        2 => Message::PushReply {
+            granted_extra: a,
+            version: b,
+        },
+        3 => Message::Pull,
+        4 => Message::PullReply {
+            clock: a,
+            shard_versions: versions,
+            weights: floats,
+        },
+        5 => Message::Done {
+            iterations: a,
+            epochs: b,
+            waiting_time_s: c,
+        },
+        _ => Message::Shutdown {
+            reason: (a % 256) as u8,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_then_decode_is_the_identity(
+        variant in 0u32..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in -1.0e12f64..1.0e12,
+        floats in prop::collection::vec(-1.0e6f32..1.0e6, 32),
+        float_len in 0usize..33,
+        versions in prop::collection::vec(0u64..u64::MAX, 8),
+        version_len in 0usize..9,
+    ) {
+        let msg = build_message(variant, a, b, c, floats, float_len, versions, version_len);
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        let decoded = decode(&buf);
+        prop_assert_eq!(decoded.as_ref(), Ok(&msg));
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected(
+        variant in 0u32..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in -1.0e12f64..1.0e12,
+        floats in prop::collection::vec(-1.0e6f32..1.0e6, 8),
+        float_len in 0usize..9,
+        versions in prop::collection::vec(0u64..u64::MAX, 4),
+        version_len in 0usize..5,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg = build_message(variant, a, b, c, floats, float_len, versions, version_len);
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        // A strict prefix must never decode into a message. (Strictness matters: a
+        // truncated Push must not silently become a shorter gradient vector.)
+        prop_assert!(decode(&buf[..cut.min(buf.len().saturating_sub(1))]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(
+        variant in 0u32..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in -1.0e12f64..1.0e12,
+        floats in prop::collection::vec(-1.0e6f32..1.0e6, 8),
+        float_len in 0usize..9,
+        versions in prop::collection::vec(0u64..u64::MAX, 4),
+        version_len in 0usize..5,
+        garbage in 1usize..16,
+    ) {
+        let msg = build_message(variant, a, b, c, floats, float_len, versions, version_len);
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        buf.extend(std::iter::repeat(0xabu8).take(garbage));
+        prop_assert!(matches!(
+            decode(&buf),
+            Err(WireError::TrailingBytes { .. }) | Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_vector_lengths_beyond_the_payload_are_rejected(
+        iteration in 0u64..u64::MAX,
+        declared in 1u32..u32::MAX,
+        available in 0usize..16,
+    ) {
+        // Hand-build a Push whose gradient count claims more elements than exist.
+        let mut buf = vec![2u8];
+        buf.extend_from_slice(&iteration.to_le_bytes());
+        buf.extend_from_slice(&declared.to_le_bytes());
+        let supplied = (available).min((declared as usize).saturating_sub(1));
+        buf.extend(std::iter::repeat(0u8).take(supplied * 4));
+        prop_assert!(decode(&buf).is_err());
+    }
+}

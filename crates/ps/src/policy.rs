@@ -110,6 +110,13 @@ pub trait SyncPolicy: Send {
     fn last_controller_decision(&self) -> Option<&ControllerDecision> {
         None
     }
+
+    /// Cumulative extra-iteration credits granted so far (0 for policies without a
+    /// controller). The server differences this across a push to learn the `r*` granted
+    /// at that push.
+    fn credits_granted(&self) -> u64 {
+        0
+    }
 }
 
 /// Bulk Synchronous Parallel: a worker may proceed only when no other worker is behind
@@ -347,6 +354,10 @@ impl SyncPolicy for Dssp {
 
     fn last_controller_decision(&self) -> Option<&ControllerDecision> {
         self.last_decision.as_ref()
+    }
+
+    fn credits_granted(&self) -> u64 {
+        self.credits_granted
     }
 }
 

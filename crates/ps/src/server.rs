@@ -3,6 +3,7 @@
 use crate::aggregator::{AggregationMode, GradientBuffer};
 use crate::clock::{ClockTable, IntervalTracker, WorkerId};
 use crate::policy::{PolicyCtx, PolicyKind, SyncPolicy};
+use crate::sharded::ShardedStore;
 use crate::staleness::StalenessTracker;
 use dssp_nn::Sgd;
 use serde::{Deserialize, Serialize};
@@ -21,22 +22,35 @@ pub struct ServerConfig {
     /// How pushed gradients are folded into the weights (DESIGN.md §6 ablation).
     #[serde(default)]
     pub aggregation: AggregationMode,
+    /// Number of contiguous key-range shards the parameter storage is split into.
+    /// `1` is the classic flat store; larger values exercise the key-sharded storage a
+    /// multi-server deployment would use (per-shard version counters are reported by
+    /// networked pulls). Bitwise weight evolution is independent of this setting.
+    pub shards: usize,
 }
 
 impl ServerConfig {
     /// Creates a configuration for `num_workers` workers under `policy`, applying each
-    /// push to the weights immediately.
+    /// push to the weights immediately, with unsharded (single-shard) storage.
     pub fn new(num_workers: usize, policy: PolicyKind) -> Self {
         Self {
             num_workers,
             policy,
             aggregation: AggregationMode::PerPush,
+            shards: 1,
         }
     }
 
     /// Switches the server to the given aggregation mode, returning `self` for chaining.
     pub fn with_aggregation(mut self, aggregation: AggregationMode) -> Self {
         self.aggregation = aggregation;
+        self
+    }
+
+    /// Splits the parameter storage into `shards` contiguous key ranges, returning
+    /// `self` for chaining.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -52,6 +66,10 @@ pub struct PushResult {
     pub released: Vec<WorkerId>,
     /// The server weight version (total pushes applied) after this push.
     pub version: u64,
+    /// Extra-iteration credits the DSSP controller granted *at this push* (`r*` of
+    /// Algorithm 2; always 0 for BSP/ASP/SSP and for pushes that spend an existing
+    /// credit). Networked deployments echo this to the worker in its push reply.
+    pub granted_extra: u64,
 }
 
 /// Aggregate statistics the server keeps about synchronization behaviour.
@@ -67,6 +85,9 @@ pub struct ServerStats {
     pub staleness_sum: u64,
     /// Maximum observed lead over the slowest worker at push time.
     pub staleness_max: u64,
+    /// Total extra-iteration credits granted by the DSSP synchronization controller
+    /// (sum of every `r*` decision; 0 unless the policy is a DSSP variant).
+    pub credits_granted: u64,
 }
 
 impl ServerStats {
@@ -97,7 +118,7 @@ impl ServerStats {
 /// are released; the surrounding runtime (simulator or thread pool) is responsible for
 /// actually delivering the `OK` signals.
 pub struct ParameterServer {
-    params: Vec<f32>,
+    store: ShardedStore,
     optimizer: Sgd,
     clocks: ClockTable,
     intervals: IntervalTracker,
@@ -113,7 +134,8 @@ pub struct ParameterServer {
 impl std::fmt::Debug for ParameterServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParameterServer")
-            .field("params", &self.params.len())
+            .field("params", &self.store.len())
+            .field("shards", &self.store.num_shards())
             .field("policy", &self.policy.name())
             .field("version", &self.version)
             .field("blocked", &self.blocked)
@@ -124,16 +146,21 @@ impl std::fmt::Debug for ParameterServer {
 impl ParameterServer {
     /// Creates a server holding `initial_params` and applying pushes with `optimizer`.
     ///
+    /// The parameters live in a [`ShardedStore`] with `config.shards` contiguous key
+    /// ranges (1 = flat). Sharding only affects the per-shard version metadata reported
+    /// to networked pulls; the weight arithmetic is elementwise and therefore bitwise
+    /// identical across shard counts.
+    ///
     /// # Panics
     ///
-    /// Panics if the configuration has zero workers.
+    /// Panics if the configuration has zero workers or zero shards.
     pub fn new(initial_params: Vec<f32>, optimizer: Sgd, config: ServerConfig) -> Self {
         assert!(config.num_workers > 0, "need at least one worker");
         let policy = config.policy.build(config.num_workers);
         let staleness = StalenessTracker::new(config.num_workers, STALENESS_BUCKETS);
         let buffer = GradientBuffer::new(initial_params.len(), config.aggregation);
         Self {
-            params: initial_params,
+            store: ShardedStore::new(initial_params, config.shards),
             optimizer,
             clocks: ClockTable::new(config.num_workers),
             intervals: IntervalTracker::new(config.num_workers),
@@ -149,7 +176,17 @@ impl ParameterServer {
 
     /// The current globally shared weights (what a `pull` returns).
     pub fn weights(&self) -> &[f32] {
-        &self.params
+        self.store.as_flat()
+    }
+
+    /// The sharded parameter storage (key ranges and per-shard versions).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Per-shard update versions, in shard order (reported by networked pull replies).
+    pub fn shard_versions(&self) -> &[u64] {
+        self.store.versions()
     }
 
     /// The server weight version: the total number of pushes applied so far.
@@ -212,10 +249,10 @@ impl ParameterServer {
     pub fn handle_push(&mut self, worker: WorkerId, grads: &[f32], now: f64) -> PushResult {
         assert_eq!(
             grads.len(),
-            self.params.len(),
+            self.store.len(),
             "gradient length {} does not match parameter length {}",
             grads.len(),
-            self.params.len()
+            self.store.len()
         );
         assert!(worker < self.config.num_workers, "worker id out of range");
 
@@ -223,7 +260,8 @@ impl ParameterServer {
         // aggregation applies it immediately, buffered aggregation applies the buffer
         // average once enough pushes have accumulated.
         if let Some(update) = self.buffer.add(grads) {
-            self.optimizer.step(&mut self.params, &update);
+            self.optimizer.step(self.store.flat_mut(), &update);
+            self.store.bump_all_versions();
         }
         self.version += 1;
         self.clocks.increment(worker);
@@ -235,12 +273,15 @@ impl ParameterServer {
         self.stats.staleness_max = self.stats.staleness_max.max(lead);
         self.staleness.record(worker, lead);
 
+        let credits_before = self.policy.credits_granted();
         let ok_now = self.policy.on_push(PolicyCtx {
             worker,
             now,
             clocks: &self.clocks,
             intervals: &self.intervals,
         });
+        let granted_extra = self.policy.credits_granted() - credits_before;
+        self.stats.credits_granted += granted_extra;
         if !ok_now {
             self.stats.blocked_pushes += 1;
             self.blocked.push(worker);
@@ -251,6 +292,7 @@ impl ParameterServer {
             ok_now,
             released,
             version: self.version,
+            granted_extra,
         }
     }
 
@@ -285,7 +327,7 @@ impl ParameterServer {
     /// Pulls the current weights, copying them into a fresh vector (what a worker's
     /// `pull` request returns before it overwrites its local replica).
     pub fn pull(&self) -> Vec<f32> {
-        self.params.clone()
+        self.store.pull_all()
     }
 
     /// Marks a worker as retired (it has completed its configured epochs and will push
@@ -306,7 +348,8 @@ impl ParameterServer {
     /// does not silently drop the trailing partial buffer.
     pub fn flush_aggregation(&mut self) {
         if let Some(update) = self.buffer.flush() {
-            self.optimizer.step(&mut self.params, &update);
+            self.optimizer.step(self.store.flat_mut(), &update);
+            self.store.bump_all_versions();
         }
     }
 
@@ -478,6 +521,69 @@ mod tests {
         assert!((hist.mean() - s.stats().mean_staleness()).abs() < 1e-12);
         assert_eq!(hist.worker_pushes(0), 5);
         assert_eq!(hist.worker_pushes(1), 1);
+    }
+
+    #[test]
+    fn sharded_storage_evolves_bitwise_identically_to_flat_storage() {
+        // The same push sequence against a 1-shard and a 4-shard server must produce
+        // exactly the same weights at every step — sharding is metadata, not math.
+        let make = |shards: usize| {
+            let sgd = Sgd::new(
+                SgdConfig {
+                    schedule: LrSchedule::step(0.3, 0.5, &[1]),
+                    momentum: 0.9,
+                    weight_decay: 0.01,
+                },
+                9,
+            );
+            let initial: Vec<f32> = (0..9).map(|i| (i as f32).sin()).collect();
+            ParameterServer::new(
+                initial,
+                sgd,
+                ServerConfig::new(2, PolicyKind::Asp).with_shards(shards),
+            )
+        };
+        let mut flat = make(1);
+        let mut sharded = make(4);
+        assert_eq!(sharded.store().num_shards(), 4);
+        for i in 0..12u64 {
+            let grads: Vec<f32> = (0..9)
+                .map(|j| ((i as f32) * 0.3 + j as f32).cos())
+                .collect();
+            let worker = (i % 2) as usize;
+            flat.handle_push(worker, &grads, i as f64);
+            sharded.handle_push(worker, &grads, i as f64);
+            assert_eq!(flat.weights(), sharded.weights(), "diverged at push {i}");
+        }
+        assert_eq!(flat.pull(), sharded.pull());
+        // Every shard saw every whole-model update.
+        assert_eq!(sharded.shard_versions(), &[12, 12, 12, 12]);
+        assert_eq!(flat.shard_versions(), &[12]);
+    }
+
+    #[test]
+    fn push_result_reports_dssp_controller_grants() {
+        let mut s = server(PolicyKind::Dssp { s_l: 1, r_max: 8 }, 2, 1);
+        // Build interval history: worker 0 pushes every 1 s, worker 1 every 10 s.
+        assert_eq!(s.handle_push(0, &[0.0], 1.0).granted_extra, 0);
+        assert_eq!(s.handle_push(1, &[0.0], 10.0).granted_extra, 0);
+        assert_eq!(s.handle_push(0, &[0.0], 2.0).granted_extra, 0);
+        assert_eq!(s.handle_push(1, &[0.0], 20.0).granted_extra, 0);
+        assert_eq!(s.handle_push(0, &[0.0], 3.0).granted_extra, 0); // lead 1 <= s_l
+        let r = s.handle_push(0, &[0.0], 4.0); // lead 2 > s_l: controller consulted
+        assert!(r.ok_now);
+        assert!(r.granted_extra > 0, "fast worker should be granted extras");
+        assert_eq!(s.stats().credits_granted, r.granted_extra);
+    }
+
+    #[test]
+    fn non_dssp_policies_never_grant_extras() {
+        let mut s = server(PolicyKind::Ssp { s: 1 }, 2, 1);
+        for i in 0..6 {
+            let r = s.handle_push(i % 2, &[0.0], i as f64);
+            assert_eq!(r.granted_extra, 0);
+        }
+        assert_eq!(s.stats().credits_granted, 0);
     }
 
     #[test]

@@ -5,17 +5,22 @@
 //! and pulls for different parts of the model can proceed in parallel and no single
 //! machine has to hold the whole model. The synchronization paradigms studied in the
 //! paper are orthogonal to this sharding — they gate whole worker iterations, not
-//! individual keys — so the single-vector [`crate::ParameterServer`] is what the
-//! experiments use, and [`ShardedStore`] provides the key-sharded storage layer that a
-//! multi-server deployment would put underneath it.
+//! individual keys — so [`ShardedStore`] keys ranges and versions *within* one server
+//! process: since the rework that made it the [`crate::ParameterServer`]'s storage
+//! backend, the shards are contiguous views over a single flat parameter vector, which
+//! keeps whole-model pulls and SGD steps zero-copy (a flat store is simply the
+//! single-shard special case) while preserving per-shard version counters for the wire
+//! protocol's pull metadata.
 
 use serde::{Deserialize, Serialize};
 
 /// A parameter vector split into contiguous, near-equal key ranges ("shards"), each with
 /// its own update version counter.
+///
+/// The backing storage is one flat `Vec<f32>`; shard accessors return sub-slices of it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardedStore {
-    shards: Vec<Vec<f32>>,
+    flat: Vec<f32>,
     /// Start offset of each shard within the flat parameter vector (plus a final
     /// sentinel equal to the total length).
     offsets: Vec<usize>,
@@ -39,18 +44,15 @@ impl ShardedStore {
         let total = initial.len();
         let base = total / num_shards;
         let remainder = total % num_shards;
-        let mut shards = Vec::with_capacity(num_shards);
         let mut offsets = Vec::with_capacity(num_shards + 1);
         let mut start = 0;
         for i in 0..num_shards {
-            let len = base + usize::from(i < remainder);
             offsets.push(start);
-            shards.push(initial[start..start + len].to_vec());
-            start += len;
+            start += base + usize::from(i < remainder);
         }
         offsets.push(total);
         Self {
-            shards,
+            flat: initial,
             offsets,
             versions: vec![0; num_shards],
         }
@@ -58,7 +60,7 @@ impl ShardedStore {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.versions.len()
     }
 
     /// Total number of parameters across all shards.
@@ -92,12 +94,18 @@ impl ShardedStore {
 
     /// The current parameters of one shard.
     pub fn shard(&self, shard: usize) -> &[f32] {
-        &self.shards[shard]
+        &self.flat[self.offsets[shard]..self.offsets[shard + 1]]
     }
 
     /// The update version (number of applied updates) of one shard.
     pub fn version(&self, shard: usize) -> u64 {
         self.versions[shard]
+    }
+
+    /// All per-shard versions, in shard order (what a networked pull reports alongside
+    /// the weights).
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
     }
 
     /// Applies a gradient to one shard with a plain SGD step (`w -= lr * g`), bumping
@@ -107,7 +115,7 @@ impl ShardedStore {
     ///
     /// Panics if the gradient length differs from the shard length.
     pub fn apply_shard(&mut self, shard: usize, grads: &[f32], lr: f32) {
-        let params = &mut self.shards[shard];
+        let params = &mut self.flat[self.offsets[shard]..self.offsets[shard + 1]];
         assert_eq!(grads.len(), params.len(), "shard gradient length mismatch");
         for (w, &g) in params.iter_mut().zip(grads) {
             *w -= lr * g;
@@ -128,13 +136,29 @@ impl ShardedStore {
         }
     }
 
+    /// The whole parameter vector as one contiguous slice (zero-copy whole-model view).
+    pub fn as_flat(&self) -> &[f32] {
+        &self.flat
+    }
+
+    /// Mutable access to the whole parameter vector, for optimizers that update all
+    /// shards in one pass. The caller is responsible for calling
+    /// [`ShardedStore::bump_all_versions`] afterwards so per-shard versions stay honest.
+    pub fn flat_mut(&mut self) -> &mut [f32] {
+        &mut self.flat
+    }
+
+    /// Records one whole-model update on every shard's version counter (the bookkeeping
+    /// counterpart of a [`ShardedStore::flat_mut`] update).
+    pub fn bump_all_versions(&mut self) {
+        for v in &mut self.versions {
+            *v += 1;
+        }
+    }
+
     /// Reassembles the full flat parameter vector (what a whole-model pull returns).
     pub fn pull_all(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            out.extend_from_slice(shard);
-        }
-        out
+        self.flat.clone()
     }
 
     /// The lowest shard version — how many whole-model updates are guaranteed to be
@@ -226,5 +250,30 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_key_rejected() {
         ShardedStore::new(vec![0.0; 4], 2).shard_of(4);
+    }
+
+    #[test]
+    fn flat_view_is_contiguous_and_matches_pull_all() {
+        let mut store = ShardedStore::new((0..7).map(|i| i as f32).collect(), 3);
+        assert_eq!(store.as_flat(), store.pull_all().as_slice());
+        store.flat_mut()[6] = -1.0;
+        store.bump_all_versions();
+        assert_eq!(store.shard(2), &[5.0, -1.0]);
+        assert_eq!(store.versions(), &[1, 1, 1]);
+        assert_eq!(store.min_version(), 1);
+    }
+
+    #[test]
+    fn per_shard_application_is_bitwise_identical_to_whole_model_application() {
+        // The SGD arithmetic is elementwise, so splitting a full-model gradient into
+        // per-shard applications must produce exactly the same bits as one flat pass.
+        let initial: Vec<f32> = (0..23).map(|i| (i as f32).sin()).collect();
+        let grads: Vec<f32> = (0..23).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut whole = ShardedStore::new(initial.clone(), 1);
+        let mut split = ShardedStore::new(initial, 5);
+        whole.apply_all(&grads, 0.05);
+        split.apply_all(&grads, 0.05);
+        assert_eq!(whole.as_flat(), split.as_flat());
+        assert_eq!(split.versions(), &[1; 5]);
     }
 }

@@ -130,6 +130,27 @@ impl RunTrace {
             .map(|p| p.test_accuracy)
             .unwrap_or(0.0)
     }
+
+    /// A copy of the trace with every wall-clock-derived field zeroed (`time_s` of each
+    /// point, `total_time_s`, and per-worker `waiting_time_s`).
+    ///
+    /// Two runs of the same job on real-time substrates can never agree on wall-clock
+    /// measurements, but under deterministic scheduling (`JobConfig::deterministic` in
+    /// `dssp-core`) everything else — accuracies, push counts, synchronization
+    /// statistics — is bitwise reproducible across threads, loopback channels and TCP
+    /// sockets. Comparing `a.with_times_zeroed() == b.with_times_zeroed()` asserts
+    /// exactly that.
+    pub fn with_times_zeroed(&self) -> RunTrace {
+        let mut out = self.clone();
+        out.total_time_s = 0.0;
+        for p in &mut out.points {
+            p.time_s = 0.0;
+        }
+        for w in &mut out.worker_summaries {
+            w.waiting_time_s = 0.0;
+        }
+        out
+    }
 }
 
 #[cfg(test)]

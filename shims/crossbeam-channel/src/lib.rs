@@ -39,6 +39,28 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Every sender has hung up and the channel is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 /// The sending half of an unbounded channel. Cloneable.
 pub struct Sender<T> {
     inner: mpsc::Sender<T>,
@@ -70,6 +92,14 @@ impl<T> Receiver<T> {
     /// Blocks until a message arrives or every sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks until a message arrives, every sender disconnects, or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
     }
 
     /// Returns a pending message without blocking.

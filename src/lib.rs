@@ -16,7 +16,8 @@
 //! | [`cluster`] | `dssp-cluster` | device/link profiles, per-iteration time model |
 //! | [`ps`] | `dssp-ps` | parameter server, BSP/ASP/SSP/DSSP policies |
 //! | [`sim`] | `dssp-sim` | discrete-event simulator (real training, virtual time) |
-//! | [`core`](mod@core) | `dssp-core` | experiments, presets, metrics, threaded runtime |
+//! | [`core`](mod@core) | `dssp-core` | experiments, presets, metrics, shared driver, threaded runtime |
+//! | [`net`] | `dssp-net` | wire protocol, TCP/loopback transports, multi-process deployment |
 //! | [`bench`](mod@bench) | `dssp-bench` | figure/table regeneration for the paper's evaluation |
 //!
 //! # Example
@@ -38,10 +39,11 @@ pub use dssp_bench as bench;
 pub use dssp_cluster as cluster;
 pub use dssp_core as core;
 pub use dssp_data as data;
+pub use dssp_net as net;
 pub use dssp_nn as nn;
 pub use dssp_ps as ps;
 pub use dssp_sim as sim;
 pub use dssp_tensor as tensor;
 
-pub use dssp_core::{Experiment, ExperimentBuilder, RunTrace, Scale};
+pub use dssp_core::{Experiment, ExperimentBuilder, JobConfig, RunTrace, Scale};
 pub use dssp_ps::PolicyKind;
