@@ -52,8 +52,12 @@ fn bench_push_per_policy(c: &mut Criterion) {
 
 fn bench_pull(c: &mut Criterion) {
     let server = make_server(PolicyKind::Asp);
+    let mut out = Vec::new();
     c.bench_function("server_pull_100k_params", |b| {
-        b.iter(|| black_box(server.pull()))
+        b.iter(|| {
+            server.pull_into(&mut out);
+            black_box(out.len())
+        })
     });
 }
 

@@ -16,6 +16,14 @@
 //! cargo run --release -p dssp-bench --bin repro -- bench [--id <id>] [--iters <n>]
 //! ```
 //!
+//! The `bench-net` mode measures the networked pull path — full vs delta pulls over
+//! localhost TCP (bytes/pull, pulls/sec, end-to-end training wall time) — and writes
+//! the same kind of record (`BENCH_pr4.json` is the committed reference):
+//!
+//! ```text
+//! cargo run --release -p dssp-bench --bin repro -- bench-net [--id <id>] [--iters <n>]
+//! ```
+//!
 //! The deployment modes run real networked training over TCP (`dssp-net`). Job flags
 //! (`--model --policy --workers --epochs --batch-size --seed --shards --eval-every
 //! --straggler-ms --deterministic --fail-after`) are shared by all three and must match
@@ -167,11 +175,31 @@ fn run_bench_mode(args: &[String]) {
     println!("wrote {path}");
 }
 
+fn run_bench_net_mode(args: &[String]) {
+    let id = flag_value(args, "--id").unwrap_or_else(|| "net_smoke".to_string());
+    let iters: u32 = flag_value(args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+        .max(1);
+    let record = bench::netbench::collect(&id, iters);
+    let path = format!("BENCH_{id}.json");
+    std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", record.summary());
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench") => {
             run_bench_mode(&args);
+            return;
+        }
+        Some("bench-net") => {
+            run_bench_net_mode(&args);
             return;
         }
         Some("serve") => {
@@ -249,7 +277,7 @@ fn main() {
                 eprintln!(
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
-                     ablation_aggregation all bench serve worker launch"
+                     ablation_aggregation all bench bench-net serve worker launch"
                 );
                 std::process::exit(2);
             }

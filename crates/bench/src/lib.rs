@@ -18,6 +18,7 @@ use dssp_ps::{IntervalTracker, PolicyKind, SyncController};
 use dssp_sim::{SimConfig, Simulation};
 use std::fmt::Write as _;
 
+pub mod netbench;
 pub mod perf;
 
 /// Runs one simulator configuration and returns its trace.

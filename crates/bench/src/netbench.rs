@@ -1,0 +1,527 @@
+//! Network-path performance records (`repro -- bench-net`, `BENCH_<id>.json`).
+//!
+//! Measures the delta-pull wire path introduced with protocol v2 against the legacy
+//! full-pull path, over real localhost TCP sockets:
+//!
+//! * **pull workloads** — a single client pulls a sharded parameter store while the
+//!   server applies a scripted per-shard update pattern between pulls. The *skewed*
+//!   pattern (a few hot shards updated every iteration, the rest rarely) is where
+//!   delta pulls pay off; the *all-stale* pattern (every shard updated every
+//!   iteration) is the worst case and must not regress; the *idle* pattern (no
+//!   updates) is the best case. Reply bytes per pull come from the transport's frame
+//!   counters, so they measure what actually crossed the socket.
+//! * **end-to-end training** — a real `serve`/`run_worker` job on the downsized
+//!   AlexNet analogue, full-pull vs delta-pull, wall time and bytes from the same
+//!   counters. Under per-push aggregation every push touches every shard, so this
+//!   doubles as a second all-stale check on the full protocol.
+//!
+//! Timings follow the repo's min-of-5 paired-window methodology (see `perf.rs`):
+//! full and delta runs alternate inside the same time window and the minimum per mode
+//! is kept, which cancels interference on the shared 1-core reference host. Byte
+//! counts are deterministic and taken from the last window.
+
+use dssp_core::driver::JobConfig;
+use dssp_net::transport::{PullOutcome, PullView};
+use dssp_net::{
+    run_worker, serve, Message, ServerTransport, TcpServerTransport, TcpWorkerTransport,
+    TransportStats, WorkerTransport, PROTOCOL_VERSION,
+};
+use dssp_nn::Model;
+use dssp_ps::{PolicyKind, ShardedStore};
+use std::fmt::Write as _;
+use std::thread;
+use std::time::Instant;
+
+/// Measurements of one pull mode (full or delta) inside a workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PullModeRecord {
+    /// Average bytes of a pull reply frame (the download that delta pulls shrink).
+    pub reply_bytes_per_pull: f64,
+    /// Average bytes of a pull request frame (deltas upload the version vector).
+    pub request_bytes_per_pull: f64,
+    /// Wall-clock milliseconds per pull round trip (min over windows).
+    pub ms_per_pull: f64,
+    /// Pull round trips per second implied by `ms_per_pull`.
+    pub pulls_per_s: f64,
+}
+
+/// One synthetic pull workload: full vs delta over the same update pattern.
+#[derive(Debug, Clone)]
+pub struct PullWorkloadRecord {
+    /// Workload name (`skewed`, `all_stale`, `idle`).
+    pub name: String,
+    /// Parameter count of the store (the downsized-AlexNet analogue's).
+    pub params: usize,
+    /// Shard count of the store.
+    pub shards: usize,
+    /// Pulls per measurement window.
+    pub iters: u32,
+    /// The legacy full-pull path.
+    pub full: PullModeRecord,
+    /// The protocol-v2 delta path.
+    pub delta: PullModeRecord,
+}
+
+impl PullWorkloadRecord {
+    /// How many times smaller the delta reply is (`full / delta` reply bytes).
+    pub fn reply_reduction(&self) -> f64 {
+        self.full.reply_bytes_per_pull / self.delta.reply_bytes_per_pull.max(1e-9)
+    }
+}
+
+/// One end-to-end training comparison (full vs delta pulls, same job otherwise).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E2eModeRecord {
+    /// Server-side wall time of the run, seconds (min over windows).
+    pub wall_s: f64,
+    /// Total bytes the server wrote (pull replies + push replies + shutdown).
+    pub server_bytes_sent: u64,
+    /// Total bytes the server read (pushes + pull requests).
+    pub server_bytes_received: u64,
+    /// Pull replies served as full models.
+    pub full_pulls: u64,
+    /// Pull replies served as shard deltas.
+    pub delta_pulls: u64,
+}
+
+/// The full record written by `repro -- bench-net`.
+#[derive(Debug, Clone)]
+pub struct NetBenchRecord {
+    /// Record identifier (`pr4`, `net_smoke`, ...).
+    pub id: String,
+    /// Synthetic pull workloads.
+    pub workloads: Vec<PullWorkloadRecord>,
+    /// End-to-end training, full pulls.
+    pub e2e_full: E2eModeRecord,
+    /// End-to-end training, delta pulls.
+    pub e2e_delta: E2eModeRecord,
+    /// Worker count of the end-to-end job.
+    pub e2e_workers: usize,
+    /// Shard count of the end-to-end job.
+    pub e2e_shards: usize,
+}
+
+/// The per-shard update pattern a workload applies between pulls.
+type Pattern = fn(iter: u64, shard: usize, shards: usize) -> bool;
+
+/// A few hot shards churn every iteration; each cold shard refreshes every 16th
+/// iteration, staggered — the DC-S3GD-style skew where most of the model is quiet.
+fn skewed(iter: u64, shard: usize, shards: usize) -> bool {
+    let hot = (shards / 8).max(1);
+    shard < hot || iter % 16 == (shard as u64) % 16
+}
+
+/// Worst case: every shard advances every iteration, so a delta ships the whole model
+/// plus per-shard headers.
+fn all_stale(_iter: u64, _shard: usize, _shards: usize) -> bool {
+    true
+}
+
+/// Best case: the store never changes after the first pull.
+fn idle(_iter: u64, _shard: usize, _shards: usize) -> bool {
+    false
+}
+
+/// Serves pulls from a scripted store: answers each pull from the current store
+/// state, then applies the pattern's updates for the next iteration. Exits on `Done`
+/// or transport failure.
+fn pull_server(mut transport: TcpServerTransport, params: usize, shards: usize, pattern: Pattern) {
+    let initial: Vec<f32> = (0..params).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut store = ShardedStore::new(initial, shards);
+    let max_shard_len = (0..shards)
+        .map(|s| {
+            let (a, b) = store.key_range(s);
+            b - a
+        })
+        .max()
+        .unwrap_or(0);
+    let grad: Vec<f32> = (0..max_shard_len)
+        .map(|i| (i as f32 * 0.11).cos())
+        .collect();
+    let mut iter: u64 = 0;
+    loop {
+        let (rank, msg) = match transport.recv() {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        let known = match msg {
+            Message::Hello { .. } => continue,
+            Message::Pull => None,
+            Message::PullDelta { known_versions } => Some(known_versions),
+            Message::Done { .. } => return,
+            _ => return,
+        };
+        let view = PullView {
+            clock: iter,
+            versions: store.versions(),
+            offsets: store.offsets(),
+            weights: store.as_flat(),
+            known: known.as_deref(),
+        };
+        if transport.send_pull_reply(rank, &view).is_err() {
+            return;
+        }
+        if let Some(buf) = known {
+            transport.recycle_u64s(rank, buf);
+        }
+        for shard in 0..shards {
+            if pattern(iter, shard, shards) {
+                let (a, b) = store.key_range(shard);
+                store.apply_shard(shard, &grad[..b - a], 1e-3);
+            }
+        }
+        iter += 1;
+    }
+}
+
+/// One client run: a warm-up pull (establishes the cache; always full), then `iters`
+/// measured pulls. Returns the counter delta of the measured pulls and their total
+/// wall time in seconds.
+fn pull_client(addr: &str, iters: u32, delta: bool) -> (TransportStats, f64) {
+    let mut t = TcpWorkerTransport::connect(addr).expect("connect to pull server");
+    t.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        rank: 0,
+        num_workers: 1,
+        config_digest: 0,
+    })
+    .expect("hello");
+    let mut weights = Vec::new();
+    let mut versions = Vec::new();
+    t.pull_into(delta, &mut weights, &mut versions)
+        .expect("warm-up pull");
+    let before = t.stats();
+    let start = Instant::now();
+    for _ in 0..iters {
+        match t.pull_into(delta, &mut weights, &mut versions) {
+            Ok(PullOutcome::Applied(_)) => {}
+            other => panic!("pull failed: {other:?}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let after = t.stats();
+    t.send(&Message::Done {
+        iterations: u64::from(iters),
+        epochs: 0,
+        waiting_time_s: 0.0,
+    })
+    .expect("done");
+    (
+        TransportStats {
+            bytes_sent: after.bytes_sent - before.bytes_sent,
+            bytes_received: after.bytes_received - before.bytes_received,
+            frames_sent: after.frames_sent - before.frames_sent,
+            frames_received: after.frames_received - before.frames_received,
+        },
+        elapsed,
+    )
+}
+
+/// One full-vs-delta measurement of a pull workload, min-of-`windows` with the two
+/// modes alternating inside each window.
+fn run_pull_workload(
+    name: &str,
+    params: usize,
+    shards: usize,
+    iters: u32,
+    windows: u32,
+    pattern: Pattern,
+) -> PullWorkloadRecord {
+    let mut record = PullWorkloadRecord {
+        name: name.to_string(),
+        params,
+        shards,
+        iters,
+        full: PullModeRecord {
+            ms_per_pull: f64::INFINITY,
+            ..Default::default()
+        },
+        delta: PullModeRecord {
+            ms_per_pull: f64::INFINITY,
+            ..Default::default()
+        },
+    };
+    for _ in 0..windows {
+        for delta in [false, true] {
+            let server = TcpServerTransport::bind("127.0.0.1:0", 1).expect("bind");
+            let addr = server.local_addr().to_string();
+            let server_thread = thread::spawn(move || pull_server(server, params, shards, pattern));
+            let (stats, elapsed) = pull_client(&addr, iters, delta);
+            server_thread.join().expect("pull server");
+            let mode = if delta {
+                &mut record.delta
+            } else {
+                &mut record.full
+            };
+            mode.reply_bytes_per_pull = stats.bytes_received as f64 / f64::from(iters);
+            mode.request_bytes_per_pull = stats.bytes_sent as f64 / f64::from(iters);
+            mode.ms_per_pull = mode.ms_per_pull.min(elapsed * 1e3 / f64::from(iters));
+        }
+    }
+    record.full.pulls_per_s = 1e3 / record.full.ms_per_pull;
+    record.delta.pulls_per_s = 1e3 / record.delta.ms_per_pull;
+    record
+}
+
+/// The end-to-end job: the AlexNet analogue on DSSP with sharded storage.
+fn e2e_job(delta_pulls: bool) -> JobConfig {
+    let mut job = JobConfig::small_alexnet(PolicyKind::Dssp { s_l: 1, r_max: 8 });
+    job.epochs = 2;
+    job.shards = 8;
+    job.delta_pulls = delta_pulls;
+    job
+}
+
+/// One end-to-end training run over localhost TCP; returns wall time and counters.
+fn e2e_run(job: &JobConfig) -> E2eModeRecord {
+    let mut server = TcpServerTransport::bind("127.0.0.1:0", job.num_workers).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..job.num_workers)
+        .map(|rank| {
+            let job = job.clone();
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut t = TcpWorkerTransport::connect(&addr).expect("connect");
+                run_worker(&job, rank, &mut t).expect("worker runs")
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    let trace = serve(job, &mut server).expect("serve");
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut full_pulls = 0;
+    let mut delta_pulls = 0;
+    for handle in handles {
+        let report = handle.join().expect("worker thread");
+        full_pulls += report.full_pulls;
+        delta_pulls += report.delta_pulls;
+    }
+    assert!(trace.total_pushes > 0);
+    let stats = server.stats();
+    E2eModeRecord {
+        wall_s,
+        server_bytes_sent: stats.bytes_sent,
+        server_bytes_received: stats.bytes_received,
+        full_pulls,
+        delta_pulls,
+    }
+}
+
+/// Runs every measurement and assembles the record. `iters` scales the pull counts
+/// per window (CI smoke uses a small number).
+pub fn collect(id: &str, iters: u32) -> NetBenchRecord {
+    let params = e2e_job(true).model.build(5).param_len();
+    let shards = 16;
+    let windows = 5;
+    let workloads = vec![
+        run_pull_workload("skewed", params, shards, iters, windows, skewed),
+        run_pull_workload("all_stale", params, shards, iters, windows, all_stale),
+        run_pull_workload("idle", params, shards, iters, windows, idle),
+    ];
+    let (job_full, job_delta) = (e2e_job(false), e2e_job(true));
+    let mut e2e_full = E2eModeRecord {
+        wall_s: f64::INFINITY,
+        ..Default::default()
+    };
+    let mut e2e_delta = E2eModeRecord {
+        wall_s: f64::INFINITY,
+        ..Default::default()
+    };
+    for _ in 0..3 {
+        let run = e2e_run(&job_full);
+        if run.wall_s < e2e_full.wall_s {
+            e2e_full = run;
+        }
+        let run = e2e_run(&job_delta);
+        if run.wall_s < e2e_delta.wall_s {
+            e2e_delta = run;
+        }
+    }
+    NetBenchRecord {
+        id: id.to_string(),
+        workloads,
+        e2e_full,
+        e2e_delta,
+        e2e_workers: job_delta.num_workers,
+        e2e_shards: job_delta.shards,
+    }
+}
+
+fn write_mode(s: &mut String, label: &str, mode: &PullModeRecord, last: bool) {
+    let _ = writeln!(
+        s,
+        "      \"{label}\": {{\"reply_bytes_per_pull\": {:.1}, \"request_bytes_per_pull\": {:.1}, \"ms_per_pull\": {:.4}, \"pulls_per_s\": {:.1}}}{}",
+        mode.reply_bytes_per_pull,
+        mode.request_bytes_per_pull,
+        mode.ms_per_pull,
+        mode.pulls_per_s,
+        if last { "" } else { "," }
+    );
+}
+
+fn write_e2e(s: &mut String, label: &str, mode: &E2eModeRecord, last: bool) {
+    let _ = writeln!(
+        s,
+        "    \"{label}\": {{\"wall_s\": {:.4}, \"server_bytes_sent\": {}, \"server_bytes_received\": {}, \"full_pulls\": {}, \"delta_pulls\": {}}}{}",
+        mode.wall_s,
+        mode.server_bytes_sent,
+        mode.server_bytes_received,
+        mode.full_pulls,
+        mode.delta_pulls,
+        if last { "" } else { "," }
+    );
+}
+
+impl NetBenchRecord {
+    /// Renders the record as pretty-printed JSON (hand-rolled, like `BenchRecord`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"id\": \"{}\",", self.id);
+        let _ = writeln!(
+            s,
+            "  \"methodology\": \"min-of-5 paired windows (full/delta alternating), localhost TCP, 1-core reference container; byte counts from transport frame counters\","
+        );
+        let _ = writeln!(s, "  \"pull_workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(
+                s,
+                "      \"name\": \"{}\", \"params\": {}, \"shards\": {}, \"pulls_per_window\": {},",
+                w.name, w.params, w.shards, w.iters
+            );
+            write_mode(&mut s, "full", &w.full, false);
+            write_mode(&mut s, "delta", &w.delta, false);
+            let _ = writeln!(
+                s,
+                "      \"reply_bytes_reduction\": {:.2}",
+                w.reply_reduction()
+            );
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 == self.workloads.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"e2e_training\": {{");
+        let _ = writeln!(
+            s,
+            "    \"model\": \"downsized_alexnet\", \"policy\": \"dssp:1:8\", \"workers\": {}, \"shards\": {}, \"aggregation\": \"per-push (every push touches every shard, so deltas ship the whole model: an all-stale check on the full protocol)\",",
+            self.e2e_workers, self.e2e_shards
+        );
+        write_e2e(&mut s, "full", &self.e2e_full, false);
+        write_e2e(&mut s, "delta", &self.e2e_delta, true);
+        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// A short human-readable summary for the console.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for w in &self.workloads {
+            let _ = writeln!(
+                s,
+                "{:<10} reply {:>9.1} B/pull full vs {:>9.1} B/pull delta ({:.2}x), {:.3} -> {:.3} ms/pull",
+                w.name,
+                w.full.reply_bytes_per_pull,
+                w.delta.reply_bytes_per_pull,
+                w.reply_reduction(),
+                w.full.ms_per_pull,
+                w.delta.ms_per_pull,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "e2e dssp/alexnet: {:.3} s full vs {:.3} s delta ({} full + {} delta pulls in the delta run)",
+            self.e2e_full.wall_s,
+            self.e2e_delta.wall_s,
+            self.e2e_delta.full_pulls,
+            self.e2e_delta.delta_pulls,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_pattern_is_actually_skewed() {
+        let shards = 16;
+        let mut updates = 0usize;
+        for iter in 0..64 {
+            for shard in 0..shards {
+                if skewed(iter, shard, shards) {
+                    updates += 1;
+                }
+            }
+        }
+        // 2 hot shards every iteration + ~1 cold shard per iteration.
+        let per_iter = updates as f64 / 64.0;
+        assert!(per_iter < 4.0, "skew collapsed: {per_iter} shards/iter");
+        assert!(per_iter >= 2.0);
+        assert!(all_stale(3, 7, shards));
+        assert!(!idle(3, 7, shards));
+    }
+
+    #[test]
+    fn tiny_pull_workload_shows_a_delta_win_on_skewed_updates() {
+        // A miniature run of the real harness: 2k params, 8 shards, 12 pulls. The
+        // skewed pattern must cut reply bytes by at least 2x.
+        let record = run_pull_workload("skewed", 2048, 8, 12, 1, skewed);
+        assert!(
+            record.reply_reduction() >= 2.0,
+            "expected >=2x reply reduction, got {:.2} (full {:.0} B, delta {:.0} B)",
+            record.reply_reduction(),
+            record.full.reply_bytes_per_pull,
+            record.delta.reply_bytes_per_pull
+        );
+        // The worst case must stay within a small header overhead of the full path.
+        let worst = run_pull_workload("all_stale", 2048, 8, 12, 1, all_stale);
+        let overhead = worst.delta.reply_bytes_per_pull / worst.full.reply_bytes_per_pull;
+        assert!(
+            overhead < 1.05,
+            "all-stale delta replies cost {overhead:.3}x the full reply"
+        );
+    }
+
+    #[test]
+    fn record_renders_valid_looking_json() {
+        let record = NetBenchRecord {
+            id: "test".into(),
+            workloads: vec![PullWorkloadRecord {
+                name: "skewed".into(),
+                params: 100,
+                shards: 4,
+                iters: 10,
+                full: PullModeRecord {
+                    reply_bytes_per_pull: 400.0,
+                    request_bytes_per_pull: 5.0,
+                    ms_per_pull: 0.5,
+                    pulls_per_s: 2000.0,
+                },
+                delta: PullModeRecord {
+                    reply_bytes_per_pull: 100.0,
+                    request_bytes_per_pull: 37.0,
+                    ms_per_pull: 0.25,
+                    pulls_per_s: 4000.0,
+                },
+            }],
+            e2e_full: E2eModeRecord::default(),
+            e2e_delta: E2eModeRecord::default(),
+            e2e_workers: 2,
+            e2e_shards: 8,
+        };
+        let json = record.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"reply_bytes_reduction\": 4.00"));
+        assert!(record.summary().contains("skewed"));
+    }
+}

@@ -68,6 +68,14 @@ pub struct JobConfig {
     /// Number of contiguous key-range shards for the server's parameter storage
     /// (1 = flat). Weight arithmetic is bitwise independent of this setting.
     pub shards: usize,
+    /// Whether networked workers request incremental pulls (`PullDelta` with their
+    /// cached per-shard versions, the server shipping only shards whose version
+    /// advanced) instead of re-downloading the full model every iteration. On by
+    /// default; bitwise-neutral (the reconstructed weights are identical either way).
+    /// Included in the config digest so a delta-pulling worker cannot silently join a
+    /// full-pull job. Ignored by the simulator and the threaded runtime, which have no
+    /// pull step.
+    pub delta_pulls: bool,
     /// Impose a canonical event order and a logical policy clock so runs are bitwise
     /// reproducible across substrates (see the module docs). Off by default.
     pub deterministic: bool,
@@ -106,6 +114,7 @@ impl JobConfig {
             eval_max_examples: 128,
             extra_compute_delay_ms: Vec::new(),
             shards: 1,
+            delta_pulls: true,
             deterministic: false,
             fail_after_pushes: None,
             stall_timeout_ms: 30_000,
@@ -161,7 +170,7 @@ impl JobConfig {
     /// and its workers refuse to train under silently different configurations.
     pub fn digest(&self) -> u64 {
         let canonical = format!(
-            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{:?}",
+            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{}|{:?}",
             self.model,
             self.data,
             self.num_workers,
@@ -174,6 +183,7 @@ impl JobConfig {
             self.eval_max_examples,
             self.extra_compute_delay_ms,
             self.shards,
+            self.delta_pulls,
             self.deterministic,
             self.fail_after_pushes,
         );
@@ -297,9 +307,22 @@ impl WorkerStep {
 
     /// Runs one training iteration on `weights`: installs them in the local replica,
     /// draws the next mini-batch, and returns the flat gradient vector to push.
+    /// Allocating convenience over [`WorkerStep::compute_gradient_into`] for substrates
+    /// that move the gradient across a thread boundary (the server consumes the
+    /// vector).
+    pub fn compute_gradient(&mut self, weights: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.compute_gradient_into(weights, &mut out);
+        out
+    }
+
+    /// Runs one training iteration on `weights`, writing the flat gradient into the
+    /// caller-owned `out` buffer (resized to the parameter count; no allocation once
+    /// warm). The networked worker reuses one buffer across its whole run and encodes
+    /// the push frame straight from it.
     ///
     /// Applies the configured artificial compute delay first (heterogeneity emulation).
-    pub fn compute_gradient(&mut self, weights: &[f32]) -> Vec<f32> {
+    pub fn compute_gradient_into(&mut self, weights: &[f32], out: &mut Vec<f32>) {
         if let Some(d) = self.delay {
             std::thread::sleep(d);
         }
@@ -312,9 +335,8 @@ impl WorkerStep {
         self.model.zero_grads();
         self.model.backward_ws(&self.grad_logits, &mut self.ws);
         self.completed += 1;
-        // The gradient crosses a thread or process boundary, so this one allocation per
-        // push stays (the server consumes the vector).
-        self.model.grads_flat()
+        out.resize(self.model.param_len(), 0.0);
+        self.model.read_grads_into(out);
     }
 }
 
@@ -384,6 +406,9 @@ pub struct ServerLoop {
     eval_every: u64,
     last_eval: u64,
     points: Vec<TracePoint>,
+    /// Reusable scratch for the workers released by a push, so the networked hot path
+    /// ([`ServerLoop::handle_push_slice`]) allocates nothing per message.
+    released_scratch: Vec<usize>,
     summaries: Vec<Option<WorkerSummary>>,
     done: Vec<bool>,
     done_count: usize,
@@ -449,6 +474,7 @@ impl ServerLoop {
             eval_every: config.eval_every_pushes,
             last_eval: 0,
             points: Vec::new(),
+            released_scratch: Vec::new(),
             summaries: vec![None; config.num_workers],
             done: vec![false; config.num_workers],
             done_count: 0,
@@ -473,9 +499,12 @@ impl ServerLoop {
         &self.server
     }
 
-    /// Copies the current global weights (what an `OK` or pull reply ships).
+    /// Copies the current global weights (what an `OK` or pull reply ships). The
+    /// networked runtime serves pulls zero-copy from the store instead
+    /// (`ParameterServer::store`); this allocating form remains for the threaded
+    /// runtime, whose `OK`s move an owned weight vector across a channel.
     pub fn pull(&self) -> Vec<f32> {
-        self.server.pull()
+        self.server.weights().to_vec()
     }
 
     /// Total pushes applied so far.
@@ -526,31 +555,8 @@ impl ServerLoop {
     pub fn handle(&mut self, event: WorkerEvent, wall_now: f64) -> Vec<OkReply> {
         match event {
             WorkerEvent::Push { worker, grads, .. } => {
-                let now = self.clock(wall_now);
-                let result = self.server.handle_push(worker, &grads, now);
-                let mut replies = Vec::with_capacity(1 + result.released.len());
-                if result.ok_now && !self.done[worker] {
-                    replies.push(OkReply {
-                        worker,
-                        granted_extra: result.granted_extra,
-                    });
-                }
-                for released in result.released {
-                    if !self.done[released] {
-                        replies.push(OkReply {
-                            worker: released,
-                            granted_extra: 0,
-                        });
-                    }
-                }
-                if self.server.version() - self.last_eval >= self.eval_every {
-                    self.record_eval(now);
-                }
-                if let Some(limit) = self.fail_after {
-                    if self.server.version() >= limit {
-                        self.aborted = true;
-                    }
-                }
+                let mut replies = Vec::new();
+                self.handle_push_slice(worker, &grads, wall_now, &mut replies);
                 replies
             }
             WorkerEvent::Done {
@@ -583,6 +589,49 @@ impl ServerLoop {
             }
             WorkerEvent::Pull { worker } => {
                 panic!("pull from worker {worker} reached ServerLoop::handle; pulls are transport-level")
+            }
+        }
+    }
+
+    /// The borrowed-gradient push path: applies one push and appends the `OK`s now
+    /// owed (pusher first when granted) to the caller-owned `replies` buffer, which is
+    /// **not** cleared first. Equivalent to [`ServerLoop::handle`] with a
+    /// [`WorkerEvent::Push`], but the gradient is borrowed and all bookkeeping reuses
+    /// member scratch, so the networked server's steady-state command loop performs no
+    /// heap allocation per push (periodic evaluations excepted).
+    pub fn handle_push_slice(
+        &mut self,
+        worker: usize,
+        grads: &[f32],
+        wall_now: f64,
+        replies: &mut Vec<OkReply>,
+    ) {
+        let now = self.clock(wall_now);
+        self.released_scratch.clear();
+        let decision = self
+            .server
+            .handle_push_into(worker, grads, now, &mut self.released_scratch);
+        if decision.ok_now && !self.done[worker] {
+            replies.push(OkReply {
+                worker,
+                granted_extra: decision.granted_extra,
+            });
+        }
+        for i in 0..self.released_scratch.len() {
+            let released = self.released_scratch[i];
+            if !self.done[released] {
+                replies.push(OkReply {
+                    worker: released,
+                    granted_extra: 0,
+                });
+            }
+        }
+        if self.server.version() - self.last_eval >= self.eval_every {
+            self.record_eval(now);
+        }
+        if let Some(limit) = self.fail_after {
+            if self.server.version() >= limit {
+                self.aborted = true;
             }
         }
     }

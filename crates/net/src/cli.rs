@@ -85,8 +85,13 @@ pub fn policy_spec(policy: &PolicyKind) -> String {
 /// | `--shards K` | 1 | server storage shards |
 /// | `--eval-every N` | preset | pushes between evaluations |
 /// | `--straggler-ms MS` | 4 | extra per-iteration delay of the last worker (0 = homogeneous) |
+/// | `--delta-pulls on\|off` | `on` | incremental pulls (workers fetch only shards whose version advanced) |
 /// | `--deterministic` | off | canonical event order + logical clock |
 /// | `--fail-after N` | off | chaos hook: server aborts after N pushes |
+///
+/// `--delta-pulls` is part of the config digest, so a server and a worker that
+/// disagree on it are rejected at the `Hello` handshake rather than silently mixing
+/// pull modes.
 pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
     let policy =
         parse_policy(&flag_value(args, "--policy").unwrap_or_else(|| "dssp:1:8".to_string()))?;
@@ -128,6 +133,15 @@ pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
         delays[job.num_workers - 1] = straggler_ms;
         delays
     };
+    job.delta_pulls = match flag_value(args, "--delta-pulls").as_deref() {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(format!(
+                "invalid value '{other}' for --delta-pulls (expected on | off)"
+            ))
+        }
+    };
     job.deterministic = args.iter().any(|a| a == "--deterministic");
     job.fail_after_pushes = parse_flag::<u64>(args, "--fail-after")?;
     Ok(job)
@@ -161,6 +175,8 @@ pub fn job_args(job: &JobConfig) -> Vec<String> {
         job.eval_every_pushes.to_string(),
         "--straggler-ms".to_string(),
         straggler_ms.to_string(),
+        "--delta-pulls".to_string(),
+        if job.delta_pulls { "on" } else { "off" }.to_string(),
     ];
     if job.deterministic {
         args.push("--deterministic".to_string());
@@ -221,6 +237,20 @@ mod tests {
         assert!(job.deterministic);
         let rebuilt = job_from_flags(&job_args(&job)).unwrap();
         assert_eq!(job.digest(), rebuilt.digest());
+    }
+
+    #[test]
+    fn delta_pulls_default_on_and_round_trip_through_the_digest() {
+        let on = job_from_flags(&[]).unwrap();
+        assert!(on.delta_pulls);
+        let off = job_from_flags(&strings(&["--delta-pulls", "off"])).unwrap();
+        assert!(!off.delta_pulls);
+        // Mixed-mode jobs must be rejected at handshake: the digest differs.
+        assert_ne!(on.digest(), off.digest());
+        let rebuilt = job_from_flags(&job_args(&off)).unwrap();
+        assert!(!rebuilt.delta_pulls);
+        assert_eq!(off.digest(), rebuilt.digest());
+        assert!(job_from_flags(&strings(&["--delta-pulls", "maybe"])).is_err());
     }
 
     #[test]

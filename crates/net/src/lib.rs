@@ -11,7 +11,7 @@
 //!
 //! | module | provides |
 //! |---|---|
-//! | [`wire`] | versioned, length-prefixed little-endian codec for the 7 protocol messages |
+//! | [`wire`] | versioned, length-prefixed little-endian codec for the 9 protocol messages, bulk LE fast paths |
 //! | [`transport`] | [`ServerTransport`]/[`WorkerTransport`] traits + in-process [`transport::loopback`] |
 //! | [`tcp`] | the real-socket transport (`std::net`, blocking reader thread per connection) |
 //! | [`server`] | [`serve`]: the single-threaded, lock-free server command loop |
@@ -23,6 +23,14 @@
 //! deterministic mode is bitwise-equal to a deterministic threaded run — the
 //! workspace-level `net_equivalence` test asserts exactly that, and the TCP transport
 //! ships IEEE-754 bit patterns verbatim so the equality extends across real sockets.
+//!
+//! Since protocol v2 the steady-state frame path is **delta-pulling and
+//! allocation-free**: workers cache per-shard versions and request only the shards
+//! that advanced (`PullDelta`/`PullReplyDelta`, with a full-pull fallback on first
+//! contact or version mismatch), and the TCP transport reuses pooled encode/decode
+//! buffers, recycles bulk vectors between the command loop and each connection's
+//! reader, and writes frames with one vectored syscall — zero heap allocations per
+//! message on both ends once warm (enforced by a counting-allocator test).
 //!
 //! # Example (in-process loopback)
 //!
@@ -62,7 +70,7 @@ pub mod worker;
 
 pub use error::NetError;
 pub use server::serve;
-pub use tcp::{TcpServerTransport, TcpWorkerTransport};
-pub use transport::{ServerTransport, WorkerTransport};
-pub use wire::{Message, PROTOCOL_VERSION};
+pub use tcp::{TcpServerTransport, TcpWorkerTransport, TransportStats};
+pub use transport::{apply_pull_message, PullOutcome, PullView, ServerTransport, WorkerTransport};
+pub use wire::{Message, PullApplied, ShardUpdate, PROTOCOL_VERSION};
 pub use worker::{run_worker, WorkerReport};

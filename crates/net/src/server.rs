@@ -5,13 +5,20 @@
 //! is the only code that touches the [`dssp_ps::ParameterServer`], so the decision
 //! logic needs no mutex. Replies flow back through the transport: an `OK` becomes a
 //! `PushReply`, after which the worker fetches fresh weights with an explicit
-//! `Pull`/`PullReply` exchange (two round trips per iteration, like the parameter-server
-//! systems in the paper's lineage).
+//! pull/reply exchange (two round trips per iteration, like the parameter-server
+//! systems in the paper's lineage). A pull is answered straight from a borrowed
+//! [`PullView`] of the store — incrementally when the worker sent its cached per-shard
+//! versions (`PullDelta`), fully otherwise — and the steady-state loop allocates
+//! nothing per message: pushes are applied through
+//! [`ServerLoop::handle_push_slice`] with reusable reply scratch, and consumed bulk
+//! buffers are recycled back to the transport's per-connection pools.
+//! (Deterministic mode queues owned events in the gate and keeps the simpler
+//! allocating path; it exists for equivalence testing, not throughput.)
 
-use crate::transport::ServerTransport;
+use crate::transport::{PullView, ServerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
 use crate::NetError;
-use dssp_core::driver::{DeterministicGate, JobConfig, ServerLoop, WorkerEvent};
+use dssp_core::driver::{DeterministicGate, JobConfig, OkReply, ServerLoop, WorkerEvent};
 use dssp_sim::RunTrace;
 use std::time::Instant;
 
@@ -19,9 +26,10 @@ use std::time::Instant;
 /// run trace.
 ///
 /// The server handshakes every worker (protocol version, worker count and
-/// [`JobConfig::digest`] must all match), serves pulls, applies pushes through the
-/// shared decision loop, and — on every exit path, success or failure — broadcasts
-/// `Shutdown` so worker processes never hang.
+/// [`JobConfig::digest`] must all match — the digest covers `delta_pulls`, so a
+/// delta-pulling worker cannot join a full-pull job), serves pulls, applies pushes
+/// through the shared decision loop, and — on every exit path, success or failure —
+/// broadcasts `Shutdown` so worker processes never hang.
 ///
 /// # Panics
 ///
@@ -51,13 +59,46 @@ pub fn serve(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<Run
     }
 }
 
+/// Per-rank stash of the `known_versions` a gated (deterministic-mode) `PullDelta`
+/// carried, consulted when the gate later releases that worker's pull event.
+struct PullState {
+    known: Vec<Vec<u64>>,
+    set: Vec<bool>,
+}
+
+impl PullState {
+    fn new(num_workers: usize) -> Self {
+        Self {
+            known: (0..num_workers).map(|_| Vec::new()).collect(),
+            set: vec![false; num_workers],
+        }
+    }
+
+    fn stash(&mut self, rank: usize, known: &[u64]) {
+        self.known[rank].clear();
+        self.known[rank].extend_from_slice(known);
+        self.set[rank] = true;
+    }
+
+    fn take(&mut self, rank: usize) -> Option<&[u64]> {
+        if self.set[rank] {
+            self.set[rank] = false;
+            Some(&self.known[rank])
+        } else {
+            None
+        }
+    }
+}
+
 fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<RunTrace, NetError> {
     let mut sl = ServerLoop::new(job);
     let targets = sl.targets().to_vec();
     let mut gate = job
         .deterministic
         .then(|| DeterministicGate::new(targets, true));
+    let mut pulls = PullState::new(job.num_workers);
     let mut helloed = vec![false; job.num_workers];
+    let mut replies: Vec<OkReply> = Vec::new();
     let expected_digest = job.digest();
     let start = Instant::now();
 
@@ -68,7 +109,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
             let ready = gate.as_mut().and_then(|g| g.next());
             match ready {
                 Some(event) => {
-                    process_event(&mut sl, transport, &mut gate, event, &start)?;
+                    process_event(&mut sl, transport, &mut gate, &mut pulls, event, &start)?;
                     if sl.all_done() {
                         break;
                     }
@@ -118,22 +159,42 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
             }
             Message::Pull => {
                 require_helloed(&helloed, rank)?;
-                let event = WorkerEvent::Pull { worker: rank };
                 match gate.as_mut() {
-                    Some(g) => g.offer(event),
-                    None => process_event(&mut sl, transport, &mut gate, event, &start)?,
+                    Some(g) => g.offer(WorkerEvent::Pull { worker: rank }),
+                    None => serve_pull(&sl, transport, rank, None)?,
                 }
+            }
+            Message::PullDelta { known_versions } => {
+                require_helloed(&helloed, rank)?;
+                match gate.as_mut() {
+                    Some(g) => {
+                        // The gate orders this like any pull; remember the versions it
+                        // carried until the gate releases it.
+                        pulls.stash(rank, &known_versions);
+                        g.offer(WorkerEvent::Pull { worker: rank });
+                    }
+                    None => serve_pull(&sl, transport, rank, Some(&known_versions))?,
+                }
+                transport.recycle_u64s(rank, known_versions);
             }
             Message::Push { iteration, grads } => {
                 require_helloed(&helloed, rank)?;
-                let event = WorkerEvent::Push {
-                    worker: rank,
-                    iteration,
-                    grads,
-                };
                 match gate.as_mut() {
-                    Some(g) => g.offer(event),
-                    None => process_event(&mut sl, transport, &mut gate, event, &start)?,
+                    Some(g) => g.offer(WorkerEvent::Push {
+                        worker: rank,
+                        iteration,
+                        grads,
+                    }),
+                    None => {
+                        // The allocation-free hot path: borrowed gradients, reusable
+                        // reply scratch, buffer recycled to the connection pool.
+                        let now = start.elapsed().as_secs_f64();
+                        replies.clear();
+                        sl.handle_push_slice(rank, &grads, now, &mut replies);
+                        transport.recycle_f32s(rank, grads);
+                        send_replies(&sl, transport, &replies)?;
+                        check_abort(&sl)?;
+                    }
                 }
             }
             Message::Done {
@@ -150,7 +211,9 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 };
                 match gate.as_mut() {
                     Some(g) => g.offer(event),
-                    None => process_event(&mut sl, transport, &mut gate, event, &start)?,
+                    None => {
+                        process_event(&mut sl, transport, &mut gate, &mut pulls, event, &start)?
+                    }
                 }
             }
             other => {
@@ -174,30 +237,35 @@ fn require_helloed(helloed: &[bool], rank: usize) -> Result<(), NetError> {
     }
 }
 
-/// Applies one gated-or-direct event to the decision loop and delivers the resulting
-/// protocol messages.
-fn process_event(
-    sl: &mut ServerLoop,
+/// Answers one pull from a borrowed view of the server's store (full when `known` is
+/// `None` or incompatible, delta otherwise). Pulls are pure reads served at the
+/// transport level; they never enter the decision loop (and must not advance its
+/// logical clock).
+fn serve_pull(
+    sl: &ServerLoop,
     transport: &mut dyn ServerTransport,
-    gate: &mut Option<DeterministicGate>,
-    event: WorkerEvent,
-    start: &Instant,
+    rank: usize,
+    known: Option<&[u64]>,
 ) -> Result<(), NetError> {
-    if let WorkerEvent::Pull { worker } = event {
-        // Pulls are pure reads served at the transport level; they never enter the
-        // decision loop (and must not advance its logical clock).
-        return transport.send(
-            worker,
-            &Message::PullReply {
-                clock: sl.version(),
-                shard_versions: sl.server().shard_versions().to_vec(),
-                weights: sl.pull(),
-            },
-        );
-    }
-    let now = start.elapsed().as_secs_f64();
-    let replies = sl.handle_gated(gate, event, now);
-    for reply in &replies {
+    let store = sl.server().store();
+    transport.send_pull_reply(
+        rank,
+        &PullView {
+            clock: sl.version(),
+            versions: store.versions(),
+            offsets: store.offsets(),
+            weights: store.as_flat(),
+            known,
+        },
+    )
+}
+
+fn send_replies(
+    sl: &ServerLoop,
+    transport: &mut dyn ServerTransport,
+    replies: &[OkReply],
+) -> Result<(), NetError> {
+    for reply in replies {
         transport.send(
             reply.worker,
             &Message::PushReply {
@@ -206,10 +274,36 @@ fn process_event(
             },
         )?;
     }
-    if sl.aborted() {
-        return Err(NetError::Aborted {
-            pushes: sl.version(),
-        });
-    }
     Ok(())
+}
+
+fn check_abort(sl: &ServerLoop) -> Result<(), NetError> {
+    if sl.aborted() {
+        Err(NetError::Aborted {
+            pushes: sl.version(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Applies one gate-released event to the decision loop and delivers the resulting
+/// protocol messages (deterministic mode, and the direct `Done` path).
+fn process_event(
+    sl: &mut ServerLoop,
+    transport: &mut dyn ServerTransport,
+    gate: &mut Option<DeterministicGate>,
+    pulls: &mut PullState,
+    event: WorkerEvent,
+    start: &Instant,
+) -> Result<(), NetError> {
+    if let WorkerEvent::Pull { worker } = event {
+        let known = pulls.take(worker);
+        // Split the borrow: `known` borrows `pulls`, which `serve_pull` does not touch.
+        return serve_pull(sl, transport, worker, known);
+    }
+    let now = start.elapsed().as_secs_f64();
+    let replies = sl.handle_gated(gate, event, now);
+    send_replies(sl, transport, &replies)?;
+    check_abort(sl)
 }

@@ -3,27 +3,87 @@
 //!
 //! Threading model: the server binds a listener; an acceptor thread accepts exactly
 //! `num_workers` connections; each connection gets a reader thread that blocks on
-//! [`crate::wire::read_frame`] and forwards decoded frames — attributed with the rank
-//! announced in the connection's leading `Hello` — into one crossbeam channel. The
-//! server's command loop is the only consumer of that channel and the only writer to
-//! the sockets, so the parameter server itself stays single-threaded and lock-free.
+//! [`crate::wire::read_frame_payload`] and forwards decoded frames — attributed with
+//! the rank announced in the connection's leading `Hello` — into one crossbeam channel.
+//! The server's command loop is the only consumer of that channel and the only writer
+//! to the sockets, so the parameter server itself stays single-threaded and lock-free.
+//!
+//! The steady-state frame path is allocation-free on both ends:
+//!
+//! * every connection reader reuses one payload buffer and decodes bulk messages
+//!   (`Push` gradients, `PullDelta` version vectors) into `Vec`s recycled back from
+//!   the command loop through per-rank pool channels;
+//! * every writer encodes into a reusable scratch buffer and ships header + payload
+//!   with one vectored `write_all` ([`crate::wire::write_frame_payload`]);
+//! * pull replies are encoded straight from a borrowed [`PullView`] of the server's
+//!   store — the weights are memcpy'd from the store into the frame buffer, never
+//!   into an intermediate vector.
+//!
+//! A counting-allocator test (`tests/zero_alloc_net.rs`) enforces the zero-allocation
+//! property end to end, the same way the compute kernels' steady state is enforced.
 //!
 //! This is a cooperative-cluster transport, not a hardened public endpoint: a peer
 //! that violates the protocol (bad magic, wrong version, non-`Hello` first frame)
 //! aborts the run with an error rather than being quarantined.
 
-use crate::transport::{ServerTransport, WorkerTransport};
-use crate::wire::{read_frame, write_frame, Message};
+use crate::transport::{PullOutcome, PullView, ServerTransport, WorkerTransport};
+use crate::wire::{
+    self, read_frame_payload, write_frame_payload, Message, TAG_PULL_DELTA, TAG_PULL_REPLY,
+    TAG_PULL_REPLY_DELTA, TAG_PUSH,
+};
 use crate::NetError;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+/// Byte and frame counters of one transport endpoint, for benchmarks and reports
+/// (`repro -- bench-net` derives bytes/pull and messages/sec from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Total bytes written to the socket(s), including frame headers.
+    pub bytes_sent: u64,
+    /// Total bytes read from the socket(s), including frame headers.
+    pub bytes_received: u64,
+    /// Frames written.
+    pub frames_sent: u64,
+    /// Frames read.
+    pub frames_received: u64,
+}
+
+/// Receive-side counters shared with the connection reader threads.
+#[derive(Debug, Default)]
+struct RxCounters {
+    bytes: AtomicU64,
+    frames: AtomicU64,
+}
+
+impl RxCounters {
+    fn record(&self, payload_len: usize) {
+        self.bytes
+            .fetch_add(payload_len as u64 + 4, Ordering::Relaxed);
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The recycle-channel senders of one rank's connection: the command loop pushes
+/// consumed bulk buffers back so the reader can decode the next message into them.
+struct RankPools {
+    grads: Sender<Vec<f32>>,
+    known: Sender<Vec<u64>>,
+}
+
 enum Event {
-    /// A connection completed its `Hello`; `stream` is the write half for its rank.
-    Register(usize, TcpStream),
+    /// A connection completed its `Hello`; `stream` is the write half for its rank and
+    /// `pools` the recycle channels feeding its reader's decode buffers.
+    Register {
+        rank: usize,
+        stream: TcpStream,
+        pools: RankPools,
+    },
     /// A decoded frame from `rank` (or the error that ended its connection).
     Frame(usize, Result<Message, NetError>),
     /// A failure on a connection that never identified itself.
@@ -36,7 +96,11 @@ pub struct TcpServerTransport {
     num_workers: usize,
     events: Receiver<Event>,
     writers: Vec<Option<TcpStream>>,
+    pools: Vec<Option<RankPools>>,
     scratch: Vec<u8>,
+    rx: Arc<RxCounters>,
+    bytes_sent: u64,
+    frames_sent: u64,
 }
 
 impl TcpServerTransport {
@@ -51,16 +115,22 @@ impl TcpServerTransport {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let (event_tx, events) = unbounded();
+        let rx = Arc::new(RxCounters::default());
+        let rx_for_readers = Arc::clone(&rx);
         thread::Builder::new()
             .name("dssp-net-acceptor".into())
-            .spawn(move || accept_loop(listener, num_workers, event_tx))
+            .spawn(move || accept_loop(listener, num_workers, event_tx, rx_for_readers))
             .expect("spawn acceptor thread");
         Ok(Self {
             local_addr,
             num_workers,
             events,
             writers: (0..num_workers).map(|_| None).collect(),
+            pools: (0..num_workers).map(|_| None).collect(),
             scratch: Vec::new(),
+            rx,
+            bytes_sent: 0,
+            frames_sent: 0,
         })
     }
 
@@ -68,9 +138,36 @@ impl TcpServerTransport {
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
+
+    /// Byte/frame counters accumulated so far (receive side includes every
+    /// connection's reader thread).
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.rx.bytes.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent,
+            frames_received: self.rx.frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes the already-encoded `scratch` payload to `rank`'s socket as one frame.
+    fn flush_scratch_to(&mut self, rank: usize) -> Result<(), NetError> {
+        let stream = self.writers[rank]
+            .as_mut()
+            .ok_or_else(|| NetError::Protocol(format!("worker {rank} never said Hello")))?;
+        write_frame_payload(stream, &self.scratch)?;
+        self.bytes_sent += self.scratch.len() as u64 + 4;
+        self.frames_sent += 1;
+        Ok(())
+    }
 }
 
-fn accept_loop(listener: TcpListener, num_workers: usize, event_tx: Sender<Event>) {
+fn accept_loop(
+    listener: TcpListener,
+    num_workers: usize,
+    event_tx: Sender<Event>,
+    rx: Arc<RxCounters>,
+) {
     for _ in 0..num_workers {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -80,13 +177,14 @@ fn accept_loop(listener: TcpListener, num_workers: usize, event_tx: Sender<Event
             }
         };
         let tx = event_tx.clone();
+        let rx = Arc::clone(&rx);
         let _ = thread::Builder::new()
             .name("dssp-net-reader".into())
-            .spawn(move || reader_loop(stream, num_workers, tx));
+            .spawn(move || reader_loop(stream, num_workers, tx, rx));
     }
 }
 
-fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>) {
+fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>, rx: Arc<RxCounters>) {
     let _ = stream.set_nodelay(true);
     let write_half = match stream.try_clone() {
         Ok(s) => s,
@@ -96,8 +194,12 @@ fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>) {
         }
     };
     let mut reader = BufReader::new(stream);
+    let mut payload: Vec<u8> = Vec::new();
     // The first frame must be a Hello announcing the connection's rank.
-    let hello = match read_frame(&mut reader) {
+    let hello = match read_frame_payload(&mut reader, &mut payload).and_then(|len| {
+        rx.record(len);
+        Ok(wire::decode(&payload)?)
+    }) {
         Ok(msg @ Message::Hello { .. }) => msg,
         Ok(other) => {
             let _ = tx.send(Event::Unattributed(NetError::Protocol(format!(
@@ -120,16 +222,34 @@ fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>) {
         }
         _ => unreachable!("matched Hello above"),
     };
+    // Recycle channels: the command loop returns consumed bulk buffers here so the
+    // steady-state decode below never allocates.
+    let (grads_tx, grads_pool) = unbounded::<Vec<f32>>();
+    let (known_tx, known_pool) = unbounded::<Vec<u64>>();
     // Registration travels on the same channel before the Hello frame, so the command
     // loop always owns the write half by the time it sees the rank's first message.
-    if tx.send(Event::Register(rank, write_half)).is_err() {
+    if tx
+        .send(Event::Register {
+            rank,
+            stream: write_half,
+            pools: RankPools {
+                grads: grads_tx,
+                known: known_tx,
+            },
+        })
+        .is_err()
+    {
         return;
     }
     if tx.send(Event::Frame(rank, Ok(hello))).is_err() {
         return;
     }
     loop {
-        match read_frame(&mut reader) {
+        let msg = read_frame_payload(&mut reader, &mut payload).and_then(|len| {
+            rx.record(len);
+            decode_pooled(&payload, &grads_pool, &known_pool)
+        });
+        match msg {
             Ok(msg) => {
                 if tx.send(Event::Frame(rank, Ok(msg))).is_err() {
                     return; // server gone
@@ -145,6 +265,37 @@ fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>) {
     }
 }
 
+/// Decodes a payload, routing bulk message kinds into buffers recycled from the
+/// command loop (an empty pool falls back to a fresh `Vec`, so correctness never
+/// depends on the recycling).
+fn decode_pooled(
+    payload: &[u8],
+    grads_pool: &Receiver<Vec<f32>>,
+    known_pool: &Receiver<Vec<u64>>,
+) -> Result<Message, NetError> {
+    match payload.first() {
+        Some(&TAG_PUSH) => {
+            let mut grads = match grads_pool.try_recv() {
+                Ok(buf) => buf,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => Vec::new(),
+            };
+            let iteration = wire::decode_push_into(payload, &mut grads)?;
+            Ok(Message::Push { iteration, grads })
+        }
+        Some(&TAG_PULL_DELTA) => {
+            let mut known = match known_pool.try_recv() {
+                Ok(buf) => buf,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => Vec::new(),
+            };
+            wire::decode_pull_delta_into(payload, &mut known)?;
+            Ok(Message::PullDelta {
+                known_versions: known,
+            })
+        }
+        _ => Ok(wire::decode(payload)?),
+    }
+}
+
 impl ServerTransport for TcpServerTransport {
     fn num_workers(&self) -> usize {
         self.num_workers
@@ -153,9 +304,14 @@ impl ServerTransport for TcpServerTransport {
     fn recv(&mut self) -> Result<(usize, Message), NetError> {
         loop {
             match self.events.recv().map_err(|_| NetError::Disconnected)? {
-                Event::Register(rank, stream) => {
+                Event::Register {
+                    rank,
+                    stream,
+                    pools,
+                } => {
                     let _ = stream.set_nodelay(true);
                     self.writers[rank] = Some(stream);
+                    self.pools[rank] = Some(pools);
                 }
                 Event::Frame(rank, Ok(msg)) => return Ok((rank, msg)),
                 Event::Frame(rank, Err(e)) => {
@@ -169,11 +325,27 @@ impl ServerTransport for TcpServerTransport {
     }
 
     fn send(&mut self, rank: usize, msg: &Message) -> Result<(), NetError> {
-        let stream = self.writers[rank]
-            .as_mut()
-            .ok_or_else(|| NetError::Protocol(format!("worker {rank} never said Hello")))?;
-        write_frame(stream, msg, &mut self.scratch)?;
-        Ok(())
+        self.scratch.clear();
+        wire::encode(msg, &mut self.scratch);
+        self.flush_scratch_to(rank)
+    }
+
+    fn send_pull_reply(&mut self, rank: usize, view: &PullView<'_>) -> Result<(), NetError> {
+        self.scratch.clear();
+        view.encode(&mut self.scratch);
+        self.flush_scratch_to(rank)
+    }
+
+    fn recycle_f32s(&mut self, rank: usize, buf: Vec<f32>) {
+        if let Some(pools) = &self.pools[rank] {
+            let _ = pools.grads.send(buf);
+        }
+    }
+
+    fn recycle_u64s(&mut self, rank: usize, buf: Vec<u64>) {
+        if let Some(pools) = &self.pools[rank] {
+            let _ = pools.known.send(buf);
+        }
     }
 }
 
@@ -182,6 +354,8 @@ pub struct TcpWorkerTransport {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     scratch: Vec<u8>,
+    payload: Vec<u8>,
+    stats: TransportStats,
 }
 
 impl TcpWorkerTransport {
@@ -210,6 +384,8 @@ impl TcpWorkerTransport {
                         reader,
                         writer: stream,
                         scratch: Vec::new(),
+                        payload: Vec::new(),
+                        stats: TransportStats::default(),
                     });
                 }
                 Err(e) => last_err = Some(e),
@@ -217,16 +393,73 @@ impl TcpWorkerTransport {
         }
         Err(last_err.map(NetError::Io).unwrap_or(NetError::Disconnected))
     }
+
+    /// Byte/frame counters accumulated so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Writes the already-encoded `scratch` payload as one frame.
+    fn flush_scratch(&mut self) -> Result<(), NetError> {
+        write_frame_payload(&mut self.writer, &self.scratch)?;
+        self.stats.bytes_sent += self.scratch.len() as u64 + 4;
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    /// Reads the next frame into the reusable payload buffer.
+    fn read_payload(&mut self) -> Result<(), NetError> {
+        let len = read_frame_payload(&mut self.reader, &mut self.payload)?;
+        self.stats.bytes_received += len as u64 + 4;
+        self.stats.frames_received += 1;
+        Ok(())
+    }
 }
 
 impl WorkerTransport for TcpWorkerTransport {
     fn send(&mut self, msg: &Message) -> Result<(), NetError> {
-        write_frame(&mut self.writer, msg, &mut self.scratch)?;
-        Ok(())
+        self.scratch.clear();
+        wire::encode(msg, &mut self.scratch);
+        self.flush_scratch()
     }
 
     fn recv(&mut self) -> Result<Message, NetError> {
-        read_frame(&mut self.reader)
+        self.read_payload()?;
+        Ok(wire::decode(&self.payload)?)
+    }
+
+    fn send_push(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+        self.scratch.clear();
+        wire::encode_push(&mut self.scratch, iteration, grads);
+        self.flush_scratch()
+    }
+
+    fn pull_into(
+        &mut self,
+        delta: bool,
+        weights: &mut Vec<f32>,
+        versions: &mut Vec<u64>,
+    ) -> Result<PullOutcome, NetError> {
+        self.scratch.clear();
+        if delta && !versions.is_empty() {
+            wire::encode_pull_delta(&mut self.scratch, versions);
+        } else {
+            wire::encode_pull(&mut self.scratch);
+        }
+        self.flush_scratch()?;
+        self.read_payload()?;
+        match self.payload.first() {
+            Some(&TAG_PULL_REPLY) | Some(&TAG_PULL_REPLY_DELTA) => {
+                let applied = wire::apply_pull_reply(&self.payload, weights, versions)?;
+                Ok(PullOutcome::Applied(applied))
+            }
+            _ => match wire::decode(&self.payload)? {
+                Message::Shutdown { reason } => Ok(PullOutcome::Shutdown { reason }),
+                other => Err(NetError::Protocol(format!(
+                    "expected a pull reply, got {other:?}"
+                ))),
+            },
+        }
     }
 }
 
@@ -249,14 +482,13 @@ mod tests {
                     config_digest: 7,
                 })
                 .unwrap();
-            worker
-                .send(&Message::Push {
-                    iteration: 1,
-                    grads: vec![0.5, -1.25],
-                })
-                .unwrap();
+            worker.send_push(1, &[0.5, -1.25]).unwrap();
             let reply = worker.recv().unwrap();
             assert!(matches!(reply, Message::PushReply { version: 1, .. }));
+            let stats = worker.stats();
+            assert_eq!(stats.frames_sent, 2);
+            assert_eq!(stats.frames_received, 1);
+            assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
         });
         let (rank, hello) = server.recv().unwrap();
         assert_eq!(rank, 0);
@@ -272,6 +504,7 @@ mod tests {
             Message::Push { iteration, grads } => {
                 assert_eq!(iteration, 1);
                 assert_eq!(grads, vec![0.5, -1.25]);
+                server.recycle_f32s(0, grads);
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -284,6 +517,90 @@ mod tests {
                 },
             )
             .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.frames_received, 2);
+        assert_eq!(stats.frames_sent, 1);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_delta_pull_round_trip_reconstructs_the_store() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().to_string();
+        let client = thread::spawn(move || {
+            let mut worker = TcpWorkerTransport::connect(&addr).unwrap();
+            worker
+                .send(&Message::Hello {
+                    version: PROTOCOL_VERSION,
+                    rank: 0,
+                    num_workers: 1,
+                    config_digest: 0,
+                })
+                .unwrap();
+            let mut weights = Vec::new();
+            let mut versions = Vec::new();
+            // First pull: no cache yet, must arrive full.
+            match worker.pull_into(true, &mut weights, &mut versions).unwrap() {
+                PullOutcome::Applied(applied) => assert!(applied.full),
+                other => panic!("unexpected: {other:?}"),
+            }
+            assert_eq!(weights, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+            assert_eq!(versions, vec![1, 1]);
+            // Second pull: delta with one stale shard.
+            match worker.pull_into(true, &mut weights, &mut versions).unwrap() {
+                PullOutcome::Applied(applied) => {
+                    assert!(!applied.full);
+                    assert_eq!(applied.shards_updated, 1);
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+            assert_eq!(weights, vec![1.0, 2.0, 3.0, -4.0, -5.0]);
+            assert_eq!(versions, vec![1, 2]);
+        });
+        // Server side: 5 weights over 2 shards ([0..3), [3..5)).
+        let mut weights = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let offsets = [0usize, 3, 5];
+        let mut versions = vec![1u64, 1];
+        let (_, hello) = server.recv().unwrap();
+        assert!(matches!(hello, Message::Hello { .. }));
+        // Full pull.
+        let (rank, msg) = server.recv().unwrap();
+        assert!(matches!(msg, Message::Pull));
+        server
+            .send_pull_reply(
+                rank,
+                &PullView {
+                    clock: 2,
+                    versions: &versions,
+                    offsets: &offsets,
+                    weights: &weights,
+                    known: None,
+                },
+            )
+            .unwrap();
+        // Mutate shard 1, then answer the delta pull.
+        weights[3] = -4.0;
+        weights[4] = -5.0;
+        versions[1] = 2;
+        let (rank, msg) = server.recv().unwrap();
+        let known = match msg {
+            Message::PullDelta { known_versions } => known_versions,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(known, vec![1, 1]);
+        server
+            .send_pull_reply(
+                rank,
+                &PullView {
+                    clock: 3,
+                    versions: &versions,
+                    offsets: &offsets,
+                    weights: &weights,
+                    known: Some(&known),
+                },
+            )
+            .unwrap();
+        server.recycle_u64s(rank, known);
         client.join().unwrap();
     }
 

@@ -6,12 +6,176 @@
 //! * [`crate::tcp`] — real sockets, one blocking reader thread per connection;
 //! * [`loopback`] — crossbeam channels inside one process, useful for tests and for
 //!   proving that the networked server is bitwise-equivalent to the threaded runtime
-//!   (no serialization happens, but the *protocol* — including the explicit pull step —
-//!   is exercised in full).
+//!   (no serialization happens, but the *protocol* — including the explicit pull step
+//!   and the delta-pull negotiation — is exercised in full).
+//!
+//! Besides the owned-`Message` `send`/`recv` pair, both traits expose a buffer-reuse
+//! fast path for the steady-state hot loop: workers push borrowed gradient slices
+//! ([`WorkerTransport::send_push`]) and pull into caller-owned weight/version caches
+//! ([`WorkerTransport::pull_into`]); the server answers pulls from a borrowed
+//! [`PullView`] of its store ([`ServerTransport::send_pull_reply`]) and hands consumed
+//! bulk buffers back to the transport for recycling
+//! ([`ServerTransport::recycle_f32s`]). The TCP transport implements these with pooled
+//! encode/decode buffers so neither endpoint allocates per message; the loopback
+//! transport keeps the simple owned-message defaults (its purpose is equivalence
+//! testing, not throughput).
 
-use crate::wire::Message;
+use crate::wire::{self, Message, PullApplied, ShardUpdate};
 use crate::NetError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// A borrowed snapshot of the server's parameter store, from which a pull reply —
+/// full or delta — is encoded without copying the weights anywhere first.
+///
+/// `offsets` and `versions` come straight from the server's
+/// [`dssp_ps::ShardedStore`]; `known` carries the requesting worker's cached
+/// per-shard versions when the request was a [`Message::PullDelta`] (`None` for a
+/// plain full pull).
+#[derive(Debug, Clone, Copy)]
+pub struct PullView<'a> {
+    /// Server weight version (total pushes applied).
+    pub clock: u64,
+    /// Per-shard update versions, in shard order.
+    pub versions: &'a [u64],
+    /// Shard start offsets plus a final total-length sentinel
+    /// (`offsets.len() == versions.len() + 1`).
+    pub offsets: &'a [usize],
+    /// The flat weight vector.
+    pub weights: &'a [f32],
+    /// The client's cached versions (`Some` for a delta request).
+    pub known: Option<&'a [u64]>,
+}
+
+impl<'a> PullView<'a> {
+    /// Whether the client's `known` vector is one this view can answer incrementally:
+    /// present, one entry per shard, and nowhere ahead of the server (a client from a
+    /// previous server life falls back to a full reply).
+    pub fn delta_applicable(&self) -> bool {
+        self.known
+            .is_some_and(|known| dssp_ps::delta_compatible(self.versions, known))
+    }
+
+    /// The stale shards a delta reply ships: `(shard, version, weights)` for every
+    /// shard whose version advanced past the client's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without an applicable `known` vector.
+    pub fn stale_updates(&self) -> impl Iterator<Item = (u32, u64, &'a [f32])> + '_ {
+        let known = self.known.expect("stale_updates requires a known vector");
+        assert_eq!(known.len(), self.versions.len(), "shard count mismatch");
+        (0..self.versions.len()).filter_map(move |i| {
+            (self.versions[i] > known[i]).then(|| {
+                (
+                    i as u32,
+                    self.versions[i],
+                    &self.weights[self.offsets[i]..self.offsets[i + 1]],
+                )
+            })
+        })
+    }
+
+    /// Encodes the reply this view answers with — a delta when applicable, a full
+    /// reply otherwise — appending the payload to `buf`. Byte-identical to encoding
+    /// [`PullView::to_message`], but without materializing owned vectors (the server's
+    /// zero-copy path).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        if self.delta_applicable() {
+            wire::encode_pull_reply_delta(buf, self.clock, self.stale_updates());
+        } else {
+            wire::encode_pull_reply(buf, self.clock, self.versions, self.weights);
+        }
+    }
+
+    /// Builds the owned reply message — a delta when applicable, a full reply
+    /// otherwise. Used by the loopback transport, which moves messages instead of
+    /// serializing them.
+    pub fn to_message(&self) -> Message {
+        if self.delta_applicable() {
+            Message::PullReplyDelta {
+                clock: self.clock,
+                updates: self
+                    .stale_updates()
+                    .map(|(shard, version, weights)| ShardUpdate {
+                        shard,
+                        version,
+                        weights: weights.to_vec(),
+                    })
+                    .collect(),
+            }
+        } else {
+            Message::PullReply {
+                clock: self.clock,
+                shard_versions: self.versions.to_vec(),
+                weights: self.weights.to_vec(),
+            }
+        }
+    }
+}
+
+/// Outcome of a [`WorkerTransport::pull_into`] exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullOutcome {
+    /// A reply arrived and was applied to the caller's weight/version caches.
+    Applied(PullApplied),
+    /// The server shut the run down instead of answering.
+    Shutdown {
+        /// [`wire::SHUTDOWN_OK`] or [`wire::SHUTDOWN_SERVER_ERROR`].
+        reason: u8,
+    },
+}
+
+/// Applies an owned pull-reply message to a worker's cached weight and version
+/// vectors, mirroring [`wire::apply_pull_reply`]'s semantics for transports that move
+/// messages instead of bytes (loopback, tests).
+pub fn apply_pull_message(
+    msg: Message,
+    weights: &mut Vec<f32>,
+    versions: &mut Vec<u64>,
+) -> Result<PullOutcome, NetError> {
+    match msg {
+        Message::PullReply {
+            clock,
+            shard_versions,
+            weights: fresh,
+        } => {
+            versions.clear();
+            versions.extend_from_slice(&shard_versions);
+            weights.clear();
+            weights.extend_from_slice(&fresh);
+            Ok(PullOutcome::Applied(PullApplied {
+                clock,
+                full: true,
+                shards_updated: versions.len(),
+            }))
+        }
+        Message::PullReplyDelta { clock, updates } => {
+            let shards_updated = updates.len();
+            for update in &updates {
+                let shard = update.shard;
+                if (shard as usize) >= versions.len() {
+                    return Err(wire::WireError::BadShard { shard }.into());
+                }
+                let (start, end) =
+                    dssp_ps::shard_range(weights.len(), versions.len(), shard as usize);
+                if update.weights.len() != end - start {
+                    return Err(wire::WireError::BadShard { shard }.into());
+                }
+                weights[start..end].copy_from_slice(&update.weights);
+                versions[shard as usize] = update.version;
+            }
+            Ok(PullOutcome::Applied(PullApplied {
+                clock,
+                full: false,
+                shards_updated,
+            }))
+        }
+        Message::Shutdown { reason } => Ok(PullOutcome::Shutdown { reason }),
+        other => Err(NetError::Protocol(format!(
+            "expected a pull reply, got {other:?}"
+        ))),
+    }
+}
 
 /// Server side of a transport: a stream of rank-attributed incoming messages plus a
 /// way to address each worker.
@@ -27,6 +191,22 @@ pub trait ServerTransport: Send {
 
     /// Sends a message to one worker.
     fn send(&mut self, rank: usize, msg: &Message) -> Result<(), NetError>;
+
+    /// Answers a pull request from a borrowed snapshot of the server's store —
+    /// incrementally when `view.known` permits, fully otherwise. Implementations may
+    /// encode straight from the view (the TCP transport memcpys the stale shard
+    /// ranges into a pooled frame buffer); the default builds an owned message.
+    fn send_pull_reply(&mut self, rank: usize, view: &PullView<'_>) -> Result<(), NetError> {
+        self.send(rank, &view.to_message())
+    }
+
+    /// Hands a consumed bulk `f32` buffer (a processed push's gradients) back to the
+    /// transport for reuse by `rank`'s connection. Default: drop it.
+    fn recycle_f32s(&mut self, _rank: usize, _buf: Vec<f32>) {}
+
+    /// Hands a consumed bulk `u64` buffer (a processed delta pull's version vector)
+    /// back to the transport for reuse by `rank`'s connection. Default: drop it.
+    fn recycle_u64s(&mut self, _rank: usize, _buf: Vec<u64>) {}
 
     /// Best-effort broadcast (used for `Shutdown`); per-worker failures are ignored
     /// because exiting workers legitimately race the broadcast.
@@ -44,6 +224,37 @@ pub trait WorkerTransport: Send {
 
     /// Blocks for the next message from the server.
     fn recv(&mut self) -> Result<Message, NetError>;
+
+    /// Pushes one iteration's gradients from a borrowed slice. The TCP transport
+    /// encodes the frame straight from the slice into a pooled buffer; the default
+    /// copies into an owned [`Message::Push`].
+    fn send_push(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+        self.send(&Message::Push {
+            iteration,
+            grads: grads.to_vec(),
+        })
+    }
+
+    /// One pull exchange against the caller's weight/version caches: requests a delta
+    /// when `delta` is set and `versions` is warm (otherwise a full pull), then
+    /// applies the reply in place. `versions` doubles as the request's
+    /// `known_versions` and is updated by the reply.
+    fn pull_into(
+        &mut self,
+        delta: bool,
+        weights: &mut Vec<f32>,
+        versions: &mut Vec<u64>,
+    ) -> Result<PullOutcome, NetError> {
+        if delta && !versions.is_empty() {
+            self.send(&Message::PullDelta {
+                known_versions: versions.clone(),
+            })?;
+        } else {
+            self.send(&Message::Pull)?;
+        }
+        let msg = self.recv()?;
+        apply_pull_message(msg, weights, versions)
+    }
 }
 
 /// Server end of a [`loopback`] transport.
@@ -62,7 +273,8 @@ pub struct LoopbackWorker {
 /// Creates an in-process transport connecting one server to `num_workers` workers over
 /// unbounded channels. Messages are moved, not serialized, so weights and gradients
 /// are trivially bit-preserved; everything else about the protocol (handshake, explicit
-/// pulls, shutdown broadcast) behaves exactly like the TCP transport.
+/// pulls, delta negotiation, shutdown broadcast) behaves exactly like the TCP
+/// transport.
 ///
 /// # Panics
 ///
@@ -149,5 +361,112 @@ mod tests {
         let (server, mut workers) = loopback(1);
         drop(server);
         assert!(matches!(workers[0].recv(), Err(NetError::Disconnected)));
+    }
+
+    fn view<'a>(
+        clock: u64,
+        versions: &'a [u64],
+        offsets: &'a [usize],
+        weights: &'a [f32],
+        known: Option<&'a [u64]>,
+    ) -> PullView<'a> {
+        PullView {
+            clock,
+            versions,
+            offsets,
+            weights,
+            known,
+        }
+    }
+
+    #[test]
+    fn pull_view_falls_back_to_full_replies_when_the_cache_is_incompatible() {
+        let versions = [3u64, 4];
+        let offsets = [0usize, 2, 4];
+        let weights = [1.0f32, 2.0, 3.0, 4.0];
+        // No cache (first contact).
+        assert!(!view(7, &versions, &offsets, &weights, None).delta_applicable());
+        // Wrong shard count.
+        let short = [3u64];
+        assert!(!view(7, &versions, &offsets, &weights, Some(&short)).delta_applicable());
+        // Client ahead of the server (stale cache from a previous server life).
+        let future = [9u64, 4];
+        assert!(!view(7, &versions, &offsets, &weights, Some(&future)).delta_applicable());
+        // Compatible cache.
+        let known = [3u64, 3];
+        let v = view(7, &versions, &offsets, &weights, Some(&known));
+        assert!(v.delta_applicable());
+        let updates: Vec<_> = v.stale_updates().collect();
+        assert_eq!(updates, vec![(1u32, 4u64, &weights[2..4])]);
+    }
+
+    #[test]
+    fn pull_view_zero_copy_encode_matches_the_owned_message_encoding() {
+        let versions = [5u64, 5, 7];
+        let offsets = [0usize, 2, 4, 5];
+        let weights = [0.5f32, 1.5, 2.5, 3.5, 4.5];
+        for known in [
+            None,
+            Some(&[5u64, 5, 7][..]), // nothing stale -> empty delta
+            Some(&[4u64, 5, 0][..]), // two stale shards
+            Some(&[5u64, 5][..]),    // incompatible -> full
+        ] {
+            let v = view(9, &versions, &offsets, &weights, known);
+            let mut zero_copy = Vec::new();
+            v.encode(&mut zero_copy);
+            let mut owned = Vec::new();
+            wire::encode(&v.to_message(), &mut owned);
+            assert_eq!(zero_copy, owned, "known={known:?}");
+        }
+    }
+
+    #[test]
+    fn apply_pull_message_mirrors_the_byte_level_apply() {
+        let mut weights = Vec::new();
+        let mut versions = Vec::new();
+        let full = Message::PullReply {
+            clock: 3,
+            shard_versions: vec![1, 1],
+            weights: vec![1.0, 2.0, 3.0],
+        };
+        let outcome = apply_pull_message(full, &mut weights, &mut versions).unwrap();
+        assert_eq!(
+            outcome,
+            PullOutcome::Applied(PullApplied {
+                clock: 3,
+                full: true,
+                shards_updated: 2
+            })
+        );
+        // Layout of 3 params over 2 shards: [0..2), [2..3).
+        let delta = Message::PullReplyDelta {
+            clock: 5,
+            updates: vec![ShardUpdate {
+                shard: 1,
+                version: 2,
+                weights: vec![-3.0],
+            }],
+        };
+        let outcome = apply_pull_message(delta, &mut weights, &mut versions).unwrap();
+        assert_eq!(
+            outcome,
+            PullOutcome::Applied(PullApplied {
+                clock: 5,
+                full: false,
+                shards_updated: 1
+            })
+        );
+        assert_eq!(weights, vec![1.0, 2.0, -3.0]);
+        assert_eq!(versions, vec![1, 2]);
+        // A wrong-length update is rejected.
+        let bad = Message::PullReplyDelta {
+            clock: 6,
+            updates: vec![ShardUpdate {
+                shard: 0,
+                version: 3,
+                weights: vec![0.0; 3],
+            }],
+        };
+        assert!(apply_pull_message(bad, &mut weights, &mut versions).is_err());
     }
 }

@@ -12,7 +12,10 @@
 //! tags and oversized frames are all rejected rather than guessed at. `f32`/`f64`
 //! values travel as their IEEE-754 bit patterns, so weights and gradients cross the
 //! network bitwise intact — the property the cross-substrate equivalence tests rely
-//! on.
+//! on. Bulk `f32`/`u64` runs are converted in one chunked byte-cast on little-endian
+//! hosts (a bounds-checked memcpy) with a per-element fallback elsewhere, so encoding
+//! and decoding a model-sized vector costs a memcpy, not a loop of `extend_from_slice`
+//! calls.
 //!
 //! Protocol flow (client = worker, server = parameter server):
 //!
@@ -20,20 +23,29 @@
 //! worker                               server
 //!   | -- Hello{version,rank,digest} --> |   handshake, config fingerprint check
 //!   | -- Pull ------------------------> |
-//!   | <----- PullReply{clock,weights} - |   initial weights
+//!   | <----- PullReply{clock,weights} - |   initial weights (always full)
 //!   | == per iteration ================ |
 //!   | -- Push{iteration,grads} -------> |   gradients applied, policy consulted
 //!   | <-- PushReply{granted_extra} ---- |   (deferred while the policy blocks)
-//!   | -- Pull ------------------------> |
-//!   | <----- PullReply{clock,weights} - |
+//!   | -- PullDelta{known_versions} ---> |   worker's cached per-shard versions
+//!   | <-- PullReplyDelta{updates} ----- |   only shards whose version advanced
 //!   | ================================= |
 //!   | -- Done{iterations,...} --------> |   after the final push
 //!   | <-- Shutdown{reason} ------------ |   broadcast once every worker is done
 //! ```
+//!
+//! `PullDelta` is the protocol-v2 incremental pull: the worker keeps the per-shard
+//! versions of its last reply and the server ships only the shards that advanced,
+//! falling back to a full [`Message::PullReply`] on first contact or whenever the
+//! client's version vector is incompatible (wrong shard count, or versions from a
+//! server's earlier life). Workers that prefer the v1 behaviour simply keep sending
+//! plain `Pull`. Shard key ranges are never carried on the wire: both ends derive them
+//! from the parameter count and shard count via [`dssp_ps::shard_range`].
 
 /// Protocol version carried in [`Message::Hello`]; peers with a different version are
-/// rejected during the handshake.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// rejected during the handshake. Version 2 added the incremental pull pair
+/// ([`Message::PullDelta`] / [`Message::PullReplyDelta`]).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Magic number opening every `Hello` payload (`b"DSSP"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"DSSP");
@@ -46,6 +58,18 @@ pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
 pub const SHUTDOWN_OK: u8 = 0;
 /// Shutdown reason: the server failed or aborted; workers must discard the run.
 pub const SHUTDOWN_SERVER_ERROR: u8 = 1;
+
+/// One shard's contribution to a [`Message::PullReplyDelta`]: the weights of a shard
+/// whose version advanced past what the client reported knowing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardUpdate {
+    /// Shard index in the server's [`dssp_ps::ShardedStore`].
+    pub shard: u32,
+    /// The shard's update version after this delta is applied.
+    pub version: u64,
+    /// The shard's current weights (its full key range).
+    pub weights: Vec<f32>,
+}
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +102,8 @@ pub enum Message {
         /// Server weight version when the reply was issued.
         version: u64,
     },
-    /// Worker → server: request the current global weights.
+    /// Worker → server: request the current global weights in full (first contact, or
+    /// delta pulls disabled).
     Pull,
     /// Server → worker: the current global weights.
     PullReply {
@@ -88,6 +113,22 @@ pub enum Message {
         shard_versions: Vec<u64>,
         /// The flat weight vector.
         weights: Vec<f32>,
+    },
+    /// Worker → server: request only the shards that advanced past the worker's cached
+    /// per-shard versions (from its previous pull reply). Answered with
+    /// [`Message::PullReplyDelta`], or a full [`Message::PullReply`] when the version
+    /// vector is incompatible.
+    PullDelta {
+        /// The per-shard versions the worker already holds, in shard order.
+        known_versions: Vec<u64>,
+    },
+    /// Server → worker: the incremental pull reply — only the shards whose version
+    /// advanced past the client's `known_versions`. May be empty (nothing changed).
+    PullReplyDelta {
+        /// Server weight version (total pushes applied).
+        clock: u64,
+        /// The stale shards' fresh weights, in ascending shard order.
+        updates: Vec<ShardUpdate>,
     },
     /// Worker → server: all iterations complete (sent after the final push, without
     /// waiting for its reply).
@@ -106,17 +147,30 @@ pub enum Message {
     },
 }
 
+/// Payload tag of [`Message::Push`] (used by the transport's pooled-decode fast path).
+pub(crate) const TAG_PUSH: u8 = 2;
+/// Payload tag of [`Message::PullReply`].
+pub(crate) const TAG_PULL_REPLY: u8 = 5;
+/// Payload tag of [`Message::PullDelta`].
+pub(crate) const TAG_PULL_DELTA: u8 = 8;
+/// Payload tag of [`Message::PullReplyDelta`].
+pub(crate) const TAG_PULL_REPLY_DELTA: u8 = 9;
+/// Payload tag of [`Message::Shutdown`].
+pub(crate) const TAG_SHUTDOWN: u8 = 7;
+
 impl Message {
     /// The payload tag identifying this message kind on the wire.
     pub fn tag(&self) -> u8 {
         match self {
             Message::Hello { .. } => 1,
-            Message::Push { .. } => 2,
+            Message::Push { .. } => TAG_PUSH,
             Message::PushReply { .. } => 3,
             Message::Pull => 4,
-            Message::PullReply { .. } => 5,
+            Message::PullReply { .. } => TAG_PULL_REPLY,
             Message::Done { .. } => 6,
-            Message::Shutdown { .. } => 7,
+            Message::Shutdown { .. } => TAG_SHUTDOWN,
+            Message::PullDelta { .. } => TAG_PULL_DELTA,
+            Message::PullReplyDelta { .. } => TAG_PULL_REPLY_DELTA,
         }
     }
 }
@@ -146,6 +200,12 @@ pub enum WireError {
         /// The declared element count.
         declared: usize,
     },
+    /// A delta update references a shard the receiver does not have, or its weight
+    /// run does not match that shard's key range.
+    BadShard {
+        /// The offending shard index.
+        shard: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -169,16 +229,168 @@ impl std::fmt::Display for WireError {
                     "embedded vector declares {declared} elements beyond payload end"
                 )
             }
+            WireError::BadShard { shard } => {
+                write!(
+                    f,
+                    "delta update for shard {shard} does not fit the receiver"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
 
+// ---------------------------------------------------------------------------
+// Bulk little-endian conversions.
+//
+// On little-endian hosts an `f32`/`u64` run's in-memory bytes *are* its wire bytes, so
+// the conversions below degenerate to bounds-checked memcpys. The big-endian fallback
+// converts element-wise. Both directions are exercised against the per-element
+// reference in the tests, and every decode keeps the strict truncation semantics: the
+// byte count is validated before a single element is converted.
+// ---------------------------------------------------------------------------
+
+/// Appends the little-endian bytes of `values` to `buf` in one chunk.
+fn extend_f32_bytes(buf: &mut Vec<u8>, values: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: an f32 slice is valid to view as its raw bytes (alignment of u8 is
+        // 1, the length is exact, and the borrow of `values` outlives the view).
+        let bytes =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        buf.reserve(values.len() * 4);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Appends the little-endian bytes of `values` to `buf` in one chunk.
+fn extend_u64_bytes(buf: &mut Vec<u8>, values: &[u64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `extend_f32_bytes` — a plain byte view of the u64 run.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 8) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        buf.reserve(values.len() * 8);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Appends `bytes.len() / 4` f32s decoded from little-endian `bytes` to `out`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of 4 (callers validate the byte count
+/// against the declared element count first).
+pub(crate) fn append_f32s_from_le(bytes: &[u8], out: &mut Vec<f32>) {
+    assert_eq!(bytes.len() % 4, 0, "byte run is not a whole number of f32s");
+    let n = bytes.len() / 4;
+    #[cfg(target_endian = "little")]
+    {
+        out.reserve(n);
+        // SAFETY: `reserve` guarantees capacity for `n` more elements; the unaligned
+        // source bytes are memcpy'd into the (aligned) spare capacity, and every bit
+        // pattern is a valid f32, so `set_len` exposes only initialized values.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().add(out.len()).cast::<u8>(),
+                bytes.len(),
+            );
+            out.set_len(out.len() + n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+}
+
+/// Overwrites `out` with the f32s decoded from little-endian `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != out.len() * 4`.
+pub(crate) fn copy_f32s_from_le(bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(
+        bytes.len(),
+        out.len() * 4,
+        "byte run / slice length mismatch"
+    );
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: destination is exactly `bytes.len()` bytes of initialized f32s; the
+        // memcpy handles the (possibly unaligned) source.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for (chunk, v) in bytes.chunks_exact(4).zip(out.iter_mut()) {
+            *v = f32::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+}
+
+/// Appends `bytes.len() / 8` u64s decoded from little-endian `bytes` to `out`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of 8.
+pub(crate) fn append_u64s_from_le(bytes: &[u8], out: &mut Vec<u64>) {
+    assert_eq!(bytes.len() % 8, 0, "byte run is not a whole number of u64s");
+    let n = bytes.len() / 8;
+    #[cfg(target_endian = "little")]
+    {
+        out.reserve(n);
+        // SAFETY: as in `append_f32s_from_le`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().add(out.len()).cast::<u8>(),
+                bytes.len(),
+            );
+            out.set_len(out.len() + n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
 /// Serializes `msg` into a payload (tag + fields, no length prefix), appending to
 /// `buf`.
 pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
-    buf.push(msg.tag());
     match msg {
         Message::Hello {
             version,
@@ -186,45 +398,119 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             num_workers,
             config_digest,
         } => {
+            buf.push(msg.tag());
             buf.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
             buf.extend_from_slice(&version.to_le_bytes());
             buf.extend_from_slice(&rank.to_le_bytes());
             buf.extend_from_slice(&num_workers.to_le_bytes());
             buf.extend_from_slice(&config_digest.to_le_bytes());
         }
-        Message::Push { iteration, grads } => {
-            buf.extend_from_slice(&iteration.to_le_bytes());
-            put_f32s(buf, grads);
-        }
+        Message::Push { iteration, grads } => encode_push(buf, *iteration, grads),
         Message::PushReply {
             granted_extra,
             version,
         } => {
+            buf.push(msg.tag());
             buf.extend_from_slice(&granted_extra.to_le_bytes());
             buf.extend_from_slice(&version.to_le_bytes());
         }
-        Message::Pull => {}
+        Message::Pull => buf.push(msg.tag()),
         Message::PullReply {
             clock,
             shard_versions,
             weights,
-        } => {
-            buf.extend_from_slice(&clock.to_le_bytes());
-            put_u64s(buf, shard_versions);
-            put_f32s(buf, weights);
-        }
+        } => encode_pull_reply(buf, *clock, shard_versions, weights),
+        Message::PullDelta { known_versions } => encode_pull_delta(buf, known_versions),
+        Message::PullReplyDelta { clock, updates } => encode_pull_reply_delta(
+            buf,
+            *clock,
+            updates
+                .iter()
+                .map(|u| (u.shard, u.version, u.weights.as_slice())),
+        ),
         Message::Done {
             iterations,
             epochs,
             waiting_time_s,
         } => {
+            buf.push(msg.tag());
             buf.extend_from_slice(&iterations.to_le_bytes());
             buf.extend_from_slice(&epochs.to_le_bytes());
             buf.extend_from_slice(&waiting_time_s.to_bits().to_le_bytes());
         }
-        Message::Shutdown { reason } => buf.push(*reason),
+        Message::Shutdown { reason } => {
+            buf.push(msg.tag());
+            buf.push(*reason);
+        }
     }
 }
+
+/// Appends a [`Message::Push`] payload built from a borrowed gradient slice — the
+/// worker's zero-copy push path (no owned `Message` is materialized).
+pub fn encode_push(buf: &mut Vec<u8>, iteration: u64, grads: &[f32]) {
+    buf.push(TAG_PUSH);
+    buf.extend_from_slice(&iteration.to_le_bytes());
+    put_f32s(buf, grads);
+}
+
+/// Appends a [`Message::Pull`] payload.
+pub fn encode_pull(buf: &mut Vec<u8>) {
+    buf.push(4);
+}
+
+/// Appends a [`Message::PullDelta`] payload built from a borrowed version slice.
+pub fn encode_pull_delta(buf: &mut Vec<u8>, known_versions: &[u64]) {
+    buf.push(TAG_PULL_DELTA);
+    put_u64s(buf, known_versions);
+}
+
+/// Appends a [`Message::PullReply`] payload built from borrowed server state — the
+/// server's zero-copy full-pull path.
+pub fn encode_pull_reply(buf: &mut Vec<u8>, clock: u64, shard_versions: &[u64], weights: &[f32]) {
+    buf.push(TAG_PULL_REPLY);
+    buf.extend_from_slice(&clock.to_le_bytes());
+    put_u64s(buf, shard_versions);
+    put_f32s(buf, weights);
+}
+
+/// Appends a [`Message::PullReplyDelta`] payload from an iterator of
+/// `(shard, version, weights)` updates — the server's zero-copy delta path (shard
+/// weights are memcpy'd straight from the store into the frame buffer).
+pub fn encode_pull_reply_delta<'a>(
+    buf: &mut Vec<u8>,
+    clock: u64,
+    updates: impl Iterator<Item = (u32, u64, &'a [f32])>,
+) {
+    buf.push(TAG_PULL_REPLY_DELTA);
+    buf.extend_from_slice(&clock.to_le_bytes());
+    // The update count is only known after iterating; write a placeholder and patch.
+    let count_at = buf.len();
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let mut count: u32 = 0;
+    for (shard, version, weights) in updates {
+        buf.extend_from_slice(&shard.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
+        put_f32s(buf, weights);
+        count += 1;
+    }
+    buf[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, values: &[f32]) {
+    let len = u32::try_from(values.len()).expect("vector fits in u32");
+    buf.extend_from_slice(&len.to_le_bytes());
+    extend_f32_bytes(buf, values);
+}
+
+fn put_u64s(buf: &mut Vec<u8>, values: &[u64]) {
+    let len = u32::try_from(values.len()).expect("vector fits in u32");
+    buf.extend_from_slice(&len.to_le_bytes());
+    extend_u64_bytes(buf, values);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
 
 /// Deserializes one payload produced by [`encode`]. Strict: rejects unknown tags,
 /// truncation and trailing bytes.
@@ -244,7 +530,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
                 config_digest: r.u64()?,
             }
         }
-        2 => Message::Push {
+        TAG_PUSH => Message::Push {
             iteration: r.u64()?,
             grads: r.f32s()?,
         },
@@ -253,7 +539,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             version: r.u64()?,
         },
         4 => Message::Pull,
-        5 => Message::PullReply {
+        TAG_PULL_REPLY => Message::PullReply {
             clock: r.u64()?,
             shard_versions: r.u64s()?,
             weights: r.f32s()?,
@@ -263,15 +549,145 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             epochs: r.u64()?,
             waiting_time_s: f64::from_bits(r.u64()?),
         },
-        7 => Message::Shutdown { reason: r.u8()? },
+        TAG_SHUTDOWN => Message::Shutdown { reason: r.u8()? },
+        TAG_PULL_DELTA => Message::PullDelta {
+            known_versions: r.u64s()?,
+        },
+        TAG_PULL_REPLY_DELTA => {
+            let clock = r.u64()?;
+            let count = r.delta_update_count()?;
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let shard = r.u32()?;
+                let version = r.u64()?;
+                let weights = r.f32s()?;
+                updates.push(ShardUpdate {
+                    shard,
+                    version,
+                    weights,
+                });
+            }
+            Message::PullReplyDelta { clock, updates }
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     r.finish()?;
     Ok(msg)
 }
 
+/// Decodes a [`Message::Push`] payload into a caller-owned gradient buffer (cleared
+/// first; no allocation once warm) and returns the push's iteration number. Same
+/// strictness as [`decode`].
+///
+/// Returns [`WireError::UnknownTag`] if the payload is not a `Push`.
+pub fn decode_push_into(payload: &[u8], grads: &mut Vec<f32>) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != TAG_PUSH {
+        return Err(WireError::UnknownTag(tag));
+    }
+    let iteration = r.u64()?;
+    grads.clear();
+    r.f32s_into(grads)?;
+    r.finish()?;
+    Ok(iteration)
+}
+
+/// Decodes a [`Message::PullDelta`] payload into a caller-owned version buffer
+/// (cleared first; no allocation once warm). Same strictness as [`decode`].
+///
+/// Returns [`WireError::UnknownTag`] if the payload is not a `PullDelta`.
+pub fn decode_pull_delta_into(payload: &[u8], known: &mut Vec<u64>) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != TAG_PULL_DELTA {
+        return Err(WireError::UnknownTag(tag));
+    }
+    known.clear();
+    r.u64s_into(known)?;
+    r.finish()?;
+    Ok(())
+}
+
+/// What [`apply_pull_reply`] reconstructed from a pull reply payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullApplied {
+    /// Server weight version at reply time.
+    pub clock: u64,
+    /// Whether the reply was a full [`Message::PullReply`] (versus a delta).
+    pub full: bool,
+    /// Number of shards whose weights this reply carried.
+    pub shards_updated: usize,
+}
+
+/// Applies a pull reply payload — full ([`Message::PullReply`]) or incremental
+/// ([`Message::PullReplyDelta`]) — to a worker's cached weight vector and per-shard
+/// version vector, in place. This is the worker's zero-copy receive path: a full reply
+/// overwrites both buffers wholesale; a delta memcpys each update into its shard's key
+/// range (derived via [`dssp_ps::shard_range`]) and bumps that shard's cached version.
+///
+/// Strict like [`decode`], plus layout validation: a delta against an empty cache, an
+/// out-of-range shard index, or a weight run that does not exactly fill its shard's
+/// key range is rejected with [`WireError::BadShard`].
+///
+/// Returns [`WireError::UnknownTag`] if the payload is neither reply kind.
+pub fn apply_pull_reply(
+    payload: &[u8],
+    weights: &mut Vec<f32>,
+    versions: &mut Vec<u64>,
+) -> Result<PullApplied, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    match tag {
+        TAG_PULL_REPLY => {
+            let clock = r.u64()?;
+            versions.clear();
+            r.u64s_into(versions)?;
+            weights.clear();
+            r.f32s_into(weights)?;
+            r.finish()?;
+            Ok(PullApplied {
+                clock,
+                full: true,
+                shards_updated: versions.len(),
+            })
+        }
+        TAG_PULL_REPLY_DELTA => {
+            let clock = r.u64()?;
+            let count = r.delta_update_count()?;
+            for _ in 0..count {
+                let shard = r.u32()?;
+                let version = r.u64()?;
+                let declared = r.f32_run_len()?;
+                let bytes = r.take(declared * 4)?;
+                if (shard as usize) >= versions.len() {
+                    return Err(WireError::BadShard { shard });
+                }
+                let (start, end) =
+                    dssp_ps::shard_range(weights.len(), versions.len(), shard as usize);
+                if declared != end - start {
+                    return Err(WireError::BadShard { shard });
+                }
+                copy_f32s_from_le(bytes, &mut weights[start..end]);
+                versions[shard as usize] = version;
+            }
+            r.finish()?;
+            Ok(PullApplied {
+                clock,
+                full: false,
+                shards_updated: count,
+            })
+        }
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
 /// Writes one length-prefixed frame to `w`, reusing `scratch` as the serialization
-/// buffer (cleared first).
+/// buffer (cleared first). The header and payload go out in one vectored write.
 pub fn write_frame<W: std::io::Write>(
     w: &mut W,
     msg: &Message,
@@ -279,15 +695,51 @@ pub fn write_frame<W: std::io::Write>(
 ) -> std::io::Result<()> {
     scratch.clear();
     encode(msg, scratch);
-    let len = u32::try_from(scratch.len()).expect("payload fits in u32");
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(scratch)?;
+    write_frame_payload(w, scratch)
+}
+
+/// Writes an already-encoded payload as one length-prefixed frame, using a vectored
+/// `write_all` so header and payload reach the socket in a single syscall without
+/// being copied into a combined buffer first.
+pub fn write_frame_payload<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    let header = len.to_le_bytes();
+    let mut head: &[u8] = &header;
+    let mut body: &[u8] = payload;
+    while !head.is_empty() || !body.is_empty() {
+        let written = if head.is_empty() {
+            w.write(body)
+        } else {
+            let slices = [std::io::IoSlice::new(head), std::io::IoSlice::new(body)];
+            w.write_vectored(&slices)
+        };
+        match written {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => {
+                let from_head = n.min(head.len());
+                head = &head[from_head..];
+                body = &body[n - from_head..];
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     w.flush()
 }
 
-/// Reads one length-prefixed frame from `r` and decodes it. Returns
+/// Reads one length-prefixed frame from `r` into the caller-owned `payload` buffer
+/// (cleared first; no allocation once the buffer reached the connection's steady-state
+/// frame size) and returns the payload length. Returns
 /// [`crate::NetError::Disconnected`] on a clean EOF at a frame boundary.
-pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Message, crate::NetError> {
+pub fn read_frame_payload<R: std::io::Read>(
+    r: &mut R,
+    payload: &mut Vec<u8>,
+) -> Result<usize, crate::NetError> {
     let mut len_bytes = [0u8; 4];
     match r.read_exact(&mut len_bytes) {
         Ok(()) => {}
@@ -300,27 +752,19 @@ pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Message, crate::NetErro
     if len > MAX_FRAME_LEN {
         return Err(WireError::Oversized { len }.into());
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // No clear() first: resize alone truncates or zero-extends to exactly `len`, so a
+    // steady-state constant-size frame costs no memset before read_exact overwrites it.
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(len)
+}
+
+/// Reads one length-prefixed frame from `r` and decodes it. Returns
+/// [`crate::NetError::Disconnected`] on a clean EOF at a frame boundary.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Message, crate::NetError> {
+    let mut payload = Vec::new();
+    read_frame_payload(r, &mut payload)?;
     Ok(decode(&payload)?)
-}
-
-fn put_f32s(buf: &mut Vec<u8>, values: &[f32]) {
-    let len = u32::try_from(values.len()).expect("vector fits in u32");
-    buf.extend_from_slice(&len.to_le_bytes());
-    buf.reserve(values.len() * 4);
-    for v in values {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-}
-
-fn put_u64s(buf: &mut Vec<u8>, values: &[u64]) {
-    let len = u32::try_from(values.len()).expect("vector fits in u32");
-    buf.extend_from_slice(&len.to_le_bytes());
-    buf.reserve(values.len() * 8);
-    for v in values {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
 }
 
 /// Bounds-checked little-endian payload reader.
@@ -360,28 +804,55 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+    /// Reads an f32 run's length prefix and validates it against the remaining bytes.
+    fn f32_run_len(&mut self) -> Result<usize, WireError> {
         let declared = self.u32()? as usize;
         if declared.saturating_mul(4) > self.bytes.len() - self.pos {
             return Err(WireError::BadLength { declared });
         }
-        let mut out = Vec::with_capacity(declared);
-        for _ in 0..declared {
-            out.push(f32::from_le_bytes(self.take(4)?.try_into().unwrap()));
-        }
+        Ok(declared)
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let mut out = Vec::new();
+        self.f32s_into(&mut out)?;
         Ok(out)
     }
 
+    /// Appends a length-prefixed f32 run to `out` with one bulk conversion.
+    fn f32s_into(&mut self, out: &mut Vec<f32>) -> Result<(), WireError> {
+        let declared = self.f32_run_len()?;
+        let bytes = self.take(declared * 4)?;
+        append_f32s_from_le(bytes, out);
+        Ok(())
+    }
+
     fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let mut out = Vec::new();
+        self.u64s_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends a length-prefixed u64 run to `out` with one bulk conversion.
+    fn u64s_into(&mut self, out: &mut Vec<u64>) -> Result<(), WireError> {
         let declared = self.u32()? as usize;
         if declared.saturating_mul(8) > self.bytes.len() - self.pos {
             return Err(WireError::BadLength { declared });
         }
-        let mut out = Vec::with_capacity(declared);
-        for _ in 0..declared {
-            out.push(self.u64()?);
+        let bytes = self.take(declared * 8)?;
+        append_u64s_from_le(bytes, out);
+        Ok(())
+    }
+
+    /// Reads a delta-reply update count and validates it against the minimum encoded
+    /// size of an update (shard + version + empty weight run = 16 bytes), so an absurd
+    /// count is rejected before any allocation.
+    fn delta_update_count(&mut self) -> Result<usize, WireError> {
+        let declared = self.u32()? as usize;
+        if declared.saturating_mul(16) > self.bytes.len() - self.pos {
+            return Err(WireError::BadLength { declared });
         }
-        Ok(out)
+        Ok(declared)
     }
 
     fn finish(&self) -> Result<(), WireError> {
@@ -428,6 +899,24 @@ mod tests {
                 shard_versions: vec![99, 98, 99],
                 weights: vec![0.125; 9],
             },
+            Message::PullDelta {
+                known_versions: vec![4, 0, u64::MAX],
+            },
+            Message::PullReplyDelta {
+                clock: 12,
+                updates: vec![
+                    ShardUpdate {
+                        shard: 0,
+                        version: 12,
+                        weights: vec![1.0, 2.0],
+                    },
+                    ShardUpdate {
+                        shard: 3,
+                        version: 11,
+                        weights: vec![],
+                    },
+                ],
+            },
             Message::Done {
                 iterations: 24,
                 epochs: 2,
@@ -465,18 +954,193 @@ mod tests {
     }
 
     #[test]
-    fn truncated_payloads_are_rejected() {
-        let mut buf = Vec::new();
+    fn bulk_conversions_match_the_per_element_reference() {
+        let values: Vec<f32> = (0..257)
+            .map(|i| f32::from_bits(0x9e37_79b9_u32.wrapping_mul(i as u32 + 1)))
+            .collect();
+        let mut bulk = Vec::new();
+        extend_f32_bytes(&mut bulk, &values);
+        let mut reference = Vec::new();
+        for v in &values {
+            reference.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bulk, reference);
+        let mut decoded = Vec::new();
+        append_f32s_from_le(&bulk, &mut decoded);
+        assert_eq!(
+            decoded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let u64s: Vec<u64> = (0..129).map(|i| u64::MAX / 3 + i * 0x1_0001).collect();
+        let mut bulk = Vec::new();
+        extend_u64_bytes(&mut bulk, &u64s);
+        let mut reference = Vec::new();
+        for v in &u64s {
+            reference.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bulk, reference);
+        let mut decoded = Vec::new();
+        append_u64s_from_le(&bulk, &mut decoded);
+        assert_eq!(decoded, u64s);
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_owned_message_encoding() {
+        let grads = vec![0.5, -1.5, 3.25];
+        let mut borrowed = Vec::new();
+        encode_push(&mut borrowed, 9, &grads);
+        let mut owned = Vec::new();
         encode(
             &Message::Push {
+                iteration: 9,
+                grads: grads.clone(),
+            },
+            &mut owned,
+        );
+        assert_eq!(borrowed, owned);
+
+        let known = vec![3u64, 7, 0];
+        let mut borrowed = Vec::new();
+        encode_pull_delta(&mut borrowed, &known);
+        let mut owned = Vec::new();
+        encode(
+            &Message::PullDelta {
+                known_versions: known,
+            },
+            &mut owned,
+        );
+        assert_eq!(borrowed, owned);
+
+        let updates = vec![ShardUpdate {
+            shard: 1,
+            version: 5,
+            weights: vec![2.0, 4.0],
+        }];
+        let mut borrowed = Vec::new();
+        encode_pull_reply_delta(
+            &mut borrowed,
+            77,
+            updates
+                .iter()
+                .map(|u| (u.shard, u.version, u.weights.as_slice())),
+        );
+        let mut owned = Vec::new();
+        encode(&Message::PullReplyDelta { clock: 77, updates }, &mut owned);
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn pooled_decoders_match_the_owned_decode() {
+        let mut buf = Vec::new();
+        encode_push(&mut buf, 21, &[1.0, -2.0]);
+        let mut grads = vec![9.0; 7]; // stale content must be cleared
+        assert_eq!(decode_push_into(&buf, &mut grads), Ok(21));
+        assert_eq!(grads, vec![1.0, -2.0]);
+        assert_eq!(
+            decode_push_into(&[4u8], &mut grads),
+            Err(WireError::UnknownTag(4))
+        );
+
+        let mut buf = Vec::new();
+        encode_pull_delta(&mut buf, &[5, 6]);
+        let mut known = vec![0u64; 3];
+        decode_pull_delta_into(&buf, &mut known).unwrap();
+        assert_eq!(known, vec![5, 6]);
+    }
+
+    #[test]
+    fn apply_pull_reply_reconstructs_full_and_delta_replies() {
+        let mut weights = Vec::new();
+        let mut versions = Vec::new();
+        // Full reply establishes the cache.
+        let mut buf = Vec::new();
+        encode_pull_reply(&mut buf, 10, &[1, 1, 1], &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let applied = apply_pull_reply(&buf, &mut weights, &mut versions).unwrap();
+        assert_eq!(
+            applied,
+            PullApplied {
+                clock: 10,
+                full: true,
+                shards_updated: 3
+            }
+        );
+        // Layout of 5 params over 3 shards: [0..2), [2..4), [4..5).
+        // Delta updates shards 0 and 2.
+        let mut buf = Vec::new();
+        encode_pull_reply_delta(
+            &mut buf,
+            12,
+            vec![(0u32, 3u64, &[-1.0f32, -2.0f32][..]), (2, 2, &[9.0][..])].into_iter(),
+        );
+        let applied = apply_pull_reply(&buf, &mut weights, &mut versions).unwrap();
+        assert_eq!(
+            applied,
+            PullApplied {
+                clock: 12,
+                full: false,
+                shards_updated: 2
+            }
+        );
+        assert_eq!(weights, vec![-1.0, -2.0, 2.0, 3.0, 9.0]);
+        assert_eq!(versions, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn apply_pull_reply_rejects_incompatible_deltas() {
+        let mut weights = vec![0.0; 4];
+        let mut versions = vec![0u64; 2];
+        // Out-of-range shard index.
+        let mut buf = Vec::new();
+        encode_pull_reply_delta(&mut buf, 1, vec![(5u32, 1u64, &[1.0f32][..])].into_iter());
+        assert_eq!(
+            apply_pull_reply(&buf, &mut weights, &mut versions),
+            Err(WireError::BadShard { shard: 5 })
+        );
+        // Wrong run length for the shard's key range ([0..2) expects 2 weights).
+        let mut buf = Vec::new();
+        encode_pull_reply_delta(&mut buf, 1, vec![(0u32, 1u64, &[1.0f32][..])].into_iter());
+        assert_eq!(
+            apply_pull_reply(&buf, &mut weights, &mut versions),
+            Err(WireError::BadShard { shard: 0 })
+        );
+        // Delta against an empty cache.
+        let mut empty_w = Vec::new();
+        let mut empty_v = Vec::new();
+        let mut buf = Vec::new();
+        encode_pull_reply_delta(&mut buf, 1, vec![(0u32, 1u64, &[][..])].into_iter());
+        assert_eq!(
+            apply_pull_reply(&buf, &mut empty_w, &mut empty_v),
+            Err(WireError::BadShard { shard: 0 })
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let mut messages = vec![
+            Message::Push {
                 iteration: 3,
                 grads: vec![1.0, 2.0],
             },
-            &mut buf,
-        );
-        for cut in 0..buf.len() {
-            let err = decode(&buf[..cut]);
-            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+            Message::PullDelta {
+                known_versions: vec![1, 2, 3],
+            },
+            Message::PullReplyDelta {
+                clock: 4,
+                updates: vec![ShardUpdate {
+                    shard: 0,
+                    version: 1,
+                    weights: vec![1.0, 2.0],
+                }],
+            },
+        ];
+        for msg in messages.drain(..) {
+            let mut buf = Vec::new();
+            encode(&msg, &mut buf);
+            for cut in 0..buf.len() {
+                let err = decode(&buf[..cut]);
+                assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+            }
         }
     }
 
@@ -512,6 +1176,11 @@ mod tests {
         buf.extend_from_slice(&7u64.to_le_bytes());
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode(&buf), Err(WireError::BadLength { .. })));
+        // Delta reply with a declared update count of u32::MAX but no data.
+        let mut buf = vec![TAG_PULL_REPLY_DELTA];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&buf), Err(WireError::BadLength { .. })));
     }
 
     #[test]
@@ -535,6 +1204,9 @@ mod tests {
                 iteration: 1,
                 grads: vec![0.5; 3],
             },
+            Message::PullDelta {
+                known_versions: vec![8, 9],
+            },
             Message::Shutdown {
                 reason: SHUTDOWN_SERVER_ERROR,
             },
@@ -552,5 +1224,66 @@ mod tests {
             read_frame(&mut cursor),
             Err(crate::NetError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn frame_payload_reader_reuses_its_buffer() {
+        let mut stream = Vec::new();
+        let mut scratch = Vec::new();
+        let big = Message::Push {
+            iteration: 1,
+            grads: vec![1.0; 64],
+        };
+        write_frame(&mut stream, &big, &mut scratch).unwrap();
+        write_frame(&mut stream, &Message::Pull, &mut scratch).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut payload = Vec::new();
+        let len = read_frame_payload(&mut cursor, &mut payload).unwrap();
+        assert_eq!(payload.len(), len);
+        let cap_after_big = payload.capacity();
+        let len = read_frame_payload(&mut cursor, &mut payload).unwrap();
+        assert_eq!(len, 1);
+        assert_eq!(decode(&payload), Ok(Message::Pull));
+        assert_eq!(payload.capacity(), cap_after_big, "buffer must be reused");
+    }
+
+    /// A writer that fragments every write to exercise the vectored-write resume loop.
+    struct TrickleWriter {
+        out: Vec<u8>,
+    }
+
+    impl std::io::Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(3);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            // Take at most 3 bytes from the first non-empty slice.
+            for b in bufs {
+                if !b.is_empty() {
+                    let n = b.len().min(3);
+                    self.out.extend_from_slice(&b[..n]);
+                    return Ok(n);
+                }
+            }
+            Ok(0)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_frame_writes_survive_partial_writes() {
+        let msg = Message::Push {
+            iteration: 5,
+            grads: vec![0.25; 11],
+        };
+        let mut scratch = Vec::new();
+        let mut trickle = TrickleWriter { out: Vec::new() };
+        write_frame(&mut trickle, &msg, &mut scratch).unwrap();
+        let mut cursor = std::io::Cursor::new(trickle.out);
+        assert_eq!(read_frame(&mut cursor).unwrap(), msg);
     }
 }

@@ -1,8 +1,19 @@
 //! The networked worker client: the same training step-loop as the threaded runtime
 //! ([`dssp_core::driver::WorkerStep`]), talking to the server over a
 //! [`WorkerTransport`].
+//!
+//! The steady-state loop reuses three buffers across the whole run — the cached
+//! weight vector, the cached per-shard version vector, and the gradient vector — so a
+//! TCP worker performs zero heap allocations per message: gradients are computed into
+//! the reused buffer and encoded straight from it ([`WorkerTransport::send_push`]),
+//! and pull replies are applied in place ([`WorkerTransport::pull_into`]), with
+//! delta replies memcpy'd into the stale shards' key ranges only. When
+//! `JobConfig::delta_pulls` is set (the default) every pull after the first sends the
+//! cached versions so the server ships only the shards that advanced; a fresh process
+//! (or a reconnect) starts with an empty cache and therefore always begins with a
+//! full pull.
 
-use crate::transport::WorkerTransport;
+use crate::transport::{PullOutcome, WorkerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK};
 use crate::NetError;
 use dssp_core::driver::{JobConfig, WorkerStep};
@@ -24,6 +35,10 @@ pub struct WorkerReport {
     pub granted_extra_total: u64,
     /// Per-shard versions reported by the last pull (length = server shard count).
     pub last_shard_versions: Vec<u64>,
+    /// Pull replies that arrived as full models (always ≥ 1: the initial pull).
+    pub full_pulls: u64,
+    /// Pull replies that arrived as shard deltas (0 when `delta_pulls` is off).
+    pub delta_pulls: u64,
     /// Whether the server shut the run down before this worker finished (chaos abort
     /// or server failure). The worker still exited cleanly.
     pub shutdown_early: bool,
@@ -52,8 +67,14 @@ pub fn run_worker(
         waiting_time_s: 0.0,
         granted_extra_total: 0,
         last_shard_versions: Vec::new(),
+        full_pulls: 0,
+        delta_pulls: 0,
         shutdown_early: false,
     };
+    // The three buffers of the steady-state loop, reused across every iteration.
+    let mut weights: Vec<f32> = Vec::new();
+    let mut versions: Vec<u64> = Vec::new();
+    let mut grads: Vec<f32> = Vec::new();
 
     transport.send(&Message::Hello {
         version: PROTOCOL_VERSION,
@@ -62,33 +83,22 @@ pub fn run_worker(
         config_digest: job.digest(),
     })?;
 
-    // Initial pull: fetch the server's starting weights.
-    transport.send(&Message::Pull)?;
-    let mut weights = match transport.recv()? {
-        Message::PullReply {
-            weights,
-            shard_versions,
-            ..
-        } => {
-            report.last_shard_versions = shard_versions;
-            weights
-        }
-        Message::Shutdown { .. } => {
+    // Initial pull: the version cache is empty, so this is always a full pull.
+    match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
+        PullOutcome::Applied(applied) => record_pull(&mut report, applied.full),
+        PullOutcome::Shutdown { .. } => {
             report.shutdown_early = true;
+            report.last_shard_versions = versions;
             return Ok(report);
         }
-        other => return Err(unexpected(rank, &other)),
-    };
+    }
 
     let target = step.target();
     for iter in 0..target {
-        let grads = step.compute_gradient(&weights);
+        step.compute_gradient_into(&weights, &mut grads);
         report.iterations = step.completed();
         report.epochs = step.epoch();
-        transport.send(&Message::Push {
-            iteration: iter + 1,
-            grads,
-        })?;
+        transport.send_push(iter + 1, &grads)?;
         if iter + 1 == target {
             break; // final push: report Done without waiting for the OK
         }
@@ -100,25 +110,18 @@ pub fn run_worker(
             }
             Message::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
+                report.last_shard_versions = versions;
                 return Ok(report);
             }
             other => return Err(unexpected(rank, &other)),
         }
-        transport.send(&Message::Pull)?;
-        match transport.recv()? {
-            Message::PullReply {
-                weights: fresh,
-                shard_versions,
-                ..
-            } => {
-                weights = fresh;
-                report.last_shard_versions = shard_versions;
-            }
-            Message::Shutdown { reason } => {
+        match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
+            PullOutcome::Applied(applied) => record_pull(&mut report, applied.full),
+            PullOutcome::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
+                report.last_shard_versions = versions;
                 return Ok(report);
             }
-            other => return Err(unexpected(rank, &other)),
         }
     }
 
@@ -134,14 +137,23 @@ pub fn run_worker(
         match transport.recv()? {
             Message::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK;
+                report.last_shard_versions = versions;
                 return Ok(report);
             }
             Message::PushReply { granted_extra, .. } => {
                 report.granted_extra_total += granted_extra;
             }
-            Message::PullReply { .. } => {}
+            Message::PullReply { .. } | Message::PullReplyDelta { .. } => {}
             other => return Err(unexpected(rank, &other)),
         }
+    }
+}
+
+fn record_pull(report: &mut WorkerReport, full: bool) {
+    if full {
+        report.full_pulls += 1;
+    } else {
+        report.delta_pulls += 1;
     }
 }
 

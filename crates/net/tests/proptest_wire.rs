@@ -2,7 +2,7 @@
 //! message kind, and corrupted frames (truncation, trailing bytes, absurd lengths) are
 //! rejected rather than misparsed.
 
-use dssp_net::wire::{decode, encode, Message, WireError, PROTOCOL_VERSION};
+use dssp_net::wire::{decode, encode, Message, ShardUpdate, WireError, PROTOCOL_VERSION};
 use proptest::prelude::*;
 
 /// Builds an arbitrary message from flat random draws (the proptest shim has no enum
@@ -20,7 +20,7 @@ fn build_message(
 ) -> Message {
     let floats = floats[..float_len.min(floats.len())].to_vec();
     let versions = versions[..version_len.min(versions.len())].to_vec();
-    match variant % 7 {
+    match variant % 9 {
         0 => Message::Hello {
             version: PROTOCOL_VERSION,
             rank: (a % 1024) as u32,
@@ -46,8 +46,23 @@ fn build_message(
             epochs: b,
             waiting_time_s: c,
         },
-        _ => Message::Shutdown {
+        6 => Message::Shutdown {
             reason: (a % 256) as u8,
+        },
+        7 => Message::PullDelta {
+            known_versions: versions,
+        },
+        _ => Message::PullReplyDelta {
+            clock: a,
+            updates: versions
+                .iter()
+                .enumerate()
+                .map(|(i, &version)| ShardUpdate {
+                    shard: (b % 512) as u32 + i as u32,
+                    version,
+                    weights: floats[..float_len.min(floats.len()).min(4 + i)].to_vec(),
+                })
+                .collect(),
         },
     }
 }
@@ -57,7 +72,7 @@ proptest! {
 
     #[test]
     fn encode_then_decode_is_the_identity(
-        variant in 0u32..7,
+        variant in 0u32..9,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -75,7 +90,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_rejected(
-        variant in 0u32..7,
+        variant in 0u32..9,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -96,7 +111,7 @@ proptest! {
 
     #[test]
     fn trailing_garbage_is_rejected(
-        variant in 0u32..7,
+        variant in 0u32..9,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,

@@ -1,0 +1,173 @@
+//! The zero-allocation guarantee of the networked frame path, enforced with a
+//! counting global allocator (the same technique `dssp-nn`'s `zero_alloc` test uses
+//! for the compute kernels): once every buffer pool is warm, a full
+//! push → reply → delta-pull round trip over **real TCP sockets** performs zero heap
+//! allocations — on the worker end (encode from borrowed gradients, pooled payload
+//! buffer, in-place delta apply), on the server command loop (borrowed-slice push
+//! handling, zero-copy pull replies, recycled bulk buffers), and on the connection
+//! reader thread (reused payload buffer, pool-fed bulk decodes). The counter is
+//! global, so allocations on *any* thread during the measured window fail the test.
+
+use dssp_net::transport::{PullOutcome, PullView};
+use dssp_net::{
+    Message, ServerTransport, TcpServerTransport, TcpWorkerTransport, WorkerTransport,
+    PROTOCOL_VERSION,
+};
+use dssp_ps::ShardedStore;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const DIM: usize = 4096;
+const SHARDS: usize = 8;
+const WARMUP: u64 = 10;
+const MEASURED: u64 = 50;
+
+/// The worker side: a fixed gradient pushed every iteration, followed by a delta
+/// pull — the exact steady-state message sequence of `run_worker`, minus the model
+/// compute (which has its own zero-allocation test in `dssp-nn`).
+fn worker_loop(addr: &str) {
+    let mut t = TcpWorkerTransport::connect(addr).expect("connect");
+    t.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        rank: 0,
+        num_workers: 1,
+        config_digest: 0,
+    })
+    .expect("hello");
+    let mut weights = Vec::new();
+    let mut versions = Vec::new();
+    let grads = vec![1e-3f32; DIM];
+    assert!(matches!(
+        t.pull_into(true, &mut weights, &mut versions).expect("initial pull"),
+        PullOutcome::Applied(applied) if applied.full
+    ));
+    for iter in 0..WARMUP + MEASURED {
+        t.send_push(iter + 1, &grads).expect("push");
+        match t.recv().expect("push reply") {
+            Message::PushReply { .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match t
+            .pull_into(true, &mut weights, &mut versions)
+            .expect("pull")
+        {
+            PullOutcome::Applied(applied) => assert!(!applied.full, "cache must stay warm"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    t.send(&Message::Done {
+        iterations: WARMUP + MEASURED,
+        epochs: 1,
+        waiting_time_s: 0.0,
+    })
+    .expect("done");
+}
+
+/// The server side: the same command-loop shape as `dssp_net::serve`'s fast path —
+/// apply the push to a sharded store, recycle the gradient buffer, reply, answer the
+/// delta pull from a borrowed view.
+fn serve_iterations(server: &mut TcpServerTransport, store: &mut ShardedStore, count: u64) {
+    let mut served = 0;
+    while served < count {
+        let (rank, msg) = server.recv().expect("recv");
+        match msg {
+            Message::Push { iteration, grads } => {
+                store.apply_all(&grads, 1e-3);
+                server.recycle_f32s(rank, grads);
+                server
+                    .send(
+                        rank,
+                        &Message::PushReply {
+                            granted_extra: 0,
+                            version: iteration,
+                        },
+                    )
+                    .expect("push reply");
+            }
+            Message::PullDelta { known_versions } => {
+                server
+                    .send_pull_reply(
+                        rank,
+                        &PullView {
+                            clock: 0,
+                            versions: store.versions(),
+                            offsets: store.offsets(),
+                            weights: store.as_flat(),
+                            known: Some(&known_versions),
+                        },
+                    )
+                    .expect("delta reply");
+                server.recycle_u64s(rank, known_versions);
+                served += 1;
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn steady_state_tcp_round_trips_do_not_allocate_on_either_end() {
+    let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().to_string();
+    let worker = std::thread::spawn(move || worker_loop(&addr));
+
+    let mut store = ShardedStore::new(vec![0.5f32; DIM], SHARDS);
+    // Handshake + initial full pull.
+    let (rank, hello) = server.recv().expect("hello");
+    assert!(matches!(hello, Message::Hello { .. }));
+    let (_, first_pull) = server.recv().expect("initial pull");
+    assert!(matches!(first_pull, Message::Pull));
+    server
+        .send_pull_reply(
+            rank,
+            &PullView {
+                clock: 0,
+                versions: store.versions(),
+                offsets: store.offsets(),
+                weights: store.as_flat(),
+                known: None,
+            },
+        )
+        .expect("full reply");
+
+    // Warm-up: buffers and pools grow to steady-state size; allocations expected.
+    serve_iterations(&mut server, &mut store, WARMUP);
+
+    // Measured window: the worker thread, the connection reader thread and this
+    // command loop are all in steady state — the global counter must not move.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    serve_iterations(&mut server, &mut store, MEASURED);
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "{MEASURED} steady-state push/pull round trips performed {during} heap allocations"
+    );
+
+    // Drain the Done so the worker exits cleanly.
+    let (_, done) = server.recv().expect("done");
+    assert!(matches!(done, Message::Done { .. }));
+    worker.join().expect("worker thread");
+}

@@ -43,10 +43,22 @@ impl AggregationMode {
 
 /// Accumulates pushed gradients according to an [`AggregationMode`] and emits the
 /// averaged gradient that should actually be applied to the weights.
+///
+/// The hot path is allocation-free: [`GradientBuffer::add_in_place`] accumulates into a
+/// preallocated sum buffer and averages into a second preallocated buffer, so buffered
+/// steady state performs no heap allocation per push (a regression test enforces this
+/// with a counting allocator). The `Option<Vec<f32>>`-returning [`GradientBuffer::add`]
+/// / [`GradientBuffer::flush`] remain as allocating conveniences for tests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GradientBuffer {
     mode: AggregationMode,
     sums: Vec<f32>,
+    /// The averaged update of the most recent emission (valid while `ready`).
+    avg: Vec<f32>,
+    /// Whether `avg` holds the update produced by the last `add_in_place`/
+    /// `flush_in_place` call (per-push mode never sets it: the pushed gradient itself
+    /// is the update and no copy is made).
+    ready: bool,
     count: usize,
     emitted: u64,
     absorbed: u64,
@@ -68,6 +80,8 @@ impl GradientBuffer {
         Self {
             mode,
             sums: vec![0.0; dim],
+            avg: Vec::new(),
+            ready: false,
             count: 0,
             emitted: 0,
             absorbed: 0,
@@ -94,20 +108,23 @@ impl GradientBuffer {
         self.absorbed
     }
 
-    /// Adds one pushed gradient. Returns the gradient the server should apply now, if
-    /// any: the push itself in per-push mode, or the buffer average once the buffer
-    /// reaches its capacity.
+    /// Absorbs one pushed gradient in place. Returns `true` when an update is ready to
+    /// apply: in per-push mode the update is the pushed gradient itself
+    /// ([`GradientBuffer::pending_update`] returns `None` and the caller applies
+    /// `grads` directly, with no copy); in buffered mode the averaged buffer is exposed
+    /// through [`GradientBuffer::pending_update`] once `capacity` pushes accumulated.
     ///
     /// # Panics
     ///
     /// Panics if the gradient length differs from the buffer dimension.
-    pub fn add(&mut self, grads: &[f32]) -> Option<Vec<f32>> {
+    pub fn add_in_place(&mut self, grads: &[f32]) -> bool {
         assert_eq!(grads.len(), self.sums.len(), "gradient length mismatch");
         self.absorbed += 1;
+        self.ready = false;
         match self.mode {
             AggregationMode::PerPush => {
                 self.emitted += 1;
-                Some(grads.to_vec())
+                true
             }
             AggregationMode::Buffered { capacity } => {
                 for (s, &g) in self.sums.iter_mut().zip(grads) {
@@ -115,31 +132,71 @@ impl GradientBuffer {
                 }
                 self.count += 1;
                 if self.count >= capacity {
-                    Some(self.drain())
+                    self.emit();
+                    true
                 } else {
-                    None
+                    false
                 }
             }
         }
     }
 
-    /// Applies whatever is currently buffered, returning the averaged gradient if the
-    /// buffer was non-empty. Used at the end of training so no pushed work is dropped.
-    pub fn flush(&mut self) -> Option<Vec<f32>> {
+    /// The averaged update produced by the last [`GradientBuffer::add_in_place`] /
+    /// [`GradientBuffer::flush_in_place`] call that returned `true`, or `None` in
+    /// per-push mode (where the pushed gradient itself is the update).
+    pub fn pending_update(&self) -> Option<&[f32]> {
+        self.ready.then(|| self.avg.as_slice())
+    }
+
+    /// Emits whatever is currently buffered (a no-op returning `false` when empty);
+    /// the average is exposed through [`GradientBuffer::pending_update`]. Used at the
+    /// end of training so no pushed work is dropped.
+    pub fn flush_in_place(&mut self) -> bool {
+        self.ready = false;
         if self.count == 0 {
-            None
+            false
         } else {
-            Some(self.drain())
+            self.emit();
+            true
         }
     }
 
-    fn drain(&mut self) -> Vec<f32> {
+    /// Adds one pushed gradient. Returns the gradient the server should apply now, if
+    /// any: the push itself in per-push mode, or the buffer average once the buffer
+    /// reaches its capacity. Allocating convenience over
+    /// [`GradientBuffer::add_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length differs from the buffer dimension.
+    pub fn add(&mut self, grads: &[f32]) -> Option<Vec<f32>> {
+        if self.add_in_place(grads) {
+            Some(self.pending_update().unwrap_or(grads).to_vec())
+        } else {
+            None
+        }
+    }
+
+    /// Applies whatever is currently buffered, returning the averaged gradient if the
+    /// buffer was non-empty. Allocating convenience over
+    /// [`GradientBuffer::flush_in_place`].
+    pub fn flush(&mut self) -> Option<Vec<f32>> {
+        if self.flush_in_place() {
+            Some(self.avg.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Averages `sums` into the preallocated `avg` buffer and resets the accumulator.
+    fn emit(&mut self) {
         let n = self.count as f32;
-        let averaged: Vec<f32> = self.sums.iter().map(|&s| s / n).collect();
+        self.avg.clear();
+        self.avg.extend(self.sums.iter().map(|&s| s / n));
         self.sums.iter_mut().for_each(|s| *s = 0.0);
         self.count = 0;
         self.emitted += 1;
-        averaged
+        self.ready = true;
     }
 }
 
@@ -186,6 +243,25 @@ mod tests {
         assert_eq!(buf.add(&[4.0]), Some(vec![3.0]));
         buf.add(&[10.0]);
         assert_eq!(buf.add(&[20.0]), Some(vec![15.0]));
+    }
+
+    #[test]
+    fn in_place_api_exposes_the_update_without_copying() {
+        let mut buf = GradientBuffer::new(2, AggregationMode::Buffered { capacity: 2 });
+        assert!(!buf.add_in_place(&[1.0, 0.0]));
+        assert_eq!(buf.pending_update(), None);
+        assert!(buf.add_in_place(&[3.0, 2.0]));
+        assert_eq!(buf.pending_update(), Some(&[2.0, 1.0][..]));
+        // The pending update is invalidated by the next absorb.
+        assert!(!buf.add_in_place(&[5.0, 5.0]));
+        assert_eq!(buf.pending_update(), None);
+        assert!(buf.flush_in_place());
+        assert_eq!(buf.pending_update(), Some(&[5.0, 5.0][..]));
+        assert!(!buf.flush_in_place());
+        // Per-push mode signals "apply the push itself": ready but no stored copy.
+        let mut per_push = GradientBuffer::new(2, AggregationMode::PerPush);
+        assert!(per_push.add_in_place(&[7.0, 8.0]));
+        assert_eq!(per_push.pending_update(), None);
     }
 
     #[test]

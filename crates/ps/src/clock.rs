@@ -49,21 +49,25 @@ impl ClockTable {
         !self.retired[worker]
     }
 
-    /// Iterator over the counters of active (non-retired) workers; falls back to all
-    /// workers when every worker has retired so min/max queries stay well-defined.
-    fn active_counts(&self) -> Vec<u64> {
-        let active: Vec<u64> = self
-            .counts
-            .iter()
-            .zip(&self.retired)
-            .filter(|(_, &r)| !r)
-            .map(|(&c, _)| c)
-            .collect();
-        if active.is_empty() {
-            self.counts.clone()
-        } else {
-            active
+    /// `(min, max)` over the counters of active (non-retired) workers; falls back to
+    /// all workers when every worker has retired so min/max queries stay well-defined.
+    /// A single allocation-free pass — this runs on every push.
+    fn active_min_max(&self) -> (u64, u64) {
+        let mut min = u64::MAX;
+        let mut max = 0;
+        let mut any_active = false;
+        for (&c, &r) in self.counts.iter().zip(&self.retired) {
+            if !r {
+                any_active = true;
+                min = min.min(c);
+                max = max.max(c);
+            }
         }
+        if !any_active {
+            min = *self.counts.iter().min().expect("at least one worker");
+            max = *self.counts.iter().max().expect("at least one worker");
+        }
+        (min, max)
     }
 
     /// The number of pushes received from `worker`.
@@ -88,21 +92,13 @@ impl ClockTable {
     /// The smallest counter value among active workers (the slowest worker's iteration
     /// count).
     pub fn slowest_count(&self) -> u64 {
-        *self
-            .active_counts()
-            .iter()
-            .min()
-            .expect("non-empty by construction")
+        self.active_min_max().0
     }
 
     /// The largest counter value among active workers (the fastest worker's iteration
     /// count).
     pub fn fastest_count(&self) -> u64 {
-        *self
-            .active_counts()
-            .iter()
-            .max()
-            .expect("non-empty by construction")
+        self.active_min_max().1
     }
 
     /// An active worker with the smallest counter (lowest id wins ties).

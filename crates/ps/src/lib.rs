@@ -50,6 +50,6 @@ pub use aggregator::{AggregationMode, GradientBuffer};
 pub use clock::{ClockTable, IntervalTracker, WorkerId};
 pub use controller::{ControllerDecision, IntervalEstimator, SyncController};
 pub use policy::{Asp, Bsp, Dssp, PolicyCtx, PolicyKind, Ssp, SyncPolicy};
-pub use server::{ParameterServer, PushResult, ServerConfig, ServerStats};
-pub use sharded::ShardedStore;
+pub use server::{ParameterServer, PushDecision, PushResult, ServerConfig, ServerStats};
+pub use sharded::{delta_compatible, shard_range, ShardedStore};
 pub use staleness::StalenessTracker;

@@ -55,6 +55,21 @@ impl ServerConfig {
     }
 }
 
+/// Outcome of one push request as reported by the allocation-free
+/// [`ParameterServer::handle_push_into`] (releases go to a caller-owned buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushDecision {
+    /// Whether the pushing worker may start its next iteration immediately
+    /// (the `OK` signal of Algorithm 1).
+    pub ok_now: bool,
+    /// The server weight version (total pushes applied) after this push.
+    pub version: u64,
+    /// Extra-iteration credits the DSSP controller granted *at this push* (`r*` of
+    /// Algorithm 2; always 0 for BSP/ASP/SSP and for pushes that spend an existing
+    /// credit).
+    pub granted_extra: u64,
+}
+
 /// Outcome of one push request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PushResult {
@@ -124,6 +139,9 @@ pub struct ParameterServer {
     intervals: IntervalTracker,
     policy: Box<dyn SyncPolicy>,
     blocked: Vec<WorkerId>,
+    /// Reusable scratch for [`ParameterServer::drain_released_into`] so the
+    /// still-blocked survivors can be rebuilt without allocating on the push path.
+    blocked_scratch: Vec<WorkerId>,
     stats: ServerStats,
     staleness: StalenessTracker,
     buffer: GradientBuffer,
@@ -166,6 +184,7 @@ impl ParameterServer {
             intervals: IntervalTracker::new(config.num_workers),
             policy,
             blocked: Vec::new(),
+            blocked_scratch: Vec::new(),
             stats: ServerStats::default(),
             staleness,
             buffer,
@@ -236,17 +255,45 @@ impl ParameterServer {
     }
 
     /// Handles a push request from `worker` carrying mini-batch gradients, at time
-    /// `now` (seconds).
-    ///
-    /// The gradients are applied to the global weights immediately (Algorithm 1, server
-    /// line 2), the worker's clock is incremented, and the policy decides whether the
-    /// worker gets its `OK` now or must wait.
+    /// `now` (seconds). Allocating convenience over
+    /// [`ParameterServer::handle_push_into`].
     ///
     /// # Panics
     ///
     /// Panics if `grads.len()` differs from the parameter vector length or the worker id
     /// is out of range.
     pub fn handle_push(&mut self, worker: WorkerId, grads: &[f32], now: f64) -> PushResult {
+        let mut released = Vec::new();
+        let decision = self.handle_push_into(worker, grads, now, &mut released);
+        PushResult {
+            ok_now: decision.ok_now,
+            released,
+            version: decision.version,
+            granted_extra: decision.granted_extra,
+        }
+    }
+
+    /// Handles a push request from `worker` carrying mini-batch gradients, at time
+    /// `now` (seconds), appending any released workers to the caller-owned `released`
+    /// buffer (not cleared first).
+    ///
+    /// The gradients are applied to the global weights immediately (Algorithm 1, server
+    /// line 2), the worker's clock is incremented, and the policy decides whether the
+    /// worker gets its `OK` now or must wait. This is the networked server's hot path:
+    /// with warm buffers it performs no heap allocation (gradient aggregation
+    /// accumulates in place, the release scan reuses member scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the parameter vector length or the worker id
+    /// is out of range.
+    pub fn handle_push_into(
+        &mut self,
+        worker: WorkerId,
+        grads: &[f32],
+        now: f64,
+        released: &mut Vec<WorkerId>,
+    ) -> PushDecision {
         assert_eq!(
             grads.len(),
             self.store.len(),
@@ -257,10 +304,11 @@ impl ParameterServer {
         assert!(worker < self.config.num_workers, "worker id out of range");
 
         // Fold the push into the weights according to the aggregation mode: per-push
-        // aggregation applies it immediately, buffered aggregation applies the buffer
-        // average once enough pushes have accumulated.
-        if let Some(update) = self.buffer.add(grads) {
-            self.optimizer.step(self.store.flat_mut(), &update);
+        // aggregation applies the pushed gradient itself (no copy), buffered
+        // aggregation applies the in-place buffer average once enough accumulated.
+        if self.buffer.add_in_place(grads) {
+            let update = self.buffer.pending_update().unwrap_or(grads);
+            self.optimizer.step(self.store.flat_mut(), update);
             self.store.bump_all_versions();
         }
         self.version += 1;
@@ -287,24 +335,30 @@ impl ParameterServer {
             self.blocked.push(worker);
         }
 
-        let released = self.drain_released(now, if ok_now { None } else { Some(worker) });
-        PushResult {
+        self.drain_released_into(now, if ok_now { None } else { Some(worker) }, released);
+        PushDecision {
             ok_now,
-            released,
             version: self.version,
             granted_extra,
         }
     }
 
-    /// Re-evaluates blocked workers after a clock change and returns those released.
-    fn drain_released(&mut self, now: f64, just_blocked: Option<WorkerId>) -> Vec<WorkerId> {
-        let mut released = Vec::new();
-        let mut still_blocked = Vec::new();
-        let blocked = std::mem::take(&mut self.blocked);
-        for w in blocked {
+    /// Re-evaluates blocked workers after a clock change, appending those released to
+    /// `released`. Preserves the blocking order of the survivors and allocates nothing
+    /// once the member scratch is warm.
+    fn drain_released_into(
+        &mut self,
+        now: f64,
+        just_blocked: Option<WorkerId>,
+        released: &mut Vec<WorkerId>,
+    ) {
+        std::mem::swap(&mut self.blocked, &mut self.blocked_scratch);
+        self.blocked.clear();
+        for i in 0..self.blocked_scratch.len() {
+            let w = self.blocked_scratch[i];
             // The worker that was blocked by this very push cannot be released by it.
             if Some(w) == just_blocked {
-                still_blocked.push(w);
+                self.blocked.push(w);
                 continue;
             }
             let free = self.policy.may_release(PolicyCtx {
@@ -317,17 +371,37 @@ impl ParameterServer {
                 self.stats.releases += 1;
                 released.push(w);
             } else {
-                still_blocked.push(w);
+                self.blocked.push(w);
             }
         }
-        self.blocked = still_blocked;
-        released
+        self.blocked_scratch.clear();
     }
 
-    /// Pulls the current weights, copying them into a fresh vector (what a worker's
-    /// `pull` request returns before it overwrites its local replica).
-    pub fn pull(&self) -> Vec<f32> {
-        self.store.pull_all()
+    /// Copies the current weights into `out` (cleared first) — what a worker's `pull`
+    /// request returns before it overwrites its local replica. A bounds-checked memcpy
+    /// into the caller-owned buffer; nothing is allocated once `out` is warm.
+    pub fn pull_into(&self, out: &mut Vec<f32>) {
+        self.store.pull_into(out);
+    }
+
+    /// The incremental pull: copies only the shards stale relative to the client's
+    /// `known` version vector into caller-owned buffers (see
+    /// [`ShardedStore::pull_delta_into`]); returns the number of shards shipped. The
+    /// TCP transport bypasses this copy entirely — it encodes stale ranges straight
+    /// from [`ParameterServer::store`] into the frame buffer via its `PullView` — but
+    /// this is the storage-level form for substrates that need owned buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `known` has the wrong length (check
+    /// [`ShardedStore::delta_compatible`] first).
+    pub fn pull_delta_into(
+        &self,
+        known: &[u64],
+        meta: &mut Vec<(u32, u64)>,
+        weights: &mut Vec<f32>,
+    ) -> usize {
+        self.store.pull_delta_into(known, meta, weights)
     }
 
     /// Marks a worker as retired (it has completed its configured epochs and will push
@@ -335,7 +409,9 @@ impl ParameterServer {
     /// that were waiting on them can be released; any such releases are returned.
     pub fn retire_worker(&mut self, worker: WorkerId, now: f64) -> Vec<WorkerId> {
         self.clocks.retire(worker);
-        self.drain_released(now, None)
+        let mut released = Vec::new();
+        self.drain_released_into(now, None, &mut released);
+        released
     }
 
     /// The per-push staleness distribution observed so far.
@@ -347,8 +423,12 @@ impl ParameterServer {
     /// under per-push aggregation). Call at the end of training so buffered aggregation
     /// does not silently drop the trailing partial buffer.
     pub fn flush_aggregation(&mut self) {
-        if let Some(update) = self.buffer.flush() {
-            self.optimizer.step(self.store.flat_mut(), &update);
+        if self.buffer.flush_in_place() {
+            let update = self
+                .buffer
+                .pending_update()
+                .expect("flush_in_place returned true");
+            self.optimizer.step(self.store.flat_mut(), update);
             self.store.bump_all_versions();
         }
     }
@@ -383,7 +463,9 @@ mod tests {
         s.handle_push(0, &[1.0, 2.0, 3.0], 0.0);
         assert_eq!(s.weights(), &[-1.0, -2.0, -3.0]);
         assert_eq!(s.version(), 1);
-        assert_eq!(s.pull(), vec![-1.0, -2.0, -3.0]);
+        let mut pulled = Vec::new();
+        s.pull_into(&mut pulled);
+        assert_eq!(pulled, vec![-1.0, -2.0, -3.0]);
     }
 
     #[test]
@@ -555,10 +637,24 @@ mod tests {
             sharded.handle_push(worker, &grads, i as f64);
             assert_eq!(flat.weights(), sharded.weights(), "diverged at push {i}");
         }
-        assert_eq!(flat.pull(), sharded.pull());
+        let (mut flat_pull, mut sharded_pull) = (Vec::new(), Vec::new());
+        flat.pull_into(&mut flat_pull);
+        sharded.pull_into(&mut sharded_pull);
+        assert_eq!(flat_pull, sharded_pull);
         // Every shard saw every whole-model update.
         assert_eq!(sharded.shard_versions(), &[12, 12, 12, 12]);
         assert_eq!(flat.shard_versions(), &[12]);
+        // A server-level delta pull against a half-stale cache ships the stale half.
+        let (mut meta, mut delta_weights) = (Vec::new(), Vec::new());
+        let shipped = sharded.pull_delta_into(&[12, 11, 12, 11], &mut meta, &mut delta_weights);
+        assert_eq!(shipped, 2);
+        assert_eq!(meta, vec![(1, 12), (3, 12)]);
+        let store = sharded.store();
+        assert_eq!(
+            delta_weights,
+            [store.shard(1), store.shard(3)].concat(),
+            "delta weights are the stale shards' ranges, in shard order"
+        );
     }
 
     #[test]

@@ -14,6 +14,39 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The key range `[start, end)` that shard `shard` owns when `total` parameters are
+/// split into `num_shards` near-equal contiguous shards.
+///
+/// This closed form is the protocol-level layout contract: a networked worker that
+/// knows only the parameter count and shard count of a job reconstructs exactly the
+/// ranges a server-side [`ShardedStore`] uses, so delta pull replies can ship bare
+/// `(shard, weights)` pairs without repeating offsets on the wire.
+///
+/// # Panics
+///
+/// Panics if `num_shards` is zero or `shard >= num_shards`.
+pub fn shard_range(total: usize, num_shards: usize, shard: usize) -> (usize, usize) {
+    assert!(num_shards > 0, "need at least one shard");
+    assert!(shard < num_shards, "shard index out of range");
+    let base = total / num_shards;
+    let remainder = total % num_shards;
+    let start = shard * base + shard.min(remainder);
+    let end = start + base + usize::from(shard < remainder);
+    (start, end)
+}
+
+/// Whether a client's `known` per-shard version vector can be answered with a delta
+/// against a store at `versions`: one entry per shard and nowhere ahead of the server
+/// (a client from the future means the server restarted — fall back to a full pull).
+///
+/// This predicate is the single definition of delta compatibility:
+/// [`ShardedStore::delta_compatible`] and the wire layer's `PullView` both delegate
+/// here, so the fallback rule cannot silently diverge between the storage and
+/// transport layers.
+pub fn delta_compatible(versions: &[u64], known: &[u64]) -> bool {
+    known.len() == versions.len() && known.iter().zip(versions).all(|(k, v)| k <= v)
+}
+
 /// A parameter vector split into contiguous, near-equal key ranges ("shards"), each with
 /// its own update version counter.
 ///
@@ -42,13 +75,9 @@ impl ShardedStore {
             initial.len()
         );
         let total = initial.len();
-        let base = total / num_shards;
-        let remainder = total % num_shards;
         let mut offsets = Vec::with_capacity(num_shards + 1);
-        let mut start = 0;
         for i in 0..num_shards {
-            offsets.push(start);
-            start += base + usize::from(i < remainder);
+            offsets.push(shard_range(total, num_shards, i).0);
         }
         offsets.push(total);
         Self {
@@ -106,6 +135,74 @@ impl ShardedStore {
     /// the weights).
     pub fn versions(&self) -> &[u64] {
         &self.versions
+    }
+
+    /// Start offset of every shard within the flat parameter vector, plus a final
+    /// sentinel equal to the total length (so `offsets()[i]..offsets()[i + 1]` is
+    /// shard `i`'s key range).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Copies the whole parameter vector into `out` (cleared first) — the
+    /// allocation-free full pull: once `out` has grown to the model size, this is a
+    /// single bounds-checked memcpy.
+    pub fn pull_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.flat);
+    }
+
+    /// Appends shard `shard`'s current weights to `out` (a bounds-checked memcpy of
+    /// that key range; the caller owns the buffer, nothing is allocated here beyond
+    /// `out`'s amortized growth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn pull_shard_into(&self, shard: usize, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.shard(shard));
+    }
+
+    /// Whether `known` is a per-shard version vector this store can answer with a
+    /// delta (see the crate-level [`delta_compatible`] predicate both layers share).
+    pub fn delta_compatible(&self, known: &[u64]) -> bool {
+        delta_compatible(&self.versions, known)
+    }
+
+    /// Indices of the shards whose version advanced past the client's `known` vector —
+    /// the shards a delta pull must ship.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `known` has the wrong length (callers must check
+    /// [`ShardedStore::delta_compatible`] first).
+    pub fn stale_shards<'a>(&'a self, known: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(known.len(), self.versions.len(), "shard count mismatch");
+        (0..self.versions.len()).filter(move |&i| self.versions[i] > known[i])
+    }
+
+    /// The incremental pull: for every shard stale relative to `known`, appends its
+    /// `(shard, version)` pair to `meta` and memcpys its weights into `weights` back to
+    /// back (both buffers are cleared first and never allocated here once warm).
+    /// Returns the number of shards shipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `known` has the wrong length (callers must check
+    /// [`ShardedStore::delta_compatible`] first).
+    pub fn pull_delta_into(
+        &self,
+        known: &[u64],
+        meta: &mut Vec<(u32, u64)>,
+        weights: &mut Vec<f32>,
+    ) -> usize {
+        meta.clear();
+        weights.clear();
+        for shard in self.stale_shards(known) {
+            meta.push((shard as u32, self.versions[shard]));
+            weights.extend_from_slice(self.shard(shard));
+        }
+        meta.len()
     }
 
     /// Applies a gradient to one shard with a plain SGD step (`w -= lr * g`), bumping
@@ -261,6 +358,61 @@ mod tests {
         assert_eq!(store.shard(2), &[5.0, -1.0]);
         assert_eq!(store.versions(), &[1, 1, 1]);
         assert_eq!(store.min_version(), 1);
+    }
+
+    #[test]
+    fn shard_range_matches_the_constructed_offsets() {
+        for total in [0usize, 1, 5, 10, 23, 64] {
+            for shards in 1..=total.max(1).min(8) {
+                let store = ShardedStore::new(vec![0.0; total], shards);
+                for i in 0..shards {
+                    assert_eq!(
+                        shard_range(total, shards, i),
+                        store.key_range(i),
+                        "total={total} shards={shards} i={i}"
+                    );
+                }
+                assert_eq!(store.offsets().len(), shards + 1);
+                assert_eq!(*store.offsets().last().unwrap(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn pull_into_reuses_the_callers_buffer() {
+        let store = ShardedStore::new((0..6).map(|i| i as f32).collect(), 2);
+        let mut out = vec![9.0; 10]; // stale content and excess length
+        store.pull_into(&mut out);
+        assert_eq!(out, (0..6).map(|i| i as f32).collect::<Vec<_>>());
+        let mut shard_out = Vec::new();
+        store.pull_shard_into(1, &mut shard_out);
+        assert_eq!(shard_out, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn delta_pulls_ship_exactly_the_stale_shards() {
+        let mut store = ShardedStore::new(vec![0.0; 9], 3);
+        store.apply_shard(0, &[1.0; 3], 1.0);
+        store.apply_shard(2, &[2.0; 3], 1.0);
+        store.apply_shard(2, &[2.0; 3], 1.0);
+        // Client knows shard 0's update but not shard 2's two.
+        let known = [1u64, 0, 0];
+        assert!(store.delta_compatible(&known));
+        assert_eq!(store.stale_shards(&known).collect::<Vec<_>>(), vec![2]);
+        let (mut meta, mut weights) = (Vec::new(), Vec::new());
+        assert_eq!(store.pull_delta_into(&known, &mut meta, &mut weights), 1);
+        assert_eq!(meta, vec![(2, 2)]);
+        assert_eq!(weights, vec![-4.0; 3]);
+        // Fully caught-up client: empty delta.
+        let caught_up = [1u64, 0, 2];
+        assert_eq!(
+            store.pull_delta_into(&caught_up, &mut meta, &mut weights),
+            0
+        );
+        assert!(meta.is_empty() && weights.is_empty());
+        // Wrong length or future versions are incompatible.
+        assert!(!store.delta_compatible(&[1, 0]));
+        assert!(!store.delta_compatible(&[9, 0, 0]));
     }
 
     #[test]

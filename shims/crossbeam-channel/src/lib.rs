@@ -1,11 +1,19 @@
-//! Offline shim for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//! Offline shim for `crossbeam-channel`, backed by a `Mutex<VecDeque>` + `Condvar`.
 //!
-//! Provides the multi-producer/single-consumer subset the DSSP threaded runtime uses:
-//! [`unbounded`], a cloneable [`Sender`], and a blocking [`Receiver`]. Unlike the real
-//! crate the `Receiver` is not cloneable and there is no `select!`; the runtime in
-//! `dssp-core` needs neither. See `shims/README.md`.
+//! Provides the multi-producer/single-consumer subset the DSSP threaded and networked
+//! runtimes use: [`unbounded`], a cloneable [`Sender`], and a blocking [`Receiver`].
+//! Unlike the real crate the `Receiver` is not cloneable and there is no `select!`; the
+//! runtimes need neither. See `shims/README.md`.
+//!
+//! The queue is a `VecDeque` whose capacity is retained across sends, so once the
+//! channel has reached its steady-state depth a `send` moves the message in place and
+//! performs **zero heap allocations** — a property the `dssp-net` transport's
+//! zero-allocation-per-message guarantee relies on (the previous `std::sync::mpsc`
+//! backing allocated a fresh block every 32 messages).
 
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when the receiving side has hung up.
 /// Carries the unsent message like the real crate's `SendError`.
@@ -61,15 +69,41 @@ impl std::fmt::Display for RecvTimeoutError {
 
 impl std::error::Error for RecvTimeoutError {}
 
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Live `Sender` clones; 0 means the channel can never produce again.
+    senders: usize,
+    /// Whether the `Receiver` is still alive; sends fail once it is gone.
+    rx_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on every send and on the last sender disconnecting.
+    ready: Condvar,
+}
+
 /// The sending half of an unbounded channel. Cloneable.
 pub struct Sender<T> {
-    inner: mpsc::Sender<T>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel poisoned").senders += 1;
         Self {
-            inner: self.inner.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.ready.notify_all();
         }
     }
 }
@@ -77,49 +111,99 @@ impl<T> Clone for Sender<T> {
 impl<T> Sender<T> {
     /// Sends `msg`, never blocking (the channel is unbounded).
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.inner
-            .send(msg)
-            .map_err(|mpsc::SendError(m)| SendError(m))
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        if !state.rx_alive {
+            return Err(SendError(msg));
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
     }
 }
 
 /// The receiving half of an unbounded channel.
 pub struct Receiver<T> {
-    inner: mpsc::Receiver<T>,
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("channel poisoned").rx_alive = false;
+    }
 }
 
 impl<T> Receiver<T> {
     /// Blocks until a message arrives or every sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.inner.recv().map_err(|_| RecvError)
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.ready.wait(state).expect("channel poisoned");
+        }
     }
 
     /// Blocks until a message arrives, every sender disconnects, or `timeout` elapses.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-        self.inner.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-        })
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = next;
+        }
     }
 
     /// Returns a pending message without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv().map_err(|e| match e {
-            mpsc::TryRecvError::Empty => TryRecvError::Empty,
-            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-        })
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        match state.queue.pop_front() {
+            Some(msg) => Ok(msg),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
     }
 
     /// Iterates over messages, blocking between them, until disconnection.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        self.inner.iter()
+        std::iter::from_fn(move || self.recv().ok())
     }
 }
 
 /// Creates an unbounded channel, mirroring `crossbeam_channel::unbounded`.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::channel();
-    (Sender { inner: tx }, Receiver { inner: rx })
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            rx_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 #[cfg(test)]
@@ -149,5 +233,53 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors_and_returns_the_message() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn queued_messages_survive_sender_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn steady_state_sends_reuse_queue_capacity() {
+        // Drain-and-refill many times: the VecDeque must not shrink, so capacity is
+        // reused (the allocation-free property the net transport relies on).
+        let (tx, rx) = unbounded::<u64>();
+        for round in 0..100 {
+            for i in 0..8 {
+                tx.send(round * 8 + i).unwrap();
+            }
+            for i in 0..8 {
+                assert_eq!(rx.recv(), Ok(round * 8 + i));
+            }
+        }
     }
 }

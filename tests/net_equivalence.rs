@@ -64,3 +64,38 @@ fn repeated_deterministic_networked_runs_are_bitwise_stable() {
     let b = run_loopback(&job);
     assert_eq!(a.with_times_zeroed(), b.with_times_zeroed());
 }
+
+#[test]
+fn delta_pulls_do_not_perturb_a_single_bit() {
+    // The same deterministic job with incremental pulls on and off: the workers
+    // reconstruct identical weights from shard deltas, so traces are bitwise-equal
+    // (delta_pulls is excluded from nothing else — only the wire traffic differs).
+    // Sharded storage makes the deltas non-trivial.
+    let mut job = JobConfig::small_alexnet(PolicyKind::Dssp { s_l: 1, r_max: 4 });
+    job.deterministic = true;
+    job.shards = 4;
+    job.delta_pulls = true;
+    let with_deltas = run_loopback(&job);
+    job.delta_pulls = false;
+    let without_deltas = run_loopback(&job);
+    assert!(with_deltas.total_pushes > 0);
+    assert_eq!(
+        with_deltas.with_times_zeroed(),
+        without_deltas.with_times_zeroed(),
+        "delta and full pulls must reconstruct identical training"
+    );
+}
+
+#[test]
+fn delta_pulls_match_the_threaded_runtime_bitwise() {
+    // Threaded runtime (no pull step at all) vs networked runtime with delta pulls:
+    // the strongest cross-substrate statement — inline weight handoff, full pulls and
+    // incremental pulls all describe the same training run.
+    let mut job = JobConfig::small_alexnet(PolicyKind::Bsp);
+    job.deterministic = true;
+    job.shards = 4;
+    job.delta_pulls = true;
+    let threaded = run_threaded(job.clone());
+    let networked = run_loopback(&job);
+    assert_eq!(threaded.with_times_zeroed(), networked.with_times_zeroed());
+}
