@@ -24,17 +24,28 @@
 //! cargo run --release -p dssp-bench --bin repro -- bench-net [--id <id>] [--iters <n>]
 //! ```
 //!
-//! The deployment modes run real networked training over TCP (`dssp-net`). Job flags
-//! (`--model --policy --workers --epochs --batch-size --seed --shards --eval-every
-//! --straggler-ms --deterministic --fail-after`) are shared by all three and must match
-//! between a server and its workers (enforced by a config digest in the handshake):
+//! The deployment modes run real networked training over TCP (`dssp-net`, and
+//! `dssp-coord` for multi-server groups). Job flags (`--model --policy --workers
+//! --epochs --batch-size --seed --shards --servers --eval-every --straggler-ms
+//! --deterministic --fail-after`) are shared by every mode and must match between all
+//! processes of a job (enforced by a config digest in the handshakes):
 //!
 //! ```text
+//! # classic single server (--servers 1, the default)
 //! repro serve  --listen 127.0.0.1:7070 [job flags] [--trace-out FILE]
 //! repro worker --connect 127.0.0.1:7070 --rank K [job flags]
 //! repro launch [--listen ADDR] [job flags] [--trace-out FILE]   # server + N worker processes
+//!
+//! # multi-server group (--servers N, needs --shards >= N)
+//! repro serve  --server-index I --listen 127.0.0.1:0 [job flags]   # one shard server
+//! repro coord  --listen ADDR --server-addrs A,B,... [job flags] [--trace-out FILE]
+//! repro worker --connect COORD --server-addrs A,B,... --rank K [job flags]
+//! repro launch --servers 2 --workers 4 [job flags] [--trace-out FILE]   # whole group
 //! (prefix with `cargo run --release -p dssp-bench --bin repro -- ` to build-and-run)
 //! ```
+//!
+//! A shard server binding an ephemeral port announces it on stdout as
+//! `DSSP_LISTEN <addr>`, which is how `launch` wires the group together.
 
 use dssp_bench as bench;
 use dssp_core::presets::Scale;
@@ -70,6 +81,54 @@ fn write_trace(trace: &dssp_core::RunTrace, args: &[String]) {
 fn run_serve_mode(args: &[String]) {
     let job = net_job_or_exit(args);
     let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    if let Some(index) = flag_value(args, "--server-index") {
+        let index: usize = match index.parse() {
+            Ok(i) if i < job.servers => i,
+            _ => {
+                eprintln!("--server-index must be an integer below --servers");
+                std::process::exit(2);
+            }
+        };
+        // Shard-server mode: one extra client slot for the coordinator.
+        let mut transport = match dssp_net::TcpServerTransport::bind(&listen, job.num_workers + 1) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to bind {listen}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // The launcher parses this line to learn the ephemeral port.
+        println!(
+            "{}{}",
+            dssp_coord::LISTEN_LINE_PREFIX,
+            transport.local_addr()
+        );
+        println!(
+            "shard server {index}/{} serving {} workers + coordinator on {}",
+            job.servers,
+            job.num_workers,
+            transport.local_addr()
+        );
+        match dssp_coord::serve_shard(&job, index, &mut transport) {
+            Ok(report) => println!(
+                "shard server {index}: {} pushes applied, {} full + {} delta pulls served",
+                report.pushes, report.pulls_full, report.pulls_delta
+            ),
+            Err(e) => {
+                eprintln!("shard server {index} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if job.servers > 1 {
+        eprintln!(
+            "--servers {} needs either --server-index I (shard-server mode) or the \
+             coord/launch modes",
+            job.servers
+        );
+        std::process::exit(2);
+    }
     let mut transport = match dssp_net::TcpServerTransport::bind(&listen, job.num_workers) {
         Ok(t) => t,
         Err(e) => {
@@ -87,6 +146,62 @@ fn run_serve_mode(args: &[String]) {
         Ok(trace) => write_trace(&trace, args),
         Err(e) => {
             eprintln!("server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn server_addrs_or_exit(args: &[String], job: &dssp_core::driver::JobConfig) -> Vec<String> {
+    let Some(addrs) = flag_value(args, "--server-addrs") else {
+        eprintln!("group mode requires --server-addrs A,B,... (one per shard server)");
+        std::process::exit(2);
+    };
+    let addrs: Vec<String> = addrs
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.len() != job.servers {
+        eprintln!(
+            "--server-addrs lists {} addresses but the job has --servers {}",
+            addrs.len(),
+            job.servers
+        );
+        std::process::exit(2);
+    }
+    addrs
+}
+
+fn run_coord_mode(args: &[String]) {
+    let job = net_job_or_exit(args);
+    let addrs = server_addrs_or_exit(args, &job);
+    let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let mut transport = match dssp_net::TcpServerTransport::bind(&listen, job.num_workers) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let timeout = std::time::Duration::from_millis(job.stall_timeout_ms.max(1));
+    let links = match dssp_coord::connect_links(&addrs, Some(timeout)) {
+        Ok(links) => links,
+        Err(e) => {
+            eprintln!("failed to connect to the shard servers: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "coordinating {} workers over {} shard servers on {} (policy {})",
+        job.num_workers,
+        job.servers,
+        transport.local_addr(),
+        job.policy
+    );
+    match dssp_coord::coordinate(&job, &mut transport, links) {
+        Ok(trace) => write_trace(&trace, args),
+        Err(e) => {
+            eprintln!("coordinator failed: {e}");
             std::process::exit(1);
         }
     }
@@ -112,7 +227,23 @@ fn run_worker_mode(args: &[String]) {
             std::process::exit(1);
         }
     };
-    match dssp_net::run_worker(&job, rank, &mut transport) {
+    let result = if flag_value(args, "--server-addrs").is_some() {
+        // Group worker: clock traffic to the coordinator at --connect, bulk traffic
+        // fanned over the shard servers.
+        let addrs = server_addrs_or_exit(args, &job);
+        let timeout = std::time::Duration::from_millis(job.stall_timeout_ms.max(1));
+        let links = match dssp_coord::connect_links(&addrs, Some(timeout)) {
+            Ok(links) => links,
+            Err(e) => {
+                eprintln!("worker {rank} failed to connect to the shard servers: {e}");
+                std::process::exit(1);
+            }
+        };
+        dssp_coord::run_group_worker(&job, rank, &mut transport, links)
+    } else {
+        dssp_net::run_worker(&job, rank, &mut transport)
+    };
+    match result {
         Ok(r) => {
             println!(
                 "worker {rank}: {} iterations, {} epochs, waited {:.3}s, r* credits seen {}{}",
@@ -144,6 +275,23 @@ fn run_launch_mode(args: &[String]) {
             std::process::exit(1);
         }
     };
+    if job.servers > 1 {
+        println!(
+            "launching a {}-server group with {} worker processes (policy {}, model {})",
+            job.servers,
+            job.num_workers,
+            job.policy,
+            job.model.display_name()
+        );
+        match dssp_coord::launch_group(&job, &listen, &exe) {
+            Ok(outcome) => write_trace(&outcome.trace, args),
+            Err(e) => {
+                eprintln!("group launch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     println!(
         "launching {} worker processes (policy {}, model {})",
         job.num_workers,
@@ -181,7 +329,11 @@ fn run_bench_net_mode(args: &[String]) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200)
         .max(1);
-    let record = bench::netbench::collect(&id, iters);
+    let max_servers: usize = flag_value(args, "--servers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let record = bench::netbench::collect(&id, iters, max_servers);
     let path = format!("BENCH_{id}.json");
     std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
         eprintln!("failed to write {path}: {e}");
@@ -204,6 +356,10 @@ fn main() {
         }
         Some("serve") => {
             run_serve_mode(&args);
+            return;
+        }
+        Some("coord") => {
+            run_coord_mode(&args);
             return;
         }
         Some("worker") => {
@@ -277,7 +433,7 @@ fn main() {
                 eprintln!(
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
-                     ablation_aggregation all bench bench-net serve worker launch"
+                     ablation_aggregation all bench bench-net serve coord worker launch"
                 );
                 std::process::exit(2);
             }

@@ -20,8 +20,10 @@
 //! is kept, which cancels interference on the shared 1-core reference host. Byte
 //! counts are deterministic and taken from the last window.
 
+use dssp_coord::GroupLayout;
 use dssp_core::driver::JobConfig;
 use dssp_net::transport::{PullOutcome, PullView};
+use dssp_net::wire;
 use dssp_net::{
     run_worker, serve, Message, ServerTransport, TcpServerTransport, TcpWorkerTransport,
     TransportStats, WorkerTransport, PROTOCOL_VERSION,
@@ -84,6 +86,51 @@ pub struct E2eModeRecord {
     pub delta_pulls: u64,
 }
 
+/// One server's byte counters in a group scaling point, from the client's side of
+/// that server's link (requests up, acks + pull replies down).
+#[derive(Debug, Clone, Copy)]
+pub struct GroupServerBytes {
+    /// Shard-server index.
+    pub server: usize,
+    /// Parameters this server's slice holds.
+    pub params: usize,
+    /// Bytes the client sent to this server per round (push slice + pull request).
+    pub sent_per_round: f64,
+    /// Bytes the client received from this server per round (ack + pull reply).
+    pub received_per_round: f64,
+}
+
+/// One group scaling point: the same skewed push+pull workload against N shard
+/// servers.
+#[derive(Debug, Clone)]
+pub struct GroupPointRecord {
+    /// Shard servers in the group.
+    pub servers: usize,
+    /// Wall-clock milliseconds per round — one acked push fan-out plus one delta
+    /// pull fan-out (min over windows).
+    pub ms_per_round: f64,
+    /// Rounds per second implied by `ms_per_round`.
+    pub rounds_per_s: f64,
+    /// Per-server byte counters (deterministic; from the last window).
+    pub per_server: Vec<GroupServerBytes>,
+}
+
+/// The multi-server scaling workload: aggregate push+pull throughput at 1, 2 and 4
+/// shard servers over the same skewed-shard update pattern.
+#[derive(Debug, Clone)]
+pub struct GroupWorkloadRecord {
+    /// Workload name (`group_skewed`).
+    pub name: String,
+    /// Model parameter count.
+    pub params: usize,
+    /// Global shard count.
+    pub shards: usize,
+    /// Rounds per measurement window.
+    pub iters: u32,
+    /// One entry per measured server count.
+    pub points: Vec<GroupPointRecord>,
+}
+
 /// The full record written by `repro -- bench-net`.
 #[derive(Debug, Clone)]
 pub struct NetBenchRecord {
@@ -91,6 +138,8 @@ pub struct NetBenchRecord {
     pub id: String,
     /// Synthetic pull workloads.
     pub workloads: Vec<PullWorkloadRecord>,
+    /// The group scaling workload (1/2/4 shard servers).
+    pub group: GroupWorkloadRecord,
     /// End-to-end training, full pulls.
     pub e2e_full: E2eModeRecord,
     /// End-to-end training, delta pulls.
@@ -263,6 +312,220 @@ fn run_pull_workload(
     record
 }
 
+/// One shard server of the group workload: owns its slice as a sharded store and
+/// applies each received push slice only to the shards the skewed pattern marks for
+/// that iteration (a DC-S3GD-style sparse update), so delta pulls stay meaningful
+/// while both directions of the wire are exercised.
+fn group_server(
+    mut transport: TcpServerTransport,
+    layout: GroupLayout,
+    index: usize,
+    pattern: Pattern,
+) {
+    let (start, end) = layout.key_range(index);
+    let initial: Vec<f32> = (start..end).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut store = ShardedStore::with_offsets(initial, layout.local_offsets(index));
+    let (lo, hi) = layout.shard_span(index);
+    let mut iter: u64 = 0;
+    let mut reply = Vec::new();
+    loop {
+        let (rank, msg) = match transport.recv() {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        match msg {
+            Message::GroupHello { .. } => {}
+            Message::PushSlice { grads, .. } => {
+                for local in 0..(hi - lo) {
+                    if pattern(iter, lo + local, layout.shards()) {
+                        let (a, b) = store.key_range(local);
+                        store.apply_shard(local, &grads[a..b], 1e-3);
+                    }
+                }
+                iter += 1;
+                transport.recycle_f32s(rank, grads);
+                if transport
+                    .send(rank, &Message::SliceAck { version: iter })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Message::PullShards {
+                known_versions,
+                all,
+            } => {
+                reply.clear();
+                let versions = store.versions().to_vec();
+                if all || !store.delta_compatible(&known_versions) {
+                    wire::encode_pull_reply_delta(
+                        &mut reply,
+                        iter,
+                        (0..store.num_shards())
+                            .map(|i| ((lo + i) as u32, versions[i], store.shard(i))),
+                    );
+                } else {
+                    let stale: Vec<usize> = store.stale_shards(&known_versions).collect();
+                    wire::encode_pull_reply_delta(
+                        &mut reply,
+                        iter,
+                        stale
+                            .into_iter()
+                            .map(|i| ((lo + i) as u32, versions[i], store.shard(i))),
+                    );
+                }
+                if transport.send_payload(rank, &reply).is_err() {
+                    return;
+                }
+                transport.recycle_u64s(rank, known_versions);
+            }
+            Message::Done { .. } => return,
+            _ => return,
+        }
+    }
+}
+
+/// One client run against a group of `servers` shard servers: a warm-up pull, then
+/// `iters` measured rounds of acked push fan-out + delta pull fan-out. Returns the
+/// measured per-link counter deltas and the rounds' wall time.
+fn group_client(addrs: &[String], layout: GroupLayout, iters: u32) -> (Vec<TransportStats>, f64) {
+    let mut links: Vec<TcpWorkerTransport> = addrs
+        .iter()
+        .map(|addr| TcpWorkerTransport::connect(addr).expect("connect to group server"))
+        .collect();
+    for (i, link) in links.iter_mut().enumerate() {
+        link.send(&Message::GroupHello {
+            version: PROTOCOL_VERSION,
+            rank: 0,
+            num_workers: 1,
+            config_digest: 0,
+            servers: layout.servers() as u32,
+            server_index: i as u32,
+        })
+        .expect("hello");
+    }
+    let params = layout.params();
+    let grads: Vec<f32> = (0..params).map(|i| (i as f32 * 0.11).cos()).collect();
+    let mut weights = vec![0.0f32; params];
+    let mut versions = vec![0u64; layout.shards()];
+    let pull_round = |links: &mut [TcpWorkerTransport],
+                      versions: &mut Vec<u64>,
+                      weights: &mut Vec<f32>,
+                      all: bool| {
+        for (i, link) in links.iter_mut().enumerate() {
+            let (lo, hi) = layout.shard_span(i);
+            link.send_pull_shards(&versions[lo..hi], all)
+                .expect("pull req");
+        }
+        for link in links.iter_mut() {
+            match link.recv_pull_apply(weights, versions) {
+                Ok(PullOutcome::Applied(_)) => {}
+                other => panic!("group pull failed: {other:?}"),
+            }
+        }
+    };
+    pull_round(&mut links, &mut versions, &mut weights, true); // warm-up
+    let before: Vec<TransportStats> = links.iter().map(|l| l.stats()).collect();
+    let start = Instant::now();
+    for it in 0..iters {
+        for (i, link) in links.iter_mut().enumerate() {
+            let (a, b) = layout.key_range(i);
+            link.send_push_slice(u64::from(it) + 1, &grads[a..b])
+                .expect("push slice");
+        }
+        for link in links.iter_mut() {
+            match link.recv() {
+                Ok(Message::SliceAck { .. }) => {}
+                other => panic!("expected SliceAck, got {other:?}"),
+            }
+        }
+        pull_round(&mut links, &mut versions, &mut weights, false);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let after: Vec<TransportStats> = links.iter().map(|l| l.stats()).collect();
+    for link in links.iter_mut() {
+        let _ = link.send(&Message::Done {
+            iterations: u64::from(iters),
+            epochs: 0,
+            waiting_time_s: 0.0,
+        });
+    }
+    let deltas = before
+        .iter()
+        .zip(&after)
+        .map(|(b, a)| TransportStats {
+            bytes_sent: a.bytes_sent - b.bytes_sent,
+            bytes_received: a.bytes_received - b.bytes_received,
+            frames_sent: a.frames_sent - b.frames_sent,
+            frames_received: a.frames_received - b.frames_received,
+        })
+        .collect();
+    (deltas, elapsed)
+}
+
+/// One measurement of the group scaling workload: the same skewed push+pull rounds at
+/// each server count, alternating inside every window (paired-window methodology),
+/// min-of-`windows` per point.
+fn run_group_workload(
+    params: usize,
+    shards: usize,
+    server_points: &[usize],
+    iters: u32,
+    windows: u32,
+) -> GroupWorkloadRecord {
+    let mut points: Vec<GroupPointRecord> = server_points
+        .iter()
+        .map(|&servers| GroupPointRecord {
+            servers,
+            ms_per_round: f64::INFINITY,
+            rounds_per_s: 0.0,
+            per_server: Vec::new(),
+        })
+        .collect();
+    for _ in 0..windows {
+        for point in points.iter_mut() {
+            let layout = GroupLayout::new(params, shards, point.servers);
+            let mut addrs = Vec::with_capacity(point.servers);
+            let mut handles = Vec::with_capacity(point.servers);
+            for index in 0..point.servers {
+                let transport = TcpServerTransport::bind("127.0.0.1:0", 1).expect("bind");
+                addrs.push(transport.local_addr().to_string());
+                handles.push(thread::spawn(move || {
+                    group_server(transport, layout, index, skewed)
+                }));
+            }
+            let (stats, elapsed) = group_client(&addrs, layout, iters);
+            for handle in handles {
+                handle.join().expect("group server thread");
+            }
+            point.ms_per_round = point.ms_per_round.min(elapsed * 1e3 / f64::from(iters));
+            point.per_server = stats
+                .iter()
+                .enumerate()
+                .map(|(server, s)| {
+                    let (a, b) = layout.key_range(server);
+                    GroupServerBytes {
+                        server,
+                        params: b - a,
+                        sent_per_round: s.bytes_sent as f64 / f64::from(iters),
+                        received_per_round: s.bytes_received as f64 / f64::from(iters),
+                    }
+                })
+                .collect();
+        }
+    }
+    for point in points.iter_mut() {
+        point.rounds_per_s = 1e3 / point.ms_per_round;
+    }
+    GroupWorkloadRecord {
+        name: "group_skewed".to_string(),
+        params,
+        shards,
+        iters,
+        points,
+    }
+}
+
 /// The end-to-end job: the AlexNet analogue on DSSP with sharded storage.
 fn e2e_job(delta_pulls: bool) -> JobConfig {
     let mut job = JobConfig::small_alexnet(PolicyKind::Dssp { s_l: 1, r_max: 8 });
@@ -308,8 +571,9 @@ fn e2e_run(job: &JobConfig) -> E2eModeRecord {
 }
 
 /// Runs every measurement and assembles the record. `iters` scales the pull counts
-/// per window (CI smoke uses a small number).
-pub fn collect(id: &str, iters: u32) -> NetBenchRecord {
+/// per window (CI smoke uses a small number); `max_servers` caps the group scaling
+/// points (of 1, 2 and 4) so the smoke run stays cheap.
+pub fn collect(id: &str, iters: u32, max_servers: usize) -> NetBenchRecord {
     let params = e2e_job(true).model.build(5).param_len();
     let shards = 16;
     let windows = 5;
@@ -318,6 +582,11 @@ pub fn collect(id: &str, iters: u32) -> NetBenchRecord {
         run_pull_workload("all_stale", params, shards, iters, windows, all_stale),
         run_pull_workload("idle", params, shards, iters, windows, idle),
     ];
+    let server_points: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&s| s <= max_servers.max(1) && s <= shards)
+        .collect();
+    let group = run_group_workload(params, shards, &server_points, iters, windows);
     let (job_full, job_delta) = (e2e_job(false), e2e_job(true));
     let mut e2e_full = E2eModeRecord {
         wall_s: f64::INFINITY,
@@ -340,6 +609,7 @@ pub fn collect(id: &str, iters: u32) -> NetBenchRecord {
     NetBenchRecord {
         id: id.to_string(),
         workloads,
+        group,
         e2e_full,
         e2e_delta,
         e2e_workers: job_delta.num_workers,
@@ -408,6 +678,42 @@ impl NetBenchRecord {
             );
         }
         let _ = writeln!(s, "  ],");
+        let g = &self.group;
+        let _ = writeln!(s, "  \"group_scaling\": {{");
+        let _ = writeln!(
+            s,
+            "    \"name\": \"{}\", \"params\": {}, \"shards\": {}, \"rounds_per_window\": {}, \"round\": \"acked push fan-out + delta pull fan-out, skewed shard updates\",",
+            g.name, g.params, g.shards, g.iters
+        );
+        let _ = writeln!(s, "    \"points\": [");
+        for (i, p) in g.points.iter().enumerate() {
+            let _ = writeln!(s, "      {{");
+            let _ = writeln!(
+                s,
+                "        \"servers\": {}, \"ms_per_round\": {:.4}, \"rounds_per_s\": {:.1},",
+                p.servers, p.ms_per_round, p.rounds_per_s
+            );
+            let _ = writeln!(s, "        \"per_server\": [");
+            for (j, b) in p.per_server.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "          {{\"server\": {}, \"params\": {}, \"sent_bytes_per_round\": {:.1}, \"received_bytes_per_round\": {:.1}}}{}",
+                    b.server,
+                    b.params,
+                    b.sent_per_round,
+                    b.received_per_round,
+                    if j + 1 == p.per_server.len() { "" } else { "," }
+                );
+            }
+            let _ = writeln!(s, "        ]");
+            let _ = writeln!(
+                s,
+                "      }}{}",
+                if i + 1 == g.points.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(s, "    ]");
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"e2e_training\": {{");
         let _ = writeln!(
             s,
@@ -434,6 +740,15 @@ impl NetBenchRecord {
                 w.reply_reduction(),
                 w.full.ms_per_pull,
                 w.delta.ms_per_pull,
+            );
+        }
+        for p in &self.group.points {
+            let sent: f64 = p.per_server.iter().map(|b| b.sent_per_round).sum();
+            let recv: f64 = p.per_server.iter().map(|b| b.received_per_round).sum();
+            let _ = writeln!(
+                s,
+                "group x{}   {:>8.3} ms/round ({:>7.1} rounds/s), {:>9.1} B up + {:>9.1} B down per round over {} server(s)",
+                p.servers, p.ms_per_round, p.rounds_per_s, sent, recv, p.servers,
             );
         }
         let _ = writeln!(
@@ -514,6 +829,31 @@ mod tests {
                     pulls_per_s: 4000.0,
                 },
             }],
+            group: GroupWorkloadRecord {
+                name: "group_skewed".into(),
+                params: 100,
+                shards: 4,
+                iters: 10,
+                points: vec![GroupPointRecord {
+                    servers: 2,
+                    ms_per_round: 0.8,
+                    rounds_per_s: 1250.0,
+                    per_server: vec![
+                        GroupServerBytes {
+                            server: 0,
+                            params: 50,
+                            sent_per_round: 220.0,
+                            received_per_round: 120.0,
+                        },
+                        GroupServerBytes {
+                            server: 1,
+                            params: 50,
+                            sent_per_round: 220.0,
+                            received_per_round: 120.0,
+                        },
+                    ],
+                }],
+            },
             e2e_full: E2eModeRecord::default(),
             e2e_delta: E2eModeRecord::default(),
             e2e_workers: 2,
@@ -521,7 +861,31 @@ mod tests {
         };
         let json = record.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"reply_bytes_reduction\": 4.00"));
+        assert!(json.contains("\"group_scaling\""));
+        assert!(json.contains("\"servers\": 2"));
         assert!(record.summary().contains("skewed"));
+        assert!(record.summary().contains("group x2"));
+    }
+
+    #[test]
+    fn tiny_group_workload_measures_every_server_count() {
+        // A miniature run of the real group harness: 2k params, 8 shards, rounds at 1
+        // and 2 servers. Byte conservation: the per-round traffic must cover at least
+        // the pushed gradient bytes on every point, and the slice sizes tile the model.
+        let record = run_group_workload(2048, 8, &[1, 2], 6, 1);
+        assert_eq!(record.points.len(), 2);
+        for point in &record.points {
+            assert!(point.ms_per_round.is_finite() && point.ms_per_round > 0.0);
+            assert_eq!(point.per_server.len(), point.servers);
+            let params: usize = point.per_server.iter().map(|b| b.params).sum();
+            assert_eq!(params, 2048);
+            let sent: f64 = point.per_server.iter().map(|b| b.sent_per_round).sum();
+            assert!(
+                sent >= 2048.0 * 4.0,
+                "push traffic must at least carry the gradient: {sent}"
+            );
+        }
     }
 }

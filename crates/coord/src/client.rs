@@ -1,0 +1,378 @@
+//! The worker side of a group: per-server links, the pipelined fan-out, and the full
+//! group worker loop.
+//!
+//! A [`ShardFan`] holds one [`WorkerTransport`] per shard server plus the closed-form
+//! [`GroupLayout`], and runs every bulk exchange as a **pipelined fan-out**: requests
+//! go out to all servers first, then the replies are collected, so the servers
+//! decode/apply/encode concurrently while the client is still writing to the others.
+//! Pulls assemble directly into the caller's *global* weight/version buffers (each
+//! server's reply carries global shard indices, landing in its own key ranges — the
+//! buffers are reused across the whole run, like the single-server path), and pushes
+//! slice the caller's global gradient buffer by each server's key range without
+//! copying.
+//!
+//! [`run_group_worker`] is the group analogue of `dssp_net::run_worker`: the same
+//! [`WorkerStep`] compute loop, with weights fanned over the servers and only clock
+//! messages exchanged with the coordinator.
+
+use crate::layout::GroupLayout;
+use dssp_core::driver::{JobConfig, WorkerStep};
+use dssp_net::transport::PullOutcome;
+use dssp_net::wire::{PROTOCOL_VERSION, SHUTDOWN_OK};
+use dssp_net::worker::WorkerReport;
+use dssp_net::{Message, NetError, WorkerTransport};
+use std::time::Instant;
+
+/// One connection to a shard server, with the label used to attribute failures.
+pub struct ServerLink {
+    /// The transport to the server.
+    pub transport: Box<dyn WorkerTransport>,
+    /// Human-readable name ("shard server 1 at 127.0.0.1:4242").
+    pub label: String,
+}
+
+impl ServerLink {
+    /// Wraps a transport with a label.
+    pub fn new(transport: Box<dyn WorkerTransport>, label: impl Into<String>) -> Self {
+        Self {
+            transport,
+            label: label.into(),
+        }
+    }
+}
+
+/// Outcome of a fan-out exchange (push round or pull round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanOutcome {
+    /// Every server answered; the caller's buffers are up to date.
+    Applied,
+    /// A server relayed the coordinator's shutdown instead of answering.
+    Shutdown {
+        /// [`SHUTDOWN_OK`] or the error reason.
+        reason: u8,
+    },
+}
+
+/// The per-server fan-out state of one group client (a worker, or the coordinator
+/// assembling evaluation weights).
+pub struct ShardFan {
+    links: Vec<ServerLink>,
+    layout: GroupLayout,
+    /// Whether the version cache has been primed (first pull always ships all).
+    warm: bool,
+    /// Fan-out pull rounds whose per-server requests asked for every owned shard.
+    pub full_pulls: u64,
+    /// Fan-out pull rounds answered incrementally.
+    pub delta_pulls: u64,
+}
+
+impl ShardFan {
+    /// Builds a fan over one link per shard server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link count differs from the job's server count or the job is
+    /// inconsistent.
+    pub fn new(job: &JobConfig, param_len: usize, links: Vec<ServerLink>) -> Self {
+        job.validate();
+        assert_eq!(
+            links.len(),
+            job.servers,
+            "need exactly one link per shard server"
+        );
+        Self {
+            links,
+            layout: GroupLayout::new(param_len, job.shards, job.servers),
+            warm: false,
+            full_pulls: 0,
+            delta_pulls: 0,
+        }
+    }
+
+    /// The group layout.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Handshakes every server with a [`Message::GroupHello`] announcing `rank`
+    /// (`num_workers` for the coordinator).
+    pub fn hello(&mut self, job: &JobConfig, rank: u32) -> Result<(), NetError> {
+        let digest = job.digest();
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.transport
+                .send(&Message::GroupHello {
+                    version: PROTOCOL_VERSION,
+                    rank,
+                    num_workers: job.num_workers as u32,
+                    config_digest: digest,
+                    servers: job.servers as u32,
+                    server_index: i as u32,
+                })
+                .map_err(|e| at_link(link, e))?;
+        }
+        Ok(())
+    }
+
+    /// One push round: ships `grads` sliced by each server's key range (requests
+    /// first, then all [`Message::SliceAck`]s), so a completed round means every
+    /// server applied its slice.
+    pub fn push_slices(&mut self, iteration: u64, grads: &[f32]) -> Result<FanOutcome, NetError> {
+        assert_eq!(
+            grads.len(),
+            self.layout.params(),
+            "gradient length mismatch"
+        );
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let (start, end) = self.layout.key_range(i);
+            link.transport
+                .send_push_slice(iteration, &grads[start..end])
+                .map_err(|e| at_link(link, e))?;
+        }
+        for link in self.links.iter_mut() {
+            match link.transport.recv().map_err(|e| at_link(link, e))? {
+                Message::SliceAck { .. } => {}
+                Message::Shutdown { reason } => return Ok(FanOutcome::Shutdown { reason }),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected SliceAck from {}, got {other:?}",
+                        link.label
+                    )))
+                }
+            }
+        }
+        Ok(FanOutcome::Applied)
+    }
+
+    /// One pull round against the caller's global buffers (sized here on first use):
+    /// each server is asked for its owned shards — all of them when `prefer_delta` is
+    /// off or the cache is cold, only the stale ones otherwise — and every reply is
+    /// applied in place.
+    pub fn pull_group(
+        &mut self,
+        prefer_delta: bool,
+        weights: &mut Vec<f32>,
+        versions: &mut Vec<u64>,
+    ) -> Result<FanOutcome, NetError> {
+        weights.resize(self.layout.params(), 0.0);
+        versions.resize(self.layout.shards(), 0);
+        let all = !prefer_delta || !self.warm;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let (lo, hi) = self.layout.shard_span(i);
+            link.transport
+                .send_pull_shards(&versions[lo..hi], all)
+                .map_err(|e| at_link(link, e))?;
+        }
+        for link in self.links.iter_mut() {
+            match link
+                .transport
+                .recv_pull_apply(weights, versions)
+                .map_err(|e| at_link(link, e))?
+            {
+                PullOutcome::Applied(_) => {}
+                PullOutcome::Shutdown { reason } => return Ok(FanOutcome::Shutdown { reason }),
+            }
+        }
+        self.warm = true;
+        if all {
+            self.full_pulls += 1;
+        } else {
+            self.delta_pulls += 1;
+        }
+        Ok(FanOutcome::Applied)
+    }
+
+    /// Best-effort send to every server (shutdown propagation).
+    pub fn send_all(&mut self, msg: &Message) {
+        for link in self.links.iter_mut() {
+            let _ = link.transport.send(msg);
+        }
+    }
+
+    /// Asks every server for its counters ([`Message::StatsRequest`]) and returns the
+    /// replies in server order as `(pushes, pulls_full, pulls_delta, bytes_sent,
+    /// bytes_received)`.
+    pub fn collect_stats(&mut self) -> Result<Vec<(u64, u64, u64, u64, u64)>, NetError> {
+        for link in self.links.iter_mut() {
+            link.transport
+                .send(&Message::StatsRequest)
+                .map_err(|e| at_link(link, e))?;
+        }
+        let mut out = Vec::with_capacity(self.links.len());
+        for link in self.links.iter_mut() {
+            match link.transport.recv().map_err(|e| at_link(link, e))? {
+                Message::StatsReply {
+                    pushes,
+                    pulls_full,
+                    pulls_delta,
+                    bytes_sent,
+                    bytes_received,
+                } => out.push((pushes, pulls_full, pulls_delta, bytes_sent, bytes_received)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected StatsReply from {}, got {other:?}",
+                        link.label
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Attributes an anonymous transport failure to the link it happened on, unless the
+/// transport already named a peer (the TCP transport's timeout/disconnect paths do).
+fn at_link(link: &ServerLink, e: NetError) -> NetError {
+    match e {
+        NetError::PeerTimeout { .. } | NetError::PeerLost { .. } => e,
+        NetError::Disconnected => NetError::PeerLost {
+            peer: link.label.clone(),
+        },
+        other => other,
+    }
+}
+
+/// Runs the worker side of a **group** training job: handshake with the coordinator
+/// and every shard server, initial fan-out pull, then per-iteration push/clock/pull
+/// rounds until the iteration target is reached.
+///
+/// In deterministic mode the worker additionally follows the serialization handshake
+/// (waits for [`Message::PushGrant`] before applying slices, confirms with
+/// [`Message::PushApplied`], reports each completed pull with [`Message::PullDone`])
+/// so the coordinator can impose the canonical event order across the group.
+///
+/// A mid-run `Shutdown` — from the coordinator directly, or relayed by a shard server
+/// during a fan-out — ends the loop cleanly with `shutdown_early` set, exactly like
+/// the single-server worker.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent or `rank` is out of range.
+pub fn run_group_worker(
+    job: &JobConfig,
+    rank: usize,
+    coord: &mut dyn WorkerTransport,
+    links: Vec<ServerLink>,
+) -> Result<WorkerReport, NetError> {
+    let mut step = WorkerStep::for_rank(job, rank);
+    let mut fan = ShardFan::new(job, step.param_len(), links);
+    let det = job.deterministic;
+    let mut report = WorkerReport {
+        rank,
+        iterations: 0,
+        epochs: 0,
+        waiting_time_s: 0.0,
+        granted_extra_total: 0,
+        last_shard_versions: Vec::new(),
+        full_pulls: 0,
+        delta_pulls: 0,
+        shutdown_early: false,
+    };
+    // The buffers of the steady-state loop, reused across the whole run: the global
+    // weight cache, the global per-shard version cache, and the gradient vector.
+    let mut weights: Vec<f32> = Vec::new();
+    let mut versions: Vec<u64> = Vec::new();
+    let mut grads: Vec<f32> = Vec::new();
+
+    coord.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        rank: rank as u32,
+        num_workers: job.num_workers as u32,
+        config_digest: job.digest(),
+    })?;
+    fan.hello(job, rank as u32)?;
+
+    macro_rules! finish_early {
+        ($reason:expr) => {{
+            report.shutdown_early = $reason != SHUTDOWN_OK || !step.finished();
+            report.full_pulls = fan.full_pulls;
+            report.delta_pulls = fan.delta_pulls;
+            report.last_shard_versions = versions;
+            return Ok(report);
+        }};
+    }
+
+    // Initial pull: the cache is cold, so every server ships all of its shards.
+    match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
+        FanOutcome::Applied => {}
+        FanOutcome::Shutdown { reason } => finish_early!(reason),
+    }
+    if det {
+        coord.send(&Message::PullDone)?;
+    }
+
+    let target = step.target();
+    for iter in 0..target {
+        step.compute_gradient_into(&weights, &mut grads);
+        report.iterations = step.completed();
+        report.epochs = step.epoch();
+        let iteration = iter + 1;
+        if det {
+            // Canonical order: announce the push, wait to be granted the apply slot,
+            // fan the slices out, and confirm so the coordinator's clock can advance.
+            coord.send(&Message::ClockPush { iteration })?;
+            match coord.recv()? {
+                Message::PushGrant => {}
+                Message::Shutdown { reason } => finish_early!(reason),
+                other => return Err(unexpected(rank, &other)),
+            }
+            match fan.push_slices(iteration, &grads)? {
+                FanOutcome::Applied => {}
+                FanOutcome::Shutdown { reason } => finish_early!(reason),
+            }
+            coord.send(&Message::PushApplied { iteration })?;
+        } else {
+            match fan.push_slices(iteration, &grads)? {
+                FanOutcome::Applied => {}
+                FanOutcome::Shutdown { reason } => finish_early!(reason),
+            }
+            coord.send(&Message::ClockPush { iteration })?;
+        }
+        if iteration == target {
+            break; // final push: report Done without waiting for the OK
+        }
+        let wait_start = Instant::now();
+        match coord.recv()? {
+            Message::ClockGrant { granted_extra, .. } => {
+                report.waiting_time_s += wait_start.elapsed().as_secs_f64();
+                report.granted_extra_total += granted_extra;
+            }
+            Message::Shutdown { reason } => finish_early!(reason),
+            other => return Err(unexpected(rank, &other)),
+        }
+        match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
+            FanOutcome::Applied => {}
+            FanOutcome::Shutdown { reason } => finish_early!(reason),
+        }
+        if det {
+            coord.send(&Message::PullDone)?;
+        }
+    }
+
+    coord.send(&Message::Done {
+        iterations: step.completed(),
+        epochs: step.epoch() as u64,
+        waiting_time_s: report.waiting_time_s,
+    })?;
+
+    // Drain until the shutdown broadcast; the final push's ClockGrant may still be in
+    // flight (the coordinator answers every granted push, even the last one).
+    loop {
+        match coord.recv()? {
+            Message::Shutdown { reason } => {
+                report.shutdown_early = reason != SHUTDOWN_OK;
+                report.full_pulls = fan.full_pulls;
+                report.delta_pulls = fan.delta_pulls;
+                report.last_shard_versions = versions;
+                return Ok(report);
+            }
+            Message::ClockGrant { granted_extra, .. } => {
+                report.granted_extra_total += granted_extra;
+            }
+            other => return Err(unexpected(rank, &other)),
+        }
+    }
+}
+
+fn unexpected(rank: usize, msg: &Message) -> NetError {
+    NetError::Protocol(format!("group worker {rank} received unexpected {msg:?}"))
+}

@@ -1,0 +1,356 @@
+//! The coordinator service: the clock/controller half of a multi-server group.
+//!
+//! The coordinator owns exactly the state the paper's Algorithms 1 and 2 need —
+//! worker clocks, the interval table, the synchronization policy — via a clock-only
+//! [`ServerLoop`] (`dssp_ps::SyncGate` underneath), and never touches bulk data:
+//! workers push and pull weight shards directly against the shard servers and
+//! exchange only tiny `ClockPush`/`ClockGrant` messages here. The coordinator also
+//! keeps one client link per shard server for evaluation pulls (assembling the global
+//! weights into a reused buffer, delta-incrementally), end-of-run statistics
+//! collection, and shutdown propagation.
+//!
+//! # Deterministic mode
+//!
+//! Under [`JobConfig::deterministic`] the coordinator serializes the group so an
+//! N-server run is bitwise equal to a single server: incoming `ClockPush`/`Done`
+//! events are buffered in the shared `DeterministicGate` and released in canonical
+//! `(iteration, rank)` order; a released push is granted back to its worker
+//! ([`Message::PushGrant`]) and the clock only advances once the worker confirms
+//! every shard server acked its slices ([`Message::PushApplied`]); granted workers'
+//! pulls are awaited ([`Message::PullDone`]) before the next mutating event is
+//! dispatched. No gradient application, pull, or evaluation can therefore interleave
+//! with another mutation — the exact serialization a single server's command loop
+//! gets for free.
+
+use crate::client::{FanOutcome, ServerLink, ShardFan};
+use dssp_core::driver::{DeterministicGate, JobConfig, ServerLoop, WorkerEvent};
+use dssp_net::wire::{SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
+use dssp_net::{require_helloed, validate_hello, Message, NetError, ServerTransport};
+use dssp_sim::{GroupServerStats, RunTrace};
+use std::time::Instant;
+
+/// Runs a full training job as the coordinator of a group and returns the run trace,
+/// with [`RunTrace::group_servers`] aggregating every shard server's counters.
+///
+/// `transport` serves the workers (one slot per rank); `links` are fresh connections
+/// to the shard servers, in server order (the coordinator handshakes them itself,
+/// announcing rank `num_workers`). On every exit path — success, protocol failure, or
+/// the `fail_after_pushes` chaos abort — `Shutdown` is broadcast to all workers *and*
+/// propagated to every shard server, so no group process is ever leaked.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent ([`JobConfig::validate`]).
+pub fn coordinate(
+    job: &JobConfig,
+    transport: &mut dyn ServerTransport,
+    links: Vec<ServerLink>,
+) -> Result<RunTrace, NetError> {
+    job.validate();
+    if transport.num_workers() != job.num_workers {
+        return Err(NetError::Protocol(format!(
+            "coordinator transport serves {} workers but the job has {}",
+            transport.num_workers(),
+            job.num_workers
+        )));
+    }
+    let sl = ServerLoop::clock_only(job);
+    let mut fan = ShardFan::new(job, sl.param_len(), links);
+    let result = fan
+        .hello(job, job.num_workers as u32)
+        .and_then(|()| Coordinator::new(job, sl).run(transport, &mut fan));
+    match result {
+        Ok(trace) => {
+            transport.broadcast(&Message::Shutdown {
+                reason: SHUTDOWN_OK,
+            });
+            fan.send_all(&Message::Shutdown {
+                reason: SHUTDOWN_OK,
+            });
+            Ok(trace)
+        }
+        Err(e) => {
+            transport.broadcast(&Message::Shutdown {
+                reason: SHUTDOWN_SERVER_ERROR,
+            });
+            fan.send_all(&Message::Shutdown {
+                reason: SHUTDOWN_SERVER_ERROR,
+            });
+            Err(e)
+        }
+    }
+}
+
+/// The coordinator's per-run state: the clock-only decision loop plus the
+/// deterministic-mode serialization bookkeeping.
+struct Coordinator<'job> {
+    job: &'job JobConfig,
+    sl: ServerLoop,
+    gate: Option<DeterministicGate>,
+    targets: Vec<u64>,
+    helloed: Vec<bool>,
+    /// Last announced ClockPush iteration per worker (a granted worker whose push was
+    /// final will never pull again, so no PullDone is expected from it).
+    last_iter: Vec<u64>,
+    /// The granted push we are waiting on (deterministic mode).
+    pending_apply: Option<WorkerEvent>,
+    /// A gate-released event we could not dispatch yet (pulls still in flight).
+    held: Option<WorkerEvent>,
+    /// Granted pulls in flight, including every worker's initial pull.
+    pending_pulls: usize,
+    /// Reused assembly buffers for evaluation pulls.
+    eval_weights: Vec<f32>,
+    eval_versions: Vec<u64>,
+    start: Instant,
+}
+
+impl<'job> Coordinator<'job> {
+    fn new(job: &'job JobConfig, sl: ServerLoop) -> Self {
+        let targets = sl.targets().to_vec();
+        let det = job.deterministic;
+        Self {
+            job,
+            sl,
+            gate: det.then(|| DeterministicGate::new(targets.clone(), false)),
+            targets,
+            helloed: vec![false; job.num_workers],
+            last_iter: vec![0u64; job.num_workers],
+            pending_apply: None,
+            held: None,
+            pending_pulls: if det { job.num_workers } else { 0 },
+            eval_weights: Vec::new(),
+            eval_versions: Vec::new(),
+            start: Instant::now(),
+        }
+    }
+
+    fn run(
+        mut self,
+        transport: &mut dyn ServerTransport,
+        fan: &mut ShardFan,
+    ) -> Result<RunTrace, NetError> {
+        let det = self.job.deterministic;
+        let expected_digest = self.job.digest();
+
+        while !self.sl.all_done() {
+            // Deterministic mode: dispatch everything the gate can release under the
+            // serialization rules before blocking on the transport again.
+            while det && self.pending_apply.is_none() && !self.sl.all_done() {
+                if self.held.is_none() {
+                    self.held = self.gate.as_mut().and_then(|g| g.next());
+                }
+                let Some(event) = self.held.take() else { break };
+                // Mutating events wait until every granted pull completed.
+                if self.pending_pulls > 0 {
+                    self.held = Some(event);
+                    break;
+                }
+                match event {
+                    WorkerEvent::Push { worker, .. } => {
+                        // Grant the apply slot; the clock advances on PushApplied.
+                        transport.send(worker, &Message::PushGrant)?;
+                        self.pending_apply = Some(event);
+                    }
+                    done @ WorkerEvent::Done { .. } => {
+                        self.apply_event(transport, fan, done)?;
+                    }
+                    WorkerEvent::Pull { .. } => {
+                        unreachable!("group coordinators never offer Pull events")
+                    }
+                }
+            }
+            if self.sl.all_done() {
+                break;
+            }
+
+            let (rank, msg) = transport.recv()?;
+            match msg {
+                Message::Hello {
+                    version,
+                    rank: hello_rank,
+                    num_workers,
+                    config_digest,
+                } => validate_hello(
+                    rank,
+                    version,
+                    hello_rank,
+                    num_workers,
+                    config_digest,
+                    self.job.num_workers,
+                    expected_digest,
+                    &mut self.helloed,
+                )?,
+                Message::ClockPush { iteration } => {
+                    require_helloed(&self.helloed, rank)?;
+                    self.last_iter[rank] = iteration;
+                    let event = WorkerEvent::Push {
+                        worker: rank,
+                        iteration,
+                        grads: Vec::new(), // the gradients went to the shard servers
+                    };
+                    match self.gate.as_mut() {
+                        Some(g) => g.offer(event),
+                        None => self.apply_event(transport, fan, event)?,
+                    }
+                }
+                Message::PushApplied { iteration } => {
+                    require_helloed(&self.helloed, rank)?;
+                    let event = match self.pending_apply.take() {
+                        Some(ev) => {
+                            let matches = matches!(
+                                &ev,
+                                WorkerEvent::Push { worker, iteration: granted, .. }
+                                    if *worker == rank && *granted == iteration
+                            );
+                            if !matches {
+                                return Err(NetError::Protocol(format!(
+                                    "PushApplied({iteration}) from worker {rank} does not \
+                                     match the granted push {ev:?}"
+                                )));
+                            }
+                            ev
+                        }
+                        None => {
+                            return Err(NetError::Protocol(format!(
+                                "PushApplied({iteration}) from worker {rank} without a \
+                                 granted push"
+                            )))
+                        }
+                    };
+                    self.apply_event(transport, fan, event)?;
+                }
+                Message::PullDone => {
+                    require_helloed(&self.helloed, rank)?;
+                    if !det {
+                        return Err(NetError::Protocol(format!(
+                            "PullDone from worker {rank} outside deterministic mode"
+                        )));
+                    }
+                    self.pending_pulls = self.pending_pulls.checked_sub(1).ok_or_else(|| {
+                        NetError::Protocol(format!("unexpected PullDone from worker {rank}"))
+                    })?;
+                }
+                Message::Done {
+                    iterations,
+                    epochs,
+                    waiting_time_s,
+                } => {
+                    require_helloed(&self.helloed, rank)?;
+                    let event = WorkerEvent::Done {
+                        worker: rank,
+                        iterations,
+                        epochs: epochs as usize,
+                        waiting_time_s,
+                    };
+                    match self.gate.as_mut() {
+                        Some(g) => g.offer(event),
+                        None => self.apply_event(transport, fan, event)?,
+                    }
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected {other:?} from worker {rank} at the coordinator"
+                    )))
+                }
+            }
+        }
+
+        // All workers reported Done, and every push they made was acked by every
+        // shard server before that — the group state is final. Assemble the weights
+        // for the closing evaluation, then gather per-server statistics before
+        // shutting down.
+        let total = self.start.elapsed().as_secs_f64();
+        pull_for_eval(
+            self.job,
+            fan,
+            &mut self.eval_weights,
+            &mut self.eval_versions,
+        )?;
+        let mut trace = self.sl.finish_external(&self.eval_weights, total);
+        trace.group_servers = collect_group_stats(fan)?;
+        Ok(trace)
+    }
+
+    /// Applies one worker event to the decision loop, delivers the resulting grants,
+    /// and runs any evaluation that came due (pulling the group's weights first).
+    fn apply_event(
+        &mut self,
+        transport: &mut dyn ServerTransport,
+        fan: &mut ShardFan,
+        event: WorkerEvent,
+    ) -> Result<(), NetError> {
+        let now = self.start.elapsed().as_secs_f64();
+        let replies = self.sl.handle_gated(&mut self.gate, event, now);
+        for reply in &replies {
+            transport.send(
+                reply.worker,
+                &Message::ClockGrant {
+                    granted_extra: reply.granted_extra,
+                    version: self.sl.version(),
+                },
+            )?;
+            // A granted worker that has not run its final iteration will pull next;
+            // in deterministic mode the coordinator must wait for that pull before
+            // the next mutation.
+            if self.job.deterministic && self.last_iter[reply.worker] < self.targets[reply.worker] {
+                self.pending_pulls += 1;
+            }
+        }
+        if let Some(eval_now) = self.sl.take_pending_eval() {
+            pull_for_eval(
+                self.job,
+                fan,
+                &mut self.eval_weights,
+                &mut self.eval_versions,
+            )?;
+            self.sl.record_eval_external(&self.eval_weights, eval_now);
+        }
+        if self.sl.aborted() {
+            return Err(NetError::Aborted {
+                pushes: self.sl.version(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Assembles the group's current weights into the reused buffers via a fan-out pull
+/// (delta-incremental against the coordinator's own cache when the job allows).
+fn pull_for_eval(
+    job: &JobConfig,
+    fan: &mut ShardFan,
+    weights: &mut Vec<f32>,
+    versions: &mut Vec<u64>,
+) -> Result<(), NetError> {
+    match fan.pull_group(job.delta_pulls, weights, versions)? {
+        FanOutcome::Applied => Ok(()),
+        FanOutcome::Shutdown { .. } => Err(NetError::Protocol(
+            "a shard server shut down underneath the coordinator".to_string(),
+        )),
+    }
+}
+
+/// Gathers every shard server's counters into [`GroupServerStats`] rows.
+fn collect_group_stats(fan: &mut ShardFan) -> Result<Vec<GroupServerStats>, NetError> {
+    let layout = *fan.layout();
+    let stats = fan.collect_stats()?;
+    Ok(stats
+        .into_iter()
+        .enumerate()
+        .map(
+            |(server, (pushes, pulls_full, pulls_delta, bytes_sent, bytes_received))| {
+                let (start, end) = layout.key_range(server);
+                GroupServerStats {
+                    server,
+                    params: end - start,
+                    shards: layout.owned_shards(server),
+                    pushes,
+                    pulls_full,
+                    pulls_delta,
+                    bytes_sent,
+                    bytes_received,
+                }
+            },
+        )
+        .collect())
+}

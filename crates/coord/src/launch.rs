@@ -1,0 +1,205 @@
+//! Multi-process group deployment on one machine: N shard-server processes, M worker
+//! processes, and the coordinator in-process.
+//!
+//! This is the `repro -- launch --servers N` backend. Shard servers bind ephemeral
+//! ports, so each child announces its address on stdout as a `DSSP_LISTEN <addr>`
+//! line (the [`LISTEN_LINE_PREFIX`] contract with the `repro serve --server-index`
+//! mode); the launcher reads that line, forwards the rest of the child's output, and
+//! passes every address to the workers. All children are reaped on every exit path —
+//! success, coordinator failure, or a `fail_after_pushes` chaos abort (where the
+//! shutdown broadcast reaches workers both directly and relayed via their shard
+//! servers).
+
+use crate::coordinator::coordinate;
+use crate::run::connect_links;
+use dssp_core::driver::JobConfig;
+use dssp_net::{NetError, TcpServerTransport};
+use dssp_sim::RunTrace;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// The stdout line prefix a `serve --server-index` child uses to announce its bound
+/// address to the launcher.
+pub const LISTEN_LINE_PREFIX: &str = "DSSP_LISTEN ";
+
+/// The result of a multi-process group launch.
+#[derive(Debug)]
+pub struct GroupLaunchOutcome {
+    /// The coordinator's run trace (with per-server group statistics).
+    pub trace: RunTrace,
+    /// The address the coordinator listened on for workers.
+    pub coord_addr: SocketAddr,
+    /// The shard servers' addresses, in server order.
+    pub server_addrs: Vec<String>,
+}
+
+/// Spawns `job.servers` shard-server processes and `job.num_workers` worker processes
+/// running `exe`, coordinates the run in-process, and reaps every child.
+///
+/// `listen` is the coordinator's bind address for workers (port 0 for ephemeral).
+/// `exe` is typically `std::env::current_exe()` of the `repro` binary; children are
+/// invoked as `exe serve --server-index I --listen 127.0.0.1:0 <job flags>` and
+/// `exe worker --connect ADDR --server-addrs A,B,... --rank K <job flags>`.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent ([`JobConfig::validate`]).
+pub fn launch_group(
+    job: &JobConfig,
+    listen: &str,
+    exe: &Path,
+) -> Result<GroupLaunchOutcome, NetError> {
+    job.validate();
+    let mut children: Vec<Child> = Vec::new();
+
+    // Phase 1: shard servers. Each prints its DSSP_LISTEN line before serving.
+    let mut server_addrs: Vec<String> = Vec::with_capacity(job.servers);
+    for index in 0..job.servers {
+        let spawned = Command::new(exe)
+            .arg("serve")
+            .arg("--server-index")
+            .arg(index.to_string())
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .args(dssp_net::cli::job_args(job))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .spawn();
+        let mut child = match spawned {
+            Ok(child) => child,
+            Err(e) => {
+                reap(&mut children, true);
+                return Err(NetError::WorkerProcess(format!(
+                    "failed to spawn shard server {index}: {e}"
+                )));
+            }
+        };
+        match read_listen_line(&mut child) {
+            Ok(addr) => server_addrs.push(addr),
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                reap(&mut children, true);
+                return Err(NetError::WorkerProcess(format!(
+                    "shard server {index} never announced its address: {e}"
+                )));
+            }
+        }
+        children.push(child);
+    }
+
+    // Phase 2: the coordinator's worker-facing listener and its server links.
+    let bind = TcpServerTransport::bind(listen, job.num_workers);
+    let mut transport = match bind {
+        Ok(t) => t,
+        Err(e) => {
+            reap(&mut children, true);
+            return Err(e);
+        }
+    };
+    let coord_addr = transport.local_addr();
+    let timeout = Some(Duration::from_millis(job.stall_timeout_ms.max(1)));
+    let links = match connect_links(&server_addrs, timeout) {
+        Ok(links) => links,
+        Err(e) => {
+            reap(&mut children, true);
+            return Err(e);
+        }
+    };
+
+    // Phase 3: worker processes.
+    for rank in 0..job.num_workers {
+        let spawned = Command::new(exe)
+            .arg("worker")
+            .arg("--connect")
+            .arg(coord_addr.to_string())
+            .arg("--server-addrs")
+            .arg(server_addrs.join(","))
+            .arg("--rank")
+            .arg(rank.to_string())
+            .args(dssp_net::cli::job_args(job))
+            .stdin(Stdio::null())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                reap(&mut children, true);
+                return Err(NetError::WorkerProcess(format!(
+                    "failed to spawn worker {rank}: {e}"
+                )));
+            }
+        }
+    }
+
+    let result = coordinate(job, &mut transport, links);
+    let kill = result.is_err();
+    let failures = reap(&mut children, kill);
+
+    let trace = result?;
+    if !failures.is_empty() {
+        return Err(NetError::WorkerProcess(format!(
+            "group child processes exited unsuccessfully: {failures:?}"
+        )));
+    }
+    Ok(GroupLaunchOutcome {
+        trace,
+        coord_addr,
+        server_addrs,
+    })
+}
+
+/// Reads a shard-server child's stdout until its `DSSP_LISTEN` line, then forwards
+/// the rest of its output to this process's stdout from a background thread.
+fn read_listen_line(child: &mut Child) -> Result<String, String> {
+    let stdout = child.stdout.take().ok_or("stdout not piped")?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("child exited before announcing".to_string());
+        }
+        if let Some(addr) = line.trim_end().strip_prefix(LISTEN_LINE_PREFIX) {
+            let addr = addr.trim().to_string();
+            // Keep the child's remaining log lines visible without blocking it.
+            std::thread::spawn(move || {
+                let mut reader = reader;
+                let mut line = String::new();
+                while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+                    print!("{line}");
+                    line.clear();
+                }
+            });
+            return Ok(addr);
+        }
+        print!("{line}");
+    }
+}
+
+/// Waits for every child (killing first if `kill`), returning the indices that failed.
+fn reap(children: &mut [Child], kill: bool) -> Vec<usize> {
+    let mut failures = Vec::new();
+    for (i, child) in children.iter_mut().enumerate() {
+        if kill {
+            let _ = child.kill();
+        }
+        match child.wait() {
+            Ok(status) if status.success() || kill => {}
+            Ok(status) => {
+                eprintln!("group child {i} exited with {status}");
+                failures.push(i);
+            }
+            Err(e) => {
+                eprintln!("failed to wait for group child {i}: {e}");
+                failures.push(i);
+            }
+        }
+    }
+    failures
+}

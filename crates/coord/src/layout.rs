@@ -1,0 +1,160 @@
+//! The closed-form group layout: which shard server owns which global shards.
+//!
+//! Two nested applications of the same split. [`dssp_ps::shard_range`] divides the
+//! `params`-long model into `shards` near-equal contiguous key ranges (the delta-pull
+//! granularity), and divides those `shards` shard indices into `servers` near-equal
+//! contiguous runs (the ownership assignment). Both ends of every connection compute
+//! the layout from three integers carried in the config digest, so neither key ranges
+//! nor ownership are ever wire-carried — exactly the property the single-server delta
+//! protocol already relied on, extended one level up.
+
+use dssp_ps::shard_range;
+
+/// The group layout of one job: model size, shard count and server count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLayout {
+    params: usize,
+    shards: usize,
+    servers: usize,
+}
+
+impl GroupLayout {
+    /// Builds the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, there are more servers than shards, or more
+    /// shards than parameters (for a non-empty model).
+    pub fn new(params: usize, shards: usize, servers: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(servers > 0, "need at least one server");
+        assert!(
+            servers <= shards,
+            "every server must own at least one shard"
+        );
+        assert!(
+            params == 0 || shards <= params,
+            "cannot split {params} parameters into {shards} shards"
+        );
+        Self {
+            params,
+            shards,
+            servers,
+        }
+    }
+
+    /// Total model parameters.
+    pub fn params(&self) -> usize {
+        self.params
+    }
+
+    /// Global shard count (the delta-pull granularity).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard-server count.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The run of global shard indices `[lo, hi)` that server `server` owns.
+    pub fn shard_span(&self, server: usize) -> (usize, usize) {
+        shard_range(self.shards, self.servers, server)
+    }
+
+    /// Number of global shards `server` owns.
+    pub fn owned_shards(&self, server: usize) -> usize {
+        let (lo, hi) = self.shard_span(server);
+        hi - lo
+    }
+
+    /// The key range `[start, end)` of the flat parameter vector that `server` owns
+    /// (the concatenation of its shards' key ranges).
+    pub fn key_range(&self, server: usize) -> (usize, usize) {
+        let (lo, hi) = self.shard_span(server);
+        let start = shard_range(self.params, self.shards, lo).0;
+        let end = shard_range(self.params, self.shards, hi - 1).1;
+        (start, end)
+    }
+
+    /// The key range `[start, end)` of one global shard.
+    pub fn shard_key_range(&self, shard: usize) -> (usize, usize) {
+        shard_range(self.params, self.shards, shard)
+    }
+
+    /// The server owning a global shard index.
+    pub fn server_of_shard(&self, shard: usize) -> usize {
+        assert!(shard < self.shards, "shard index out of range");
+        (0..self.servers)
+            .find(|&s| {
+                let (lo, hi) = self.shard_span(s);
+                (lo..hi).contains(&shard)
+            })
+            .expect("spans cover every shard")
+    }
+
+    /// Boundary offsets of `server`'s owned shards **relative to its slice start**
+    /// (one start per owned shard plus a final sentinel equal to the slice length) —
+    /// what `ShardedStore::with_offsets` wants. Taken from the global layout, so the
+    /// server's local shard boundaries are the global ones, not a recomputation from
+    /// the slice length.
+    pub fn local_offsets(&self, server: usize) -> Vec<usize> {
+        let (lo, hi) = self.shard_span(server);
+        let base = self.shard_key_range(lo).0;
+        let mut offsets: Vec<usize> = (lo..hi).map(|s| self.shard_key_range(s).0 - base).collect();
+        offsets.push(self.key_range(server).1 - base);
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_tile_the_shards_and_keys_exactly() {
+        for params in [1usize, 7, 64, 997] {
+            for shards in [1usize, 2, 5, 16] {
+                if shards > params {
+                    continue;
+                }
+                for servers in 1..=shards.min(6) {
+                    let l = GroupLayout::new(params, shards, servers);
+                    let mut next_shard = 0;
+                    let mut next_key = 0;
+                    for s in 0..servers {
+                        let (lo, hi) = l.shard_span(s);
+                        assert_eq!(lo, next_shard, "shard gap at server {s}");
+                        assert!(hi > lo, "server {s} owns no shard");
+                        next_shard = hi;
+                        let (a, b) = l.key_range(s);
+                        assert_eq!(a, next_key, "key gap at server {s}");
+                        next_key = b;
+                        for shard in lo..hi {
+                            assert_eq!(l.server_of_shard(shard), s);
+                        }
+                    }
+                    assert_eq!(next_shard, shards);
+                    assert_eq!(next_key, params);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_offsets_match_the_global_shard_boundaries() {
+        let l = GroupLayout::new(10, 4, 2);
+        // Global shards: [0..3) [3..6) [6..8) [8..10); server 1 owns shards 2..4.
+        assert_eq!(l.shard_span(1), (2, 4));
+        assert_eq!(l.key_range(1), (6, 10));
+        assert_eq!(l.local_offsets(1), vec![0, 2, 4]);
+        assert_eq!(l.local_offsets(0), vec![0, 3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every server must own at least one shard")]
+    fn more_servers_than_shards_rejected() {
+        GroupLayout::new(10, 2, 3);
+    }
+}

@@ -1,0 +1,336 @@
+//! The storage-only half of a group: one shard server's state and serving loop.
+//!
+//! A shard server owns a contiguous slice of the model (the key ranges of the global
+//! shards [`crate::GroupLayout`] assigns to it), an [`Sgd`] optimizer for exactly that
+//! slice, and nothing else — no clocks, no policy, no notion of which worker is ahead.
+//! It applies every [`Message::PushSlice`] on receipt (acknowledged with a
+//! [`Message::SliceAck`], so a worker's `Done` implies its gradients are in the
+//! weights) and answers [`Message::PullShards`] from its store — incrementally when
+//! the client's version vector permits, fully otherwise. Because SGD is elementwise,
+//! a slice of the optimizer state evolves bitwise identically to the corresponding
+//! slice of a whole-model optimizer; that is what makes an N-server group bitwise
+//! equal to a single server under deterministic scheduling.
+//!
+//! The loop tolerates worker disconnects (finished workers drop their connections
+//! while slower peers keep training) and exits on the coordinator's `Shutdown`, which
+//! it forwards to any worker still connected.
+
+use crate::layout::GroupLayout;
+use dssp_core::driver::JobConfig;
+use dssp_net::wire;
+use dssp_net::{require_helloed, validate_hello, Message, NetError, ServerTransport};
+use dssp_nn::{Model, Sgd};
+use dssp_ps::ShardedStore;
+
+/// One shard server's storage and counters, independent of any transport. Benchmarks
+/// and tests drive it directly; [`serve_shard`] wraps it in the wire loop.
+pub struct ShardServerState {
+    layout: GroupLayout,
+    index: usize,
+    store: ShardedStore,
+    sgd: Sgd,
+    pushes: u64,
+    pulls_full: u64,
+    pulls_delta: u64,
+}
+
+impl ShardServerState {
+    /// Builds server `index`'s slice of a job: the model is regenerated from the job
+    /// seed (every process arrives at identical initial weights this way) and sliced
+    /// to the server's key range, along with a fresh optimizer for that slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `index` is out of range.
+    pub fn from_job(job: &JobConfig, index: usize) -> Self {
+        job.validate();
+        let initial = job.model.build(job.seed).params_flat();
+        Self::with_initial(job, index, &initial)
+    }
+
+    /// Like [`ShardServerState::from_job`] but slices an already materialized full
+    /// initial parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `initial` has the wrong length.
+    pub fn with_initial(job: &JobConfig, index: usize, initial: &[f32]) -> Self {
+        let layout = GroupLayout::new(initial.len(), job.shards, job.servers);
+        assert!(index < job.servers, "server index out of range");
+        let (start, end) = layout.key_range(index);
+        let store =
+            ShardedStore::with_offsets(initial[start..end].to_vec(), layout.local_offsets(index));
+        let sgd = Sgd::new(job.sgd.clone(), end - start);
+        Self {
+            layout,
+            index,
+            store,
+            sgd,
+            pushes: 0,
+            pulls_full: 0,
+            pulls_delta: 0,
+        }
+    }
+
+    /// This server's index in the group.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The group layout the server derives its ownership from.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Parameters in this server's slice.
+    pub fn slice_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Global shards this server owns.
+    pub fn owned_shards(&self) -> usize {
+        self.store.num_shards()
+    }
+
+    /// Slice pushes applied so far (this server's local clock).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// `(pulls_full, pulls_delta)` served so far.
+    pub fn pull_counts(&self) -> (u64, u64) {
+        (self.pulls_full, self.pulls_delta)
+    }
+
+    /// The slice weights, for tests and eval assembly.
+    pub fn weights(&self) -> &[f32] {
+        self.store.as_flat()
+    }
+
+    /// Applies one gradient slice with the server's optimizer and bumps every owned
+    /// shard's version; returns the local version after the push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the server's key range.
+    pub fn apply_slice(&mut self, grads: &[f32]) -> u64 {
+        assert_eq!(
+            grads.len(),
+            self.store.len(),
+            "gradient slice length {} does not match server {}'s slice {}",
+            grads.len(),
+            self.index,
+            self.store.len()
+        );
+        self.sgd.step(self.store.flat_mut(), grads);
+        self.store.bump_all_versions();
+        self.pushes += 1;
+        self.pushes
+    }
+
+    /// Encodes the reply to a [`Message::PullShards`] into `buf` (appended): a
+    /// [`Message::PullReplyDelta`] whose updates carry **global** shard indices, built
+    /// zero-copy from the store. Ships every owned shard when `all` is set or the
+    /// client's vector is incompatible (counted as a full pull), only the stale
+    /// shards otherwise.
+    ///
+    /// Returns an error if `known` does not have one entry per owned shard.
+    pub fn encode_pull(
+        &mut self,
+        known: &[u64],
+        all: bool,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
+        if known.len() != self.store.num_shards() {
+            return Err(NetError::Protocol(format!(
+                "pull for server {} carries {} versions, it owns {} shards",
+                self.index,
+                known.len(),
+                self.store.num_shards()
+            )));
+        }
+        let (lo, _) = self.layout.shard_span(self.index);
+        let full = all || !self.store.delta_compatible(known);
+        if full {
+            self.pulls_full += 1;
+            let versions = self.store.versions();
+            wire::encode_pull_reply_delta(
+                buf,
+                self.pushes,
+                (0..self.store.num_shards())
+                    .map(|i| ((lo + i) as u32, versions[i], self.store.shard(i))),
+            );
+        } else {
+            self.pulls_delta += 1;
+            let versions = self.store.versions();
+            wire::encode_pull_reply_delta(
+                buf,
+                self.pushes,
+                self.store
+                    .stale_shards(known)
+                    .map(|i| ((lo + i) as u32, versions[i], self.store.shard(i))),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// What [`serve_shard`] reports when its run ends cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardServeReport {
+    /// Slice pushes applied.
+    pub pushes: u64,
+    /// Pulls answered with every owned shard.
+    pub pulls_full: u64,
+    /// Pulls answered incrementally.
+    pub pulls_delta: u64,
+}
+
+/// Runs shard server `index` of a group over the given transport until the
+/// coordinator shuts it down.
+///
+/// The transport must serve `job.num_workers + 1` client slots: ranks
+/// `0..num_workers` are workers and rank `num_workers` is the coordinator. Every
+/// client handshakes with a [`Message::GroupHello`] whose topology and config digest
+/// must match the server's own job. Worker disconnects are tolerated at any time
+/// (the coordinator is the authority on run health); a coordinator disconnect without
+/// a preceding `Shutdown` is an error.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent or `index` is out of range.
+pub fn serve_shard(
+    job: &JobConfig,
+    index: usize,
+    transport: &mut dyn ServerTransport,
+) -> Result<ShardServeReport, NetError> {
+    job.validate();
+    let coordinator_rank = job.num_workers;
+    if transport.num_workers() != job.num_workers + 1 {
+        return Err(NetError::Protocol(format!(
+            "shard server transport has {} client slots, need workers + coordinator = {}",
+            transport.num_workers(),
+            job.num_workers + 1
+        )));
+    }
+    let mut state = ShardServerState::from_job(job, index);
+    let expected_digest = job.digest();
+    let mut helloed = vec![false; job.num_workers + 1];
+    let mut reply_buf: Vec<u8> = Vec::new();
+
+    loop {
+        let (rank, msg) = match transport.recv() {
+            Ok(pair) => pair,
+            // Finished workers drop their connections while the run continues; only
+            // the coordinator's departure is fatal (it always sends Shutdown first).
+            Err(NetError::ClientLost { rank }) if rank != coordinator_rank => continue,
+            Err(NetError::ClientLost { rank }) => {
+                return Err(NetError::Protocol(format!(
+                    "coordinator (rank {rank}) vanished without Shutdown"
+                )))
+            }
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::GroupHello {
+                version,
+                rank: hello_rank,
+                num_workers,
+                config_digest,
+                servers,
+                server_index,
+            } => {
+                // Topology first (this server's identity), then the checks every
+                // handshake shares.
+                if servers as usize != job.servers || server_index as usize != index {
+                    return Err(NetError::Protocol(format!(
+                        "client {rank} expects a {servers}-server group talking to server \
+                         {server_index}; this is server {index} of a {}-server group",
+                        job.servers
+                    )));
+                }
+                validate_hello(
+                    rank,
+                    version,
+                    hello_rank,
+                    num_workers,
+                    config_digest,
+                    job.num_workers,
+                    expected_digest,
+                    &mut helloed,
+                )?;
+            }
+            Message::PushSlice {
+                iteration: _,
+                grads,
+            } => {
+                require_helloed(&helloed, rank)?;
+                if rank == coordinator_rank {
+                    return Err(NetError::Protocol(
+                        "coordinator must not push gradients".to_string(),
+                    ));
+                }
+                let version = state.apply_slice(&grads);
+                transport.recycle_f32s(rank, grads);
+                transport.send(rank, &Message::SliceAck { version })?;
+            }
+            Message::PullShards {
+                known_versions,
+                all,
+            } => {
+                require_helloed(&helloed, rank)?;
+                reply_buf.clear();
+                state.encode_pull(&known_versions, all, &mut reply_buf)?;
+                transport.send_payload(rank, &reply_buf)?;
+                transport.recycle_u64s(rank, known_versions);
+            }
+            Message::StatsRequest => {
+                require_helloed(&helloed, rank)?;
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} requested stats (coordinator-only)"
+                    )));
+                }
+                let t = transport.transport_stats();
+                transport.send(
+                    rank,
+                    &Message::StatsReply {
+                        pushes: state.pushes,
+                        pulls_full: state.pulls_full,
+                        pulls_delta: state.pulls_delta,
+                        bytes_sent: t.bytes_sent,
+                        bytes_received: t.bytes_received,
+                    },
+                )?;
+            }
+            Message::Shutdown { reason } => {
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} sent Shutdown (coordinator-only)"
+                    )));
+                }
+                // Forward to any worker still connected (e.g. blocked mid-fan-out on
+                // an abort), then exit.
+                for w in 0..job.num_workers {
+                    let _ = transport.send(w, &Message::Shutdown { reason });
+                }
+                return Ok(ShardServeReport {
+                    pushes: state.pushes,
+                    pulls_full: state.pulls_full,
+                    pulls_delta: state.pulls_delta,
+                });
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected {other:?} from client {rank} at shard server {index}"
+                )))
+            }
+        }
+    }
+}
+
+/// Builds the full model's initial weights the way every worker and server does (from
+/// the job seed), for tests and benchmarks that slice them by hand.
+pub fn initial_params(job: &JobConfig) -> Vec<f32> {
+    job.model.build(job.seed).params_flat()
+}

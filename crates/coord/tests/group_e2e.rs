@@ -1,0 +1,157 @@
+//! End-to-end group runs over real localhost TCP: correctness, chaos shutdown, and
+//! the timeout hardening that names a lost shard server.
+
+use dssp_coord::{connect_links, run_group_threads, serve_shard};
+use dssp_core::driver::JobConfig;
+use dssp_net::wire::PROTOCOL_VERSION;
+use dssp_net::{Message, NetError, TcpServerTransport};
+use dssp_ps::PolicyKind;
+use std::time::Duration;
+
+fn group_job(policy: PolicyKind, servers: usize) -> JobConfig {
+    let mut job = JobConfig::small(policy);
+    job.shards = 4;
+    job.servers = servers;
+    job.epochs = 1;
+    job
+}
+
+#[test]
+fn two_server_group_trains_and_aggregates_stats() {
+    let job = group_job(PolicyKind::Dssp { s_l: 1, r_max: 4 }, 2);
+    let outcome = run_group_threads(&job).expect("group run completes");
+    let trace = outcome.trace;
+    assert!(trace.total_pushes > 0);
+    assert_eq!(trace.workers, job.num_workers);
+    // Every worker finished all of its iterations.
+    let per_worker: u64 = trace.worker_summaries.iter().map(|w| w.iterations).sum();
+    assert_eq!(per_worker, trace.total_pushes);
+    // Per-server stats are aggregated into the trace: every push reached both
+    // servers, and the slice sizes tile the model.
+    assert_eq!(trace.group_servers.len(), 2);
+    for gs in &trace.group_servers {
+        assert_eq!(gs.pushes, trace.total_pushes, "server {}", gs.server);
+        assert!(gs.bytes_sent > 0 && gs.bytes_received > 0);
+        assert_eq!(gs.shards, 2);
+    }
+    // Workers trained on delta pulls after the initial full fan-out. The cached
+    // versions come from each worker's *last* pull, which precedes its own final
+    // push, so they trail the final clock by a little.
+    for report in &outcome.workers {
+        assert!(!report.shutdown_early);
+        assert_eq!(report.full_pulls, 1);
+        assert!(report.delta_pulls > 0);
+        assert_eq!(report.last_shard_versions.len(), job.shards);
+        for &v in &report.last_shard_versions {
+            assert!(v > 0 && v <= trace.total_pushes);
+        }
+    }
+    // The run actually learned something.
+    assert!(
+        trace.final_accuracy() > 0.3,
+        "final accuracy {}",
+        trace.final_accuracy()
+    );
+}
+
+#[test]
+fn group_runs_with_delta_pulls_off_use_full_fanouts() {
+    let mut job = group_job(PolicyKind::Bsp, 2);
+    job.delta_pulls = false;
+    let outcome = run_group_threads(&job).expect("group run completes");
+    for report in &outcome.workers {
+        assert_eq!(report.delta_pulls, 0);
+        assert!(report.full_pulls >= 1);
+    }
+    let (full, delta): (u64, u64) = outcome
+        .trace
+        .group_servers
+        .iter()
+        .fold((0, 0), |(f, d), gs| (f + gs.pulls_full, d + gs.pulls_delta));
+    assert!(full > 0);
+    assert_eq!(delta, 0);
+}
+
+#[test]
+fn chaos_abort_at_group_scale_shuts_every_role_down() {
+    let mut job = group_job(PolicyKind::Asp, 2);
+    job.fail_after_pushes = Some(3);
+    let started = std::time::Instant::now();
+    let err = run_group_threads(&job).expect_err("chaos hook must abort the run");
+    assert!(
+        matches!(err, NetError::Aborted { pushes } if pushes >= 3),
+        "unexpected error: {err}"
+    );
+    // run_group_threads joins every worker and shard-server thread before returning;
+    // a leaked blocked worker would hang well past this bound.
+    assert!(started.elapsed() < Duration::from_secs(20));
+}
+
+#[test]
+fn losing_a_shard_server_names_it_instead_of_stalling() {
+    // A "server" that accepts the connection and the hello, then goes silent: the
+    // worker-side read timeout must fire with an error naming the shard server.
+    let server = TcpServerTransport::bind("127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut links =
+        connect_links(&[addr.clone()], Some(Duration::from_millis(200))).expect("connect");
+    let link = &mut links[0];
+    link.transport
+        .send(&Message::GroupHello {
+            version: PROTOCOL_VERSION,
+            rank: 0,
+            num_workers: 1,
+            config_digest: 0,
+            servers: 1,
+            server_index: 0,
+        })
+        .unwrap();
+    link.transport
+        .send(&Message::PullShards {
+            known_versions: vec![0],
+            all: true,
+        })
+        .unwrap();
+    let err = link
+        .transport
+        .recv()
+        .expect_err("silent server must time out");
+    match err {
+        NetError::PeerTimeout { peer, timeout_ms } => {
+            assert!(
+                peer.contains("shard server 0"),
+                "error must name the server: {peer}"
+            );
+            assert_eq!(timeout_ms, 200);
+        }
+        other => panic!("expected PeerTimeout, got {other}"),
+    }
+    drop(server);
+}
+
+#[test]
+fn shard_server_rejects_mismatched_topology_and_digest() {
+    let job = group_job(PolicyKind::Bsp, 2);
+    let mut transport = TcpServerTransport::bind("127.0.0.1:0", job.num_workers + 1).unwrap();
+    let addr = transport.local_addr().to_string();
+    let job_for_server = job.clone();
+    let handle = std::thread::spawn(move || serve_shard(&job_for_server, 0, &mut transport));
+    let mut links = connect_links(&[addr], None).expect("connect");
+    // Wrong server_index: the client thinks it is talking to server 1.
+    links[0]
+        .transport
+        .send(&Message::GroupHello {
+            version: PROTOCOL_VERSION,
+            rank: 0,
+            num_workers: job.num_workers as u32,
+            config_digest: job.digest(),
+            servers: job.servers as u32,
+            server_index: 1,
+        })
+        .unwrap();
+    let result = handle.join().expect("server thread");
+    assert!(
+        matches!(result, Err(NetError::Protocol(_))),
+        "mismatched topology must be refused: {result:?}"
+    );
+}

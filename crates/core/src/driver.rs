@@ -31,7 +31,7 @@
 use dssp_data::BatchIter;
 use dssp_nn::models::ModelSpec;
 use dssp_nn::{accuracy, Model, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy, Workspace};
-use dssp_ps::{ParameterServer, PolicyKind, ServerConfig};
+use dssp_ps::{ParameterServer, PolicyKind, ServerConfig, SyncGate};
 use dssp_sim::{DataSpec, RunTrace, TracePoint, WorkerSummary};
 use dssp_tensor::Tensor;
 use std::collections::VecDeque;
@@ -68,6 +68,14 @@ pub struct JobConfig {
     /// Number of contiguous key-range shards for the server's parameter storage
     /// (1 = flat). Weight arithmetic is bitwise independent of this setting.
     pub shards: usize,
+    /// Number of shard-server processes the model's shards are spread over in a
+    /// multi-server group deployment (`dssp-coord`). `1` is the classic single-server
+    /// topology (and the only value the simulator, the threaded runtime and plain
+    /// `dssp-net` serve/worker accept). Server `i` owns the contiguous run of global
+    /// shards given by `dssp_ps::shard_range(shards, servers, i)`, so the assignment
+    /// is never carried on the wire. Part of the config digest: a group worker cannot
+    /// silently join a job with a different topology.
+    pub servers: usize,
     /// Whether networked workers request incremental pulls (`PullDelta` with their
     /// cached per-shard versions, the server shipping only shards whose version
     /// advanced) instead of re-downloading the full model every iteration. On by
@@ -114,6 +122,7 @@ impl JobConfig {
             eval_max_examples: 128,
             extra_compute_delay_ms: Vec::new(),
             shards: 1,
+            servers: 1,
             delta_pulls: true,
             deterministic: false,
             fail_after_pushes: None,
@@ -153,6 +162,14 @@ impl JobConfig {
     pub fn validate(&self) {
         assert!(self.num_workers > 0, "need at least one worker");
         assert!(self.shards > 0, "need at least one storage shard");
+        assert!(self.servers > 0, "need at least one shard server");
+        assert!(
+            self.servers <= self.shards,
+            "cannot spread {} shards over {} shard servers (every server must own at \
+             least one shard; raise --shards)",
+            self.shards,
+            self.servers
+        );
         assert_eq!(
             self.model.classes(),
             self.data.classes(),
@@ -170,7 +187,7 @@ impl JobConfig {
     /// and its workers refuse to train under silently different configurations.
     pub fn digest(&self) -> u64 {
         let canonical = format!(
-            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{}|{:?}",
+            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{}|{}|{:?}",
             self.model,
             self.data,
             self.num_workers,
@@ -183,6 +200,7 @@ impl JobConfig {
             self.eval_max_examples,
             self.extra_compute_delay_ms,
             self.shards,
+            self.servers,
             self.delta_pulls,
             self.deterministic,
             self.fail_after_pushes,
@@ -305,6 +323,12 @@ impl WorkerStep {
         self.batches.epoch()
     }
 
+    /// Total number of model parameters (the flat weight/gradient vector length).
+    /// Group workers size their global weight cache from this before the first pull.
+    pub fn param_len(&self) -> usize {
+        self.model.param_len()
+    }
+
     /// Runs one training iteration on `weights`: installs them in the local replica,
     /// draws the next mini-batch, and returns the flat gradient vector to push.
     /// Allocating convenience over [`WorkerStep::compute_gradient_into`] for substrates
@@ -396,10 +420,23 @@ pub struct OkReply {
     pub granted_extra: u64,
 }
 
+/// Where a [`ServerLoop`]'s parameter storage lives.
+enum Backend {
+    /// Storage and gating in one process — the classic topology every pre-group
+    /// substrate uses.
+    Local(ParameterServer),
+    /// Gating only: the weights live on remote shard servers and only clock messages
+    /// reach this loop (the `dssp-coord` coordinator). Pushes carry no gradients and
+    /// evaluation weights are supplied externally
+    /// ([`ServerLoop::record_eval_external`]).
+    Clock(SyncGate),
+}
+
 /// The server decision-loop state shared by the threaded and networked runtimes: owns
-/// the [`ParameterServer`], periodic evaluation, and the run summary.
+/// the [`ParameterServer`] (or, in a group coordinator, just its gating half),
+/// periodic evaluation, and the run summary.
 pub struct ServerLoop {
-    server: ParameterServer,
+    backend: Backend,
     eval_model: Sequential,
     eval_batch: (Tensor, Vec<usize>),
     eval_ws: Workspace,
@@ -420,13 +457,17 @@ pub struct ServerLoop {
     tick: f64,
     fail_after: Option<u64>,
     aborted: bool,
+    /// Set when a clock-only loop crosses its evaluation threshold: the logical/wall
+    /// time the pending evaluation must be stamped with. The coordinator assembles the
+    /// group's weights and calls [`ServerLoop::record_eval_external`].
+    pending_eval: Option<f64>,
 }
 
 impl std::fmt::Debug for ServerLoop {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerLoop")
             .field("policy", &self.policy_label)
-            .field("version", &self.server.version())
+            .field("version", &self.version())
             .field("done", &self.done_count)
             .finish()
     }
@@ -452,6 +493,26 @@ impl ServerLoop {
     ///
     /// Panics if the configuration is inconsistent.
     pub fn with_dataset(config: &JobConfig, dataset: &dssp_data::Dataset) -> Self {
+        Self::build(config, dataset, false)
+    }
+
+    /// Builds the **gating-only** server side of a job: the same evaluation batch, run
+    /// summary and decision logic as [`ServerLoop::new`], but no parameter storage —
+    /// the weights live on remote shard servers. This is the group coordinator's loop:
+    /// it handles [`WorkerEvent::Push`] events with empty gradient vectors (only the
+    /// clock matters), raises [`ServerLoop::take_pending_eval`] when an evaluation is
+    /// due, and is finished with [`ServerLoop::finish_external`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn clock_only(config: &JobConfig) -> Self {
+        config.validate();
+        let dataset = config.data.generate(config.seed);
+        Self::build(config, &dataset, true)
+    }
+
+    fn build(config: &JobConfig, dataset: &dssp_data::Dataset, clock_only: bool) -> Self {
         config.validate();
         let targets: Vec<u64> = dataset
             .shard_train(config.num_workers)
@@ -459,15 +520,19 @@ impl ServerLoop {
             .map(|shard| config.target_iterations(shard.len()))
             .collect();
         let reference = config.model.build(config.seed);
-        let initial_params = reference.params_flat();
-        let sgd = Sgd::new(config.sgd.clone(), initial_params.len());
-        let server = ParameterServer::new(
-            initial_params,
-            sgd,
-            ServerConfig::new(config.num_workers, config.policy).with_shards(config.shards),
-        );
+        let backend = if clock_only {
+            Backend::Clock(SyncGate::new(config.num_workers, config.policy))
+        } else {
+            let initial_params = reference.params_flat();
+            let sgd = Sgd::new(config.sgd.clone(), initial_params.len());
+            Backend::Local(ParameterServer::new(
+                initial_params,
+                sgd,
+                ServerConfig::new(config.num_workers, config.policy).with_shards(config.shards),
+            ))
+        };
         Self {
-            server,
+            backend,
             eval_model: reference,
             eval_batch: dataset.test_batch(config.eval_max_examples),
             eval_ws: Workspace::new(),
@@ -486,6 +551,7 @@ impl ServerLoop {
             tick: 0.0,
             fail_after: config.fail_after_pushes,
             aborted: false,
+            pending_eval: None,
         }
     }
 
@@ -494,22 +560,49 @@ impl ServerLoop {
         &self.targets
     }
 
+    /// Total number of model parameters. Available in both backends (the evaluation
+    /// replica knows the model size even when the weights live remotely), so a group
+    /// coordinator can size its assembly buffers.
+    pub fn param_len(&self) -> usize {
+        self.eval_model.param_len()
+    }
+
     /// The underlying parameter server (weights, clocks, statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a clock-only loop, which has no local parameter store.
     pub fn server(&self) -> &ParameterServer {
-        &self.server
+        match &self.backend {
+            Backend::Local(ps) => ps,
+            Backend::Clock(_) => panic!("clock-only server loops have no parameter store"),
+        }
+    }
+
+    /// Whether this loop holds the weights locally (`false` for a group coordinator,
+    /// whose weights live on its shard servers).
+    pub fn has_store(&self) -> bool {
+        matches!(self.backend, Backend::Local(_))
     }
 
     /// Copies the current global weights (what an `OK` or pull reply ships). The
     /// networked runtime serves pulls zero-copy from the store instead
     /// (`ParameterServer::store`); this allocating form remains for the threaded
     /// runtime, whose `OK`s move an owned weight vector across a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a clock-only loop.
     pub fn pull(&self) -> Vec<f32> {
-        self.server.weights().to_vec()
+        self.server().weights().to_vec()
     }
 
     /// Total pushes applied so far.
     pub fn version(&self) -> u64 {
-        self.server.version()
+        match &self.backend {
+            Backend::Local(ps) => ps.version(),
+            Backend::Clock(gate) => gate.version(),
+        }
     }
 
     /// Whether every worker has reported [`WorkerEvent::Done`].
@@ -577,8 +670,12 @@ impl ServerLoop {
                 });
                 self.done[worker] = true;
                 self.done_count += 1;
-                self.server
-                    .retire_worker(worker, now)
+                let mut released = Vec::new();
+                match &mut self.backend {
+                    Backend::Local(ps) => released = ps.retire_worker(worker, now),
+                    Backend::Clock(gate) => gate.retire_into(worker, now, &mut released),
+                }
+                released
                     .into_iter()
                     .filter(|&released| !self.done[released])
                     .map(|released| OkReply {
@@ -608,9 +705,14 @@ impl ServerLoop {
     ) {
         let now = self.clock(wall_now);
         self.released_scratch.clear();
-        let decision = self
-            .server
-            .handle_push_into(worker, grads, now, &mut self.released_scratch);
+        let decision = match &mut self.backend {
+            Backend::Local(ps) => {
+                ps.handle_push_into(worker, grads, now, &mut self.released_scratch)
+            }
+            // Clock-only loops receive no gradients (the worker applied them on the
+            // shard servers); only the synchronization state advances here.
+            Backend::Clock(gate) => gate.on_push(worker, now, &mut self.released_scratch),
+        };
         if decision.ok_now && !self.done[worker] {
             replies.push(OkReply {
                 worker,
@@ -626,11 +728,20 @@ impl ServerLoop {
                 });
             }
         }
-        if self.server.version() - self.last_eval >= self.eval_every {
-            self.record_eval(now);
+        if self.version() - self.last_eval >= self.eval_every {
+            match &self.backend {
+                Backend::Local(_) => self.record_eval(now),
+                // The weights are remote: remember the evaluation is due and at what
+                // clock value; the coordinator pulls the group's weights and calls
+                // `record_eval_external` before processing the next event.
+                Backend::Clock(_) => {
+                    self.last_eval = self.version();
+                    self.pending_eval = Some(now);
+                }
+            }
         }
         if let Some(limit) = self.fail_after {
-            if self.server.version() >= limit {
+            if self.version() >= limit {
                 self.aborted = true;
             }
         }
@@ -668,19 +779,42 @@ impl ServerLoop {
     }
 
     fn record_eval(&mut self, now: f64) {
-        self.last_eval = self.server.version();
-        self.eval_model.set_params_flat(self.server.weights());
-        let logits = self
-            .eval_model
-            .forward_ws(&self.eval_batch.0, false, &mut self.eval_ws);
-        let acc = accuracy(logits, &self.eval_batch.1);
-        self.points.push(TracePoint {
-            time_s: now,
-            pushes: self.server.version(),
-            epoch: 0,
-            test_accuracy: f64::from(acc),
-            train_loss: 0.0,
-        });
+        self.last_eval = self.version();
+        let Backend::Local(ps) = &self.backend else {
+            panic!("clock-only loops evaluate via record_eval_external");
+        };
+        push_eval_point(
+            &mut self.eval_model,
+            &self.eval_batch,
+            &mut self.eval_ws,
+            &mut self.points,
+            ps.version(),
+            ps.weights(),
+            now,
+        );
+    }
+
+    /// Takes the pending evaluation raised by a clock-only push, if any: the returned
+    /// value is the clock time the evaluation point must be stamped with. The caller
+    /// assembles the group's current weights and passes both to
+    /// [`ServerLoop::record_eval_external`].
+    pub fn take_pending_eval(&mut self) -> Option<f64> {
+        self.pending_eval.take()
+    }
+
+    /// Records an evaluation point from externally supplied weights (a group
+    /// coordinator's view of its shard servers' slices, assembled in shard order).
+    pub fn record_eval_external(&mut self, weights: &[f32], now: f64) {
+        let pushes = self.version();
+        push_eval_point(
+            &mut self.eval_model,
+            &self.eval_batch,
+            &mut self.eval_ws,
+            &mut self.points,
+            pushes,
+            weights,
+            now,
+        );
     }
 
     /// Final evaluation and trace assembly. `wall_total` is the wall-clock duration of
@@ -689,7 +823,8 @@ impl ServerLoop {
     /// # Panics
     ///
     /// Panics if some worker never reported `Done` (callers must check
-    /// [`ServerLoop::all_done`] / [`ServerLoop::aborted`] first).
+    /// [`ServerLoop::all_done`] / [`ServerLoop::aborted`] first), or on a clock-only
+    /// loop (use [`ServerLoop::finish_external`]).
     pub fn finish(mut self, wall_total: f64) -> RunTrace {
         let total = if self.deterministic {
             self.tick
@@ -697,21 +832,75 @@ impl ServerLoop {
             wall_total
         };
         self.record_eval(total);
+        self.into_trace(total)
+    }
+
+    /// [`ServerLoop::finish`] for clock-only loops: the final evaluation runs on the
+    /// externally supplied weights (the group's assembled model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some worker never reported `Done`.
+    pub fn finish_external(mut self, weights: &[f32], wall_total: f64) -> RunTrace {
+        let total = if self.deterministic {
+            self.tick
+        } else {
+            wall_total
+        };
+        self.last_eval = self.version();
+        self.record_eval_external(weights, total);
+        self.into_trace(total)
+    }
+
+    fn into_trace(self, total: f64) -> RunTrace {
+        let stats = match &self.backend {
+            Backend::Local(ps) => ps.stats().clone(),
+            Backend::Clock(gate) => gate.stats().clone(),
+        };
         RunTrace {
             policy: self.policy_label,
             model: self.model_name,
             workers: self.num_workers,
             points: self.points,
             total_time_s: total,
-            total_pushes: self.server.version(),
+            total_pushes: match &self.backend {
+                Backend::Local(ps) => ps.version(),
+                Backend::Clock(gate) => gate.version(),
+            },
             worker_summaries: self
                 .summaries
                 .into_iter()
                 .map(|s| s.expect("summary recorded for every worker"))
                 .collect(),
-            server_stats: self.server.stats().clone(),
+            server_stats: stats,
+            group_servers: Vec::new(),
         }
     }
+}
+
+/// Evaluates `weights` on the held-out batch and appends the resulting trace point —
+/// the shared body of the local and external evaluation paths (free function so the
+/// field borrows stay disjoint).
+#[allow(clippy::too_many_arguments)]
+fn push_eval_point(
+    eval_model: &mut Sequential,
+    eval_batch: &(Tensor, Vec<usize>),
+    eval_ws: &mut Workspace,
+    points: &mut Vec<TracePoint>,
+    pushes: u64,
+    weights: &[f32],
+    now: f64,
+) {
+    eval_model.set_params_flat(weights);
+    let logits = eval_model.forward_ws(&eval_batch.0, false, eval_ws);
+    let acc = accuracy(logits, &eval_batch.1);
+    points.push(TracePoint {
+        time_s: now,
+        pushes,
+        epoch: 0,
+        test_accuracy: f64::from(acc),
+        train_loss: 0.0,
+    });
 }
 
 /// Gate state of one worker, from the server's point of view.

@@ -76,6 +76,7 @@ pub fn average_curve(traces: &[RunTrace], samples: usize, label: impl Into<Strin
             / traces.len() as f64) as u64,
         worker_summaries: Vec::new(),
         server_stats: Default::default(),
+        group_servers: Vec::new(),
     }
 }
 
@@ -161,6 +162,7 @@ mod tests {
             total_pushes: times.len() as u64 * 10,
             worker_summaries: vec![],
             server_stats: ServerStats::default(),
+            group_servers: Vec::new(),
         }
     }
 

@@ -124,7 +124,27 @@ pub fn trace_json(trace: &RunTrace) -> String {
     let _ = writeln!(out, "    \"staleness_sum\": {},", s.staleness_sum);
     let _ = writeln!(out, "    \"staleness_max\": {},", s.staleness_max);
     let _ = writeln!(out, "    \"credits_granted\": {}", s.credits_granted);
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n  \"group_servers\": [\n");
+    for (i, g) in trace.group_servers.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"server\": {}, \"params\": {}, \"shards\": {}, \"pushes\": {}, \"pulls_full\": {}, \"pulls_delta\": {}, \"bytes_sent\": {}, \"bytes_received\": {}}}",
+            g.server,
+            g.params,
+            g.shards,
+            g.pushes,
+            g.pulls_full,
+            g.pulls_delta,
+            g.bytes_sent,
+            g.bytes_received
+        );
+        out.push_str(if i + 1 < trace.group_servers.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -182,6 +202,16 @@ mod tests {
             total_pushes: 10,
             worker_summaries: vec![],
             server_stats: ServerStats::default(),
+            group_servers: vec![dssp_sim::GroupServerStats {
+                server: 0,
+                params: 4242,
+                shards: 8,
+                pushes: 10,
+                pulls_full: 4,
+                pulls_delta: 6,
+                bytes_sent: 1000,
+                bytes_received: 2000,
+            }],
         }
     }
 
@@ -229,6 +259,12 @@ mod tests {
         assert!(json.contains("\"total_pushes\": 10"));
         assert!(json.contains("\"credits_granted\": 0"));
         assert!(json.contains("\"test_accuracy\": 0.420000"));
+        // Group runs aggregate per-server counters into the same report.
+        assert!(json.contains(
+            "{\"server\": 0, \"params\": 4242, \"shards\": 8, \"pushes\": 10, \
+             \"pulls_full\": 4, \"pulls_delta\": 6, \"bytes_sent\": 1000, \
+             \"bytes_received\": 2000}"
+        ));
     }
 
     #[test]

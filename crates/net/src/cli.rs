@@ -83,6 +83,7 @@ pub fn policy_spec(policy: &PolicyKind) -> String {
 /// | `--batch-size B` | preset | mini-batch size |
 /// | `--seed S` | preset | master seed |
 /// | `--shards K` | 1 | server storage shards |
+/// | `--servers N` | 1 | shard servers the model is spread over (multi-server group; needs `K >= N`) |
 /// | `--eval-every N` | preset | pushes between evaluations |
 /// | `--straggler-ms MS` | 4 | extra per-iteration delay of the last worker (0 = homogeneous) |
 /// | `--delta-pulls on\|off` | `on` | incremental pulls (workers fetch only shards whose version advanced) |
@@ -121,6 +122,18 @@ pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
             return Err("--shards must be at least 1".to_string());
         }
         job.shards = k;
+    }
+    if let Some(n) = parse_flag::<usize>(args, "--servers")? {
+        if n == 0 {
+            return Err("--servers must be at least 1".to_string());
+        }
+        if n > job.shards {
+            return Err(format!(
+                "--servers {n} needs at least that many storage shards (got --shards {})",
+                job.shards
+            ));
+        }
+        job.servers = n;
     }
     if let Some(n) = parse_flag::<u64>(args, "--eval-every")? {
         job.eval_every_pushes = n.max(1);
@@ -171,6 +184,8 @@ pub fn job_args(job: &JobConfig) -> Vec<String> {
         job.seed.to_string(),
         "--shards".to_string(),
         job.shards.to_string(),
+        "--servers".to_string(),
+        job.servers.to_string(),
         "--eval-every".to_string(),
         job.eval_every_pushes.to_string(),
         "--straggler-ms".to_string(),
@@ -251,6 +266,20 @@ mod tests {
         assert!(!rebuilt.delta_pulls);
         assert_eq!(off.digest(), rebuilt.digest());
         assert!(job_from_flags(&strings(&["--delta-pulls", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn servers_flag_round_trips_and_is_validated() {
+        let job = job_from_flags(&strings(&["--shards", "8", "--servers", "2"])).unwrap();
+        assert_eq!(job.servers, 2);
+        let rebuilt = job_from_flags(&job_args(&job)).unwrap();
+        assert_eq!(job.digest(), rebuilt.digest());
+        // Topology is part of the digest: a 1-server worker cannot join a 2-server job.
+        let single = job_from_flags(&strings(&["--shards", "8"])).unwrap();
+        assert_ne!(job.digest(), single.digest());
+        // More servers than shards is rejected up front.
+        assert!(job_from_flags(&strings(&["--shards", "2", "--servers", "4"])).is_err());
+        assert!(job_from_flags(&strings(&["--servers", "0"])).is_err());
     }
 
     #[test]

@@ -22,6 +22,28 @@ pub enum NetError {
     },
     /// A spawned worker process failed.
     WorkerProcess(String),
+    /// A labelled peer (e.g. one shard server of a group) produced no frame within the
+    /// connection's read timeout. Raised instead of stalling forever on a blocking
+    /// read, so losing one shard server turns into a clear, attributable error.
+    PeerTimeout {
+        /// Human-readable name of the unresponsive peer ("shard server 1 at ADDR").
+        peer: String,
+        /// The read timeout that elapsed, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A labelled peer closed its connection mid-run.
+    PeerLost {
+        /// Human-readable name of the lost peer.
+        peer: String,
+    },
+    /// A ranked client connection closed cleanly mid-run (server side). The serving
+    /// loop decides whether that is fatal — a single server treats any worker EOF as a
+    /// failed run, while a shard server outlives workers that already finished and
+    /// only treats its *coordinator*'s disappearance as fatal.
+    ClientLost {
+        /// The transport rank of the closed connection.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -35,6 +57,16 @@ impl std::fmt::Display for NetError {
                 write!(f, "server aborted after {pushes} pushes (chaos hook)")
             }
             NetError::WorkerProcess(msg) => write!(f, "worker process failed: {msg}"),
+            NetError::PeerTimeout { peer, timeout_ms } => {
+                write!(
+                    f,
+                    "no frame from {peer} within {timeout_ms} ms (peer dead or stalled)"
+                )
+            }
+            NetError::PeerLost { peer } => write!(f, "{peer} closed the connection mid-run"),
+            NetError::ClientLost { rank } => {
+                write!(f, "client {rank} closed its connection mid-run")
+            }
         }
     }
 }

@@ -11,13 +11,17 @@
 //!
 //! | module | provides |
 //! |---|---|
-//! | [`wire`] | versioned, length-prefixed little-endian codec for the 9 protocol messages, bulk LE fast paths |
+//! | [`wire`] | versioned, length-prefixed little-endian codec for the protocol messages (v3: 20 kinds incl. the multi-server group set), bulk LE fast paths |
 //! | [`transport`] | [`ServerTransport`]/[`WorkerTransport`] traits + in-process [`transport::loopback`] |
-//! | [`tcp`] | the real-socket transport (`std::net`, blocking reader thread per connection) |
+//! | [`tcp`] | the real-socket transport (`std::net`, blocking reader thread per connection, read-timeout peer attribution) |
 //! | [`server`] | [`serve`]: the single-threaded, lock-free server command loop |
 //! | [`worker`] | [`run_worker`]: the client step-loop (shared with the threaded runtime) |
 //! | [`launch`] | [`launch::launch`]: server in-process + one child process per worker |
-//! | [`cli`] | flag parsing shared by the `repro` subcommands and the launcher |
+//! | [`cli`] | flag parsing shared by the `repro` subcommands and the launchers |
+//!
+//! The multi-server group deployment — N storage-only shard servers plus a
+//! clock-only coordinator speaking this crate's protocol — lives one layer up in
+//! `dssp-coord`.
 //!
 //! Both runtimes sit on `dssp_core::driver`, so a `LoopbackTransport` run in
 //! deterministic mode is bitwise-equal to a deterministic threaded run — the
@@ -69,7 +73,7 @@ pub mod wire;
 pub mod worker;
 
 pub use error::NetError;
-pub use server::serve;
+pub use server::{require_helloed, serve, validate_hello};
 pub use tcp::{TcpServerTransport, TcpWorkerTransport, TransportStats};
 pub use transport::{apply_pull_message, PullOutcome, PullView, ServerTransport, WorkerTransport};
 pub use wire::{Message, PullApplied, ShardUpdate, PROTOCOL_VERSION};

@@ -128,35 +128,16 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 rank: hello_rank,
                 num_workers,
                 config_digest,
-            } => {
-                if version != PROTOCOL_VERSION {
-                    return Err(NetError::Protocol(format!(
-                        "worker {rank} speaks protocol v{version}, server speaks v{PROTOCOL_VERSION}"
-                    )));
-                }
-                if hello_rank as usize != rank {
-                    return Err(NetError::Protocol(format!(
-                        "connection attributed to rank {rank} announced rank {hello_rank}"
-                    )));
-                }
-                if num_workers as usize != job.num_workers {
-                    return Err(NetError::Protocol(format!(
-                        "worker {rank} expects {num_workers} workers, job has {}",
-                        job.num_workers
-                    )));
-                }
-                if config_digest != expected_digest {
-                    return Err(NetError::Protocol(format!(
-                        "worker {rank} trains a different job (config digest {config_digest:#018x} != {expected_digest:#018x})"
-                    )));
-                }
-                if helloed[rank] {
-                    return Err(NetError::Protocol(format!(
-                        "duplicate Hello from rank {rank}"
-                    )));
-                }
-                helloed[rank] = true;
-            }
+            } => validate_hello(
+                rank,
+                version,
+                hello_rank,
+                num_workers,
+                config_digest,
+                job.num_workers,
+                expected_digest,
+                &mut helloed,
+            )?,
             Message::Pull => {
                 require_helloed(&helloed, rank)?;
                 match gate.as_mut() {
@@ -227,14 +208,59 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
     Ok(sl.finish(start.elapsed().as_secs_f64()))
 }
 
-fn require_helloed(helloed: &[bool], rank: usize) -> Result<(), NetError> {
+/// Rejects traffic from a client that has not completed its handshake yet. Shared by
+/// the single-server loop, the group coordinator and the shard servers.
+pub fn require_helloed(helloed: &[bool], rank: usize) -> Result<(), NetError> {
     if helloed[rank] {
         Ok(())
     } else {
         Err(NetError::Protocol(format!(
-            "worker {rank} sent traffic before Hello"
+            "client {rank} sent traffic before its hello"
         )))
     }
+}
+
+/// Validates the fields common to every handshake — protocol version, announced rank
+/// vs. connection attribution, worker count and config digest — and records the
+/// client in `helloed` (rejecting duplicates). The serving loops layer their own
+/// topology checks (a shard server's `servers`/`server_index`) on top.
+pub fn validate_hello(
+    rank: usize,
+    version: u16,
+    hello_rank: u32,
+    num_workers: u32,
+    config_digest: u64,
+    expected_workers: usize,
+    expected_digest: u64,
+    helloed: &mut [bool],
+) -> Result<(), NetError> {
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::Protocol(format!(
+            "client {rank} speaks protocol v{version}, this end speaks v{PROTOCOL_VERSION}"
+        )));
+    }
+    if hello_rank as usize != rank {
+        return Err(NetError::Protocol(format!(
+            "connection attributed to rank {rank} announced rank {hello_rank}"
+        )));
+    }
+    if num_workers as usize != expected_workers {
+        return Err(NetError::Protocol(format!(
+            "client {rank} expects {num_workers} workers, job has {expected_workers}"
+        )));
+    }
+    if config_digest != expected_digest {
+        return Err(NetError::Protocol(format!(
+            "client {rank} trains a different job (config digest {config_digest:#018x} != {expected_digest:#018x})"
+        )));
+    }
+    if helloed[rank] {
+        return Err(NetError::Protocol(format!(
+            "duplicate hello from rank {rank}"
+        )));
+    }
+    helloed[rank] = true;
+    Ok(())
 }
 
 /// Answers one pull from a borrowed view of the server's store (full when `known` is

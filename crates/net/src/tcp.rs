@@ -29,7 +29,7 @@
 use crate::transport::{PullOutcome, PullView, ServerTransport, WorkerTransport};
 use crate::wire::{
     self, read_frame_payload, write_frame_payload, Message, TAG_PULL_DELTA, TAG_PULL_REPLY,
-    TAG_PULL_REPLY_DELTA, TAG_PUSH,
+    TAG_PULL_REPLY_DELTA, TAG_PULL_SHARDS, TAG_PUSH, TAG_PUSH_SLICE,
 };
 use crate::NetError;
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -195,12 +195,13 @@ fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>, rx: Arc
     };
     let mut reader = BufReader::new(stream);
     let mut payload: Vec<u8> = Vec::new();
-    // The first frame must be a Hello announcing the connection's rank.
+    // The first frame must be a Hello (or, on a shard server, a GroupHello)
+    // announcing the connection's rank.
     let hello = match read_frame_payload(&mut reader, &mut payload).and_then(|len| {
         rx.record(len);
         Ok(wire::decode(&payload)?)
     }) {
-        Ok(msg @ Message::Hello { .. }) => msg,
+        Ok(msg @ (Message::Hello { .. } | Message::GroupHello { .. })) => msg,
         Ok(other) => {
             let _ = tx.send(Event::Unattributed(NetError::Protocol(format!(
                 "first frame was {other:?}, expected Hello"
@@ -212,15 +213,19 @@ fn reader_loop(stream: TcpStream, num_workers: usize, tx: Sender<Event>, rx: Arc
             return;
         }
     };
-    let rank = match hello {
-        Message::Hello { rank, .. } if (rank as usize) < num_workers => rank as usize,
-        Message::Hello { rank, .. } => {
-            let _ = tx.send(Event::Unattributed(NetError::Protocol(format!(
-                "rank {rank} out of range for {num_workers} workers"
-            ))));
-            return;
-        }
-        _ => unreachable!("matched Hello above"),
+    let announced = match &hello {
+        Message::Hello { rank, .. } | Message::GroupHello { rank, .. } => *rank,
+        _ => unreachable!("matched a hello above"),
+    };
+    // `num_workers` here is really the transport's client-slot count: a shard server
+    // binds `workers + 1` slots and its coordinator announces the extra top rank.
+    let rank = if (announced as usize) < num_workers {
+        announced as usize
+    } else {
+        let _ = tx.send(Event::Unattributed(NetError::Protocol(format!(
+            "rank {announced} out of range for {num_workers} client slots"
+        ))));
+        return;
     };
     // Recycle channels: the command loop returns consumed bulk buffers here so the
     // steady-state decode below never allocates.
@@ -273,23 +278,36 @@ fn decode_pooled(
     grads_pool: &Receiver<Vec<f32>>,
     known_pool: &Receiver<Vec<u64>>,
 ) -> Result<Message, NetError> {
+    fn recycled<T>(pool: &Receiver<Vec<T>>) -> Vec<T> {
+        match pool.try_recv() {
+            Ok(buf) => buf,
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => Vec::new(),
+        }
+    }
     match payload.first() {
         Some(&TAG_PUSH) => {
-            let mut grads = match grads_pool.try_recv() {
-                Ok(buf) => buf,
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => Vec::new(),
-            };
+            let mut grads = recycled(grads_pool);
             let iteration = wire::decode_push_into(payload, &mut grads)?;
             Ok(Message::Push { iteration, grads })
         }
+        Some(&TAG_PUSH_SLICE) => {
+            let mut grads = recycled(grads_pool);
+            let iteration = wire::decode_push_slice_into(payload, &mut grads)?;
+            Ok(Message::PushSlice { iteration, grads })
+        }
         Some(&TAG_PULL_DELTA) => {
-            let mut known = match known_pool.try_recv() {
-                Ok(buf) => buf,
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => Vec::new(),
-            };
+            let mut known = recycled(known_pool);
             wire::decode_pull_delta_into(payload, &mut known)?;
             Ok(Message::PullDelta {
                 known_versions: known,
+            })
+        }
+        Some(&TAG_PULL_SHARDS) => {
+            let mut known = recycled(known_pool);
+            let all = wire::decode_pull_shards_into(payload, &mut known)?;
+            Ok(Message::PullShards {
+                known_versions: known,
+                all,
             })
         }
         _ => Ok(wire::decode(payload)?),
@@ -314,6 +332,12 @@ impl ServerTransport for TcpServerTransport {
                     self.pools[rank] = Some(pools);
                 }
                 Event::Frame(rank, Ok(msg)) => return Ok((rank, msg)),
+                // A clean EOF at a frame boundary keeps its rank so serving loops can
+                // decide whether the departure is fatal (shard servers outlive their
+                // finished workers; a single server does not).
+                Event::Frame(rank, Err(NetError::Disconnected)) => {
+                    return Err(NetError::ClientLost { rank })
+                }
                 Event::Frame(rank, Err(e)) => {
                     return Err(NetError::Protocol(format!(
                         "connection of worker {rank} failed: {e}"
@@ -336,6 +360,22 @@ impl ServerTransport for TcpServerTransport {
         self.flush_scratch_to(rank)
     }
 
+    fn send_payload(&mut self, rank: usize, payload: &[u8]) -> Result<(), NetError> {
+        // The caller encoded straight into its own scratch; ship it as one frame
+        // without a decode/re-encode round trip.
+        let stream = self.writers[rank]
+            .as_mut()
+            .ok_or_else(|| NetError::Protocol(format!("worker {rank} never said Hello")))?;
+        write_frame_payload(stream, payload)?;
+        self.bytes_sent += payload.len() as u64 + 4;
+        self.frames_sent += 1;
+        Ok(())
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.stats()
+    }
+
     fn recycle_f32s(&mut self, rank: usize, buf: Vec<f32>) {
         if let Some(pools) = &self.pools[rank] {
             let _ = pools.grads.send(buf);
@@ -356,6 +396,11 @@ pub struct TcpWorkerTransport {
     scratch: Vec<u8>,
     payload: Vec<u8>,
     stats: TransportStats,
+    /// Human-readable peer name used to attribute timeout/disconnect errors
+    /// ("shard server 1 at 127.0.0.1:4242"). Defaults to "server at ADDR".
+    peer: String,
+    /// Active read timeout, if any (see [`TcpWorkerTransport::set_read_timeout`]).
+    read_timeout: Option<Duration>,
 }
 
 impl TcpWorkerTransport {
@@ -386,12 +431,41 @@ impl TcpWorkerTransport {
                         scratch: Vec::new(),
                         payload: Vec::new(),
                         stats: TransportStats::default(),
+                        peer: format!("server at {addr}"),
+                        read_timeout: None,
                     });
                 }
                 Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.map(NetError::Io).unwrap_or(NetError::Disconnected))
+    }
+
+    /// Names this connection's peer for error attribution: a group worker labels each
+    /// link ("shard server 2 at ADDR") so losing one server of a fleet produces an
+    /// error naming exactly which one, not a generic disconnect.
+    pub fn set_peer_label(&mut self, label: impl Into<String>) {
+        self.peer = label.into();
+    }
+
+    /// The peer label used in error messages.
+    pub fn peer_label(&self) -> &str {
+        &self.peer
+    }
+
+    /// Arms (or disarms, with `None`) a socket read timeout. A blocking `recv` that
+    /// sees no frame within the window fails with [`NetError::PeerTimeout`] naming the
+    /// peer, instead of stalling forever on a dead shard server. The connection is not
+    /// usable for further reads after a timeout fires (a frame may have been consumed
+    /// partially); callers treat it as fatal.
+    ///
+    /// Workers arm this only on shard-server links, whose replies (slice acks, pull
+    /// replies) are always prompt — the coordinator link stays blocking because a
+    /// policy may legitimately defer an `OK` for a long time.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
     }
 
     /// Byte/frame counters accumulated so far.
@@ -401,7 +475,8 @@ impl TcpWorkerTransport {
 
     /// Writes the already-encoded `scratch` payload as one frame.
     fn flush_scratch(&mut self) -> Result<(), NetError> {
-        write_frame_payload(&mut self.writer, &self.scratch)?;
+        write_frame_payload(&mut self.writer, &self.scratch)
+            .map_err(|e| self.attribute(e.into()))?;
         self.stats.bytes_sent += self.scratch.len() as u64 + 4;
         self.stats.frames_sent += 1;
         Ok(())
@@ -409,10 +484,32 @@ impl TcpWorkerTransport {
 
     /// Reads the next frame into the reusable payload buffer.
     fn read_payload(&mut self) -> Result<(), NetError> {
-        let len = read_frame_payload(&mut self.reader, &mut self.payload)?;
+        let len = read_frame_payload(&mut self.reader, &mut self.payload)
+            .map_err(|e| self.attribute(e))?;
         self.stats.bytes_received += len as u64 + 4;
         self.stats.frames_received += 1;
         Ok(())
+    }
+
+    /// Rewrites anonymous transport failures into peer-attributed ones.
+    fn attribute(&self, e: NetError) -> NetError {
+        match e {
+            NetError::Io(io)
+                if matches!(
+                    io.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) && self.read_timeout.is_some() =>
+            {
+                NetError::PeerTimeout {
+                    peer: self.peer.clone(),
+                    timeout_ms: self.read_timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
+                }
+            }
+            NetError::Disconnected => NetError::PeerLost {
+                peer: self.peer.clone(),
+            },
+            other => other,
+        }
     }
 }
 
@@ -447,6 +544,26 @@ impl WorkerTransport for TcpWorkerTransport {
             wire::encode_pull(&mut self.scratch);
         }
         self.flush_scratch()?;
+        self.recv_pull_apply(weights, versions)
+    }
+
+    fn send_push_slice(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+        self.scratch.clear();
+        wire::encode_push_slice(&mut self.scratch, iteration, grads);
+        self.flush_scratch()
+    }
+
+    fn send_pull_shards(&mut self, known_versions: &[u64], all: bool) -> Result<(), NetError> {
+        self.scratch.clear();
+        wire::encode_pull_shards(&mut self.scratch, known_versions, all);
+        self.flush_scratch()
+    }
+
+    fn recv_pull_apply(
+        &mut self,
+        weights: &mut Vec<f32>,
+        versions: &mut Vec<u64>,
+    ) -> Result<PullOutcome, NetError> {
         self.read_payload()?;
         match self.payload.first() {
             Some(&TAG_PULL_REPLY) | Some(&TAG_PULL_REPLY_DELTA) => {

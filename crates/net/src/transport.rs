@@ -208,6 +208,21 @@ pub trait ServerTransport: Send {
     /// back to the transport for reuse by `rank`'s connection. Default: drop it.
     fn recycle_u64s(&mut self, _rank: usize, _buf: Vec<u64>) {}
 
+    /// Sends an already-encoded payload as one frame to `rank` — the zero-copy path
+    /// for replies encoded straight from borrowed state (a shard server's
+    /// `PullReplyDelta`, built from its store without intermediate vectors). The
+    /// default decodes and re-sends as an owned message, so transports that move
+    /// messages instead of bytes (loopback) stay correct.
+    fn send_payload(&mut self, rank: usize, payload: &[u8]) -> Result<(), NetError> {
+        self.send(rank, &wire::decode(payload)?)
+    }
+
+    /// Byte/frame counters accumulated by this transport so far. Defaults to zero for
+    /// transports that do not serialize (loopback).
+    fn transport_stats(&self) -> crate::tcp::TransportStats {
+        crate::tcp::TransportStats::default()
+    }
+
     /// Best-effort broadcast (used for `Shutdown`); per-worker failures are ignored
     /// because exiting workers legitimately race the broadcast.
     fn broadcast(&mut self, msg: &Message) {
@@ -252,6 +267,42 @@ pub trait WorkerTransport: Send {
         } else {
             self.send(&Message::Pull)?;
         }
+        let msg = self.recv()?;
+        apply_pull_message(msg, weights, versions)
+    }
+
+    /// Pushes one iteration's gradient **slice** (a shard server's key range of the
+    /// full gradient vector) from a borrowed slice. The TCP transport encodes the
+    /// frame straight from the slice; the default copies into an owned
+    /// [`Message::PushSlice`]. Part of a group worker's fan-out: requests go to every
+    /// server first, then the [`Message::SliceAck`]s are collected, so the servers
+    /// work concurrently.
+    fn send_push_slice(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+        self.send(&Message::PushSlice {
+            iteration,
+            grads: grads.to_vec(),
+        })
+    }
+
+    /// Sends a shard-scoped pull request ([`Message::PullShards`]) from a borrowed
+    /// sub-range of the caller's global version cache. The TCP transport encodes from
+    /// the borrow; the default copies.
+    fn send_pull_shards(&mut self, known_versions: &[u64], all: bool) -> Result<(), NetError> {
+        self.send(&Message::PullShards {
+            known_versions: known_versions.to_vec(),
+            all,
+        })
+    }
+
+    /// Receives one pull reply and applies it to the caller's **global** weight and
+    /// version buffers in place (a shard server's reply carries global shard indices,
+    /// so each update lands in its own key range). The TCP transport applies straight
+    /// from the frame payload; the default goes through an owned message.
+    fn recv_pull_apply(
+        &mut self,
+        weights: &mut Vec<f32>,
+        versions: &mut Vec<u64>,
+    ) -> Result<PullOutcome, NetError> {
         let msg = self.recv()?;
         apply_pull_message(msg, weights, versions)
     }

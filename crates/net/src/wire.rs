@@ -41,11 +41,48 @@
 //! server's earlier life). Workers that prefer the v1 behaviour simply keep sending
 //! plain `Pull`. Shard key ranges are never carried on the wire: both ends derive them
 //! from the parameter count and shard count via [`dssp_ps::shard_range`].
+//!
+//! # Protocol v3: multi-server groups
+//!
+//! Version 3 splits the single server into a **coordinator** (clock/policy only) and
+//! N **shard servers** (storage only), each owning the contiguous run of global
+//! shards `dssp_ps::shard_range(shards, servers, i)` — assignment, like key ranges,
+//! is closed-form and never wire-carried. Workers exchange tiny clock messages with
+//! the coordinator and bulk weight traffic with the shard servers directly:
+//!
+//! ```text
+//! worker                    coordinator                 shard server i
+//!   | -- Hello -------------> |                           |
+//!   | ------------------------------ GroupHello --------> |  (rank, topology, digest)
+//!   | ------------------------------ PullShards{all} ---> |
+//!   | <----------------------------- PullReplyDelta ----- |  (global shard ids)
+//!   | == per iteration ====== |                           |
+//!   | ------------------------------ PushSlice ---------> |  (server's key range)
+//!   | <----------------------------- SliceAck ----------- |
+//!   | -- ClockPush ---------> |   gate + policy, no grads |
+//!   | <-- ClockGrant -------- |   the OK (r* credits)     |
+//!   | ------------------------------ PullShards --------> |  (stale shards only)
+//!   | <----------------------------- PullReplyDelta ----- |
+//!   | ======================= |                           |
+//!   | -- Done --------------> |                           |
+//!   |                         | -- StatsRequest/Reply --> |  (per-server counters)
+//!   | <-- Shutdown ---------- | -- Shutdown ------------> |
+//! ```
+//!
+//! Deterministic mode adds a serialization handshake so an N-server group is bitwise
+//! equal to a single server: the coordinator answers each `ClockPush` with a
+//! [`Message::PushGrant`] in canonical event order, the worker applies its slices and
+//! confirms with [`Message::PushApplied`], and each completed pull fan-out is reported
+//! with [`Message::PullDone`] before the coordinator dispatches the next mutating
+//! event.
 
 /// Protocol version carried in [`Message::Hello`]; peers with a different version are
 /// rejected during the handshake. Version 2 added the incremental pull pair
-/// ([`Message::PullDelta`] / [`Message::PullReplyDelta`]).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// ([`Message::PullDelta`] / [`Message::PullReplyDelta`]); version 3 added the
+/// multi-server group messages ([`Message::GroupHello`], the `ClockPush`/`ClockGrant`
+/// clock channel, shard-scoped `PushSlice`/`PullShards`, and the deterministic-mode
+/// and stats handshakes).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Magic number opening every `Hello` payload (`b"DSSP"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"DSSP");
@@ -145,8 +182,103 @@ pub enum Message {
         /// [`SHUTDOWN_OK`] or [`SHUTDOWN_SERVER_ERROR`].
         reason: u8,
     },
+    /// Client → shard server: the group-topology handshake (protocol v3). Sent by
+    /// workers (`rank < num_workers`) and by the coordinator (`rank == num_workers`,
+    /// the extra client slot every shard server reserves). The server refuses clients
+    /// whose topology or job configuration differs from its own.
+    GroupHello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u16,
+        /// The client's rank: `0..num_workers` for workers, `num_workers` for the
+        /// coordinator.
+        rank: u32,
+        /// Number of workers the sender believes the job has.
+        num_workers: u32,
+        /// Fingerprint of the sender's `JobConfig` (covers shard count, server count
+        /// and delta-pull mode).
+        config_digest: u64,
+        /// Number of shard servers the sender believes the group has.
+        servers: u32,
+        /// The index of the shard server the sender believes it is talking to.
+        server_index: u32,
+    },
+    /// Worker → coordinator: the clock half of a push — "iteration `iteration`'s
+    /// gradients are with the shard servers; may I proceed?" Carries no gradients:
+    /// this is the tiny message that keeps the coordinator off the bulk data path.
+    ClockPush {
+        /// 1-based iteration number of the push.
+        iteration: u64,
+    },
+    /// Coordinator → worker: the `OK` of Algorithm 1 for a group run (the group
+    /// analogue of [`Message::PushReply`]). Sent immediately or deferred, according to
+    /// the policy.
+    ClockGrant {
+        /// Extra iterations the DSSP controller granted at this push (`r*`).
+        granted_extra: u64,
+        /// Coordinator clock (total pushes) when the grant was issued.
+        version: u64,
+    },
+    /// Coordinator → worker (deterministic mode only): the worker's `ClockPush` has
+    /// been released in canonical order — apply the gradient slices to the shard
+    /// servers now and confirm with [`Message::PushApplied`].
+    PushGrant,
+    /// Worker → coordinator (deterministic mode only): every shard server acked this
+    /// iteration's gradient slices; the coordinator may advance the clock and dispatch
+    /// the next event.
+    PushApplied {
+        /// 1-based iteration number of the applied push.
+        iteration: u64,
+    },
+    /// Worker → shard server: the gradient slice covering exactly the server's owned
+    /// key range, for one iteration. Always acknowledged with [`Message::SliceAck`]
+    /// once applied, so a worker's `Done` implies every slice it pushed is in the
+    /// weights.
+    PushSlice {
+        /// 1-based iteration number of this push.
+        iteration: u64,
+        /// The gradient run for the server's key range (its owned shards, in order).
+        grads: Vec<f32>,
+    },
+    /// Shard server → worker: the slice of a [`Message::PushSlice`] has been applied.
+    SliceAck {
+        /// The server's local weight version (slice pushes applied) after this one.
+        version: u64,
+    },
+    /// Client → shard server: a shard-scoped pull. `known_versions` holds the
+    /// client's cached versions of exactly the server's owned shards, in owned order;
+    /// with `all` set (or an incompatible vector) the server ships every owned shard,
+    /// otherwise only the stale ones. Answered with a [`Message::PullReplyDelta`]
+    /// whose updates carry **global** shard indices, so the client applies them to its
+    /// whole-model buffers with the ordinary global-layout [`apply_pull_reply`] path.
+    PullShards {
+        /// The client's cached per-shard versions of the server's owned shards.
+        known_versions: Vec<u64>,
+        /// Ship every owned shard regardless of staleness (full fan-out pull).
+        all: bool,
+    },
+    /// Worker → coordinator (deterministic mode only): the worker's pull fan-out
+    /// completed on every shard server; mutating events may be dispatched again.
+    PullDone,
+    /// Coordinator → shard server: report your storage/transport counters (sent once,
+    /// when the run ends, so group traces aggregate per-server statistics).
+    StatsRequest,
+    /// Shard server → coordinator: the counters a [`Message::StatsRequest`] asked for.
+    StatsReply {
+        /// Gradient-slice pushes applied.
+        pushes: u64,
+        /// Pulls answered with every owned shard.
+        pulls_full: u64,
+        /// Pulls answered incrementally.
+        pulls_delta: u64,
+        /// Bytes written to this server's sockets, frame headers included.
+        bytes_sent: u64,
+        /// Bytes read from this server's sockets, frame headers included.
+        bytes_received: u64,
+    },
 }
 
+/// Payload tag of [`Message::Hello`] (used by the transport's handshake fast path).
+pub(crate) const TAG_HELLO: u8 = 1;
 /// Payload tag of [`Message::Push`] (used by the transport's pooled-decode fast path).
 pub(crate) const TAG_PUSH: u8 = 2;
 /// Payload tag of [`Message::PullReply`].
@@ -157,12 +289,18 @@ pub(crate) const TAG_PULL_DELTA: u8 = 8;
 pub(crate) const TAG_PULL_REPLY_DELTA: u8 = 9;
 /// Payload tag of [`Message::Shutdown`].
 pub(crate) const TAG_SHUTDOWN: u8 = 7;
+/// Payload tag of [`Message::GroupHello`].
+pub(crate) const TAG_GROUP_HELLO: u8 = 10;
+/// Payload tag of [`Message::PushSlice`].
+pub(crate) const TAG_PUSH_SLICE: u8 = 15;
+/// Payload tag of [`Message::PullShards`].
+pub(crate) const TAG_PULL_SHARDS: u8 = 17;
 
 impl Message {
     /// The payload tag identifying this message kind on the wire.
     pub fn tag(&self) -> u8 {
         match self {
-            Message::Hello { .. } => 1,
+            Message::Hello { .. } => TAG_HELLO,
             Message::Push { .. } => TAG_PUSH,
             Message::PushReply { .. } => 3,
             Message::Pull => 4,
@@ -171,6 +309,17 @@ impl Message {
             Message::Shutdown { .. } => TAG_SHUTDOWN,
             Message::PullDelta { .. } => TAG_PULL_DELTA,
             Message::PullReplyDelta { .. } => TAG_PULL_REPLY_DELTA,
+            Message::GroupHello { .. } => TAG_GROUP_HELLO,
+            Message::ClockPush { .. } => 11,
+            Message::ClockGrant { .. } => 12,
+            Message::PushGrant => 13,
+            Message::PushApplied { .. } => 14,
+            Message::PushSlice { .. } => TAG_PUSH_SLICE,
+            Message::SliceAck { .. } => 16,
+            Message::PullShards { .. } => TAG_PULL_SHARDS,
+            Message::PullDone => 18,
+            Message::StatsRequest => 19,
+            Message::StatsReply { .. } => 20,
         }
     }
 }
@@ -442,6 +591,65 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.push(msg.tag());
             buf.push(*reason);
         }
+        Message::GroupHello {
+            version,
+            rank,
+            num_workers,
+            config_digest,
+            servers,
+            server_index,
+        } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&rank.to_le_bytes());
+            buf.extend_from_slice(&num_workers.to_le_bytes());
+            buf.extend_from_slice(&config_digest.to_le_bytes());
+            buf.extend_from_slice(&servers.to_le_bytes());
+            buf.extend_from_slice(&server_index.to_le_bytes());
+        }
+        Message::ClockPush { iteration } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&iteration.to_le_bytes());
+        }
+        Message::ClockGrant {
+            granted_extra,
+            version,
+        } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&granted_extra.to_le_bytes());
+            buf.extend_from_slice(&version.to_le_bytes());
+        }
+        Message::PushGrant => buf.push(msg.tag()),
+        Message::PushApplied { iteration } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&iteration.to_le_bytes());
+        }
+        Message::PushSlice { iteration, grads } => encode_push_slice(buf, *iteration, grads),
+        Message::SliceAck { version } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&version.to_le_bytes());
+        }
+        Message::PullShards {
+            known_versions,
+            all,
+        } => encode_pull_shards(buf, known_versions, *all),
+        Message::PullDone => buf.push(msg.tag()),
+        Message::StatsRequest => buf.push(msg.tag()),
+        Message::StatsReply {
+            pushes,
+            pulls_full,
+            pulls_delta,
+            bytes_sent,
+            bytes_received,
+        } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&pushes.to_le_bytes());
+            buf.extend_from_slice(&pulls_full.to_le_bytes());
+            buf.extend_from_slice(&pulls_delta.to_le_bytes());
+            buf.extend_from_slice(&bytes_sent.to_le_bytes());
+            buf.extend_from_slice(&bytes_received.to_le_bytes());
+        }
     }
 }
 
@@ -461,6 +669,23 @@ pub fn encode_pull(buf: &mut Vec<u8>) {
 /// Appends a [`Message::PullDelta`] payload built from a borrowed version slice.
 pub fn encode_pull_delta(buf: &mut Vec<u8>, known_versions: &[u64]) {
     buf.push(TAG_PULL_DELTA);
+    put_u64s(buf, known_versions);
+}
+
+/// Appends a [`Message::PushSlice`] payload built from a borrowed gradient slice — a
+/// group worker's zero-copy push path: the grads are the sub-slice of its full
+/// gradient buffer covering one shard server's key range.
+pub fn encode_push_slice(buf: &mut Vec<u8>, iteration: u64, grads: &[f32]) {
+    buf.push(TAG_PUSH_SLICE);
+    buf.extend_from_slice(&iteration.to_le_bytes());
+    put_f32s(buf, grads);
+}
+
+/// Appends a [`Message::PullShards`] payload built from a borrowed version slice (the
+/// sub-range of the client's global version cache owned by one shard server).
+pub fn encode_pull_shards(buf: &mut Vec<u8>, known_versions: &[u64], all: bool) {
+    buf.push(TAG_PULL_SHARDS);
+    buf.push(u8::from(all));
     put_u64s(buf, known_versions);
 }
 
@@ -518,7 +743,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     let msg = match tag {
-        1 => {
+        TAG_HELLO => {
             let magic = r.u32()?;
             if magic != HELLO_MAGIC {
                 return Err(WireError::BadMagic(magic));
@@ -530,6 +755,56 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
                 config_digest: r.u64()?,
             }
         }
+        TAG_GROUP_HELLO => {
+            let magic = r.u32()?;
+            if magic != HELLO_MAGIC {
+                return Err(WireError::BadMagic(magic));
+            }
+            Message::GroupHello {
+                version: r.u16()?,
+                rank: r.u32()?,
+                num_workers: r.u32()?,
+                config_digest: r.u64()?,
+                servers: r.u32()?,
+                server_index: r.u32()?,
+            }
+        }
+        11 => Message::ClockPush {
+            iteration: r.u64()?,
+        },
+        12 => Message::ClockGrant {
+            granted_extra: r.u64()?,
+            version: r.u64()?,
+        },
+        13 => Message::PushGrant,
+        14 => Message::PushApplied {
+            iteration: r.u64()?,
+        },
+        TAG_PUSH_SLICE => Message::PushSlice {
+            iteration: r.u64()?,
+            grads: r.f32s()?,
+        },
+        16 => Message::SliceAck { version: r.u64()? },
+        TAG_PULL_SHARDS => {
+            let all = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(WireError::UnknownTag(other)),
+            };
+            Message::PullShards {
+                known_versions: r.u64s()?,
+                all,
+            }
+        }
+        18 => Message::PullDone,
+        19 => Message::StatsRequest,
+        20 => Message::StatsReply {
+            pushes: r.u64()?,
+            pulls_full: r.u64()?,
+            pulls_delta: r.u64()?,
+            bytes_sent: r.u64()?,
+            bytes_received: r.u64()?,
+        },
         TAG_PUSH => Message::Push {
             iteration: r.u64()?,
             grads: r.f32s()?,
@@ -607,6 +882,46 @@ pub fn decode_pull_delta_into(payload: &[u8], known: &mut Vec<u64>) -> Result<()
     r.u64s_into(known)?;
     r.finish()?;
     Ok(())
+}
+
+/// Decodes a [`Message::PushSlice`] payload into a caller-owned gradient buffer
+/// (cleared first; no allocation once warm) and returns the push's iteration number.
+/// Same strictness as [`decode`].
+///
+/// Returns [`WireError::UnknownTag`] if the payload is not a `PushSlice`.
+pub fn decode_push_slice_into(payload: &[u8], grads: &mut Vec<f32>) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != TAG_PUSH_SLICE {
+        return Err(WireError::UnknownTag(tag));
+    }
+    let iteration = r.u64()?;
+    grads.clear();
+    r.f32s_into(grads)?;
+    r.finish()?;
+    Ok(iteration)
+}
+
+/// Decodes a [`Message::PullShards`] payload into a caller-owned version buffer
+/// (cleared first; no allocation once warm) and returns the `all` flag. Same
+/// strictness as [`decode`].
+///
+/// Returns [`WireError::UnknownTag`] if the payload is not a `PullShards`.
+pub fn decode_pull_shards_into(payload: &[u8], known: &mut Vec<u64>) -> Result<bool, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != TAG_PULL_SHARDS {
+        return Err(WireError::UnknownTag(tag));
+    }
+    let all = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    known.clear();
+    r.u64s_into(known)?;
+    r.finish()?;
+    Ok(all)
 }
 
 /// What [`apply_pull_reply`] reconstructed from a pull reply payload.
@@ -925,10 +1240,101 @@ mod tests {
             Message::Shutdown {
                 reason: SHUTDOWN_OK,
             },
+            Message::GroupHello {
+                version: PROTOCOL_VERSION,
+                rank: 3,
+                num_workers: 3, // the coordinator slot
+                config_digest: 0x0123_4567_89ab_cdef,
+                servers: 4,
+                server_index: 2,
+            },
+            Message::ClockPush { iteration: 17 },
+            Message::ClockGrant {
+                granted_extra: 2,
+                version: 40,
+            },
+            Message::PushGrant,
+            Message::PushApplied { iteration: 17 },
+            Message::PushSlice {
+                iteration: 9,
+                grads: vec![0.5, -2.0, 1e-6],
+            },
+            Message::SliceAck { version: 9 },
+            Message::PullShards {
+                known_versions: vec![7, 7, 8],
+                all: false,
+            },
+            Message::PullShards {
+                known_versions: vec![],
+                all: true,
+            },
+            Message::PullDone,
+            Message::StatsRequest,
+            Message::StatsReply {
+                pushes: 100,
+                pulls_full: 3,
+                pulls_delta: 97,
+                bytes_sent: 1 << 33,
+                bytes_received: 12345,
+            },
         ];
         for msg in &messages {
             assert_eq!(&round_trip(msg), msg);
         }
+    }
+
+    #[test]
+    fn group_borrowed_encoders_match_the_owned_message_encoding() {
+        let grads = vec![0.25, -0.75];
+        let mut borrowed = Vec::new();
+        encode_push_slice(&mut borrowed, 4, &grads);
+        let mut owned = Vec::new();
+        encode(
+            &Message::PushSlice {
+                iteration: 4,
+                grads: grads.clone(),
+            },
+            &mut owned,
+        );
+        assert_eq!(borrowed, owned);
+
+        let known = vec![1u64, 9];
+        for all in [false, true] {
+            let mut borrowed = Vec::new();
+            encode_pull_shards(&mut borrowed, &known, all);
+            let mut owned = Vec::new();
+            encode(
+                &Message::PullShards {
+                    known_versions: known.clone(),
+                    all,
+                },
+                &mut owned,
+            );
+            assert_eq!(borrowed, owned);
+        }
+    }
+
+    #[test]
+    fn group_pooled_decoders_match_the_owned_decode() {
+        let mut buf = Vec::new();
+        encode_push_slice(&mut buf, 6, &[3.0, -4.0]);
+        let mut grads = vec![1.0; 5]; // stale content must be cleared
+        assert_eq!(decode_push_slice_into(&buf, &mut grads), Ok(6));
+        assert_eq!(grads, vec![3.0, -4.0]);
+        assert_eq!(
+            decode_push_slice_into(&[4u8], &mut grads),
+            Err(WireError::UnknownTag(4))
+        );
+
+        let mut buf = Vec::new();
+        encode_pull_shards(&mut buf, &[2, 3], true);
+        let mut known = vec![0u64; 4];
+        assert_eq!(decode_pull_shards_into(&buf, &mut known), Ok(true));
+        assert_eq!(known, vec![2, 3]);
+        // A corrupt bool discriminant is rejected, not guessed at.
+        buf[1] = 7;
+        assert!(decode_pull_shards_into(&buf, &mut known).is_err());
+        assert!(decode(&buf).is_err());
     }
 
     #[test]
@@ -1132,6 +1538,29 @@ mod tests {
                     version: 1,
                     weights: vec![1.0, 2.0],
                 }],
+            },
+            Message::GroupHello {
+                version: PROTOCOL_VERSION,
+                rank: 1,
+                num_workers: 2,
+                config_digest: 9,
+                servers: 2,
+                server_index: 0,
+            },
+            Message::PushSlice {
+                iteration: 2,
+                grads: vec![1.0],
+            },
+            Message::PullShards {
+                known_versions: vec![5],
+                all: false,
+            },
+            Message::StatsReply {
+                pushes: 1,
+                pulls_full: 2,
+                pulls_delta: 3,
+                bytes_sent: 4,
+                bytes_received: 5,
             },
         ];
         for msg in messages.drain(..) {

@@ -20,7 +20,7 @@ fn build_message(
 ) -> Message {
     let floats = floats[..float_len.min(floats.len())].to_vec();
     let versions = versions[..version_len.min(versions.len())].to_vec();
-    match variant % 9 {
+    match variant % 20 {
         0 => Message::Hello {
             version: PROTOCOL_VERSION,
             rank: (a % 1024) as u32,
@@ -52,7 +52,7 @@ fn build_message(
         7 => Message::PullDelta {
             known_versions: versions,
         },
-        _ => Message::PullReplyDelta {
+        8 => Message::PullReplyDelta {
             clock: a,
             updates: versions
                 .iter()
@@ -64,6 +64,39 @@ fn build_message(
                 })
                 .collect(),
         },
+        9 => Message::GroupHello {
+            version: PROTOCOL_VERSION,
+            rank: (a % 1024) as u32,
+            num_workers: (b % 1024) as u32,
+            config_digest: a ^ b,
+            servers: (a % 64) as u32 + 1,
+            server_index: (b % 64) as u32,
+        },
+        10 => Message::ClockPush { iteration: a },
+        11 => Message::ClockGrant {
+            granted_extra: a,
+            version: b,
+        },
+        12 => Message::PushGrant,
+        13 => Message::PushApplied { iteration: b },
+        14 => Message::PushSlice {
+            iteration: a,
+            grads: floats,
+        },
+        15 => Message::SliceAck { version: a },
+        16 => Message::PullShards {
+            known_versions: versions,
+            all: a % 2 == 0,
+        },
+        17 => Message::PullDone,
+        18 => Message::StatsRequest,
+        _ => Message::StatsReply {
+            pushes: a,
+            pulls_full: b,
+            pulls_delta: a.wrapping_add(b),
+            bytes_sent: a.rotate_left(17),
+            bytes_received: b.rotate_right(9),
+        },
     }
 }
 
@@ -72,7 +105,7 @@ proptest! {
 
     #[test]
     fn encode_then_decode_is_the_identity(
-        variant in 0u32..9,
+        variant in 0u32..20,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -90,7 +123,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_rejected(
-        variant in 0u32..9,
+        variant in 0u32..20,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -111,7 +144,7 @@ proptest! {
 
     #[test]
     fn trailing_garbage_is_rejected(
-        variant in 0u32..9,
+        variant in 0u32..20,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,

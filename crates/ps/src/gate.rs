@@ -1,0 +1,251 @@
+//! The gating-only half of the parameter server.
+//!
+//! A classic deployment runs Algorithm 1's storage (weights + SGD) and Algorithm 2's
+//! synchronization state (clocks, intervals, policy) in one process. Sharded
+//! deployments split them: the model is spread over a fleet of storage-only shard
+//! servers while one lightweight **coordinator** owns the synchronization state and
+//! exchanges only tiny clock messages with workers. [`SyncGate`] is that coordinator
+//! state, extracted from [`crate::ParameterServer`] (which now composes a gate with
+//! its storage, so the single-process decision logic is *the same code* the
+//! coordinator runs — a push through either path updates identical clocks, interval
+//! tables, policy state and statistics).
+
+use crate::clock::{ClockTable, IntervalTracker, WorkerId};
+use crate::policy::{PolicyCtx, PolicyKind, SyncPolicy};
+use crate::server::{PushDecision, ServerStats};
+use crate::staleness::StalenessTracker;
+
+/// Number of exact histogram buckets kept by the staleness tracker; pushes with a
+/// larger lead share the final overflow bucket (their exact maximum is still tracked).
+pub(crate) const STALENESS_BUCKETS: u64 = 64;
+
+/// The synchronization state of Algorithms 1 and 2 without any parameter storage:
+/// per-worker clocks, the push-timestamp table, the gating policy, the blocked set and
+/// the synchronization statistics.
+///
+/// [`crate::ParameterServer`] embeds one of these next to its weight store; a
+/// multi-server group's coordinator runs one *without* any store, leaving the weights
+/// to its shard servers.
+pub struct SyncGate {
+    clocks: ClockTable,
+    intervals: IntervalTracker,
+    policy: Box<dyn SyncPolicy>,
+    blocked: Vec<WorkerId>,
+    /// Reusable scratch for [`SyncGate::drain_released_into`] so the still-blocked
+    /// survivors can be rebuilt without allocating on the push path.
+    blocked_scratch: Vec<WorkerId>,
+    stats: ServerStats,
+    staleness: StalenessTracker,
+    version: u64,
+    num_workers: usize,
+}
+
+impl std::fmt::Debug for SyncGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncGate")
+            .field("policy", &self.policy.name())
+            .field("version", &self.version)
+            .field("blocked", &self.blocked)
+            .finish()
+    }
+}
+
+impl SyncGate {
+    /// Creates the synchronization state for `num_workers` workers under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` is zero.
+    pub fn new(num_workers: usize, policy: PolicyKind) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        Self {
+            clocks: ClockTable::new(num_workers),
+            intervals: IntervalTracker::new(num_workers),
+            policy: policy.build(num_workers),
+            blocked: Vec::new(),
+            blocked_scratch: Vec::new(),
+            stats: ServerStats::default(),
+            staleness: StalenessTracker::new(num_workers, STALENESS_BUCKETS),
+            version: 0,
+            num_workers,
+        }
+    }
+
+    /// Number of workers this gate tracks.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Total pushes recorded so far (the server weight version).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The per-worker push counters (array `t` of Algorithm 1).
+    pub fn clocks(&self) -> &ClockTable {
+        &self.clocks
+    }
+
+    /// The push-timestamp table (table `A` of Algorithm 2).
+    pub fn intervals(&self) -> &IntervalTracker {
+        &self.intervals
+    }
+
+    /// Synchronization statistics accumulated so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The per-push staleness distribution observed so far.
+    pub fn staleness(&self) -> &StalenessTracker {
+        &self.staleness
+    }
+
+    /// The active policy's display name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Direct access to the policy, for introspection.
+    pub fn policy(&self) -> &dyn SyncPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Workers currently waiting for a deferred `OK`.
+    pub fn blocked_workers(&self) -> &[WorkerId] {
+        &self.blocked
+    }
+
+    /// Records one push from `worker` at time `now`: increments its clock, updates the
+    /// interval table and staleness statistics, consults the policy, and appends any
+    /// workers this push releases to the caller-owned `released` buffer (not cleared
+    /// first). No weights are touched — the caller applies the gradient to whatever
+    /// storage it owns (in place, or remotely on a group of shard servers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker id is out of range.
+    pub fn on_push(
+        &mut self,
+        worker: WorkerId,
+        now: f64,
+        released: &mut Vec<WorkerId>,
+    ) -> PushDecision {
+        assert!(worker < self.num_workers, "worker id out of range");
+        self.version += 1;
+        self.clocks.increment(worker);
+        self.intervals.record_push(worker, now);
+
+        self.stats.pushes += 1;
+        let lead = self.clocks.lead_over_slowest(worker);
+        self.stats.staleness_sum += lead;
+        self.stats.staleness_max = self.stats.staleness_max.max(lead);
+        self.staleness.record(worker, lead);
+
+        let credits_before = self.policy.credits_granted();
+        let ok_now = self.policy.on_push(PolicyCtx {
+            worker,
+            now,
+            clocks: &self.clocks,
+            intervals: &self.intervals,
+        });
+        let granted_extra = self.policy.credits_granted() - credits_before;
+        self.stats.credits_granted += granted_extra;
+        if !ok_now {
+            self.stats.blocked_pushes += 1;
+            self.blocked.push(worker);
+        }
+
+        self.drain_released_into(now, if ok_now { None } else { Some(worker) }, released);
+        PushDecision {
+            ok_now,
+            version: self.version,
+            granted_extra,
+        }
+    }
+
+    /// Marks a worker as retired (it has completed its configured epochs and will push
+    /// no more), appending any workers this releases to `released` (not cleared first).
+    pub fn retire_into(&mut self, worker: WorkerId, now: f64, released: &mut Vec<WorkerId>) {
+        self.clocks.retire(worker);
+        self.drain_released_into(now, None, released);
+    }
+
+    /// Re-evaluates blocked workers after a clock change, appending those released to
+    /// `released`. Preserves the blocking order of the survivors and allocates nothing
+    /// once the member scratch is warm.
+    fn drain_released_into(
+        &mut self,
+        now: f64,
+        just_blocked: Option<WorkerId>,
+        released: &mut Vec<WorkerId>,
+    ) {
+        std::mem::swap(&mut self.blocked, &mut self.blocked_scratch);
+        self.blocked.clear();
+        for i in 0..self.blocked_scratch.len() {
+            let w = self.blocked_scratch[i];
+            // The worker that was blocked by this very push cannot be released by it.
+            if Some(w) == just_blocked {
+                self.blocked.push(w);
+                continue;
+            }
+            let free = self.policy.may_release(PolicyCtx {
+                worker: w,
+                now,
+                clocks: &self.clocks,
+                intervals: &self.intervals,
+            });
+            if free {
+                self.stats.releases += 1;
+                released.push(w);
+            } else {
+                self.blocked.push(w);
+            }
+        }
+        self.blocked_scratch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_alone_reproduces_the_bsp_release_pattern() {
+        let mut g = SyncGate::new(3, PolicyKind::Bsp);
+        let mut released = Vec::new();
+        assert!(!g.on_push(0, 1.0, &mut released).ok_now);
+        assert!(!g.on_push(1, 2.0, &mut released).ok_now);
+        assert!(released.is_empty());
+        let d = g.on_push(2, 3.0, &mut released);
+        assert!(d.ok_now);
+        released.sort_unstable();
+        assert_eq!(released, vec![0, 1]);
+        assert_eq!(g.version(), 3);
+        assert_eq!(g.stats().blocked_pushes, 2);
+        assert_eq!(g.stats().releases, 2);
+    }
+
+    #[test]
+    fn retiring_releases_waiters_without_any_storage() {
+        let mut g = SyncGate::new(2, PolicyKind::Bsp);
+        let mut released = Vec::new();
+        assert!(!g.on_push(0, 1.0, &mut released).ok_now);
+        g.retire_into(1, 2.0, &mut released);
+        assert_eq!(released, vec![0]);
+        assert!(g.blocked_workers().is_empty());
+    }
+
+    #[test]
+    fn dssp_gate_grants_extras_like_the_full_server() {
+        let mut g = SyncGate::new(2, PolicyKind::Dssp { s_l: 1, r_max: 8 });
+        let mut released = Vec::new();
+        for (w, t) in [(0, 1.0), (1, 10.0), (0, 2.0), (1, 20.0), (0, 3.0)] {
+            g.on_push(w, t, &mut released);
+        }
+        let d = g.on_push(0, 4.0, &mut released);
+        assert!(d.ok_now);
+        assert!(d.granted_extra > 0, "fast worker should be granted extras");
+        assert_eq!(g.stats().credits_granted, d.granted_extra);
+    }
+}

@@ -40,6 +40,7 @@
 mod aggregator;
 mod clock;
 mod controller;
+mod gate;
 mod policy;
 mod server;
 mod sharded;
@@ -49,6 +50,7 @@ pub mod theory;
 pub use aggregator::{AggregationMode, GradientBuffer};
 pub use clock::{ClockTable, IntervalTracker, WorkerId};
 pub use controller::{ControllerDecision, IntervalEstimator, SyncController};
+pub use gate::SyncGate;
 pub use policy::{Asp, Bsp, Dssp, PolicyCtx, PolicyKind, Ssp, SyncPolicy};
 pub use server::{ParameterServer, PushDecision, PushResult, ServerConfig, ServerStats};
 pub use sharded::{delta_compatible, shard_range, ShardedStore};

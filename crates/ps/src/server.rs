@@ -2,15 +2,12 @@
 
 use crate::aggregator::{AggregationMode, GradientBuffer};
 use crate::clock::{ClockTable, IntervalTracker, WorkerId};
-use crate::policy::{PolicyCtx, PolicyKind, SyncPolicy};
+use crate::gate::SyncGate;
+use crate::policy::{PolicyKind, SyncPolicy};
 use crate::sharded::ShardedStore;
 use crate::staleness::StalenessTracker;
 use dssp_nn::Sgd;
 use serde::{Deserialize, Serialize};
-
-/// Number of exact histogram buckets kept by the server's staleness tracker; pushes with
-/// a larger lead share the final overflow bucket (their exact maximum is still tracked).
-const STALENESS_BUCKETS: u64 = 64;
 
 /// Configuration of a [`ParameterServer`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,17 +132,10 @@ impl ServerStats {
 pub struct ParameterServer {
     store: ShardedStore,
     optimizer: Sgd,
-    clocks: ClockTable,
-    intervals: IntervalTracker,
-    policy: Box<dyn SyncPolicy>,
-    blocked: Vec<WorkerId>,
-    /// Reusable scratch for [`ParameterServer::drain_released_into`] so the
-    /// still-blocked survivors can be rebuilt without allocating on the push path.
-    blocked_scratch: Vec<WorkerId>,
-    stats: ServerStats,
-    staleness: StalenessTracker,
+    /// The gating-only half (clocks, intervals, policy, statistics) — the same state a
+    /// multi-server group's coordinator runs without any storage.
+    gate: SyncGate,
     buffer: GradientBuffer,
-    version: u64,
     config: ServerConfig,
 }
 
@@ -154,9 +144,9 @@ impl std::fmt::Debug for ParameterServer {
         f.debug_struct("ParameterServer")
             .field("params", &self.store.len())
             .field("shards", &self.store.num_shards())
-            .field("policy", &self.policy.name())
-            .field("version", &self.version)
-            .field("blocked", &self.blocked)
+            .field("policy", &self.gate.policy_name())
+            .field("version", &self.gate.version())
+            .field("blocked", &self.gate.blocked_workers())
             .finish()
     }
 }
@@ -174,21 +164,13 @@ impl ParameterServer {
     /// Panics if the configuration has zero workers or zero shards.
     pub fn new(initial_params: Vec<f32>, optimizer: Sgd, config: ServerConfig) -> Self {
         assert!(config.num_workers > 0, "need at least one worker");
-        let policy = config.policy.build(config.num_workers);
-        let staleness = StalenessTracker::new(config.num_workers, STALENESS_BUCKETS);
+        let gate = SyncGate::new(config.num_workers, config.policy);
         let buffer = GradientBuffer::new(initial_params.len(), config.aggregation);
         Self {
             store: ShardedStore::new(initial_params, config.shards),
             optimizer,
-            clocks: ClockTable::new(config.num_workers),
-            intervals: IntervalTracker::new(config.num_workers),
-            policy,
-            blocked: Vec::new(),
-            blocked_scratch: Vec::new(),
-            stats: ServerStats::default(),
-            staleness,
+            gate,
             buffer,
-            version: 0,
             config,
         }
     }
@@ -210,27 +192,27 @@ impl ParameterServer {
 
     /// The server weight version: the total number of pushes applied so far.
     pub fn version(&self) -> u64 {
-        self.version
+        self.gate.version()
     }
 
     /// The per-worker push counters.
     pub fn clocks(&self) -> &ClockTable {
-        &self.clocks
+        self.gate.clocks()
     }
 
     /// The push-timestamp table (table `A` of Algorithm 2).
     pub fn intervals(&self) -> &IntervalTracker {
-        &self.intervals
+        self.gate.intervals()
     }
 
     /// Synchronization statistics accumulated so far.
     pub fn stats(&self) -> &ServerStats {
-        &self.stats
+        self.gate.stats()
     }
 
     /// The active policy's display name.
     pub fn policy_name(&self) -> String {
-        self.policy.name()
+        self.gate.policy_name()
     }
 
     /// The configuration this server was built with.
@@ -240,12 +222,18 @@ impl ParameterServer {
 
     /// Workers currently waiting for a deferred `OK`.
     pub fn blocked_workers(&self) -> &[WorkerId] {
-        &self.blocked
+        self.gate.blocked_workers()
     }
 
     /// Direct access to the policy, for introspection (e.g. DSSP controller decisions).
     pub fn policy(&self) -> &dyn SyncPolicy {
-        self.policy.as_ref()
+        self.gate.policy()
+    }
+
+    /// The gating-only half: clocks, intervals, policy state and statistics. This is
+    /// the exact state a multi-server group's coordinator runs stand-alone.
+    pub fn gate(&self) -> &SyncGate {
+        &self.gate
     }
 
     /// Informs the server-side optimizer of the current epoch so learning-rate schedules
@@ -311,70 +299,7 @@ impl ParameterServer {
             self.optimizer.step(self.store.flat_mut(), update);
             self.store.bump_all_versions();
         }
-        self.version += 1;
-        self.clocks.increment(worker);
-        self.intervals.record_push(worker, now);
-
-        self.stats.pushes += 1;
-        let lead = self.clocks.lead_over_slowest(worker);
-        self.stats.staleness_sum += lead;
-        self.stats.staleness_max = self.stats.staleness_max.max(lead);
-        self.staleness.record(worker, lead);
-
-        let credits_before = self.policy.credits_granted();
-        let ok_now = self.policy.on_push(PolicyCtx {
-            worker,
-            now,
-            clocks: &self.clocks,
-            intervals: &self.intervals,
-        });
-        let granted_extra = self.policy.credits_granted() - credits_before;
-        self.stats.credits_granted += granted_extra;
-        if !ok_now {
-            self.stats.blocked_pushes += 1;
-            self.blocked.push(worker);
-        }
-
-        self.drain_released_into(now, if ok_now { None } else { Some(worker) }, released);
-        PushDecision {
-            ok_now,
-            version: self.version,
-            granted_extra,
-        }
-    }
-
-    /// Re-evaluates blocked workers after a clock change, appending those released to
-    /// `released`. Preserves the blocking order of the survivors and allocates nothing
-    /// once the member scratch is warm.
-    fn drain_released_into(
-        &mut self,
-        now: f64,
-        just_blocked: Option<WorkerId>,
-        released: &mut Vec<WorkerId>,
-    ) {
-        std::mem::swap(&mut self.blocked, &mut self.blocked_scratch);
-        self.blocked.clear();
-        for i in 0..self.blocked_scratch.len() {
-            let w = self.blocked_scratch[i];
-            // The worker that was blocked by this very push cannot be released by it.
-            if Some(w) == just_blocked {
-                self.blocked.push(w);
-                continue;
-            }
-            let free = self.policy.may_release(PolicyCtx {
-                worker: w,
-                now,
-                clocks: &self.clocks,
-                intervals: &self.intervals,
-            });
-            if free {
-                self.stats.releases += 1;
-                released.push(w);
-            } else {
-                self.blocked.push(w);
-            }
-        }
-        self.blocked_scratch.clear();
+        self.gate.on_push(worker, now, released)
     }
 
     /// Copies the current weights into `out` (cleared first) — what a worker's `pull`
@@ -408,15 +333,14 @@ impl ParameterServer {
     /// no more). Retired workers no longer count as the "slowest" worker, so workers
     /// that were waiting on them can be released; any such releases are returned.
     pub fn retire_worker(&mut self, worker: WorkerId, now: f64) -> Vec<WorkerId> {
-        self.clocks.retire(worker);
         let mut released = Vec::new();
-        self.drain_released_into(now, None, &mut released);
+        self.gate.retire_into(worker, now, &mut released);
         released
     }
 
     /// The per-push staleness distribution observed so far.
     pub fn staleness(&self) -> &StalenessTracker {
-        &self.staleness
+        self.gate.staleness()
     }
 
     /// Applies whatever gradients are still sitting in the aggregation buffer (a no-op

@@ -87,6 +87,37 @@ impl ShardedStore {
         }
     }
 
+    /// Builds a store over `initial` with explicitly given shard boundaries.
+    ///
+    /// `offsets` must be the start offset of every shard plus a final sentinel equal to
+    /// `initial.len()`, monotonically non-decreasing. This is how a group's shard
+    /// server materializes its slice of the model: the boundaries are the *global*
+    /// [`shard_range`] layout restricted to the shards it owns, so they are not
+    /// recomputed from the slice length (which could drift from the global layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not a valid monotone boundary vector for `initial`.
+    pub fn with_offsets(initial: Vec<f32>, offsets: Vec<usize>) -> Self {
+        assert!(offsets.len() >= 2, "need at least one shard boundary pair");
+        assert_eq!(offsets[0], 0, "first shard must start at offset 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            initial.len(),
+            "final sentinel must equal the parameter count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "shard offsets must be monotone"
+        );
+        let shards = offsets.len() - 1;
+        Self {
+            flat: initial,
+            offsets,
+            versions: vec![0; shards],
+        }
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.versions.len()
@@ -376,6 +407,27 @@ mod tests {
                 assert_eq!(*store.offsets().last().unwrap(), total);
             }
         }
+    }
+
+    #[test]
+    fn with_offsets_preserves_an_explicit_global_sub_layout() {
+        // A 2-server split of 10 params over 4 global shards: server 1 owns global
+        // shards 2 and 3 ([6..8) and [8..10)), so its local store spans [6..10) with
+        // boundaries taken from the global layout, not recomputed from its length.
+        let global: Vec<usize> = (0..4).map(|s| shard_range(10, 4, s).0).collect();
+        assert_eq!(global, vec![0, 3, 6, 8]);
+        let slice: Vec<f32> = (6..10).map(|i| i as f32).collect();
+        let store = ShardedStore::with_offsets(slice, vec![0, 2, 4]);
+        assert_eq!(store.num_shards(), 2);
+        assert_eq!(store.shard(0), &[6.0, 7.0]);
+        assert_eq!(store.shard(1), &[8.0, 9.0]);
+        assert_eq!(store.versions(), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final sentinel")]
+    fn with_offsets_rejects_a_bad_sentinel() {
+        ShardedStore::with_offsets(vec![0.0; 4], vec![0, 2, 5]);
     }
 
     #[test]

@@ -372,6 +372,7 @@ impl Simulation {
             total_pushes: self.server.version(),
             worker_summaries,
             server_stats: self.server.stats().clone(),
+            group_servers: Vec::new(),
         }
     }
 }

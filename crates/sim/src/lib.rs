@@ -47,4 +47,4 @@ mod trace;
 mod worker;
 
 pub use engine::{DataSpec, SimConfig, Simulation};
-pub use trace::{RunTrace, TracePoint, WorkerSummary};
+pub use trace::{GroupServerStats, RunTrace, TracePoint, WorkerSummary};

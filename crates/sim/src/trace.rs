@@ -19,6 +19,31 @@ pub struct TracePoint {
     pub train_loss: f64,
 }
 
+/// One shard server's contribution to a multi-server group run: how much of the model
+/// it owned and how much traffic it carried. Aggregated by the group coordinator so a
+/// group run's trace stays comparable with single-server runs (the synchronization
+/// statistics live in [`RunTrace::server_stats`] either way; these are the per-server
+/// storage/transport counters on top).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupServerStats {
+    /// Shard-server index, in `0..servers`.
+    pub server: usize,
+    /// Parameters this server's slice holds.
+    pub params: usize,
+    /// Global shards this server owns.
+    pub shards: usize,
+    /// Gradient-slice pushes it applied.
+    pub pushes: u64,
+    /// Pull requests it answered with every owned shard (full fan-out pulls).
+    pub pulls_full: u64,
+    /// Pull requests it answered incrementally (only the stale shards).
+    pub pulls_delta: u64,
+    /// Bytes it wrote to its sockets, frame headers included.
+    pub bytes_sent: u64,
+    /// Bytes it read from its sockets, frame headers included.
+    pub bytes_received: u64,
+}
+
 /// Per-worker summary statistics at the end of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkerSummary {
@@ -51,6 +76,9 @@ pub struct RunTrace {
     pub worker_summaries: Vec<WorkerSummary>,
     /// The server's synchronization statistics.
     pub server_stats: ServerStats,
+    /// Per-shard-server storage/transport counters of a multi-server group run
+    /// (empty for single-server and simulated runs).
+    pub group_servers: Vec<GroupServerStats>,
 }
 
 impl RunTrace {
@@ -132,13 +160,15 @@ impl RunTrace {
     }
 
     /// A copy of the trace with every wall-clock-derived field zeroed (`time_s` of each
-    /// point, `total_time_s`, and per-worker `waiting_time_s`).
+    /// point, `total_time_s`, and per-worker `waiting_time_s`) and the per-server
+    /// transport counters cleared.
     ///
     /// Two runs of the same job on real-time substrates can never agree on wall-clock
-    /// measurements, but under deterministic scheduling (`JobConfig::deterministic` in
-    /// `dssp-core`) everything else — accuracies, push counts, synchronization
-    /// statistics — is bitwise reproducible across threads, loopback channels and TCP
-    /// sockets. Comparing `a.with_times_zeroed() == b.with_times_zeroed()` asserts
+    /// measurements — and two *topologies* can never agree on byte counters — but under
+    /// deterministic scheduling (`JobConfig::deterministic` in `dssp-core`) everything
+    /// else — accuracies, push counts, synchronization statistics — is bitwise
+    /// reproducible across threads, loopback channels, TCP sockets and multi-server
+    /// groups. Comparing `a.with_times_zeroed() == b.with_times_zeroed()` asserts
     /// exactly that.
     pub fn with_times_zeroed(&self) -> RunTrace {
         let mut out = self.clone();
@@ -149,6 +179,7 @@ impl RunTrace {
         for w in &mut out.worker_summaries {
             w.waiting_time_s = 0.0;
         }
+        out.group_servers.clear();
         out
     }
 }
@@ -209,6 +240,7 @@ mod tests {
                 },
             ],
             server_stats: ServerStats::default(),
+            group_servers: Vec::new(),
         }
     }
 
@@ -261,6 +293,7 @@ mod tests {
             total_pushes: 0,
             worker_summaries: vec![],
             server_stats: ServerStats::default(),
+            group_servers: Vec::new(),
         };
         assert_eq!(t.final_accuracy(), 0.0);
         assert_eq!(t.iteration_throughput(), 0.0);

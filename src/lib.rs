@@ -18,6 +18,7 @@
 //! | [`sim`] | `dssp-sim` | discrete-event simulator (real training, virtual time) |
 //! | [`core`](mod@core) | `dssp-core` | experiments, presets, metrics, shared driver, threaded runtime |
 //! | [`net`] | `dssp-net` | wire protocol, TCP/loopback transports, multi-process deployment |
+//! | [`coord`] | `dssp-coord` | multi-server groups: shard servers + clock/controller coordinator |
 //! | [`bench`](mod@bench) | `dssp-bench` | figure/table regeneration for the paper's evaluation |
 //!
 //! # Example
@@ -37,6 +38,7 @@
 
 pub use dssp_bench as bench;
 pub use dssp_cluster as cluster;
+pub use dssp_coord as coord;
 pub use dssp_core as core;
 pub use dssp_data as data;
 pub use dssp_net as net;

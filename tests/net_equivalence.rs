@@ -1,18 +1,49 @@
 //! Cross-substrate equivalence: under deterministic scheduling, a networked run over
 //! the loopback transport must be **bitwise-equal** to a threaded-runtime run of the
 //! same job — same weights evolution, same accuracies, same synchronization statistics
-//! (wall-clock fields excepted, see `RunTrace::with_times_zeroed`).
+//! (wall-clock fields excepted, see `RunTrace::with_times_zeroed`) — and since PR 5 the
+//! same equality extends to a **multi-server group**: one coordinator plus N shard
+//! servers over real TCP sockets, with the model spread across server processes.
 //!
-//! This is the end-to-end proof that `dssp-net` and `dssp-core::runtime` really are two
-//! substrates of one driver: the only code that differs between the runs is the message
-//! plumbing, and the plumbing does not perturb a single bit.
+//! This is the end-to-end proof that `dssp-net`, `dssp-coord` and
+//! `dssp-core::runtime` really are substrates of one driver: the only code that
+//! differs between the runs is the message plumbing and the storage topology, and
+//! neither perturbs a single bit.
 
+use dssp::coord::run_group_threads;
 use dssp::core::driver::JobConfig;
 use dssp::core::runtime::run_threaded;
 use dssp::net::transport::loopback;
-use dssp::net::{run_worker, serve};
+use dssp::net::{run_worker, serve, TcpServerTransport, TcpWorkerTransport};
 use dssp::{PolicyKind, RunTrace};
 use std::thread;
+
+/// A classic single-server run over real TCP sockets (server + workers on threads).
+fn run_tcp_single(job: &JobConfig) -> RunTrace {
+    let mut server = TcpServerTransport::bind("127.0.0.1:0", job.num_workers).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..job.num_workers)
+        .map(|rank| {
+            let job = job.clone();
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut t = TcpWorkerTransport::connect(&addr).expect("connect");
+                run_worker(&job, rank, &mut t).expect("worker runs")
+            })
+        })
+        .collect();
+    let trace = serve(job, &mut server).expect("tcp run completes");
+    for handle in handles {
+        handle.join().expect("worker thread");
+    }
+    trace
+}
+
+/// A multi-server group run (coordinator + `job.servers` shard servers + workers,
+/// all over real TCP).
+fn run_group(job: &JobConfig) -> RunTrace {
+    run_group_threads(job).expect("group run completes").trace
+}
 
 fn run_loopback(job: &JobConfig) -> RunTrace {
     let (mut server, workers) = loopback(job.num_workers);
@@ -84,6 +115,53 @@ fn delta_pulls_do_not_perturb_a_single_bit() {
         without_deltas.with_times_zeroed(),
         "delta and full pulls must reconstruct identical training"
     );
+}
+
+#[test]
+fn group_runs_are_bitwise_equal_across_topologies() {
+    // The acceptance matrix of the group subsystem: on the AlexNet analogue under
+    // deterministic DSSP, a threaded run, a classic 1-server TCP run, and a 2-server
+    // group run (delta pulls on AND off) must all be bitwise identical — the model is
+    // physically spread over two server sockets with per-server optimizer slices, and
+    // not a bit of the training run moves.
+    let mut job = JobConfig::small_alexnet(PolicyKind::Dssp { s_l: 1, r_max: 4 });
+    job.deterministic = true;
+    job.shards = 4;
+
+    let threaded = run_threaded(job.clone()).with_times_zeroed();
+    let tcp_single = run_tcp_single(&job).with_times_zeroed();
+    assert!(threaded.total_pushes > 0);
+    assert_eq!(
+        threaded, tcp_single,
+        "threaded and 1-server TCP runs diverged"
+    );
+
+    job.servers = 2;
+    let group_delta = run_group(&job).with_times_zeroed();
+    assert_eq!(
+        threaded, group_delta,
+        "2-server group (delta pulls) diverged from the single server"
+    );
+
+    job.delta_pulls = false;
+    let group_full = run_group(&job).with_times_zeroed();
+    assert_eq!(
+        threaded, group_full,
+        "2-server group (full pulls) diverged from the single server"
+    );
+}
+
+#[test]
+fn four_server_group_matches_two_server_group_bitwise() {
+    let mut job = JobConfig::small_alexnet(PolicyKind::Bsp);
+    job.deterministic = true;
+    job.shards = 8;
+    job.servers = 2;
+    let two = run_group(&job).with_times_zeroed();
+    job.servers = 4;
+    let four = run_group(&job).with_times_zeroed();
+    assert!(two.total_pushes > 0);
+    assert_eq!(two, four, "server count must not perturb a single bit");
 }
 
 #[test]
