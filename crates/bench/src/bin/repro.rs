@@ -46,11 +46,34 @@
 //!
 //! A shard server binding an ephemeral port announces it on stdout as
 //! `DSSP_LISTEN <addr>`, which is how `launch` wires the group together.
+//!
+//! Chaos: every deployment mode accepts `--fault role:phase:action:after` and
+//! `--checkpoint-dir D [--checkpoint-every N] [--restore]`; a process whose own
+//! fault plan fires exits with the distinct code [`dssp_net::FAULT_EXIT_CODE`] so a
+//! supervisor can tell a planned kill from a real crash. The `chaos-smoke` mode runs
+//! one kill+restart cell per role (worker, shard server, coordinator) over real
+//! processes (`launch --servers 2 --workers 3`) and writes the per-cell outcomes to
+//! `TRACE_chaos_smoke.json`, exiting nonzero if any cell ends outside its designed
+//! outcome set:
+//!
+//! ```text
+//! cargo run --release -p dssp-bench --bin repro -- chaos-smoke [--out FILE]
+//! ```
 
 use dssp_bench as bench;
 use dssp_core::presets::Scale;
 use dssp_core::report;
 use dssp_net::cli::{flag_value, job_from_flags};
+
+/// Maps a run-ending error to the process exit code: a fired fault plan exits with
+/// the distinct [`dssp_net::FAULT_EXIT_CODE`], everything else with 1.
+fn exit_code_for(e: &dssp_net::NetError) -> i32 {
+    if matches!(e, dssp_net::NetError::FaultInjected { .. }) {
+        dssp_net::FAULT_EXIT_CODE
+    } else {
+        1
+    }
+}
 
 fn net_job_or_exit(args: &[String]) -> dssp_core::driver::JobConfig {
     match job_from_flags(args) {
@@ -116,7 +139,7 @@ fn run_serve_mode(args: &[String]) {
             ),
             Err(e) => {
                 eprintln!("shard server {index} failed: {e}");
-                std::process::exit(1);
+                std::process::exit(exit_code_for(&e));
             }
         }
         return;
@@ -146,7 +169,7 @@ fn run_serve_mode(args: &[String]) {
         Ok(trace) => write_trace(&trace, args),
         Err(e) => {
             eprintln!("server failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     }
 }
@@ -202,7 +225,7 @@ fn run_coord_mode(args: &[String]) {
         Ok(trace) => write_trace(&trace, args),
         Err(e) => {
             eprintln!("coordinator failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     }
 }
@@ -260,7 +283,7 @@ fn run_worker_mode(args: &[String]) {
         }
         Err(e) => {
             eprintln!("worker {rank} failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     }
 }
@@ -287,7 +310,7 @@ fn run_launch_mode(args: &[String]) {
             Ok(outcome) => write_trace(&outcome.trace, args),
             Err(e) => {
                 eprintln!("group launch failed: {e}");
-                std::process::exit(1);
+                std::process::exit(exit_code_for(&e));
             }
         }
         return;
@@ -302,7 +325,7 @@ fn run_launch_mode(args: &[String]) {
         Ok(outcome) => write_trace(&outcome.trace, args),
         Err(e) => {
             eprintln!("launch failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     }
 }
@@ -343,6 +366,135 @@ fn run_bench_net_mode(args: &[String]) {
     println!("wrote {path}");
 }
 
+/// Minimal JSON string escaping for the chaos-smoke record (error messages may
+/// contain quotes and backslashes from paths).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One kill+restart chaos cell per role over real processes: leg A launches the
+/// group with the cell's fault plan armed and must *fail*; leg B relaunches with
+/// `--restore` (fault dropped, as a supervisor would) and must either resume or be
+/// refused with one of the designed typed errors. Everything else fails the smoke.
+fn run_chaos_smoke_mode(args: &[String]) {
+    use dssp_core::driver::{CheckpointSpec, FaultPlan, JobConfig};
+
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| "TRACE_chaos_smoke.json".into());
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let scratch = std::env::temp_dir().join(format!("dssp_chaos_smoke_{}", std::process::id()));
+
+    // One restart cell per role, all at the push phase (the one every role has).
+    let cells = [
+        "worker1:push:restart:3",
+        "server0:push:restart:3",
+        "coord:push:restart:3",
+    ];
+    let mut records = Vec::new();
+    let mut all_ok = true;
+    for spec in cells {
+        let plan = FaultPlan::parse(spec).expect("smoke cell spec parses");
+        let dir = scratch.join(spec.replace(':', "_"));
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+
+        let mut job = JobConfig::small(dssp_ps::PolicyKind::Dssp { s_l: 1, r_max: 2 });
+        job.num_workers = 3;
+        job.shards = 4;
+        job.servers = 2;
+        job.epochs = 1;
+        // Keep the dead-shard collapse window short: prompt shard replies make a
+        // few seconds of read timeout plenty.
+        job.stall_timeout_ms = 5_000;
+        // Checkpoint on every push so each role has a durable cut before the fault
+        // fires at push 3 (the push fault trips *before* that push's checkpoint
+        // write, so a sparser cadence would leave leg B with nothing to restore).
+        job.checkpoint = Some(CheckpointSpec {
+            dir: dir.clone(),
+            every_pushes: 1,
+            restore: false,
+        });
+        job.fault_plan = Some(plan);
+
+        let mut cell_ok = true;
+        println!("== chaos cell {spec}: leg A (fault armed) ==");
+        let leg_a = match dssp_coord::launch_group(&job, "127.0.0.1:0", &exe) {
+            Ok(_) => {
+                cell_ok = false;
+                "unexpectedly completed".to_string()
+            }
+            Err(e) => format!("failed as planned: {e}"),
+        };
+
+        println!("== chaos cell {spec}: leg B (restore, fault dropped) ==");
+        job.fault_plan = None;
+        if let Some(ckpt) = job.checkpoint.as_mut() {
+            ckpt.restore = true;
+        }
+        let leg_b = match dssp_coord::launch_group(&job, "127.0.0.1:0", &exe) {
+            Ok(outcome) => format!("resumed ({} pushes)", outcome.trace.total_pushes),
+            Err(e) => {
+                let msg = e.to_string();
+                let lower = msg.to_lowercase();
+                let designed = lower.contains("restore skew")
+                    || lower.contains("retired")
+                    || lower.contains("checkpoint");
+                if designed {
+                    format!("refused: {msg}")
+                } else {
+                    cell_ok = false;
+                    format!("failed outside the designed outcome set: {msg}")
+                }
+            }
+        };
+        if !cell_ok {
+            all_ok = false;
+        }
+        println!("cell {spec}: leg A {leg_a}; leg B {leg_b}");
+        records.push(format!(
+            "    {{\"cell\": \"{}\", \"leg_a\": \"{}\", \"leg_b\": \"{}\", \"ok\": {}}}",
+            json_escape(spec),
+            json_escape(&leg_a),
+            json_escape(&leg_b),
+            cell_ok
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = format!(
+        "{{\n  \"id\": \"chaos_smoke\",\n  \"ok\": {all_ok},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !all_ok {
+        eprintln!("chaos smoke failed: a cell ended outside its designed outcome set");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -368,6 +520,10 @@ fn main() {
         }
         Some("launch") => {
             run_launch_mode(&args);
+            return;
+        }
+        Some("chaos-smoke") => {
+            run_chaos_smoke_mode(&args);
             return;
         }
         _ => {}
@@ -433,7 +589,8 @@ fn main() {
                 eprintln!(
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
-                     ablation_aggregation all bench bench-net serve coord worker launch"
+                     ablation_aggregation all bench bench-net serve coord worker launch \
+                     chaos-smoke"
                 );
                 std::process::exit(2);
             }

@@ -16,12 +16,13 @@
 //! messages exchanged with the coordinator.
 
 use crate::layout::GroupLayout;
-use dssp_core::driver::{JobConfig, WorkerStep};
+use dssp_core::driver::{FaultPhase, FaultRole, JobConfig, WorkerStep};
+use dssp_net::tcp::TcpWorkerTransport;
 use dssp_net::transport::PullOutcome;
 use dssp_net::wire::{PROTOCOL_VERSION, SHUTDOWN_OK};
 use dssp_net::worker::WorkerReport;
-use dssp_net::{Message, NetError, WorkerTransport};
-use std::time::Instant;
+use dssp_net::{fault_due, Message, NetError, WorkerTransport};
+use std::time::{Duration, Instant};
 
 /// One connection to a shard server, with the label used to attribute failures.
 pub struct ServerLink {
@@ -29,15 +30,37 @@ pub struct ServerLink {
     pub transport: Box<dyn WorkerTransport>,
     /// Human-readable name ("shard server 1 at 127.0.0.1:4242").
     pub label: String,
+    /// The TCP address to re-dial if the connection drops. `None` disables
+    /// reconnection (in-process loopback links cannot be re-dialed).
+    pub addr: Option<String>,
+    /// Read timeout to re-arm on a reconnected transport.
+    pub read_timeout: Option<Duration>,
 }
 
 impl ServerLink {
-    /// Wraps a transport with a label.
+    /// Wraps a transport with a label. The link is not reconnectable; see
+    /// [`ServerLink::with_reconnect`].
     pub fn new(transport: Box<dyn WorkerTransport>, label: impl Into<String>) -> Self {
         Self {
             transport,
             label: label.into(),
+            addr: None,
+            read_timeout: None,
         }
+    }
+
+    /// Makes the link reconnectable: when the server vanishes mid-fan-out
+    /// ([`NetError::PeerLost`] / [`NetError::PeerTimeout`]), the fan re-dials `addr`,
+    /// re-arms `read_timeout`, replays the `GroupHello`, and retries the exchange
+    /// once before giving up.
+    pub fn with_reconnect(
+        mut self,
+        addr: impl Into<String>,
+        read_timeout: Option<Duration>,
+    ) -> Self {
+        self.addr = Some(addr.into());
+        self.read_timeout = read_timeout;
+        self
     }
 }
 
@@ -53,6 +76,16 @@ pub enum FanOutcome {
     },
 }
 
+/// The `GroupHello` parameters recorded at handshake time, so a reconnected link can
+/// replay the handshake without the caller's involvement.
+#[derive(Clone, Copy)]
+struct HelloReplay {
+    rank: u32,
+    num_workers: u32,
+    config_digest: u64,
+    servers: u32,
+}
+
 /// The per-server fan-out state of one group client (a worker, or the coordinator
 /// assembling evaluation weights).
 pub struct ShardFan {
@@ -60,10 +93,14 @@ pub struct ShardFan {
     layout: GroupLayout,
     /// Whether the version cache has been primed (first pull always ships all).
     warm: bool,
+    /// The handshake to replay on a reconnected link (set by [`ShardFan::hello`]).
+    hello_replay: Option<HelloReplay>,
     /// Fan-out pull rounds whose per-server requests asked for every owned shard.
     pub full_pulls: u64,
     /// Fan-out pull rounds answered incrementally.
     pub delta_pulls: u64,
+    /// Links that were successfully re-dialed after a mid-run loss.
+    pub reconnects: u64,
 }
 
 impl ShardFan {
@@ -84,8 +121,10 @@ impl ShardFan {
             links,
             layout: GroupLayout::new(param_len, job.shards, job.servers),
             warm: false,
+            hello_replay: None,
             full_pulls: 0,
             delta_pulls: 0,
+            reconnects: 0,
         }
     }
 
@@ -97,17 +136,19 @@ impl ShardFan {
     /// Handshakes every server with a [`Message::GroupHello`] announcing `rank`
     /// (`num_workers` for the coordinator).
     pub fn hello(&mut self, job: &JobConfig, rank: u32) -> Result<(), NetError> {
-        let digest = job.digest();
+        // The handshake carries the *stable* digest (chaos/checkpoint fields masked),
+        // so a server restarted without its predecessor's fault plan still accepts
+        // the surviving workers.
+        let replay = HelloReplay {
+            rank,
+            num_workers: job.num_workers as u32,
+            config_digest: job.stable_digest(),
+            servers: job.servers as u32,
+        };
+        self.hello_replay = Some(replay);
         for (i, link) in self.links.iter_mut().enumerate() {
             link.transport
-                .send(&Message::GroupHello {
-                    version: PROTOCOL_VERSION,
-                    rank,
-                    num_workers: job.num_workers as u32,
-                    config_digest: digest,
-                    servers: job.servers as u32,
-                    server_index: i as u32,
-                })
+                .send(&hello_message(&replay, i as u32))
                 .map_err(|e| at_link(link, e))?;
         }
         Ok(())
@@ -122,14 +163,42 @@ impl ShardFan {
             self.layout.params(),
             "gradient length mismatch"
         );
+        let mut reconnected = false;
         for (i, link) in self.links.iter_mut().enumerate() {
             let (start, end) = self.layout.key_range(i);
-            link.transport
+            if let Err(e) = link
+                .transport
                 .send_push_slice(iteration, &grads[start..end])
-                .map_err(|e| at_link(link, e))?;
+                .map_err(|e| at_link(link, e))
+            {
+                if !recoverable(&e, link, &self.hello_replay) {
+                    return Err(e);
+                }
+                reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                reconnected = true;
+                link.transport
+                    .send_push_slice(iteration, &grads[start..end])
+                    .map_err(|e| at_link(link, e))?;
+            }
         }
-        for link in self.links.iter_mut() {
-            match link.transport.recv().map_err(|e| at_link(link, e))? {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let msg = match link.transport.recv().map_err(|e| at_link(link, e)) {
+                Ok(msg) => msg,
+                Err(e) if recoverable(&e, link, &self.hello_replay) => {
+                    // The server died between our request and its ack: re-dial it,
+                    // replay the handshake, and re-apply the slice to the restored
+                    // store (the original application died with the old process).
+                    reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                    reconnected = true;
+                    let (start, end) = self.layout.key_range(i);
+                    link.transport
+                        .send_push_slice(iteration, &grads[start..end])
+                        .map_err(|e| at_link(link, e))?;
+                    link.transport.recv().map_err(|e| at_link(link, e))?
+                }
+                Err(e) => return Err(e),
+            };
+            match msg {
                 Message::SliceAck { .. } => {}
                 Message::Shutdown { reason } => return Ok(FanOutcome::Shutdown { reason }),
                 other => {
@@ -139,6 +208,12 @@ impl ShardFan {
                     )))
                 }
             }
+        }
+        if reconnected {
+            // A restored server may hold shard versions behind our cache; the next
+            // pull round must request everything to resynchronize.
+            self.warm = false;
+            self.reconnects += 1;
         }
         Ok(FanOutcome::Applied)
     }
@@ -156,23 +231,59 @@ impl ShardFan {
         weights.resize(self.layout.params(), 0.0);
         versions.resize(self.layout.shards(), 0);
         let all = !prefer_delta || !self.warm;
+        let mut reconnected = false;
         for (i, link) in self.links.iter_mut().enumerate() {
             let (lo, hi) = self.layout.shard_span(i);
-            link.transport
+            if let Err(e) = link
+                .transport
                 .send_pull_shards(&versions[lo..hi], all)
-                .map_err(|e| at_link(link, e))?;
+                .map_err(|e| at_link(link, e))
+            {
+                if !recoverable(&e, link, &self.hello_replay) {
+                    return Err(e);
+                }
+                reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                reconnected = true;
+                // A restored server may be behind our cache; ask for everything.
+                link.transport
+                    .send_pull_shards(&versions[lo..hi], true)
+                    .map_err(|e| at_link(link, e))?;
+            }
         }
-        for link in self.links.iter_mut() {
-            match link
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let outcome = match link
                 .transport
                 .recv_pull_apply(weights, versions)
-                .map_err(|e| at_link(link, e))?
+                .map_err(|e| at_link(link, e))
             {
-                PullOutcome::Applied(_) => {}
+                Ok(outcome) => outcome,
+                Err(e) if recoverable(&e, link, &self.hello_replay) => {
+                    reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                    reconnected = true;
+                    let (lo, hi) = self.layout.shard_span(i);
+                    link.transport
+                        .send_pull_shards(&versions[lo..hi], true)
+                        .map_err(|e| at_link(link, e))?;
+                    link.transport
+                        .recv_pull_apply(weights, versions)
+                        .map_err(|e| at_link(link, e))?
+                }
+                Err(e) => return Err(e),
+            };
+            match outcome {
+                PullOutcome::Applied(applied) => {
+                    // Reconnect context: remember the server clock this link confirmed,
+                    // so a later PeerLost error says where the session stood.
+                    link.transport.note_confirmed_clock(applied.clock);
+                }
                 PullOutcome::Shutdown { reason } => return Ok(FanOutcome::Shutdown { reason }),
             }
         }
         self.warm = true;
+        if reconnected {
+            self.warm = false;
+            self.reconnects += 1;
+        }
         if all {
             self.full_pulls += 1;
         } else {
@@ -226,9 +337,55 @@ fn at_link(link: &ServerLink, e: NetError) -> NetError {
         NetError::PeerTimeout { .. } | NetError::PeerLost { .. } => e,
         NetError::Disconnected => NetError::PeerLost {
             peer: link.label.clone(),
+            addr: link.addr.clone(),
+            rank: None,
+            last_clock: None,
         },
         other => other,
     }
+}
+
+/// Builds the `GroupHello` for server `server_index` from the recorded handshake.
+fn hello_message(replay: &HelloReplay, server_index: u32) -> Message {
+    Message::GroupHello {
+        version: PROTOCOL_VERSION,
+        rank: replay.rank,
+        num_workers: replay.num_workers,
+        config_digest: replay.config_digest,
+        servers: replay.servers,
+        server_index,
+    }
+}
+
+/// Whether a fan-out failure is worth one reconnect attempt: the peer vanished or
+/// stalled (rather than violating the protocol), the link knows its address, and the
+/// handshake has been recorded for replay.
+fn recoverable(e: &NetError, link: &ServerLink, replay: &Option<HelloReplay>) -> bool {
+    matches!(e, NetError::PeerLost { .. } | NetError::PeerTimeout { .. })
+        && link.addr.is_some()
+        && replay.is_some()
+}
+
+/// Re-dials a lost link with exponential backoff, re-arms its read timeout, and
+/// replays the `GroupHello` so the restored server admits this client again.
+///
+/// The retry schedule (12 attempts, 50 ms doubling to the transport's 2 s cap) gives
+/// a restarted server a ~10 s window to come back while keeping the *failure* path —
+/// a server that is gone for good — bounded, so a collapsing fleet aborts in seconds
+/// rather than minutes (the chaos matrix runs dozens of these collapses).
+fn reconnect(
+    link: &mut ServerLink,
+    replay: &HelloReplay,
+    server_index: u32,
+) -> Result<(), NetError> {
+    let addr = link.addr.clone().expect("recoverable() checked addr");
+    let mut transport =
+        TcpWorkerTransport::connect_with_retry(&addr, 12, Duration::from_millis(50))?;
+    transport.set_peer_label(link.label.clone());
+    transport.set_read_timeout(link.read_timeout)?;
+    transport.send(&hello_message(replay, server_index))?;
+    link.transport = Box::new(transport);
+    Ok(())
 }
 
 /// Runs the worker side of a **group** training job: handshake with the coordinator
@@ -277,7 +434,7 @@ pub fn run_group_worker(
         version: PROTOCOL_VERSION,
         rank: rank as u32,
         num_workers: job.num_workers as u32,
-        config_digest: job.digest(),
+        config_digest: job.stable_digest(),
     })?;
     fan.hello(job, rank as u32)?;
 
@@ -291,17 +448,39 @@ pub fn run_group_worker(
         }};
     }
 
+    // Membership handshake: the coordinator answers with the number of pushes it has
+    // already confirmed from this rank — zero on a fresh run, the restored count when
+    // the fleet came back from a checkpoint. The worker fast-forwards its batch
+    // schedule to that point and resumes at the next iteration.
+    coord.send(&Message::JoinRequest)?;
+    let resume_from = match coord.recv()? {
+        Message::JoinAck { clock } => clock,
+        Message::Shutdown { reason } => finish_early!(reason),
+        other => return Err(unexpected(rank, &other)),
+    };
+    if resume_from > 0 {
+        step.skip_to(resume_from.min(step.target()));
+        report.iterations = step.completed();
+        report.epochs = step.epoch();
+    }
+
+    // This process's structured chaos hook, if the plan targets this rank.
+    let fault = job.fault_plan.filter(|p| p.role == FaultRole::Worker(rank));
+    let mut pulls_done: u64 = 0;
+
     // Initial pull: the cache is cold, so every server ships all of its shards.
     match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
         FanOutcome::Applied => {}
         FanOutcome::Shutdown { reason } => finish_early!(reason),
     }
+    pulls_done += 1;
+    fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
     if det {
         coord.send(&Message::PullDone)?;
     }
 
     let target = step.target();
-    for iter in 0..target {
+    for iter in step.completed()..target {
         step.compute_gradient_into(&weights, &mut grads);
         report.iterations = step.completed();
         report.epochs = step.epoch();
@@ -327,14 +506,17 @@ pub fn run_group_worker(
             }
             coord.send(&Message::ClockPush { iteration })?;
         }
+        fault_due(fault.as_ref(), FaultPhase::Push, iteration)?;
         if iteration == target {
             break; // final push: report Done without waiting for the OK
         }
+        fault_due(fault.as_ref(), FaultPhase::GateBlocked, iteration)?;
         let wait_start = Instant::now();
         match coord.recv()? {
             Message::ClockGrant { granted_extra, .. } => {
                 report.waiting_time_s += wait_start.elapsed().as_secs_f64();
                 report.granted_extra_total += granted_extra;
+                coord.note_confirmed_clock(iteration);
             }
             Message::Shutdown { reason } => finish_early!(reason),
             other => return Err(unexpected(rank, &other)),
@@ -343,6 +525,8 @@ pub fn run_group_worker(
             FanOutcome::Applied => {}
             FanOutcome::Shutdown { reason } => finish_early!(reason),
         }
+        pulls_done += 1;
+        fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
         if det {
             coord.send(&Message::PullDone)?;
         }

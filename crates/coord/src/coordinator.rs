@@ -23,9 +23,11 @@
 //! gets for free.
 
 use crate::client::{FanOutcome, ServerLink, ShardFan};
-use dssp_core::driver::{DeterministicGate, JobConfig, ServerLoop, WorkerEvent};
+use dssp_core::driver::{DeterministicGate, FaultRole, JobConfig, ServerLoop, WorkerEvent};
 use dssp_net::wire::{SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
-use dssp_net::{require_helloed, validate_hello, Message, NetError, ServerTransport};
+use dssp_net::{
+    require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, ServerTransport,
+};
 use dssp_sim::{GroupServerStats, RunTrace};
 use std::time::Instant;
 
@@ -54,11 +56,43 @@ pub fn coordinate(
             job.num_workers
         )));
     }
-    let sl = ServerLoop::clock_only(job);
+    // Start fresh, or resume the synchronization state (clocks, credits, interval
+    // tick) from the coordinator's durable checkpoint. A load failure still shuts the
+    // fleet down cleanly: workers get the broadcast, and the dropped shard-server
+    // links tell the shard servers their coordinator is gone.
+    let restoring = job.checkpoint.as_ref().is_some_and(|c| c.restore);
+    let sl = if restoring {
+        let spec = job.checkpoint.as_ref().expect("restoring implies a spec");
+        let path = spec.dir.join(dssp_ps::coord_checkpoint_name());
+        match dssp_ps::Checkpoint::load_for_job(&path, job.stable_digest()) {
+            Ok(ckpt) if ckpt.has_retired_workers() => {
+                transport.broadcast(&Message::Shutdown {
+                    reason: SHUTDOWN_SERVER_ERROR,
+                });
+                return Err(NetError::Protocol(format!(
+                    "cannot restore from {}: the checkpoint records retired workers \
+                     (a finished run or a post-eviction snapshot is not resumable)",
+                    path.display()
+                )));
+            }
+            Ok(ckpt) => ServerLoop::restore(job, &ckpt, true),
+            Err(e) => {
+                transport.broadcast(&Message::Shutdown {
+                    reason: SHUTDOWN_SERVER_ERROR,
+                });
+                return Err(e.into());
+            }
+        }
+    } else {
+        ServerLoop::clock_only(job)
+    };
     let mut fan = ShardFan::new(job, sl.param_len(), links);
-    let result = fan
-        .hello(job, job.num_workers as u32)
-        .and_then(|()| Coordinator::new(job, sl).run(transport, &mut fan));
+    let result = fan.hello(job, job.num_workers as u32).and_then(|()| {
+        if restoring {
+            check_restore_skew(&sl, &mut fan)?;
+        }
+        Coordinator::new(job, sl, restoring).run(transport, &mut fan)
+    });
     match result {
         Ok(trace) => {
             transport.broadcast(&Message::Shutdown {
@@ -70,12 +104,16 @@ pub fn coordinate(
             Ok(trace)
         }
         Err(e) => {
-            transport.broadcast(&Message::Shutdown {
-                reason: SHUTDOWN_SERVER_ERROR,
-            });
-            fan.send_all(&Message::Shutdown {
-                reason: SHUTDOWN_SERVER_ERROR,
-            });
+            // An injected fault simulates a crash: die without the protocol goodbye
+            // so peers observe the same abrupt connection loss a real kill produces.
+            if !matches!(e, NetError::FaultInjected { .. }) {
+                transport.broadcast(&Message::Shutdown {
+                    reason: SHUTDOWN_SERVER_ERROR,
+                });
+                fan.send_all(&Message::Shutdown {
+                    reason: SHUTDOWN_SERVER_ERROR,
+                });
+            }
             Err(e)
         }
     }
@@ -96,8 +134,15 @@ struct Coordinator<'job> {
     pending_apply: Option<WorkerEvent>,
     /// A gate-released event we could not dispatch yet (pulls still in flight).
     held: Option<WorkerEvent>,
-    /// Granted pulls in flight, including every worker's initial pull.
-    pending_pulls: usize,
+    /// Which workers have a granted pull in flight (everyone's initial pull at the
+    /// start). Per-worker so evicting a dead worker cancels exactly its pull.
+    pull_pending: Vec<bool>,
+    /// This process's structured chaos hooks.
+    fault: FaultClock,
+    /// Durable checkpoint cadence (clock state only — the weights live on the shard
+    /// servers, which checkpoint themselves).
+    sink: CheckpointSink,
+    digest: u64,
     /// Reused assembly buffers for evaluation pulls.
     eval_weights: Vec<f32>,
     eval_versions: Vec<u64>,
@@ -105,23 +150,83 @@ struct Coordinator<'job> {
 }
 
 impl<'job> Coordinator<'job> {
-    fn new(job: &'job JobConfig, sl: ServerLoop) -> Self {
+    fn new(job: &'job JobConfig, sl: ServerLoop, restoring: bool) -> Self {
         let targets = sl.targets().to_vec();
         let det = job.deterministic;
+        // On a restore the gate's dispatch bookkeeping resumes from the checkpointed
+        // push counts; every worker — finished or not — re-pulls before anything else.
+        let gate = det.then(|| {
+            if restoring {
+                DeterministicGate::resume(targets.clone(), &sl.push_counts(), false)
+            } else {
+                DeterministicGate::new(targets.clone(), false)
+            }
+        });
+        let last_iter = if restoring {
+            sl.push_counts()
+        } else {
+            vec![0u64; job.num_workers]
+        };
         Self {
             job,
-            sl,
-            gate: det.then(|| DeterministicGate::new(targets.clone(), false)),
+            gate,
             targets,
             helloed: vec![false; job.num_workers],
-            last_iter: vec![0u64; job.num_workers],
+            last_iter,
             pending_apply: None,
             held: None,
-            pending_pulls: if det { job.num_workers } else { 0 },
+            pull_pending: vec![det; job.num_workers],
+            fault: FaultClock::new(job, FaultRole::Coordinator),
+            sink: CheckpointSink::new(job.checkpoint.as_ref(), &dssp_ps::coord_checkpoint_name()),
+            digest: job.stable_digest(),
             eval_weights: Vec::new(),
             eval_versions: Vec::new(),
             start: Instant::now(),
+            sl,
         }
+    }
+
+    fn pulls_in_flight(&self) -> bool {
+        self.pull_pending.iter().any(|&p| p)
+    }
+
+    /// Reaps one dead (or explicitly evicted) worker: cancels whatever it had in
+    /// flight (a granted-but-unconfirmed push, a pending pull, queued gate events),
+    /// reclaims its policy credits, retires its clock, and delivers the grants its
+    /// departure releases to the survivors.
+    fn evict(&mut self, transport: &mut dyn ServerTransport, rank: usize) -> Result<(), NetError> {
+        if self
+            .pending_apply
+            .as_ref()
+            .is_some_and(|ev| ev.worker() == rank)
+        {
+            self.pending_apply = None;
+        }
+        if self.held.as_ref().is_some_and(|ev| ev.worker() == rank) {
+            self.held = None;
+        }
+        self.pull_pending[rank] = false;
+        let now = self.start.elapsed().as_secs_f64();
+        let released = self.sl.evict_worker(rank, now);
+        if let Some(g) = self.gate.as_mut() {
+            g.forget_worker(rank);
+            for reply in &released {
+                g.on_released(reply.worker);
+            }
+        }
+        for reply in &released {
+            transport.send(
+                reply.worker,
+                &Message::ClockGrant {
+                    granted_extra: reply.granted_extra,
+                    version: self.sl.version(),
+                },
+            )?;
+            if self.job.deterministic && self.last_iter[reply.worker] < self.targets[reply.worker] {
+                self.pull_pending[reply.worker] = true;
+            }
+        }
+        Ok(())
     }
 
     fn run(
@@ -130,7 +235,7 @@ impl<'job> Coordinator<'job> {
         fan: &mut ShardFan,
     ) -> Result<RunTrace, NetError> {
         let det = self.job.deterministic;
-        let expected_digest = self.job.digest();
+        let expected_digest = self.job.stable_digest();
 
         while !self.sl.all_done() {
             // Deterministic mode: dispatch everything the gate can release under the
@@ -141,7 +246,7 @@ impl<'job> Coordinator<'job> {
                 }
                 let Some(event) = self.held.take() else { break };
                 // Mutating events wait until every granted pull completed.
-                if self.pending_pulls > 0 {
+                if self.pulls_in_flight() {
                     self.held = Some(event);
                     break;
                 }
@@ -163,7 +268,15 @@ impl<'job> Coordinator<'job> {
                 break;
             }
 
-            let (rank, msg) = transport.recv()?;
+            let (rank, msg) = match transport.recv() {
+                Ok(pair) => pair,
+                // A worker died mid-run: reap it instead of stalling the gate.
+                Err(NetError::ClientLost { rank }) => {
+                    self.evict(transport, rank)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             match msg {
                 Message::Hello {
                     version,
@@ -180,6 +293,29 @@ impl<'job> Coordinator<'job> {
                     expected_digest,
                     &mut self.helloed,
                 )?,
+                Message::JoinRequest => {
+                    require_helloed(&self.helloed, rank)?;
+                    // Membership: admit the worker at the number of pushes already
+                    // confirmed from its rank — zero on a fresh run, the restored
+                    // clock after a checkpoint restore.
+                    transport.send(
+                        rank,
+                        &Message::JoinAck {
+                            clock: self.sl.push_count(rank),
+                        },
+                    )?;
+                }
+                Message::Evict { rank: victim } => {
+                    require_helloed(&self.helloed, rank)?;
+                    let victim = victim as usize;
+                    if victim >= self.job.num_workers {
+                        return Err(NetError::Protocol(format!(
+                            "eviction of rank {victim}, job has {} workers",
+                            self.job.num_workers
+                        )));
+                    }
+                    self.evict(transport, victim)?;
+                }
                 Message::ClockPush { iteration } => {
                     require_helloed(&self.helloed, rank)?;
                     self.last_iter[rank] = iteration;
@@ -226,9 +362,12 @@ impl<'job> Coordinator<'job> {
                             "PullDone from worker {rank} outside deterministic mode"
                         )));
                     }
-                    self.pending_pulls = self.pending_pulls.checked_sub(1).ok_or_else(|| {
-                        NetError::Protocol(format!("unexpected PullDone from worker {rank}"))
-                    })?;
+                    if !self.pull_pending[rank] {
+                        return Err(NetError::Protocol(format!(
+                            "unexpected PullDone from worker {rank}"
+                        )));
+                    }
+                    self.pull_pending[rank] = false;
                 }
                 Message::Done {
                     iterations,
@@ -266,6 +405,11 @@ impl<'job> Coordinator<'job> {
             &mut self.eval_weights,
             &mut self.eval_versions,
         )?;
+        self.fault.pull()?;
+        // The run's terminal clock state is always durable, regardless of cadence.
+        let digest = self.digest;
+        let sl = &self.sl;
+        self.sink.finalize(|| sl.snapshot(digest))?;
         let mut trace = self.sl.finish_external(&self.eval_weights, total);
         trace.group_servers = collect_group_stats(fan)?;
         Ok(trace)
@@ -279,6 +423,10 @@ impl<'job> Coordinator<'job> {
         fan: &mut ShardFan,
         event: WorkerEvent,
     ) -> Result<(), NetError> {
+        let pusher = match &event {
+            WorkerEvent::Push { worker, .. } => Some(*worker),
+            _ => None,
+        };
         let now = self.start.elapsed().as_secs_f64();
         let replies = self.sl.handle_gated(&mut self.gate, event, now);
         for reply in &replies {
@@ -293,7 +441,7 @@ impl<'job> Coordinator<'job> {
             // in deterministic mode the coordinator must wait for that pull before
             // the next mutation.
             if self.job.deterministic && self.last_iter[reply.worker] < self.targets[reply.worker] {
-                self.pending_pulls += 1;
+                self.pull_pending[reply.worker] = true;
             }
         }
         if let Some(eval_now) = self.sl.take_pending_eval() {
@@ -304,14 +452,53 @@ impl<'job> Coordinator<'job> {
                 &mut self.eval_versions,
             )?;
             self.sl.record_eval_external(&self.eval_weights, eval_now);
+            self.fault.pull()?;
         }
         if self.sl.aborted() {
             return Err(NetError::Aborted {
                 pushes: self.sl.version(),
             });
         }
+        // Elasticity hooks: the coordinator's push phase is a processed clock push,
+        // its gate phase a deferred one, and its checkpoint covers the clock state.
+        if let Some(pusher) = pusher {
+            self.fault.push()?;
+            if !replies.iter().any(|r| r.worker == pusher) {
+                self.fault.gate_blocked()?;
+            }
+            let digest = self.digest;
+            let sl = &self.sl;
+            if self
+                .sink
+                .maybe_write(sl.version(), || sl.snapshot(digest))?
+            {
+                self.fault.checkpoint()?;
+            }
+        }
         Ok(())
     }
+}
+
+/// Verifies that every restored shard server sits at exactly the push count the
+/// coordinator's checkpoint records. The per-role checkpoints are written
+/// independently, so a crash can land between a shard's write and the coordinator's
+/// (or vice versa); resuming such a torn set would double-apply or drop the pushes in
+/// the gap. A typed refusal here is what keeps the restart leg of the chaos matrix
+/// deterministic: either every checkpoint agrees and the run resumes bitwise, or the
+/// fleet aborts cleanly before a single gradient moves.
+fn check_restore_skew(sl: &ServerLoop, fan: &mut ShardFan) -> Result<(), NetError> {
+    let expected = sl.version();
+    let stats = fan.collect_stats()?;
+    for (server, (pushes, ..)) in stats.into_iter().enumerate() {
+        if pushes != expected {
+            return Err(NetError::Protocol(format!(
+                "restore skew: shard server {server} restored to push {pushes} but the \
+                 coordinator checkpoint records {expected}; the per-role checkpoints \
+                 were torn by the crash, cannot resume"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Assembles the group's current weights into the reused buffers via a fan-out pull

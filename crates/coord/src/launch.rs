@@ -72,6 +72,7 @@ pub fn launch_group(
             Ok(child) => child,
             Err(e) => {
                 reap(&mut children, true);
+                clean_checkpoint_tmps(job);
                 return Err(NetError::WorkerProcess(format!(
                     "failed to spawn shard server {index}: {e}"
                 )));
@@ -83,6 +84,7 @@ pub fn launch_group(
                 let _ = child.kill();
                 let _ = child.wait();
                 reap(&mut children, true);
+                clean_checkpoint_tmps(job);
                 return Err(NetError::WorkerProcess(format!(
                     "shard server {index} never announced its address: {e}"
                 )));
@@ -97,6 +99,7 @@ pub fn launch_group(
         Ok(t) => t,
         Err(e) => {
             reap(&mut children, true);
+            clean_checkpoint_tmps(job);
             return Err(e);
         }
     };
@@ -106,6 +109,7 @@ pub fn launch_group(
         Ok(links) => links,
         Err(e) => {
             reap(&mut children, true);
+            clean_checkpoint_tmps(job);
             return Err(e);
         }
     };
@@ -127,6 +131,7 @@ pub fn launch_group(
             Ok(child) => children.push(child),
             Err(e) => {
                 reap(&mut children, true);
+                clean_checkpoint_tmps(job);
                 return Err(NetError::WorkerProcess(format!(
                     "failed to spawn worker {rank}: {e}"
                 )));
@@ -137,6 +142,9 @@ pub fn launch_group(
     let result = coordinate(job, &mut transport, links);
     let kill = result.is_err();
     let failures = reap(&mut children, kill);
+    if kill {
+        clean_checkpoint_tmps(job);
+    }
 
     let trace = result?;
     if !failures.is_empty() {
@@ -202,4 +210,27 @@ fn reap(children: &mut [Child], kill: bool) -> Vec<usize> {
         }
     }
     failures
+}
+
+/// Sweeps checkpoint temp files out of the job's checkpoint directory. A child
+/// killed between a checkpoint's temp-file write and its atomic rename leaks the
+/// `*.ckpt.tmp` file; left in place, those accumulate across chaos-matrix restarts
+/// and can be mistaken for checkpoints by directory listings. Called from every
+/// child-reap path once the children are confirmed dead (so no child is still
+/// mid-write when the sweep runs).
+pub fn clean_checkpoint_tmps(job: &JobConfig) {
+    let Some(spec) = &job.checkpoint else { return };
+    let Ok(entries) = std::fs::read_dir(&spec.dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(dssp_ps::CHECKPOINT_TMP_SUFFIX));
+        if is_tmp {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
 }

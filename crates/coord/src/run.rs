@@ -36,7 +36,9 @@ pub fn connect_links(
         let label = format!("shard server {i} at {addr}");
         t.set_peer_label(label.clone());
         t.set_read_timeout(timeout)?;
-        links.push(ServerLink::new(Box::new(t), label));
+        // Links over real TCP are reconnectable: if the server process is restarted
+        // in place, the fan re-dials, replays the hello, and resumes.
+        links.push(ServerLink::new(Box::new(t), label).with_reconnect(addr.clone(), timeout));
     }
     Ok(links)
 }
@@ -85,6 +87,10 @@ pub fn run_group_threads(job: &JobConfig) -> Result<GroupRunOutcome, NetError> {
 
     let links = connect_links(&server_addrs, timeout)?;
     let result = coordinate(job, &mut coord_transport, links);
+    // A faulted coordinator dies *without* the protocol goodbye. Closing its
+    // transport here is what lets workers blocked on a coordinator read observe
+    // the loss and unwind, so the joins below cannot hang.
+    drop(coord_transport);
 
     let mut workers = Vec::with_capacity(job.num_workers);
     let mut worker_failure: Option<NetError> = None;

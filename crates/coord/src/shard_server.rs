@@ -16,11 +16,13 @@
 //! it forwards to any worker still connected.
 
 use crate::layout::GroupLayout;
-use dssp_core::driver::JobConfig;
+use dssp_core::driver::{FaultRole, JobConfig};
 use dssp_net::wire;
-use dssp_net::{require_helloed, validate_hello, Message, NetError, ServerTransport};
+use dssp_net::{
+    require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, ServerTransport,
+};
 use dssp_nn::{Model, Sgd};
-use dssp_ps::ShardedStore;
+use dssp_ps::{Checkpoint, ShardedStore, StoreSnapshot};
 
 /// One shard server's storage and counters, independent of any transport. Benchmarks
 /// and tests drive it directly; [`serve_shard`] wraps it in the wire loop.
@@ -128,6 +130,56 @@ impl ShardServerState {
         self.pushes
     }
 
+    /// Captures this server's durable state — slice weights, per-shard versions, and
+    /// the optimizer momentum — as a store-only [`Checkpoint`] stamped with
+    /// `job_digest`. The local push counter is not stored separately: every applied
+    /// slice bumps every owned shard's version, so it is recoverable as the maximum
+    /// shard version.
+    pub fn snapshot(&self, job_digest: u64) -> Checkpoint {
+        Checkpoint {
+            job_digest,
+            tick: 0.0, // shard servers keep no logical clock
+            store: Some(StoreSnapshot {
+                flat: self.store.as_flat().to_vec(),
+                offsets: self.store.offsets().iter().map(|&o| o as u64).collect(),
+                versions: self.store.versions().to_vec(),
+                velocity: self.sgd.velocity().to_vec(),
+                epoch: self.sgd.current_epoch() as u64,
+            }),
+            gate: None,
+        }
+    }
+
+    /// Rebuilds server `index` from a checkpoint taken by
+    /// [`ShardServerState::snapshot`] under the same (chaos-masked) job. The pull
+    /// counters restart at zero — they are served-traffic statistics, not state a
+    /// restored run depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint has no store section or its slice does not match the
+    /// layout this job implies for `index`.
+    pub fn restore(job: &JobConfig, index: usize, ckpt: &Checkpoint) -> Self {
+        let mut fresh = Self::from_job(job, index);
+        let snap = ckpt
+            .store
+            .as_ref()
+            .expect("shard-server checkpoint carries a store section");
+        assert_eq!(
+            snap.flat.len(),
+            fresh.store.len(),
+            "checkpointed slice length disagrees with server {index}'s key range"
+        );
+        fresh.store = ShardedStore::restore(
+            snap.flat.clone(),
+            snap.offsets.iter().map(|&o| o as usize).collect(),
+            snap.versions.clone(),
+        );
+        fresh.sgd = Sgd::restore(job.sgd.clone(), snap.velocity.clone(), snap.epoch as usize);
+        fresh.pushes = snap.versions.iter().copied().max().unwrap_or(0);
+        fresh
+    }
+
     /// Encodes the reply to a [`Message::PullShards`] into `buf` (appended): a
     /// [`Message::PullReplyDelta`] whose updates carry **global** shard indices, built
     /// zero-copy from the store. Ships every owned shard when `all` is set or the
@@ -213,8 +265,19 @@ pub fn serve_shard(
             job.num_workers + 1
         )));
     }
-    let mut state = ShardServerState::from_job(job, index);
-    let expected_digest = job.digest();
+    let expected_digest = job.stable_digest();
+    let mut state = if let Some(spec) = job.checkpoint.as_ref().filter(|c| c.restore) {
+        let path = spec.dir.join(dssp_ps::shard_checkpoint_name(index));
+        let ckpt = Checkpoint::load_for_job(&path, expected_digest)?;
+        ShardServerState::restore(job, index, &ckpt)
+    } else {
+        ShardServerState::from_job(job, index)
+    };
+    let mut fault = FaultClock::new(job, FaultRole::ShardServer(index));
+    let mut sink = CheckpointSink::new(
+        job.checkpoint.as_ref(),
+        &dssp_ps::shard_checkpoint_name(index),
+    );
     let mut helloed = vec![false; job.num_workers + 1];
     let mut reply_buf: Vec<u8> = Vec::new();
 
@@ -273,6 +336,10 @@ pub fn serve_shard(
                 let version = state.apply_slice(&grads);
                 transport.recycle_f32s(rank, grads);
                 transport.send(rank, &Message::SliceAck { version })?;
+                fault.push()?;
+                if sink.maybe_write(state.pushes, || state.snapshot(expected_digest))? {
+                    fault.checkpoint()?;
+                }
             }
             Message::PullShards {
                 known_versions,
@@ -283,6 +350,12 @@ pub fn serve_shard(
                 state.encode_pull(&known_versions, all, &mut reply_buf)?;
                 transport.send_payload(rank, &reply_buf)?;
                 transport.recycle_u64s(rank, known_versions);
+                fault.pull()?;
+            }
+            // Membership is the coordinator's business; a shard server has no clocks
+            // to reap, so an eviction notice is acknowledged by simply ignoring it.
+            Message::Evict { .. } => {
+                require_helloed(&helloed, rank)?;
             }
             Message::StatsRequest => {
                 require_helloed(&helloed, rank)?;
@@ -310,10 +383,11 @@ pub fn serve_shard(
                     )));
                 }
                 // Forward to any worker still connected (e.g. blocked mid-fan-out on
-                // an abort), then exit.
+                // an abort), persist the terminal slice state, then exit.
                 for w in 0..job.num_workers {
                     let _ = transport.send(w, &Message::Shutdown { reason });
                 }
+                sink.finalize(|| state.snapshot(expected_digest))?;
                 return Ok(ShardServeReport {
                     pushes: state.pushes,
                     pulls_full: state.pulls_full,

@@ -144,7 +144,7 @@ fn shard_server_rejects_mismatched_topology_and_digest() {
             version: PROTOCOL_VERSION,
             rank: 0,
             num_workers: job.num_workers as u32,
-            config_digest: job.digest(),
+            config_digest: job.stable_digest(),
             servers: job.servers as u32,
             server_index: 1,
         })

@@ -91,9 +91,139 @@ pub struct JobConfig {
     /// it had failed. Exercises the graceful-shutdown path (workers receive a shutdown
     /// command instead of being leaked). `None` disables the hook.
     pub fail_after_pushes: Option<u64>,
+    /// Structured chaos hook generalizing [`JobConfig::fail_after_pushes`]: which
+    /// process dies, in which protocol phase, and whether the run is expected to be
+    /// restarted from checkpoints or to continue after eviction. `None` disables the
+    /// hook. Excluded from [`JobConfig::stable_digest`] so a restarted (fault-free)
+    /// process accepts checkpoints taken by its faulted predecessor.
+    pub fault_plan: Option<FaultPlan>,
+    /// Checkpoint persistence: directory, cadence and restore flag. `None` disables
+    /// checkpointing. Excluded from [`JobConfig::stable_digest`] (where a run stores
+    /// its state does not change what it computes).
+    pub checkpoint: Option<CheckpointSpec>,
     /// How long the threaded runtime's server waits without any worker message before
     /// checking for dead worker threads, in milliseconds.
     pub stall_timeout_ms: u64,
+}
+
+/// Which process a [`FaultPlan`] kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRole {
+    /// The worker with this rank.
+    Worker(usize),
+    /// The shard server with this index (the classic single server is index 0).
+    ShardServer(usize),
+    /// The group coordinator.
+    Coordinator,
+}
+
+/// In which protocol phase a [`FaultPlan`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// While a push is being produced or applied.
+    Push,
+    /// While a pull is being served.
+    Pull,
+    /// While the faulting worker is blocked by the synchronization gate.
+    GateBlocked,
+    /// Immediately after a checkpoint was written.
+    Checkpoint,
+}
+
+/// What happens after a [`FaultPlan`] kills its process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The process is restarted from its checkpoint and the run completes.
+    KillRestart,
+    /// The process is evicted: workers are reaped via the `ClientLost` path and the
+    /// run continues (or, for servers, aborts with a typed error).
+    KillEvict,
+}
+
+/// A structured fault injection: `role` dies in `phase` after `after` occurrences of
+/// that phase, with `action` deciding whether the chaos harness restarts or evicts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Which process dies.
+    pub role: FaultRole,
+    /// In which protocol phase it dies.
+    pub phase: FaultPhase,
+    /// Restart from checkpoint, or evict.
+    pub action: FaultAction,
+    /// Fire after this many occurrences of the phase (1-based: `1` = first).
+    pub after: u64,
+}
+
+impl FaultPlan {
+    /// Parses the CLI form `role:phase:action:after` where role is `worker<rank>`,
+    /// `server<index>` or `coord`; phase is `push`, `pull`, `gate` or `ckpt`; action
+    /// is `restart` or `evict`. Returns `None` on any malformed component.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut parts = spec.split(':');
+        let role = parts.next()?;
+        let role = if let Some(rank) = role.strip_prefix("worker") {
+            FaultRole::Worker(rank.parse().ok()?)
+        } else if let Some(index) = role.strip_prefix("server") {
+            FaultRole::ShardServer(index.parse().ok()?)
+        } else if role == "coord" {
+            FaultRole::Coordinator
+        } else {
+            return None;
+        };
+        let phase = match parts.next()? {
+            "push" => FaultPhase::Push,
+            "pull" => FaultPhase::Pull,
+            "gate" => FaultPhase::GateBlocked,
+            "ckpt" => FaultPhase::Checkpoint,
+            _ => return None,
+        };
+        let action = match parts.next()? {
+            "restart" => FaultAction::KillRestart,
+            "evict" => FaultAction::KillEvict,
+            _ => return None,
+        };
+        let after: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || after == 0 {
+            return None;
+        }
+        Some(Self {
+            role,
+            phase,
+            action,
+            after,
+        })
+    }
+
+    /// Renders the plan back into the CLI form accepted by [`FaultPlan::parse`].
+    pub fn to_spec(&self) -> String {
+        let role = match self.role {
+            FaultRole::Worker(rank) => format!("worker{rank}"),
+            FaultRole::ShardServer(index) => format!("server{index}"),
+            FaultRole::Coordinator => "coord".to_string(),
+        };
+        let phase = match self.phase {
+            FaultPhase::Push => "push",
+            FaultPhase::Pull => "pull",
+            FaultPhase::GateBlocked => "gate",
+            FaultPhase::Checkpoint => "ckpt",
+        };
+        let action = match self.action {
+            FaultAction::KillRestart => "restart",
+            FaultAction::KillEvict => "evict",
+        };
+        format!("{role}:{phase}:{action}:{}", self.after)
+    }
+}
+
+/// Checkpoint persistence settings carried by a [`JobConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Directory the role-conventional checkpoint files live in.
+    pub dir: std::path::PathBuf,
+    /// Write a checkpoint every this many applied pushes.
+    pub every_pushes: u64,
+    /// Restore from the directory's checkpoints at startup instead of starting fresh.
+    pub restore: bool,
 }
 
 impl JobConfig {
@@ -126,6 +256,8 @@ impl JobConfig {
             delta_pulls: true,
             deterministic: false,
             fail_after_pushes: None,
+            fault_plan: None,
+            checkpoint: None,
             stall_timeout_ms: 30_000,
         }
     }
@@ -187,7 +319,28 @@ impl JobConfig {
     /// and its workers refuse to train under silently different configurations.
     pub fn digest(&self) -> u64 {
         let canonical = format!(
-            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{}|{}|{:?}",
+            "{}|{:?}|{:?}|{:?}",
+            self.stable_canonical(),
+            self.fail_after_pushes,
+            self.fault_plan,
+            self.checkpoint,
+        );
+        fnv1a(&canonical)
+    }
+
+    /// Like [`JobConfig::digest`] but masking the chaos and persistence hooks
+    /// (`fail_after_pushes`, `fault_plan`, `checkpoint`), which change how a run is
+    /// interrupted or stored but not what it computes. Checkpoints record *this*
+    /// digest, so a restarted process — which runs without the fault plan that killed
+    /// its predecessor — still accepts the predecessor's checkpoints.
+    pub fn stable_digest(&self) -> u64 {
+        fnv1a(&self.stable_canonical())
+    }
+
+    /// Canonical rendering of the training-relevant (chaos-masked) fields.
+    fn stable_canonical(&self) -> String {
+        format!(
+            "{:?}|{:?}|{}|{:?}|{}|{}|{:?}|{}|{}|{}|{:?}|{}|{}|{}|{}",
             self.model,
             self.data,
             self.num_workers,
@@ -203,20 +356,23 @@ impl JobConfig {
             self.servers,
             self.delta_pulls,
             self.deterministic,
-            self.fail_after_pushes,
-        );
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in canonical.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        )
     }
 
     /// Per-worker iteration target for a shard of `shard_len` examples.
     fn target_iterations(&self, shard_len: usize) -> u64 {
         (self.epochs as u64) * (shard_len.div_ceil(self.batch_size) as u64)
     }
+}
+
+/// FNV-1a over a canonical string rendering (the digest hash both fingerprints share).
+fn fnv1a(canonical: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// One worker's training step-loop state: its model replica, shard iterator and scratch
@@ -327,6 +483,29 @@ impl WorkerStep {
     /// Group workers size their global weight cache from this before the first pull.
     pub fn param_len(&self) -> usize {
         self.model.param_len()
+    }
+
+    /// Fast-forwards the worker past its first `completed` iterations without running
+    /// them: draws and discards that many mini-batches so the (deterministic) data
+    /// stream sits exactly where the `completed`-th iteration left it. This is the
+    /// restart path — a worker rejoining at a checkpointed clock replays its batch
+    /// schedule, not its compute, and then continues bitwise-identically to a worker
+    /// that never died.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the worker already ran iterations, or if `completed`
+    /// exceeds the iteration target.
+    pub fn skip_to(&mut self, completed: u64) {
+        assert_eq!(self.completed, 0, "skip_to only applies to a fresh worker");
+        assert!(
+            completed <= self.target,
+            "cannot skip past the iteration target"
+        );
+        for _ in 0..completed {
+            let _ = self.batches.next_batch();
+        }
+        self.completed = completed;
     }
 
     /// Runs one training iteration on `weights`: installs them in the local replica,
@@ -624,6 +803,147 @@ impl ServerLoop {
     /// Whether this loop runs on the logical clock (deterministic mode).
     pub fn deterministic(&self) -> bool {
         self.deterministic
+    }
+
+    /// The number of pushes received from one worker so far (the clock a rejoining
+    /// worker is admitted at).
+    pub fn push_count(&self, worker: usize) -> u64 {
+        match &self.backend {
+            Backend::Local(ps) => ps.clocks().count(worker),
+            Backend::Clock(gate) => gate.clocks().count(worker),
+        }
+    }
+
+    /// All per-worker push counts, in rank order.
+    pub fn push_counts(&self) -> Vec<u64> {
+        (0..self.num_workers).map(|w| self.push_count(w)).collect()
+    }
+
+    /// The synchronization statistics accumulated so far (both backends).
+    pub fn stats(&self) -> &dssp_ps::ServerStats {
+        match &self.backend {
+            Backend::Local(ps) => ps.stats(),
+            Backend::Clock(gate) => gate.stats(),
+        }
+    }
+
+    /// Captures this loop's durable state as a [`dssp_ps::Checkpoint`] stamped with
+    /// `job_digest` (callers pass [`JobConfig::stable_digest`]): store + optimizer +
+    /// gate for a local loop, gate only for a clock-only loop, plus the logical tick so
+    /// a restored loop keeps feeding the interval table monotonic timestamps.
+    pub fn snapshot(&self, job_digest: u64) -> dssp_ps::Checkpoint {
+        let (store, gate) = match &self.backend {
+            Backend::Local(ps) => {
+                let s = ps.store();
+                (
+                    Some(dssp_ps::StoreSnapshot {
+                        flat: s.as_flat().to_vec(),
+                        offsets: s.offsets().iter().map(|&o| o as u64).collect(),
+                        versions: s.versions().to_vec(),
+                        velocity: ps.optimizer().velocity().to_vec(),
+                        epoch: ps.optimizer().current_epoch() as u64,
+                    }),
+                    Some(ps.gate().snapshot()),
+                )
+            }
+            Backend::Clock(g) => (None, Some(g.snapshot())),
+        };
+        dssp_ps::Checkpoint {
+            job_digest,
+            tick: self.tick,
+            store,
+            gate,
+        }
+    }
+
+    /// Rebuilds a server loop from a checkpoint taken by [`ServerLoop::snapshot`]
+    /// under the same (chaos-masked) job configuration. Worker `Done` bookkeeping
+    /// restarts empty: every worker — including ones already at their target —
+    /// reconnects and re-announces its completion, repopulating the summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's sections do not match the loop kind implied by the
+    /// configuration (`clock_only` needs a gate section; a full loop needs both), or
+    /// if restored table sizes disagree with the configuration.
+    pub fn restore(config: &JobConfig, ckpt: &dssp_ps::Checkpoint, clock_only: bool) -> Self {
+        config.validate();
+        let dataset = config.data.generate(config.seed);
+        let mut sl = Self::build(config, &dataset, clock_only);
+        let gate_snap = ckpt
+            .gate
+            .as_ref()
+            .expect("checkpoint for a server loop carries a gate section");
+        assert_eq!(
+            gate_snap.counts.len(),
+            config.num_workers,
+            "checkpointed worker count disagrees with the configuration"
+        );
+        let gate = SyncGate::restore(config.policy, gate_snap);
+        sl.backend = if clock_only {
+            Backend::Clock(gate)
+        } else {
+            let store_snap = ckpt
+                .store
+                .as_ref()
+                .expect("checkpoint for a storage-owning loop carries a store section");
+            let store = dssp_ps::ShardedStore::restore(
+                store_snap.flat.clone(),
+                store_snap.offsets.iter().map(|&o| o as usize).collect(),
+                store_snap.versions.clone(),
+            );
+            let sgd = Sgd::restore(
+                config.sgd.clone(),
+                store_snap.velocity.clone(),
+                store_snap.epoch as usize,
+            );
+            Backend::Local(ParameterServer::restore(
+                store,
+                sgd,
+                gate,
+                ServerConfig::new(config.num_workers, config.policy).with_shards(config.shards),
+            ))
+        };
+        sl.tick = ckpt.tick;
+        sl.last_eval = sl.version();
+        sl
+    }
+
+    /// Evicts a dead worker mid-run: reclaims its DSSP credits, retires its clock so
+    /// the gate stops waiting on it, synthesizes the worker summary its `Done` will
+    /// never deliver (its push count so far, zero waiting time), and returns the `OK`s
+    /// its departure releases. Idempotent per worker.
+    pub fn evict_worker(&mut self, worker: usize, wall_now: f64) -> Vec<OkReply> {
+        if self.done[worker] {
+            return Vec::new();
+        }
+        let now = self.clock(wall_now);
+        let mut released = Vec::new();
+        match &mut self.backend {
+            Backend::Local(ps) => {
+                let (_, r) = ps.evict_worker(worker, now);
+                released = r;
+            }
+            Backend::Clock(gate) => {
+                gate.evict_into(worker, now, &mut released);
+            }
+        }
+        self.summaries[worker] = Some(WorkerSummary {
+            worker,
+            iterations: self.push_count(worker),
+            epochs: 0,
+            waiting_time_s: 0.0,
+        });
+        self.done[worker] = true;
+        self.done_count += 1;
+        released
+            .into_iter()
+            .filter(|&r| !self.done[r])
+            .map(|r| OkReply {
+                worker: r,
+                granted_extra: 0,
+            })
+            .collect()
     }
 
     fn clock(&mut self, wall_now: f64) -> f64 {
@@ -963,6 +1283,51 @@ impl DeterministicGate {
             last_key: vec![0; n],
             pull_step,
         }
+    }
+
+    /// Creates a gate for a run restored from a checkpoint where each worker has
+    /// already pushed `counts[w]` times: dispatch bookkeeping starts from those
+    /// iteration keys instead of zero, so a rejoining worker's first push (iteration
+    /// `counts[w] + 1`) sorts exactly where it would have in the unfailed run. Workers
+    /// already at their target are expected to re-announce only their `Done`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` and `targets` lengths differ or a count exceeds its target.
+    pub fn resume(targets: Vec<u64>, counts: &[u64], pull_step: bool) -> Self {
+        assert_eq!(targets.len(), counts.len(), "count/target length mismatch");
+        let n = targets.len();
+        let states = (0..n)
+            .map(|w| {
+                assert!(
+                    counts[w] <= targets[w],
+                    "restored count exceeds iteration target"
+                );
+                if pull_step {
+                    // Every restarted worker re-pulls the weights before anything else.
+                    GateState::AwaitingPull
+                } else if counts[w] >= targets[w] {
+                    GateState::Draining
+                } else {
+                    GateState::Running
+                }
+            })
+            .collect();
+        Self {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            states,
+            targets,
+            last_key: counts.to_vec(),
+            pull_step,
+        }
+    }
+
+    /// Removes an evicted worker from dispatch: its queued events are dropped and it
+    /// never again gates other workers' dispatch. Anything it still had in flight is
+    /// gone with it.
+    pub fn forget_worker(&mut self, worker: usize) {
+        self.queues[worker].clear();
+        self.states[worker] = GateState::Done;
     }
 
     /// Enqueues an incoming event.

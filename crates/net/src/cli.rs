@@ -6,7 +6,7 @@
 //! drift between a server's and a worker's configuration is caught by the
 //! `JobConfig::digest` check in the `Hello` handshake.
 
-use dssp_core::driver::JobConfig;
+use dssp_core::driver::{CheckpointSpec, FaultPlan, JobConfig};
 use dssp_ps::PolicyKind;
 
 /// Returns the value following `flag` in `args`, if present.
@@ -89,6 +89,10 @@ pub fn policy_spec(policy: &PolicyKind) -> String {
 /// | `--delta-pulls on\|off` | `on` | incremental pulls (workers fetch only shards whose version advanced) |
 /// | `--deterministic` | off | canonical event order + logical clock |
 /// | `--fail-after N` | off | chaos hook: server aborts after N pushes |
+/// | `--fault SPEC` | off | structured chaos: `role:phase:action:after` (see `FaultPlan::parse`) |
+/// | `--checkpoint-dir D` | off | write role-conventional checkpoint files under `D` |
+/// | `--checkpoint-every N` | 1 | applied pushes between checkpoint writes |
+/// | `--restore` | off | restore from `--checkpoint-dir` instead of starting fresh |
 ///
 /// `--delta-pulls` is part of the config digest, so a server and a worker that
 /// disagree on it are rejected at the `Hello` handshake rather than silently mixing
@@ -157,6 +161,30 @@ pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
     };
     job.deterministic = args.iter().any(|a| a == "--deterministic");
     job.fail_after_pushes = parse_flag::<u64>(args, "--fail-after")?;
+    job.fault_plan = match flag_value(args, "--fault") {
+        None => None,
+        Some(spec) => Some(FaultPlan::parse(&spec).ok_or_else(|| {
+            format!(
+                "invalid fault spec '{spec}' (expected role:phase:action:after, e.g. \
+                 worker0:push:restart:2)"
+            )
+        })?),
+    };
+    job.checkpoint = match flag_value(args, "--checkpoint-dir") {
+        None => {
+            if args.iter().any(|a| a == "--restore") {
+                return Err("--restore needs --checkpoint-dir".to_string());
+            }
+            None
+        }
+        Some(dir) => Some(CheckpointSpec {
+            dir: dir.into(),
+            every_pushes: parse_flag::<u64>(args, "--checkpoint-every")?
+                .unwrap_or(1)
+                .max(1),
+            restore: args.iter().any(|a| a == "--restore"),
+        }),
+    };
     Ok(job)
 }
 
@@ -199,6 +227,19 @@ pub fn job_args(job: &JobConfig) -> Vec<String> {
     if let Some(n) = job.fail_after_pushes {
         args.push("--fail-after".to_string());
         args.push(n.to_string());
+    }
+    if let Some(plan) = &job.fault_plan {
+        args.push("--fault".to_string());
+        args.push(plan.to_spec());
+    }
+    if let Some(ckpt) = &job.checkpoint {
+        args.push("--checkpoint-dir".to_string());
+        args.push(ckpt.dir.display().to_string());
+        args.push("--checkpoint-every".to_string());
+        args.push(ckpt.every_pushes.to_string());
+        if ckpt.restore {
+            args.push("--restore".to_string());
+        }
     }
     args
 }
@@ -296,5 +337,39 @@ mod tests {
     fn single_worker_jobs_drop_the_straggler() {
         let job = job_from_flags(&strings(&["--workers", "1"])).unwrap();
         assert!(job.extra_compute_delay_ms.is_empty());
+    }
+
+    #[test]
+    fn chaos_flags_round_trip_but_stay_out_of_the_stable_digest() {
+        let args = strings(&[
+            "--fault",
+            "worker1:push:restart:3",
+            "--checkpoint-dir",
+            "/tmp/ckpts",
+            "--checkpoint-every",
+            "5",
+            "--restore",
+        ]);
+        let job = job_from_flags(&args).unwrap();
+        let plan = job.fault_plan.expect("fault plan parsed");
+        assert_eq!(plan.to_spec(), "worker1:push:restart:3");
+        let ckpt = job.checkpoint.clone().expect("checkpoint spec parsed");
+        assert_eq!(ckpt.dir, std::path::PathBuf::from("/tmp/ckpts"));
+        assert_eq!(ckpt.every_pushes, 5);
+        assert!(ckpt.restore);
+        let rebuilt = job_from_flags(&job_args(&job)).unwrap();
+        assert_eq!(job.digest(), rebuilt.digest());
+        // The chaos knobs change the full digest but are masked from the handshake
+        // digest: a restarted process without its fault plan still interoperates.
+        let clean = job_from_flags(&[]).unwrap();
+        assert_ne!(job.digest(), clean.digest());
+        assert_eq!(job.stable_digest(), clean.stable_digest());
+    }
+
+    #[test]
+    fn malformed_chaos_flags_are_rejected() {
+        assert!(job_from_flags(&strings(&["--fault", "worker0:nap:restart:1"])).is_err());
+        assert!(job_from_flags(&strings(&["--fault", "coord:push:restart:0"])).is_err());
+        assert!(job_from_flags(&strings(&["--restore"])).is_err());
     }
 }

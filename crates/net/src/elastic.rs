@@ -1,0 +1,178 @@
+//! Elasticity plumbing shared by every serving loop: structured fault injection
+//! ([`FaultClock`]) and durable checkpoint cadence ([`CheckpointSink`]).
+//!
+//! The chaos matrix in the workspace tests kills processes at precise protocol
+//! phases. Rather than each loop re-implementing "count occurrences of phase X and
+//! die after N", a [`FaultClock`] owns the per-role occurrence counters and returns
+//! [`NetError::FaultInjected`] the moment the configured plan comes due — the loop
+//! propagates that error and the process exits *without* a protocol goodbye, so
+//! peers observe the same abrupt connection loss a real crash produces.
+//!
+//! [`CheckpointSink`] is the durable half: it decides *when* a snapshot is due
+//! (every [`CheckpointSpec::every_pushes`] applied pushes) and writes it atomically
+//! (temp file + rename, via [`Checkpoint::save_atomic`]) under the role-conventional
+//! file name, so a restarted process can pick the run back up with
+//! `--restore`.
+
+use crate::NetError;
+use dssp_core::driver::{CheckpointSpec, FaultPhase, FaultPlan, FaultRole, JobConfig};
+use dssp_ps::Checkpoint;
+use std::path::PathBuf;
+
+/// Per-role occurrence counters for the four fault phases, firing the job's
+/// [`FaultPlan`] when it comes due.
+///
+/// Each serving loop creates one clock for its own role and calls the phase hook at
+/// the canonical point: [`FaultClock::push`] after a push is applied (or granted),
+/// [`FaultClock::pull`] after a pull is served, [`FaultClock::gate_blocked`] when a
+/// push is deferred by the synchronization policy, and [`FaultClock::checkpoint`]
+/// right after a checkpoint file lands. A plan for a *different* role is ignored, so
+/// every process can carry the full job config unchanged.
+///
+/// The plan fires on `count >= after` rather than strict equality: a restarted
+/// process that is *not* given the plan again (the harness drops `--fault` on
+/// restart legs) runs clean, while a plan accidentally left in place still fires
+/// instead of being skipped over.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: Option<FaultPlan>,
+    pushes: u64,
+    pulls: u64,
+    blocked: u64,
+    checkpoints: u64,
+}
+
+impl FaultClock {
+    /// A clock for `role`, armed with the job's plan if it targets that role.
+    pub fn new(job: &JobConfig, role: FaultRole) -> Self {
+        Self {
+            plan: job.fault_plan.filter(|p| p.role == role),
+            pushes: 0,
+            pulls: 0,
+            blocked: 0,
+            checkpoints: 0,
+        }
+    }
+
+    /// Counts one applied (or granted) push; errs if the plan's push phase is due.
+    pub fn push(&mut self) -> Result<(), NetError> {
+        self.pushes += 1;
+        self.due(FaultPhase::Push, self.pushes)
+    }
+
+    /// Counts one served pull; errs if the plan's pull phase is due.
+    pub fn pull(&mut self) -> Result<(), NetError> {
+        self.pulls += 1;
+        self.due(FaultPhase::Pull, self.pulls)
+    }
+
+    /// Counts one gate-deferred push; errs if the plan's gate phase is due.
+    pub fn gate_blocked(&mut self) -> Result<(), NetError> {
+        self.blocked += 1;
+        self.due(FaultPhase::GateBlocked, self.blocked)
+    }
+
+    /// Counts one written checkpoint; errs if the plan's checkpoint phase is due.
+    pub fn checkpoint(&mut self) -> Result<(), NetError> {
+        self.checkpoints += 1;
+        self.due(FaultPhase::Checkpoint, self.checkpoints)
+    }
+
+    fn due(&self, phase: FaultPhase, count: u64) -> Result<(), NetError> {
+        match self.plan {
+            Some(p) if p.phase == phase && count >= p.after => {
+                Err(NetError::FaultInjected { plan: p.to_spec() })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Standalone form of [`FaultClock`]'s due-check for loops that count occurrences
+/// themselves (the worker step-loop counts iterations, not server-side events).
+pub fn fault_due(plan: Option<&FaultPlan>, phase: FaultPhase, count: u64) -> Result<(), NetError> {
+    match plan {
+        Some(p) if p.phase == phase && count >= p.after => {
+            Err(NetError::FaultInjected { plan: p.to_spec() })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Writes a role's checkpoint file on the configured push cadence, always
+/// atomically (temp + rename), and once more unconditionally at run end.
+///
+/// Inactive when the job carries no [`CheckpointSpec`] — every hook is then a no-op,
+/// so serving loops call the sink unconditionally.
+#[derive(Debug)]
+pub struct CheckpointSink {
+    path: Option<PathBuf>,
+    every: u64,
+    next_at: u64,
+    /// Checkpoint files written so far (tests assert cadence through this).
+    pub written: u64,
+}
+
+impl CheckpointSink {
+    /// A sink writing `file_name` inside the spec's directory, or an inert sink when
+    /// the job has no checkpoint spec.
+    pub fn new(spec: Option<&CheckpointSpec>, file_name: &str) -> Self {
+        match spec {
+            Some(s) => Self {
+                path: Some(s.dir.join(file_name)),
+                every: s.every_pushes.max(1),
+                next_at: s.every_pushes.max(1),
+                written: 0,
+            },
+            None => Self {
+                path: None,
+                every: 0,
+                next_at: u64::MAX,
+                written: 0,
+            },
+        }
+    }
+
+    /// Whether this sink actually persists anything.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The file this sink writes, when active.
+    pub fn path(&self) -> Option<&PathBuf> {
+        self.path.as_ref()
+    }
+
+    /// Writes a checkpoint if `version` (applied pushes so far) reached the cadence
+    /// mark. `make` is only invoked when a write actually happens. Returns whether a
+    /// file was written.
+    pub fn maybe_write(
+        &mut self,
+        version: u64,
+        make: impl FnOnce() -> Checkpoint,
+    ) -> Result<bool, NetError> {
+        let Some(path) = &self.path else {
+            return Ok(false);
+        };
+        if version < self.next_at {
+            return Ok(false);
+        }
+        make().save_atomic(path)?;
+        self.written += 1;
+        // Catch up past `version` so a burst of pushes between polls writes once.
+        while self.next_at <= version {
+            self.next_at += self.every;
+        }
+        Ok(true)
+    }
+
+    /// Writes the final checkpoint unconditionally (run end), so `--restore` always
+    /// finds the run's terminal state regardless of cadence alignment.
+    pub fn finalize(&mut self, make: impl FnOnce() -> Checkpoint) -> Result<(), NetError> {
+        if let Some(path) = &self.path {
+            make().save_atomic(path)?;
+            self.written += 1;
+        }
+        Ok(())
+    }
+}

@@ -2,6 +2,11 @@
 
 use crate::wire::WireError;
 
+/// Process exit code for a run ended by [`NetError::FaultInjected`]. A chaos
+/// harness supervising real processes uses this to tell a planned kill from an
+/// incidental crash (which exits 1) without parsing stderr.
+pub const FAULT_EXIT_CODE: i32 = 43;
+
 /// Anything that can go wrong in the networked runtime: transport I/O, malformed
 /// frames, or protocol violations.
 #[derive(Debug)]
@@ -31,11 +36,30 @@ pub enum NetError {
         /// The read timeout that elapsed, in milliseconds.
         timeout_ms: u64,
     },
-    /// A labelled peer closed its connection mid-run.
+    /// A labelled peer closed its connection mid-run. Carries everything a
+    /// reconnecting client needs: where the peer lived, which rank this side spoke
+    /// as, and the last weight version confirmed before the loss (so a resumed
+    /// session can pull deltas against its cache instead of the full model).
     PeerLost {
         /// Human-readable name of the lost peer.
         peer: String,
+        /// The peer's address, when known (`None` for in-process loopback links).
+        addr: Option<String>,
+        /// The rank this side identified as, when known.
+        rank: Option<u32>,
+        /// The last server clock (weight version) confirmed before the loss.
+        last_clock: Option<u64>,
     },
+    /// The structured chaos hook fired: this process killed itself on schedule
+    /// according to its fault plan. Distinct from [`NetError::Aborted`] so the chaos
+    /// matrix can tell a planned fault from an incidental failure.
+    FaultInjected {
+        /// The plan that fired, in the CLI `role:phase:action:after` form.
+        plan: String,
+    },
+    /// Writing or reading a durable checkpoint failed (I/O, truncation, corruption,
+    /// or job-digest skew).
+    Checkpoint(dssp_ps::CheckpointError),
     /// A ranked client connection closed cleanly mid-run (server side). The serving
     /// loop decides whether that is fatal — a single server treats any worker EOF as a
     /// failed run, while a shard server outlives workers that already finished and
@@ -63,7 +87,29 @@ impl std::fmt::Display for NetError {
                     "no frame from {peer} within {timeout_ms} ms (peer dead or stalled)"
                 )
             }
-            NetError::PeerLost { peer } => write!(f, "{peer} closed the connection mid-run"),
+            NetError::PeerLost {
+                peer,
+                addr,
+                rank,
+                last_clock,
+            } => {
+                write!(f, "{peer} closed the connection mid-run")?;
+                if let Some(addr) = addr {
+                    write!(f, " (addr {addr}")?;
+                    if let Some(rank) = rank {
+                        write!(f, ", rank {rank}")?;
+                    }
+                    if let Some(clock) = last_clock {
+                        write!(f, ", last confirmed clock {clock}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            NetError::FaultInjected { plan } => {
+                write!(f, "fault plan fired: {plan}")
+            }
+            NetError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             NetError::ClientLost { rank } => {
                 write!(f, "client {rank} closed its connection mid-run")
             }
@@ -76,6 +122,7 @@ impl std::error::Error for NetError {
         match self {
             NetError::Io(e) => Some(e),
             NetError::Wire(e) => Some(e),
+            NetError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -90,5 +137,11 @@ impl From<std::io::Error> for NetError {
 impl From<WireError> for NetError {
     fn from(e: WireError) -> Self {
         NetError::Wire(e)
+    }
+}
+
+impl From<dssp_ps::CheckpointError> for NetError {
+    fn from(e: dssp_ps::CheckpointError) -> Self {
+        NetError::Checkpoint(e)
     }
 }

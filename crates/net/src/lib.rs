@@ -64,6 +64,7 @@
 #![deny(missing_docs)]
 
 pub mod cli;
+pub mod elastic;
 mod error;
 pub mod launch;
 pub mod server;
@@ -72,7 +73,8 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use error::NetError;
+pub use elastic::{fault_due, CheckpointSink, FaultClock};
+pub use error::{NetError, FAULT_EXIT_CODE};
 pub use server::{require_helloed, serve, validate_hello};
 pub use tcp::{TcpServerTransport, TcpWorkerTransport, TransportStats};
 pub use transport::{apply_pull_message, PullOutcome, PullView, ServerTransport, WorkerTransport};

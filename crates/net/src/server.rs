@@ -15,10 +15,13 @@
 //! (Deterministic mode queues owned events in the gate and keeps the simpler
 //! allocating path; it exists for equivalence testing, not throughput.)
 
+use crate::elastic::{CheckpointSink, FaultClock};
 use crate::transport::{PullView, ServerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
 use crate::NetError;
-use dssp_core::driver::{DeterministicGate, JobConfig, OkReply, ServerLoop, WorkerEvent};
+use dssp_core::driver::{
+    DeterministicGate, FaultRole, JobConfig, OkReply, ServerLoop, WorkerEvent,
+};
 use dssp_sim::RunTrace;
 use std::time::Instant;
 
@@ -26,10 +29,16 @@ use std::time::Instant;
 /// run trace.
 ///
 /// The server handshakes every worker (protocol version, worker count and
-/// [`JobConfig::digest`] must all match — the digest covers `delta_pulls`, so a
-/// delta-pulling worker cannot join a full-pull job), serves pulls, applies pushes
-/// through the shared decision loop, and — on every exit path, success or failure —
-/// broadcasts `Shutdown` so worker processes never hang.
+/// [`JobConfig::stable_digest`] must all match — the digest covers `delta_pulls`, so
+/// a delta-pulling worker cannot join a full-pull job, but masks the chaos knobs, so
+/// a restarted process with a different fault plan still interoperates), serves
+/// pulls, applies pushes through the shared decision loop, and — on every exit path,
+/// success or failure — broadcasts `Shutdown` so worker processes never hang.
+///
+/// With a [`dssp_core::driver::CheckpointSpec`] the server persists its full state
+/// (weights, momentum, clocks, credits) on the configured push cadence and can
+/// restart from the resulting file; a worker that dies mid-run is evicted instead of
+/// stalling the gate ([`NetError::ClientLost`] reaping).
 ///
 /// # Panics
 ///
@@ -51,9 +60,13 @@ pub fn serve(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<Run
             Ok(trace)
         }
         Err(e) => {
-            transport.broadcast(&Message::Shutdown {
-                reason: SHUTDOWN_SERVER_ERROR,
-            });
+            // An injected fault simulates a crash: die without the protocol goodbye
+            // so peers observe the same abrupt connection loss a real kill produces.
+            if !matches!(e, NetError::FaultInjected { .. }) {
+                transport.broadcast(&Message::Shutdown {
+                    reason: SHUTDOWN_SERVER_ERROR,
+                });
+            }
             Err(e)
         }
     }
@@ -90,16 +103,72 @@ impl PullState {
     }
 }
 
+/// The elasticity hooks every push runs through: the structured fault clock, the
+/// durable checkpoint cadence, and the digest checkpoints are stamped with.
+struct Elastic {
+    fault: FaultClock,
+    sink: CheckpointSink,
+    digest: u64,
+}
+
+impl Elastic {
+    /// Runs the post-push hooks: the push-phase fault, the gate-phase fault when the
+    /// pusher was deferred, the cadence write, and the checkpoint-phase fault when a
+    /// file actually landed.
+    fn after_push(&mut self, sl: &ServerLoop, pusher_granted: bool) -> Result<(), NetError> {
+        self.fault.push()?;
+        if !pusher_granted {
+            self.fault.gate_blocked()?;
+        }
+        let digest = self.digest;
+        if self
+            .sink
+            .maybe_write(sl.version(), || sl.snapshot(digest))?
+        {
+            self.fault.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
 fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<RunTrace, NetError> {
-    let mut sl = ServerLoop::new(job);
+    let expected_digest = job.stable_digest();
+    // Start fresh, or pick the run back up from the durable checkpoint: weights,
+    // optimizer momentum, per-worker clocks and the policy's credit state all resume,
+    // and every worker re-handshakes and is re-admitted at its restored push count.
+    let restoring = job.checkpoint.as_ref().is_some_and(|c| c.restore);
+    let mut sl = if restoring {
+        let spec = job.checkpoint.as_ref().expect("restoring implies a spec");
+        let path = spec.dir.join(dssp_ps::server_checkpoint_name());
+        let ckpt = dssp_ps::Checkpoint::load_for_job(&path, expected_digest)?;
+        if ckpt.has_retired_workers() {
+            return Err(NetError::Protocol(format!(
+                "cannot restore from {}: the checkpoint records retired workers \
+                 (a finished run or a post-eviction snapshot is not resumable)",
+                path.display()
+            )));
+        }
+        ServerLoop::restore(job, &ckpt, false)
+    } else {
+        ServerLoop::new(job)
+    };
     let targets = sl.targets().to_vec();
-    let mut gate = job
-        .deterministic
-        .then(|| DeterministicGate::new(targets, true));
+    let mut gate = job.deterministic.then(|| {
+        if restoring {
+            DeterministicGate::resume(targets, &sl.push_counts(), true)
+        } else {
+            DeterministicGate::new(targets, true)
+        }
+    });
     let mut pulls = PullState::new(job.num_workers);
     let mut helloed = vec![false; job.num_workers];
     let mut replies: Vec<OkReply> = Vec::new();
-    let expected_digest = job.digest();
+    let mut elastic = Elastic {
+        // The classic single server plays the group's "server 0" in a fault plan.
+        fault: FaultClock::new(job, FaultRole::ShardServer(0)),
+        sink: CheckpointSink::new(job.checkpoint.as_ref(), &dssp_ps::server_checkpoint_name()),
+        digest: expected_digest,
+    };
     let start = Instant::now();
 
     while !sl.all_done() {
@@ -109,7 +178,15 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
             let ready = gate.as_mut().and_then(|g| g.next());
             match ready {
                 Some(event) => {
-                    process_event(&mut sl, transport, &mut gate, &mut pulls, event, &start)?;
+                    process_event(
+                        &mut sl,
+                        transport,
+                        &mut gate,
+                        &mut pulls,
+                        event,
+                        &start,
+                        &mut elastic,
+                    )?;
                     if sl.all_done() {
                         break;
                     }
@@ -121,7 +198,16 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
             break;
         }
 
-        let (rank, msg) = transport.recv()?;
+        let (rank, msg) = match transport.recv() {
+            Ok(pair) => pair,
+            // A worker died mid-run: reap it instead of stalling the gate — reclaim
+            // its credits, retire its clock, and release anyone it was blocking.
+            Err(NetError::ClientLost { rank }) => {
+                evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         match msg {
             Message::Hello {
                 version,
@@ -138,11 +224,39 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 expected_digest,
                 &mut helloed,
             )?,
+            Message::JoinRequest => {
+                require_helloed(&helloed, rank)?;
+                // Membership: admit the worker at the number of pushes this server
+                // has already confirmed from its rank — zero on a fresh run, the
+                // restored clock after a checkpoint restore.
+                let ack = Message::JoinAck {
+                    clock: sl.push_count(rank),
+                };
+                if transport.send(rank, &ack).is_err() {
+                    evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                }
+            }
+            Message::Evict { rank: victim } => {
+                require_helloed(&helloed, rank)?;
+                let victim = victim as usize;
+                if victim >= job.num_workers {
+                    return Err(NetError::Protocol(format!(
+                        "eviction of rank {victim}, job has {} workers",
+                        job.num_workers
+                    )));
+                }
+                evict_client(&mut sl, transport, &mut gate, victim, &start)?;
+            }
             Message::Pull => {
                 require_helloed(&helloed, rank)?;
                 match gate.as_mut() {
                     Some(g) => g.offer(WorkerEvent::Pull { worker: rank }),
-                    None => serve_pull(&sl, transport, rank, None)?,
+                    None => {
+                        if serve_pull(&sl, transport, rank, None).is_err() {
+                            evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                        }
+                        elastic.fault.pull()?;
+                    }
                 }
             }
             Message::PullDelta { known_versions } => {
@@ -154,7 +268,12 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         pulls.stash(rank, &known_versions);
                         g.offer(WorkerEvent::Pull { worker: rank });
                     }
-                    None => serve_pull(&sl, transport, rank, Some(&known_versions))?,
+                    None => {
+                        if serve_pull(&sl, transport, rank, Some(&known_versions)).is_err() {
+                            evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                        }
+                        elastic.fault.pull()?;
+                    }
                 }
                 transport.recycle_u64s(rank, known_versions);
             }
@@ -173,8 +292,10 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         replies.clear();
                         sl.handle_push_slice(rank, &grads, now, &mut replies);
                         transport.recycle_f32s(rank, grads);
-                        send_replies(&sl, transport, &replies)?;
+                        let granted = replies.iter().any(|r| r.worker == rank);
+                        deliver_replies(&mut sl, transport, &mut gate, &replies, &start)?;
                         check_abort(&sl)?;
+                        elastic.after_push(&sl, granted)?;
                     }
                 }
             }
@@ -192,9 +313,15 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 };
                 match gate.as_mut() {
                     Some(g) => g.offer(event),
-                    None => {
-                        process_event(&mut sl, transport, &mut gate, &mut pulls, event, &start)?
-                    }
+                    None => process_event(
+                        &mut sl,
+                        transport,
+                        &mut gate,
+                        &mut pulls,
+                        event,
+                        &start,
+                        &mut elastic,
+                    )?,
                 }
             }
             other => {
@@ -205,7 +332,29 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
         }
     }
 
+    // The run's terminal state is always durable, regardless of cadence alignment.
+    elastic.sink.finalize(|| sl.snapshot(expected_digest))?;
     Ok(sl.finish(start.elapsed().as_secs_f64()))
+}
+
+/// Reaps one dead (or explicitly evicted) worker: reclaims its policy credits,
+/// retires its clock, forgets its queued deterministic-gate events, and delivers the
+/// `OK`s its departure releases to the survivors.
+fn evict_client(
+    sl: &mut ServerLoop,
+    transport: &mut dyn ServerTransport,
+    gate: &mut Option<DeterministicGate>,
+    worker: usize,
+    start: &Instant,
+) -> Result<(), NetError> {
+    let released = sl.evict_worker(worker, start.elapsed().as_secs_f64());
+    if let Some(g) = gate.as_mut() {
+        g.forget_worker(worker);
+        for reply in &released {
+            g.on_released(reply.worker);
+        }
+    }
+    deliver_replies(sl, transport, gate, &released, start)
 }
 
 /// Rejects traffic from a client that has not completed its handshake yet. Shared by
@@ -286,19 +435,27 @@ fn serve_pull(
     )
 }
 
-fn send_replies(
-    sl: &ServerLoop,
+/// Delivers one `PushReply` per released `OK`. A failed send means the recipient
+/// died between its push and this reply — it is reaped like any other
+/// [`NetError::ClientLost`] instead of the broken socket crashing the whole run,
+/// and delivery continues with whatever its departure releases (each failure
+/// retires one more worker, so the mutual recursion with [`evict_client`] is
+/// bounded by the fleet size).
+fn deliver_replies(
+    sl: &mut ServerLoop,
     transport: &mut dyn ServerTransport,
+    gate: &mut Option<DeterministicGate>,
     replies: &[OkReply],
+    start: &Instant,
 ) -> Result<(), NetError> {
     for reply in replies {
-        transport.send(
-            reply.worker,
-            &Message::PushReply {
-                granted_extra: reply.granted_extra,
-                version: sl.version(),
-            },
-        )?;
+        let msg = Message::PushReply {
+            granted_extra: reply.granted_extra,
+            version: sl.version(),
+        };
+        if transport.send(reply.worker, &msg).is_err() {
+            evict_client(sl, transport, gate, reply.worker, start)?;
+        }
     }
     Ok(())
 }
@@ -314,7 +471,8 @@ fn check_abort(sl: &ServerLoop) -> Result<(), NetError> {
 }
 
 /// Applies one gate-released event to the decision loop and delivers the resulting
-/// protocol messages (deterministic mode, and the direct `Done` path).
+/// protocol messages (deterministic mode, and the direct `Done` path), then runs the
+/// elasticity hooks for the phase the event concluded.
 fn process_event(
     sl: &mut ServerLoop,
     transport: &mut dyn ServerTransport,
@@ -322,14 +480,28 @@ fn process_event(
     pulls: &mut PullState,
     event: WorkerEvent,
     start: &Instant,
+    elastic: &mut Elastic,
 ) -> Result<(), NetError> {
     if let WorkerEvent::Pull { worker } = event {
         let known = pulls.take(worker);
         // Split the borrow: `known` borrows `pulls`, which `serve_pull` does not touch.
-        return serve_pull(sl, transport, worker, known);
+        if serve_pull(sl, transport, worker, known).is_err() {
+            // The puller died awaiting its reply: reap it instead of crashing the run.
+            evict_client(sl, transport, gate, worker, start)?;
+        }
+        return elastic.fault.pull();
     }
+    let pusher = match &event {
+        WorkerEvent::Push { worker, .. } => Some(*worker),
+        _ => None,
+    };
     let now = start.elapsed().as_secs_f64();
     let replies = sl.handle_gated(gate, event, now);
-    send_replies(sl, transport, &replies)?;
-    check_abort(sl)
+    deliver_replies(sl, transport, gate, &replies, start)?;
+    check_abort(sl)?;
+    if let Some(pusher) = pusher {
+        let granted = replies.iter().any(|r| r.worker == pusher);
+        elastic.after_push(sl, granted)?;
+    }
+    Ok(())
 }

@@ -162,6 +162,25 @@ impl TcpServerTransport {
     }
 }
 
+impl Drop for TcpServerTransport {
+    /// Mirrors what the kernel does for a killed server process: close every
+    /// connection so peers blocked in `recv` observe EOF. The reader threads hold
+    /// duplicated FDs, so merely dropping the write halves would leave the sockets
+    /// open — and a worker with nothing left to send would block forever on a reply
+    /// that cannot come. `shutdown` acts on the socket itself, across every
+    /// duplicate, unblocking both the peer and this connection's reader thread.
+    fn drop(&mut self) {
+        while let Ok(event) = self.events.try_recv() {
+            if let Event::Register { stream, .. } = event {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for stream in self.writers.iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     num_workers: usize,
@@ -334,8 +353,20 @@ impl ServerTransport for TcpServerTransport {
                 Event::Frame(rank, Ok(msg)) => return Ok((rank, msg)),
                 // A clean EOF at a frame boundary keeps its rank so serving loops can
                 // decide whether the departure is fatal (shard servers outlive their
-                // finished workers; a single server does not).
+                // finished workers; a single server does not). A reset carries the
+                // same meaning: a killed worker with an unread reply in its receive
+                // buffer closes with RST rather than FIN.
                 Event::Frame(rank, Err(NetError::Disconnected)) => {
+                    return Err(NetError::ClientLost { rank })
+                }
+                Event::Frame(rank, Err(NetError::Io(e)))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::BrokenPipe
+                    ) =>
+                {
                     return Err(NetError::ClientLost { rank })
                 }
                 Event::Frame(rank, Err(e)) => {
@@ -399,6 +430,13 @@ pub struct TcpWorkerTransport {
     /// Human-readable peer name used to attribute timeout/disconnect errors
     /// ("shard server 1 at 127.0.0.1:4242"). Defaults to "server at ADDR".
     peer: String,
+    /// The address this transport connected to, kept so a [`NetError::PeerLost`]
+    /// carries enough context to reconnect.
+    addr: String,
+    /// The rank this side announced in its `Hello`/`GroupHello`, once known.
+    rank: Option<u32>,
+    /// The last server clock (weight version) confirmed by a reply, once known.
+    last_clock: Option<u64>,
     /// Active read timeout, if any (see [`TcpWorkerTransport::set_read_timeout`]).
     read_timeout: Option<Duration>,
 }
@@ -407,19 +445,27 @@ impl TcpWorkerTransport {
     /// Connects to a server at `addr`, retrying for a few seconds so workers may be
     /// launched before (or concurrently with) the server process.
     pub fn connect(addr: &str) -> Result<Self, NetError> {
-        Self::connect_with_retry(addr, 50, Duration::from_millis(100))
+        Self::connect_with_retry(addr, 50, Duration::from_millis(50))
     }
 
-    /// Connects with an explicit retry schedule (`attempts` tries, `pause` apart).
+    /// Connects with an explicit retry schedule: `attempts` tries, starting
+    /// `initial_pause` apart and backing off exponentially (doubling per attempt) up
+    /// to a 2-second cap. Every sleep is scaled by a pseudo-random factor in
+    /// `[0.5, 1.0)`, so a fleet of workers retrying against one restarted shard
+    /// server does not hammer it in lockstep.
     pub fn connect_with_retry(
         addr: &str,
         attempts: u32,
-        pause: Duration,
+        initial_pause: Duration,
     ) -> Result<Self, NetError> {
+        const BACKOFF_CAP: Duration = Duration::from_secs(2);
+        let mut jitter = Xorshift::from_entropy();
+        let mut pause = initial_pause;
         let mut last_err: Option<std::io::Error> = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                thread::sleep(pause);
+                thread::sleep(jitter.scale(pause));
+                pause = (pause * 2).min(BACKOFF_CAP);
             }
             match TcpStream::connect(addr) {
                 Ok(stream) => {
@@ -432,6 +478,9 @@ impl TcpWorkerTransport {
                         payload: Vec::new(),
                         stats: TransportStats::default(),
                         peer: format!("server at {addr}"),
+                        addr: addr.to_string(),
+                        rank: None,
+                        last_clock: None,
                         read_timeout: None,
                     });
                 }
@@ -451,6 +500,11 @@ impl TcpWorkerTransport {
     /// The peer label used in error messages.
     pub fn peer_label(&self) -> &str {
         &self.peer
+    }
+
+    /// The address this transport connected to.
+    pub fn peer_addr(&self) -> &str {
+        &self.addr
     }
 
     /// Arms (or disarms, with `None`) a socket read timeout. A blocking `recv` that
@@ -507,17 +561,57 @@ impl TcpWorkerTransport {
             }
             NetError::Disconnected => NetError::PeerLost {
                 peer: self.peer.clone(),
+                addr: Some(self.addr.clone()),
+                rank: self.rank,
+                last_clock: self.last_clock,
             },
             other => other,
         }
     }
 }
 
+/// Minimal xorshift64* generator used only to jitter reconnect backoff — not
+/// statistical-quality randomness, just enough to break retry lockstep across a
+/// fleet of workers.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn from_entropy() -> Self {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Scales `pause` by a factor in `[0.5, 1.0)`.
+    fn scale(&mut self, pause: Duration) -> Duration {
+        let frac = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        pause.mul_f64(0.5 + frac / 2.0)
+    }
+}
+
 impl WorkerTransport for TcpWorkerTransport {
     fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        if let Message::Hello { rank, .. } | Message::GroupHello { rank, .. } = msg {
+            self.rank = Some(*rank);
+        }
         self.scratch.clear();
         wire::encode(msg, &mut self.scratch);
         self.flush_scratch()
+    }
+
+    fn note_confirmed_clock(&mut self, clock: u64) {
+        self.last_clock = Some(clock);
     }
 
     fn recv(&mut self) -> Result<Message, NetError> {

@@ -237,6 +237,11 @@ pub trait WorkerTransport: Send {
     /// Sends a message to the server.
     fn send(&mut self, msg: &Message) -> Result<(), NetError>;
 
+    /// Records the last server clock (weight version) this side saw confirmed, so a
+    /// transport that later reports [`NetError::PeerLost`] can say where the session
+    /// stood. Default: no-op (loopback links cannot be lost).
+    fn note_confirmed_clock(&mut self, _clock: u64) {}
+
     /// Blocks for the next message from the server.
     fn recv(&mut self) -> Result<Message, NetError>;
 

@@ -82,7 +82,7 @@
 /// multi-server group messages ([`Message::GroupHello`], the `ClockPush`/`ClockGrant`
 /// clock channel, shard-scoped `PushSlice`/`PullShards`, and the deterministic-mode
 /// and stats handshakes).
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Magic number opening every `Hello` payload (`b"DSSP"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"DSSP");
@@ -275,6 +275,24 @@ pub enum Message {
         /// Bytes read from this server's sockets, frame headers included.
         bytes_received: u64,
     },
+    /// Worker → coordinator: ask to be admitted to (or rejoin) the run. Sent right
+    /// after the handshake; a fresh worker is admitted at clock 0, a restarted worker
+    /// at whatever push count the coordinator has recorded for its rank.
+    JoinRequest,
+    /// Coordinator → worker: admission granted at `clock` (the number of this rank's
+    /// pushes the coordinator has already counted). A restarted worker fast-forwards
+    /// its batch schedule past `clock` iterations and resumes at `clock + 1`.
+    JoinAck {
+        /// Pushes already recorded for the joining worker's rank.
+        clock: u64,
+    },
+    /// Coordinator → shard servers (or chaos driver → coordinator): worker `rank` is
+    /// gone for good; reap its pending state via the eviction path instead of waiting
+    /// on it.
+    Evict {
+        /// Rank of the departed worker.
+        rank: u32,
+    },
 }
 
 /// Payload tag of [`Message::Hello`] (used by the transport's handshake fast path).
@@ -320,6 +338,9 @@ impl Message {
             Message::PullDone => 18,
             Message::StatsRequest => 19,
             Message::StatsReply { .. } => 20,
+            Message::JoinRequest => 21,
+            Message::JoinAck { .. } => 22,
+            Message::Evict { .. } => 23,
         }
     }
 }
@@ -650,6 +671,15 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&bytes_sent.to_le_bytes());
             buf.extend_from_slice(&bytes_received.to_le_bytes());
         }
+        Message::JoinRequest => buf.push(msg.tag()),
+        Message::JoinAck { clock } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&clock.to_le_bytes());
+        }
+        Message::Evict { rank } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&rank.to_le_bytes());
+        }
     }
 }
 
@@ -798,6 +828,9 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         }
         18 => Message::PullDone,
         19 => Message::StatsRequest,
+        21 => Message::JoinRequest,
+        22 => Message::JoinAck { clock: r.u64()? },
+        23 => Message::Evict { rank: r.u32()? },
         20 => Message::StatsReply {
             pushes: r.u64()?,
             pulls_full: r.u64()?,
@@ -1277,6 +1310,9 @@ mod tests {
                 bytes_sent: 1 << 33,
                 bytes_received: 12345,
             },
+            Message::JoinRequest,
+            Message::JoinAck { clock: 42 },
+            Message::Evict { rank: 2 },
         ];
         for msg in &messages {
             assert_eq!(&round_trip(msg), msg);
@@ -1562,6 +1598,8 @@ mod tests {
                 bytes_sent: 4,
                 bytes_received: 5,
             },
+            Message::JoinAck { clock: 7 },
+            Message::Evict { rank: 1 },
         ];
         for msg in messages.drain(..) {
             let mut buf = Vec::new();

@@ -13,10 +13,11 @@
 //! (or a reconnect) starts with an empty cache and therefore always begins with a
 //! full pull.
 
+use crate::elastic::fault_due;
 use crate::transport::{PullOutcome, WorkerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK};
 use crate::NetError;
-use dssp_core::driver::{JobConfig, WorkerStep};
+use dssp_core::driver::{FaultPhase, FaultRole, JobConfig, WorkerStep};
 use std::time::Instant;
 
 /// What a worker experienced during its run, for logging and tests.
@@ -80,8 +81,32 @@ pub fn run_worker(
         version: PROTOCOL_VERSION,
         rank: rank as u32,
         num_workers: job.num_workers as u32,
-        config_digest: job.digest(),
+        config_digest: job.stable_digest(),
     })?;
+
+    // Membership handshake: the server answers with the number of pushes it has
+    // already confirmed from this rank — zero on a fresh run, the restored count when
+    // the server came back from a checkpoint. The worker fast-forwards its batch
+    // schedule to that point and resumes at the next iteration.
+    transport.send(&Message::JoinRequest)?;
+    let resume_from = match transport.recv()? {
+        Message::JoinAck { clock } => clock,
+        Message::Shutdown { .. } => {
+            report.shutdown_early = true;
+            report.last_shard_versions = versions;
+            return Ok(report);
+        }
+        other => return Err(unexpected(rank, &other)),
+    };
+    if resume_from > 0 {
+        step.skip_to(resume_from.min(step.target()));
+        report.iterations = step.completed();
+        report.epochs = step.epoch();
+    }
+
+    // This process's structured chaos hook, if the plan targets this rank.
+    let fault = job.fault_plan.filter(|p| p.role == FaultRole::Worker(rank));
+    let mut pulls_done: u64 = 0;
 
     // Initial pull: the version cache is empty, so this is always a full pull.
     match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
@@ -92,16 +117,20 @@ pub fn run_worker(
             return Ok(report);
         }
     }
+    pulls_done += 1;
+    fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
 
     let target = step.target();
-    for iter in 0..target {
+    for iter in step.completed()..target {
         step.compute_gradient_into(&weights, &mut grads);
         report.iterations = step.completed();
         report.epochs = step.epoch();
         transport.send_push(iter + 1, &grads)?;
+        fault_due(fault.as_ref(), FaultPhase::Push, iter + 1)?;
         if iter + 1 == target {
             break; // final push: report Done without waiting for the OK
         }
+        fault_due(fault.as_ref(), FaultPhase::GateBlocked, iter + 1)?;
         let wait_start = Instant::now();
         match transport.recv()? {
             Message::PushReply { granted_extra, .. } => {
@@ -116,13 +145,18 @@ pub fn run_worker(
             other => return Err(unexpected(rank, &other)),
         }
         match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
-            PullOutcome::Applied(applied) => record_pull(&mut report, applied.full),
+            PullOutcome::Applied(applied) => {
+                record_pull(&mut report, applied.full);
+                transport.note_confirmed_clock(applied.clock);
+            }
             PullOutcome::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
                 report.last_shard_versions = versions;
                 return Ok(report);
             }
         }
+        pulls_done += 1;
+        fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
     }
 
     transport.send(&Message::Done {

@@ -20,7 +20,7 @@ fn build_message(
 ) -> Message {
     let floats = floats[..float_len.min(floats.len())].to_vec();
     let versions = versions[..version_len.min(versions.len())].to_vec();
-    match variant % 20 {
+    match variant % 23 {
         0 => Message::Hello {
             version: PROTOCOL_VERSION,
             rank: (a % 1024) as u32,
@@ -90,6 +90,11 @@ fn build_message(
         },
         17 => Message::PullDone,
         18 => Message::StatsRequest,
+        19 => Message::JoinRequest,
+        20 => Message::JoinAck { clock: a },
+        21 => Message::Evict {
+            rank: (a % 1024) as u32,
+        },
         _ => Message::StatsReply {
             pushes: a,
             pulls_full: b,
@@ -105,7 +110,7 @@ proptest! {
 
     #[test]
     fn encode_then_decode_is_the_identity(
-        variant in 0u32..20,
+        variant in 0u32..23,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -123,7 +128,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_rejected(
-        variant in 0u32..20,
+        variant in 0u32..23,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -144,7 +149,7 @@ proptest! {
 
     #[test]
     fn trailing_garbage_is_rejected(
-        variant in 0u32..20,
+        variant in 0u32..23,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,

@@ -204,6 +204,26 @@ impl Sgd {
     pub fn config(&self) -> &SgdConfig {
         &self.config
     }
+
+    /// The momentum velocity vector, for checkpointing.
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// The epoch the schedule currently operates at, for checkpointing.
+    pub fn current_epoch(&self) -> usize {
+        self.current_epoch
+    }
+
+    /// Rebuilds an optimizer from checkpointed state. The velocity length must match
+    /// the parameter vector it will later step (checked by [`Sgd::step`]).
+    pub fn restore(config: SgdConfig, velocity: Vec<f32>, current_epoch: usize) -> Self {
+        Self {
+            config,
+            velocity,
+            current_epoch,
+        }
+    }
 }
 
 #[cfg(test)]

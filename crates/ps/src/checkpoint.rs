@@ -1,0 +1,657 @@
+//! Versioned checkpointing of parameter-server state.
+//!
+//! The paper evaluates a fixed fleet: every worker and server survives the whole run.
+//! The elastic extension relaxes that — processes may crash and be restarted — which
+//! needs a durable copy of exactly the state Algorithms 1 and 2 accumulate: the shared
+//! weights with their per-shard versions, the SGD momentum that makes the next step
+//! depend on history, and the gate (clock array `t`, interval table `A`, DSSP credit
+//! balances, statistics). [`Checkpoint`] captures all three in one length-prefixed
+//! binary format with the same strictness discipline as the wire protocol: decoding
+//! rejects truncation, trailing bytes, absurd declared lengths, unknown format
+//! versions, and checkpoints taken under a different job configuration (via the job
+//! digest).
+//!
+//! Files are written atomically — encode to `<name>.tmp` in the same directory, then
+//! `rename` over the final name — so a crash mid-write leaves either the previous
+//! complete checkpoint or a stray `.tmp`, never a torn file. A decoder therefore never
+//! needs to "repair" anything: a checkpoint file that exists and decodes is complete.
+
+use crate::gate::GateSnapshot;
+use crate::server::ServerStats;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"DSSPCKPT";
+
+/// Format version written by this build; decoding rejects anything else.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Hard ceiling on the size of a checkpoint this decoder will accept, so a corrupt
+/// length prefix cannot drive a huge allocation.
+pub const MAX_CHECKPOINT_LEN: usize = 1 << 30;
+
+/// Extension of the temporary file a checkpoint is staged in before the atomic rename
+/// (`server.ckpt` is staged as `server.ckpt.tmp`). Exposed so process supervisors can
+/// sweep stray staging files after killing a child mid-write.
+pub const CHECKPOINT_TMP_SUFFIX: &str = ".tmp";
+
+/// The storage half of a checkpoint: the flat weights with their shard layout and
+/// versions, plus the optimizer state that makes SGD-with-momentum history-dependent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot {
+    /// The flat parameter vector.
+    pub flat: Vec<f32>,
+    /// Shard start offsets plus the final sentinel (see
+    /// [`crate::ShardedStore::offsets`]).
+    pub offsets: Vec<u64>,
+    /// Per-shard update versions.
+    pub versions: Vec<u64>,
+    /// The SGD momentum velocity vector (same length as `flat`).
+    pub velocity: Vec<f32>,
+    /// The epoch the learning-rate schedule currently operates at.
+    pub epoch: u64,
+}
+
+/// One durable snapshot of a server process: what a shard server, a coordinator, or a
+/// classic single-process server writes between pushes and reads back on restart.
+///
+/// Either section may be absent: a storage-only shard server checkpoints just
+/// [`Checkpoint::store`], a clock-only coordinator just [`Checkpoint::gate`], and a
+/// classic single server both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Digest of the job configuration this checkpoint was taken under; restoring
+    /// under a different job is refused (version/config skew).
+    pub job_digest: u64,
+    /// The deterministic-mode logical clock at snapshot time, so a restored run's
+    /// interval table keeps receiving monotonically increasing timestamps.
+    pub tick: f64,
+    /// The storage half, if this process owns weights.
+    pub store: Option<StoreSnapshot>,
+    /// The gating half, if this process owns synchronization state.
+    pub gate: Option<GateSnapshot>,
+}
+
+/// Why a checkpoint could not be read or decoded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The payload ended before a declared field.
+    Truncated,
+    /// The payload continued past the last declared field.
+    TrailingBytes,
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The format version is not [`CHECKPOINT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The checkpoint was taken under a different job configuration.
+    DigestMismatch {
+        /// Digest of the job attempting the restore.
+        expected: u64,
+        /// Digest recorded in the checkpoint.
+        found: u64,
+    },
+    /// A declared length exceeds the remaining payload or the global size ceiling.
+    BadLength,
+    /// A field held a value outside its domain (e.g. a flag byte that is neither 0
+    /// nor 1); the message names the field.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {CHECKPOINT_VERSION})"
+                )
+            }
+            CheckpointError::DigestMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under a different job (digest {found:#x}, this job is {expected:#x})"
+            ),
+            CheckpointError::BadLength => write!(f, "checkpoint declares an absurd length"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Strict little-endian reader over a checkpoint payload, mirroring the wire
+/// protocol's decoder discipline: every read is bounds-checked, vector lengths are
+/// validated against the remaining payload *before* allocating, and `finish` rejects
+/// trailing bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Corrupt(what)),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a declared element count and validates that `count * elem_size` bytes are
+    /// actually present before any allocation happens.
+    fn len(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
+        let count = self.u64()?;
+        let count = usize::try_from(count).map_err(|_| CheckpointError::BadLength)?;
+        let bytes = count
+            .checked_mul(elem_size)
+            .ok_or(CheckpointError::BadLength)?;
+        if bytes > self.remaining() {
+            return Err(CheckpointError::BadLength);
+        }
+        Ok(count)
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, CheckpointError> {
+        let count = self.len(4)?;
+        let raw = self.take(count * 4)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in raw.chunks_exact(4) {
+            out.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, CheckpointError> {
+        let count = self.len(8)?;
+        let raw = self.take(count * 8)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in raw.chunks_exact(8) {
+            out.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    fn bools(&mut self, what: &'static str) -> Result<Vec<bool>, CheckpointError> {
+        let count = self.len(1)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.bool(what)?);
+        }
+        Ok(out)
+    }
+
+    /// A vector of optional timestamps: each entry is a presence byte followed by the
+    /// `f64` bits when present.
+    fn opt_f64s(&mut self, what: &'static str) -> Result<Vec<Option<f64>>, CheckpointError> {
+        let count = self.len(1)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(if self.bool(what)? {
+                Some(self.f64()?)
+            } else {
+                None
+            });
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), CheckpointError> {
+        if self.remaining() != 0 {
+            return Err(CheckpointError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, v: &[u64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_bools(out: &mut Vec<u8>, v: &[bool]) {
+    put_u64(out, v.len() as u64);
+    out.extend(v.iter().map(|&b| b as u8));
+}
+
+fn put_opt_f64s(out: &mut Vec<u8>, v: &[Option<f64>]) {
+    put_u64(out, v.len() as u64);
+    for x in v {
+        match x {
+            Some(t) => {
+                out.push(1);
+                put_u64(out, t.to_bits());
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint into its little-endian binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        put_u64(&mut out, self.job_digest);
+        put_u64(&mut out, self.tick.to_bits());
+        match &self.store {
+            Some(s) => {
+                out.push(1);
+                put_f32s(&mut out, &s.flat);
+                put_u64s(&mut out, &s.offsets);
+                put_u64s(&mut out, &s.versions);
+                put_f32s(&mut out, &s.velocity);
+                put_u64(&mut out, s.epoch);
+            }
+            None => out.push(0),
+        }
+        match &self.gate {
+            Some(g) => {
+                out.push(1);
+                put_u64s(&mut out, &g.counts);
+                put_bools(&mut out, &g.retired);
+                put_opt_f64s(&mut out, &g.latest);
+                put_opt_f64s(&mut out, &g.previous);
+                put_u64s(
+                    &mut out,
+                    &g.blocked.iter().map(|&w| w as u64).collect::<Vec<_>>(),
+                );
+                put_u64(&mut out, g.stats.pushes);
+                put_u64(&mut out, g.stats.blocked_pushes);
+                put_u64(&mut out, g.stats.releases);
+                put_u64(&mut out, g.stats.staleness_sum);
+                put_u64(&mut out, g.stats.staleness_max);
+                put_u64(&mut out, g.stats.credits_granted);
+                put_u64(&mut out, g.stats.credits_reclaimed);
+                put_u64s(&mut out, &g.staleness_buckets);
+                put_u64s(&mut out, &g.staleness_sums);
+                put_u64s(&mut out, &g.staleness_pushes);
+                put_u64(&mut out, g.staleness_max);
+                put_u64(&mut out, g.version);
+                put_u64s(&mut out, &g.credits);
+                put_u64(&mut out, g.credits_granted);
+                put_u64(&mut out, g.controller_invocations);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Decodes a checkpoint, rejecting truncation, trailing bytes, bad magic, absurd
+    /// declared lengths, and unknown format versions. The job digest is *not* checked
+    /// here — use [`Checkpoint::decode_for_job`] on the restore path.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() > MAX_CHECKPOINT_LEN {
+            return Err(CheckpointError::BadLength);
+        }
+        let mut r = Reader::new(bytes);
+        if r.take(CHECKPOINT_MAGIC.len())? != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let job_digest = r.u64()?;
+        let tick = r.f64()?;
+        let store = if r.bool("store presence flag")? {
+            Some(StoreSnapshot {
+                flat: r.f32s()?,
+                offsets: r.u64s()?,
+                versions: r.u64s()?,
+                velocity: r.f32s()?,
+                epoch: r.u64()?,
+            })
+        } else {
+            None
+        };
+        let gate = if r.bool("gate presence flag")? {
+            let counts = r.u64s()?;
+            let retired = r.bools("retired flag")?;
+            let latest = r.opt_f64s("latest timestamp flag")?;
+            let previous = r.opt_f64s("previous timestamp flag")?;
+            let blocked = r
+                .u64s()?
+                .into_iter()
+                .map(|w| usize::try_from(w).map_err(|_| CheckpointError::Corrupt("blocked worker")))
+                .collect::<Result<Vec<_>, _>>()?;
+            let stats = ServerStats {
+                pushes: r.u64()?,
+                blocked_pushes: r.u64()?,
+                releases: r.u64()?,
+                staleness_sum: r.u64()?,
+                staleness_max: r.u64()?,
+                credits_granted: r.u64()?,
+                credits_reclaimed: r.u64()?,
+            };
+            Some(GateSnapshot {
+                counts,
+                retired,
+                latest,
+                previous,
+                blocked,
+                stats,
+                staleness_buckets: r.u64s()?,
+                staleness_sums: r.u64s()?,
+                staleness_pushes: r.u64s()?,
+                staleness_max: r.u64()?,
+                version: r.u64()?,
+                credits: r.u64s()?,
+                credits_granted: r.u64()?,
+                controller_invocations: r.u64()?,
+            })
+        } else {
+            None
+        };
+        r.finish()?;
+        Ok(Self {
+            job_digest,
+            tick,
+            store,
+            gate,
+        })
+    }
+
+    /// Decodes a checkpoint and verifies it was taken under the job with digest
+    /// `job_digest`, refusing configuration skew.
+    pub fn decode_for_job(bytes: &[u8], job_digest: u64) -> Result<Self, CheckpointError> {
+        let ckpt = Self::decode(bytes)?;
+        if ckpt.job_digest != job_digest {
+            return Err(CheckpointError::DigestMismatch {
+                expected: job_digest,
+                found: ckpt.job_digest,
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// The staging path [`Checkpoint::save_atomic`] writes through for `path`
+    /// (`<path><CHECKPOINT_TMP_SUFFIX>` in the same directory, so the final rename
+    /// never crosses a filesystem boundary).
+    pub fn tmp_path(path: &Path) -> PathBuf {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(CHECKPOINT_TMP_SUFFIX);
+        PathBuf::from(name)
+    }
+
+    /// Writes the checkpoint to `path` atomically: encode, write + flush to the
+    /// staging file next to it, then `rename` over the final name. A crash at any
+    /// point leaves either the previous complete checkpoint or a stray staging file —
+    /// never a torn `path`.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = Self::tmp_path(path);
+        let bytes = self.encode();
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and decodes the checkpoint at `path` without checking its job digest.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::decode(&bytes)
+    }
+
+    /// Reads the checkpoint at `path` and verifies it was taken under the job with
+    /// digest `job_digest`.
+    pub fn load_for_job(path: &Path, job_digest: u64) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::decode_for_job(&bytes, job_digest)
+    }
+
+    /// Whether the gating half records any retired (finished or evicted) worker.
+    ///
+    /// Elastic restore resumes a *full* fleet: every worker reconnects and replays
+    /// from its checkpointed clock. A checkpoint holding retired workers — a finished
+    /// run's terminal snapshot, or a snapshot taken after an eviction — cannot be
+    /// resumed that way, so restore paths refuse it up front instead of letting a
+    /// retired worker's replayed pushes corrupt the clock array.
+    pub fn has_retired_workers(&self) -> bool {
+        self.gate
+            .as_ref()
+            .is_some_and(|g| g.retired.iter().any(|&r| r))
+    }
+}
+
+/// Conventional checkpoint file name for a classic single-process server.
+pub fn server_checkpoint_name() -> String {
+    "server.ckpt".to_string()
+}
+
+/// Conventional checkpoint file name for shard server `index` of a group.
+pub fn shard_checkpoint_name(index: usize) -> String {
+    format!("shard{index}.ckpt")
+}
+
+/// Conventional checkpoint file name for a group's coordinator.
+pub fn coord_checkpoint_name() -> String {
+    "coord.ckpt".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_gate() -> GateSnapshot {
+        GateSnapshot {
+            counts: vec![3, 1],
+            retired: vec![false, true],
+            latest: vec![Some(4.0), None],
+            previous: vec![Some(3.0), None],
+            blocked: vec![0],
+            stats: ServerStats {
+                pushes: 4,
+                blocked_pushes: 1,
+                releases: 1,
+                staleness_sum: 3,
+                staleness_max: 2,
+                credits_granted: 5,
+                credits_reclaimed: 1,
+            },
+            staleness_buckets: vec![1, 2, 1],
+            staleness_sums: vec![3, 0],
+            staleness_pushes: vec![3, 1],
+            staleness_max: 2,
+            version: 4,
+            credits: vec![2, 0],
+            credits_granted: 5,
+            controller_invocations: 3,
+        }
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            job_digest: 0xdead_beef_cafe_f00d,
+            tick: 17.0,
+            store: Some(StoreSnapshot {
+                flat: vec![1.5, -2.25, 0.0, 3.0],
+                offsets: vec![0, 2, 4],
+                versions: vec![7, 9],
+                velocity: vec![0.1, -0.2, 0.3, 0.0],
+                epoch: 2,
+            }),
+            gate: Some(sample_gate()),
+        }
+    }
+
+    #[test]
+    fn round_trips_all_section_combinations() {
+        for (store, gate) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut c = sample();
+            if !store {
+                c.store = None;
+            }
+            if !gate {
+                c.gate = None;
+            }
+            let decoded = Checkpoint::decode(&c.encode()).expect("decode");
+            assert_eq!(decoded, c);
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected() {
+        let bytes = sample().encode();
+        for n in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..n]).is_err(),
+                "prefix of {n} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes[8] = 99;
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn absurd_declared_lengths_are_rejected_before_allocation() {
+        let mut bytes = sample().encode();
+        // The first vector length is the flat weight count, right after the store
+        // presence byte at offset 8 (magic) + 4 (version) + 8 (digest) + 8 (tick) + 1.
+        let len_at = 8 + 4 + 8 + 8 + 1;
+        bytes[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::BadLength)
+        ));
+    }
+
+    #[test]
+    fn digest_skew_is_rejected() {
+        let c = sample();
+        let bytes = c.encode();
+        assert!(Checkpoint::decode_for_job(&bytes, c.job_digest).is_ok());
+        assert!(matches!(
+            Checkpoint::decode_for_job(&bytes, c.job_digest ^ 1),
+            Err(CheckpointError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_flag_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        let store_flag_at = 8 + 4 + 8 + 8;
+        bytes[store_flag_at] = 2;
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dssp-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(server_checkpoint_name());
+        let c = sample();
+        c.save_atomic(&path).expect("save");
+        assert!(
+            !Checkpoint::tmp_path(&path).exists(),
+            "staging file remains"
+        );
+        let loaded = Checkpoint::load_for_job(&path, c.job_digest).expect("load");
+        assert_eq!(loaded, c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_file_names_are_distinct_per_role() {
+        assert_ne!(server_checkpoint_name(), coord_checkpoint_name());
+        assert_ne!(shard_checkpoint_name(0), shard_checkpoint_name(1));
+    }
+}

@@ -146,6 +146,32 @@ impl ClockTable {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Per-worker retired flags, indexed by worker id (for checkpointing).
+    pub fn retired_flags(&self) -> &[bool] {
+        &self.retired
+    }
+
+    /// Rebuilds a table from checkpointed counters and retired flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty or their lengths differ.
+    pub fn restore(counts: Vec<u64>, retired: Vec<bool>) -> Self {
+        assert!(!counts.is_empty(), "need at least one worker");
+        assert_eq!(counts.len(), retired.len(), "flag/count length mismatch");
+        Self { counts, retired }
+    }
+
+    /// Sets a worker's counter outright — the admission path for a worker joining (or
+    /// rejoining) mid-run at the clock the coordinator assigns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker id is out of range.
+    pub fn set_count(&mut self, worker: WorkerId, count: u64) {
+        self.counts[worker] = count;
+    }
 }
 
 /// Table `A` of Algorithm 2: the two most recent push timestamps per worker.
@@ -210,6 +236,38 @@ impl IntervalTracker {
     /// Number of workers tracked.
     pub fn num_workers(&self) -> usize {
         self.latest.len()
+    }
+
+    /// The timestamp preceding [`IntervalTracker::latest`] for `worker`, if any (for
+    /// checkpointing).
+    pub fn previous(&self, worker: WorkerId) -> Option<f64> {
+        self.previous[worker]
+    }
+
+    /// Rebuilds a tracker from checkpointed timestamp pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty or their lengths differ.
+    pub fn restore(latest: Vec<Option<f64>>, previous: Vec<Option<f64>>) -> Self {
+        assert!(!latest.is_empty(), "need at least one worker");
+        assert_eq!(
+            latest.len(),
+            previous.len(),
+            "timestamp table length mismatch"
+        );
+        Self { latest, previous }
+    }
+
+    /// Forgets both timestamps of `worker` — the eviction path, so a rejoining worker
+    /// re-measures its pace from scratch instead of mixing lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker id is out of range.
+    pub fn forget(&mut self, worker: WorkerId) {
+        self.latest[worker] = None;
+        self.previous[worker] = None;
     }
 }
 

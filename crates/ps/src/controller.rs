@@ -82,6 +82,12 @@ impl SyncController {
         self.invocations
     }
 
+    /// Overwrites the invocation counter — the checkpoint-restore path, so a resumed
+    /// run reports the same cumulative controller statistics as an unfailed one.
+    pub fn set_invocations(&mut self, invocations: u64) {
+        self.invocations = invocations;
+    }
+
     /// Feeds a new measured interval into the estimator state.
     fn update_estimate(&mut self, worker: WorkerId, measured: f64) -> f64 {
         match self.estimator {

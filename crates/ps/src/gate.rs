@@ -19,6 +19,42 @@ use crate::staleness::StalenessTracker;
 /// larger lead share the final overflow bucket (their exact maximum is still tracked).
 pub(crate) const STALENESS_BUCKETS: u64 = 64;
 
+/// A full copy of a [`SyncGate`]'s mutable state, as captured by
+/// [`SyncGate::snapshot`] and replayed by [`SyncGate::restore`]. This is the
+/// coordinator's half of a checkpoint: everything Algorithm 1's clock array and
+/// Algorithm 2's tables have accumulated, including the DSSP credit balances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateSnapshot {
+    /// Per-worker push counters (array `t` of Algorithm 1).
+    pub counts: Vec<u64>,
+    /// Per-worker retired flags.
+    pub retired: Vec<bool>,
+    /// Latest push timestamp per worker (table `A` column 0).
+    pub latest: Vec<Option<f64>>,
+    /// Previous push timestamp per worker (table `A` column 1).
+    pub previous: Vec<Option<f64>>,
+    /// Workers waiting for a deferred `OK`, in blocking order.
+    pub blocked: Vec<WorkerId>,
+    /// Synchronization statistics accumulated so far.
+    pub stats: ServerStats,
+    /// Staleness histogram buckets.
+    pub staleness_buckets: Vec<u64>,
+    /// Per-worker staleness sums.
+    pub staleness_sums: Vec<u64>,
+    /// Per-worker staleness push counts.
+    pub staleness_pushes: Vec<u64>,
+    /// Largest staleness value ever recorded.
+    pub staleness_max: u64,
+    /// Total pushes recorded (the weight version).
+    pub version: u64,
+    /// Per-worker remaining DSSP credits (empty for policies without credits).
+    pub credits: Vec<u64>,
+    /// Cumulative credits granted by the controller.
+    pub credits_granted: u64,
+    /// Cumulative controller invocations.
+    pub controller_invocations: u64,
+}
+
 /// The synchronization state of Algorithms 1 and 2 without any parameter storage:
 /// per-worker clocks, the push-timestamp table, the gating policy, the blocked set and
 /// the synchronization statistics.
@@ -169,6 +205,87 @@ impl SyncGate {
     pub fn retire_into(&mut self, worker: WorkerId, now: f64, released: &mut Vec<WorkerId>) {
         self.clocks.retire(worker);
         self.drain_released_into(now, None, released);
+    }
+
+    /// Evicts a dead worker: retires its clock, forgets its interval measurements,
+    /// returns its unspent extra-iteration credits to the pool (counted in
+    /// [`ServerStats::credits_reclaimed`]), drops it from the blocked set, and appends
+    /// any workers its departure releases to `released` (not cleared first). Returns
+    /// the number of credits reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker id is out of range.
+    pub fn evict_into(&mut self, worker: WorkerId, now: f64, released: &mut Vec<WorkerId>) -> u64 {
+        assert!(worker < self.num_workers, "worker id out of range");
+        let reclaimed = self.policy.reclaim_credits(worker);
+        self.stats.credits_reclaimed += reclaimed;
+        self.intervals.forget(worker);
+        self.clocks.retire(worker);
+        self.blocked.retain(|&w| w != worker);
+        self.drain_released_into(now, None, released);
+        reclaimed
+    }
+
+    /// Captures every mutable field of the gate for checkpointing. The policy *kind*
+    /// is not part of the snapshot — the restoring side rebuilds the gate from its own
+    /// `JobConfig` (whose digest the checkpoint codec verifies).
+    pub fn snapshot(&self) -> GateSnapshot {
+        GateSnapshot {
+            counts: self.clocks.counts().to_vec(),
+            retired: self.clocks.retired_flags().to_vec(),
+            latest: (0..self.num_workers)
+                .map(|w| self.intervals.latest(w))
+                .collect(),
+            previous: (0..self.num_workers)
+                .map(|w| self.intervals.previous(w))
+                .collect(),
+            blocked: self.blocked.clone(),
+            stats: self.stats.clone(),
+            staleness_buckets: self.staleness.buckets().to_vec(),
+            staleness_sums: self.staleness.per_worker_sums().to_vec(),
+            staleness_pushes: self.staleness.per_worker_push_counts().to_vec(),
+            staleness_max: self.staleness.max(),
+            version: self.version,
+            credits: self.policy.credits_snapshot(),
+            credits_granted: self.policy.credits_granted(),
+            controller_invocations: self.policy.controller_invocations(),
+        }
+    }
+
+    /// Rebuilds a gate from a [`GateSnapshot`] under `policy` (the same policy the
+    /// snapshotted gate ran — the caller guarantees this via the job-config digest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's tables disagree on the worker count or it is zero.
+    pub fn restore(policy: PolicyKind, snap: &GateSnapshot) -> Self {
+        let num_workers = snap.counts.len();
+        assert!(num_workers > 0, "need at least one worker");
+        let mut restored = Self {
+            clocks: ClockTable::restore(snap.counts.clone(), snap.retired.clone()),
+            intervals: IntervalTracker::restore(snap.latest.clone(), snap.previous.clone()),
+            policy: policy.build(num_workers),
+            blocked: snap.blocked.clone(),
+            blocked_scratch: Vec::new(),
+            stats: snap.stats.clone(),
+            staleness: StalenessTracker::restore(
+                snap.staleness_buckets.clone(),
+                snap.staleness_sums.clone(),
+                snap.staleness_pushes.clone(),
+                snap.staleness_max,
+            ),
+            version: snap.version,
+            num_workers,
+        };
+        if !snap.credits.is_empty() {
+            restored.policy.restore_credits(
+                &snap.credits,
+                snap.credits_granted,
+                snap.controller_invocations,
+            );
+        }
+        restored
     }
 
     /// Re-evaluates blocked workers after a clock change, appending those released to

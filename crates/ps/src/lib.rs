@@ -38,6 +38,7 @@
 #![deny(missing_docs)]
 
 mod aggregator;
+mod checkpoint;
 mod clock;
 mod controller;
 mod gate;
@@ -48,9 +49,14 @@ mod staleness;
 pub mod theory;
 
 pub use aggregator::{AggregationMode, GradientBuffer};
+pub use checkpoint::{
+    coord_checkpoint_name, server_checkpoint_name, shard_checkpoint_name, Checkpoint,
+    CheckpointError, StoreSnapshot, CHECKPOINT_MAGIC, CHECKPOINT_TMP_SUFFIX, CHECKPOINT_VERSION,
+    MAX_CHECKPOINT_LEN,
+};
 pub use clock::{ClockTable, IntervalTracker, WorkerId};
 pub use controller::{ControllerDecision, IntervalEstimator, SyncController};
-pub use gate::SyncGate;
+pub use gate::{GateSnapshot, SyncGate};
 pub use policy::{Asp, Bsp, Dssp, PolicyCtx, PolicyKind, Ssp, SyncPolicy};
 pub use server::{ParameterServer, PushDecision, PushResult, ServerConfig, ServerStats};
 pub use sharded::{delta_compatible, shard_range, ShardedStore};

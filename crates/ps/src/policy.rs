@@ -117,6 +117,31 @@ pub trait SyncPolicy: Send {
     fn credits_granted(&self) -> u64 {
         0
     }
+
+    /// Per-worker remaining extra-iteration credit balances, for checkpointing. Empty
+    /// for policies without credits.
+    fn credits_snapshot(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Cumulative controller invocations, for checkpointing (0 for policies without a
+    /// controller).
+    fn controller_invocations(&self) -> u64 {
+        0
+    }
+
+    /// Restores checkpointed credit/controller state. A no-op for policies without
+    /// credits; policies with credits panic if `credits` has the wrong length.
+    fn restore_credits(&mut self, credits: &[u64], granted: u64, invocations: u64) {
+        let _ = (credits, granted, invocations);
+    }
+
+    /// Removes a worker's remaining credits from the pool (the eviction path) and
+    /// returns the reclaimed amount (0 for policies without credits).
+    fn reclaim_credits(&mut self, worker: WorkerId) -> u64 {
+        let _ = worker;
+        0
+    }
 }
 
 /// Bulk Synchronous Parallel: a worker may proceed only when no other worker is behind
@@ -358,6 +383,29 @@ impl SyncPolicy for Dssp {
 
     fn credits_granted(&self) -> u64 {
         self.credits_granted
+    }
+
+    fn credits_snapshot(&self) -> Vec<u64> {
+        self.credits.clone()
+    }
+
+    fn controller_invocations(&self) -> u64 {
+        self.controller.invocations()
+    }
+
+    fn restore_credits(&mut self, credits: &[u64], granted: u64, invocations: u64) {
+        assert_eq!(
+            credits.len(),
+            self.credits.len(),
+            "checkpointed credit table has the wrong worker count"
+        );
+        self.credits.copy_from_slice(credits);
+        self.credits_granted = granted;
+        self.controller.set_invocations(invocations);
+    }
+
+    fn reclaim_credits(&mut self, worker: WorkerId) -> u64 {
+        std::mem::take(&mut self.credits[worker])
     }
 }
 

@@ -100,6 +100,10 @@ pub struct ServerStats {
     /// Total extra-iteration credits granted by the DSSP synchronization controller
     /// (sum of every `r*` decision; 0 unless the policy is a DSSP variant).
     pub credits_granted: u64,
+    /// Unspent credits returned to the pool when a worker was evicted mid-run (0 in a
+    /// fixed-fleet run; only a DSSP variant can have credits to reclaim).
+    #[serde(default)]
+    pub credits_reclaimed: u64,
 }
 
 impl ServerStats {
@@ -236,6 +240,44 @@ impl ParameterServer {
         &self.gate
     }
 
+    /// The server-side optimizer, exposing its momentum state for checkpointing.
+    pub fn optimizer(&self) -> &Sgd {
+        &self.optimizer
+    }
+
+    /// Rebuilds a server from checkpointed parts: the parameter store (weights, shard
+    /// layout, and per-shard versions), the optimizer (with its momentum velocity and
+    /// schedule epoch), and the gate (clocks, intervals, policy credits, statistics).
+    ///
+    /// The gradient aggregation buffer restarts empty: checkpoints are taken between
+    /// pushes, where the default per-push aggregation never holds pending state. A
+    /// buffered-aggregation run that checkpoints mid-buffer loses (only) the unapplied
+    /// partial buffer, exactly as a crash would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's shard count disagrees with `config.shards`.
+    pub fn restore(
+        store: ShardedStore,
+        optimizer: Sgd,
+        gate: SyncGate,
+        config: ServerConfig,
+    ) -> Self {
+        assert_eq!(
+            store.num_shards(),
+            config.shards,
+            "restored store shard count disagrees with the configuration"
+        );
+        let buffer = GradientBuffer::new(store.len(), config.aggregation);
+        Self {
+            store,
+            optimizer,
+            gate,
+            buffer,
+            config,
+        }
+    }
+
     /// Informs the server-side optimizer of the current epoch so learning-rate schedules
     /// can take effect.
     pub fn set_epoch(&mut self, epoch: usize) {
@@ -336,6 +378,16 @@ impl ParameterServer {
         let mut released = Vec::new();
         self.gate.retire_into(worker, now, &mut released);
         released
+    }
+
+    /// Evicts a worker that died mid-run: reclaims its unspent DSSP credits into
+    /// [`ServerStats::credits_reclaimed`], forgets its pace measurements, retires its
+    /// clock, and releases anyone who was blocked on it. Returns the reclaimed credit
+    /// count and the released workers.
+    pub fn evict_worker(&mut self, worker: WorkerId, now: f64) -> (u64, Vec<WorkerId>) {
+        let mut released = Vec::new();
+        let reclaimed = self.gate.evict_into(worker, now, &mut released);
+        (reclaimed, released)
     }
 
     /// The per-push staleness distribution observed so far.

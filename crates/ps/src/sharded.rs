@@ -118,6 +118,24 @@ impl ShardedStore {
         }
     }
 
+    /// Rebuilds a store from checkpointed weights, boundaries, and per-shard versions
+    /// (unlike [`ShardedStore::with_offsets`], which starts every version at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not a valid monotone boundary vector for `flat` or if
+    /// `versions` does not hold exactly one entry per shard.
+    pub fn restore(flat: Vec<f32>, offsets: Vec<usize>, versions: Vec<u64>) -> Self {
+        let mut store = Self::with_offsets(flat, offsets);
+        assert_eq!(
+            versions.len(),
+            store.versions.len(),
+            "restored version vector must have one entry per shard"
+        );
+        store.versions = versions;
+        store
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.versions.len()

@@ -133,6 +133,43 @@ impl StalenessTracker {
         }
     }
 
+    /// Per-worker sums of recorded staleness values (for checkpointing).
+    pub fn per_worker_sums(&self) -> &[u64] {
+        &self.per_worker_sum
+    }
+
+    /// Per-worker push counts (for checkpointing).
+    pub fn per_worker_push_counts(&self) -> &[u64] {
+        &self.per_worker_pushes
+    }
+
+    /// Rebuilds a tracker from checkpointed histogram and per-worker tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is empty, the per-worker tables are empty, or their lengths
+    /// differ.
+    pub fn restore(
+        buckets: Vec<u64>,
+        per_worker_sum: Vec<u64>,
+        per_worker_pushes: Vec<u64>,
+        max_seen: u64,
+    ) -> Self {
+        assert!(!buckets.is_empty(), "need at least one bucket");
+        assert!(!per_worker_sum.is_empty(), "need at least one worker");
+        assert_eq!(
+            per_worker_sum.len(),
+            per_worker_pushes.len(),
+            "per-worker table length mismatch"
+        );
+        Self {
+            buckets,
+            per_worker_sum,
+            per_worker_pushes,
+            max_seen,
+        }
+    }
+
     /// Renders the histogram as a small markdown table (staleness, count, share).
     pub fn to_markdown(&self) -> String {
         use std::fmt::Write as _;

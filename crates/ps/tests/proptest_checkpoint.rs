@@ -1,0 +1,204 @@
+//! Property-based tests of the checkpoint codec: encode→decode is the bitwise
+//! identity on arbitrary snapshots, and every mutilated payload — truncation, bit
+//! flips, version skew, digest skew — is rejected (or at least never misparses back
+//! into the original), mirroring the wire codec's strictness discipline.
+
+use dssp_ps::{
+    Checkpoint, CheckpointError, GateSnapshot, ServerStats, StoreSnapshot, CHECKPOINT_VERSION,
+};
+use proptest::prelude::*;
+
+/// Builds an arbitrary checkpoint from flat random draws (the proptest shim has no
+/// enum/recursive strategies, so section presence and vector shapes are derived from
+/// scalar draws, the same way the wire-codec property suite builds its messages).
+fn build_checkpoint(
+    digest: u64,
+    tick: f64,
+    sections: u32,
+    floats: &[f32],
+    float_len: usize,
+    counts: &[u64],
+    count_len: usize,
+    workers: usize,
+) -> Checkpoint {
+    let floats = &floats[..float_len.clamp(1, floats.len())];
+    let counts = &counts[..count_len.clamp(1, counts.len())];
+    let workers = workers.max(1);
+    let take = |i: usize| counts[i % counts.len()];
+    let store = (sections % 4 != 0).then(|| {
+        let shards = counts.len().clamp(1, 4);
+        let per_shard = floats.len() / shards;
+        let mut offsets: Vec<u64> = (0..=shards).map(|i| (i * per_shard) as u64).collect();
+        *offsets.last_mut().unwrap() = floats.len() as u64;
+        StoreSnapshot {
+            flat: floats.to_vec(),
+            offsets,
+            versions: (0..shards).map(|i| take(i) % 1_000).collect(),
+            velocity: floats.iter().map(|v| v * 0.5).collect(),
+            epoch: take(0) % 64,
+        }
+    });
+    let gate = (sections % 3 != 0).then(|| GateSnapshot {
+        counts: (0..workers).map(|w| take(w) % 500).collect(),
+        retired: (0..workers).map(|w| take(w + 1) % 2 == 0).collect(),
+        latest: (0..workers)
+            .map(|w| (take(w + 2) % 3 != 0).then(|| tick + w as f64))
+            .collect(),
+        previous: (0..workers)
+            .map(|w| (take(w + 3) % 3 != 0).then(|| tick + w as f64 - 1.0))
+            .collect(),
+        blocked: (0..workers).filter(|&w| take(w + 4) % 4 == 0).collect(),
+        stats: ServerStats {
+            pushes: take(0),
+            blocked_pushes: take(1),
+            releases: take(2),
+            staleness_sum: take(3),
+            staleness_max: take(4),
+            credits_granted: take(5),
+            credits_reclaimed: take(6),
+        },
+        staleness_buckets: counts.iter().map(|&c| c % 97).collect(),
+        staleness_sums: counts.iter().map(|&c| c % 89).collect(),
+        staleness_pushes: counts.iter().map(|&c| c % 83).collect(),
+        staleness_max: take(7) % 32,
+        version: take(8),
+        credits: (0..workers).map(|w| take(w + 5) % 8).collect(),
+        credits_granted: take(9),
+        controller_invocations: take(10),
+    });
+    Checkpoint {
+        job_digest: digest,
+        tick,
+        store,
+        gate,
+    }
+}
+
+fn floats_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0e3f32..1.0e3, 48)
+}
+
+fn counts_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000, 12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Encode→decode is the identity on every section combination and shape.
+    #[test]
+    fn encode_decode_is_the_identity(
+        digest in 0u64..u64::MAX,
+        tick in 0.0f64..1.0e9,
+        sections in 0u32..u32::MAX,
+        floats in floats_strategy(),
+        float_len in 1usize..48,
+        counts in counts_strategy(),
+        count_len in 1usize..12,
+        workers in 1usize..6,
+    ) {
+        let ckpt = build_checkpoint(
+            digest, tick, sections, &floats, float_len, &counts, count_len, workers,
+        );
+        let bytes = ckpt.encode();
+        let decoded = Checkpoint::decode(&bytes).expect("decode");
+        prop_assert_eq!(decoded, ckpt);
+    }
+
+    /// Every strict prefix of an encoded checkpoint is rejected — a half-written
+    /// file (the case the atomic temp+rename dance prevents) never decodes.
+    #[test]
+    fn truncation_is_always_rejected(
+        digest in 0u64..u64::MAX,
+        sections in 0u32..u32::MAX,
+        floats in floats_strategy(),
+        float_len in 1usize..48,
+        counts in counts_strategy(),
+        count_len in 1usize..12,
+        cut in 0u64..u64::MAX,
+    ) {
+        let ckpt = build_checkpoint(digest, 4.0, sections, &floats, float_len, &counts, count_len, 3);
+        let bytes = ckpt.encode();
+        let cut = (cut as usize) % bytes.len();
+        prop_assert!(
+            Checkpoint::decode(&bytes[..cut]).is_err(),
+            "prefix of {} / {} bytes decoded",
+            cut,
+            bytes.len()
+        );
+    }
+
+    /// A single flipped bit anywhere in the payload either fails to decode or
+    /// decodes to something observably different — never silently back to the
+    /// original (so a torn or bit-rotted file cannot masquerade as the snapshot).
+    #[test]
+    fn bit_flips_never_misparse_back_to_the_original(
+        digest in 0u64..u64::MAX,
+        sections in 0u32..u32::MAX,
+        floats in floats_strategy(),
+        float_len in 1usize..48,
+        counts in counts_strategy(),
+        count_len in 1usize..12,
+        pos in 0u64..u64::MAX,
+        bit in 0u32..8,
+    ) {
+        let ckpt = build_checkpoint(digest, 4.0, sections, &floats, float_len, &counts, count_len, 3);
+        let mut bytes = ckpt.encode();
+        let pos = (pos as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match Checkpoint::decode(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert!(
+                decoded != ckpt,
+                "flipping bit {} of byte {} decoded back to the original",
+                bit, pos
+            ),
+        }
+    }
+
+    /// Any format version other than the one this build writes is refused, in both
+    /// directions (older and newer).
+    #[test]
+    fn version_skew_is_rejected(
+        digest in 0u64..u64::MAX,
+        sections in 0u32..u32::MAX,
+        floats in floats_strategy(),
+        float_len in 1usize..48,
+        counts in counts_strategy(),
+        count_len in 1usize..12,
+        skew in 1u32..1_000,
+    ) {
+        let ckpt = build_checkpoint(digest, 4.0, sections, &floats, float_len, &counts, count_len, 3);
+        let mut bytes = ckpt.encode();
+        let bad = CHECKPOINT_VERSION.wrapping_add(skew);
+        bytes[8..12].copy_from_slice(&bad.to_le_bytes());
+        prop_assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(v)) if v == bad
+        ));
+    }
+
+    /// A checkpoint taken under one job digest never restores under another, while
+    /// the matching digest always passes.
+    #[test]
+    fn digest_skew_is_rejected(
+        digest in 0u64..u64::MAX,
+        sections in 0u32..u32::MAX,
+        floats in floats_strategy(),
+        float_len in 1usize..48,
+        counts in counts_strategy(),
+        count_len in 1usize..12,
+        other in 0u64..u64::MAX,
+    ) {
+        let ckpt = build_checkpoint(digest, 4.0, sections, &floats, float_len, &counts, count_len, 3);
+        let bytes = ckpt.encode();
+        prop_assert!(Checkpoint::decode_for_job(&bytes, digest).is_ok());
+        if other != digest {
+            prop_assert!(matches!(
+                Checkpoint::decode_for_job(&bytes, other),
+                Err(CheckpointError::DigestMismatch { expected, found })
+                    if expected == other && found == digest
+            ));
+        }
+    }
+}

@@ -1,0 +1,678 @@
+//! The role×phase chaos matrix: kill (worker | shard server | coordinator) while it
+//! is (pushing | pulling | gate-blocked | checkpointing), then either restart the
+//! fleet from its checkpoints or run on without the victim — and assert that every
+//! cell ends in one of exactly two ways:
+//!
+//! 1. **bitwise recovery** — in deterministic mode the resumed run's terminal
+//!    checkpoint files are byte-identical to an unfailed reference run's, or
+//! 2. **a clean typed abort** — torn per-role checkpoints, a finished snapshot, or
+//!    a collapsed fleet are refused with a descriptive [`NetError`],
+//!
+//! and never in a hang or a leaked thread (every leg is wall-clock bounded and every
+//! helper joins all the threads it spawned).
+//!
+//! Cells absent from the matrix, and why:
+//! - `worker*:ckpt:*` — workers persist nothing, so the phase never occurs.
+//! - `server*:gate:*` in the group topology — shard servers are storage-only; the
+//!   synchronization gate lives in the coordinator. (The single-server topology
+//!   covers the server-side gate cell instead.)
+//! - `worker*:*:restart` mid-run — a rank's connection is admitted once per server
+//!   lifetime, so restarting a single worker degrades to eviction at fleet level;
+//!   whole-fleet worker restart is exactly what the server restart cells exercise
+//!   via the re-handshake/replay path.
+
+use dssp::coord::run_group_threads;
+use dssp::core::driver::{
+    CheckpointSpec, FaultAction, FaultPhase, FaultPlan, FaultRole, JobConfig,
+};
+use dssp::net::{
+    run_worker, serve, NetError, TcpServerTransport, TcpWorkerTransport, WorkerReport,
+};
+use dssp::{PolicyKind, RunTrace};
+use std::path::PathBuf;
+use std::thread;
+use std::time::Instant;
+
+/// Wall-clock ceiling for a single-server leg (a typical leg finishes in well under
+/// a second; the bound only exists to convert a hang into a loud failure).
+const SINGLE_BOUND_S: u64 = 60;
+/// Wall-clock ceiling for a group leg (a collapsing fleet waits out the bounded
+/// reconnect schedule before aborting).
+const GROUP_BOUND_S: u64 = 180;
+
+/// A per-cell scratch directory under the system temp dir, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dssp_chaos_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn path(&self) -> PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Checkpoint cadence for every cell: one write per BSP round (`num_workers`
+/// pushes). Under deterministic BSP this makes every durable cut a *round
+/// boundary* — the one kind of cut where no worker holds a gradient computed from
+/// pre-cut weights, so a restored fleet rebases onto exactly the basis the
+/// unfailed run used and recovery is bitwise. (Under DSSP a worker's gradient
+/// basis is worker-side state no server checkpoint can capture: a resumed run is a
+/// *valid* DSSP execution and deterministic in itself, but rebases the fleet onto
+/// the cut — see [`single_server_dssp_restart_resumes_deterministically`].)
+const CADENCE: u64 = 2;
+
+fn checkpointing(dir: PathBuf, restore: bool) -> Option<CheckpointSpec> {
+    Some(CheckpointSpec {
+        dir,
+        every_pushes: CADENCE,
+        restore,
+    })
+}
+
+fn single_job(policy: PolicyKind) -> JobConfig {
+    let mut job = JobConfig::small(policy);
+    job.epochs = 1;
+    job.deterministic = true;
+    assert_eq!(
+        job.num_workers, CADENCE as usize,
+        "the matrix's cadence is one checkpoint per BSP round"
+    );
+    job
+}
+
+fn group_job(policy: PolicyKind) -> JobConfig {
+    let mut job = single_job(policy);
+    job.shards = 4;
+    job.servers = 2;
+    job
+}
+
+/// Runs a single-server TCP job with every role on a thread, returning the server's
+/// result and each worker's, joining everything (nothing leaks even when a leg
+/// fails). The server transport is dropped *before* the worker joins, so a faulted
+/// server's abrupt death is observable as a closed socket — the same thing a killed
+/// process produces.
+fn run_single(
+    job: &JobConfig,
+) -> (
+    Result<RunTrace, NetError>,
+    Vec<Result<WorkerReport, NetError>>,
+) {
+    let mut server = TcpServerTransport::bind("127.0.0.1:0", job.num_workers).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..job.num_workers)
+        .map(|rank| {
+            let job = job.clone();
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut t = TcpWorkerTransport::connect(&addr)?;
+                run_worker(&job, rank, &mut t)
+            })
+        })
+        .collect();
+    let served = serve(job, &mut server);
+    drop(server);
+    let workers = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread must not panic"))
+        .collect();
+    (served, workers)
+}
+
+fn read_ckpt(dir: &ScratchDir, name: &str) -> Vec<u8> {
+    std::fs::read(dir.path().join(name))
+        .unwrap_or_else(|e| panic!("checkpoint {name} must exist in {:?}: {e}", dir.path()))
+}
+
+/// Byte-identity assertion with a readable failure: on mismatch, decode both files
+/// and report the first diverging *field* instead of dumping two binary blobs.
+fn assert_ckpt_bitwise(cell: &str, name: &str, got: &[u8], expected: &[u8]) {
+    use dssp::ps::Checkpoint;
+    if got == expected {
+        return;
+    }
+    let g = Checkpoint::decode(got).expect("recovered checkpoint decodes");
+    let e = Checkpoint::decode(expected).expect("reference checkpoint decodes");
+    assert_eq!(g.tick, e.tick, "{cell}: {name} logical tick");
+    match (&g.store, &e.store) {
+        (Some(gs), Some(es)) => {
+            assert_eq!(gs.offsets, es.offsets, "{cell}: {name} store offsets");
+            assert_eq!(gs.versions, es.versions, "{cell}: {name} shard versions");
+            assert_eq!(gs.epoch, es.epoch, "{cell}: {name} store epoch");
+            for (field, gv, ev) in [
+                ("flat", &gs.flat, &es.flat),
+                ("velocity", &gs.velocity, &es.velocity),
+            ] {
+                assert_eq!(gv.len(), ev.len(), "{cell}: {name} {field} length");
+                if let Some(i) = (0..gv.len()).find(|&i| gv[i].to_bits() != ev[i].to_bits()) {
+                    panic!(
+                        "{cell}: {name} {field}[{i}] diverges: {:?} (bits {:#010x}) vs reference {:?} (bits {:#010x})",
+                        gv[i],
+                        gv[i].to_bits(),
+                        ev[i],
+                        ev[i].to_bits()
+                    );
+                }
+            }
+        }
+        (gs, es) => assert_eq!(gs.is_some(), es.is_some(), "{cell}: {name} store presence"),
+    }
+    assert_eq!(g.gate, e.gate, "{cell}: {name} gate snapshot");
+    panic!("{cell}: {name} bytes differ outside any decoded field");
+}
+
+/// What a restore leg did: resumed bitwise against the reference, resumed without a
+/// byte-level claim (DSSP rebases the fleet onto the cut), or refused typed.
+#[derive(Debug, PartialEq)]
+enum Recovery {
+    Bitwise,
+    Resumed,
+    TypedAbort(String),
+}
+
+/// Checks a restore leg's outcome: success must reproduce the reference checkpoint
+/// bytes exactly (when the cell carries the bitwise claim); failure must be one of
+/// the *designed* refusals (torn per-role checkpoints, a finished/retired snapshot,
+/// or a missing checkpoint file), never an arbitrary error.
+fn check_recovery(
+    cell: &str,
+    outcome: Result<(), NetError>,
+    dir: &ScratchDir,
+    reference: Option<&[(String, Vec<u8>)]>,
+) -> Recovery {
+    match outcome {
+        Ok(()) => match reference {
+            Some(reference) => {
+                for (name, expected) in reference {
+                    let got = read_ckpt(dir, name);
+                    assert_ckpt_bitwise(cell, name, &got, expected);
+                }
+                Recovery::Bitwise
+            }
+            None => Recovery::Resumed,
+        },
+        Err(e) => {
+            let msg = e.to_string();
+            let lower = msg.to_lowercase();
+            assert!(
+                lower.contains("restore skew")
+                    || lower.contains("retired")
+                    || lower.contains("checkpoint"),
+                "{cell}: restore must fail with a designed refusal, got: {msg}"
+            );
+            Recovery::TypedAbort(msg)
+        }
+    }
+}
+
+fn phase_tag(phase: FaultPhase) -> &'static str {
+    match phase {
+        FaultPhase::Push => "push",
+        FaultPhase::Pull => "pull",
+        FaultPhase::GateBlocked => "gate",
+        FaultPhase::Checkpoint => "ckpt",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-server cells: kill the server at each phase, restart from checkpoint.
+// ---------------------------------------------------------------------------
+
+/// server0 × {push, pull, gate, ckpt} × kill+restart, single-server topology,
+/// deterministic BSP.
+///
+/// The single server holds store *and* gate in one checkpoint file, so its snapshot
+/// can never be torn, and BSP's round-boundary cuts (see [`CADENCE`]) leave no
+/// worker-side state behind: every phase must recover **bitwise** after a restart.
+#[test]
+fn single_server_restart_cells_recover_bitwise() {
+    // Reference: the same checkpointing job, never failed — shared by every cell.
+    let ref_dir = ScratchDir::new("single_ref");
+    let mut ref_job = single_job(PolicyKind::Bsp);
+    ref_job.checkpoint = checkpointing(ref_dir.path(), false);
+    let (ref_trace, ref_workers) = run_single(&ref_job);
+    let ref_trace = ref_trace.expect("reference run completes");
+    for w in &ref_workers {
+        w.as_ref().expect("reference worker completes");
+    }
+    let ref_bytes = read_ckpt(&ref_dir, &dssp::ps::server_checkpoint_name());
+
+    let cells = [
+        (FaultPhase::Push, 3),
+        (FaultPhase::Pull, 3),
+        // BSP defers every non-final push of each round, so the gate phase is
+        // guaranteed to occur early.
+        (FaultPhase::GateBlocked, 3),
+        (FaultPhase::Checkpoint, 3),
+    ];
+    for (phase, after) in cells {
+        let cell = format!("server0:{}:restart:{after}", phase_tag(phase));
+        let mut job = single_job(PolicyKind::Bsp);
+
+        // Leg A: the fault fires, the server dies without a goodbye, every worker
+        // observes the loss and errors out — nobody hangs.
+        let dir = ScratchDir::new(&format!("single_{}", phase_tag(phase)));
+        job.checkpoint = checkpointing(dir.path(), false);
+        job.fault_plan = Some(FaultPlan {
+            role: FaultRole::ShardServer(0),
+            phase,
+            action: FaultAction::KillRestart,
+            after,
+        });
+        let started = Instant::now();
+        let (served, workers) = run_single(&job);
+        assert!(
+            matches!(served, Err(NetError::FaultInjected { .. })),
+            "{cell}: leg A must die on the injected fault, got {served:?}"
+        );
+        for (rank, w) in workers.iter().enumerate() {
+            assert!(
+                w.is_err(),
+                "{cell}: worker {rank} must observe the server's death, got {w:?}"
+            );
+        }
+        assert!(
+            started.elapsed().as_secs() < SINGLE_BOUND_S,
+            "{cell}: leg A took {:?}",
+            started.elapsed()
+        );
+
+        // Leg B: restart from the same directory (the harness drops the fault plan,
+        // as a supervisor would). The run completes and the terminal checkpoint is
+        // byte-identical to the never-failed reference.
+        job.fault_plan = None;
+        job.checkpoint = checkpointing(dir.path(), true);
+        let started = Instant::now();
+        let (served, workers) = run_single(&job);
+        let trace = served.unwrap_or_else(|e| panic!("{cell}: restart leg must complete: {e}"));
+        for (rank, w) in workers.iter().enumerate() {
+            assert!(w.is_ok(), "{cell}: restarted worker {rank} failed: {w:?}");
+        }
+        assert!(
+            started.elapsed().as_secs() < SINGLE_BOUND_S,
+            "{cell}: leg B took {:?}",
+            started.elapsed()
+        );
+        assert_ckpt_bitwise(
+            &cell,
+            "server.ckpt",
+            &read_ckpt(&dir, &dssp::ps::server_checkpoint_name()),
+            &ref_bytes,
+        );
+        assert_eq!(
+            trace.total_pushes, ref_trace.total_pushes,
+            "{cell}: the resumed run accounts for every push of the full job"
+        );
+    }
+}
+
+/// server0 × push × kill+restart under deterministic **DSSP**.
+///
+/// A DSSP cut can fall while workers hold gradients computed from pre-cut weights —
+/// worker-side state no server checkpoint can capture — so the resumed run rebases
+/// the fleet onto the cut and is *not* byte-identical to the unfailed run. What
+/// restart must still guarantee is **resume determinism**: two independent restarts
+/// from the same checkpoint replay to bitwise-identical terminal state, and account
+/// for every push of the full job.
+#[test]
+fn single_server_dssp_restart_resumes_deterministically() {
+    let cell = "server0:push:restart:3 (dssp)";
+    let dir = ScratchDir::new("single_dssp");
+    let mut job = single_job(PolicyKind::Dssp { s_l: 1, r_max: 2 });
+    job.checkpoint = checkpointing(dir.path(), false);
+    job.fault_plan = Some(FaultPlan {
+        role: FaultRole::ShardServer(0),
+        phase: FaultPhase::Push,
+        action: FaultAction::KillRestart,
+        after: 3,
+    });
+    let (served, _) = run_single(&job);
+    assert!(
+        matches!(served, Err(NetError::FaultInjected { .. })),
+        "{cell}: leg A must die on the injected fault, got {served:?}"
+    );
+
+    // Restore twice from the *same* crash checkpoint (legs get separate copies:
+    // each resumed run overwrites its directory with its own terminal snapshot).
+    let crash_bytes = read_ckpt(&dir, &dssp::ps::server_checkpoint_name());
+    job.fault_plan = None;
+    let mut finals = Vec::new();
+    for leg in 0..2 {
+        let leg_dir = ScratchDir::new(&format!("single_dssp_leg{leg}"));
+        std::fs::write(
+            leg_dir.path().join(dssp::ps::server_checkpoint_name()),
+            &crash_bytes,
+        )
+        .expect("seed the leg's checkpoint");
+        job.checkpoint = checkpointing(leg_dir.path(), true);
+        let started = Instant::now();
+        let (served, workers) = run_single(&job);
+        let trace =
+            served.unwrap_or_else(|e| panic!("{cell}: restart leg {leg} must complete: {e}"));
+        for (rank, w) in workers.iter().enumerate() {
+            assert!(w.is_ok(), "{cell}: leg {leg} worker {rank} failed: {w:?}");
+        }
+        assert!(
+            started.elapsed().as_secs() < SINGLE_BOUND_S,
+            "{cell}: leg {leg} took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(
+            trace.total_pushes,
+            trace
+                .worker_summaries
+                .iter()
+                .map(|w| w.iterations)
+                .sum::<u64>(),
+            "{cell}: leg {leg} accounts for every push"
+        );
+        finals.push(read_ckpt(&leg_dir, &dssp::ps::server_checkpoint_name()));
+    }
+    assert_ckpt_bitwise(cell, "server.ckpt", &finals[0], &finals[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Worker cells: kill one worker at each phase; the fleet completes without it.
+// ---------------------------------------------------------------------------
+
+/// worker1 × {push, pull, gate} × {restart, evict}, single-server topology.
+///
+/// Both actions assert the same fleet-level behaviour — the victim is reaped via
+/// `ClientLost`, its credits return to the pool, survivors finish — because a lone
+/// worker cannot re-handshake into a live server (see the module docs).
+#[test]
+fn worker_death_cells_complete_with_survivors() {
+    let cells = [
+        (
+            FaultPhase::Push,
+            PolicyKind::Dssp { s_l: 1, r_max: 2 },
+            false,
+            2,
+        ),
+        (
+            FaultPhase::Pull,
+            PolicyKind::Dssp { s_l: 1, r_max: 2 },
+            false,
+            2,
+        ),
+        // The gate cell runs deterministic BSP: the victim dies while the canonical
+        // gate holds its reply, exercising the gate's forget/release path.
+        (FaultPhase::GateBlocked, PolicyKind::Bsp, true, 3),
+    ];
+    for (phase, policy, deterministic, after) in cells {
+        for action in [FaultAction::KillRestart, FaultAction::KillEvict] {
+            let cell = format!(
+                "worker1:{}:{}:{after}",
+                phase_tag(phase),
+                if action == FaultAction::KillRestart {
+                    "restart"
+                } else {
+                    "evict"
+                }
+            );
+            let mut job = single_job(policy);
+            job.deterministic = deterministic;
+            job.fault_plan = Some(FaultPlan {
+                role: FaultRole::Worker(1),
+                phase,
+                action,
+                after,
+            });
+            let started = Instant::now();
+            let (served, workers) = run_single(&job);
+            let trace = served.unwrap_or_else(|e| panic!("{cell}: fleet must survive: {e}"));
+            assert!(
+                matches!(&workers[1], Err(NetError::FaultInjected { .. })),
+                "{cell}: the victim dies on its own fault, got {:?}",
+                workers[1]
+            );
+            let survivor = workers[0]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{cell}: survivor failed: {e}"));
+            assert!(
+                started.elapsed().as_secs() < SINGLE_BOUND_S,
+                "{cell}: took {:?}",
+                started.elapsed()
+            );
+            assert!(
+                survivor.iterations > trace.worker_summaries[1].iterations,
+                "{cell}: survivor ran {} iterations, victim is recorded with {}",
+                survivor.iterations,
+                trace.worker_summaries[1].iterations
+            );
+            assert_eq!(
+                trace.total_pushes,
+                trace
+                    .worker_summaries
+                    .iter()
+                    .map(|w| w.iterations)
+                    .sum::<u64>(),
+                "{cell}: every applied push is attributed to a worker"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group cells: coordinator and shard-server deaths across the two-server group.
+// ---------------------------------------------------------------------------
+
+/// Reference group run (checkpointing, never failed): terminal bytes of every
+/// role's checkpoint file, for bitwise comparison by the restart legs.
+fn group_reference(policy: PolicyKind, tag: &str) -> (ScratchDir, Vec<(String, Vec<u8>)>) {
+    let dir = ScratchDir::new(&format!("group_ref_{tag}"));
+    let mut job = group_job(policy);
+    job.checkpoint = checkpointing(dir.path(), false);
+    run_group_threads(&job).expect("reference group run completes");
+    let names = [
+        dssp::ps::coord_checkpoint_name(),
+        dssp::ps::shard_checkpoint_name(0),
+        dssp::ps::shard_checkpoint_name(1),
+    ];
+    let bytes = names
+        .into_iter()
+        .map(|name| {
+            let data = read_ckpt(&dir, &name);
+            (name, data)
+        })
+        .collect();
+    (dir, bytes)
+}
+
+/// Runs one group cell: leg A (the fault fires, the fleet unwinds with a typed
+/// error inside the bound), and for restart cells leg B (resume from the same
+/// directory), returning the recovery outcome. Cells that pass a reference carry
+/// the bitwise claim; cells that pass `None` (DSSP rebases the fleet onto the cut,
+/// see [`CADENCE`]) only claim resume-or-typed-refusal.
+fn run_group_cell(
+    policy: PolicyKind,
+    role: FaultRole,
+    phase: FaultPhase,
+    action: FaultAction,
+    after: u64,
+    reference: Option<&[(String, Vec<u8>)]>,
+) -> Option<Recovery> {
+    let role_tag = match role {
+        FaultRole::Coordinator => "coord".to_string(),
+        FaultRole::ShardServer(i) => format!("server{i}"),
+        FaultRole::Worker(r) => format!("worker{r}"),
+    };
+    let cell = format!("{role_tag}:{}:…:{after}", phase_tag(phase));
+    let dir = ScratchDir::new(&format!("group_{role_tag}_{}", phase_tag(phase)));
+    let mut job = group_job(policy);
+    job.checkpoint = checkpointing(dir.path(), false);
+    job.fault_plan = Some(FaultPlan {
+        role,
+        phase,
+        action,
+        after,
+    });
+
+    let started = Instant::now();
+    let err = run_group_threads(&job).expect_err("the injected fault must end the run");
+    if matches!(role, FaultRole::Coordinator) {
+        assert!(
+            matches!(err, NetError::FaultInjected { .. }),
+            "{cell}: the coordinator's own error surfaces first, got {err}"
+        );
+    }
+    assert!(
+        started.elapsed().as_secs() < GROUP_BOUND_S,
+        "{cell}: leg A took {:?}",
+        started.elapsed()
+    );
+
+    if action != FaultAction::KillRestart {
+        return None;
+    }
+    // Leg B: the whole fleet restarts against the surviving checkpoint directory.
+    job.fault_plan = None;
+    job.checkpoint = checkpointing(dir.path(), true);
+    let started = Instant::now();
+    let outcome = run_group_threads(&job).map(|_| ());
+    assert!(
+        started.elapsed().as_secs() < GROUP_BOUND_S,
+        "{cell}: leg B took {:?}",
+        started.elapsed()
+    );
+    Some(check_recovery(&cell, outcome, &dir, reference))
+}
+
+/// coord × {push, gate, ckpt, pull} × restart, plus coord × push × evict.
+///
+/// Under deterministic BSP every durable cut is a round boundary (see [`CADENCE`])
+/// and, in the group topology, shard servers only hold gate-granted pushes — so a
+/// coordinator crash at the ckpt or gate phase leaves a *consistent* cross-role
+/// set and must resume bitwise. The DSSP push/pull cells crash between writes
+/// where the coordinator's and shard servers' files can tear: those must either
+/// resume (rebased onto the cut) or refuse with the typed `restore skew` error.
+#[test]
+fn coordinator_cells_recover_bitwise_or_refuse_torn_state() {
+    let (_bsp_dir, bsp_reference) = group_reference(PolicyKind::Bsp, "coord_bsp");
+
+    let ckpt_cell = run_group_cell(
+        PolicyKind::Bsp,
+        FaultRole::Coordinator,
+        FaultPhase::Checkpoint,
+        FaultAction::KillRestart,
+        3,
+        Some(&bsp_reference),
+    );
+    // The non-vacuousness anchor of the whole matrix: at least this cell really
+    // resumes and reproduces the unfailed bytes.
+    assert_eq!(
+        ckpt_cell,
+        Some(Recovery::Bitwise),
+        "a checkpoint-phase coordinator crash leaves a consistent set and must resume bitwise"
+    );
+    // Gate-blocked pushes need a policy that defers: BSP's gate holds every
+    // non-final push of a round.
+    run_group_cell(
+        PolicyKind::Bsp,
+        FaultRole::Coordinator,
+        FaultPhase::GateBlocked,
+        FaultAction::KillRestart,
+        2,
+        Some(&bsp_reference),
+    );
+
+    let dssp = PolicyKind::Dssp { s_l: 1, r_max: 2 };
+    for phase in [FaultPhase::Push, FaultPhase::Pull] {
+        let after = if phase == FaultPhase::Pull { 1 } else { 3 };
+        run_group_cell(
+            dssp,
+            FaultRole::Coordinator,
+            phase,
+            FaultAction::KillRestart,
+            after,
+            None,
+        );
+    }
+
+    // Evict: no restart leg; the fleet just unwinds with the typed error.
+    run_group_cell(
+        dssp,
+        FaultRole::Coordinator,
+        FaultPhase::Push,
+        FaultAction::KillEvict,
+        3,
+        None,
+    );
+}
+
+/// server0 × {push, ckpt} × restart, plus server0 × push × evict, group topology.
+///
+/// A dead shard server collapses the fleet within the bounded reconnect window;
+/// the surviving roles keep checkpointing past the victim's last write, so the
+/// restart leg meets a *torn* set and must end in a typed refusal — or, if the
+/// crash happened to land on a consistent cut, resume cleanly (no byte claim:
+/// DSSP rebases the fleet onto the cut).
+#[test]
+fn shard_server_cells_collapse_typed_and_restore_refuses_torn_state() {
+    let dssp = PolicyKind::Dssp { s_l: 1, r_max: 2 };
+
+    for phase in [FaultPhase::Push, FaultPhase::Checkpoint] {
+        run_group_cell(
+            dssp,
+            FaultRole::ShardServer(0),
+            phase,
+            FaultAction::KillRestart,
+            3,
+            None,
+        );
+    }
+    run_group_cell(
+        dssp,
+        FaultRole::ShardServer(0),
+        FaultPhase::Push,
+        FaultAction::KillEvict,
+        3,
+        None,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The full product: every cell's CLI spec parses and round-trips.
+// ---------------------------------------------------------------------------
+
+/// Every role×phase×action coordinate of the matrix has a parseable, round-tripping
+/// CLI spelling (`--fault role:phase:action:after`), including the cells the
+/// behavioural tests document as vacuous — a harness must be able to *name* a cell
+/// to decide it is skippable.
+#[test]
+fn every_matrix_cell_spec_parses_and_round_trips() {
+    let roles = ["worker0", "worker1", "server0", "server1", "coord"];
+    let phases = ["push", "pull", "gate", "ckpt"];
+    let actions = ["restart", "evict"];
+    for role in roles {
+        for phase in phases {
+            for action in actions {
+                let spec = format!("{role}:{phase}:{action}:3");
+                let plan = FaultPlan::parse(&spec)
+                    .unwrap_or_else(|| panic!("cell spec {spec} must parse"));
+                assert_eq!(plan.to_spec(), spec, "round-trip of {spec}");
+            }
+        }
+    }
+    for bad in [
+        "coord:push:restart:0",
+        "worker:push:restart:1",
+        "server0:nap:restart:1",
+        "coord:push:maybe:1",
+        "coord:push:restart:1:extra",
+        "coord:push:restart",
+    ] {
+        assert!(FaultPlan::parse(bad).is_none(), "{bad} must be rejected");
+    }
+}
