@@ -59,6 +59,15 @@
 //! ```text
 //! cargo run --release -p dssp-bench --bin repro -- chaos-smoke [--out FILE]
 //! ```
+//!
+//! Observability: every deployment mode accepts `--event-log DIR` (per-role NDJSON
+//! event timelines) and `--metrics-addr HOST:PORT` (live Prometheus `GET /metrics`;
+//! shard server `i` scrapes at `PORT+1+i`). Two companion modes consume them:
+//!
+//! ```text
+//! repro stats --addr HOST:PORT[,HOST:PORT...]     # scrape + one-screen fleet summary
+//! repro trace <run.json | events-dir> [-o FILE]   # render chrome-trace JSON
+//! ```
 
 use dssp_bench as bench;
 use dssp_core::presets::Scale;
@@ -495,6 +504,171 @@ fn run_chaos_smoke_mode(args: &[String]) {
     }
 }
 
+/// Renders a chrome-trace (Trace Event Format) timeline from either an `--event-log`
+/// directory (per-role NDJSON files) or a `--trace-out` run record. Open the output
+/// in `chrome://tracing` or Perfetto.
+fn run_trace_mode(args: &[String]) {
+    let Some(input) = args.get(1).filter(|a| !a.starts_with('-')) else {
+        eprintln!(
+            "trace mode requires an input: an --event-log directory or a --trace-out JSON file"
+        );
+        std::process::exit(2);
+    };
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .unwrap_or_else(|| "trace.json".to_string());
+    let path = std::path::Path::new(input);
+    let json = if path.is_dir() {
+        let events = match dssp_core::events::read_dir_events(path) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("failed to read event logs under {input}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if events.is_empty() {
+            eprintln!("no events found under {input} (expected *.ndjson files from --event-log)");
+            std::process::exit(1);
+        }
+        println!("{} events across the fleet", events.len());
+        dssp_core::chrome_trace::render_chrome_trace(&events)
+    } else {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read {input}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match dssp_core::chrome_trace::parse_run_trace(&text) {
+            Ok(run) => dssp_core::chrome_trace::render_chrome_trace_from_run(&run),
+            Err(e) => {
+                eprintln!("{input} is not a --trace-out run record: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} (open in chrome://tracing or https://ui.perfetto.dev)");
+}
+
+/// Scrapes one or more live `/metrics` endpoints and prints a one-screen summary per
+/// process. Comma-separate addresses to cover a group (coordinator at the base port,
+/// shard server `i` at base+1+i).
+fn run_stats_mode(args: &[String]) {
+    use dssp_net::metrics::{parse_exposition, scrape};
+
+    let Some(addrs) = flag_value(args, "--addr") else {
+        eprintln!("stats mode requires --addr HOST:PORT[,HOST:PORT...]");
+        std::process::exit(2);
+    };
+    let mut ok = true;
+    for addr in addrs.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        let page = match scrape(addr) {
+            Ok(page) => page,
+            Err(e) => {
+                eprintln!("scrape of {addr} failed: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        let exp = match parse_exposition(&page) {
+            Ok(exp) => exp,
+            Err(e) => {
+                eprintln!("{addr} served a malformed exposition page: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        print_fleet_summary(addr, &exp);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn human_bytes(v: f64) -> String {
+    if v >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", v / (1024.0 * 1024.0))
+    } else if v >= 1024.0 {
+        format!("{:.1} KiB", v / 1024.0)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+fn print_fleet_summary(addr: &str, exp: &dssp_net::metrics::Exposition) {
+    let v = |name: &str| exp.value(name, &[]).unwrap_or(0.0);
+    let (role, rank) = exp
+        .samples
+        .first()
+        .map(|s| {
+            (
+                s.label("role").unwrap_or("?").to_string(),
+                s.label("rank").unwrap_or("?").to_string(),
+            )
+        })
+        .unwrap_or_else(|| ("?".to_string(), "?".to_string()));
+    println!("== {role}/{rank} @ {addr} ==");
+    println!(
+        "  model version {:.0}, {:.0} worker(s) blocked at the gate",
+        v("dssp_model_version"),
+        v("dssp_blocked_workers")
+    );
+    let full = exp
+        .value("dssp_pulls_total", &[("mode", "full")])
+        .unwrap_or(0.0);
+    let delta = exp
+        .value("dssp_pulls_total", &[("mode", "delta")])
+        .unwrap_or(0.0);
+    let hit = if full + delta > 0.0 {
+        100.0 * delta / (full + delta)
+    } else {
+        0.0
+    };
+    println!(
+        "  pushes {:.0} ({:.0} blocked), pulls {:.0} (delta hit {hit:.1}%)",
+        v("dssp_pushes_total"),
+        v("dssp_blocked_pushes_total"),
+        full + delta
+    );
+    println!(
+        "  r* credits granted {:.0}, reclaimed {:.0}",
+        v("dssp_credits_granted_total"),
+        v("dssp_credits_reclaimed_total")
+    );
+    let sum = v("dssp_staleness_sum");
+    let count = v("dssp_staleness_count");
+    if count > 0.0 {
+        println!(
+            "  staleness mean {:.2} over {count:.0} gated pushes",
+            sum / count
+        );
+    }
+    let sent = exp
+        .value("dssp_bytes_total", &[("direction", "sent")])
+        .unwrap_or(0.0);
+    let received = exp
+        .value("dssp_bytes_total", &[("direction", "received")])
+        .unwrap_or(0.0);
+    println!(
+        "  transport {} sent, {} received",
+        human_bytes(sent),
+        human_bytes(received)
+    );
+    println!(
+        "  joins {:.0}, reconnects {:.0}, evictions {:.0}, checkpoints {:.0}, events dropped {:.0}",
+        v("dssp_joins_total"),
+        v("dssp_reconnects_total"),
+        v("dssp_evictions_total"),
+        v("dssp_checkpoints_written_total"),
+        v("dssp_events_dropped_total")
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -524,6 +698,14 @@ fn main() {
         }
         Some("chaos-smoke") => {
             run_chaos_smoke_mode(&args);
+            return;
+        }
+        Some("trace") => {
+            run_trace_mode(&args);
+            return;
+        }
+        Some("stats") => {
+            run_stats_mode(&args);
             return;
         }
         _ => {}
@@ -590,7 +772,7 @@ fn main() {
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
                      ablation_aggregation all bench bench-net serve coord worker launch \
-                     chaos-smoke"
+                     chaos-smoke trace stats"
                 );
                 std::process::exit(2);
             }

@@ -17,12 +17,22 @@
 
 use crate::layout::GroupLayout;
 use dssp_core::driver::{FaultPhase, FaultRole, JobConfig, WorkerStep};
+use dssp_core::events::{EventKind, EventLog, Role};
 use dssp_net::tcp::TcpWorkerTransport;
 use dssp_net::transport::PullOutcome;
 use dssp_net::wire::{PROTOCOL_VERSION, SHUTDOWN_OK};
 use dssp_net::worker::WorkerReport;
 use dssp_net::{fault_due, Message, NetError, WorkerTransport};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Records one structured event when the group client's event log is enabled.
+#[inline]
+fn ev(log: Option<&Arc<EventLog>>, kind: EventKind, payload: u64) {
+    if let Some(log) = log {
+        log.record(kind, payload);
+    }
+}
 
 /// One connection to a shard server, with the label used to attribute failures.
 pub struct ServerLink {
@@ -101,6 +111,9 @@ pub struct ShardFan {
     pub delta_pulls: u64,
     /// Links that were successfully re-dialed after a mid-run loss.
     pub reconnects: u64,
+    /// Event log to record [`EventKind::Reconnect`] into (payload: the server index
+    /// that was re-dialed). `None` keeps the fan silent.
+    log: Option<Arc<EventLog>>,
 }
 
 impl ShardFan {
@@ -125,7 +138,14 @@ impl ShardFan {
             full_pulls: 0,
             delta_pulls: 0,
             reconnects: 0,
+            log: None,
         }
+    }
+
+    /// Attaches an event log so successful re-dials surface as
+    /// [`EventKind::Reconnect`] events.
+    pub fn set_event_log(&mut self, log: Option<Arc<EventLog>>) {
+        self.log = log;
     }
 
     /// The group layout.
@@ -175,6 +195,7 @@ impl ShardFan {
                     return Err(e);
                 }
                 reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
                 reconnected = true;
                 link.transport
                     .send_push_slice(iteration, &grads[start..end])
@@ -189,6 +210,7 @@ impl ShardFan {
                     // replay the handshake, and re-apply the slice to the restored
                     // store (the original application died with the old process).
                     reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                    ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
                     reconnected = true;
                     let (start, end) = self.layout.key_range(i);
                     link.transport
@@ -243,6 +265,7 @@ impl ShardFan {
                     return Err(e);
                 }
                 reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
                 reconnected = true;
                 // A restored server may be behind our cache; ask for everything.
                 link.transport
@@ -259,6 +282,7 @@ impl ShardFan {
                 Ok(outcome) => outcome,
                 Err(e) if recoverable(&e, link, &self.hello_replay) => {
                     reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                    ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
                     reconnected = true;
                     let (lo, hi) = self.layout.shard_span(i);
                     link.transport
@@ -327,6 +351,31 @@ impl ShardFan {
             }
         }
         Ok(out)
+    }
+
+    /// Like [`ShardFan::collect_stats`], but per-link tolerant: a server that cannot
+    /// answer (dead link, failed send, unexpected reply) yields `None` instead of
+    /// failing the whole collection, and each link is asked and awaited individually
+    /// so one dead server cannot tear the others' replies. Used for the final
+    /// statistics snapshot in the coordinator's graceful shutdown, where partially
+    /// populated group counters beat none at all.
+    pub fn collect_stats_tolerant(&mut self) -> Vec<Option<(u64, u64, u64, u64, u64)>> {
+        self.links
+            .iter_mut()
+            .map(|link| {
+                link.transport.send(&Message::StatsRequest).ok()?;
+                match link.transport.recv() {
+                    Ok(Message::StatsReply {
+                        pushes,
+                        pulls_full,
+                        pulls_delta,
+                        bytes_sent,
+                        bytes_received,
+                    }) => Some((pushes, pulls_full, pulls_delta, bytes_sent, bytes_received)),
+                    _ => None,
+                }
+            })
+            .collect()
     }
 }
 
@@ -410,8 +459,34 @@ pub fn run_group_worker(
     coord: &mut dyn WorkerTransport,
     links: Vec<ServerLink>,
 ) -> Result<WorkerReport, NetError> {
+    // The group worker's event timeline (`--event-log DIR` →
+    // `DIR/worker-<rank>.ndjson`), flushed on every exit path so an evicted or
+    // chaos-killed worker still leaves its timeline behind. The fan shares the log to
+    // surface shard-server re-dials as `reconnect` events.
+    let log = job
+        .event_log
+        .as_ref()
+        .map(|_| Arc::new(EventLog::new(Role::Worker, rank as u32)));
+    let result = run_group_worker_inner(job, rank, coord, links, log.as_ref());
+    if let (Some(log), Some(dir)) = (&log, &job.event_log) {
+        let flushed = log.flush_to_dir(dir);
+        if result.is_ok() {
+            flushed?;
+        }
+    }
+    result
+}
+
+fn run_group_worker_inner(
+    job: &JobConfig,
+    rank: usize,
+    coord: &mut dyn WorkerTransport,
+    links: Vec<ServerLink>,
+    log: Option<&Arc<EventLog>>,
+) -> Result<WorkerReport, NetError> {
     let mut step = WorkerStep::for_rank(job, rank);
     let mut fan = ShardFan::new(job, step.param_len(), links);
+    fan.set_event_log(log.cloned());
     let det = job.deterministic;
     let mut report = WorkerReport {
         rank,
@@ -458,6 +533,7 @@ pub fn run_group_worker(
         Message::Shutdown { reason } => finish_early!(reason),
         other => return Err(unexpected(rank, &other)),
     };
+    ev(log, EventKind::Join, resume_from);
     if resume_from > 0 {
         step.skip_to(resume_from.min(step.target()));
         report.iterations = step.completed();
@@ -474,6 +550,7 @@ pub fn run_group_worker(
         FanOutcome::Shutdown { reason } => finish_early!(reason),
     }
     pulls_done += 1;
+    ev(log, EventKind::Pull, pulls_done);
     fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
     if det {
         coord.send(&Message::PullDone)?;
@@ -506,17 +583,24 @@ pub fn run_group_worker(
             }
             coord.send(&Message::ClockPush { iteration })?;
         }
+        ev(log, EventKind::Push, iteration);
         fault_due(fault.as_ref(), FaultPhase::Push, iteration)?;
         if iteration == target {
             break; // final push: report Done without waiting for the OK
         }
         fault_due(fault.as_ref(), FaultPhase::GateBlocked, iteration)?;
+        ev(log, EventKind::GateBlock, iteration);
         let wait_start = Instant::now();
         match coord.recv()? {
             Message::ClockGrant { granted_extra, .. } => {
-                report.waiting_time_s += wait_start.elapsed().as_secs_f64();
+                let waited = wait_start.elapsed();
+                report.waiting_time_s += waited.as_secs_f64();
                 report.granted_extra_total += granted_extra;
                 coord.note_confirmed_clock(iteration);
+                ev(log, EventKind::GateRelease, waited.as_micros() as u64);
+                if granted_extra > 0 {
+                    ev(log, EventKind::CreditGrant, granted_extra);
+                }
             }
             Message::Shutdown { reason } => finish_early!(reason),
             other => return Err(unexpected(rank, &other)),
@@ -526,6 +610,7 @@ pub fn run_group_worker(
             FanOutcome::Shutdown { reason } => finish_early!(reason),
         }
         pulls_done += 1;
+        ev(log, EventKind::Pull, pulls_done);
         fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
         if det {
             coord.send(&Message::PullDone)?;

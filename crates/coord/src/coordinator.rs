@@ -24,11 +24,14 @@
 
 use crate::client::{FanOutcome, ServerLink, ShardFan};
 use dssp_core::driver::{DeterministicGate, FaultRole, JobConfig, ServerLoop, WorkerEvent};
+use dssp_core::events::{EventKind, Role};
 use dssp_net::wire::{SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
 use dssp_net::{
-    require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, ServerTransport,
+    require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, Obs,
+    ServerTransport,
 };
 use dssp_sim::{GroupServerStats, RunTrace};
+use std::sync::atomic::Ordering::Relaxed;
 use std::time::Instant;
 
 /// Runs a full training job as the coordinator of a group and returns the run trace,
@@ -86,13 +89,35 @@ pub fn coordinate(
     } else {
         ServerLoop::clock_only(job)
     };
+    // The coordinator's observability bundle: events to `coord.ndjson`, metrics at
+    // the base `--metrics-addr` (shard servers derive their own ports from it).
+    let obs = match Obs::new(
+        Role::Coordinator,
+        0,
+        job.event_log.as_deref(),
+        job.metrics_addr.as_deref(),
+    ) {
+        Ok(obs) => obs,
+        Err(e) => {
+            transport.broadcast(&Message::Shutdown {
+                reason: SHUTDOWN_SERVER_ERROR,
+            });
+            return Err(e);
+        }
+    };
     let mut fan = ShardFan::new(job, sl.param_len(), links);
+    fan.set_event_log(obs.event_log().cloned());
     let result = fan.hello(job, job.num_workers as u32).and_then(|()| {
         if restoring {
             check_restore_skew(&sl, &mut fan)?;
         }
-        Coordinator::new(job, sl, restoring).run(transport, &mut fan)
+        Coordinator::new(job, sl, restoring, &obs).run(transport, &mut fan)
     });
+    // Best-effort on the error path (the Ok path already flushed with `?`): a crashed
+    // run should still leave its coordinator timeline behind when possible.
+    if result.is_err() {
+        let _ = obs.flush();
+    }
     match result {
         Ok(trace) => {
             transport.broadcast(&Message::Shutdown {
@@ -146,11 +171,13 @@ struct Coordinator<'job> {
     /// Reused assembly buffers for evaluation pulls.
     eval_weights: Vec<f32>,
     eval_versions: Vec<u64>,
+    /// Structured events + Prometheus counters for this process.
+    obs: &'job Obs,
     start: Instant,
 }
 
 impl<'job> Coordinator<'job> {
-    fn new(job: &'job JobConfig, sl: ServerLoop, restoring: bool) -> Self {
+    fn new(job: &'job JobConfig, sl: ServerLoop, restoring: bool, obs: &'job Obs) -> Self {
         let targets = sl.targets().to_vec();
         let det = job.deterministic;
         // On a restore the gate's dispatch bookkeeping resumes from the checkpointed
@@ -181,6 +208,7 @@ impl<'job> Coordinator<'job> {
             digest: job.stable_digest(),
             eval_weights: Vec::new(),
             eval_versions: Vec::new(),
+            obs,
             start: Instant::now(),
             sl,
         }
@@ -208,12 +236,17 @@ impl<'job> Coordinator<'job> {
         self.pull_pending[rank] = false;
         let now = self.start.elapsed().as_secs_f64();
         let released = self.sl.evict_worker(rank, now);
+        self.obs.on_eviction(rank);
         if let Some(g) = self.gate.as_mut() {
             g.forget_worker(rank);
             for reply in &released {
                 g.on_released(reply.worker);
             }
         }
+        for reply in &released {
+            self.obs.event(EventKind::GateRelease, reply.worker as u64);
+        }
+        self.obs.sync_loop(&self.sl);
         for reply in &released {
             transport.send(
                 reply.worker,
@@ -268,6 +301,8 @@ impl<'job> Coordinator<'job> {
                 break;
             }
 
+            self.obs.mirror_transport(&transport.transport_stats());
+            self.obs.metrics().reconnects.store(fan.reconnects, Relaxed);
             let (rank, msg) = match transport.recv() {
                 Ok(pair) => pair,
                 // A worker died mid-run: reap it instead of stalling the gate.
@@ -283,16 +318,19 @@ impl<'job> Coordinator<'job> {
                     rank: hello_rank,
                     num_workers,
                     config_digest,
-                } => validate_hello(
-                    rank,
-                    version,
-                    hello_rank,
-                    num_workers,
-                    config_digest,
-                    self.job.num_workers,
-                    expected_digest,
-                    &mut self.helloed,
-                )?,
+                } => {
+                    validate_hello(
+                        rank,
+                        version,
+                        hello_rank,
+                        num_workers,
+                        config_digest,
+                        self.job.num_workers,
+                        expected_digest,
+                        &mut self.helloed,
+                    )?;
+                    self.obs.on_join(rank);
+                }
                 Message::JoinRequest => {
                     require_helloed(&self.helloed, rank)?;
                     // Membership: admit the worker at the number of pushes already
@@ -410,8 +448,19 @@ impl<'job> Coordinator<'job> {
         let digest = self.digest;
         let sl = &self.sl;
         self.sink.finalize(|| sl.snapshot(digest))?;
+        if self.job.checkpoint.is_some() {
+            self.obs.on_checkpoint(self.sl.version());
+        }
+        // Terminal counter sync before `finish_external` consumes the decision loop.
+        self.obs.sync_loop(&self.sl);
         let mut trace = self.sl.finish_external(&self.eval_weights, total);
-        trace.group_servers = collect_group_stats(fan)?;
+        // Final statistics snapshot, per-link tolerant: a shard server that died (or
+        // a link torn by a mid-run worker eviction) yields a zeroed row instead of
+        // discarding every survivor's counters from the trace.
+        trace.group_servers = collect_group_stats(fan);
+        self.obs.metrics().reconnects.store(fan.reconnects, Relaxed);
+        self.obs.mirror_transport(&transport.transport_stats());
+        self.obs.flush()?;
         Ok(trace)
     }
 
@@ -428,7 +477,15 @@ impl<'job> Coordinator<'job> {
             _ => None,
         };
         let now = self.start.elapsed().as_secs_f64();
+        // Every processed push adds exactly the pusher's lead to the cumulative
+        // staleness sum, so the delta across `handle_gated` recovers the per-push
+        // sample the histogram needs without touching the decision API.
+        let staleness_before = self.sl.stats().staleness_sum;
         let replies = self.sl.handle_gated(&mut self.gate, event, now);
+        if let Some(pusher) = pusher {
+            let sample = self.sl.stats().staleness_sum - staleness_before;
+            self.obs.on_push(pusher, Some(sample), &replies, &self.sl);
+        }
         for reply in &replies {
             transport.send(
                 reply.worker,
@@ -472,6 +529,7 @@ impl<'job> Coordinator<'job> {
                 .sink
                 .maybe_write(sl.version(), || sl.snapshot(digest))?
             {
+                self.obs.on_checkpoint(self.sl.version());
                 self.fault.checkpoint()?;
             }
         }
@@ -517,27 +575,31 @@ fn pull_for_eval(
     }
 }
 
-/// Gathers every shard server's counters into [`GroupServerStats`] rows.
-fn collect_group_stats(fan: &mut ShardFan) -> Result<Vec<GroupServerStats>, NetError> {
+/// Gathers every shard server's counters into [`GroupServerStats`] rows. Per-link
+/// tolerant ([`ShardFan::collect_stats_tolerant`]): an unreachable server contributes
+/// a zero-countered row (its layout columns still fill in), so one dead link cannot
+/// strip the whole `group_servers` section from the trace of an otherwise graceful
+/// shutdown.
+fn collect_group_stats(fan: &mut ShardFan) -> Vec<GroupServerStats> {
     let layout = *fan.layout();
-    let stats = fan.collect_stats()?;
-    Ok(stats
+    let stats = fan.collect_stats_tolerant();
+    stats
         .into_iter()
         .enumerate()
-        .map(
-            |(server, (pushes, pulls_full, pulls_delta, bytes_sent, bytes_received))| {
-                let (start, end) = layout.key_range(server);
-                GroupServerStats {
-                    server,
-                    params: end - start,
-                    shards: layout.owned_shards(server),
-                    pushes,
-                    pulls_full,
-                    pulls_delta,
-                    bytes_sent,
-                    bytes_received,
-                }
-            },
-        )
-        .collect())
+        .map(|(server, counters)| {
+            let (pushes, pulls_full, pulls_delta, bytes_sent, bytes_received) =
+                counters.unwrap_or((0, 0, 0, 0, 0));
+            let (start, end) = layout.key_range(server);
+            GroupServerStats {
+                server,
+                params: end - start,
+                shards: layout.owned_shards(server),
+                pushes,
+                pulls_full,
+                pulls_delta,
+                bytes_sent,
+                bytes_received,
+            }
+        })
+        .collect()
 }

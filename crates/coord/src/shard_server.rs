@@ -17,12 +17,16 @@
 
 use crate::layout::GroupLayout;
 use dssp_core::driver::{FaultRole, JobConfig};
+use dssp_core::events::{EventKind, Role};
+use dssp_net::metrics::derive_metrics_addr;
 use dssp_net::wire;
 use dssp_net::{
-    require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, ServerTransport,
+    require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, Obs,
+    ServerTransport,
 };
 use dssp_nn::{Model, Sgd};
 use dssp_ps::{Checkpoint, ShardedStore, StoreSnapshot};
+use std::sync::atomic::Ordering::Relaxed;
 
 /// One shard server's storage and counters, independent of any transport. Benchmarks
 /// and tests drive it directly; [`serve_shard`] wraps it in the wire loop.
@@ -257,6 +261,37 @@ pub fn serve_shard(
     transport: &mut dyn ServerTransport,
 ) -> Result<ShardServeReport, NetError> {
     job.validate();
+    // Shard server i scrapes at the base `--metrics-addr` port + 1 + i — the base
+    // port belongs to the coordinator, which shares the host in in-process runs.
+    let metrics_addr = job
+        .metrics_addr
+        .as_deref()
+        .and_then(|base| derive_metrics_addr(base, 1 + index as u16));
+    let obs = Obs::new(
+        Role::ShardServer,
+        index as u32,
+        job.event_log.as_deref(),
+        metrics_addr.as_deref(),
+    )?;
+    let result = serve_shard_inner(job, index, transport, &obs);
+    match &result {
+        Ok(_) => {
+            obs.flush()?;
+        }
+        // A chaos-killed shard server still leaves its timeline behind, best effort.
+        Err(_) => {
+            let _ = obs.flush();
+        }
+    }
+    result
+}
+
+fn serve_shard_inner(
+    job: &JobConfig,
+    index: usize,
+    transport: &mut dyn ServerTransport,
+    obs: &Obs,
+) -> Result<ShardServeReport, NetError> {
     let coordinator_rank = job.num_workers;
     if transport.num_workers() != job.num_workers + 1 {
         return Err(NetError::Protocol(format!(
@@ -282,6 +317,7 @@ pub fn serve_shard(
     let mut reply_buf: Vec<u8> = Vec::new();
 
     loop {
+        obs.mirror_transport(&transport.transport_stats());
         let (rank, msg) = match transport.recv() {
             Ok(pair) => pair,
             // Finished workers drop their connections while the run continues; only
@@ -322,6 +358,7 @@ pub fn serve_shard(
                     expected_digest,
                     &mut helloed,
                 )?;
+                obs.on_join(rank);
             }
             Message::PushSlice {
                 iteration: _,
@@ -336,8 +373,14 @@ pub fn serve_shard(
                 let version = state.apply_slice(&grads);
                 transport.recycle_f32s(rank, grads);
                 transport.send(rank, &Message::SliceAck { version })?;
+                // A shard server has no gate: its pushes counter is also its local
+                // clock, so the version gauge mirrors it.
+                obs.event(EventKind::Push, rank as u64);
+                obs.metrics().pushes.store(state.pushes, Relaxed);
+                obs.metrics().version.store(state.pushes, Relaxed);
                 fault.push()?;
                 if sink.maybe_write(state.pushes, || state.snapshot(expected_digest))? {
+                    obs.on_checkpoint(state.pushes);
                     fault.checkpoint()?;
                 }
             }
@@ -350,6 +393,10 @@ pub fn serve_shard(
                 state.encode_pull(&known_versions, all, &mut reply_buf)?;
                 transport.send_payload(rank, &reply_buf)?;
                 transport.recycle_u64s(rank, known_versions);
+                // `encode_pull` classified the pull internally; mirror its totals.
+                obs.event(EventKind::Pull, rank as u64);
+                obs.metrics().pulls_full.store(state.pulls_full, Relaxed);
+                obs.metrics().pulls_delta.store(state.pulls_delta, Relaxed);
                 fault.pull()?;
             }
             // Membership is the coordinator's business; a shard server has no clocks
@@ -388,6 +435,10 @@ pub fn serve_shard(
                     let _ = transport.send(w, &Message::Shutdown { reason });
                 }
                 sink.finalize(|| state.snapshot(expected_digest))?;
+                if job.checkpoint.is_some() {
+                    obs.on_checkpoint(state.pushes);
+                }
+                obs.mirror_transport(&transport.transport_stats());
                 return Ok(ShardServeReport {
                     pushes: state.pushes,
                     pulls_full: state.pulls_full,

@@ -1,10 +1,10 @@
 //! End-to-end group runs over real localhost TCP: correctness, chaos shutdown, and
 //! the timeout hardening that names a lost shard server.
 
-use dssp_coord::{connect_links, run_group_threads, serve_shard};
-use dssp_core::driver::JobConfig;
+use dssp_coord::{connect_links, coordinate, run_group_threads, run_group_worker, serve_shard};
+use dssp_core::driver::{FaultPlan, JobConfig};
 use dssp_net::wire::PROTOCOL_VERSION;
-use dssp_net::{Message, NetError, TcpServerTransport};
+use dssp_net::{Message, NetError, TcpServerTransport, TcpWorkerTransport};
 use dssp_ps::PolicyKind;
 use std::time::Duration;
 
@@ -70,6 +70,77 @@ fn group_runs_with_delta_pulls_off_use_full_fanouts() {
         .fold((0, 0), |(f, d), gs| (f + gs.pulls_full, d + gs.pulls_delta));
     assert!(full > 0);
     assert_eq!(delta, 0);
+}
+
+#[test]
+fn group_server_stats_survive_a_mid_run_eviction() {
+    // Worker 1 dies after its second push and is evicted; the survivors finish the
+    // run. The graceful-shutdown stats snapshot must still populate the trace's
+    // per-server counters — a torn link from the eviction must not strip them.
+    let mut job = group_job(PolicyKind::Dssp { s_l: 1, r_max: 4 }, 2);
+    job.num_workers = 3;
+    job.fault_plan = Some(FaultPlan::parse("worker1:push:evict:2").expect("spec parses"));
+
+    let mut server_addrs = Vec::new();
+    let mut server_handles = Vec::new();
+    for index in 0..job.servers {
+        let mut transport = TcpServerTransport::bind("127.0.0.1:0", job.num_workers + 1).unwrap();
+        server_addrs.push(transport.local_addr().to_string());
+        let job = job.clone();
+        server_handles.push(std::thread::spawn(move || {
+            serve_shard(&job, index, &mut transport)
+        }));
+    }
+    let mut coord_transport = TcpServerTransport::bind("127.0.0.1:0", job.num_workers).unwrap();
+    let coord_addr = coord_transport.local_addr().to_string();
+    let timeout = Some(Duration::from_millis(job.stall_timeout_ms.max(1)));
+    let mut worker_handles = Vec::new();
+    for rank in 0..job.num_workers {
+        let job = job.clone();
+        let coord_addr = coord_addr.clone();
+        let server_addrs = server_addrs.clone();
+        worker_handles.push(std::thread::spawn(move || {
+            let mut coord = TcpWorkerTransport::connect(&coord_addr)?;
+            let links = connect_links(&server_addrs, timeout)?;
+            run_group_worker(&job, rank, &mut coord, links)
+        }));
+    }
+    let links = connect_links(&server_addrs, timeout).unwrap();
+    let trace = coordinate(&job, &mut coord_transport, links)
+        .expect("run completes gracefully despite the eviction");
+    drop(coord_transport);
+
+    let mut outcomes = Vec::new();
+    for handle in worker_handles {
+        outcomes.push(handle.join().expect("worker thread"));
+    }
+    for handle in server_handles {
+        handle
+            .join()
+            .expect("server thread")
+            .expect("shard server exits cleanly");
+    }
+
+    // The planned fault fired on worker 1; the others finished.
+    assert!(
+        matches!(outcomes[1], Err(NetError::FaultInjected { .. })),
+        "worker 1 should die by plan: {:?}",
+        outcomes[1]
+    );
+    assert!(outcomes[0].is_ok() && outcomes[2].is_ok());
+
+    // Satellite of the observability PR: the final StatsReply snapshot populated
+    // the per-server rows even though a worker was evicted mid-run.
+    assert_eq!(trace.group_servers.len(), 2);
+    for gs in &trace.group_servers {
+        assert_eq!(gs.pushes, trace.total_pushes, "server {}", gs.server);
+        assert!(
+            gs.bytes_sent > 0 && gs.bytes_received > 0,
+            "server {}",
+            gs.server
+        );
+    }
+    assert!(trace.total_pushes > 0);
 }
 
 #[test]

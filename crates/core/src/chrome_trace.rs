@@ -1,0 +1,352 @@
+//! Chrome-trace (Trace Event Format) export of DSSP runs.
+//!
+//! [`render_chrome_trace`] turns a merged event stream (see [`crate::events`]) into
+//! the JSON array-of-events dialect that `chrome://tracing`, Perfetto and `speedscope`
+//! all load: per-worker timeline lanes with `compute` / `blocked` / `pull` duration
+//! spans, instant markers for r* credit grants, evictions, joins, checkpoints and
+//! reconnects, and named process/thread metadata so the lanes read as
+//! "worker 0 … worker N / coordinator / shard k".
+//!
+//! [`render_chrome_trace_from_run`] is the fallback for runs recorded *without* an
+//! event log: it renders a [`RunTrace`]'s evaluation points as counter tracks
+//! (accuracy, loss, pushes over time), which is enough to see run shape but not
+//! individual gating decisions.
+
+use crate::events::{Event, EventKind, Role};
+use crate::json;
+use dssp_sim::RunTrace;
+
+/// Process-id lanes in the rendered trace, one per role.
+fn pid(role: Role) -> u32 {
+    match role {
+        Role::Server => 1,
+        Role::Coordinator => 1,
+        Role::ShardServer => 2,
+        Role::Worker => 3,
+    }
+}
+
+fn process_name(role: Role) -> &'static str {
+    match role {
+        Role::Server | Role::Coordinator => "dssp server",
+        Role::ShardServer => "dssp shard servers",
+        Role::Worker => "dssp workers",
+    }
+}
+
+fn thread_name(role: Role, rank: u32) -> String {
+    match role {
+        Role::Server => "server".to_string(),
+        Role::Coordinator => "coordinator".to_string(),
+        Role::ShardServer => format!("shard {rank}"),
+        Role::Worker => format!("worker {rank}"),
+    }
+}
+
+struct TraceWriter {
+    out: String,
+    first: bool,
+}
+
+impl TraceWriter {
+    fn new() -> Self {
+        Self {
+            out: String::from("{\"traceEvents\": [\n"),
+            first: true,
+        }
+    }
+
+    fn push(&mut self, event_json: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str("  ");
+        self.out.push_str(event_json);
+    }
+
+    fn meta(&mut self, name: &str, pid: u32, tid: Option<u32>, value: &str) {
+        let tid_field = tid.map(|t| format!(", \"tid\": {t}")).unwrap_or_default();
+        self.push(&format!(
+            "{{\"ph\": \"M\", \"name\": {}, \"pid\": {pid}{tid_field}, \"args\": {{\"name\": {}}}}}",
+            json::escape(name),
+            json::escape(value)
+        ));
+    }
+
+    fn span(&mut self, name: &str, pid: u32, tid: u32, ts: u64, dur: u64) {
+        self.push(&format!(
+            "{{\"ph\": \"X\", \"name\": {}, \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}, \"dur\": {dur}}}",
+            json::escape(name)
+        ));
+    }
+
+    fn instant(&mut self, name: &str, pid: u32, tid: u32, ts: u64, arg: (&str, u64)) {
+        self.push(&format!(
+            "{{\"ph\": \"i\", \"name\": {}, \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"t\", \"args\": {{{}: {}}}}}",
+            json::escape(name),
+            json::escape(arg.0),
+            arg.1
+        ));
+    }
+
+    fn counter(&mut self, name: &str, pid: u32, ts: u64, series: &str, value: f64) {
+        self.push(&format!(
+            "{{\"ph\": \"C\", \"name\": {}, \"pid\": {pid}, \"ts\": {ts}, \"args\": {{{}: {value:.6}}}}}",
+            json::escape(name),
+            json::escape(series)
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Renders a merged, time-sorted event stream as Trace Event Format JSON.
+///
+/// Worker lanes are reconstructed from each worker's own event sequence:
+///
+/// * `compute` — from the previous pull (or the worker's first event) to its `push`;
+/// * `blocked` — from `gate-block` to `gate-release` (the synchronization stall the
+///   DSSP policy exists to shrink);
+/// * `pull` — from `gate-release` to the `pull` completion.
+///
+/// `credit-grant` events become instant `r* grant` markers with the granted credit
+/// count in `args`, which is the paper's "r* over time" figure as a timeline. All
+/// non-worker roles contribute instant markers on their own lanes.
+pub fn render_chrome_trace(events: &[Event]) -> String {
+    let mut w = TraceWriter::new();
+    let t0 = events.iter().map(|e| e.ts).min().unwrap_or(0);
+
+    // Lane metadata: one process per role family, one thread per (role, rank).
+    let mut lanes: Vec<(Role, u32)> = events.iter().map(|e| (e.role, e.rank)).collect();
+    lanes.sort_by_key(|(role, rank)| (pid(*role), *rank, role.as_str()));
+    lanes.dedup();
+    let mut named_pids: Vec<u32> = Vec::new();
+    for (role, rank) in &lanes {
+        if !named_pids.contains(&pid(*role)) {
+            named_pids.push(pid(*role));
+            w.meta("process_name", pid(*role), None, process_name(*role));
+        }
+        w.meta(
+            "thread_name",
+            pid(*role),
+            Some(*rank),
+            &thread_name(*role, *rank),
+        );
+    }
+
+    // Per-worker span reconstruction state, indexed by rank.
+    let max_worker = events
+        .iter()
+        .filter(|e| e.role == Role::Worker)
+        .map(|e| e.rank)
+        .max()
+        .map(|r| r as usize + 1)
+        .unwrap_or(0);
+    let mut ready_at: Vec<Option<u64>> = vec![None; max_worker];
+    let mut blocked_at: Vec<Option<u64>> = vec![None; max_worker];
+    let mut pull_from: Vec<Option<u64>> = vec![None; max_worker];
+
+    for e in events {
+        let ts = e.ts - t0;
+        let (p, tid) = (pid(e.role), e.rank);
+        if e.role != Role::Worker {
+            // Server-family lanes: every event is an instant marker.
+            w.instant(e.kind.as_str(), p, tid, ts, ("payload", e.payload));
+            continue;
+        }
+        let rank = e.rank as usize;
+        match e.kind {
+            EventKind::Join => {
+                ready_at[rank] = Some(ts);
+                w.instant("join", p, tid, ts, ("resume_at", e.payload));
+            }
+            EventKind::Push => {
+                if let Some(start) = ready_at[rank].take() {
+                    w.span("compute", p, tid, start, ts.saturating_sub(start));
+                }
+                // If no block follows, the pull starts right after the push reply.
+                pull_from[rank] = Some(ts);
+            }
+            EventKind::GateBlock => {
+                blocked_at[rank] = Some(ts);
+            }
+            EventKind::GateRelease => {
+                if let Some(start) = blocked_at[rank].take() {
+                    w.span("blocked", p, tid, start, ts.saturating_sub(start));
+                }
+                pull_from[rank] = Some(ts);
+            }
+            EventKind::Pull => {
+                if let Some(start) = pull_from[rank].take() {
+                    w.span("pull", p, tid, start, ts.saturating_sub(start));
+                }
+                ready_at[rank] = Some(ts);
+            }
+            EventKind::CreditGrant => {
+                w.instant("r* grant", p, tid, ts, ("granted", e.payload));
+            }
+            EventKind::Eviction => {
+                ready_at[rank] = None;
+                blocked_at[rank] = None;
+                w.instant("eviction", p, tid, ts, ("rank", e.payload));
+            }
+            EventKind::Checkpoint | EventKind::Reconnect => {
+                w.instant(e.kind.as_str(), p, tid, ts, ("payload", e.payload));
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Renders a [`RunTrace`]'s evaluation points as chrome-trace counter tracks
+/// (`test_accuracy`, `train_loss`, `pushes` over run time) — the fallback when a run
+/// was recorded without `--event-log`.
+pub fn render_chrome_trace_from_run(trace: &RunTrace) -> String {
+    let mut w = TraceWriter::new();
+    w.meta(
+        "process_name",
+        1,
+        None,
+        &format!("{} ({})", trace.policy, trace.model),
+    );
+    for p in &trace.points {
+        let ts = (p.time_s * 1_000_000.0).max(0.0) as u64;
+        w.counter("test_accuracy", 1, ts, "accuracy", p.test_accuracy);
+        w.counter("train_loss", 1, ts, "loss", p.train_loss);
+        w.counter("pushes", 1, ts, "pushes", p.pushes as f64);
+    }
+    w.finish()
+}
+
+/// Parses the JSON written by [`crate::report::trace_json`] back into the subset of
+/// [`RunTrace`] the chrome-trace counter renderer needs (policy, model, workers,
+/// evaluation points, totals). Wall-clock-only convenience — synchronization stats
+/// are not reconstructed.
+pub fn parse_run_trace(text: &str) -> Result<RunTrace, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    let str_field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(|f| f.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field '{name}'"))
+    };
+    let points = v
+        .get("points")
+        .and_then(|p| p.as_array())
+        .ok_or_else(|| "missing array field 'points'".to_string())?
+        .iter()
+        .map(|p| {
+            Ok(dssp_sim::TracePoint {
+                time_s: p
+                    .get("time_s")
+                    .and_then(|f| f.as_f64())
+                    .ok_or_else(|| "point missing 'time_s'".to_string())?,
+                pushes: p.get("pushes").and_then(|f| f.as_u64()).unwrap_or(0),
+                epoch: p.get("epoch").and_then(|f| f.as_u64()).unwrap_or(0) as usize,
+                test_accuracy: p
+                    .get("test_accuracy")
+                    .and_then(|f| f.as_f64())
+                    .unwrap_or(0.0),
+                train_loss: p.get("train_loss").and_then(|f| f.as_f64()).unwrap_or(0.0),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunTrace {
+        policy: str_field("policy")?,
+        model: str_field("model")?,
+        workers: v.get("workers").and_then(|f| f.as_u64()).unwrap_or(0) as usize,
+        points,
+        total_time_s: v
+            .get("total_time_s")
+            .and_then(|f| f.as_f64())
+            .unwrap_or(0.0),
+        total_pushes: v.get("total_pushes").and_then(|f| f.as_u64()).unwrap_or(0),
+        worker_summaries: Vec::new(),
+        server_stats: Default::default(),
+        group_servers: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ts: u64, role: Role, rank: u32, kind: EventKind, payload: u64) -> Event {
+        Event {
+            ts,
+            role,
+            rank,
+            kind,
+            payload,
+        }
+    }
+
+    #[test]
+    fn worker_lane_reconstructs_compute_blocked_pull_spans() {
+        let events = vec![
+            e(1_000, Role::Worker, 0, EventKind::Join, 0),
+            e(1_000, Role::Worker, 0, EventKind::Pull, 0),
+            e(1_400, Role::Worker, 0, EventKind::Push, 1),
+            e(1_400, Role::Worker, 0, EventKind::GateBlock, 0),
+            e(1_900, Role::Worker, 0, EventKind::GateRelease, 500),
+            e(1_920, Role::Worker, 0, EventKind::CreditGrant, 6),
+            e(2_000, Role::Worker, 0, EventKind::Pull, 2),
+            e(1_890, Role::Server, 0, EventKind::CreditGrant, 6),
+        ];
+        let json_text = render_chrome_trace(&events);
+        let v = json::parse(&json_text).expect("rendered trace is valid JSON");
+        let items = v.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = items
+            .iter()
+            .filter_map(|i| i.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"compute"));
+        assert!(names.contains(&"blocked"));
+        assert!(names.contains(&"pull"));
+        assert!(names.contains(&"r* grant"));
+        assert!(items.iter().any(|i| {
+            i.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                && i.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    == Some("worker 0")
+        }));
+        let blocked = items
+            .iter()
+            .find(|i| i.get("name").and_then(|n| n.as_str()) == Some("blocked"))
+            .unwrap();
+        assert_eq!(blocked.get("ts").unwrap().as_u64(), Some(400));
+        assert_eq!(blocked.get("dur").unwrap().as_u64(), Some(500));
+    }
+
+    #[test]
+    fn run_trace_round_trips_through_json_into_counters() {
+        let trace = RunTrace {
+            policy: "DSSP s=3, r=12".into(),
+            model: "mlp".into(),
+            workers: 2,
+            points: vec![dssp_sim::TracePoint {
+                time_s: 0.5,
+                pushes: 8,
+                epoch: 0,
+                test_accuracy: 0.25,
+                train_loss: 1.2,
+            }],
+            total_time_s: 0.5,
+            total_pushes: 8,
+            worker_summaries: vec![],
+            server_stats: Default::default(),
+            group_servers: vec![],
+        };
+        let parsed = parse_run_trace(&crate::report::trace_json(&trace)).unwrap();
+        assert_eq!(parsed.policy, trace.policy);
+        assert_eq!(parsed.points.len(), 1);
+        let rendered = render_chrome_trace_from_run(&parsed);
+        let v = json::parse(&rendered).expect("counter trace is valid JSON");
+        assert!(v.get("traceEvents").unwrap().as_array().unwrap().len() >= 3);
+    }
+}

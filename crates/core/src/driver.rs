@@ -104,6 +104,19 @@ pub struct JobConfig {
     /// How long the threaded runtime's server waits without any worker message before
     /// checking for dead worker threads, in milliseconds.
     pub stall_timeout_ms: u64,
+    /// Observability: directory the networked roles flush their structured event logs
+    /// to as NDJSON, one file per role (`server.ndjson`, `coord.ndjson`,
+    /// `shard-<i>.ndjson`, `worker-<rank>.ndjson`). `None` disables event recording
+    /// entirely (the hooks cost one branch). Excluded from
+    /// [`JobConfig::stable_digest`]: observing a run does not change what it
+    /// computes.
+    pub event_log: Option<std::path::PathBuf>,
+    /// Observability: base `HOST:PORT` for the hand-rolled Prometheus `GET /metrics`
+    /// endpoints. The single server and the group coordinator listen at the base
+    /// port; shard server `i` listens at `port + 1 + i`; workers expose no endpoint.
+    /// `None` disables the listeners. Excluded from [`JobConfig::stable_digest`] like
+    /// [`JobConfig::event_log`].
+    pub metrics_addr: Option<String>,
 }
 
 /// Which process a [`FaultPlan`] kills.
@@ -259,6 +272,8 @@ impl JobConfig {
             fault_plan: None,
             checkpoint: None,
             stall_timeout_ms: 30_000,
+            event_log: None,
+            metrics_addr: None,
         }
     }
 
@@ -319,20 +334,23 @@ impl JobConfig {
     /// and its workers refuse to train under silently different configurations.
     pub fn digest(&self) -> u64 {
         let canonical = format!(
-            "{}|{:?}|{:?}|{:?}",
+            "{}|{:?}|{:?}|{:?}|{:?}|{:?}",
             self.stable_canonical(),
             self.fail_after_pushes,
             self.fault_plan,
             self.checkpoint,
+            self.event_log,
+            self.metrics_addr,
         );
         fnv1a(&canonical)
     }
 
-    /// Like [`JobConfig::digest`] but masking the chaos and persistence hooks
-    /// (`fail_after_pushes`, `fault_plan`, `checkpoint`), which change how a run is
-    /// interrupted or stored but not what it computes. Checkpoints record *this*
-    /// digest, so a restarted process — which runs without the fault plan that killed
-    /// its predecessor — still accepts the predecessor's checkpoints.
+    /// Like [`JobConfig::digest`] but masking the chaos, persistence and
+    /// observability hooks (`fail_after_pushes`, `fault_plan`, `checkpoint`,
+    /// `event_log`, `metrics_addr`), which change how a run is interrupted, stored or
+    /// observed but not what it computes. Checkpoints record *this* digest, so a
+    /// restarted process — which runs without the fault plan that killed its
+    /// predecessor — still accepts the predecessor's checkpoints.
     pub fn stable_digest(&self) -> u64 {
         fnv1a(&self.stable_canonical())
     }
@@ -784,6 +802,15 @@ impl ServerLoop {
         }
     }
 
+    /// Number of workers currently blocked by the synchronization policy (waiting for
+    /// the slowest worker to catch up). Feeds the serving loops' blocked-worker gauge.
+    pub fn blocked_count(&self) -> usize {
+        match &self.backend {
+            Backend::Local(ps) => ps.blocked_workers().len(),
+            Backend::Clock(gate) => gate.blocked_workers().len(),
+        }
+    }
+
     /// Whether every worker has reported [`WorkerEvent::Done`].
     pub fn all_done(&self) -> bool {
         self.done_count >= self.num_workers
@@ -1016,13 +1043,18 @@ impl ServerLoop {
     /// [`WorkerEvent::Push`], but the gradient is borrowed and all bookkeeping reuses
     /// member scratch, so the networked server's steady-state command loop performs no
     /// heap allocation per push (periodic evaluations excepted).
+    ///
+    /// Returns the policy's [`dssp_ps::PushDecision`] for this push — whether the
+    /// pusher proceeds, any r* credit granted, and the pusher's staleness — so serving
+    /// loops can export gate activity (events, metrics) without re-deriving clock
+    /// state.
     pub fn handle_push_slice(
         &mut self,
         worker: usize,
         grads: &[f32],
         wall_now: f64,
         replies: &mut Vec<OkReply>,
-    ) {
+    ) -> dssp_ps::PushDecision {
         let now = self.clock(wall_now);
         self.released_scratch.clear();
         let decision = match &mut self.backend {
@@ -1065,6 +1097,7 @@ impl ServerLoop {
                 self.aborted = true;
             }
         }
+        decision
     }
 
     /// [`ServerLoop::handle`] plus the deterministic-gate bookkeeping both substrates

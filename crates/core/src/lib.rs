@@ -11,6 +11,12 @@
 //! * [`metrics`] — time-to-accuracy tables (Table I), curve averaging ("Average SSP
 //!   s=3 to 15"), throughput summaries;
 //! * [`report`] — CSV and Markdown rendering of traces and tables;
+//! * [`events`] — the structured observability event stream: a lock-free, bounded,
+//!   append-only log of synchronization decisions, flushed as NDJSON per role;
+//! * [`chrome_trace`] — Trace Event Format (chrome-trace) export of event streams
+//!   and run traces for timeline viewers;
+//! * [`json`] — the minimal hand-rolled JSON reader those artifacts are read back
+//!   with (the offline serde shim does not serialize);
 //! * [`driver`] — the transport-agnostic worker step-loop and server decision-loop
 //!   shared by the threaded runtime and the networked runtime (`dssp-net`), including
 //!   the deterministic scheduling gate used for cross-substrate equivalence testing;
@@ -35,8 +41,11 @@
 
 #![deny(missing_docs)]
 
+pub mod chrome_trace;
 pub mod driver;
+pub mod events;
 mod experiment;
+pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod presets;

@@ -93,6 +93,8 @@ pub fn policy_spec(policy: &PolicyKind) -> String {
 /// | `--checkpoint-dir D` | off | write role-conventional checkpoint files under `D` |
 /// | `--checkpoint-every N` | 1 | applied pushes between checkpoint writes |
 /// | `--restore` | off | restore from `--checkpoint-dir` instead of starting fresh |
+/// | `--event-log D` | off | flush a structured NDJSON event log per role under `D` |
+/// | `--metrics-addr H:P` | off | serve Prometheus `GET /metrics` (base port; shard server `i` at `P+1+i`) |
 ///
 /// `--delta-pulls` is part of the config digest, so a server and a worker that
 /// disagree on it are rejected at the `Hello` handshake rather than silently mixing
@@ -185,6 +187,18 @@ pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
             restore: args.iter().any(|a| a == "--restore"),
         }),
     };
+    job.event_log = flag_value(args, "--event-log").map(std::path::PathBuf::from);
+    job.metrics_addr = match flag_value(args, "--metrics-addr") {
+        None => None,
+        Some(addr) => {
+            if crate::metrics::derive_metrics_addr(&addr, 0).is_none() {
+                return Err(format!(
+                    "invalid value '{addr}' for --metrics-addr (expected HOST:PORT)"
+                ));
+            }
+            Some(addr)
+        }
+    };
     Ok(job)
 }
 
@@ -240,6 +254,14 @@ pub fn job_args(job: &JobConfig) -> Vec<String> {
         if ckpt.restore {
             args.push("--restore".to_string());
         }
+    }
+    if let Some(dir) = &job.event_log {
+        args.push("--event-log".to_string());
+        args.push(dir.display().to_string());
+    }
+    if let Some(addr) = &job.metrics_addr {
+        args.push("--metrics-addr".to_string());
+        args.push(addr.clone());
     }
     args
 }
@@ -364,6 +386,27 @@ mod tests {
         let clean = job_from_flags(&[]).unwrap();
         assert_ne!(job.digest(), clean.digest());
         assert_eq!(job.stable_digest(), clean.stable_digest());
+    }
+
+    #[test]
+    fn observability_flags_round_trip_but_stay_out_of_the_stable_digest() {
+        let args = strings(&[
+            "--event-log",
+            "/tmp/events",
+            "--metrics-addr",
+            "127.0.0.1:9180",
+        ]);
+        let job = job_from_flags(&args).unwrap();
+        assert_eq!(job.event_log, Some(std::path::PathBuf::from("/tmp/events")));
+        assert_eq!(job.metrics_addr.as_deref(), Some("127.0.0.1:9180"));
+        let rebuilt = job_from_flags(&job_args(&job)).unwrap();
+        assert_eq!(job.digest(), rebuilt.digest());
+        // Observing a run does not change what it computes: the handshake-stable
+        // digest ignores the observability knobs (mirroring the chaos flags).
+        let dark = job_from_flags(&[]).unwrap();
+        assert_ne!(job.digest(), dark.digest());
+        assert_eq!(job.stable_digest(), dark.stable_digest());
+        assert!(job_from_flags(&strings(&["--metrics-addr", "no-port"])).is_err());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! | [`worker`] | [`run_worker`]: the client step-loop (shared with the threaded runtime) |
 //! | [`launch`] | [`launch::launch`]: server in-process + one child process per worker |
 //! | [`cli`] | flag parsing shared by the `repro` subcommands and the launchers |
+//! | [`metrics`] | atomic counter registry + hand-rolled Prometheus `GET /metrics` endpoint (`--metrics-addr`) |
+//! | [`obs`] | the per-process observability bundle: event log + metrics + endpoint behind one set of hot-path hooks |
 //!
 //! The multi-server group deployment — N storage-only shard servers plus a
 //! clock-only coordinator speaking this crate's protocol — lives one layer up in
@@ -67,6 +69,8 @@ pub mod cli;
 pub mod elastic;
 mod error;
 pub mod launch;
+pub mod metrics;
+pub mod obs;
 pub mod server;
 pub mod tcp;
 pub mod transport;
@@ -75,6 +79,8 @@ pub mod worker;
 
 pub use elastic::{fault_due, CheckpointSink, FaultClock};
 pub use error::{NetError, FAULT_EXIT_CODE};
+pub use metrics::{Metrics, MetricsServer};
+pub use obs::Obs;
 pub use server::{require_helloed, serve, validate_hello};
 pub use tcp::{TcpServerTransport, TcpWorkerTransport, TransportStats};
 pub use transport::{apply_pull_message, PullOutcome, PullView, ServerTransport, WorkerTransport};

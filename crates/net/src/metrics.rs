@@ -1,0 +1,663 @@
+//! Live metrics: atomically-updated counters with a hand-rolled Prometheus
+//! text-format `GET /metrics` endpoint.
+//!
+//! Every serving role (single server, shard server, coordinator) owns a [`Metrics`]
+//! registry — a fixed set of `AtomicU64` counters, gauges and one staleness histogram
+//! — and, when `--metrics-addr` is set, a [`MetricsServer`]: a tiny dedicated
+//! listener that answers `GET /metrics` with the Prometheus text exposition format
+//! (version 0.0.4). There is no HTTP library in this offline workspace and none is
+//! needed: the endpoint reads one request head and writes one `Content-Length`
+//! response.
+//!
+//! The hot-path contract matches PR 4's zero-allocation guarantee: every update is a
+//! plain `fetch_add`/`store` on a preallocated atomic — rendering (which does
+//! allocate) happens only on the scrape thread, never on the serving loop.
+//!
+//! [`parse_exposition`] is the inverse of [`Metrics::render`], used by the
+//! `repro -- stats` fleet summary and by the golden-format tests (HELP/TYPE
+//! discipline, label escaping, histogram bucket monotonicity).
+
+use dssp_core::events::Role;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bounds of the staleness histogram buckets (`le` labels); an implicit `+Inf`
+/// bucket follows. Powers of two past 2 because DSSP leads concentrate near the
+/// threshold.
+pub const STALENESS_LE: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
+
+const BUCKETS: usize = STALENESS_LE.len() + 1;
+
+/// The fixed metric registry of one serving role. All fields are plain atomics so
+/// serving loops update them allocation-free; [`Metrics::render`] snapshots them into
+/// the Prometheus text format on the scrape thread.
+#[derive(Debug)]
+pub struct Metrics {
+    role: Role,
+    rank: u32,
+    /// Pushes applied (or, on the coordinator, clock pushes gated).
+    pub pushes: AtomicU64,
+    /// Pushes whose worker was blocked by the synchronization gate.
+    pub blocked_pushes: AtomicU64,
+    /// Full-model pulls served.
+    pub pulls_full: AtomicU64,
+    /// Incremental (delta) pulls served.
+    pub pulls_delta: AtomicU64,
+    /// Bytes written to the data transport (frames + length prefixes).
+    pub bytes_sent: AtomicU64,
+    /// Bytes read from the data transport.
+    pub bytes_received: AtomicU64,
+    /// Gauge: workers currently blocked waiting for a deferred `OK`.
+    pub blocked_workers: AtomicU64,
+    /// Gauge: the current model version (total pushes applied).
+    pub version: AtomicU64,
+    /// Extra-iteration credits granted by the DSSP controller (sum of r*).
+    pub credits_granted: AtomicU64,
+    /// Unspent credits reclaimed from evicted workers.
+    pub credits_reclaimed: AtomicU64,
+    /// Checkpoints written by this process.
+    pub checkpoints_written: AtomicU64,
+    /// Gauge: Unix seconds of the most recent checkpoint (0 = none yet).
+    pub checkpoint_last_unix: AtomicU64,
+    /// Worker↔server links re-established after a drop.
+    pub reconnects: AtomicU64,
+    /// Workers evicted from the run.
+    pub evictions: AtomicU64,
+    /// Join/Hello handshakes completed.
+    pub joins: AtomicU64,
+    /// Structured events dropped because the event log was full.
+    pub events_dropped: AtomicU64,
+    staleness_buckets: [AtomicU64; BUCKETS],
+    staleness_sum: AtomicU64,
+    staleness_count: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry labelled `role`/`rank` (the labels on every exported series).
+    pub fn new(role: Role, rank: u32) -> Self {
+        Self {
+            role,
+            rank,
+            pushes: AtomicU64::new(0),
+            blocked_pushes: AtomicU64::new(0),
+            pulls_full: AtomicU64::new(0),
+            pulls_delta: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            blocked_workers: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            credits_granted: AtomicU64::new(0),
+            credits_reclaimed: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoint_last_unix: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            staleness_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            staleness_sum: AtomicU64::new(0),
+            staleness_count: AtomicU64::new(0),
+        }
+    }
+
+    /// The role label value.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The rank label value.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Records one per-push staleness sample into the histogram. Allocation-free:
+    /// one bucket `fetch_add` plus sum/count updates.
+    #[inline]
+    pub fn observe_staleness(&self, staleness: u64) {
+        let idx = STALENESS_LE
+            .iter()
+            .position(|le| staleness <= *le)
+            .unwrap_or(BUCKETS - 1);
+        self.staleness_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.staleness_sum.fetch_add(staleness, Ordering::Relaxed);
+        self.staleness_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the registry in the Prometheus text exposition format (0.0.4):
+    /// `# HELP` / `# TYPE` headers, `role`/`rank` labels on every series, and a
+    /// cumulative `dssp_staleness` histogram.
+    pub fn render(&self) -> String {
+        let labels = format!(
+            "role=\"{}\",rank=\"{}\"",
+            escape_label(self.role.as_str()),
+            self.rank
+        );
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, value: u64, extra: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{{{labels}{extra}}} {value}");
+        };
+        counter(
+            "dssp_pushes_total",
+            "Gradient pushes applied (clock pushes gated, on the coordinator).",
+            self.pushes.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_blocked_pushes_total",
+            "Pushes whose worker was blocked by the synchronization gate.",
+            self.blocked_pushes.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_credits_granted_total",
+            "Extra-iteration credits granted by the DSSP controller (sum of r*).",
+            self.credits_granted.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_credits_reclaimed_total",
+            "Unspent credits reclaimed from evicted workers.",
+            self.credits_reclaimed.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_checkpoints_written_total",
+            "Checkpoints written by this process.",
+            self.checkpoints_written.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_reconnects_total",
+            "Worker-to-server links re-established after a drop.",
+            self.reconnects.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_evictions_total",
+            "Workers evicted from the run.",
+            self.evictions.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_joins_total",
+            "Join and Hello handshakes completed.",
+            self.joins.load(Ordering::Relaxed),
+            "",
+        );
+        counter(
+            "dssp_events_dropped_total",
+            "Structured events dropped because the event log was full.",
+            self.events_dropped.load(Ordering::Relaxed),
+            "",
+        );
+
+        // Labelled counter families share one HELP/TYPE header.
+        let _ = writeln!(out, "# HELP dssp_pulls_total Pulls served, by mode.");
+        let _ = writeln!(out, "# TYPE dssp_pulls_total counter");
+        let _ = writeln!(
+            out,
+            "dssp_pulls_total{{{labels},mode=\"full\"}} {}",
+            self.pulls_full.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "dssp_pulls_total{{{labels},mode=\"delta\"}} {}",
+            self.pulls_delta.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP dssp_bytes_total Bytes moved over the data transport, by direction."
+        );
+        let _ = writeln!(out, "# TYPE dssp_bytes_total counter");
+        let _ = writeln!(
+            out,
+            "dssp_bytes_total{{{labels},direction=\"sent\"}} {}",
+            self.bytes_sent.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "dssp_bytes_total{{{labels},direction=\"received\"}} {}",
+            self.bytes_received.load(Ordering::Relaxed)
+        );
+
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{{labels}}} {value}");
+        };
+        gauge(
+            "dssp_blocked_workers",
+            "Workers currently blocked waiting for a deferred OK.",
+            self.blocked_workers.load(Ordering::Relaxed),
+        );
+        gauge(
+            "dssp_model_version",
+            "Current model version (total pushes applied).",
+            self.version.load(Ordering::Relaxed),
+        );
+        gauge(
+            "dssp_checkpoint_last_timestamp_seconds",
+            "Unix time of the most recent checkpoint (0 = none).",
+            self.checkpoint_last_unix.load(Ordering::Relaxed),
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP dssp_staleness Per-push staleness (clock lead over the slowest worker)."
+        );
+        let _ = writeln!(out, "# TYPE dssp_staleness histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in STALENESS_LE.iter().enumerate() {
+            cumulative += self.staleness_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "dssp_staleness_bucket{{{labels},le=\"{le}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.staleness_buckets[BUCKETS - 1].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "dssp_staleness_bucket{{{labels},le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "dssp_staleness_sum{{{labels}}} {}",
+            self.staleness_sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "dssp_staleness_count{{{labels}}} {}",
+            self.staleness_count.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One parsed sample line of an exposition page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (e.g. `dssp_pushes_total`).
+    pub name: String,
+    /// Label pairs in source order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition page: samples plus the HELP/TYPE metadata seen.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// All sample lines, in page order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE` declarations: metric name → type string.
+    pub types: Vec<(String, String)>,
+    /// `# HELP` declarations: metric name → help text.
+    pub helps: Vec<(String, String)>,
+}
+
+impl Exposition {
+    /// First sample with this exact name and (subset of) labels.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(v)))
+    }
+
+    /// Like [`Exposition::find`], returning the sample's value.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels).map(|s| s.value)
+    }
+}
+
+/// Parses a Prometheus text-format page (the dialect [`Metrics::render`] writes:
+/// HELP/TYPE comment lines plus `name{labels} value` samples). Malformed lines are an
+/// error, so the golden tests prove the page stays machine-readable.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut page = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let fail = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().ok_or_else(|| fail("comment missing name"))?;
+            let tail = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" => page.helps.push((name.to_string(), tail.to_string())),
+                "TYPE" => {
+                    if !matches!(
+                        tail,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(fail("unknown metric type"));
+                    }
+                    page.types.push((name.to_string(), tail.to_string()));
+                }
+                _ => return Err(fail("unknown comment keyword")),
+            }
+            continue;
+        }
+        page.samples.push(parse_sample(line).map_err(|e| fail(&e))?);
+    }
+    Ok(page)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "sample missing value".to_string())?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| "invalid sample value".to_string())?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name '{name}'"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err("label value must be quoted".to_string());
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated label value".to_string()),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("invalid label escape".to_string()),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(_) => return Err("expected ',' between labels".to_string()),
+        }
+    }
+}
+
+/// Derives the listen address for a role `offset` ports above the base
+/// `--metrics-addr` (shard server `i` listens at `port + 1 + i`). `None` if the base
+/// does not end in a numeric port or the port would overflow.
+pub fn derive_metrics_addr(base: &str, offset: u16) -> Option<String> {
+    let (host, port) = base.rsplit_once(':')?;
+    let port: u16 = port.parse().ok()?;
+    let port = port.checked_add(offset)?;
+    Some(format!("{host}:{port}"))
+}
+
+/// The dedicated `GET /metrics` listener: accepts plain HTTP/1.x requests on its own
+/// thread and answers each with a freshly rendered exposition page. Stop (or drop)
+/// joins the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`; port 0 picks an ephemeral port) and
+    /// starts the responder thread.
+    pub fn start(addr: &str, metrics: Arc<Metrics>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("metrics-{local}"))
+            .spawn(move || accept_loop(listener, metrics, stop_flag))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the responder thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, metrics: Arc<Metrics>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare, tiny and read-only.
+                let _ = respond(stream, &metrics);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, metrics: &Metrics) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = [0u8; 1024];
+    let mut filled = 0;
+    // Read until the end of the request head (or the buffer is full — more than
+    // enough for the GET lines curl and `repro -- stats` send).
+    while filled < head.len() {
+        match stream.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if head[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&head[..filled]);
+    let line = request.lines().next().unwrap_or_default();
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", metrics.render())
+    } else {
+        ("404 Not Found", "only GET /metrics is served\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Scrapes `addr` once over plain TCP (a one-shot `GET /metrics`), returning the
+/// response body. The client half of [`MetricsServer`], shared by `repro -- stats`
+/// and the endpoint tests.
+pub fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+        })?;
+    if !response.starts_with("HTTP/1.1 200") && !response.starts_with("HTTP/1.0 200") {
+        return Err(std::io::Error::other(format!(
+            "non-200 response: {}",
+            response.lines().next().unwrap_or_default()
+        )));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parses_and_buckets_are_monotonic() {
+        let m = Metrics::new(Role::Server, 0);
+        m.pushes.store(42, Ordering::Relaxed);
+        for s in [0, 0, 1, 3, 9, 100] {
+            m.observe_staleness(s);
+        }
+        let page = parse_exposition(&m.render()).expect("rendered page parses");
+        assert_eq!(
+            page.value("dssp_pushes_total", &[("role", "server"), ("rank", "0")]),
+            Some(42.0)
+        );
+        let buckets: Vec<f64> = page
+            .samples
+            .iter()
+            .filter(|s| s.name == "dssp_staleness_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(buckets.len(), STALENESS_LE.len() + 1);
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative buckets"
+        );
+        assert_eq!(*buckets.last().unwrap(), 6.0);
+        assert_eq!(page.value("dssp_staleness_sum", &[]), Some(113.0));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let awkward = "we\\ird\"la\nbel";
+        let line = format!("m{{l=\"{}\"}} 1", escape_label(awkward));
+        let page = parse_exposition(&line).unwrap();
+        assert_eq!(page.samples[0].label("l"), Some(awkward));
+    }
+
+    #[test]
+    fn malformed_pages_are_rejected() {
+        assert!(parse_exposition("# TYPE m flavour\n").is_err());
+        assert!(parse_exposition("m{l=\"unterminated} 1\n").is_err());
+        assert!(parse_exposition("m{l=\"v\"} not-a-number\n").is_err());
+        assert!(parse_exposition("1bad_name 2\n").is_err());
+    }
+
+    #[test]
+    fn derive_addr_offsets_the_port() {
+        assert_eq!(
+            derive_metrics_addr("127.0.0.1:9100", 2).as_deref(),
+            Some("127.0.0.1:9102")
+        );
+        assert_eq!(derive_metrics_addr("bad", 1), None);
+    }
+
+    #[test]
+    fn http_endpoint_serves_a_parseable_page() {
+        let metrics = Arc::new(Metrics::new(Role::ShardServer, 3));
+        metrics.pulls_delta.store(7, Ordering::Relaxed);
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&metrics)).unwrap();
+        let addr = server.local_addr().to_string();
+        let body = scrape(&addr).expect("scrape succeeds");
+        let page = parse_exposition(&body).expect("scraped page parses");
+        assert_eq!(
+            page.value(
+                "dssp_pulls_total",
+                &[("role", "shard"), ("rank", "3"), ("mode", "delta")]
+            ),
+            Some(7.0)
+        );
+        server.stop();
+    }
+}

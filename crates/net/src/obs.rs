@@ -1,0 +1,268 @@
+//! The per-process observability bundle: one [`EventLog`] (when `--event-log DIR` is
+//! set), one [`Metrics`] registry, and one [`MetricsServer`] (when `--metrics-addr`
+//! is set), wired together behind methods the serving loops call from their hot
+//! paths.
+//!
+//! Everything here respects PR 4's zero-allocation guarantee: when observability is
+//! enabled, each hook is a handful of relaxed atomic operations (an [`EventLog`]
+//! slot claim plus counter updates); when disabled, the event hooks reduce to an
+//! `Option` check and the metric stores still land in the preallocated registry
+//! (nobody scrapes them, but keeping them unconditional keeps the hot path
+//! branch-free). Rendering, serving and NDJSON flushing all happen off the serving
+//! loop — on the scrape thread or after the run.
+//!
+//! The single server, the shard servers and the coordinator each own one `Obs`
+//! ([`Role::Server`], [`Role::ShardServer`], [`Role::Coordinator`]); workers carry
+//! only an event log (no endpoint) and use [`EventLog`] directly.
+
+use crate::metrics::{Metrics, MetricsServer};
+use crate::tcp::TransportStats;
+use crate::NetError;
+use dssp_core::driver::{OkReply, ServerLoop};
+use dssp_core::events::{EventKind, EventLog, Role};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One serving process's observability state. See the module docs for the contract.
+pub struct Obs {
+    log: Option<Arc<EventLog>>,
+    dir: Option<PathBuf>,
+    metrics: Arc<Metrics>,
+    server: Option<MetricsServer>,
+}
+
+impl Obs {
+    /// Builds the bundle for a serving role: an event log when `event_dir` is set
+    /// (flushed to `dir/<role file name>` by [`Obs::flush`]) and a live `GET /metrics`
+    /// endpoint when `metrics_addr` is set. Failing to bind the metrics listener is a
+    /// startup error, not a silent no-op — a scrape target the operator asked for must
+    /// exist or the run must say why.
+    pub fn new(
+        role: Role,
+        rank: u32,
+        event_dir: Option<&Path>,
+        metrics_addr: Option<&str>,
+    ) -> Result<Self, NetError> {
+        let log = event_dir.map(|_| Arc::new(EventLog::new(role, rank)));
+        let metrics = Arc::new(Metrics::new(role, rank));
+        let server =
+            match metrics_addr {
+                Some(addr) => Some(MetricsServer::start(addr, Arc::clone(&metrics)).map_err(
+                    |e| NetError::Protocol(format!("cannot serve metrics on {addr}: {e}")),
+                )?),
+                None => None,
+            };
+        Ok(Self {
+            log,
+            dir: event_dir.map(Path::to_path_buf),
+            metrics,
+            server,
+        })
+    }
+
+    /// The metric registry (shared with the scrape thread).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The event log, for sharing with helpers that record events of their own (the
+    /// coordinator hands it to its shard fan so re-dials surface as `reconnect`
+    /// events). `None` when event logging is off.
+    pub fn event_log(&self) -> Option<&Arc<EventLog>> {
+        self.log.as_ref()
+    }
+
+    /// The address the metrics listener actually bound (resolves an ephemeral `:0`
+    /// request), `None` when no endpoint was asked for.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// Records one structured event when the event log is enabled; a single branch
+    /// otherwise.
+    #[inline]
+    pub fn event(&self, kind: EventKind, payload: u64) {
+        if let Some(log) = &self.log {
+            log.record(kind, payload);
+        }
+    }
+
+    /// Mirrors the decision loop's cumulative counters into the registry: pushes,
+    /// blocked pushes, r* credits granted and reclaimed, the model-version gauge and
+    /// the blocked-worker gauge. The loop already keeps these totals for the run
+    /// trace, so the registry stores them instead of double-counting — the scrape can
+    /// never drift from the trace.
+    #[inline]
+    pub fn sync_loop(&self, sl: &ServerLoop) {
+        let stats = sl.stats();
+        self.metrics.pushes.store(stats.pushes, Relaxed);
+        self.metrics
+            .blocked_pushes
+            .store(stats.blocked_pushes, Relaxed);
+        self.metrics
+            .credits_granted
+            .store(stats.credits_granted, Relaxed);
+        self.metrics
+            .credits_reclaimed
+            .store(stats.credits_reclaimed, Relaxed);
+        self.metrics.version.store(sl.version(), Relaxed);
+        self.metrics
+            .blocked_workers
+            .store(sl.blocked_count() as u64, Relaxed);
+    }
+
+    /// The per-push hook: a `push` event, the staleness sample (when the serving loop
+    /// has one — the borrowed hot path does, the deterministic replay path does not),
+    /// `gate-block`/`gate-release`/`credit-grant` events derived from the reply set,
+    /// and a counter sync. `payload` conventions: the worker rank for `push`,
+    /// `gate-block` and `gate-release`; the granted r* for `credit-grant`.
+    #[inline]
+    pub fn on_push(
+        &self,
+        pusher: usize,
+        staleness: Option<u64>,
+        replies: &[OkReply],
+        sl: &ServerLoop,
+    ) {
+        self.event(EventKind::Push, pusher as u64);
+        if let Some(staleness) = staleness {
+            self.metrics.observe_staleness(staleness);
+        }
+        let mut granted = false;
+        for reply in replies {
+            if reply.worker == pusher {
+                granted = true;
+                if reply.granted_extra > 0 {
+                    self.event(EventKind::CreditGrant, reply.granted_extra);
+                }
+            } else {
+                self.event(EventKind::GateRelease, reply.worker as u64);
+            }
+        }
+        if !granted {
+            self.event(EventKind::GateBlock, pusher as u64);
+        }
+        self.sync_loop(sl);
+    }
+
+    /// The per-pull hook: one served pull, full or delta (`delta` is whether the
+    /// reply actually shipped incrementally, not what the client asked for — the
+    /// exported ratio is the delta *hit* rate).
+    #[inline]
+    pub fn on_pull(&self, rank: usize, delta: bool) {
+        if delta {
+            self.metrics.pulls_delta.fetch_add(1, Relaxed);
+        } else {
+            self.metrics.pulls_full.fetch_add(1, Relaxed);
+        }
+        self.event(EventKind::Pull, rank as u64);
+    }
+
+    /// A completed membership join (`JoinRequest`/`JoinAck` exchange).
+    #[inline]
+    pub fn on_join(&self, rank: usize) {
+        self.metrics.joins.fetch_add(1, Relaxed);
+        self.event(EventKind::Join, rank as u64);
+    }
+
+    /// A worker reaped from the run (death or explicit `Evict`). Counter syncing is
+    /// the caller's job (via the surrounding [`Obs::on_push`]/[`Obs::sync_loop`]) —
+    /// eviction reclaims credits, which the sync mirrors.
+    #[inline]
+    pub fn on_eviction(&self, rank: usize) {
+        self.metrics.evictions.fetch_add(1, Relaxed);
+        self.event(EventKind::Eviction, rank as u64);
+    }
+
+    /// A durable checkpoint landed at model version `version`.
+    pub fn on_checkpoint(&self, version: u64) {
+        self.metrics.checkpoints_written.fetch_add(1, Relaxed);
+        let unix_now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        self.metrics.checkpoint_last_unix.store(unix_now, Relaxed);
+        self.event(EventKind::Checkpoint, version);
+    }
+
+    /// Mirrors the transport's byte counters into the registry (two stores).
+    #[inline]
+    pub fn mirror_transport(&self, stats: &TransportStats) {
+        self.metrics.bytes_sent.store(stats.bytes_sent, Relaxed);
+        self.metrics
+            .bytes_received
+            .store(stats.bytes_received, Relaxed);
+    }
+
+    /// Flushes the event log to its NDJSON file (`DIR/<role file name>`), returning
+    /// the path written, or `None` when event logging is off. Also folds the log's
+    /// dropped-event count into the registry so a scrape after the run sees it.
+    pub fn flush(&self) -> std::io::Result<Option<PathBuf>> {
+        let (Some(log), Some(dir)) = (&self.log, &self.dir) else {
+            return Ok(None);
+        };
+        self.metrics.events_dropped.store(log.dropped(), Relaxed);
+        log.flush_to_dir(dir).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssp_core::driver::JobConfig;
+    use dssp_ps::PolicyKind;
+
+    #[test]
+    fn disabled_bundle_is_inert_and_flushes_to_nothing() {
+        let obs = Obs::new(Role::Server, 0, None, None).unwrap();
+        obs.event(EventKind::Push, 1);
+        obs.on_pull(0, true);
+        obs.on_join(2);
+        assert_eq!(obs.flush().unwrap(), None);
+        assert!(obs.metrics_addr().is_none());
+        // Metric stores still land even without an endpoint.
+        assert_eq!(obs.metrics().pulls_delta.load(Relaxed), 1);
+        assert_eq!(obs.metrics().joins.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn push_hook_classifies_grants_blocks_and_releases() {
+        let dir = std::env::temp_dir().join(format!("dssp-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::new(Role::Server, 0, Some(&dir), None).unwrap();
+        let job = JobConfig::small(PolicyKind::Dssp { s_l: 2, r_max: 4 });
+        let sl = ServerLoop::new(&job);
+        // Pusher granted with 3 extra credits, worker 1 released alongside.
+        obs.on_push(
+            0,
+            Some(5),
+            &[
+                OkReply {
+                    worker: 0,
+                    granted_extra: 3,
+                },
+                OkReply {
+                    worker: 1,
+                    granted_extra: 0,
+                },
+            ],
+            &sl,
+        );
+        // Pusher blocked: no reply addressed to it.
+        obs.on_push(2, Some(0), &[], &sl);
+        let path = obs.flush().unwrap().expect("log enabled");
+        let text = std::fs::read_to_string(&path).unwrap();
+        for needle in [
+            "\"push\"",
+            "\"credit-grant\"",
+            "\"gate-release\"",
+            "\"gate-block\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -16,12 +16,14 @@
 //! allocating path; it exists for equivalence testing, not throughput.)
 
 use crate::elastic::{CheckpointSink, FaultClock};
+use crate::obs::Obs;
 use crate::transport::{PullView, ServerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
 use crate::NetError;
 use dssp_core::driver::{
     DeterministicGate, FaultRole, JobConfig, OkReply, ServerLoop, WorkerEvent,
 };
+use dssp_core::events::Role;
 use dssp_sim::RunTrace;
 use std::time::Instant;
 
@@ -113,9 +115,14 @@ struct Elastic {
 
 impl Elastic {
     /// Runs the post-push hooks: the push-phase fault, the gate-phase fault when the
-    /// pusher was deferred, the cadence write, and the checkpoint-phase fault when a
-    /// file actually landed.
-    fn after_push(&mut self, sl: &ServerLoop, pusher_granted: bool) -> Result<(), NetError> {
+    /// pusher was deferred, the cadence write (recorded in the observability bundle
+    /// when a file lands), and the checkpoint-phase fault.
+    fn after_push(
+        &mut self,
+        sl: &ServerLoop,
+        pusher_granted: bool,
+        obs: &Obs,
+    ) -> Result<(), NetError> {
         self.fault.push()?;
         if !pusher_granted {
             self.fault.gate_blocked()?;
@@ -125,6 +132,7 @@ impl Elastic {
             .sink
             .maybe_write(sl.version(), || sl.snapshot(digest))?
         {
+            obs.on_checkpoint(sl.version());
             self.fault.checkpoint()?;
         }
         Ok(())
@@ -169,9 +177,17 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
         sink: CheckpointSink::new(job.checkpoint.as_ref(), &dssp_ps::server_checkpoint_name()),
         digest: expected_digest,
     };
+    let obs = Obs::new(
+        Role::Server,
+        0,
+        job.event_log.as_deref(),
+        job.metrics_addr.as_deref(),
+    )?;
+    obs.sync_loop(&sl);
     let start = Instant::now();
 
     while !sl.all_done() {
+        obs.mirror_transport(&transport.transport_stats());
         // Deterministic mode: drain everything the gate is ready to release before
         // blocking on the transport again.
         loop {
@@ -186,6 +202,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         event,
                         &start,
                         &mut elastic,
+                        &obs,
                     )?;
                     if sl.all_done() {
                         break;
@@ -203,7 +220,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
             // A worker died mid-run: reap it instead of stalling the gate — reclaim
             // its credits, retire its clock, and release anyone it was blocking.
             Err(NetError::ClientLost { rank }) => {
-                evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?;
                 continue;
             }
             Err(e) => return Err(e),
@@ -214,16 +231,19 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 rank: hello_rank,
                 num_workers,
                 config_digest,
-            } => validate_hello(
-                rank,
-                version,
-                hello_rank,
-                num_workers,
-                config_digest,
-                job.num_workers,
-                expected_digest,
-                &mut helloed,
-            )?,
+            } => {
+                validate_hello(
+                    rank,
+                    version,
+                    hello_rank,
+                    num_workers,
+                    config_digest,
+                    job.num_workers,
+                    expected_digest,
+                    &mut helloed,
+                )?;
+                obs.on_join(rank);
+            }
             Message::JoinRequest => {
                 require_helloed(&helloed, rank)?;
                 // Membership: admit the worker at the number of pushes this server
@@ -233,7 +253,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                     clock: sl.push_count(rank),
                 };
                 if transport.send(rank, &ack).is_err() {
-                    evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                    evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?;
                 }
             }
             Message::Evict { rank: victim } => {
@@ -245,15 +265,18 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         job.num_workers
                     )));
                 }
-                evict_client(&mut sl, transport, &mut gate, victim, &start)?;
+                evict_client(&mut sl, transport, &mut gate, victim, &start, &obs)?;
             }
             Message::Pull => {
                 require_helloed(&helloed, rank)?;
                 match gate.as_mut() {
                     Some(g) => g.offer(WorkerEvent::Pull { worker: rank }),
                     None => {
-                        if serve_pull(&sl, transport, rank, None).is_err() {
-                            evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                        match serve_pull(&sl, transport, rank, None) {
+                            Ok(delta) => obs.on_pull(rank, delta),
+                            Err(_) => {
+                                evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?
+                            }
                         }
                         elastic.fault.pull()?;
                     }
@@ -269,8 +292,11 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         g.offer(WorkerEvent::Pull { worker: rank });
                     }
                     None => {
-                        if serve_pull(&sl, transport, rank, Some(&known_versions)).is_err() {
-                            evict_client(&mut sl, transport, &mut gate, rank, &start)?;
+                        match serve_pull(&sl, transport, rank, Some(&known_versions)) {
+                            Ok(delta) => obs.on_pull(rank, delta),
+                            Err(_) => {
+                                evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?
+                            }
                         }
                         elastic.fault.pull()?;
                     }
@@ -290,12 +316,13 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         // reply scratch, buffer recycled to the connection pool.
                         let now = start.elapsed().as_secs_f64();
                         replies.clear();
-                        sl.handle_push_slice(rank, &grads, now, &mut replies);
+                        let decision = sl.handle_push_slice(rank, &grads, now, &mut replies);
                         transport.recycle_f32s(rank, grads);
                         let granted = replies.iter().any(|r| r.worker == rank);
-                        deliver_replies(&mut sl, transport, &mut gate, &replies, &start)?;
+                        obs.on_push(rank, Some(decision.staleness), &replies, &sl);
+                        deliver_replies(&mut sl, transport, &mut gate, &replies, &start, &obs)?;
                         check_abort(&sl)?;
-                        elastic.after_push(&sl, granted)?;
+                        elastic.after_push(&sl, granted, &obs)?;
                     }
                 }
             }
@@ -321,6 +348,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         event,
                         &start,
                         &mut elastic,
+                        &obs,
                     )?,
                 }
             }
@@ -334,6 +362,12 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
 
     // The run's terminal state is always durable, regardless of cadence alignment.
     elastic.sink.finalize(|| sl.snapshot(expected_digest))?;
+    if job.checkpoint.is_some() {
+        obs.on_checkpoint(sl.version());
+    }
+    obs.sync_loop(&sl);
+    obs.mirror_transport(&transport.transport_stats());
+    obs.flush()?;
     Ok(sl.finish(start.elapsed().as_secs_f64()))
 }
 
@@ -346,15 +380,24 @@ fn evict_client(
     gate: &mut Option<DeterministicGate>,
     worker: usize,
     start: &Instant,
+    obs: &Obs,
 ) -> Result<(), NetError> {
     let released = sl.evict_worker(worker, start.elapsed().as_secs_f64());
+    obs.on_eviction(worker);
     if let Some(g) = gate.as_mut() {
         g.forget_worker(worker);
         for reply in &released {
             g.on_released(reply.worker);
         }
     }
-    deliver_replies(sl, transport, gate, &released, start)
+    for reply in &released {
+        obs.event(
+            dssp_core::events::EventKind::GateRelease,
+            reply.worker as u64,
+        );
+    }
+    obs.sync_loop(sl);
+    deliver_replies(sl, transport, gate, &released, start, obs)
 }
 
 /// Rejects traffic from a client that has not completed its handshake yet. Shared by
@@ -415,24 +458,25 @@ pub fn validate_hello(
 /// Answers one pull from a borrowed view of the server's store (full when `known` is
 /// `None` or incompatible, delta otherwise). Pulls are pure reads served at the
 /// transport level; they never enter the decision loop (and must not advance its
-/// logical clock).
+/// logical clock). Returns whether the reply shipped as a delta (the exported
+/// delta-hit-rate signal).
 fn serve_pull(
     sl: &ServerLoop,
     transport: &mut dyn ServerTransport,
     rank: usize,
     known: Option<&[u64]>,
-) -> Result<(), NetError> {
+) -> Result<bool, NetError> {
     let store = sl.server().store();
-    transport.send_pull_reply(
-        rank,
-        &PullView {
-            clock: sl.version(),
-            versions: store.versions(),
-            offsets: store.offsets(),
-            weights: store.as_flat(),
-            known,
-        },
-    )
+    let view = PullView {
+        clock: sl.version(),
+        versions: store.versions(),
+        offsets: store.offsets(),
+        weights: store.as_flat(),
+        known,
+    };
+    let delta = view.delta_applicable();
+    transport.send_pull_reply(rank, &view)?;
+    Ok(delta)
 }
 
 /// Delivers one `PushReply` per released `OK`. A failed send means the recipient
@@ -447,6 +491,7 @@ fn deliver_replies(
     gate: &mut Option<DeterministicGate>,
     replies: &[OkReply],
     start: &Instant,
+    obs: &Obs,
 ) -> Result<(), NetError> {
     for reply in replies {
         let msg = Message::PushReply {
@@ -454,7 +499,7 @@ fn deliver_replies(
             version: sl.version(),
         };
         if transport.send(reply.worker, &msg).is_err() {
-            evict_client(sl, transport, gate, reply.worker, start)?;
+            evict_client(sl, transport, gate, reply.worker, start, obs)?;
         }
     }
     Ok(())
@@ -473,6 +518,7 @@ fn check_abort(sl: &ServerLoop) -> Result<(), NetError> {
 /// Applies one gate-released event to the decision loop and delivers the resulting
 /// protocol messages (deterministic mode, and the direct `Done` path), then runs the
 /// elasticity hooks for the phase the event concluded.
+#[allow(clippy::too_many_arguments)]
 fn process_event(
     sl: &mut ServerLoop,
     transport: &mut dyn ServerTransport,
@@ -481,13 +527,15 @@ fn process_event(
     event: WorkerEvent,
     start: &Instant,
     elastic: &mut Elastic,
+    obs: &Obs,
 ) -> Result<(), NetError> {
     if let WorkerEvent::Pull { worker } = event {
         let known = pulls.take(worker);
         // Split the borrow: `known` borrows `pulls`, which `serve_pull` does not touch.
-        if serve_pull(sl, transport, worker, known).is_err() {
+        match serve_pull(sl, transport, worker, known) {
+            Ok(delta) => obs.on_pull(worker, delta),
             // The puller died awaiting its reply: reap it instead of crashing the run.
-            evict_client(sl, transport, gate, worker, start)?;
+            Err(_) => evict_client(sl, transport, gate, worker, start, obs)?,
         }
         return elastic.fault.pull();
     }
@@ -497,11 +545,16 @@ fn process_event(
     };
     let now = start.elapsed().as_secs_f64();
     let replies = sl.handle_gated(gate, event, now);
-    deliver_replies(sl, transport, gate, &replies, start)?;
+    if let Some(pusher) = pusher {
+        // The deterministic replay path has no per-push staleness sample (the
+        // decision is consumed inside `handle_gated`); events and counters still flow.
+        obs.on_push(pusher, None, &replies, sl);
+    }
+    deliver_replies(sl, transport, gate, &replies, start, obs)?;
     check_abort(sl)?;
     if let Some(pusher) = pusher {
         let granted = replies.iter().any(|r| r.worker == pusher);
-        elastic.after_push(sl, granted)?;
+        elastic.after_push(sl, granted, obs)?;
     }
     Ok(())
 }

@@ -18,7 +18,16 @@ use crate::transport::{PullOutcome, WorkerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK};
 use crate::NetError;
 use dssp_core::driver::{FaultPhase, FaultRole, JobConfig, WorkerStep};
+use dssp_core::events::{EventKind, EventLog, Role};
 use std::time::Instant;
+
+/// Records one structured event when the worker's event log is enabled.
+#[inline]
+fn ev(log: Option<&EventLog>, kind: EventKind, payload: u64) {
+    if let Some(log) = log {
+        log.record(kind, payload);
+    }
+}
 
 /// What a worker experienced during its run, for logging and tests.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +69,31 @@ pub fn run_worker(
     rank: usize,
     transport: &mut dyn WorkerTransport,
 ) -> Result<WorkerReport, NetError> {
+    // The worker's event timeline (`--event-log DIR` → `DIR/worker-<rank>.ndjson`):
+    // join/push/pull plus the gate-block/gate-release pair bracketing every deferred
+    // `OK` wait, from which the chrome-trace exporter reconstructs the per-worker
+    // compute/blocked/pull lanes. Flushed on every exit path — including errors, so an
+    // evicted or chaos-killed worker still leaves its timeline behind.
+    let log = job
+        .event_log
+        .as_ref()
+        .map(|_| EventLog::new(Role::Worker, rank as u32));
+    let result = run_worker_inner(job, rank, transport, log.as_ref());
+    if let (Some(log), Some(dir)) = (&log, &job.event_log) {
+        let flushed = log.flush_to_dir(dir);
+        if result.is_ok() {
+            flushed?;
+        }
+    }
+    result
+}
+
+fn run_worker_inner(
+    job: &JobConfig,
+    rank: usize,
+    transport: &mut dyn WorkerTransport,
+    log: Option<&EventLog>,
+) -> Result<WorkerReport, NetError> {
     let mut step = WorkerStep::for_rank(job, rank);
     let mut report = WorkerReport {
         rank,
@@ -98,6 +132,7 @@ pub fn run_worker(
         }
         other => return Err(unexpected(rank, &other)),
     };
+    ev(log, EventKind::Join, resume_from);
     if resume_from > 0 {
         step.skip_to(resume_from.min(step.target()));
         report.iterations = step.completed();
@@ -110,7 +145,10 @@ pub fn run_worker(
 
     // Initial pull: the version cache is empty, so this is always a full pull.
     match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
-        PullOutcome::Applied(applied) => record_pull(&mut report, applied.full),
+        PullOutcome::Applied(applied) => {
+            record_pull(&mut report, applied.full);
+            ev(log, EventKind::Pull, applied.clock);
+        }
         PullOutcome::Shutdown { .. } => {
             report.shutdown_early = true;
             report.last_shard_versions = versions;
@@ -126,16 +164,23 @@ pub fn run_worker(
         report.iterations = step.completed();
         report.epochs = step.epoch();
         transport.send_push(iter + 1, &grads)?;
+        ev(log, EventKind::Push, iter + 1);
         fault_due(fault.as_ref(), FaultPhase::Push, iter + 1)?;
         if iter + 1 == target {
             break; // final push: report Done without waiting for the OK
         }
         fault_due(fault.as_ref(), FaultPhase::GateBlocked, iter + 1)?;
+        ev(log, EventKind::GateBlock, iter + 1);
         let wait_start = Instant::now();
         match transport.recv()? {
             Message::PushReply { granted_extra, .. } => {
-                report.waiting_time_s += wait_start.elapsed().as_secs_f64();
+                let waited = wait_start.elapsed();
+                report.waiting_time_s += waited.as_secs_f64();
                 report.granted_extra_total += granted_extra;
+                ev(log, EventKind::GateRelease, waited.as_micros() as u64);
+                if granted_extra > 0 {
+                    ev(log, EventKind::CreditGrant, granted_extra);
+                }
             }
             Message::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
@@ -148,6 +193,7 @@ pub fn run_worker(
             PullOutcome::Applied(applied) => {
                 record_pull(&mut report, applied.full);
                 transport.note_confirmed_clock(applied.clock);
+                ev(log, EventKind::Pull, applied.clock);
             }
             PullOutcome::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();

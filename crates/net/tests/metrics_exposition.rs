@@ -1,0 +1,128 @@
+//! Golden-format tests for the Prometheus text exposition: every rendered page must
+//! parse with [`parse_exposition`] (the same parser `repro -- stats` uses), keep its
+//! HELP/TYPE discipline, and serve identically over a real `GET /metrics` socket.
+
+use dssp_core::events::Role;
+use dssp_net::metrics::{parse_exposition, scrape, Metrics, MetricsServer, STALENESS_LE};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+fn populated() -> Metrics {
+    let m = Metrics::new(Role::Server, 0);
+    m.pushes.store(120, Relaxed);
+    m.blocked_pushes.store(30, Relaxed);
+    m.pulls_full.store(7, Relaxed);
+    m.pulls_delta.store(110, Relaxed);
+    m.bytes_sent.store(1 << 20, Relaxed);
+    m.bytes_received.store(3 << 20, Relaxed);
+    m.blocked_workers.store(2, Relaxed);
+    m.version.store(120, Relaxed);
+    m.credits_granted.store(9, Relaxed);
+    m.credits_reclaimed.store(4, Relaxed);
+    m.checkpoints_written.store(3, Relaxed);
+    m.reconnects.store(1, Relaxed);
+    m.evictions.store(1, Relaxed);
+    m.joins.store(4, Relaxed);
+    for s in [0, 0, 1, 3, 5, 40] {
+        m.observe_staleness(s);
+    }
+    m
+}
+
+#[test]
+fn rendered_page_parses_and_keeps_help_type_discipline() {
+    let page = populated().render();
+    let exp = parse_exposition(&page).expect("page parses");
+
+    // Every sample family carries a HELP and a TYPE declaration.
+    for sample in &exp.samples {
+        let family = sample
+            .name
+            .strip_suffix("_bucket")
+            .or_else(|| sample.name.strip_suffix("_sum"))
+            .or_else(|| sample.name.strip_suffix("_count"))
+            .filter(|f| *f == "dssp_staleness")
+            .unwrap_or(&sample.name);
+        assert!(
+            exp.types.iter().any(|(n, _)| n == family),
+            "{} has no TYPE declaration",
+            sample.name
+        );
+        assert!(
+            exp.helps.iter().any(|(n, _)| n == family),
+            "{} has no HELP declaration",
+            sample.name
+        );
+        // Every series is labelled with its emitting role and rank.
+        assert_eq!(sample.label("role"), Some("server"), "{}", sample.name);
+        assert_eq!(sample.label("rank"), Some("0"), "{}", sample.name);
+    }
+
+    // The key series carry the stored values.
+    let labels: &[(&str, &str)] = &[];
+    assert_eq!(exp.value("dssp_pushes_total", labels), Some(120.0));
+    assert_eq!(exp.value("dssp_blocked_pushes_total", labels), Some(30.0));
+    assert_eq!(exp.value("dssp_credits_granted_total", labels), Some(9.0));
+    assert_eq!(exp.value("dssp_credits_reclaimed_total", labels), Some(4.0));
+    assert_eq!(exp.value("dssp_blocked_workers", labels), Some(2.0));
+    assert_eq!(exp.value("dssp_model_version", labels), Some(120.0));
+    assert_eq!(
+        exp.value("dssp_pulls_total", &[("mode", "full")]),
+        Some(7.0)
+    );
+    assert_eq!(
+        exp.value("dssp_pulls_total", &[("mode", "delta")]),
+        Some(110.0)
+    );
+    assert_eq!(
+        exp.value("dssp_bytes_total", &[("direction", "sent")]),
+        Some((1u64 << 20) as f64)
+    );
+}
+
+#[test]
+fn staleness_histogram_is_cumulative_and_complete() {
+    let page = populated().render();
+    let exp = parse_exposition(&page).expect("page parses");
+
+    // Buckets are cumulative and monotone, ending in +Inf == count.
+    let mut last = -1.0;
+    for le in STALENESS_LE {
+        let v = exp
+            .value("dssp_staleness_bucket", &[("le", &le.to_string())])
+            .unwrap_or_else(|| panic!("missing le={le} bucket"));
+        assert!(v >= last, "bucket le={le} not monotone");
+        last = v;
+    }
+    let inf = exp
+        .value("dssp_staleness_bucket", &[("le", "+Inf")])
+        .expect("+Inf bucket");
+    assert!(inf >= last);
+    assert_eq!(exp.value("dssp_staleness_count", &[]), Some(inf));
+    // Samples were 0,0,1,3,5,40 → sum 49, count 6, two in the le=0 bucket.
+    assert_eq!(exp.value("dssp_staleness_sum", &[]), Some(49.0));
+    assert_eq!(inf, 6.0);
+    assert_eq!(
+        exp.value("dssp_staleness_bucket", &[("le", "0")]),
+        Some(2.0)
+    );
+}
+
+#[test]
+fn live_endpoint_serves_the_same_page() {
+    let metrics = Arc::new(populated());
+    let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let body = scrape(&addr).expect("scrape");
+    let exp = parse_exposition(&body).expect("served page parses");
+    assert_eq!(exp.value("dssp_pushes_total", &[]), Some(120.0));
+
+    // A counter bumped between scrapes is visible on the next scrape.
+    metrics.pushes.fetch_add(5, Relaxed);
+    let exp2 = parse_exposition(&scrape(&addr).expect("second scrape")).expect("parses");
+    assert_eq!(exp2.value("dssp_pushes_total", &[]), Some(125.0));
+
+    server.stop();
+    assert!(scrape(&addr).is_err(), "listener still up after stop");
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the structured-event NDJSON codec: encode→parse is the
+//! identity for every role/kind/payload combination, and damaged lines are rejected
+//! rather than misparsed.
+
+use dssp_core::events::{encode_line, parse_line, Event, EventKind, Role};
+use proptest::prelude::*;
+
+/// Picks a role by index (the proptest shim has no enum strategies).
+fn role(variant: u32) -> Role {
+    match variant % 4 {
+        0 => Role::Server,
+        1 => Role::Coordinator,
+        2 => Role::ShardServer,
+        _ => Role::Worker,
+    }
+}
+
+/// Picks an event kind by index.
+fn kind(variant: u32) -> EventKind {
+    match variant % 9 {
+        0 => EventKind::Push,
+        1 => EventKind::Pull,
+        2 => EventKind::GateBlock,
+        3 => EventKind::GateRelease,
+        4 => EventKind::CreditGrant,
+        5 => EventKind::Eviction,
+        6 => EventKind::Join,
+        7 => EventKind::Checkpoint,
+        _ => EventKind::Reconnect,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_then_parse_is_the_identity(
+        role_ix in 0u32..4,
+        kind_ix in 0u32..9,
+        ts in 0u64..u64::MAX,
+        rank in 0u32..u32::MAX,
+        payload in 0u64..u64::MAX,
+    ) {
+        let event = Event {
+            ts,
+            role: role(role_ix),
+            rank,
+            kind: kind(kind_ix),
+            payload,
+        };
+        let line = encode_line(&event);
+        // NDJSON discipline: one line, no raw newline inside it.
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(parse_line(&line), Ok(event));
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected(
+        role_ix in 0u32..4,
+        kind_ix in 0u32..9,
+        ts in 0u64..u64::MAX,
+        rank in 0u32..u32::MAX,
+        payload in 0u64..u64::MAX,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let event = Event {
+            ts,
+            role: role(role_ix),
+            rank,
+            kind: kind(kind_ix),
+            payload,
+        };
+        let line = encode_line(&event);
+        prop_assert!(line.is_ascii()); // slicing below is byte-indexed
+        let cut = (((line.len() - 1) as f64) * cut_fraction) as usize;
+        let prefix = &line[..cut.min(line.len() - 1)];
+        prop_assert!(parse_line(prefix).is_err(), "prefix parsed: {prefix}");
+    }
+
+    #[test]
+    fn field_corruption_is_rejected_or_roundtrips_differently(
+        role_ix in 0u32..4,
+        kind_ix in 0u32..9,
+        ts in 0u64..1_000_000_000u64,
+        rank in 0u32..1024,
+        payload in 0u64..1_000_000_000u64,
+        flip in 0usize..64,
+    ) {
+        let event = Event {
+            ts,
+            role: role(role_ix),
+            rank,
+            kind: kind(kind_ix),
+            payload,
+        };
+        let mut bytes = encode_line(&event).into_bytes();
+        let i = flip % bytes.len();
+        bytes[i] = bytes[i].wrapping_add(1);
+        // A flipped byte either breaks the parse or yields a *different* event —
+        // never silently the same one.
+        if let Ok(line) = String::from_utf8(bytes) {
+            match parse_line(&line) {
+                Ok(reparsed) => prop_assert!(reparsed != event),
+                Err(_) => {}
+            }
+        }
+    }
+}

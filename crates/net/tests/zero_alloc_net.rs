@@ -7,14 +7,22 @@
 //! handling, zero-copy pull replies, recycled bulk buffers), and on the connection
 //! reader thread (reused payload buffer, pool-fed bulk decodes). The counter is
 //! global, so allocations on *any* thread during the measured window fail the test.
+//!
+//! The measured window runs with observability fully enabled — a live (idle)
+//! `GET /metrics` listener, metric counter updates, staleness histogram samples and
+//! structured-event recording on both ends — proving the instrumentation keeps the
+//! zero-allocation guarantee: [`dssp_core::events::EventLog::record`] claims a
+//! preallocated slot and the metric hooks are plain atomics.
 
+use dssp_core::events::{EventKind, EventLog, Role};
 use dssp_net::transport::{PullOutcome, PullView};
 use dssp_net::{
-    Message, ServerTransport, TcpServerTransport, TcpWorkerTransport, WorkerTransport,
+    Message, Obs, ServerTransport, TcpServerTransport, TcpWorkerTransport, WorkerTransport,
     PROTOCOL_VERSION,
 };
 use dssp_ps::ShardedStore;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
@@ -47,8 +55,10 @@ const MEASURED: u64 = 50;
 
 /// The worker side: a fixed gradient pushed every iteration, followed by a delta
 /// pull — the exact steady-state message sequence of `run_worker`, minus the model
-/// compute (which has its own zero-allocation test in `dssp-nn`).
+/// compute (which has its own zero-allocation test in `dssp-nn`). Event recording is
+/// on, exactly as `run_worker` records with `--event-log`.
 fn worker_loop(addr: &str) {
+    let log = EventLog::new(Role::Worker, 0);
     let mut t = TcpWorkerTransport::connect(addr).expect("connect");
     t.send(&Message::Hello {
         version: PROTOCOL_VERSION,
@@ -66,18 +76,25 @@ fn worker_loop(addr: &str) {
     ));
     for iter in 0..WARMUP + MEASURED {
         t.send_push(iter + 1, &grads).expect("push");
+        log.record(EventKind::Push, iter + 1);
+        log.record(EventKind::GateBlock, iter + 1);
         match t.recv().expect("push reply") {
             Message::PushReply { .. } => {}
             other => panic!("unexpected: {other:?}"),
         }
+        log.record(EventKind::GateRelease, 0);
         match t
             .pull_into(true, &mut weights, &mut versions)
             .expect("pull")
         {
-            PullOutcome::Applied(applied) => assert!(!applied.full, "cache must stay warm"),
+            PullOutcome::Applied(applied) => {
+                assert!(!applied.full, "cache must stay warm");
+                log.record(EventKind::Pull, applied.clock);
+            }
             other => panic!("unexpected: {other:?}"),
         }
     }
+    assert_eq!(log.dropped(), 0, "event log must not saturate in this test");
     t.send(&Message::Done {
         iterations: WARMUP + MEASURED,
         epochs: 1,
@@ -88,10 +105,18 @@ fn worker_loop(addr: &str) {
 
 /// The server side: the same command-loop shape as `dssp_net::serve`'s fast path —
 /// apply the push to a sharded store, recycle the gradient buffer, reply, answer the
-/// delta pull from a borrowed view.
-fn serve_iterations(server: &mut TcpServerTransport, store: &mut ShardedStore, count: u64) {
+/// delta pull from a borrowed view — with the per-message observability hooks the
+/// real loop runs (event records, counter updates, a histogram sample, transport
+/// mirroring).
+fn serve_iterations(
+    server: &mut TcpServerTransport,
+    store: &mut ShardedStore,
+    obs: &Obs,
+    count: u64,
+) {
     let mut served = 0;
     while served < count {
+        obs.mirror_transport(&server.transport_stats());
         let (rank, msg) = server.recv().expect("recv");
         match msg {
             Message::Push { iteration, grads } => {
@@ -106,6 +131,10 @@ fn serve_iterations(server: &mut TcpServerTransport, store: &mut ShardedStore, c
                         },
                     )
                     .expect("push reply");
+                obs.event(EventKind::Push, rank as u64);
+                obs.metrics().pushes.fetch_add(1, Relaxed);
+                obs.metrics().version.store(iteration, Relaxed);
+                obs.metrics().observe_staleness(iteration % 3);
             }
             Message::PullDelta { known_versions } => {
                 server
@@ -121,6 +150,7 @@ fn serve_iterations(server: &mut TcpServerTransport, store: &mut ShardedStore, c
                     )
                     .expect("delta reply");
                 server.recycle_u64s(rank, known_versions);
+                obs.on_pull(rank, true);
                 served += 1;
             }
             other => panic!("unexpected: {other:?}"),
@@ -130,6 +160,14 @@ fn serve_iterations(server: &mut TcpServerTransport, store: &mut ShardedStore, c
 
 #[test]
 fn steady_state_tcp_round_trips_do_not_allocate_on_either_end() {
+    // Full observability bundle: event log enabled (flushed to a scratch dir at the
+    // end) and a live metrics listener, idle during the measured window — exactly
+    // the configuration a `--metrics-addr ... --event-log ...` run serves under.
+    let event_dir =
+        std::env::temp_dir().join(format!("dssp-zero-alloc-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&event_dir).expect("scratch dir");
+    let obs = Obs::new(Role::Server, 0, Some(&event_dir), Some("127.0.0.1:0")).expect("obs");
+
     let mut server = TcpServerTransport::bind("127.0.0.1:0", 1).expect("bind");
     let addr = server.local_addr().to_string();
     let worker = std::thread::spawn(move || worker_loop(&addr));
@@ -154,20 +192,28 @@ fn steady_state_tcp_round_trips_do_not_allocate_on_either_end() {
         .expect("full reply");
 
     // Warm-up: buffers and pools grow to steady-state size; allocations expected.
-    serve_iterations(&mut server, &mut store, WARMUP);
+    serve_iterations(&mut server, &mut store, &obs, WARMUP);
 
-    // Measured window: the worker thread, the connection reader thread and this
-    // command loop are all in steady state — the global counter must not move.
+    // Measured window: the worker thread, the connection reader thread, the idle
+    // metrics listener and this command loop are all in steady state — the global
+    // counter must not move, event hooks and metric updates included.
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    serve_iterations(&mut server, &mut store, MEASURED);
+    serve_iterations(&mut server, &mut store, &obs, MEASURED);
     let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
     assert_eq!(
         during, 0,
-        "{MEASURED} steady-state push/pull round trips performed {during} heap allocations"
+        "{MEASURED} steady-state push/pull round trips performed {during} heap allocations \
+         with observability enabled"
     );
 
     // Drain the Done so the worker exits cleanly.
     let (_, done) = server.recv().expect("done");
     assert!(matches!(done, Message::Done { .. }));
     worker.join().expect("worker thread");
+
+    // The instrumentation observed the run: flush and spot-check outside the window.
+    assert_eq!(obs.metrics().pushes.load(Relaxed), WARMUP + MEASURED);
+    let flushed = obs.flush().expect("flush").expect("event log enabled");
+    assert!(flushed.exists());
+    std::fs::remove_dir_all(&event_dir).ok();
 }

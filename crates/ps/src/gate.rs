@@ -197,6 +197,7 @@ impl SyncGate {
             ok_now,
             version: self.version,
             granted_extra,
+            staleness: lead,
         }
     }
 

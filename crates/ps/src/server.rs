@@ -65,6 +65,10 @@ pub struct PushDecision {
     /// Algorithm 2; always 0 for BSP/ASP/SSP and for pushes that spend an existing
     /// credit).
     pub granted_extra: u64,
+    /// The pushing worker's staleness at push time (its clock lead over the slowest
+    /// active worker) — the per-push sample behind the staleness histogram, surfaced
+    /// here so networked serving loops can export it without re-deriving clock state.
+    pub staleness: u64,
 }
 
 /// Outcome of one push request.
