@@ -60,6 +60,19 @@
 //! cargo run --release -p dssp-bench --bin repro -- chaos-smoke [--out FILE]
 //! ```
 //!
+//! Live migration: a running group can move shard ownership between its servers
+//! without stopping. `--migrate drain:<server>:<at_version>` /
+//! `--migrate rebalance:<at_version>` schedule one declaratively,
+//! `--migrate-threshold N` auto-rebalances on owned-shard skew, and two admin
+//! subcommands drive one from the outside (they dial the coordinator's spare admin
+//! slot and exit once the migration commits or is refused):
+//!
+//! ```text
+//! repro drain <server-index> --connect COORD [job flags]   # empty one server live
+//! repro rebalance --connect COORD [job flags]              # re-spread the shards
+//! repro migration-smoke [--out FILE]   # 3-server drain mid-run + /metrics epoch check
+//! ```
+//!
 //! Observability: every deployment mode accepts `--event-log DIR` (per-role NDJSON
 //! event timelines) and `--metrics-addr HOST:PORT` (live Prometheus `GET /metrics`;
 //! shard server `i` scrapes at `PORT+1+i`). Two companion modes consume them:
@@ -208,7 +221,9 @@ fn run_coord_mode(args: &[String]) {
     let job = net_job_or_exit(args);
     let addrs = server_addrs_or_exit(args, &job);
     let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
-    let mut transport = match dssp_net::TcpServerTransport::bind(&listen, job.num_workers) {
+    // One spare slot past the workers: the admin channel that `repro -- drain` /
+    // `repro -- rebalance` dial mid-run (reaped on shutdown if never used).
+    let mut transport = match dssp_net::TcpServerTransport::bind(&listen, job.num_workers + 1) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("failed to bind {listen}: {e}");
@@ -504,6 +519,143 @@ fn run_chaos_smoke_mode(args: &[String]) {
     }
 }
 
+/// The operator side of a live migration: dials the coordinator's admin slot, sends
+/// `Drain`/`Rebalance`, and blocks until the coordinator acks the outcome. `--workers`
+/// must match the running job (the admin speaks as rank `num_workers`).
+fn run_admin_mode(args: &[String], subcommand: &str) {
+    let job = net_job_or_exit(args);
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("{subcommand} mode requires --connect COORD_ADDR");
+        std::process::exit(2);
+    };
+    let command = if subcommand == "drain" {
+        let server: u32 = match args
+            .get(1)
+            .filter(|a| !a.starts_with('-'))
+            .map(|a| a.parse())
+        {
+            Some(Ok(server)) => server,
+            _ => {
+                eprintln!("drain mode requires a server index: repro -- drain <server-index>");
+                std::process::exit(2);
+            }
+        };
+        dssp_net::Message::Drain { server }
+    } else {
+        dssp_net::Message::Rebalance
+    };
+    let mut transport = match dssp_net::TcpWorkerTransport::connect(&addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{subcommand} failed to connect to the coordinator at {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match dssp_coord::run_admin_command(&mut transport, job.num_workers, &command) {
+        Ok((epoch, _)) => {
+            println!("migration committed: the group now runs layout epoch {epoch}");
+        }
+        Err(e) => {
+            eprintln!("{subcommand} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One live-migration smoke over real processes: a 3-server deterministic group with
+/// a declarative mid-run drain. The run must complete with every survivor finishing,
+/// the coordinator's `/metrics` endpoint must report the layout-epoch bump while the
+/// run is still live, and the coordinator's event log must record the commit.
+fn run_migration_smoke_mode(args: &[String]) {
+    use dssp_core::driver::{JobConfig, MigrationCommand, MigrationSpec};
+    use dssp_net::metrics::{parse_exposition, scrape};
+
+    let out_path =
+        flag_value(args, "--out").unwrap_or_else(|| "TRACE_migration_smoke.json".to_string());
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let scratch = std::env::temp_dir().join(format!("dssp_migration_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!("cannot create {}: {e}", scratch.display());
+        std::process::exit(1);
+    }
+
+    let mut job = JobConfig::small(dssp_ps::PolicyKind::Dssp { s_l: 1, r_max: 8 });
+    job.num_workers = 2;
+    job.shards = 4;
+    job.servers = 3;
+    job.epochs = 1;
+    job.deterministic = true;
+    job.stall_timeout_ms = 5_000;
+    // Slow the straggler so the post-commit run leaves a comfortable window for
+    // the /metrics poll below to observe the epoch-1 gauge live. (Straggler-shaped
+    // — zeros then a delay on the last rank — because `launch_group`'s child
+    // processes reconstruct the delays from `--straggler-ms` and every role must
+    // agree on the config digest.)
+    let mut delays = vec![0; job.num_workers];
+    delays[job.num_workers - 1] = 10;
+    job.extra_compute_delay_ms = delays;
+    job.migration = Some(MigrationSpec {
+        command: MigrationCommand::Drain(2),
+        at_version: 8,
+    });
+    job.event_log = Some(scratch.clone());
+    let metrics_addr = "127.0.0.1:9184".to_string();
+    job.metrics_addr = Some(metrics_addr.clone());
+
+    println!("== migration smoke: 3-server group, drain server 2 at version 8 ==");
+    let launcher = {
+        let job = job.clone();
+        std::thread::spawn(move || dssp_coord::launch_group(&job, "127.0.0.1:0", &exe))
+    };
+    // Poll the coordinator's live gauge until the commit lands (or the run ends).
+    let mut live_epoch = 0u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while live_epoch < 1 && std::time::Instant::now() < deadline && !launcher.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if let Ok(page) = scrape(&metrics_addr) {
+            if let Ok(exp) = parse_exposition(&page) {
+                live_epoch = exp.value("dssp_layout_epoch", &[]).unwrap_or(0.0) as u64;
+            }
+        }
+    }
+    let run = launcher.join().expect("launcher thread");
+    let survivors_finished = matches!(&run, Ok(outcome) if outcome.trace.total_pushes > 0);
+    let committed_in_log = std::fs::read_to_string(scratch.join("coord.ndjson"))
+        .map(|s| s.contains("migration-commit"))
+        .unwrap_or(false);
+    let ok = survivors_finished && live_epoch >= 1 && committed_in_log;
+    let detail = match &run {
+        Ok(outcome) => format!("completed with {} pushes", outcome.trace.total_pushes),
+        Err(e) => format!("run failed: {e}"),
+    };
+    println!(
+        "survivors finished: {survivors_finished}; live /metrics epoch: {live_epoch}; \
+         commit in event log: {committed_in_log}"
+    );
+    let json = format!(
+        "{{\n  \"id\": \"migration_smoke\",\n  \"ok\": {ok},\n  \"live_epoch\": {live_epoch},\n  \
+         \"commit_in_log\": {committed_in_log},\n  \"detail\": \"{}\"\n}}\n",
+        json_escape(&detail)
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !ok {
+        eprintln!("migration smoke failed ({detail})");
+        std::process::exit(1);
+    }
+}
+
 /// Renders a chrome-trace (Trace Event Format) timeline from either an `--event-log`
 /// directory (per-role NDJSON files) or a `--trace-out` run record. Open the output
 /// in `chrome://tracing` or Perfetto.
@@ -660,6 +812,11 @@ fn print_fleet_summary(addr: &str, exp: &dssp_net::metrics::Exposition) {
         human_bytes(received)
     );
     println!(
+        "  layout epoch {:.0}, {:.0} shard(s) owned",
+        v("dssp_layout_epoch"),
+        v("dssp_shards_owned")
+    );
+    println!(
         "  joins {:.0}, reconnects {:.0}, evictions {:.0}, checkpoints {:.0}, events dropped {:.0}",
         v("dssp_joins_total"),
         v("dssp_reconnects_total"),
@@ -698,6 +855,18 @@ fn main() {
         }
         Some("chaos-smoke") => {
             run_chaos_smoke_mode(&args);
+            return;
+        }
+        Some("drain") => {
+            run_admin_mode(&args, "drain");
+            return;
+        }
+        Some("rebalance") => {
+            run_admin_mode(&args, "rebalance");
+            return;
+        }
+        Some("migration-smoke") => {
+            run_migration_smoke_mode(&args);
             return;
         }
         Some("trace") => {
@@ -772,7 +941,7 @@ fn main() {
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
                      ablation_aggregation all bench bench-net serve coord worker launch \
-                     chaos-smoke trace stats"
+                     chaos-smoke drain rebalance migration-smoke trace stats"
                 );
                 std::process::exit(2);
             }

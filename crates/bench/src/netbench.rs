@@ -354,6 +354,7 @@ fn group_server(
             Message::PullShards {
                 known_versions,
                 all,
+                ..
             } => {
                 reply.clear();
                 let versions = store.versions().to_vec();
@@ -414,7 +415,7 @@ fn group_client(addrs: &[String], layout: GroupLayout, iters: u32) -> (Vec<Trans
                       all: bool| {
         for (i, link) in links.iter_mut().enumerate() {
             let (lo, hi) = layout.shard_span(i);
-            link.send_pull_shards(&versions[lo..hi], all)
+            link.send_pull_shards(&versions[lo..hi], all, 0)
                 .expect("pull req");
         }
         for link in links.iter_mut() {
@@ -430,7 +431,7 @@ fn group_client(addrs: &[String], layout: GroupLayout, iters: u32) -> (Vec<Trans
     for it in 0..iters {
         for (i, link) in links.iter_mut().enumerate() {
             let (a, b) = layout.key_range(i);
-            link.send_push_slice(u64::from(it) + 1, &grads[a..b])
+            link.send_push_slice(u64::from(it) + 1, 0, &grads[a..b])
                 .expect("push slice");
         }
         for link in links.iter_mut() {
@@ -490,11 +491,12 @@ fn run_group_workload(
             for index in 0..point.servers {
                 let transport = TcpServerTransport::bind("127.0.0.1:0", 1).expect("bind");
                 addrs.push(transport.local_addr().to_string());
+                let layout = layout.clone();
                 handles.push(thread::spawn(move || {
                     group_server(transport, layout, index, skewed)
                 }));
             }
-            let (stats, elapsed) = group_client(&addrs, layout, iters);
+            let (stats, elapsed) = group_client(&addrs, layout.clone(), iters);
             for handle in handles {
                 handle.join().expect("group server thread");
             }

@@ -153,6 +153,24 @@ impl ShardFan {
         &self.layout
     }
 
+    /// Adopts a committed migration's layout: re-routes every subsequent push and
+    /// pull by the new shard→server assignment, stamped with the new epoch. The
+    /// version cache survives — shard indices are global, and shards carried their
+    /// versions with them.
+    pub fn adopt(&mut self, epoch: u64, assignment: &[u32]) -> Result<(), NetError> {
+        if epoch == self.layout.epoch() {
+            return Ok(()); // already adopted (duplicate broadcast)
+        }
+        self.layout = GroupLayout::from_parts(
+            self.layout.params(),
+            self.layout.servers(),
+            assignment.to_vec(),
+            epoch,
+        )
+        .map_err(NetError::Protocol)?;
+        Ok(())
+    }
+
     /// Handshakes every server with a [`Message::GroupHello`] announcing `rank`
     /// (`num_workers` for the coordinator).
     pub fn hello(&mut self, job: &JobConfig, rank: u32) -> Result<(), NetError> {
@@ -176,19 +194,41 @@ impl ShardFan {
 
     /// One push round: ships `grads` sliced by each server's key range (requests
     /// first, then all [`Message::SliceAck`]s), so a completed round means every
-    /// server applied its slice.
+    /// server applied its slice. Every slice is stamped with the fan's layout epoch;
+    /// a server that refuses the stamp ([`Message::EpochRefused`]) is either frozen
+    /// mid-migration (waited out with bounded probes) or already committed a newer
+    /// layout (adopted, and the whole round re-sliced and re-sent — sound because a
+    /// commit implies no server applied this round's slices).
     pub fn push_slices(&mut self, iteration: u64, grads: &[f32]) -> Result<FanOutcome, NetError> {
         assert_eq!(
             grads.len(),
             self.layout.params(),
             "gradient length mismatch"
         );
+        // One re-adoption per round is the legitimate race (a commit landed between
+        // our last layout update and this push); a second means the group is
+        // committing migrations faster than we can push, which is a protocol anomaly.
+        for _ in 0..2 {
+            match self.push_round(iteration, grads)? {
+                PushRound::Done(outcome) => return Ok(outcome),
+                PushRound::Readopted => continue,
+            }
+        }
+        Err(NetError::Protocol(format!(
+            "push round {iteration} kept hitting retired layouts after re-adoption"
+        )))
+    }
+
+    /// One attempt at a push round under the current layout; see
+    /// [`ShardFan::push_slices`].
+    fn push_round(&mut self, iteration: u64, grads: &[f32]) -> Result<PushRound, NetError> {
+        let epoch = self.layout.epoch();
         let mut reconnected = false;
         for (i, link) in self.links.iter_mut().enumerate() {
             let (start, end) = self.layout.key_range(i);
             if let Err(e) = link
                 .transport
-                .send_push_slice(iteration, &grads[start..end])
+                .send_push_slice(iteration, epoch, &grads[start..end])
                 .map_err(|e| at_link(link, e))
             {
                 if !recoverable(&e, link, &self.hello_replay) {
@@ -198,10 +238,12 @@ impl ShardFan {
                 ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
                 reconnected = true;
                 link.transport
-                    .send_push_slice(iteration, &grads[start..end])
+                    .send_push_slice(iteration, epoch, &grads[start..end])
                     .map_err(|e| at_link(link, e))?;
             }
         }
+        let mut acked = 0usize;
+        let mut committed: Option<(u64, Vec<u32>)> = None;
         for (i, link) in self.links.iter_mut().enumerate() {
             let msg = match link.transport.recv().map_err(|e| at_link(link, e)) {
                 Ok(msg) => msg,
@@ -214,15 +256,36 @@ impl ShardFan {
                     reconnected = true;
                     let (start, end) = self.layout.key_range(i);
                     link.transport
-                        .send_push_slice(iteration, &grads[start..end])
+                        .send_push_slice(iteration, epoch, &grads[start..end])
                         .map_err(|e| at_link(link, e))?;
                     link.transport.recv().map_err(|e| at_link(link, e))?
                 }
                 Err(e) => return Err(e),
             };
             match msg {
-                Message::SliceAck { .. } => {}
-                Message::Shutdown { reason } => return Ok(FanOutcome::Shutdown { reason }),
+                Message::SliceAck { .. } => acked += 1,
+                Message::Shutdown { reason } => {
+                    return Ok(PushRound::Done(FanOutcome::Shutdown { reason }))
+                }
+                Message::EpochRefused {
+                    epoch: srv_epoch,
+                    assignment,
+                } => {
+                    if assignment.is_empty() {
+                        let (start, end) = self.layout.key_range(i);
+                        match wait_out_freeze(link, iteration, epoch, &grads[start..end])? {
+                            FreezeEnd::Acked => acked += 1,
+                            FreezeEnd::Committed { epoch, assignment } => {
+                                committed = Some((epoch, assignment));
+                            }
+                            FreezeEnd::Shutdown { reason } => {
+                                return Ok(PushRound::Done(FanOutcome::Shutdown { reason }))
+                            }
+                        }
+                    } else {
+                        committed = Some((srv_epoch, assignment));
+                    }
+                }
                 other => {
                     return Err(NetError::Protocol(format!(
                         "expected SliceAck from {}, got {other:?}",
@@ -231,13 +294,25 @@ impl ShardFan {
                 }
             }
         }
+        if let Some((new_epoch, assignment)) = committed {
+            if acked > 0 {
+                // Unreachable when the coordinator migrates at quiescence; kept as
+                // the typed terminal refusal for torn states under chaos.
+                return Err(NetError::Protocol(format!(
+                    "torn push round at iteration {iteration}: {acked} server(s) applied \
+                     epoch-{epoch} slices but the group committed epoch {new_epoch} mid-round"
+                )));
+            }
+            self.adopt(new_epoch, &assignment)?;
+            return Ok(PushRound::Readopted);
+        }
         if reconnected {
             // A restored server may hold shard versions behind our cache; the next
             // pull round must request everything to resynchronize.
             self.warm = false;
             self.reconnects += 1;
         }
-        Ok(FanOutcome::Applied)
+        Ok(PushRound::Done(FanOutcome::Applied))
     }
 
     /// One pull round against the caller's global buffers (sized here on first use):
@@ -254,11 +329,12 @@ impl ShardFan {
         versions.resize(self.layout.shards(), 0);
         let all = !prefer_delta || !self.warm;
         let mut reconnected = false;
+        let epoch = self.layout.epoch();
         for (i, link) in self.links.iter_mut().enumerate() {
             let (lo, hi) = self.layout.shard_span(i);
             if let Err(e) = link
                 .transport
-                .send_pull_shards(&versions[lo..hi], all)
+                .send_pull_shards(&versions[lo..hi], all, epoch)
                 .map_err(|e| at_link(link, e))
             {
                 if !recoverable(&e, link, &self.hello_replay) {
@@ -269,30 +345,66 @@ impl ShardFan {
                 reconnected = true;
                 // A restored server may be behind our cache; ask for everything.
                 link.transport
-                    .send_pull_shards(&versions[lo..hi], true)
+                    .send_pull_shards(&versions[lo..hi], true, epoch)
                     .map_err(|e| at_link(link, e))?;
             }
         }
         for (i, link) in self.links.iter_mut().enumerate() {
-            let outcome = match link
-                .transport
-                .recv_pull_apply(weights, versions)
-                .map_err(|e| at_link(link, e))
-            {
-                Ok(outcome) => outcome,
-                Err(e) if recoverable(&e, link, &self.hello_replay) => {
-                    reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
-                    ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
-                    reconnected = true;
-                    let (lo, hi) = self.layout.shard_span(i);
-                    link.transport
-                        .send_pull_shards(&versions[lo..hi], true)
-                        .map_err(|e| at_link(link, e))?;
-                    link.transport
-                        .recv_pull_apply(weights, versions)
-                        .map_err(|e| at_link(link, e))?
+            // Pull replies carry global shard indices, so each link resolves its
+            // refusals independently: wait out a freeze with bounded probes, adopt a
+            // committed layout and re-request by the new span — shards the retired
+            // owners already shipped stay valid in the global buffers.
+            let mut probes = 0usize;
+            let mut redialed = false;
+            let outcome = loop {
+                match link
+                    .transport
+                    .recv_pull_apply(weights, versions)
+                    .map_err(|e| at_link(link, e))
+                {
+                    Ok(outcome) => break outcome,
+                    Err(NetError::EpochRefused {
+                        epoch: srv_epoch,
+                        assignment,
+                    }) => {
+                        if assignment.is_empty() {
+                            probes += 1;
+                            if probes > FREEZE_PROBES {
+                                return Err(NetError::Protocol(format!(
+                                    "migration freeze at {} never resolved during a pull \
+                                     (no commit or rollback within {} probes)",
+                                    link.label, FREEZE_PROBES
+                                )));
+                            }
+                            std::thread::sleep(FREEZE_PROBE_INTERVAL);
+                        } else if srv_epoch != self.layout.epoch() {
+                            // Inline adoption (split field borrow: `link` holds
+                            // `self.links`); semantics of [`ShardFan::adopt`].
+                            self.layout = GroupLayout::from_parts(
+                                self.layout.params(),
+                                self.layout.servers(),
+                                assignment,
+                                srv_epoch,
+                            )
+                            .map_err(NetError::Protocol)?;
+                        }
+                        let (lo, hi) = self.layout.shard_span(i);
+                        link.transport
+                            .send_pull_shards(&versions[lo..hi], true, self.layout.epoch())
+                            .map_err(|e| at_link(link, e))?;
+                    }
+                    Err(e) if !redialed && recoverable(&e, link, &self.hello_replay) => {
+                        redialed = true; // one re-dial per link per round, like a push
+                        reconnect(link, &self.hello_replay.unwrap(), i as u32)?;
+                        ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
+                        reconnected = true;
+                        let (lo, hi) = self.layout.shard_span(i);
+                        link.transport
+                            .send_pull_shards(&versions[lo..hi], true, self.layout.epoch())
+                            .map_err(|e| at_link(link, e))?;
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
             };
             match outcome {
                 PullOutcome::Applied(applied) => {
@@ -323,10 +435,30 @@ impl ShardFan {
         }
     }
 
+    /// The number of per-server links (the fleet size, drained servers included).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Sends one control message to shard server `server`. Used by the coordinator's
+    /// migration driver (prepare/transfer/commit legs); failures are attributed to
+    /// the link, never retried — a dead server mid-migration means rollback.
+    pub fn send_to(&mut self, server: usize, msg: &Message) -> Result<(), NetError> {
+        let link = &mut self.links[server];
+        link.transport.send(msg).map_err(|e| at_link(link, e))
+    }
+
+    /// Receives one message from shard server `server` (migration control acks and
+    /// relayed shard payloads).
+    pub fn recv_from(&mut self, server: usize) -> Result<Message, NetError> {
+        let link = &mut self.links[server];
+        link.transport.recv().map_err(|e| at_link(link, e))
+    }
+
     /// Asks every server for its counters ([`Message::StatsRequest`]) and returns the
     /// replies in server order as `(pushes, pulls_full, pulls_delta, bytes_sent,
-    /// bytes_received)`.
-    pub fn collect_stats(&mut self) -> Result<Vec<(u64, u64, u64, u64, u64)>, NetError> {
+    /// bytes_received, layout_epoch)`.
+    pub fn collect_stats(&mut self) -> Result<Vec<(u64, u64, u64, u64, u64, u64)>, NetError> {
         for link in self.links.iter_mut() {
             link.transport
                 .send(&Message::StatsRequest)
@@ -341,7 +473,15 @@ impl ShardFan {
                     pulls_delta,
                     bytes_sent,
                     bytes_received,
-                } => out.push((pushes, pulls_full, pulls_delta, bytes_sent, bytes_received)),
+                    epoch,
+                } => out.push((
+                    pushes,
+                    pulls_full,
+                    pulls_delta,
+                    bytes_sent,
+                    bytes_received,
+                    epoch,
+                )),
                 other => {
                     return Err(NetError::Protocol(format!(
                         "expected StatsReply from {}, got {other:?}",
@@ -359,7 +499,7 @@ impl ShardFan {
     /// so one dead server cannot tear the others' replies. Used for the final
     /// statistics snapshot in the coordinator's graceful shutdown, where partially
     /// populated group counters beat none at all.
-    pub fn collect_stats_tolerant(&mut self) -> Vec<Option<(u64, u64, u64, u64, u64)>> {
+    pub fn collect_stats_tolerant(&mut self) -> Vec<Option<(u64, u64, u64, u64, u64, u64)>> {
         self.links
             .iter_mut()
             .map(|link| {
@@ -371,12 +511,93 @@ impl ShardFan {
                         pulls_delta,
                         bytes_sent,
                         bytes_received,
-                    }) => Some((pushes, pulls_full, pulls_delta, bytes_sent, bytes_received)),
+                        epoch,
+                    }) => Some((
+                        pushes,
+                        pulls_full,
+                        pulls_delta,
+                        bytes_sent,
+                        bytes_received,
+                        epoch,
+                    )),
                     _ => None,
                 }
             })
             .collect()
     }
+}
+
+/// Outcome of one attempted push round: finished, or re-routed by a layout the group
+/// committed mid-round (retry under the adopted layout).
+enum PushRound {
+    /// The round completed (every server acked, or the run is shutting down).
+    Done(FanOutcome),
+    /// Every server refused the round's epoch with a committed newer layout before
+    /// any had applied; the fan adopted it and the caller re-slices and re-sends.
+    Readopted,
+}
+
+/// How a bounded wait on a frozen (mid-migration) shard server ended.
+enum FreezeEnd {
+    /// The migration rolled back and the server acked the original slice.
+    Acked,
+    /// The migration committed; the refusal carried the new layout.
+    Committed {
+        /// The committed epoch.
+        epoch: u64,
+        /// The committed shard→server assignment.
+        assignment: Vec<u32>,
+    },
+    /// The server relayed the coordinator's shutdown instead.
+    Shutdown {
+        /// [`SHUTDOWN_OK`] or the error reason.
+        reason: u8,
+    },
+}
+
+/// Probes per frozen-server wait before the freeze is declared a hang. With
+/// [`FREEZE_PROBE_INTERVAL`] this bounds the wait at ~2 s — far beyond any healthy
+/// migration (microseconds of in-memory shard copying plus a few round-trips), far
+/// below the chaos harness's per-cell budget, so "never hang" degrades into a typed
+/// error rather than a stall when the coordinator dies mid-migration.
+const FREEZE_PROBES: usize = 500;
+
+/// Delay between two probes of a frozen shard server.
+const FREEZE_PROBE_INTERVAL: Duration = Duration::from_millis(4);
+
+/// Re-sends one push slice to a frozen server until the migration resolves: a
+/// rollback yields the ack, a commit yields the new layout, and a freeze that
+/// outlives [`FREEZE_PROBES`] yields a typed error (the never-hang guarantee).
+fn wait_out_freeze(
+    link: &mut ServerLink,
+    iteration: u64,
+    epoch: u64,
+    slice: &[f32],
+) -> Result<FreezeEnd, NetError> {
+    for _ in 0..FREEZE_PROBES {
+        std::thread::sleep(FREEZE_PROBE_INTERVAL);
+        link.transport
+            .send_push_slice(iteration, epoch, slice)
+            .map_err(|e| at_link(link, e))?;
+        match link.transport.recv().map_err(|e| at_link(link, e))? {
+            Message::SliceAck { .. } => return Ok(FreezeEnd::Acked),
+            Message::EpochRefused { assignment, .. } if assignment.is_empty() => continue,
+            Message::EpochRefused { epoch, assignment } => {
+                return Ok(FreezeEnd::Committed { epoch, assignment })
+            }
+            Message::Shutdown { reason } => return Ok(FreezeEnd::Shutdown { reason }),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected SliceAck from {}, got {other:?}",
+                    link.label
+                )))
+            }
+        }
+    }
+    Err(NetError::Protocol(format!(
+        "migration freeze at {} never resolved (no commit or rollback within {} probes)",
+        link.label, FREEZE_PROBES
+    )))
 }
 
 /// Attributes an anonymous transport failure to the link it happened on, unless the
@@ -528,10 +749,24 @@ fn run_group_worker_inner(
     // the fleet came back from a checkpoint. The worker fast-forwards its batch
     // schedule to that point and resumes at the next iteration.
     coord.send(&Message::JoinRequest)?;
-    let resume_from = match coord.recv()? {
-        Message::JoinAck { clock } => clock,
-        Message::Shutdown { reason } => finish_early!(reason),
-        other => return Err(unexpected(rank, &other)),
+    let resume_from = loop {
+        match coord.recv()? {
+            Message::JoinAck {
+                clock,
+                epoch,
+                assignment,
+            } => {
+                // A worker (re)joining a group that already migrated learns the
+                // committed layout from the ack itself.
+                if epoch != 0 {
+                    fan.adopt(epoch, &assignment)?;
+                }
+                break clock;
+            }
+            Message::LayoutUpdate { epoch, assignment } => fan.adopt(epoch, &assignment)?,
+            Message::Shutdown { reason } => finish_early!(reason),
+            other => return Err(unexpected(rank, &other)),
+        }
     };
     ev(log, EventKind::Join, resume_from);
     if resume_from > 0 {
@@ -543,6 +778,8 @@ fn run_group_worker_inner(
     // This process's structured chaos hook, if the plan targets this rank.
     let fault = job.fault_plan.filter(|p| p.role == FaultRole::Worker(rank));
     let mut pulls_done: u64 = 0;
+    // Chaos cell `workerN:commit:*`: die right after adopting a committed layout.
+    let mut layout_adoptions: u64 = 0;
 
     // Initial pull: the cache is cold, so every server ships all of its shards.
     match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
@@ -566,10 +803,17 @@ fn run_group_worker_inner(
             // Canonical order: announce the push, wait to be granted the apply slot,
             // fan the slices out, and confirm so the coordinator's clock can advance.
             coord.send(&Message::ClockPush { iteration })?;
-            match coord.recv()? {
-                Message::PushGrant => {}
-                Message::Shutdown { reason } => finish_early!(reason),
-                other => return Err(unexpected(rank, &other)),
+            loop {
+                match coord.recv()? {
+                    Message::PushGrant => break,
+                    Message::LayoutUpdate { epoch, assignment } => {
+                        fan.adopt(epoch, &assignment)?;
+                        layout_adoptions += 1;
+                        fault_due(fault.as_ref(), FaultPhase::MigrateCommit, layout_adoptions)?;
+                    }
+                    Message::Shutdown { reason } => finish_early!(reason),
+                    other => return Err(unexpected(rank, &other)),
+                }
             }
             match fan.push_slices(iteration, &grads)? {
                 FanOutcome::Applied => {}
@@ -591,19 +835,30 @@ fn run_group_worker_inner(
         fault_due(fault.as_ref(), FaultPhase::GateBlocked, iteration)?;
         ev(log, EventKind::GateBlock, iteration);
         let wait_start = Instant::now();
-        match coord.recv()? {
-            Message::ClockGrant { granted_extra, .. } => {
-                let waited = wait_start.elapsed();
-                report.waiting_time_s += waited.as_secs_f64();
-                report.granted_extra_total += granted_extra;
-                coord.note_confirmed_clock(iteration);
-                ev(log, EventKind::GateRelease, waited.as_micros() as u64);
-                if granted_extra > 0 {
-                    ev(log, EventKind::CreditGrant, granted_extra);
+        loop {
+            match coord.recv()? {
+                Message::ClockGrant { granted_extra, .. } => {
+                    let waited = wait_start.elapsed();
+                    report.waiting_time_s += waited.as_secs_f64();
+                    report.granted_extra_total += granted_extra;
+                    coord.note_confirmed_clock(iteration);
+                    ev(log, EventKind::GateRelease, waited.as_micros() as u64);
+                    if granted_extra > 0 {
+                        ev(log, EventKind::CreditGrant, granted_extra);
+                    }
+                    break;
                 }
+                // A migration committed while this worker was blocked at the gate:
+                // the coordinator broadcasts the new layout *before* flushing the
+                // withheld grants, so the adoption always precedes the next fan-out.
+                Message::LayoutUpdate { epoch, assignment } => {
+                    fan.adopt(epoch, &assignment)?;
+                    layout_adoptions += 1;
+                    fault_due(fault.as_ref(), FaultPhase::MigrateCommit, layout_adoptions)?;
+                }
+                Message::Shutdown { reason } => finish_early!(reason),
+                other => return Err(unexpected(rank, &other)),
             }
-            Message::Shutdown { reason } => finish_early!(reason),
-            other => return Err(unexpected(rank, &other)),
         }
         match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
             FanOutcome::Applied => {}
@@ -637,7 +892,63 @@ fn run_group_worker_inner(
             Message::ClockGrant { granted_extra, .. } => {
                 report.granted_extra_total += granted_extra;
             }
+            Message::LayoutUpdate { epoch, assignment } => fan.adopt(epoch, &assignment)?,
             other => return Err(unexpected(rank, &other)),
+        }
+    }
+}
+
+/// The operator-facing admin client: dials the coordinator's spare admin slot (rank
+/// `num_workers`), requests a drain or rebalance, and waits for the
+/// [`Message::AdminAck`] that reports the migration's outcome.
+///
+/// Returns `(epoch, reason)` when the coordinator accepted and committed the
+/// migration; a refusal (unknown server, already-draining group, …) comes back as a
+/// typed [`NetError::Protocol`] carrying the coordinator's reason.
+pub fn run_admin_command(
+    coord: &mut dyn WorkerTransport,
+    num_workers: usize,
+    command: &Message,
+) -> Result<(u64, String), NetError> {
+    assert!(
+        matches!(command, Message::Drain { .. } | Message::Rebalance),
+        "admin channel carries Drain/Rebalance only"
+    );
+    // The admin handshake is version-checked only: an operator's CLI does not know
+    // the job's config digest, and the admin slot neither pushes nor pulls.
+    coord.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        rank: num_workers as u32,
+        num_workers: num_workers as u32,
+        config_digest: 0,
+    })?;
+    coord.send(command)?;
+    loop {
+        match coord.recv()? {
+            Message::AdminAck {
+                epoch,
+                accepted,
+                reason,
+            } => {
+                if accepted {
+                    return Ok((epoch, reason));
+                }
+                return Err(NetError::Protocol(format!(
+                    "coordinator refused the migration: {reason}"
+                )));
+            }
+            // The commit broadcast also reaches the admin slot; the ack follows.
+            Message::LayoutUpdate { .. } => {}
+            Message::Shutdown { .. } => {
+                return Err(NetError::Protocol(
+                    "run shut down before the migration was acknowledged".to_string(),
+                ))
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "admin channel received unexpected {other:?}"
+                )))
+            }
         }
     }
 }

@@ -23,13 +23,17 @@
 //! gets for free.
 
 use crate::client::{FanOutcome, ServerLink, ShardFan};
-use dssp_core::driver::{DeterministicGate, FaultRole, JobConfig, ServerLoop, WorkerEvent};
+use crate::layout::MigrationPlan;
+use dssp_core::driver::{
+    DeterministicGate, FaultRole, JobConfig, MigrationCommand, ServerLoop, WorkerEvent,
+};
 use dssp_core::events::{EventKind, Role};
-use dssp_net::wire::{SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
+use dssp_net::wire::{MIGRATE_CONTROL, PROTOCOL_VERSION, SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
 use dssp_net::{
     require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, Obs,
     ServerTransport,
 };
+use dssp_ps::{CheckpointError, LayoutSnapshot};
 use dssp_sim::{GroupServerStats, RunTrace};
 use std::sync::atomic::Ordering::Relaxed;
 use std::time::Instant;
@@ -52,18 +56,25 @@ pub fn coordinate(
     links: Vec<ServerLink>,
 ) -> Result<RunTrace, NetError> {
     job.validate();
-    if transport.num_workers() != job.num_workers {
+    // One slot per worker, plus at most one spare: the operator's admin channel
+    // (rank `num_workers`), used by `drain`/`rebalance` CLI clients mid-run.
+    let extra = transport.num_workers().wrapping_sub(job.num_workers);
+    if extra > 1 {
         return Err(NetError::Protocol(format!(
             "coordinator transport serves {} workers but the job has {}",
             transport.num_workers(),
             job.num_workers
         )));
     }
+    let admin = (extra == 1).then_some(job.num_workers);
     // Start fresh, or resume the synchronization state (clocks, credits, interval
     // tick) from the coordinator's durable checkpoint. A load failure still shuts the
     // fleet down cleanly: workers get the broadcast, and the dropped shard-server
     // links tell the shard servers their coordinator is gone.
     let restoring = job.checkpoint.as_ref().is_some_and(|c| c.restore);
+    // The layout the coordinator's checkpoint recorded, if the group had migrated
+    // before the crash; adopted into the fan before any traffic flows.
+    let mut restored_layout: Option<LayoutSnapshot> = None;
     let sl = if restoring {
         let spec = job.checkpoint.as_ref().expect("restoring implies a spec");
         let path = spec.dir.join(dssp_ps::coord_checkpoint_name());
@@ -78,7 +89,10 @@ pub fn coordinate(
                     path.display()
                 )));
             }
-            Ok(ckpt) => ServerLoop::restore(job, &ckpt, true),
+            Ok(ckpt) => {
+                restored_layout = ckpt.layout.clone();
+                ServerLoop::restore(job, &ckpt, true)
+            }
             Err(e) => {
                 transport.broadcast(&Message::Shutdown {
                     reason: SHUTDOWN_SERVER_ERROR,
@@ -108,10 +122,13 @@ pub fn coordinate(
     let mut fan = ShardFan::new(job, sl.param_len(), links);
     fan.set_event_log(obs.event_log().cloned());
     let result = fan.hello(job, job.num_workers as u32).and_then(|()| {
+        if let Some(l) = restored_layout.filter(|l| l.epoch != 0) {
+            fan.adopt(l.epoch, &l.assignment)?;
+        }
         if restoring {
             check_restore_skew(&sl, &mut fan)?;
         }
-        Coordinator::new(job, sl, restoring, &obs).run(transport, &mut fan)
+        Coordinator::new(job, sl, restoring, admin, &obs).run(transport, &mut fan)
     });
     // Best-effort on the error path (the Ok path already flushed with `?`): a crashed
     // run should still leave its coordinator timeline behind when possible.
@@ -174,10 +191,44 @@ struct Coordinator<'job> {
     /// Structured events + Prometheus counters for this process.
     obs: &'job Obs,
     start: Instant,
+    /// The admin channel's transport rank (`num_workers`) when the transport bound
+    /// the spare slot, `None` on transports sized exactly to the worker count.
+    admin: Option<usize>,
+    /// Whether the admin slot has handshaked (version-checked `Hello`).
+    admin_helloed: bool,
+    /// A migration armed (by the admin channel, the declarative spec, or the skew
+    /// threshold) and waiting for group quiescence to execute.
+    armed: Option<ArmedMigration>,
+    /// Non-deterministic mode: clock grants produced while a migration is armed are
+    /// withheld here and flushed after the commit's `LayoutUpdate` broadcast — the
+    /// per-connection TCP ordering then guarantees every worker adopts the new
+    /// layout before its next fan-out.
+    withheld: Vec<(usize, Message)>,
+    /// Which workers are blocked at the gate awaiting a clock grant (the
+    /// non-deterministic quiescence signal: such a worker has no fan-out in flight).
+    awaiting_grant: Vec<bool>,
+    /// Which workers have reported `Done` or been evicted (also quiescent).
+    finished: Vec<bool>,
+}
+
+/// A migration waiting at the coordinator for the group to reach a quiescent round
+/// boundary.
+struct ArmedMigration {
+    /// The drain or rebalance to run.
+    command: MigrationCommand,
+    /// The admin rank to answer with [`Message::AdminAck`], `None` when the spec or
+    /// the skew threshold armed the migration.
+    requester: Option<usize>,
 }
 
 impl<'job> Coordinator<'job> {
-    fn new(job: &'job JobConfig, sl: ServerLoop, restoring: bool, obs: &'job Obs) -> Self {
+    fn new(
+        job: &'job JobConfig,
+        sl: ServerLoop,
+        restoring: bool,
+        admin: Option<usize>,
+        obs: &'job Obs,
+    ) -> Self {
         let targets = sl.targets().to_vec();
         let det = job.deterministic;
         // On a restore the gate's dispatch bookkeeping resumes from the checkpointed
@@ -210,6 +261,12 @@ impl<'job> Coordinator<'job> {
             eval_versions: Vec::new(),
             obs,
             start: Instant::now(),
+            admin,
+            admin_helloed: false,
+            armed: None,
+            withheld: Vec::new(),
+            awaiting_grant: vec![false; job.num_workers],
+            finished: vec![false; job.num_workers],
             sl,
         }
     }
@@ -248,18 +305,56 @@ impl<'job> Coordinator<'job> {
         }
         self.obs.sync_loop(&self.sl);
         for reply in &released {
-            transport.send(
-                reply.worker,
-                &Message::ClockGrant {
-                    granted_extra: reply.granted_extra,
-                    version: self.sl.version(),
-                },
-            )?;
-            if self.job.deterministic && self.last_iter[reply.worker] < self.targets[reply.worker] {
-                self.pull_pending[reply.worker] = true;
-            }
+            self.send_grant(transport, reply.worker, reply.granted_extra)?;
+        }
+        self.finished[rank] = true;
+        self.awaiting_grant[rank] = false;
+        Ok(())
+    }
+
+    /// Delivers one clock grant — or withholds it while a migration is armed in
+    /// non-deterministic mode, so the grantee stays blocked at the gate until the
+    /// commit's layout broadcast has gone out ahead of it. Deterministic mode never
+    /// withholds: the dispatch loop simply stops releasing events while armed, and
+    /// quiescence follows from the drained pulls.
+    fn send_grant(
+        &mut self,
+        transport: &mut dyn ServerTransport,
+        worker: usize,
+        granted_extra: u64,
+    ) -> Result<(), NetError> {
+        let msg = Message::ClockGrant {
+            granted_extra,
+            version: self.sl.version(),
+        };
+        if self.armed.is_some() && !self.job.deterministic {
+            self.withheld.push((worker, msg));
+        } else {
+            transport.send(worker, &msg)?;
+            self.awaiting_grant[worker] = false;
+        }
+        if self.job.deterministic && self.last_iter[worker] < self.targets[worker] {
+            self.pull_pending[worker] = true;
         }
         Ok(())
+    }
+
+    /// Sends every withheld grant (after a commit's layout broadcast, or after a
+    /// refused/rolled-back migration disarms).
+    fn flush_withheld(&mut self, transport: &mut dyn ServerTransport) -> Result<(), NetError> {
+        for (worker, msg) in std::mem::take(&mut self.withheld) {
+            transport.send(worker, &msg)?;
+            self.awaiting_grant[worker] = false;
+        }
+        Ok(())
+    }
+
+    /// Non-deterministic quiescence: every worker is finished or blocked at the gate
+    /// awaiting a grant. A worker sends `ClockPush` only after its push fan-out fully
+    /// acked, and it pulls only after receiving a grant — so when all are blocked, no
+    /// slice or pull is in flight anywhere in the group.
+    fn quiescent(&self) -> bool {
+        (0..self.job.num_workers).all(|w| self.finished[w] || self.awaiting_grant[w])
     }
 
     fn run(
@@ -269,11 +364,27 @@ impl<'job> Coordinator<'job> {
     ) -> Result<RunTrace, NetError> {
         let det = self.job.deterministic;
         let expected_digest = self.job.stable_digest();
+        self.obs
+            .set_layout(fan.layout().epoch(), fan.layout().shards() as u64);
 
         while !self.sl.all_done() {
+            // Arm a declarative or threshold-triggered migration, if one came due
+            // (admin requests arm inside the message loop instead); execution always
+            // waits for group quiescence below.
+            self.maybe_arm(fan);
             // Deterministic mode: dispatch everything the gate can release under the
             // serialization rules before blocking on the transport again.
             while det && self.pending_apply.is_none() && !self.sl.all_done() {
+                if self.armed.is_some() {
+                    // Freeze point: release nothing more while armed. Once every
+                    // granted pull has drained the group is quiescent (no granted
+                    // push is pending either — `pending_apply` is `None` here).
+                    if self.pulls_in_flight() {
+                        break;
+                    }
+                    self.execute_armed(transport, fan)?;
+                    continue;
+                }
                 if self.held.is_none() {
                     self.held = self.gate.as_mut().and_then(|g| g.next());
                 }
@@ -297,6 +408,11 @@ impl<'job> Coordinator<'job> {
                     }
                 }
             }
+            // Non-deterministic mode reaches quiescence when every worker is blocked
+            // at the gate (their grants withheld while armed).
+            if !det && self.armed.is_some() && self.quiescent() {
+                self.execute_armed(transport, fan)?;
+            }
             if self.sl.all_done() {
                 break;
             }
@@ -305,6 +421,9 @@ impl<'job> Coordinator<'job> {
             self.obs.metrics().reconnects.store(fan.reconnects, Relaxed);
             let (rank, msg) = match transport.recv() {
                 Ok(pair) => pair,
+                // The operator's CLI hung up after its ack (or mid-request): the
+                // admin slot is not a worker, nothing to evict.
+                Err(NetError::ClientLost { rank }) if Some(rank) == self.admin => continue,
                 // A worker died mid-run: reap it instead of stalling the gate.
                 Err(NetError::ClientLost { rank }) => {
                     self.evict(transport, rank)?;
@@ -312,6 +431,10 @@ impl<'job> Coordinator<'job> {
                 }
                 Err(e) => return Err(e),
             };
+            if Some(rank) == self.admin {
+                self.handle_admin(transport, fan, msg)?;
+                continue;
+            }
             match msg {
                 Message::Hello {
                     version,
@@ -335,11 +458,20 @@ impl<'job> Coordinator<'job> {
                     require_helloed(&self.helloed, rank)?;
                     // Membership: admit the worker at the number of pushes already
                     // confirmed from its rank — zero on a fresh run, the restored
-                    // clock after a checkpoint restore.
+                    // clock after a checkpoint restore — and hand it the committed
+                    // layout, so a (re)joiner of a migrated group routes correctly
+                    // from its very first fan-out.
+                    let epoch = fan.layout().epoch();
                     transport.send(
                         rank,
                         &Message::JoinAck {
                             clock: self.sl.push_count(rank),
+                            epoch,
+                            assignment: if epoch == 0 {
+                                Vec::new()
+                            } else {
+                                fan.layout().assignment().to_vec()
+                            },
                         },
                     )?;
                 }
@@ -356,6 +488,9 @@ impl<'job> Coordinator<'job> {
                 }
                 Message::ClockPush { iteration } => {
                     require_helloed(&self.helloed, rank)?;
+                    // The worker's fan-out for this iteration fully acked before it
+                    // announced the push; until its grant goes out it is blocked.
+                    self.awaiting_grant[rank] = true;
                     self.last_iter[rank] = iteration;
                     let event = WorkerEvent::Push {
                         worker: rank,
@@ -413,6 +548,7 @@ impl<'job> Coordinator<'job> {
                     waiting_time_s,
                 } => {
                     require_helloed(&self.helloed, rank)?;
+                    self.finished[rank] = true;
                     let event = WorkerEvent::Done {
                         worker: rank,
                         iterations,
@@ -486,20 +622,11 @@ impl<'job> Coordinator<'job> {
             let sample = self.sl.stats().staleness_sum - staleness_before;
             self.obs.on_push(pusher, Some(sample), &replies, &self.sl);
         }
+        // A granted worker that has not run its final iteration will pull next; in
+        // deterministic mode the coordinator must wait for that pull before the next
+        // mutation (tracked inside `send_grant`).
         for reply in &replies {
-            transport.send(
-                reply.worker,
-                &Message::ClockGrant {
-                    granted_extra: reply.granted_extra,
-                    version: self.sl.version(),
-                },
-            )?;
-            // A granted worker that has not run its final iteration will pull next;
-            // in deterministic mode the coordinator must wait for that pull before
-            // the next mutation.
-            if self.job.deterministic && self.last_iter[reply.worker] < self.targets[reply.worker] {
-                self.pull_pending[reply.worker] = true;
-            }
+            self.send_grant(transport, reply.worker, reply.granted_extra)?;
         }
         if let Some(eval_now) = self.sl.take_pending_eval() {
             pull_for_eval(
@@ -535,6 +662,303 @@ impl<'job> Coordinator<'job> {
         }
         Ok(())
     }
+
+    /// Arms the declarative migration spec or the skew-threshold rebalance when one
+    /// comes due. The spec fires at most once per group life — only from the launch
+    /// layout (epoch 0), so a coordinator restored after its commit does not migrate
+    /// again. The threshold only arms when a rebalance actually has moves, so an
+    /// already-balanced (or unbalanceable) group never re-arms a no-op forever.
+    fn maybe_arm(&mut self, fan: &ShardFan) {
+        if self.armed.is_some() {
+            return;
+        }
+        if let Some(spec) = self.job.migration.as_ref() {
+            if fan.layout().epoch() == 0 && self.sl.version() >= spec.at_version {
+                self.armed = Some(ArmedMigration {
+                    command: spec.command,
+                    requester: None,
+                });
+                return;
+            }
+        }
+        if let Some(threshold) = self.job.migrate_threshold {
+            if fan.layout().skew() as u64 > threshold && fan.layout().rebalance_plan().is_ok() {
+                self.armed = Some(ArmedMigration {
+                    command: MigrationCommand::Rebalance,
+                    requester: None,
+                });
+            }
+        }
+    }
+
+    /// Handles one message from the admin channel (the operator's drain/rebalance
+    /// CLI). The slot's handshake is version-checked only — an operator does not
+    /// know the job's config digest — and it carries nothing but `Hello`, `Drain`
+    /// and `Rebalance`.
+    fn handle_admin(
+        &mut self,
+        transport: &mut dyn ServerTransport,
+        fan: &ShardFan,
+        msg: Message,
+    ) -> Result<(), NetError> {
+        match msg {
+            Message::Hello { version, .. } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Protocol(format!(
+                        "admin channel speaks protocol {version}, this group runs \
+                         {PROTOCOL_VERSION}"
+                    )));
+                }
+                self.admin_helloed = true;
+            }
+            Message::Drain { server } => {
+                self.admin_request(transport, fan, MigrationCommand::Drain(server as usize))?;
+            }
+            Message::Rebalance => {
+                self.admin_request(transport, fan, MigrationCommand::Rebalance)?;
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected {other:?} on the admin channel"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and arms an operator-requested migration, or answers immediately
+    /// with a refusing [`Message::AdminAck`] carrying the planner's reason. The
+    /// accepting ack is only sent once the migration commits (or the rollback's
+    /// refusal, if it does not), so the operator's exit status reflects the outcome.
+    fn admin_request(
+        &mut self,
+        transport: &mut dyn ServerTransport,
+        fan: &ShardFan,
+        command: MigrationCommand,
+    ) -> Result<(), NetError> {
+        let admin = self.admin.expect("handle_admin implies the admin slot");
+        if !self.admin_helloed {
+            return Err(NetError::Protocol(
+                "admin command before the channel's hello".to_string(),
+            ));
+        }
+        let reason = if self.armed.is_some() {
+            "a migration is already in flight".to_string()
+        } else {
+            match plan_for(fan, command) {
+                Ok(_) => {
+                    self.armed = Some(ArmedMigration {
+                        command,
+                        requester: Some(admin),
+                    });
+                    return Ok(());
+                }
+                Err(reason) => reason,
+            }
+        };
+        transport.send(
+            admin,
+            &Message::AdminAck {
+                epoch: fan.layout().epoch(),
+                accepted: false,
+                reason,
+            },
+        )
+    }
+
+    /// Runs the armed migration at a quiescent round boundary: plan, prepare,
+    /// transfer, commit — or roll the fleet back and surface the typed error. Either
+    /// way the armed state is consumed and any withheld grants are flushed, so the
+    /// group never stays frozen.
+    fn execute_armed(
+        &mut self,
+        transport: &mut dyn ServerTransport,
+        fan: &mut ShardFan,
+    ) -> Result<(), NetError> {
+        let ArmedMigration { command, requester } =
+            self.armed.take().expect("execute_armed is gated on armed");
+        let plan = match plan_for(fan, command) {
+            Ok(plan) => plan,
+            Err(reason) => {
+                // The layout changed between arming and quiescence (an interleaved
+                // admin migration): refuse, thaw, carry on.
+                if let Some(admin) = requester {
+                    let _ = transport.send(
+                        admin,
+                        &Message::AdminAck {
+                            epoch: fan.layout().epoch(),
+                            accepted: false,
+                            reason,
+                        },
+                    );
+                }
+                return self.flush_withheld(transport);
+            }
+        };
+        let epoch = plan.from_epoch + 1;
+        match self.migrate(transport, fan, &plan, epoch) {
+            Ok(()) => {
+                if let Some(admin) = requester {
+                    let _ = transport.send(
+                        admin,
+                        &Message::AdminAck {
+                            epoch,
+                            accepted: true,
+                            reason: String::new(),
+                        },
+                    );
+                }
+                self.flush_withheld(transport)
+            }
+            Err(e) => {
+                // Commit-or-rollback: any failed leg thaws every frozen server
+                // before the typed error tears the run down. An injected fault
+                // simulates a crash and dies abruptly instead; the workers' bounded
+                // freeze probes then degrade the orphaned freeze into a typed error,
+                // and the shard servers exit when their coordinator link drops.
+                if !matches!(e, NetError::FaultInjected { .. }) {
+                    fan.send_all(&Message::MigrateAbort { epoch });
+                    self.obs.event(EventKind::MigrationRollback, epoch);
+                }
+                if let Some(admin) = requester {
+                    let _ = transport.send(
+                        admin,
+                        &Message::AdminAck {
+                            epoch,
+                            accepted: false,
+                            reason: format!("{e}"),
+                        },
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The two-phase migration proper. **Prepare** freezes every server toward
+    /// `epoch` (pushes and pulls refused from the ack on); **transfer** relays each
+    /// moving shard's weights, version and momentum slice source → destination
+    /// through the coordinator (shard servers never dial each other); **commit**
+    /// broadcasts the new assignment, awaits every server's rebuild ack, re-routes
+    /// the fan and the workers, and forces a durable checkpoint recording the layout.
+    fn migrate(
+        &mut self,
+        transport: &mut dyn ServerTransport,
+        fan: &mut ShardFan,
+        plan: &MigrationPlan,
+        epoch: u64,
+    ) -> Result<(), NetError> {
+        self.obs.event(EventKind::MigrationPrepare, epoch);
+        for server in 0..fan.num_links() {
+            fan.send_to(server, &Message::MigratePrepare { epoch })?;
+        }
+        for server in 0..fan.num_links() {
+            expect_control_ack(fan.recv_from(server)?, epoch, server)?;
+        }
+        self.fault.migrate_prepare()?;
+        for mv in &plan.moves {
+            self.fault.migrate_transfer()?;
+            fan.send_to(
+                mv.from as usize,
+                &Message::MigrateRequest {
+                    epoch,
+                    shard: mv.shard,
+                },
+            )?;
+            let payload = fan.recv_from(mv.from as usize)?;
+            match &payload {
+                Message::MigrateShard {
+                    epoch: e, shard, ..
+                } if *e == epoch && *shard == mv.shard => {}
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "transfer of shard {} from server {}: expected its MigrateShard, \
+                         got {other:?}",
+                        mv.shard, mv.from
+                    )))
+                }
+            }
+            fan.send_to(mv.to as usize, &payload)?;
+            match fan.recv_from(mv.to as usize)? {
+                Message::MigrateAck { epoch: e, shard } if e == epoch && shard == mv.shard => {}
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "server {} never staged shard {}: expected its MigrateAck, got \
+                         {other:?}",
+                        mv.to, mv.shard
+                    )))
+                }
+            }
+            self.obs
+                .event(EventKind::ShardTransfer, u64::from(mv.shard));
+        }
+        for server in 0..fan.num_links() {
+            // The hook sits between the per-server sends, so the chaos matrix can
+            // tear a commit mid-broadcast.
+            self.fault.migrate_commit()?;
+            fan.send_to(
+                server,
+                &Message::LayoutUpdate {
+                    epoch,
+                    assignment: plan.assignment.clone(),
+                },
+            )?;
+        }
+        for server in 0..fan.num_links() {
+            expect_control_ack(fan.recv_from(server)?, epoch, server)?;
+        }
+        fan.adopt(epoch, &plan.assignment)?;
+        self.obs.event(EventKind::MigrationCommit, epoch);
+        self.obs.set_layout(epoch, fan.layout().shards() as u64);
+        // Force the clock checkpoint with the committed layout, regardless of
+        // cadence: a coordinator restored from anything older would route by a
+        // retired assignment and refuse the (migrated) shard servers' state.
+        let digest = self.digest;
+        let sl = &self.sl;
+        let assignment = plan.assignment.clone();
+        self.sink.force(move || {
+            let mut ckpt = sl.snapshot(digest);
+            ckpt.layout = Some(LayoutSnapshot { epoch, assignment });
+            ckpt
+        })?;
+        if self.job.checkpoint.is_some() {
+            self.obs.on_checkpoint(self.sl.version());
+        }
+        // Re-route every live worker *before* any withheld grant reaches it: on one
+        // TCP connection the layout always arrives ahead of the grant that lets the
+        // worker fan out again. Best-effort per worker — a rank that is between
+        // `Done` and the shutdown broadcast may already have hung up.
+        for worker in 0..self.job.num_workers {
+            if self.helloed[worker] && !self.finished[worker] {
+                let _ = transport.send(
+                    worker,
+                    &Message::LayoutUpdate {
+                        epoch,
+                        assignment: plan.assignment.clone(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Plans the layout change `command` asks for, from the fan's current layout.
+fn plan_for(fan: &ShardFan, command: MigrationCommand) -> Result<MigrationPlan, String> {
+    match command {
+        MigrationCommand::Drain(server) => fan.layout().drain_plan(server),
+        MigrationCommand::Rebalance => fan.layout().rebalance_plan(),
+    }
+}
+
+/// Validates one control-phase [`Message::MigrateAck`] (prepare or commit leg).
+fn expect_control_ack(msg: Message, epoch: u64, server: usize) -> Result<(), NetError> {
+    match msg {
+        Message::MigrateAck { epoch: e, shard } if e == epoch && shard == MIGRATE_CONTROL => Ok(()),
+        other => Err(NetError::Protocol(format!(
+            "server {server} answered the epoch-{epoch} migration control message with {other:?}"
+        ))),
+    }
 }
 
 /// Verifies that every restored shard server sits at exactly the push count the
@@ -546,7 +970,20 @@ impl<'job> Coordinator<'job> {
 /// fleet aborts cleanly before a single gradient moves.
 fn check_restore_skew(sl: &ServerLoop, fan: &mut ShardFan) -> Result<(), NetError> {
     let expected = sl.version();
+    let expected_epoch = fan.layout().epoch();
     let stats = fan.collect_stats()?;
+    // Layout-epoch skew first, across the whole fleet: a server restored from the
+    // wrong side of a live migration holds shards its checkpoint's layout assigned
+    // it, not the ones the coordinator's layout does — push counts alone cannot see
+    // that, and a push-count mismatch on an earlier server must not mask it.
+    for &(.., epoch) in &stats {
+        if epoch != expected_epoch {
+            return Err(NetError::Checkpoint(CheckpointError::LayoutSkew {
+                found: epoch,
+                expected: expected_epoch,
+            }));
+        }
+    }
     for (server, (pushes, ..)) in stats.into_iter().enumerate() {
         if pushes != expected {
             return Err(NetError::Protocol(format!(
@@ -581,14 +1018,14 @@ fn pull_for_eval(
 /// strip the whole `group_servers` section from the trace of an otherwise graceful
 /// shutdown.
 fn collect_group_stats(fan: &mut ShardFan) -> Vec<GroupServerStats> {
-    let layout = *fan.layout();
+    let layout = fan.layout().clone();
     let stats = fan.collect_stats_tolerant();
     stats
         .into_iter()
         .enumerate()
         .map(|(server, counters)| {
-            let (pushes, pulls_full, pulls_delta, bytes_sent, bytes_received) =
-                counters.unwrap_or((0, 0, 0, 0, 0));
+            let (pushes, pulls_full, pulls_delta, bytes_sent, bytes_received, _epoch) =
+                counters.unwrap_or((0, 0, 0, 0, 0, 0));
             let (start, end) = layout.key_range(server);
             GroupServerStats {
                 server,

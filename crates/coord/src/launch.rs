@@ -93,8 +93,12 @@ pub fn launch_group(
         children.push(child);
     }
 
-    // Phase 2: the coordinator's worker-facing listener and its server links.
-    let bind = TcpServerTransport::bind(listen, job.num_workers);
+    // Phase 2: the coordinator's worker-facing listener and its server links. One
+    // spare slot past the workers: the admin channel (rank `num_workers`), which a
+    // `repro -- drain`/`repro -- rebalance` CLI dials mid-run to request a live
+    // migration. Left unused it costs nothing — the transport's drop path reaps
+    // never-connected slots.
+    let bind = TcpServerTransport::bind(listen, job.num_workers + 1);
     let mut transport = match bind {
         Ok(t) => t,
         Err(e) => {

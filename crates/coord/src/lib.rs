@@ -31,12 +31,22 @@
 //! own arrival order — the standard behaviour of asynchronous sharded parameter
 //! servers.
 //!
+//! Layouts are **epoch-versioned**: every group starts at the closed-form epoch-0
+//! [`GroupLayout`] and can change it mid-job through a coordinator-driven two-phase
+//! **live migration** (freeze at a quiescent round boundary → transfer each moving
+//! shard's weights and momentum → commit the new assignment everywhere, or roll
+//! back). Operators trigger one with `repro -- drain <server>` / `repro -- rebalance`
+//! (the admin channel, [`run_admin_command`]); jobs can schedule one declaratively
+//! (`--migrate drain:2:64`) or let the skew threshold auto-rebalance. Every push and
+//! pull is epoch-stamped, and a stale route gets a typed, retryable
+//! `NetError::EpochRefused` — never silent misapplication, never a hang.
+//!
 //! | module | provides |
 //! |---|---|
-//! | [`layout`] | [`GroupLayout`]: closed-form shard→server assignment |
+//! | [`layout`] | [`GroupLayout`]: epoch-versioned shard→server assignment + [`MigrationPlan`] |
 //! | [`shard_server`] | [`ShardServerState`] + [`serve_shard`]: the storage-only loop |
-//! | [`coordinator`] | [`coordinate`]: the clock/controller service |
-//! | [`client`] | [`ShardFan`] fan-out + [`run_group_worker`] |
+//! | [`coordinator`] | [`coordinate`]: the clock/controller service + migration driver |
+//! | [`client`] | [`ShardFan`] fan-out + [`run_group_worker`] + [`run_admin_command`] |
 //! | [`run`] | [`run_group_threads`]: whole group over TCP in one process |
 //! | [`launch`] | [`launch_group`]: real server/worker processes + in-process coordinator |
 
@@ -49,9 +59,9 @@ pub mod layout;
 pub mod run;
 pub mod shard_server;
 
-pub use client::{run_group_worker, FanOutcome, ServerLink, ShardFan};
+pub use client::{run_admin_command, run_group_worker, FanOutcome, ServerLink, ShardFan};
 pub use coordinator::coordinate;
 pub use launch::{launch_group, GroupLaunchOutcome, LISTEN_LINE_PREFIX};
-pub use layout::GroupLayout;
+pub use layout::{GroupLayout, MigrationPlan, ShardMove};
 pub use run::{connect_links, run_group_threads, GroupRunOutcome};
 pub use shard_server::{initial_params, serve_shard, ShardServeReport, ShardServerState};

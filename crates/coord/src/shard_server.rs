@@ -14,18 +14,33 @@
 //! The loop tolerates worker disconnects (finished workers drop their connections
 //! while slower peers keep training) and exits on the coordinator's `Shutdown`, which
 //! it forwards to any worker still connected.
+//!
+//! **Live migration** (coordinator-driven, two-phase): a [`Message::MigratePrepare`]
+//! freezes the server at its current epoch — every epoch-stamped push or pull is
+//! refused with a typed, retryable [`Message::EpochRefused`] until the migration
+//! resolves. While frozen, the server answers [`Message::MigrateRequest`] by
+//! extracting one owned shard (weights, per-shard version **and the SGD momentum
+//! slice**, so the migrated group stays bitwise-equal to a statically-launched one)
+//! and stages shards arriving via [`Message::MigrateShard`]. A
+//! [`Message::LayoutUpdate`] commits: the store and optimizer are rebuilt from
+//! retained + staged shards under the new assignment, a checkpoint is forced so a
+//! later restore can never resurrect the pre-migration layout, and serving resumes. A
+//! [`Message::MigrateAbort`] rolls back: staged shards are discarded and the old
+//! layout keeps serving. A server drained to zero shards stays in the fleet and keeps
+//! acking (empty) push slices so per-server clocks stay uniform.
 
 use crate::layout::GroupLayout;
 use dssp_core::driver::{FaultRole, JobConfig};
 use dssp_core::events::{EventKind, Role};
 use dssp_net::metrics::derive_metrics_addr;
 use dssp_net::wire;
+use dssp_net::wire::MIGRATE_CONTROL;
 use dssp_net::{
     require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, Obs,
     ServerTransport,
 };
 use dssp_nn::{Model, Sgd};
-use dssp_ps::{Checkpoint, ShardedStore, StoreSnapshot};
+use dssp_ps::{Checkpoint, LayoutSnapshot, ShardedStore, StoreSnapshot};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// One shard server's storage and counters, independent of any transport. Benchmarks
@@ -38,6 +53,11 @@ pub struct ShardServerState {
     pushes: u64,
     pulls_full: u64,
     pulls_delta: u64,
+    /// The epoch a `MigratePrepare` froze this server toward; `None` while serving.
+    pending_epoch: Option<u64>,
+    /// Shards staged for this server by the in-flight migration:
+    /// `(global shard, version, weights, velocity)`.
+    staged: Vec<(u32, u64, Vec<f32>, Vec<f32>)>,
 }
 
 impl ShardServerState {
@@ -75,6 +95,8 @@ impl ShardServerState {
             pushes: 0,
             pulls_full: 0,
             pulls_delta: 0,
+            pending_epoch: None,
+            staged: Vec::new(),
         }
     }
 
@@ -111,6 +133,160 @@ impl ShardServerState {
     /// The slice weights, for tests and eval assembly.
     pub fn weights(&self) -> &[f32] {
         self.store.as_flat()
+    }
+
+    /// The layout epoch this server currently serves at.
+    pub fn epoch(&self) -> u64 {
+        self.layout.epoch()
+    }
+
+    /// The epoch an in-flight migration froze this server toward, if any.
+    pub fn pending_epoch(&self) -> Option<u64> {
+        self.pending_epoch
+    }
+
+    /// Freezes the server toward `epoch` (migration prepare). Every epoch-stamped
+    /// push or pull is refused until [`ShardServerState::commit_layout`] or
+    /// [`ShardServerState::thaw`] resolves the migration.
+    pub fn freeze(&mut self, epoch: u64) -> Result<(), NetError> {
+        if let Some(pending) = self.pending_epoch {
+            return Err(NetError::Protocol(format!(
+                "server {} asked to prepare epoch {epoch} while already frozen toward {pending}",
+                self.index
+            )));
+        }
+        if epoch != self.layout.epoch() + 1 {
+            return Err(NetError::Protocol(format!(
+                "server {} at epoch {} asked to prepare non-successor epoch {epoch}",
+                self.index,
+                self.layout.epoch()
+            )));
+        }
+        self.pending_epoch = Some(epoch);
+        self.staged.clear();
+        Ok(())
+    }
+
+    /// Rolls the in-flight migration toward `epoch` back: staged shards are dropped
+    /// and the old layout keeps serving. An abort for any other epoch (a stray retry
+    /// after this server already committed) is ignored.
+    pub fn thaw(&mut self, epoch: u64) {
+        if self.pending_epoch == Some(epoch) {
+            self.pending_epoch = None;
+            self.staged.clear();
+        }
+    }
+
+    /// Extracts one owned shard for transfer: its version, weight slice and momentum
+    /// slice, borrowed so the caller can encode a [`Message::MigrateShard`] zero-copy.
+    pub fn extract(&self, epoch: u64, shard: u32) -> Result<(u64, &[f32], &[f32]), NetError> {
+        if self.pending_epoch != Some(epoch) {
+            return Err(NetError::Protocol(format!(
+                "server {} asked to extract shard {shard} for epoch {epoch} but is {}",
+                self.index,
+                match self.pending_epoch {
+                    Some(p) => format!("frozen toward {p}"),
+                    None => format!("serving epoch {} unfrozen", self.layout.epoch()),
+                }
+            )));
+        }
+        let (lo, hi) = self.layout.shard_span(self.index);
+        let shard = shard as usize;
+        if shard < lo || shard >= hi {
+            return Err(NetError::Protocol(format!(
+                "server {} owns shards {lo}..{hi}, cannot extract shard {shard}",
+                self.index
+            )));
+        }
+        let local = shard - lo;
+        let (a, b) = self.store.key_range(local);
+        Ok((
+            self.store.versions()[local],
+            self.store.shard(local),
+            &self.sgd.velocity()[a..b],
+        ))
+    }
+
+    /// Stages one shard arriving from the in-flight migration for adoption at commit.
+    pub fn stage(
+        &mut self,
+        epoch: u64,
+        shard: u32,
+        version: u64,
+        weights: Vec<f32>,
+        velocity: Vec<f32>,
+    ) -> Result<(), NetError> {
+        if self.pending_epoch != Some(epoch) {
+            return Err(NetError::Protocol(format!(
+                "server {} received shard {shard} for epoch {epoch} without a matching prepare",
+                self.index
+            )));
+        }
+        let (gs, ge) = self.layout.shard_key_range(shard as usize);
+        if weights.len() != ge - gs || velocity.len() != ge - gs {
+            return Err(NetError::Protocol(format!(
+                "staged shard {shard} carries {} weights / {} velocity, its key range holds {}",
+                weights.len(),
+                velocity.len(),
+                ge - gs
+            )));
+        }
+        self.staged.retain(|(s, ..)| *s != shard);
+        self.staged.push((shard, version, weights, velocity));
+        Ok(())
+    }
+
+    /// Commits the migration: rebuilds the store and optimizer from retained + staged
+    /// shards under the new assignment and adopts `epoch` as current. The push clock
+    /// is untouched — a drained server keeps counting empty pushes so per-server
+    /// clocks stay uniform.
+    pub fn commit_layout(&mut self, epoch: u64, assignment: &[u32]) -> Result<(), NetError> {
+        let next = GroupLayout::from_parts(
+            self.layout.params(),
+            self.layout.servers(),
+            assignment.to_vec(),
+            epoch,
+        )
+        .map_err(NetError::Protocol)?;
+        let (old_lo, old_hi) = self.layout.shard_span(self.index);
+        let (new_lo, new_hi) = next.shard_span(self.index);
+        let mut flat = Vec::new();
+        let mut velocity = Vec::new();
+        let mut versions = Vec::new();
+        let mut offsets = vec![0usize];
+        for shard in new_lo..new_hi {
+            let owned_before = shard >= old_lo && shard < old_hi && self.store.num_shards() > 0;
+            if owned_before {
+                let local = shard - old_lo;
+                let (a, b) = self.store.key_range(local);
+                flat.extend_from_slice(self.store.shard(local));
+                velocity.extend_from_slice(&self.sgd.velocity()[a..b]);
+                versions.push(self.store.versions()[local]);
+            } else {
+                let staged = self
+                    .staged
+                    .iter()
+                    .find(|(s, ..)| *s as usize == shard)
+                    .ok_or_else(|| {
+                        NetError::Protocol(format!(
+                            "server {} committing epoch {epoch}: shard {shard} was never staged",
+                            self.index
+                        ))
+                    })?;
+                flat.extend_from_slice(&staged.2);
+                velocity.extend_from_slice(&staged.3);
+                versions.push(staged.1);
+            }
+            offsets.push(flat.len());
+        }
+        let schedule_epoch = self.sgd.current_epoch();
+        let config = self.sgd.config().clone();
+        self.store = ShardedStore::restore(flat, offsets, versions);
+        self.sgd = Sgd::restore(config, velocity, schedule_epoch);
+        self.layout = next;
+        self.pending_epoch = None;
+        self.staged.clear();
+        Ok(())
     }
 
     /// Applies one gradient slice with the server's optimizer and bumps every owned
@@ -151,6 +327,10 @@ impl ShardServerState {
                 epoch: self.sgd.current_epoch() as u64,
             }),
             gate: None,
+            layout: Some(LayoutSnapshot {
+                epoch: self.layout.epoch(),
+                assignment: self.layout.assignment().to_vec(),
+            }),
         }
     }
 
@@ -165,13 +345,26 @@ impl ShardServerState {
     /// layout this job implies for `index`.
     pub fn restore(job: &JobConfig, index: usize, ckpt: &Checkpoint) -> Self {
         let mut fresh = Self::from_job(job, index);
+        // A post-migration checkpoint carries the layout it was taken under; rebuild
+        // ownership from it so the restored server serves the migrated assignment,
+        // not the closed-form one the job implies.
+        if let Some(snap) = ckpt.layout.as_ref().filter(|l| l.epoch != 0) {
+            fresh.layout = GroupLayout::from_parts(
+                fresh.layout.params(),
+                fresh.layout.servers(),
+                snap.assignment.clone(),
+                snap.epoch,
+            )
+            .expect("checkpointed layout assignment is well-formed");
+        }
         let snap = ckpt
             .store
             .as_ref()
             .expect("shard-server checkpoint carries a store section");
+        let (start, end) = fresh.layout.key_range(index);
         assert_eq!(
             snap.flat.len(),
-            fresh.store.len(),
+            end - start,
             "checkpointed slice length disagrees with server {index}'s key range"
         );
         fresh.store = ShardedStore::restore(
@@ -315,6 +508,21 @@ fn serve_shard_inner(
     );
     let mut helloed = vec![false; job.num_workers + 1];
     let mut reply_buf: Vec<u8> = Vec::new();
+    obs.set_layout(state.epoch(), state.owned_shards() as u64);
+
+    // Builds the typed, retryable refusal for an epoch-stale or mid-migration
+    // request: while frozen the assignment is withheld (empty — the client must wait
+    // and retry), after commit it carries the new truth so the client re-routes.
+    let refusal = |state: &ShardServerState| match state.pending_epoch() {
+        Some(pending) => Message::EpochRefused {
+            epoch: pending,
+            assignment: Vec::new(),
+        },
+        None => Message::EpochRefused {
+            epoch: state.epoch(),
+            assignment: state.layout().assignment().to_vec(),
+        },
+    };
 
     loop {
         obs.mirror_transport(&transport.transport_stats());
@@ -362,6 +570,7 @@ fn serve_shard_inner(
             }
             Message::PushSlice {
                 iteration: _,
+                epoch,
                 grads,
             } => {
                 require_helloed(&helloed, rank)?;
@@ -369,6 +578,14 @@ fn serve_shard_inner(
                     return Err(NetError::Protocol(
                         "coordinator must not push gradients".to_string(),
                     ));
+                }
+                if state.pending_epoch().is_some() || epoch != state.epoch() {
+                    // Frozen mid-migration, or the worker routed by a retired
+                    // layout: refuse retryably instead of corrupting the slice.
+                    let reply = refusal(&state);
+                    transport.recycle_f32s(rank, grads);
+                    transport.send(rank, &reply)?;
+                    continue;
                 }
                 let version = state.apply_slice(&grads);
                 transport.recycle_f32s(rank, grads);
@@ -387,8 +604,15 @@ fn serve_shard_inner(
             Message::PullShards {
                 known_versions,
                 all,
+                epoch,
             } => {
                 require_helloed(&helloed, rank)?;
+                if state.pending_epoch().is_some() || epoch != state.epoch() {
+                    let reply = refusal(&state);
+                    transport.recycle_u64s(rank, known_versions);
+                    transport.send(rank, &reply)?;
+                    continue;
+                }
                 reply_buf.clear();
                 state.encode_pull(&known_versions, all, &mut reply_buf)?;
                 transport.send_payload(rank, &reply_buf)?;
@@ -398,6 +622,106 @@ fn serve_shard_inner(
                 obs.metrics().pulls_full.store(state.pulls_full, Relaxed);
                 obs.metrics().pulls_delta.store(state.pulls_delta, Relaxed);
                 fault.pull()?;
+            }
+            // --- Migration protocol (coordinator-only, two-phase) -------------
+            Message::MigratePrepare { epoch } => {
+                require_helloed(&helloed, rank)?;
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} sent MigratePrepare (coordinator-only)"
+                    )));
+                }
+                // The chaos hook fires before the ack so a kill here leaves the
+                // coordinator with an unacknowledged prepare — the rollback path.
+                fault.migrate_prepare()?;
+                state.freeze(epoch)?;
+                obs.event(EventKind::MigrationPrepare, epoch);
+                transport.send(
+                    rank,
+                    &Message::MigrateAck {
+                        epoch,
+                        shard: MIGRATE_CONTROL,
+                    },
+                )?;
+            }
+            Message::MigrateRequest { epoch, shard } => {
+                require_helloed(&helloed, rank)?;
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} sent MigrateRequest (coordinator-only)"
+                    )));
+                }
+                fault.migrate_transfer()?;
+                reply_buf.clear();
+                {
+                    let (version, weights, velocity) = state.extract(epoch, shard)?;
+                    wire::encode_migrate_shard(
+                        &mut reply_buf,
+                        epoch,
+                        shard,
+                        version,
+                        weights,
+                        velocity,
+                    );
+                }
+                transport.send_payload(rank, &reply_buf)?;
+                obs.event(EventKind::ShardTransfer, u64::from(shard));
+            }
+            Message::MigrateShard {
+                epoch,
+                shard,
+                version,
+                weights,
+                velocity,
+            } => {
+                require_helloed(&helloed, rank)?;
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} sent MigrateShard (coordinator-only)"
+                    )));
+                }
+                fault.migrate_transfer()?;
+                state.stage(epoch, shard, version, weights, velocity)?;
+                obs.event(EventKind::ShardTransfer, u64::from(shard));
+                transport.send(rank, &Message::MigrateAck { epoch, shard })?;
+            }
+            Message::LayoutUpdate { epoch, assignment } => {
+                require_helloed(&helloed, rank)?;
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} sent LayoutUpdate (coordinator-only)"
+                    )));
+                }
+                // The chaos hook fires before the commit is applied: a kill here
+                // models a server that never learned the outcome and must restore
+                // into a typed refusal, never a silent divergence.
+                fault.migrate_commit()?;
+                state.commit_layout(epoch, &assignment)?;
+                obs.event(EventKind::MigrationCommit, epoch);
+                obs.set_layout(state.epoch(), state.owned_shards() as u64);
+                // Force a checkpoint at the commit boundary so a later restore can
+                // never resurrect the pre-migration layout.
+                sink.force(|| state.snapshot(expected_digest))?;
+                if job.checkpoint.is_some() {
+                    obs.on_checkpoint(state.pushes);
+                }
+                transport.send(
+                    rank,
+                    &Message::MigrateAck {
+                        epoch,
+                        shard: MIGRATE_CONTROL,
+                    },
+                )?;
+            }
+            Message::MigrateAbort { epoch } => {
+                require_helloed(&helloed, rank)?;
+                if rank != coordinator_rank {
+                    return Err(NetError::Protocol(format!(
+                        "worker {rank} sent MigrateAbort (coordinator-only)"
+                    )));
+                }
+                state.thaw(epoch);
+                obs.event(EventKind::MigrationRollback, epoch);
             }
             // Membership is the coordinator's business; a shard server has no clocks
             // to reap, so an eviction notice is acknowledged by simply ignoring it.
@@ -420,6 +744,7 @@ fn serve_shard_inner(
                         pulls_delta: state.pulls_delta,
                         bytes_sent: t.bytes_sent,
                         bytes_received: t.bytes_received,
+                        epoch: state.epoch(),
                     },
                 )?;
             }

@@ -181,6 +181,7 @@ fn losing_a_shard_server_names_it_instead_of_stalling() {
         .send(&Message::PullShards {
             known_versions: vec![0],
             all: true,
+            epoch: 0,
         })
         .unwrap();
     let err = link

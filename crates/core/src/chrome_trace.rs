@@ -4,8 +4,9 @@
 //! the JSON array-of-events dialect that `chrome://tracing`, Perfetto and `speedscope`
 //! all load: per-worker timeline lanes with `compute` / `blocked` / `pull` duration
 //! spans, instant markers for r* credit grants, evictions, joins, checkpoints and
-//! reconnects, and named process/thread metadata so the lanes read as
-//! "worker 0 … worker N / coordinator / shard k".
+//! reconnects, `migration` duration spans on the server-family lanes (prepare →
+//! commit, or prepare → rollback), and named process/thread metadata so the lanes
+//! read as "worker 0 … worker N / coordinator / shard k".
 //!
 //! [`render_chrome_trace_from_run`] is the fallback for runs recorded *without* an
 //! event log: it renders a [`RunTrace`]'s evaluation points as counter tracks
@@ -149,13 +150,34 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
     let mut ready_at: Vec<Option<u64>> = vec![None; max_worker];
     let mut blocked_at: Vec<Option<u64>> = vec![None; max_worker];
     let mut pull_from: Vec<Option<u64>> = vec![None; max_worker];
+    // Open migrations per server-family lane: prepare opens, commit/rollback closes.
+    let mut migrating_since: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
 
     for e in events {
         let ts = e.ts - t0;
         let (p, tid) = (pid(e.role), e.rank);
         if e.role != Role::Worker {
-            // Server-family lanes: every event is an instant marker.
+            // Server-family lanes: every event is an instant marker, and the
+            // migration phases additionally bracket a duration span so a drain or
+            // rebalance reads as one block on the timeline.
             w.instant(e.kind.as_str(), p, tid, ts, ("payload", e.payload));
+            match e.kind {
+                EventKind::MigrationPrepare => {
+                    migrating_since.insert((p, tid), ts);
+                }
+                EventKind::MigrationCommit | EventKind::MigrationRollback => {
+                    if let Some(start) = migrating_since.remove(&(p, tid)) {
+                        let name = if e.kind == EventKind::MigrationCommit {
+                            "migration"
+                        } else {
+                            "migration (rolled back)"
+                        };
+                        w.span(name, p, tid, start, ts.saturating_sub(start));
+                    }
+                }
+                _ => {}
+            }
             continue;
         }
         let rank = e.rank as usize;
@@ -194,7 +216,14 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
                 blocked_at[rank] = None;
                 w.instant("eviction", p, tid, ts, ("rank", e.payload));
             }
-            EventKind::Checkpoint | EventKind::Reconnect => {
+            // Migration events are recorded by the coordinator and the shard servers
+            // (instant markers above); a worker lane renders any straggler the same.
+            EventKind::Checkpoint
+            | EventKind::Reconnect
+            | EventKind::MigrationPrepare
+            | EventKind::ShardTransfer
+            | EventKind::MigrationCommit
+            | EventKind::MigrationRollback => {
                 w.instant(e.kind.as_str(), p, tid, ts, ("payload", e.payload));
             }
         }
@@ -321,6 +350,39 @@ mod tests {
             .unwrap();
         assert_eq!(blocked.get("ts").unwrap().as_u64(), Some(400));
         assert_eq!(blocked.get("dur").unwrap().as_u64(), Some(500));
+    }
+
+    #[test]
+    fn migration_phases_bracket_a_span_on_the_coordinator_lane() {
+        let events = vec![
+            e(1_000, Role::Coordinator, 0, EventKind::MigrationPrepare, 1),
+            e(1_200, Role::Coordinator, 0, EventKind::ShardTransfer, 2),
+            e(1_500, Role::Coordinator, 0, EventKind::MigrationCommit, 1),
+            e(2_000, Role::Coordinator, 0, EventKind::MigrationPrepare, 2),
+            e(2_100, Role::Coordinator, 0, EventKind::MigrationRollback, 2),
+        ];
+        let json_text = render_chrome_trace(&events);
+        let v = json::parse(&json_text).expect("rendered trace is valid JSON");
+        let items = v.get("traceEvents").unwrap().as_array().unwrap();
+        let span = |name: &str| {
+            items
+                .iter()
+                .find(|i| {
+                    i.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && i.get("name").and_then(|n| n.as_str()) == Some(name)
+                })
+                .unwrap_or_else(|| panic!("no '{name}' span"))
+        };
+        let committed = span("migration");
+        assert_eq!(committed.get("ts").unwrap().as_u64(), Some(0));
+        assert_eq!(committed.get("dur").unwrap().as_u64(), Some(500));
+        let rolled_back = span("migration (rolled back)");
+        assert_eq!(rolled_back.get("dur").unwrap().as_u64(), Some(100));
+        // Phase instants are still rendered alongside the spans.
+        assert!(items.iter().any(|i| {
+            i.get("ph").and_then(|p| p.as_str()) == Some("i")
+                && i.get("name").and_then(|n| n.as_str()) == Some("shard-transfer")
+        }));
     }
 
     #[test]

@@ -117,6 +117,68 @@ pub struct JobConfig {
     /// `None` disables the listeners. Excluded from [`JobConfig::stable_digest`] like
     /// [`JobConfig::event_log`].
     pub metrics_addr: Option<String>,
+    /// Declarative live-migration trigger for group runs: run this drain/rebalance
+    /// once the coordinator's clock reaches the spec's version (at the next quiescent
+    /// round boundary). `None` means migrations happen only via the admin channel or
+    /// the skew threshold. Excluded from [`JobConfig::stable_digest`]: migration moves
+    /// shard ownership between servers, never shard boundaries or weight arithmetic,
+    /// so the computed model is bitwise unchanged.
+    pub migration: Option<MigrationSpec>,
+    /// Auto-rebalance trigger for group runs: when the owned-shard imbalance among
+    /// active servers exceeds this, the coordinator schedules a rebalance at the next
+    /// round boundary. `None` disables the trigger. Excluded from
+    /// [`JobConfig::stable_digest`] like [`JobConfig::migration`].
+    pub migrate_threshold: Option<u64>,
+}
+
+/// Which layout change a [`MigrationSpec`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationCommand {
+    /// Move every shard off this server (it stays in the fleet, empty).
+    Drain(usize),
+    /// Re-spread the shards evenly over the currently active servers.
+    Rebalance,
+}
+
+/// A declarative migration trigger: run `command` once the coordinator's model
+/// version (total applied pushes) reaches `at_version`. Fires at most once per
+/// group life — only while the layout is still at epoch 0 — so a restarted
+/// coordinator that restored a migrated (epoch ≥ 1) layout does not migrate again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationSpec {
+    /// The drain or rebalance to run.
+    pub command: MigrationCommand,
+    /// Fire at the first quiescent round boundary at or after this model version.
+    pub at_version: u64,
+}
+
+impl MigrationSpec {
+    /// Parses the CLI form `drain:<server>:<at_version>` or `rebalance:<at_version>`.
+    /// Returns `None` on any malformed component.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut parts = spec.split(':');
+        let command = match parts.next()? {
+            "drain" => MigrationCommand::Drain(parts.next()?.parse().ok()?),
+            "rebalance" => MigrationCommand::Rebalance,
+            _ => return None,
+        };
+        let at_version: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            command,
+            at_version,
+        })
+    }
+
+    /// Renders the spec back into the CLI form accepted by [`MigrationSpec::parse`].
+    pub fn to_spec(&self) -> String {
+        match self.command {
+            MigrationCommand::Drain(server) => format!("drain:{server}:{}", self.at_version),
+            MigrationCommand::Rebalance => format!("rebalance:{}", self.at_version),
+        }
+    }
 }
 
 /// Which process a [`FaultPlan`] kills.
@@ -141,6 +203,12 @@ pub enum FaultPhase {
     GateBlocked,
     /// Immediately after a checkpoint was written.
     Checkpoint,
+    /// During the migration prepare phase (pushes frozen, before any shard moved).
+    MigratePrepare,
+    /// During a migration shard transfer (source extracting or destination staging).
+    MigrateTransfer,
+    /// During the migration commit broadcast (some peers on the new epoch, some not).
+    MigrateCommit,
 }
 
 /// What happens after a [`FaultPlan`] kills its process.
@@ -188,6 +256,9 @@ impl FaultPlan {
             "pull" => FaultPhase::Pull,
             "gate" => FaultPhase::GateBlocked,
             "ckpt" => FaultPhase::Checkpoint,
+            "prepare" => FaultPhase::MigratePrepare,
+            "transfer" => FaultPhase::MigrateTransfer,
+            "commit" => FaultPhase::MigrateCommit,
             _ => return None,
         };
         let action = match parts.next()? {
@@ -219,6 +290,9 @@ impl FaultPlan {
             FaultPhase::Pull => "pull",
             FaultPhase::GateBlocked => "gate",
             FaultPhase::Checkpoint => "ckpt",
+            FaultPhase::MigratePrepare => "prepare",
+            FaultPhase::MigrateTransfer => "transfer",
+            FaultPhase::MigrateCommit => "commit",
         };
         let action = match self.action {
             FaultAction::KillRestart => "restart",
@@ -274,6 +348,8 @@ impl JobConfig {
             stall_timeout_ms: 30_000,
             event_log: None,
             metrics_addr: None,
+            migration: None,
+            migrate_threshold: None,
         }
     }
 
@@ -334,21 +410,24 @@ impl JobConfig {
     /// and its workers refuse to train under silently different configurations.
     pub fn digest(&self) -> u64 {
         let canonical = format!(
-            "{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            "{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
             self.stable_canonical(),
             self.fail_after_pushes,
             self.fault_plan,
             self.checkpoint,
             self.event_log,
             self.metrics_addr,
+            self.migration,
+            self.migrate_threshold,
         );
         fnv1a(&canonical)
     }
 
     /// Like [`JobConfig::digest`] but masking the chaos, persistence and
     /// observability hooks (`fail_after_pushes`, `fault_plan`, `checkpoint`,
-    /// `event_log`, `metrics_addr`), which change how a run is interrupted, stored or
-    /// observed but not what it computes. Checkpoints record *this* digest, so a
+    /// `event_log`, `metrics_addr`, `migration`, `migrate_threshold`), which change
+    /// how a run is interrupted, stored, observed or re-sharded but not what it
+    /// computes. Checkpoints record *this* digest, so a
     /// restarted process — which runs without the fault plan that killed its
     /// predecessor — still accepts the predecessor's checkpoints.
     pub fn stable_digest(&self) -> u64 {
@@ -880,6 +959,7 @@ impl ServerLoop {
             tick: self.tick,
             store,
             gate,
+            layout: None,
         }
     }
 

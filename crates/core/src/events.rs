@@ -100,11 +100,24 @@ pub enum EventKind {
     Checkpoint,
     /// A worker↔shard-server link was re-established (payload = server index).
     Reconnect,
+    /// A shard migration froze the group and started transferring (payload = target
+    /// layout epoch).
+    MigrationPrepare,
+    /// One shard's weights + momentum landed on its destination server (payload =
+    /// global shard index).
+    ShardTransfer,
+    /// A migration committed: the group now serves the new layout (payload = the
+    /// committed layout epoch).
+    MigrationCommit,
+    /// A migration was rolled back; the group keeps its old layout (payload = the
+    /// abandoned target epoch).
+    MigrationRollback,
 }
 
 impl EventKind {
-    /// All kinds, in wire order (the index is the packed representation).
-    pub const ALL: [EventKind; 9] = [
+    /// All kinds, in wire order (the index is the packed representation — new kinds
+    /// are appended at the end, never inserted).
+    pub const ALL: [EventKind; 13] = [
         EventKind::Push,
         EventKind::Pull,
         EventKind::GateBlock,
@@ -114,6 +127,10 @@ impl EventKind {
         EventKind::Join,
         EventKind::Checkpoint,
         EventKind::Reconnect,
+        EventKind::MigrationPrepare,
+        EventKind::ShardTransfer,
+        EventKind::MigrationCommit,
+        EventKind::MigrationRollback,
     ];
 
     /// Stable kebab-case name used in the NDJSON `kind` field.
@@ -128,6 +145,10 @@ impl EventKind {
             EventKind::Join => "join",
             EventKind::Checkpoint => "checkpoint",
             EventKind::Reconnect => "reconnect",
+            EventKind::MigrationPrepare => "migration-prepare",
+            EventKind::ShardTransfer => "shard-transfer",
+            EventKind::MigrationCommit => "migration-commit",
+            EventKind::MigrationRollback => "migration-rollback",
         }
     }
 

@@ -6,7 +6,7 @@
 //! drift between a server's and a worker's configuration is caught by the
 //! `JobConfig::digest` check in the `Hello` handshake.
 
-use dssp_core::driver::{CheckpointSpec, FaultPlan, JobConfig};
+use dssp_core::driver::{CheckpointSpec, FaultPlan, JobConfig, MigrationSpec};
 use dssp_ps::PolicyKind;
 
 /// Returns the value following `flag` in `args`, if present.
@@ -95,6 +95,8 @@ pub fn policy_spec(policy: &PolicyKind) -> String {
 /// | `--restore` | off | restore from `--checkpoint-dir` instead of starting fresh |
 /// | `--event-log D` | off | flush a structured NDJSON event log per role under `D` |
 /// | `--metrics-addr H:P` | off | serve Prometheus `GET /metrics` (base port; shard server `i` at `P+1+i`) |
+/// | `--migrate SPEC` | off | declarative live migration: `drain:<server>:<at_version>` or `rebalance:<at_version>` |
+/// | `--migrate-threshold N` | off | auto-rebalance a group when the owned-shard skew exceeds N |
 ///
 /// `--delta-pulls` is part of the config digest, so a server and a worker that
 /// disagree on it are rejected at the `Hello` handshake rather than silently mixing
@@ -187,6 +189,16 @@ pub fn job_from_flags(args: &[String]) -> Result<JobConfig, String> {
             restore: args.iter().any(|a| a == "--restore"),
         }),
     };
+    job.migration = match flag_value(args, "--migrate") {
+        None => None,
+        Some(spec) => Some(MigrationSpec::parse(&spec).ok_or_else(|| {
+            format!(
+                "invalid migration spec '{spec}' (expected drain:<server>:<at_version> or \
+                 rebalance:<at_version>)"
+            )
+        })?),
+    };
+    job.migrate_threshold = parse_flag::<u64>(args, "--migrate-threshold")?;
     job.event_log = flag_value(args, "--event-log").map(std::path::PathBuf::from);
     job.metrics_addr = match flag_value(args, "--metrics-addr") {
         None => None,
@@ -254,6 +266,14 @@ pub fn job_args(job: &JobConfig) -> Vec<String> {
         if ckpt.restore {
             args.push("--restore".to_string());
         }
+    }
+    if let Some(spec) = &job.migration {
+        args.push("--migrate".to_string());
+        args.push(spec.to_spec());
+    }
+    if let Some(threshold) = job.migrate_threshold {
+        args.push("--migrate-threshold".to_string());
+        args.push(threshold.to_string());
     }
     if let Some(dir) = &job.event_log {
         args.push("--event-log".to_string());
@@ -407,6 +427,39 @@ mod tests {
         assert_ne!(job.digest(), dark.digest());
         assert_eq!(job.stable_digest(), dark.stable_digest());
         assert!(job_from_flags(&strings(&["--metrics-addr", "no-port"])).is_err());
+    }
+
+    #[test]
+    fn migration_flags_round_trip_but_stay_out_of_the_stable_digest() {
+        use dssp_core::driver::MigrationCommand;
+        let args = strings(&[
+            "--shards",
+            "4",
+            "--servers",
+            "3",
+            "--migrate",
+            "drain:2:64",
+            "--migrate-threshold",
+            "2",
+        ]);
+        let job = job_from_flags(&args).unwrap();
+        let spec = job.migration.expect("migration spec parsed");
+        assert_eq!(spec.command, MigrationCommand::Drain(2));
+        assert_eq!(spec.at_version, 64);
+        assert_eq!(job.migrate_threshold, Some(2));
+        let rebuilt = job_from_flags(&job_args(&job)).unwrap();
+        assert_eq!(job.digest(), rebuilt.digest());
+        // Migrations move shard ownership, never shard boundaries or arithmetic, so
+        // the handshake-stable digest masks the triggers (like the chaos flags): a
+        // worker launched without them still joins the migrating group.
+        let fixed = job_from_flags(&strings(&["--shards", "4", "--servers", "3"])).unwrap();
+        assert_ne!(job.digest(), fixed.digest());
+        assert_eq!(job.stable_digest(), fixed.stable_digest());
+        // Rebalance specs round-trip too, and malformed ones are rejected.
+        let reb = job_from_flags(&strings(&["--migrate", "rebalance:10"])).unwrap();
+        assert_eq!(reb.migration.unwrap().command, MigrationCommand::Rebalance);
+        assert!(job_from_flags(&strings(&["--migrate", "drain:x:1"])).is_err());
+        assert!(job_from_flags(&strings(&["--migrate", "shuffle:1"])).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use dssp_core::driver::{CheckpointSpec, FaultPhase, FaultPlan, FaultRole, JobCon
 use dssp_ps::Checkpoint;
 use std::path::PathBuf;
 
-/// Per-role occurrence counters for the four fault phases, firing the job's
+/// Per-role occurrence counters for the fault phases, firing the job's
 /// [`FaultPlan`] when it comes due.
 ///
 /// Each serving loop creates one clock for its own role and calls the phase hook at
@@ -40,6 +40,9 @@ pub struct FaultClock {
     pulls: u64,
     blocked: u64,
     checkpoints: u64,
+    prepares: u64,
+    transfers: u64,
+    commits: u64,
 }
 
 impl FaultClock {
@@ -51,6 +54,9 @@ impl FaultClock {
             pulls: 0,
             blocked: 0,
             checkpoints: 0,
+            prepares: 0,
+            transfers: 0,
+            commits: 0,
         }
     }
 
@@ -76,6 +82,24 @@ impl FaultClock {
     pub fn checkpoint(&mut self) -> Result<(), NetError> {
         self.checkpoints += 1;
         self.due(FaultPhase::Checkpoint, self.checkpoints)
+    }
+
+    /// Counts one migration prepare handled; errs if the plan's prepare phase is due.
+    pub fn migrate_prepare(&mut self) -> Result<(), NetError> {
+        self.prepares += 1;
+        self.due(FaultPhase::MigratePrepare, self.prepares)
+    }
+
+    /// Counts one shard transfer leg handled; errs if the plan's transfer phase is due.
+    pub fn migrate_transfer(&mut self) -> Result<(), NetError> {
+        self.transfers += 1;
+        self.due(FaultPhase::MigrateTransfer, self.transfers)
+    }
+
+    /// Counts one migration commit handled; errs if the plan's commit phase is due.
+    pub fn migrate_commit(&mut self) -> Result<(), NetError> {
+        self.commits += 1;
+        self.due(FaultPhase::MigrateCommit, self.commits)
     }
 
     fn due(&self, phase: FaultPhase, count: u64) -> Result<(), NetError> {
@@ -169,6 +193,17 @@ impl CheckpointSink {
     /// Writes the final checkpoint unconditionally (run end), so `--restore` always
     /// finds the run's terminal state regardless of cadence alignment.
     pub fn finalize(&mut self, make: impl FnOnce() -> Checkpoint) -> Result<(), NetError> {
+        if let Some(path) = &self.path {
+            make().save_atomic(path)?;
+            self.written += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint now regardless of cadence (migration commits force one, so
+    /// a post-commit restore never resurrects a pre-migration layout). No-op when
+    /// inert; does not advance the cadence mark.
+    pub fn force(&mut self, make: impl FnOnce() -> Checkpoint) -> Result<(), NetError> {
         if let Some(path) = &self.path {
             make().save_atomic(path)?;
             self.written += 1;

@@ -60,6 +60,16 @@ pub enum NetError {
     /// Writing or reading a durable checkpoint failed (I/O, truncation, corruption,
     /// or job-digest skew).
     Checkpoint(dssp_ps::CheckpointError),
+    /// A shard server refused an epoch-stamped request because the client routed by a
+    /// retired (or not-yet-committed) group layout. Retryable: an empty `assignment`
+    /// means the server is frozen mid-migration (wait and retry), a non-empty one
+    /// carries the committed layout to adopt before retrying.
+    EpochRefused {
+        /// The epoch the server is at (or frozen toward).
+        epoch: u64,
+        /// The committed shard→server assignment, empty while the server is frozen.
+        assignment: Vec<u32>,
+    },
     /// A ranked client connection closed cleanly mid-run (server side). The serving
     /// loop decides whether that is fatal — a single server treats any worker EOF as a
     /// failed run, while a shard server outlives workers that already finished and
@@ -110,6 +120,19 @@ impl std::fmt::Display for NetError {
                 write!(f, "fault plan fired: {plan}")
             }
             NetError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            NetError::EpochRefused { epoch, assignment } => {
+                if assignment.is_empty() {
+                    write!(
+                        f,
+                        "request refused: layout epoch {epoch} migration in flight"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "request refused: retired layout, group committed epoch {epoch}"
+                    )
+                }
+            }
             NetError::ClientLost { rank } => {
                 write!(f, "client {rank} closed its connection mid-run")
             }

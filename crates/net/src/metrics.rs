@@ -72,6 +72,12 @@ pub struct Metrics {
     pub joins: AtomicU64,
     /// Structured events dropped because the event log was full.
     pub events_dropped: AtomicU64,
+    /// Gauge: the layout epoch this process currently runs at (bumped by each
+    /// committed live migration).
+    pub layout_epoch: AtomicU64,
+    /// Gauge: shards this process currently owns (coordinator reports the group
+    /// total; a drained server reports 0).
+    pub shards_owned: AtomicU64,
     staleness_buckets: [AtomicU64; BUCKETS],
     staleness_sum: AtomicU64,
     staleness_count: AtomicU64,
@@ -99,6 +105,8 @@ impl Metrics {
             evictions: AtomicU64::new(0),
             joins: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
+            layout_epoch: AtomicU64::new(0),
+            shards_owned: AtomicU64::new(0),
             staleness_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             staleness_sum: AtomicU64::new(0),
             staleness_count: AtomicU64::new(0),
@@ -246,6 +254,16 @@ impl Metrics {
             "dssp_checkpoint_last_timestamp_seconds",
             "Unix time of the most recent checkpoint (0 = none).",
             self.checkpoint_last_unix.load(Ordering::Relaxed),
+        );
+        gauge(
+            "dssp_layout_epoch",
+            "Layout epoch this process runs at (bumped by each committed migration).",
+            self.layout_epoch.load(Ordering::Relaxed),
+        );
+        gauge(
+            "dssp_shards_owned",
+            "Shards this process currently owns (group total on the coordinator).",
+            self.shards_owned.load(Ordering::Relaxed),
         );
 
         let _ = writeln!(

@@ -188,6 +188,14 @@ impl Obs {
         self.event(EventKind::Checkpoint, version);
     }
 
+    /// Mirrors a layout change into the registry gauges: the epoch the process now
+    /// runs at and the shards it now owns (group total on the coordinator).
+    #[inline]
+    pub fn set_layout(&self, epoch: u64, shards_owned: u64) {
+        self.metrics.layout_epoch.store(epoch, Relaxed);
+        self.metrics.shards_owned.store(shards_owned, Relaxed);
+    }
+
     /// Mirrors the transport's byte counters into the registry (two stores).
     #[inline]
     pub fn mirror_transport(&self, stats: &TransportStats) {

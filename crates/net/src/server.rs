@@ -251,6 +251,8 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 // restored clock after a checkpoint restore.
                 let ack = Message::JoinAck {
                     clock: sl.push_count(rank),
+                    epoch: 0,
+                    assignment: Vec::new(),
                 };
                 if transport.send(rank, &ack).is_err() {
                     evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?;

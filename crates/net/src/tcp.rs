@@ -178,6 +178,19 @@ impl Drop for TcpServerTransport {
         for stream in self.writers.iter().flatten() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
+        // Unblock the acceptor if any client slot was never claimed (a coordinator
+        // binds an optional admin slot that only `repro -- drain/rebalance` dials):
+        // a bounded burst of self-connects makes `accept` return so the thread can
+        // exit instead of leaking. Once the acceptor has exited and dropped the
+        // listener, the next connect fails fast and the loop stops.
+        for _ in 0..self.num_workers {
+            match TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(50)) {
+                Ok(poke) => {
+                    let _ = poke.shutdown(std::net::Shutdown::Both);
+                }
+                Err(_) => break,
+            }
+        }
     }
 }
 
@@ -311,8 +324,12 @@ fn decode_pooled(
         }
         Some(&TAG_PUSH_SLICE) => {
             let mut grads = recycled(grads_pool);
-            let iteration = wire::decode_push_slice_into(payload, &mut grads)?;
-            Ok(Message::PushSlice { iteration, grads })
+            let (iteration, epoch) = wire::decode_push_slice_into(payload, &mut grads)?;
+            Ok(Message::PushSlice {
+                iteration,
+                epoch,
+                grads,
+            })
         }
         Some(&TAG_PULL_DELTA) => {
             let mut known = recycled(known_pool);
@@ -323,10 +340,11 @@ fn decode_pooled(
         }
         Some(&TAG_PULL_SHARDS) => {
             let mut known = recycled(known_pool);
-            let all = wire::decode_pull_shards_into(payload, &mut known)?;
+            let (all, epoch) = wire::decode_pull_shards_into(payload, &mut known)?;
             Ok(Message::PullShards {
                 known_versions: known,
                 all,
+                epoch,
             })
         }
         _ => Ok(wire::decode(payload)?),
@@ -641,15 +659,25 @@ impl WorkerTransport for TcpWorkerTransport {
         self.recv_pull_apply(weights, versions)
     }
 
-    fn send_push_slice(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+    fn send_push_slice(
+        &mut self,
+        iteration: u64,
+        epoch: u64,
+        grads: &[f32],
+    ) -> Result<(), NetError> {
         self.scratch.clear();
-        wire::encode_push_slice(&mut self.scratch, iteration, grads);
+        wire::encode_push_slice(&mut self.scratch, iteration, epoch, grads);
         self.flush_scratch()
     }
 
-    fn send_pull_shards(&mut self, known_versions: &[u64], all: bool) -> Result<(), NetError> {
+    fn send_pull_shards(
+        &mut self,
+        known_versions: &[u64],
+        all: bool,
+        epoch: u64,
+    ) -> Result<(), NetError> {
         self.scratch.clear();
-        wire::encode_pull_shards(&mut self.scratch, known_versions, all);
+        wire::encode_pull_shards(&mut self.scratch, known_versions, all, epoch);
         self.flush_scratch()
     }
 
@@ -666,6 +694,9 @@ impl WorkerTransport for TcpWorkerTransport {
             }
             _ => match wire::decode(&self.payload)? {
                 Message::Shutdown { reason } => Ok(PullOutcome::Shutdown { reason }),
+                Message::EpochRefused { epoch, assignment } => {
+                    Err(NetError::EpochRefused { epoch, assignment })
+                }
                 other => Err(NetError::Protocol(format!(
                     "expected a pull reply, got {other:?}"
                 ))),

@@ -171,6 +171,11 @@ pub fn apply_pull_message(
             }))
         }
         Message::Shutdown { reason } => Ok(PullOutcome::Shutdown { reason }),
+        // Typed, retryable: the caller (the group fan) waits out a frozen server or
+        // adopts the committed layout and retries the round.
+        Message::EpochRefused { epoch, assignment } => {
+            Err(NetError::EpochRefused { epoch, assignment })
+        }
         other => Err(NetError::Protocol(format!(
             "expected a pull reply, got {other:?}"
         ))),
@@ -282,20 +287,33 @@ pub trait WorkerTransport: Send {
     /// [`Message::PushSlice`]. Part of a group worker's fan-out: requests go to every
     /// server first, then the [`Message::SliceAck`]s are collected, so the servers
     /// work concurrently.
-    fn send_push_slice(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+    fn send_push_slice(
+        &mut self,
+        iteration: u64,
+        epoch: u64,
+        grads: &[f32],
+    ) -> Result<(), NetError> {
         self.send(&Message::PushSlice {
             iteration,
+            epoch,
             grads: grads.to_vec(),
         })
     }
 
     /// Sends a shard-scoped pull request ([`Message::PullShards`]) from a borrowed
-    /// sub-range of the caller's global version cache. The TCP transport encodes from
-    /// the borrow; the default copies.
-    fn send_pull_shards(&mut self, known_versions: &[u64], all: bool) -> Result<(), NetError> {
+    /// sub-range of the caller's global version cache, stamped with the layout
+    /// `epoch` the worker believes is current. The TCP transport encodes from the
+    /// borrow; the default copies.
+    fn send_pull_shards(
+        &mut self,
+        known_versions: &[u64],
+        all: bool,
+        epoch: u64,
+    ) -> Result<(), NetError> {
         self.send(&Message::PullShards {
             known_versions: known_versions.to_vec(),
             all,
+            epoch,
         })
     }
 

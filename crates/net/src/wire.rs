@@ -81,8 +81,14 @@
 /// ([`Message::PullDelta`] / [`Message::PullReplyDelta`]); version 3 added the
 /// multi-server group messages ([`Message::GroupHello`], the `ClockPush`/`ClockGrant`
 /// clock channel, shard-scoped `PushSlice`/`PullShards`, and the deterministic-mode
-/// and stats handshakes).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// and stats handshakes); version 5 added live shard migration (the epoch-stamped
+/// `Migrate*`/`LayoutUpdate`/`EpochRefused` family, layout epochs on the bulk
+/// messages, and the `Drain`/`Rebalance` admin channel).
+pub const PROTOCOL_VERSION: u16 = 5;
+
+/// The `shard` value in a [`Message::MigrateAck`] acknowledging a control step
+/// (prepare or commit) rather than one shard's transfer.
+pub const MIGRATE_CONTROL: u32 = u32::MAX;
 
 /// Magic number opening every `Hello` payload (`b"DSSP"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"DSSP");
@@ -236,6 +242,10 @@ pub enum Message {
     PushSlice {
         /// 1-based iteration number of this push.
         iteration: u64,
+        /// The layout epoch the sender sliced against. A server at a different epoch
+        /// refuses the slice with [`Message::EpochRefused`] instead of applying it to
+        /// the wrong key range.
+        epoch: u64,
         /// The gradient run for the server's key range (its owned shards, in order).
         grads: Vec<f32>,
     },
@@ -255,6 +265,8 @@ pub enum Message {
         known_versions: Vec<u64>,
         /// Ship every owned shard regardless of staleness (full fan-out pull).
         all: bool,
+        /// The layout epoch the sender routed against (see [`Message::PushSlice`]).
+        epoch: u64,
     },
     /// Worker → coordinator (deterministic mode only): the worker's pull fan-out
     /// completed on every shard server; mutating events may be dispatched again.
@@ -274,6 +286,9 @@ pub enum Message {
         bytes_sent: u64,
         /// Bytes read from this server's sockets, frame headers included.
         bytes_received: u64,
+        /// The layout epoch the server is serving at — the coordinator's restore-skew
+        /// check compares this against its own checkpointed epoch.
+        epoch: u64,
     },
     /// Worker → coordinator: ask to be admitted to (or rejoin) the run. Sent right
     /// after the handshake; a fresh worker is admitted at clock 0, a restarted worker
@@ -285,6 +300,12 @@ pub enum Message {
     JoinAck {
         /// Pushes already recorded for the joining worker's rank.
         clock: u64,
+        /// The group's current layout epoch (0 for single-server runs and
+        /// never-migrated groups).
+        epoch: u64,
+        /// The current shard → server assignment; empty for single-server runs and
+        /// epoch-0 groups (where the joiner derives the closed form itself).
+        assignment: Vec<u32>,
     },
     /// Coordinator → shard servers (or chaos driver → coordinator): worker `rank` is
     /// gone for good; reap its pending state via the eviction path instead of waiting
@@ -292,6 +313,92 @@ pub enum Message {
     Evict {
         /// Rank of the departed worker.
         rank: u32,
+    },
+    /// Coordinator → shard server: a migration toward `epoch` is starting — freeze.
+    /// Until the matching [`Message::LayoutUpdate`] or [`Message::MigrateAbort`]
+    /// arrives, the server refuses every push and pull with
+    /// [`Message::EpochRefused`]. Acked with a control [`Message::MigrateAck`].
+    MigratePrepare {
+        /// The epoch the group is migrating **to**.
+        epoch: u64,
+    },
+    /// Coordinator → source shard server: extract one migrating shard (weights,
+    /// momentum slice and version) and reply with [`Message::MigrateShard`].
+    MigrateRequest {
+        /// The epoch the group is migrating to (must match the prepared one).
+        epoch: u64,
+        /// Global index of the shard to extract.
+        shard: u32,
+    },
+    /// One migrating shard's complete state. Source server → coordinator in reply to
+    /// [`Message::MigrateRequest`]; relayed verbatim coordinator → destination server
+    /// (servers never dial each other — the coordinator owns the only server links).
+    MigrateShard {
+        /// The epoch the group is migrating to.
+        epoch: u64,
+        /// Global index of the shard.
+        shard: u32,
+        /// The shard's update version (carried so the destination's version vector
+        /// stays bitwise-equal to a never-migrated group's).
+        version: u64,
+        /// The shard's weights (its full key range).
+        weights: Vec<f32>,
+        /// The shard's SGD momentum slice, same length as `weights` (empty when the
+        /// job runs without momentum).
+        velocity: Vec<f32>,
+    },
+    /// Shard server → coordinator: a migration step landed. `shard` is the staged
+    /// shard's index for transfer acks, [`MIGRATE_CONTROL`] for prepare/commit acks.
+    MigrateAck {
+        /// The epoch the group is migrating to.
+        epoch: u64,
+        /// The acknowledged shard, or [`MIGRATE_CONTROL`].
+        shard: u32,
+    },
+    /// Coordinator → everyone: the migration **committed** — this is the new layout.
+    /// Shard servers rebuild their stores from staged + retained shards and unfreeze;
+    /// workers re-route their fan. Servers ack with a control
+    /// [`Message::MigrateAck`]; workers adopt silently.
+    LayoutUpdate {
+        /// The now-current layout epoch.
+        epoch: u64,
+        /// The now-current shard → server assignment.
+        assignment: Vec<u32>,
+    },
+    /// Coordinator → shard servers: the migration toward `epoch` is **rolled back** —
+    /// discard staged shards, unfreeze, keep serving the old layout.
+    MigrateAbort {
+        /// The abandoned target epoch.
+        epoch: u64,
+    },
+    /// Shard server → client: a typed, retryable refusal of an epoch-mismatched push
+    /// or pull. With an empty `assignment` the server is frozen mid-migration (retry
+    /// after a short wait); with a non-empty one the server has already committed a
+    /// newer layout the client should adopt before retrying.
+    EpochRefused {
+        /// The epoch the server is at (or migrating to, while frozen).
+        epoch: u64,
+        /// The committed assignment to adopt, or empty while frozen.
+        assignment: Vec<u32>,
+    },
+    /// Admin client → coordinator: drain shard server `server` (move its shards to a
+    /// neighbor at the next round boundary, leaving it empty for decommission).
+    Drain {
+        /// Index of the server to drain.
+        server: u32,
+    },
+    /// Admin client → coordinator: rebalance the shards over the active servers at
+    /// the next round boundary.
+    Rebalance,
+    /// Coordinator → admin client: the verdict on a [`Message::Drain`] or
+    /// [`Message::Rebalance`] command, sent after the migration commits (or refuses).
+    AdminAck {
+        /// The layout epoch after the command was handled.
+        epoch: u64,
+        /// Whether the migration committed.
+        accepted: bool,
+        /// Why the command was refused; empty on success.
+        reason: String,
     },
 }
 
@@ -313,6 +420,8 @@ pub(crate) const TAG_GROUP_HELLO: u8 = 10;
 pub(crate) const TAG_PUSH_SLICE: u8 = 15;
 /// Payload tag of [`Message::PullShards`].
 pub(crate) const TAG_PULL_SHARDS: u8 = 17;
+/// Payload tag of [`Message::MigrateShard`] (the bulk migration transfer).
+pub(crate) const TAG_MIGRATE_SHARD: u8 = 26;
 
 impl Message {
     /// The payload tag identifying this message kind on the wire.
@@ -341,6 +450,16 @@ impl Message {
             Message::JoinRequest => 21,
             Message::JoinAck { .. } => 22,
             Message::Evict { .. } => 23,
+            Message::MigratePrepare { .. } => 24,
+            Message::MigrateRequest { .. } => 25,
+            Message::MigrateShard { .. } => TAG_MIGRATE_SHARD,
+            Message::MigrateAck { .. } => 27,
+            Message::LayoutUpdate { .. } => 28,
+            Message::MigrateAbort { .. } => 29,
+            Message::EpochRefused { .. } => 30,
+            Message::Drain { .. } => 31,
+            Message::Rebalance => 32,
+            Message::AdminAck { .. } => 33,
         }
     }
 }
@@ -554,6 +673,55 @@ pub(crate) fn append_u64s_from_le(bytes: &[u8], out: &mut Vec<u64>) {
     }
 }
 
+/// Appends the little-endian bytes of `values` to `buf` in one chunk.
+fn extend_u32_bytes(buf: &mut Vec<u8>, values: &[u32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `extend_f32_bytes` — a plain byte view of the u32 run.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        buf.reserve(values.len() * 4);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Appends `bytes.len() / 4` u32s decoded from little-endian `bytes` to `out`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of 4.
+pub(crate) fn append_u32s_from_le(bytes: &[u8], out: &mut Vec<u32>) {
+    assert_eq!(bytes.len() % 4, 0, "byte run is not a whole number of u32s");
+    let n = bytes.len() / 4;
+    #[cfg(target_endian = "little")]
+    {
+        out.reserve(n);
+        // SAFETY: as in `append_f32s_from_le`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().add(out.len()).cast::<u8>(),
+                bytes.len(),
+            );
+            out.set_len(out.len() + n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
@@ -646,7 +814,11 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.push(msg.tag());
             buf.extend_from_slice(&iteration.to_le_bytes());
         }
-        Message::PushSlice { iteration, grads } => encode_push_slice(buf, *iteration, grads),
+        Message::PushSlice {
+            iteration,
+            epoch,
+            grads,
+        } => encode_push_slice(buf, *iteration, *epoch, grads),
         Message::SliceAck { version } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&version.to_le_bytes());
@@ -654,7 +826,8 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
         Message::PullShards {
             known_versions,
             all,
-        } => encode_pull_shards(buf, known_versions, *all),
+            epoch,
+        } => encode_pull_shards(buf, known_versions, *all, *epoch),
         Message::PullDone => buf.push(msg.tag()),
         Message::StatsRequest => buf.push(msg.tag()),
         Message::StatsReply {
@@ -663,6 +836,7 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             pulls_delta,
             bytes_sent,
             bytes_received,
+            epoch,
         } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&pushes.to_le_bytes());
@@ -670,15 +844,61 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&pulls_delta.to_le_bytes());
             buf.extend_from_slice(&bytes_sent.to_le_bytes());
             buf.extend_from_slice(&bytes_received.to_le_bytes());
+            buf.extend_from_slice(&epoch.to_le_bytes());
         }
         Message::JoinRequest => buf.push(msg.tag()),
-        Message::JoinAck { clock } => {
+        Message::JoinAck {
+            clock,
+            epoch,
+            assignment,
+        } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&clock.to_le_bytes());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            put_u32s(buf, assignment);
         }
         Message::Evict { rank } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&rank.to_le_bytes());
+        }
+        Message::MigratePrepare { epoch } | Message::MigrateAbort { epoch } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Message::MigrateRequest { epoch, shard } | Message::MigrateAck { epoch, shard } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&shard.to_le_bytes());
+        }
+        Message::MigrateShard {
+            epoch,
+            shard,
+            version,
+            weights,
+            velocity,
+        } => encode_migrate_shard(buf, *epoch, *shard, *version, weights, velocity),
+        Message::LayoutUpdate { epoch, assignment }
+        | Message::EpochRefused { epoch, assignment } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            put_u32s(buf, assignment);
+        }
+        Message::Drain { server } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&server.to_le_bytes());
+        }
+        Message::Rebalance => buf.push(msg.tag()),
+        Message::AdminAck {
+            epoch,
+            accepted,
+            reason,
+        } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.push(u8::from(*accepted));
+            let len = u32::try_from(reason.len()).expect("reason fits in u32");
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.extend_from_slice(reason.as_bytes());
         }
     }
 }
@@ -704,19 +924,41 @@ pub fn encode_pull_delta(buf: &mut Vec<u8>, known_versions: &[u64]) {
 
 /// Appends a [`Message::PushSlice`] payload built from a borrowed gradient slice — a
 /// group worker's zero-copy push path: the grads are the sub-slice of its full
-/// gradient buffer covering one shard server's key range.
-pub fn encode_push_slice(buf: &mut Vec<u8>, iteration: u64, grads: &[f32]) {
+/// gradient buffer covering one shard server's key range under layout `epoch`.
+pub fn encode_push_slice(buf: &mut Vec<u8>, iteration: u64, epoch: u64, grads: &[f32]) {
     buf.push(TAG_PUSH_SLICE);
     buf.extend_from_slice(&iteration.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
     put_f32s(buf, grads);
 }
 
 /// Appends a [`Message::PullShards`] payload built from a borrowed version slice (the
-/// sub-range of the client's global version cache owned by one shard server).
-pub fn encode_pull_shards(buf: &mut Vec<u8>, known_versions: &[u64], all: bool) {
+/// sub-range of the client's global version cache owned by one shard server under
+/// layout `epoch`).
+pub fn encode_pull_shards(buf: &mut Vec<u8>, known_versions: &[u64], all: bool, epoch: u64) {
     buf.push(TAG_PULL_SHARDS);
     buf.push(u8::from(all));
+    buf.extend_from_slice(&epoch.to_le_bytes());
     put_u64s(buf, known_versions);
+}
+
+/// Appends a [`Message::MigrateShard`] payload from borrowed store state — the source
+/// server's zero-copy transfer path: weights and the momentum slice are memcpy'd
+/// straight out of the store and optimizer into the frame buffer.
+pub fn encode_migrate_shard(
+    buf: &mut Vec<u8>,
+    epoch: u64,
+    shard: u32,
+    version: u64,
+    weights: &[f32],
+    velocity: &[f32],
+) {
+    buf.push(TAG_MIGRATE_SHARD);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&shard.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
+    put_f32s(buf, weights);
+    put_f32s(buf, velocity);
 }
 
 /// Appends a [`Message::PullReply`] payload built from borrowed server state — the
@@ -761,6 +1003,12 @@ fn put_u64s(buf: &mut Vec<u8>, values: &[u64]) {
     let len = u32::try_from(values.len()).expect("vector fits in u32");
     buf.extend_from_slice(&len.to_le_bytes());
     extend_u64_bytes(buf, values);
+}
+
+fn put_u32s(buf: &mut Vec<u8>, values: &[u32]) {
+    let len = u32::try_from(values.len()).expect("vector fits in u32");
+    buf.extend_from_slice(&len.to_le_bytes());
+    extend_u32_bytes(buf, values);
 }
 
 // ---------------------------------------------------------------------------
@@ -812,6 +1060,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         },
         TAG_PUSH_SLICE => Message::PushSlice {
             iteration: r.u64()?,
+            epoch: r.u64()?,
             grads: r.f32s()?,
         },
         16 => Message::SliceAck { version: r.u64()? },
@@ -822,14 +1071,19 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
                 other => return Err(WireError::UnknownTag(other)),
             };
             Message::PullShards {
-                known_versions: r.u64s()?,
                 all,
+                epoch: r.u64()?,
+                known_versions: r.u64s()?,
             }
         }
         18 => Message::PullDone,
         19 => Message::StatsRequest,
         21 => Message::JoinRequest,
-        22 => Message::JoinAck { clock: r.u64()? },
+        22 => Message::JoinAck {
+            clock: r.u64()?,
+            epoch: r.u64()?,
+            assignment: r.u32s()?,
+        },
         23 => Message::Evict { rank: r.u32()? },
         20 => Message::StatsReply {
             pushes: r.u64()?,
@@ -837,7 +1091,50 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             pulls_delta: r.u64()?,
             bytes_sent: r.u64()?,
             bytes_received: r.u64()?,
+            epoch: r.u64()?,
         },
+        24 => Message::MigratePrepare { epoch: r.u64()? },
+        25 => Message::MigrateRequest {
+            epoch: r.u64()?,
+            shard: r.u32()?,
+        },
+        TAG_MIGRATE_SHARD => Message::MigrateShard {
+            epoch: r.u64()?,
+            shard: r.u32()?,
+            version: r.u64()?,
+            weights: r.f32s()?,
+            velocity: r.f32s()?,
+        },
+        27 => Message::MigrateAck {
+            epoch: r.u64()?,
+            shard: r.u32()?,
+        },
+        28 => Message::LayoutUpdate {
+            epoch: r.u64()?,
+            assignment: r.u32s()?,
+        },
+        29 => Message::MigrateAbort { epoch: r.u64()? },
+        30 => Message::EpochRefused {
+            epoch: r.u64()?,
+            assignment: r.u32s()?,
+        },
+        31 => Message::Drain { server: r.u32()? },
+        32 => Message::Rebalance,
+        33 => {
+            let epoch = r.u64()?;
+            let accepted = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(WireError::UnknownTag(other)),
+            };
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            Message::AdminAck {
+                epoch,
+                accepted,
+                reason: String::from_utf8_lossy(bytes).into_owned(),
+            }
+        }
         TAG_PUSH => Message::Push {
             iteration: r.u64()?,
             grads: r.f32s()?,
@@ -918,29 +1215,36 @@ pub fn decode_pull_delta_into(payload: &[u8], known: &mut Vec<u64>) -> Result<()
 }
 
 /// Decodes a [`Message::PushSlice`] payload into a caller-owned gradient buffer
-/// (cleared first; no allocation once warm) and returns the push's iteration number.
-/// Same strictness as [`decode`].
+/// (cleared first; no allocation once warm) and returns the push's
+/// `(iteration, epoch)` pair. Same strictness as [`decode`].
 ///
 /// Returns [`WireError::UnknownTag`] if the payload is not a `PushSlice`.
-pub fn decode_push_slice_into(payload: &[u8], grads: &mut Vec<f32>) -> Result<u64, WireError> {
+pub fn decode_push_slice_into(
+    payload: &[u8],
+    grads: &mut Vec<f32>,
+) -> Result<(u64, u64), WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     if tag != TAG_PUSH_SLICE {
         return Err(WireError::UnknownTag(tag));
     }
     let iteration = r.u64()?;
+    let epoch = r.u64()?;
     grads.clear();
     r.f32s_into(grads)?;
     r.finish()?;
-    Ok(iteration)
+    Ok((iteration, epoch))
 }
 
 /// Decodes a [`Message::PullShards`] payload into a caller-owned version buffer
-/// (cleared first; no allocation once warm) and returns the `all` flag. Same
-/// strictness as [`decode`].
+/// (cleared first; no allocation once warm) and returns the `(all, epoch)` pair.
+/// Same strictness as [`decode`].
 ///
 /// Returns [`WireError::UnknownTag`] if the payload is not a `PullShards`.
-pub fn decode_pull_shards_into(payload: &[u8], known: &mut Vec<u64>) -> Result<bool, WireError> {
+pub fn decode_pull_shards_into(
+    payload: &[u8],
+    known: &mut Vec<u64>,
+) -> Result<(bool, u64), WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     if tag != TAG_PULL_SHARDS {
@@ -951,10 +1255,11 @@ pub fn decode_pull_shards_into(payload: &[u8], known: &mut Vec<u64>) -> Result<b
         1 => true,
         other => return Err(WireError::UnknownTag(other)),
     };
+    let epoch = r.u64()?;
     known.clear();
     r.u64s_into(known)?;
     r.finish()?;
-    Ok(all)
+    Ok((all, epoch))
 }
 
 /// What [`apply_pull_reply`] reconstructed from a pull reply payload.
@@ -1175,6 +1480,17 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
+    fn u32s(&mut self) -> Result<Vec<u32>, WireError> {
+        let declared = self.u32()? as usize;
+        if declared.saturating_mul(4) > self.bytes.len() - self.pos {
+            return Err(WireError::BadLength { declared });
+        }
+        let bytes = self.take(declared * 4)?;
+        let mut out = Vec::new();
+        append_u32s_from_le(bytes, &mut out);
+        Ok(out)
+    }
+
     fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
         let mut out = Vec::new();
         self.u64s_into(&mut out)?;
@@ -1290,16 +1606,19 @@ mod tests {
             Message::PushApplied { iteration: 17 },
             Message::PushSlice {
                 iteration: 9,
+                epoch: 1,
                 grads: vec![0.5, -2.0, 1e-6],
             },
             Message::SliceAck { version: 9 },
             Message::PullShards {
                 known_versions: vec![7, 7, 8],
                 all: false,
+                epoch: 0,
             },
             Message::PullShards {
                 known_versions: vec![],
                 all: true,
+                epoch: 3,
             },
             Message::PullDone,
             Message::StatsRequest,
@@ -1309,10 +1628,66 @@ mod tests {
                 pulls_delta: 97,
                 bytes_sent: 1 << 33,
                 bytes_received: 12345,
+                epoch: 2,
             },
             Message::JoinRequest,
-            Message::JoinAck { clock: 42 },
+            Message::JoinAck {
+                clock: 42,
+                epoch: 1,
+                assignment: vec![0, 0, 1, 1],
+            },
+            Message::JoinAck {
+                clock: 0,
+                epoch: 0,
+                assignment: vec![],
+            },
             Message::Evict { rank: 2 },
+            Message::MigratePrepare { epoch: 5 },
+            Message::MigrateRequest { epoch: 5, shard: 3 },
+            Message::MigrateShard {
+                epoch: 5,
+                shard: 3,
+                version: 120,
+                weights: vec![1.0, -0.5, f32::MIN_POSITIVE],
+                velocity: vec![0.25, -0.0, 3e-12],
+            },
+            Message::MigrateShard {
+                epoch: 5,
+                shard: 3,
+                version: 120,
+                weights: vec![2.0],
+                velocity: vec![], // momentum-free job
+            },
+            Message::MigrateAck { epoch: 5, shard: 3 },
+            Message::MigrateAck {
+                epoch: 5,
+                shard: MIGRATE_CONTROL,
+            },
+            Message::LayoutUpdate {
+                epoch: 5,
+                assignment: vec![0, 1, 1, 1],
+            },
+            Message::MigrateAbort { epoch: 5 },
+            Message::EpochRefused {
+                epoch: 5,
+                assignment: vec![],
+            },
+            Message::EpochRefused {
+                epoch: 5,
+                assignment: vec![2, 2, 0, 0],
+            },
+            Message::Drain { server: 2 },
+            Message::Rebalance,
+            Message::AdminAck {
+                epoch: 6,
+                accepted: true,
+                reason: String::new(),
+            },
+            Message::AdminAck {
+                epoch: 5,
+                accepted: false,
+                reason: "server 2 is already drained".into(),
+            },
         ];
         for msg in &messages {
             assert_eq!(&round_trip(msg), msg);
@@ -1323,11 +1698,12 @@ mod tests {
     fn group_borrowed_encoders_match_the_owned_message_encoding() {
         let grads = vec![0.25, -0.75];
         let mut borrowed = Vec::new();
-        encode_push_slice(&mut borrowed, 4, &grads);
+        encode_push_slice(&mut borrowed, 4, 2, &grads);
         let mut owned = Vec::new();
         encode(
             &Message::PushSlice {
                 iteration: 4,
+                epoch: 2,
                 grads: grads.clone(),
             },
             &mut owned,
@@ -1337,25 +1713,43 @@ mod tests {
         let known = vec![1u64, 9];
         for all in [false, true] {
             let mut borrowed = Vec::new();
-            encode_pull_shards(&mut borrowed, &known, all);
+            encode_pull_shards(&mut borrowed, &known, all, 1);
             let mut owned = Vec::new();
             encode(
                 &Message::PullShards {
                     known_versions: known.clone(),
                     all,
+                    epoch: 1,
                 },
                 &mut owned,
             );
             assert_eq!(borrowed, owned);
         }
+
+        let weights = vec![0.5, f32::NAN];
+        let velocity = vec![-0.25, 0.0];
+        let mut borrowed = Vec::new();
+        encode_migrate_shard(&mut borrowed, 3, 7, 55, &weights, &velocity);
+        let mut owned = Vec::new();
+        encode(
+            &Message::MigrateShard {
+                epoch: 3,
+                shard: 7,
+                version: 55,
+                weights: weights.clone(),
+                velocity: velocity.clone(),
+            },
+            &mut owned,
+        );
+        assert_eq!(borrowed, owned);
     }
 
     #[test]
     fn group_pooled_decoders_match_the_owned_decode() {
         let mut buf = Vec::new();
-        encode_push_slice(&mut buf, 6, &[3.0, -4.0]);
+        encode_push_slice(&mut buf, 6, 2, &[3.0, -4.0]);
         let mut grads = vec![1.0; 5]; // stale content must be cleared
-        assert_eq!(decode_push_slice_into(&buf, &mut grads), Ok(6));
+        assert_eq!(decode_push_slice_into(&buf, &mut grads), Ok((6, 2)));
         assert_eq!(grads, vec![3.0, -4.0]);
         assert_eq!(
             decode_push_slice_into(&[4u8], &mut grads),
@@ -1363,9 +1757,9 @@ mod tests {
         );
 
         let mut buf = Vec::new();
-        encode_pull_shards(&mut buf, &[2, 3], true);
+        encode_pull_shards(&mut buf, &[2, 3], true, 1);
         let mut known = vec![0u64; 4];
-        assert_eq!(decode_pull_shards_into(&buf, &mut known), Ok(true));
+        assert_eq!(decode_pull_shards_into(&buf, &mut known), Ok((true, 1)));
         assert_eq!(known, vec![2, 3]);
         // A corrupt bool discriminant is rejected, not guessed at.
         buf[1] = 7;
@@ -1425,6 +1819,18 @@ mod tests {
         let mut decoded = Vec::new();
         append_u64s_from_le(&bulk, &mut decoded);
         assert_eq!(decoded, u64s);
+
+        let u32s: Vec<u32> = (0..67).map(|i| u32::MAX / 7 + i * 0x101).collect();
+        let mut bulk = Vec::new();
+        extend_u32_bytes(&mut bulk, &u32s);
+        let mut reference = Vec::new();
+        for v in &u32s {
+            reference.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bulk, reference);
+        let mut decoded = Vec::new();
+        append_u32s_from_le(&bulk, &mut decoded);
+        assert_eq!(decoded, u32s);
     }
 
     #[test]
@@ -1585,11 +1991,13 @@ mod tests {
             },
             Message::PushSlice {
                 iteration: 2,
+                epoch: 0,
                 grads: vec![1.0],
             },
             Message::PullShards {
                 known_versions: vec![5],
                 all: false,
+                epoch: 0,
             },
             Message::StatsReply {
                 pushes: 1,
@@ -1597,9 +2005,35 @@ mod tests {
                 pulls_delta: 3,
                 bytes_sent: 4,
                 bytes_received: 5,
+                epoch: 0,
             },
-            Message::JoinAck { clock: 7 },
+            Message::JoinAck {
+                clock: 7,
+                epoch: 1,
+                assignment: vec![0, 1],
+            },
             Message::Evict { rank: 1 },
+            Message::MigrateShard {
+                epoch: 1,
+                shard: 0,
+                version: 3,
+                weights: vec![1.0, 2.0],
+                velocity: vec![3.0, 4.0],
+            },
+            Message::LayoutUpdate {
+                epoch: 1,
+                assignment: vec![0, 0, 1],
+            },
+            Message::EpochRefused {
+                epoch: 1,
+                assignment: vec![1, 1],
+            },
+            Message::AdminAck {
+                epoch: 1,
+                accepted: false,
+                reason: "nope".into(),
+            },
+            Message::MigrateRequest { epoch: 1, shard: 2 },
         ];
         for msg in messages.drain(..) {
             let mut buf = Vec::new();

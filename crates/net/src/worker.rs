@@ -124,7 +124,7 @@ fn run_worker_inner(
     // schedule to that point and resumes at the next iteration.
     transport.send(&Message::JoinRequest)?;
     let resume_from = match transport.recv()? {
-        Message::JoinAck { clock } => clock,
+        Message::JoinAck { clock, .. } => clock,
         Message::Shutdown { .. } => {
             report.shutdown_early = true;
             report.last_shard_versions = versions;

@@ -20,7 +20,8 @@ fn build_message(
 ) -> Message {
     let floats = floats[..float_len.min(floats.len())].to_vec();
     let versions = versions[..version_len.min(versions.len())].to_vec();
-    match variant % 23 {
+    let assignment: Vec<u32> = versions.iter().map(|&v| (v % 64) as u32).collect();
+    match variant % 33 {
         0 => Message::Hello {
             version: PROTOCOL_VERSION,
             rank: (a % 1024) as u32,
@@ -81,26 +82,67 @@ fn build_message(
         13 => Message::PushApplied { iteration: b },
         14 => Message::PushSlice {
             iteration: a,
+            epoch: b % 1024,
             grads: floats,
         },
         15 => Message::SliceAck { version: a },
         16 => Message::PullShards {
             known_versions: versions,
             all: a % 2 == 0,
+            epoch: b % 1024,
         },
         17 => Message::PullDone,
         18 => Message::StatsRequest,
         19 => Message::JoinRequest,
-        20 => Message::JoinAck { clock: a },
+        20 => Message::JoinAck {
+            clock: a,
+            epoch: b % 1024,
+            assignment,
+        },
         21 => Message::Evict {
             rank: (a % 1024) as u32,
         },
-        _ => Message::StatsReply {
+        22 => Message::StatsReply {
             pushes: a,
             pulls_full: b,
             pulls_delta: a.wrapping_add(b),
             bytes_sent: a.rotate_left(17),
             bytes_received: b.rotate_right(9),
+            epoch: b % 1024,
+        },
+        23 => Message::MigratePrepare { epoch: a },
+        24 => Message::MigrateRequest {
+            epoch: a,
+            shard: (b % 512) as u32,
+        },
+        25 => Message::MigrateShard {
+            epoch: a,
+            shard: (b % 512) as u32,
+            version: a ^ b,
+            weights: floats.clone(),
+            velocity: floats,
+        },
+        26 => Message::MigrateAck {
+            epoch: a,
+            shard: (b % 512) as u32,
+        },
+        27 => Message::LayoutUpdate {
+            epoch: a,
+            assignment,
+        },
+        28 => Message::MigrateAbort { epoch: a },
+        29 => Message::EpochRefused {
+            epoch: a,
+            assignment,
+        },
+        30 => Message::Drain {
+            server: (a % 64) as u32,
+        },
+        31 => Message::Rebalance,
+        _ => Message::AdminAck {
+            epoch: a,
+            accepted: b % 2 == 0,
+            reason: format!("r{}", a % 1000),
         },
     }
 }
@@ -110,7 +152,7 @@ proptest! {
 
     #[test]
     fn encode_then_decode_is_the_identity(
-        variant in 0u32..23,
+        variant in 0u32..33,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -128,7 +170,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_rejected(
-        variant in 0u32..23,
+        variant in 0u32..33,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,
@@ -149,7 +191,7 @@ proptest! {
 
     #[test]
     fn trailing_garbage_is_rejected(
-        variant in 0u32..23,
+        variant in 0u32..33,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in -1.0e12f64..1.0e12,

@@ -24,8 +24,10 @@ use std::path::{Path, PathBuf};
 /// First bytes of every checkpoint file.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"DSSPCKPT";
 
-/// Format version written by this build; decoding rejects anything else.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Format version written by this build; decoding rejects anything else. Version 2
+/// added the optional layout section (epoch-stamped shard→server assignment) after
+/// the gate section.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Hard ceiling on the size of a checkpoint this decoder will accept, so a corrupt
 /// length prefix cannot drive a huge allocation.
@@ -53,12 +55,25 @@ pub struct StoreSnapshot {
     pub epoch: u64,
 }
 
+/// The group-layout section of a checkpoint: the epoch-stamped shard→server
+/// assignment in force when the snapshot was taken. Live migration bumps the epoch;
+/// a process restored from an earlier epoch must not rejoin a migrated group, so
+/// restore paths compare epochs and refuse skew (see
+/// [`CheckpointError::LayoutSkew`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutSnapshot {
+    /// The layout epoch (0 = the closed-form launch layout; each commit adds one).
+    pub epoch: u64,
+    /// Owning server index per global shard.
+    pub assignment: Vec<u32>,
+}
+
 /// One durable snapshot of a server process: what a shard server, a coordinator, or a
 /// classic single-process server writes between pushes and reads back on restart.
 ///
-/// Either section may be absent: a storage-only shard server checkpoints just
+/// Any section may be absent: a storage-only shard server checkpoints just
 /// [`Checkpoint::store`], a clock-only coordinator just [`Checkpoint::gate`], and a
-/// classic single server both.
+/// classic single server both. Only group processes carry [`Checkpoint::layout`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Digest of the job configuration this checkpoint was taken under; restoring
@@ -71,6 +86,8 @@ pub struct Checkpoint {
     pub store: Option<StoreSnapshot>,
     /// The gating half, if this process owns synchronization state.
     pub gate: Option<GateSnapshot>,
+    /// The group layout in force at snapshot time, if this process tracks one.
+    pub layout: Option<LayoutSnapshot>,
 }
 
 /// Why a checkpoint could not be read or decoded.
@@ -98,6 +115,15 @@ pub enum CheckpointError {
     /// A field held a value outside its domain (e.g. a flag byte that is neither 0
     /// nor 1); the message names the field.
     Corrupt(&'static str),
+    /// The checkpoint records a different layout epoch than the group is running at:
+    /// the process missed (or predates) a live migration and its shard contents no
+    /// longer match its ownership. Re-snapshot or relaunch instead of resuming.
+    LayoutSkew {
+        /// Layout epoch recorded in the checkpoint.
+        found: u64,
+        /// Layout epoch the group currently runs at.
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -119,6 +145,11 @@ impl std::fmt::Display for CheckpointError {
             ),
             CheckpointError::BadLength => write!(f, "checkpoint declares an absurd length"),
             CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
+            CheckpointError::LayoutSkew { found, expected } => write!(
+                f,
+                "checkpoint restore skew: layout epoch {found} but the group runs at epoch \
+                 {expected} (a live migration happened in between)"
+            ),
         }
     }
 }
@@ -223,6 +254,16 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    fn u32s(&mut self) -> Result<Vec<u32>, CheckpointError> {
+        let count = self.len(4)?;
+        let raw = self.take(count * 4)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in raw.chunks_exact(4) {
+            out.push(u32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
     fn bools(&mut self, what: &'static str) -> Result<Vec<bool>, CheckpointError> {
         let count = self.len(1)?;
         let mut out = Vec::with_capacity(count);
@@ -267,6 +308,13 @@ fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
 }
 
 fn put_u64s(out: &mut Vec<u8>, v: &[u64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u32s(out: &mut Vec<u8>, v: &[u32]) {
     put_u64(out, v.len() as u64);
     for &x in v {
         out.extend_from_slice(&x.to_le_bytes());
@@ -339,6 +387,14 @@ impl Checkpoint {
             }
             None => out.push(0),
         }
+        match &self.layout {
+            Some(l) => {
+                out.push(1);
+                put_u64(&mut out, l.epoch);
+                put_u32s(&mut out, &l.assignment);
+            }
+            None => out.push(0),
+        }
         out
     }
 
@@ -408,12 +464,21 @@ impl Checkpoint {
         } else {
             None
         };
+        let layout = if r.bool("layout presence flag")? {
+            Some(LayoutSnapshot {
+                epoch: r.u64()?,
+                assignment: r.u32s()?,
+            })
+        } else {
+            None
+        };
         r.finish()?;
         Ok(Self {
             job_digest,
             tick,
             store,
             gate,
+            layout,
         })
     }
 
@@ -479,6 +544,23 @@ impl Checkpoint {
             .as_ref()
             .is_some_and(|g| g.retired.iter().any(|&r| r))
     }
+
+    /// The layout epoch this checkpoint was taken at: the recorded epoch when a
+    /// layout section is present, epoch 0 (the closed-form launch layout) otherwise.
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout.as_ref().map_or(0, |l| l.epoch)
+    }
+
+    /// Verifies this checkpoint was taken at layout epoch `expected`, refusing
+    /// restore skew: a snapshot from before (or after) a live migration holds shard
+    /// contents that no longer match the group's ownership map.
+    pub fn require_layout_epoch(&self, expected: u64) -> Result<(), CheckpointError> {
+        let found = self.layout_epoch();
+        if found != expected {
+            return Err(CheckpointError::LayoutSkew { found, expected });
+        }
+        Ok(())
+    }
 }
 
 /// Conventional checkpoint file name for a classic single-process server.
@@ -539,18 +621,25 @@ mod tests {
                 epoch: 2,
             }),
             gate: Some(sample_gate()),
+            layout: Some(LayoutSnapshot {
+                epoch: 3,
+                assignment: vec![0, 0, 1],
+            }),
         }
     }
 
     #[test]
     fn round_trips_all_section_combinations() {
-        for (store, gate) in [(true, true), (true, false), (false, true), (false, false)] {
+        for mask in 0u8..8 {
             let mut c = sample();
-            if !store {
+            if mask & 1 == 0 {
                 c.store = None;
             }
-            if !gate {
+            if mask & 2 == 0 {
                 c.gate = None;
+            }
+            if mask & 4 == 0 {
+                c.layout = None;
             }
             let decoded = Checkpoint::decode(&c.encode()).expect("decode");
             assert_eq!(decoded, c);
@@ -653,5 +742,30 @@ mod tests {
     fn checkpoint_file_names_are_distinct_per_role() {
         assert_ne!(server_checkpoint_name(), coord_checkpoint_name());
         assert_ne!(shard_checkpoint_name(0), shard_checkpoint_name(1));
+    }
+
+    #[test]
+    fn layout_epoch_skew_is_a_typed_restore_refusal() {
+        let c = sample();
+        assert_eq!(c.layout_epoch(), 3);
+        assert!(c.require_layout_epoch(3).is_ok());
+        let err = c.require_layout_epoch(4).expect_err("skew accepted");
+        assert!(matches!(
+            err,
+            CheckpointError::LayoutSkew {
+                found: 3,
+                expected: 4
+            }
+        ));
+        assert!(
+            err.to_string().contains("restore skew"),
+            "refusal must carry the typed substring: {err}"
+        );
+        // No layout section means the closed-form launch layout, epoch 0.
+        let mut bare = sample();
+        bare.layout = None;
+        assert_eq!(bare.layout_epoch(), 0);
+        assert!(bare.require_layout_epoch(0).is_ok());
+        assert!(bare.require_layout_epoch(1).is_err());
     }
 }

@@ -51,8 +51,8 @@ pub mod theory;
 pub use aggregator::{AggregationMode, GradientBuffer};
 pub use checkpoint::{
     coord_checkpoint_name, server_checkpoint_name, shard_checkpoint_name, Checkpoint,
-    CheckpointError, StoreSnapshot, CHECKPOINT_MAGIC, CHECKPOINT_TMP_SUFFIX, CHECKPOINT_VERSION,
-    MAX_CHECKPOINT_LEN,
+    CheckpointError, LayoutSnapshot, StoreSnapshot, CHECKPOINT_MAGIC, CHECKPOINT_TMP_SUFFIX,
+    CHECKPOINT_VERSION, MAX_CHECKPOINT_LEN,
 };
 pub use clock::{ClockTable, IntervalTracker, WorkerId};
 pub use controller::{ControllerDecision, IntervalEstimator, SyncController};

@@ -94,12 +94,14 @@ impl ShardedStore {
     /// server materializes its slice of the model: the boundaries are the *global*
     /// [`shard_range`] layout restricted to the shards it owns, so they are not
     /// recomputed from the slice length (which could drift from the global layout).
+    /// A bare `[0]` boundary vector over an empty `initial` is the zero-shard store —
+    /// what a shard server drained by a live migration holds.
     ///
     /// # Panics
     ///
     /// Panics if `offsets` is not a valid monotone boundary vector for `initial`.
     pub fn with_offsets(initial: Vec<f32>, offsets: Vec<usize>) -> Self {
-        assert!(offsets.len() >= 2, "need at least one shard boundary pair");
+        assert!(!offsets.is_empty(), "need at least the sentinel offset");
         assert_eq!(offsets[0], 0, "first shard must start at offset 0");
         assert_eq!(
             *offsets.last().expect("non-empty"),
@@ -440,6 +442,21 @@ mod tests {
         assert_eq!(store.shard(0), &[6.0, 7.0]);
         assert_eq!(store.shard(1), &[8.0, 9.0]);
         assert_eq!(store.versions(), &[0, 0]);
+    }
+
+    #[test]
+    fn zero_shard_store_is_the_drained_server_case() {
+        let store = ShardedStore::with_offsets(vec![], vec![0]);
+        assert_eq!(store.num_shards(), 0);
+        assert!(store.is_empty());
+        assert!(store.delta_compatible(&[]));
+        assert_eq!(store.versions(), &[] as &[u64]);
+        let (mut meta, mut weights) = (Vec::new(), Vec::new());
+        assert_eq!(store.pull_delta_into(&[], &mut meta, &mut weights), 0);
+        let mut store = store;
+        store.apply_all(&[], 0.1); // a zero-length push round is a no-op
+        store.bump_all_versions();
+        assert_eq!(store.min_version(), 0);
     }
 
     #[test]

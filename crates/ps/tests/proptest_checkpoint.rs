@@ -4,7 +4,8 @@
 //! into the original), mirroring the wire codec's strictness discipline.
 
 use dssp_ps::{
-    Checkpoint, CheckpointError, GateSnapshot, ServerStats, StoreSnapshot, CHECKPOINT_VERSION,
+    Checkpoint, CheckpointError, GateSnapshot, LayoutSnapshot, ServerStats, StoreSnapshot,
+    CHECKPOINT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -66,11 +67,18 @@ fn build_checkpoint(
         credits_granted: take(9),
         controller_invocations: take(10),
     });
+    let layout = (sections % 5 != 0).then(|| LayoutSnapshot {
+        epoch: take(1) % 64,
+        assignment: (0..counts.len().clamp(1, 8))
+            .map(|i| (take(i) % 4) as u32)
+            .collect(),
+    });
     Checkpoint {
         job_digest: digest,
         tick,
         store,
         gate,
+        layout,
     }
 }
 
@@ -176,6 +184,23 @@ proptest! {
             Checkpoint::decode(&bytes),
             Err(CheckpointError::UnsupportedVersion(v)) if v == bad
         ));
+    }
+
+    /// The layout-epoch skew refusal is typed and self-describing for every pair of
+    /// diverging epochs: a restore that meets a group running a different layout
+    /// epoch must surface the "restore skew" wording the chaos harness keys on,
+    /// naming both epochs.
+    #[test]
+    fn layout_epoch_skew_error_is_typed_and_descriptive(
+        found in 0u64..u64::MAX,
+        skew in 1u64..1_000,
+    ) {
+        let expected = found.wrapping_add(skew);
+        let err = CheckpointError::LayoutSkew { found, expected };
+        let msg = err.to_string();
+        prop_assert!(msg.contains("restore skew"), "missing the typed wording: {msg}");
+        prop_assert!(msg.contains(&found.to_string()), "missing found epoch: {msg}");
+        prop_assert!(msg.contains(&expected.to_string()), "missing expected epoch: {msg}");
     }
 
     /// A checkpoint taken under one job digest never restores under another, while

@@ -23,7 +23,8 @@
 
 use dssp::coord::run_group_threads;
 use dssp::core::driver::{
-    CheckpointSpec, FaultAction, FaultPhase, FaultPlan, FaultRole, JobConfig,
+    CheckpointSpec, FaultAction, FaultPhase, FaultPlan, FaultRole, JobConfig, MigrationCommand,
+    MigrationSpec,
 };
 use dssp::net::{
     run_worker, serve, NetError, TcpServerTransport, TcpWorkerTransport, WorkerReport,
@@ -208,7 +209,8 @@ fn check_recovery(
             assert!(
                 lower.contains("restore skew")
                     || lower.contains("retired")
-                    || lower.contains("checkpoint"),
+                    || lower.contains("checkpoint")
+                    || lower.contains("migration"),
                 "{cell}: restore must fail with a designed refusal, got: {msg}"
             );
             Recovery::TypedAbort(msg)
@@ -222,6 +224,9 @@ fn phase_tag(phase: FaultPhase) -> &'static str {
         FaultPhase::Pull => "pull",
         FaultPhase::GateBlocked => "gate",
         FaultPhase::Checkpoint => "ckpt",
+        FaultPhase::MigratePrepare => "prepare",
+        FaultPhase::MigrateTransfer => "transfer",
+        FaultPhase::MigrateCommit => "commit",
     }
 }
 
@@ -643,6 +648,273 @@ fn shard_server_cells_collapse_typed_and_restore_refuses_torn_state() {
 }
 
 // ---------------------------------------------------------------------------
+// Migration cells: kill a role mid-migration; commit, roll back, or refuse typed.
+// ---------------------------------------------------------------------------
+
+/// A 3-server group that drains server 2 mid-run: the migration matrix topology.
+/// Server 2 is the *source* of every move; server 1 is a *destination* (it stages
+/// the drained shard under the post-drain assignment).
+fn migration_job(policy: PolicyKind) -> JobConfig {
+    let mut job = group_job(policy);
+    job.servers = 3;
+    job.shards = 4;
+    job.migration = Some(MigrationSpec {
+        command: MigrationCommand::Drain(2),
+        at_version: 2,
+    });
+    job
+}
+
+/// {source=server2, dest=server1, coord} × {prepare, transfer, commit} × {kill,
+/// restart}: a victim dying in any migration phase must end the leg in a typed
+/// error within the bound — the freeze never orphans into a hang — and a restart
+/// from the surviving checkpoints must either resume (re-attempting the drain from
+/// the pre-migration epoch-0 cut) or refuse with a designed typed refusal.
+///
+/// `coord:commit` fires with `after: 2` so the coordinator dies *mid-broadcast* —
+/// server 0 already on the new epoch, servers 1 and 2 never told — the torn-commit
+/// cut the protocol must not persist (the forced layout checkpoint happens only
+/// after every server acked, so the restart leg restores a consistent epoch-0 set).
+#[test]
+fn migration_cells_end_typed_and_restart_or_refuse() {
+    let dssp = PolicyKind::Dssp { s_l: 1, r_max: 2 };
+    let cells = [
+        (FaultRole::ShardServer(2), FaultPhase::MigratePrepare, 1),
+        (FaultRole::ShardServer(2), FaultPhase::MigrateTransfer, 1),
+        (FaultRole::ShardServer(2), FaultPhase::MigrateCommit, 1),
+        (FaultRole::ShardServer(1), FaultPhase::MigratePrepare, 1),
+        (FaultRole::ShardServer(1), FaultPhase::MigrateTransfer, 1),
+        (FaultRole::ShardServer(1), FaultPhase::MigrateCommit, 1),
+        (FaultRole::Coordinator, FaultPhase::MigratePrepare, 1),
+        (FaultRole::Coordinator, FaultPhase::MigrateTransfer, 1),
+        (FaultRole::Coordinator, FaultPhase::MigrateCommit, 2),
+    ];
+    for (role, phase, after) in cells {
+        for action in [FaultAction::KillEvict, FaultAction::KillRestart] {
+            let role_tag = match role {
+                FaultRole::Coordinator => "coord".to_string(),
+                FaultRole::ShardServer(i) => format!("server{i}"),
+                FaultRole::Worker(r) => format!("worker{r}"),
+            };
+            let action_tag = if action == FaultAction::KillRestart {
+                "restart"
+            } else {
+                "kill"
+            };
+            let cell = format!("{role_tag}:{}:{action_tag}:{after}", phase_tag(phase));
+            let dir = ScratchDir::new(&format!("mig_{role_tag}_{}_{action_tag}", phase_tag(phase)));
+            let mut job = migration_job(dssp);
+            job.checkpoint = checkpointing(dir.path(), false);
+            job.fault_plan = Some(FaultPlan {
+                role,
+                phase,
+                action,
+                after,
+            });
+
+            let started = Instant::now();
+            let err = run_group_threads(&job)
+                .expect_err("a mid-migration death must end the run with a typed error");
+            if matches!(role, FaultRole::Coordinator) {
+                assert!(
+                    matches!(err, NetError::FaultInjected { .. }),
+                    "{cell}: the coordinator's own fault surfaces first, got {err}"
+                );
+            }
+            assert!(
+                started.elapsed().as_secs() < GROUP_BOUND_S,
+                "{cell}: leg A took {:?}",
+                started.elapsed()
+            );
+
+            if action != FaultAction::KillRestart {
+                continue;
+            }
+            // Leg B: the fleet restarts against the surviving checkpoints. Every
+            // persisted cut predates the commit (the layout checkpoint is forced
+            // only after all servers acked), so the restored epoch-0 fleet re-arms
+            // the drain spec and must finish the job on the post-drain layout —
+            // or refuse with a designed typed error, never anything else.
+            job.fault_plan = None;
+            job.checkpoint = checkpointing(dir.path(), true);
+            let started = Instant::now();
+            let outcome = run_group_threads(&job).map(|_| ());
+            assert!(
+                started.elapsed().as_secs() < GROUP_BOUND_S,
+                "{cell}: leg B took {:?}",
+                started.elapsed()
+            );
+            check_recovery(&cell, outcome, &dir, None);
+        }
+    }
+}
+
+/// [`run_group_threads`] folds any worker failure into the run's result; this
+/// split harness keeps the coordinator's trace and each worker's own outcome
+/// apart, which is what the victim-vs-survivor migration cell needs to assert.
+fn run_group_split(
+    job: &JobConfig,
+) -> (
+    Result<RunTrace, NetError>,
+    Vec<Result<WorkerReport, NetError>>,
+) {
+    use dssp::coord::{connect_links, coordinate, run_group_worker, serve_shard};
+    use std::time::Duration;
+
+    let mut server_addrs = Vec::with_capacity(job.servers);
+    let mut server_handles = Vec::with_capacity(job.servers);
+    for index in 0..job.servers {
+        let mut transport =
+            TcpServerTransport::bind("127.0.0.1:0", job.num_workers + 1).expect("bind shard");
+        server_addrs.push(transport.local_addr().to_string());
+        let job = job.clone();
+        server_handles.push(thread::spawn(move || {
+            serve_shard(&job, index, &mut transport)
+        }));
+    }
+    let mut coord_transport =
+        TcpServerTransport::bind("127.0.0.1:0", job.num_workers).expect("bind coord");
+    let coord_addr = coord_transport.local_addr().to_string();
+    let timeout = Some(Duration::from_millis(job.stall_timeout_ms.max(1)));
+    let worker_handles: Vec<_> = (0..job.num_workers)
+        .map(|rank| {
+            let job = job.clone();
+            let coord_addr = coord_addr.clone();
+            let server_addrs = server_addrs.clone();
+            thread::spawn(move || -> Result<WorkerReport, NetError> {
+                let mut coord = TcpWorkerTransport::connect(&coord_addr)?;
+                let links = connect_links(&server_addrs, timeout)?;
+                run_group_worker(&job, rank, &mut coord, links)
+            })
+        })
+        .collect();
+    let links = connect_links(&server_addrs, timeout).expect("coordinator links");
+    let served = coordinate(job, &mut coord_transport, links);
+    drop(coord_transport);
+    let workers = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread must not panic"))
+        .collect();
+    for handle in server_handles {
+        let _ = handle.join().expect("shard thread must not panic");
+    }
+    (served, workers)
+}
+
+/// worker1 × commit × kill: the victim dies immediately after adopting the
+/// committed layout. The migration itself is already committed fleet-wide, so the
+/// coordinator reaps the victim via `ClientLost` and the survivors finish the job
+/// on the post-drain layout.
+#[test]
+fn worker_death_at_migration_commit_leaves_survivors_running() {
+    let cell = "worker1:commit:kill:1";
+    let mut job = migration_job(PolicyKind::Dssp { s_l: 1, r_max: 2 });
+    job.deterministic = false;
+    job.fault_plan = Some(FaultPlan {
+        role: FaultRole::Worker(1),
+        phase: FaultPhase::MigrateCommit,
+        action: FaultAction::KillEvict,
+        after: 1,
+    });
+    let started = Instant::now();
+    let (served, workers) = run_group_split(&job);
+    let trace = served.unwrap_or_else(|e| panic!("{cell}: the fleet must survive the victim: {e}"));
+    assert!(
+        started.elapsed().as_secs() < GROUP_BOUND_S,
+        "{cell}: took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        matches!(&workers[1], Err(NetError::FaultInjected { .. })),
+        "{cell}: the victim dies on its own fault, got {:?}",
+        workers[1]
+    );
+    let survivor = workers[0]
+        .as_ref()
+        .unwrap_or_else(|e| panic!("{cell}: survivor failed: {e}"));
+    assert!(
+        survivor.iterations > trace.worker_summaries[1].iterations,
+        "{cell}: survivor ran {} iterations, victim is recorded with {}",
+        survivor.iterations,
+        trace.worker_summaries[1].iterations
+    );
+    assert_eq!(
+        trace.total_pushes,
+        trace
+            .worker_summaries
+            .iter()
+            .map(|w| w.iterations)
+            .sum::<u64>(),
+        "{cell}: every applied push is attributed to a worker"
+    );
+}
+
+/// A deliberately *torn* cross-role checkpoint set around a commit: the
+/// coordinator's file records the post-drain epoch-1 layout, but shard server 1's
+/// file comes from an identically-configured run that never migrated (epoch 0).
+/// Restore must refuse with the typed layout-skew error — "restore skew" — rather
+/// than silently running a group whose roles disagree about shard ownership.
+///
+/// Both donor fleets are killed *mid-run* (coordinator dies at its 6th cadence
+/// checkpoint, well after the version-2 commit): a run that finishes retires its
+/// workers and a terminal coordinator checkpoint is refused as non-resumable
+/// before the skew check ever runs — the splice needs resumable halves so the
+/// refusal we observe is the layout one.
+#[test]
+fn restore_refuses_layout_epoch_skew_across_roles() {
+    let dssp = PolicyKind::Dssp { s_l: 1, r_max: 2 };
+    let mid_run_coordinator_kill = Some(FaultPlan {
+        role: FaultRole::Coordinator,
+        phase: FaultPhase::Checkpoint,
+        action: FaultAction::KillRestart,
+        after: 6,
+    });
+
+    // A migrated fleet, killed after the drain committed: the surviving checkpoints
+    // all record layout epoch 1.
+    let migrated = ScratchDir::new("mig_skew_migrated");
+    let mut job = migration_job(dssp);
+    job.checkpoint = checkpointing(migrated.path(), false);
+    job.fault_plan = mid_run_coordinator_kill.clone();
+    run_group_threads(&job).expect_err("the migrated donor dies by plan");
+
+    // The same job, never migrated, killed at the same point: its checkpoints all
+    // record epoch 0. (`migration` and `fault_plan` are digest-masked, so every
+    // run here shares one config digest.)
+    let flat = ScratchDir::new("mig_skew_flat");
+    let mut flat_job = migration_job(dssp);
+    flat_job.migration = None;
+    flat_job.checkpoint = checkpointing(flat.path(), false);
+    flat_job.fault_plan = mid_run_coordinator_kill;
+    run_group_threads(&flat_job).expect_err("the unmigrated donor dies by plan");
+
+    // Splice: epoch-1 coordinator + epoch-0 shard server 1.
+    let spliced = ScratchDir::new("mig_skew_spliced");
+    for name in [
+        dssp::ps::coord_checkpoint_name(),
+        dssp::ps::shard_checkpoint_name(0),
+        dssp::ps::shard_checkpoint_name(2),
+    ] {
+        std::fs::write(spliced.path().join(&name), read_ckpt(&migrated, &name))
+            .expect("seed spliced checkpoint");
+    }
+    let shard1 = dssp::ps::shard_checkpoint_name(1);
+    std::fs::write(spliced.path().join(&shard1), read_ckpt(&flat, &shard1))
+        .expect("seed spliced shard 1");
+
+    let mut restore_job = migration_job(dssp);
+    restore_job.migration = None;
+    restore_job.checkpoint = checkpointing(spliced.path(), true);
+    let err = run_group_threads(&restore_job)
+        .expect_err("a layout-skewed checkpoint set must be refused");
+    let msg = err.to_string().to_lowercase();
+    assert!(
+        msg.contains("restore skew") && msg.contains("layout epoch"),
+        "expected the typed layout-skew refusal, got: {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // The full product: every cell's CLI spec parses and round-trips.
 // ---------------------------------------------------------------------------
 
@@ -653,7 +925,9 @@ fn shard_server_cells_collapse_typed_and_restore_refuses_torn_state() {
 #[test]
 fn every_matrix_cell_spec_parses_and_round_trips() {
     let roles = ["worker0", "worker1", "server0", "server1", "coord"];
-    let phases = ["push", "pull", "gate", "ckpt"];
+    let phases = [
+        "push", "pull", "gate", "ckpt", "prepare", "transfer", "commit",
+    ];
     let actions = ["restart", "evict"];
     for role in roles {
         for phase in phases {

@@ -118,7 +118,7 @@ fn evict_message_retires_a_worker_and_the_run_completes() {
         .expect("hello");
         t.send(&Message::JoinRequest).expect("join request");
         match t.recv().expect("join ack") {
-            Message::JoinAck { clock } => assert_eq!(clock, 0, "fresh run admits at clock 0"),
+            Message::JoinAck { clock, .. } => assert_eq!(clock, 0, "fresh run admits at clock 0"),
             other => panic!("expected JoinAck, got {other:?}"),
         }
         t.send(&Message::Push {
