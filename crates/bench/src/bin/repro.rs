@@ -74,12 +74,14 @@
 //! ```
 //!
 //! Observability: every deployment mode accepts `--event-log DIR` (per-role NDJSON
-//! event timelines) and `--metrics-addr HOST:PORT` (live Prometheus `GET /metrics`;
-//! shard server `i` scrapes at `PORT+1+i`). Two companion modes consume them:
+//! event timelines, causally trace-stamped since protocol v6) and `--metrics-addr
+//! HOST:PORT` (live Prometheus `GET /metrics`; shard server `i` scrapes at
+//! `PORT+1+i`). Three companion modes consume them:
 //!
 //! ```text
 //! repro stats --addr HOST:PORT[,HOST:PORT...]     # scrape + one-screen fleet summary
 //! repro trace <run.json | events-dir> [-o FILE]   # render chrome-trace JSON
+//! repro analyze <events-dir> [--json] [-o FILE]   # per-round fleet-health report
 //! ```
 
 use dssp_bench as bench;
@@ -381,6 +383,22 @@ fn run_bench_net_mode(args: &[String]) {
         .unwrap_or(4)
         .max(1);
     let record = bench::netbench::collect(&id, iters, max_servers);
+    let path = format!("BENCH_{id}.json");
+    std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", record.summary());
+    println!("wrote {path}");
+}
+
+fn run_bench_obs_mode(args: &[String]) {
+    let id = flag_value(args, "--id").unwrap_or_else(|| "obs_smoke".to_string());
+    let windows: u32 = flag_value(args, "--windows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let record = bench::obsbench::collect(&id, windows);
     let path = format!("BENCH_{id}.json");
     std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
         eprintln!("failed to write {path}: {e}");
@@ -707,6 +725,40 @@ fn run_trace_mode(args: &[String]) {
     println!("wrote {out} (open in chrome://tracing or https://ui.perfetto.dev)");
 }
 
+/// Joins an `--event-log` directory's per-role NDJSON streams into the fleet-health
+/// report: per-round compute/comms/gate-wait breakdowns per worker, cross-role push
+/// latency percentiles (joined on the v6 trace ids), a staleness CDF, slow-round
+/// culprits and the z-score straggler verdicts.
+fn run_analyze_mode(args: &[String]) {
+    let Some(input) = args.get(1).filter(|a| !a.starts_with('-')) else {
+        eprintln!("analyze mode requires an input: an --event-log directory");
+        std::process::exit(2);
+    };
+    let analysis = match dssp_core::analyze::analyze_dir(std::path::Path::new(input)) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("failed to read event logs under {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if analysis.events == 0 {
+        eprintln!("no events found under {input} (expected *.ndjson files from --event-log)");
+        std::process::exit(1);
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.to_text());
+    }
+    if let Some(out) = flag_value(args, "-o").or_else(|| flag_value(args, "--out")) {
+        if let Err(e) = std::fs::write(&out, analysis.to_json()) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {out}");
+    }
+}
+
 /// Scrapes one or more live `/metrics` endpoints and prints a one-screen summary per
 /// process. Comma-separate addresses to cover a group (coordinator at the base port,
 /// shard server `i` at base+1+i).
@@ -816,6 +868,29 @@ fn print_fleet_summary(addr: &str, exp: &dssp_net::metrics::Exposition) {
         v("dssp_layout_epoch"),
         v("dssp_shards_owned")
     );
+    let rounds = v("dssp_round_time_count");
+    if rounds > 0.0 {
+        println!(
+            "  round time mean {:.0}µs over {rounds:.0} rounds",
+            v("dssp_round_time_sum") / rounds
+        );
+    }
+    let gated = v("dssp_push_latency_count");
+    if gated > 0.0 {
+        println!(
+            "  push gate latency mean {:.0}µs over {gated:.0} pushes",
+            v("dssp_push_latency_sum") / gated
+        );
+    }
+    let stragglers: Vec<String> = exp
+        .samples
+        .iter()
+        .filter(|s| s.name == "dssp_straggler" && s.value > 0.5)
+        .filter_map(|s| s.label("worker").map(str::to_string))
+        .collect();
+    if !stragglers.is_empty() {
+        println!("  STRAGGLERS: workers {}", stragglers.join(", "));
+    }
     println!(
         "  joins {:.0}, reconnects {:.0}, evictions {:.0}, checkpoints {:.0}, events dropped {:.0}",
         v("dssp_joins_total"),
@@ -871,6 +946,14 @@ fn main() {
         }
         Some("trace") => {
             run_trace_mode(&args);
+            return;
+        }
+        Some("analyze") => {
+            run_analyze_mode(&args);
+            return;
+        }
+        Some("bench-obs") => {
+            run_bench_obs_mode(&args);
             return;
         }
         Some("stats") => {
@@ -941,7 +1024,7 @@ fn main() {
                     "expected one of: fig1 fig2 fig3a fig3b fig3c fig3d fig3e fig3f fig4 \
                      table1 throughput theory ablation ablation_strict ablation_estimator \
                      ablation_aggregation all bench bench-net serve coord worker launch \
-                     chaos-smoke drain rebalance migration-smoke trace stats"
+                     chaos-smoke drain rebalance migration-smoke trace analyze stats bench-obs"
                 );
                 std::process::exit(2);
             }

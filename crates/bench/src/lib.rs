@@ -19,6 +19,7 @@ use dssp_sim::{SimConfig, Simulation};
 use std::fmt::Write as _;
 
 pub mod netbench;
+pub mod obsbench;
 pub mod perf;
 
 /// Runs one simulator configuration and returns its trace.

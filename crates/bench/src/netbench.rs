@@ -195,8 +195,8 @@ fn pull_server(mut transport: TcpServerTransport, params: usize, shards: usize, 
         };
         let known = match msg {
             Message::Hello { .. } => continue,
-            Message::Pull => None,
-            Message::PullDelta { known_versions } => Some(known_versions),
+            Message::Pull { .. } => None,
+            Message::PullDelta { known_versions, .. } => Some(known_versions),
             Message::Done { .. } => return,
             _ => return,
         };
@@ -237,12 +237,22 @@ fn pull_client(addr: &str, iters: u32, delta: bool) -> (TransportStats, f64) {
     .expect("hello");
     let mut weights = Vec::new();
     let mut versions = Vec::new();
-    t.pull_into(delta, &mut weights, &mut versions)
-        .expect("warm-up pull");
+    t.pull_into(
+        delta,
+        dssp_core::events::NO_TRACE,
+        &mut weights,
+        &mut versions,
+    )
+    .expect("warm-up pull");
     let before = t.stats();
     let start = Instant::now();
     for _ in 0..iters {
-        match t.pull_into(delta, &mut weights, &mut versions) {
+        match t.pull_into(
+            delta,
+            dssp_core::events::NO_TRACE,
+            &mut weights,
+            &mut versions,
+        ) {
             Ok(PullOutcome::Applied(_)) => {}
             other => panic!("pull failed: {other:?}"),
         }
@@ -415,7 +425,7 @@ fn group_client(addrs: &[String], layout: GroupLayout, iters: u32) -> (Vec<Trans
                       all: bool| {
         for (i, link) in links.iter_mut().enumerate() {
             let (lo, hi) = layout.shard_span(i);
-            link.send_pull_shards(&versions[lo..hi], all, 0)
+            link.send_pull_shards(&versions[lo..hi], all, 0, dssp_core::events::NO_TRACE)
                 .expect("pull req");
         }
         for link in links.iter_mut() {
@@ -431,8 +441,13 @@ fn group_client(addrs: &[String], layout: GroupLayout, iters: u32) -> (Vec<Trans
     for it in 0..iters {
         for (i, link) in links.iter_mut().enumerate() {
             let (a, b) = layout.key_range(i);
-            link.send_push_slice(u64::from(it) + 1, 0, &grads[a..b])
-                .expect("push slice");
+            link.send_push_slice(
+                u64::from(it) + 1,
+                0,
+                dssp_core::events::NO_TRACE,
+                &grads[a..b],
+            )
+            .expect("push slice");
         }
         for link in links.iter_mut() {
             match link.recv() {

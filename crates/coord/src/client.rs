@@ -17,7 +17,7 @@
 
 use crate::layout::GroupLayout;
 use dssp_core::driver::{FaultPhase, FaultRole, JobConfig, WorkerStep};
-use dssp_core::events::{EventKind, EventLog, Role};
+use dssp_core::events::{trace_id, EventKind, EventLog, Role, SpanOp};
 use dssp_net::tcp::TcpWorkerTransport;
 use dssp_net::transport::PullOutcome;
 use dssp_net::wire::{PROTOCOL_VERSION, SHUTDOWN_OK};
@@ -31,6 +31,14 @@ use std::time::{Duration, Instant};
 fn ev(log: Option<&Arc<EventLog>>, kind: EventKind, payload: u64) {
     if let Some(log) = log {
         log.record(kind, payload);
+    }
+}
+
+/// Records one traced event when the group client's event log is enabled.
+#[inline]
+fn ev_traced(log: Option<&Arc<EventLog>>, kind: EventKind, payload: u64, trace: u64) {
+    if let Some(log) = log {
+        log.record_traced(kind, payload, trace);
     }
 }
 
@@ -199,7 +207,12 @@ impl ShardFan {
     /// mid-migration (waited out with bounded probes) or already committed a newer
     /// layout (adopted, and the whole round re-sliced and re-sent — sound because a
     /// commit implies no server applied this round's slices).
-    pub fn push_slices(&mut self, iteration: u64, grads: &[f32]) -> Result<FanOutcome, NetError> {
+    pub fn push_slices(
+        &mut self,
+        iteration: u64,
+        trace: u64,
+        grads: &[f32],
+    ) -> Result<FanOutcome, NetError> {
         assert_eq!(
             grads.len(),
             self.layout.params(),
@@ -209,7 +222,7 @@ impl ShardFan {
         // our last layout update and this push); a second means the group is
         // committing migrations faster than we can push, which is a protocol anomaly.
         for _ in 0..2 {
-            match self.push_round(iteration, grads)? {
+            match self.push_round(iteration, trace, grads)? {
                 PushRound::Done(outcome) => return Ok(outcome),
                 PushRound::Readopted => continue,
             }
@@ -221,14 +234,19 @@ impl ShardFan {
 
     /// One attempt at a push round under the current layout; see
     /// [`ShardFan::push_slices`].
-    fn push_round(&mut self, iteration: u64, grads: &[f32]) -> Result<PushRound, NetError> {
+    fn push_round(
+        &mut self,
+        iteration: u64,
+        trace: u64,
+        grads: &[f32],
+    ) -> Result<PushRound, NetError> {
         let epoch = self.layout.epoch();
         let mut reconnected = false;
         for (i, link) in self.links.iter_mut().enumerate() {
             let (start, end) = self.layout.key_range(i);
             if let Err(e) = link
                 .transport
-                .send_push_slice(iteration, epoch, &grads[start..end])
+                .send_push_slice(iteration, epoch, trace, &grads[start..end])
                 .map_err(|e| at_link(link, e))
             {
                 if !recoverable(&e, link, &self.hello_replay) {
@@ -238,7 +256,7 @@ impl ShardFan {
                 ev(self.log.as_ref(), EventKind::Reconnect, i as u64);
                 reconnected = true;
                 link.transport
-                    .send_push_slice(iteration, epoch, &grads[start..end])
+                    .send_push_slice(iteration, epoch, trace, &grads[start..end])
                     .map_err(|e| at_link(link, e))?;
             }
         }
@@ -256,7 +274,7 @@ impl ShardFan {
                     reconnected = true;
                     let (start, end) = self.layout.key_range(i);
                     link.transport
-                        .send_push_slice(iteration, epoch, &grads[start..end])
+                        .send_push_slice(iteration, epoch, trace, &grads[start..end])
                         .map_err(|e| at_link(link, e))?;
                     link.transport.recv().map_err(|e| at_link(link, e))?
                 }
@@ -273,7 +291,7 @@ impl ShardFan {
                 } => {
                     if assignment.is_empty() {
                         let (start, end) = self.layout.key_range(i);
-                        match wait_out_freeze(link, iteration, epoch, &grads[start..end])? {
+                        match wait_out_freeze(link, iteration, epoch, trace, &grads[start..end])? {
                             FreezeEnd::Acked => acked += 1,
                             FreezeEnd::Committed { epoch, assignment } => {
                                 committed = Some((epoch, assignment));
@@ -322,6 +340,7 @@ impl ShardFan {
     pub fn pull_group(
         &mut self,
         prefer_delta: bool,
+        trace: u64,
         weights: &mut Vec<f32>,
         versions: &mut Vec<u64>,
     ) -> Result<FanOutcome, NetError> {
@@ -334,7 +353,7 @@ impl ShardFan {
             let (lo, hi) = self.layout.shard_span(i);
             if let Err(e) = link
                 .transport
-                .send_pull_shards(&versions[lo..hi], all, epoch)
+                .send_pull_shards(&versions[lo..hi], all, epoch, trace)
                 .map_err(|e| at_link(link, e))
             {
                 if !recoverable(&e, link, &self.hello_replay) {
@@ -345,7 +364,7 @@ impl ShardFan {
                 reconnected = true;
                 // A restored server may be behind our cache; ask for everything.
                 link.transport
-                    .send_pull_shards(&versions[lo..hi], true, epoch)
+                    .send_pull_shards(&versions[lo..hi], true, epoch, trace)
                     .map_err(|e| at_link(link, e))?;
             }
         }
@@ -390,7 +409,7 @@ impl ShardFan {
                         }
                         let (lo, hi) = self.layout.shard_span(i);
                         link.transport
-                            .send_pull_shards(&versions[lo..hi], true, self.layout.epoch())
+                            .send_pull_shards(&versions[lo..hi], true, self.layout.epoch(), trace)
                             .map_err(|e| at_link(link, e))?;
                     }
                     Err(e) if !redialed && recoverable(&e, link, &self.hello_replay) => {
@@ -400,7 +419,7 @@ impl ShardFan {
                         reconnected = true;
                         let (lo, hi) = self.layout.shard_span(i);
                         link.transport
-                            .send_pull_shards(&versions[lo..hi], true, self.layout.epoch())
+                            .send_pull_shards(&versions[lo..hi], true, self.layout.epoch(), trace)
                             .map_err(|e| at_link(link, e))?;
                     }
                     Err(e) => return Err(e),
@@ -572,12 +591,13 @@ fn wait_out_freeze(
     link: &mut ServerLink,
     iteration: u64,
     epoch: u64,
+    trace: u64,
     slice: &[f32],
 ) -> Result<FreezeEnd, NetError> {
     for _ in 0..FREEZE_PROBES {
         std::thread::sleep(FREEZE_PROBE_INTERVAL);
         link.transport
-            .send_push_slice(iteration, epoch, slice)
+            .send_push_slice(iteration, epoch, trace, slice)
             .map_err(|e| at_link(link, e))?;
         match link.transport.recv().map_err(|e| at_link(link, e))? {
             Message::SliceAck { .. } => return Ok(FreezeEnd::Acked),
@@ -780,14 +800,26 @@ fn run_group_worker_inner(
     let mut pulls_done: u64 = 0;
     // Chaos cell `workerN:commit:*`: die right after adopting a committed layout.
     let mut layout_adoptions: u64 = 0;
+    // Causal trace ids: one per worker-originated operation, sequence starting at 1
+    // (see `dssp_core::events::trace_id`); the same id stamps the ClockPush and the
+    // fan slices of one push, so the coordinator's gate decision and every shard
+    // server's apply join back to this iteration.
+    let mut trace_seq: u32 = 0;
+    let mut next_trace = move || {
+        trace_seq = trace_seq.wrapping_add(1);
+        trace_id(rank as u32, trace_seq)
+    };
 
     // Initial pull: the cache is cold, so every server ships all of its shards.
-    match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
+    let pull_trace = next_trace();
+    ev_traced(log, EventKind::SpanBegin, SpanOp::Pull.code(), pull_trace);
+    match fan.pull_group(job.delta_pulls, pull_trace, &mut weights, &mut versions)? {
         FanOutcome::Applied => {}
         FanOutcome::Shutdown { reason } => finish_early!(reason),
     }
     pulls_done += 1;
-    ev(log, EventKind::Pull, pulls_done);
+    ev_traced(log, EventKind::Pull, pulls_done, pull_trace);
+    ev_traced(log, EventKind::SpanEnd, SpanOp::Pull.code(), pull_trace);
     fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
     if det {
         coord.send(&Message::PullDone)?;
@@ -799,10 +831,15 @@ fn run_group_worker_inner(
         report.iterations = step.completed();
         report.epochs = step.epoch();
         let iteration = iter + 1;
+        let push_trace = next_trace();
+        ev_traced(log, EventKind::SpanBegin, SpanOp::Push.code(), push_trace);
         if det {
             // Canonical order: announce the push, wait to be granted the apply slot,
             // fan the slices out, and confirm so the coordinator's clock can advance.
-            coord.send(&Message::ClockPush { iteration })?;
+            coord.send(&Message::ClockPush {
+                iteration,
+                trace: push_trace,
+            })?;
             loop {
                 match coord.recv()? {
                     Message::PushGrant => break,
@@ -815,25 +852,30 @@ fn run_group_worker_inner(
                     other => return Err(unexpected(rank, &other)),
                 }
             }
-            match fan.push_slices(iteration, &grads)? {
+            match fan.push_slices(iteration, push_trace, &grads)? {
                 FanOutcome::Applied => {}
                 FanOutcome::Shutdown { reason } => finish_early!(reason),
             }
             coord.send(&Message::PushApplied { iteration })?;
         } else {
-            match fan.push_slices(iteration, &grads)? {
+            match fan.push_slices(iteration, push_trace, &grads)? {
                 FanOutcome::Applied => {}
                 FanOutcome::Shutdown { reason } => finish_early!(reason),
             }
-            coord.send(&Message::ClockPush { iteration })?;
+            coord.send(&Message::ClockPush {
+                iteration,
+                trace: push_trace,
+            })?;
         }
-        ev(log, EventKind::Push, iteration);
+        ev_traced(log, EventKind::Push, iteration, push_trace);
         fault_due(fault.as_ref(), FaultPhase::Push, iteration)?;
         if iteration == target {
-            break; // final push: report Done without waiting for the OK
+            // Final push: report Done without waiting for the OK.
+            ev_traced(log, EventKind::SpanEnd, SpanOp::Push.code(), push_trace);
+            break;
         }
         fault_due(fault.as_ref(), FaultPhase::GateBlocked, iteration)?;
-        ev(log, EventKind::GateBlock, iteration);
+        ev_traced(log, EventKind::GateBlock, iteration, push_trace);
         let wait_start = Instant::now();
         loop {
             match coord.recv()? {
@@ -842,10 +884,16 @@ fn run_group_worker_inner(
                     report.waiting_time_s += waited.as_secs_f64();
                     report.granted_extra_total += granted_extra;
                     coord.note_confirmed_clock(iteration);
-                    ev(log, EventKind::GateRelease, waited.as_micros() as u64);
+                    ev_traced(
+                        log,
+                        EventKind::GateRelease,
+                        waited.as_micros() as u64,
+                        push_trace,
+                    );
                     if granted_extra > 0 {
-                        ev(log, EventKind::CreditGrant, granted_extra);
+                        ev_traced(log, EventKind::CreditGrant, granted_extra, push_trace);
                     }
+                    ev_traced(log, EventKind::SpanEnd, SpanOp::Push.code(), push_trace);
                     break;
                 }
                 // A migration committed while this worker was blocked at the gate:
@@ -860,12 +908,15 @@ fn run_group_worker_inner(
                 other => return Err(unexpected(rank, &other)),
             }
         }
-        match fan.pull_group(job.delta_pulls, &mut weights, &mut versions)? {
+        let pull_trace = next_trace();
+        ev_traced(log, EventKind::SpanBegin, SpanOp::Pull.code(), pull_trace);
+        match fan.pull_group(job.delta_pulls, pull_trace, &mut weights, &mut versions)? {
             FanOutcome::Applied => {}
             FanOutcome::Shutdown { reason } => finish_early!(reason),
         }
         pulls_done += 1;
-        ev(log, EventKind::Pull, pulls_done);
+        ev_traced(log, EventKind::Pull, pulls_done, pull_trace);
+        ev_traced(log, EventKind::SpanEnd, SpanOp::Pull.code(), pull_trace);
         fault_due(fault.as_ref(), FaultPhase::Pull, pulls_done)?;
         if det {
             coord.send(&Message::PullDone)?;

@@ -27,7 +27,7 @@ use crate::layout::MigrationPlan;
 use dssp_core::driver::{
     DeterministicGate, FaultRole, JobConfig, MigrationCommand, ServerLoop, WorkerEvent,
 };
-use dssp_core::events::{EventKind, Role};
+use dssp_core::events::{trace_id, EventKind, Role, NO_TRACE};
 use dssp_net::wire::{MIGRATE_CONTROL, PROTOCOL_VERSION, SHUTDOWN_OK, SHUTDOWN_SERVER_ERROR};
 use dssp_net::{
     require_helloed, validate_hello, CheckpointSink, FaultClock, Message, NetError, Obs,
@@ -172,6 +172,12 @@ struct Coordinator<'job> {
     /// Last announced ClockPush iteration per worker (a granted worker whose push was
     /// final will never pull again, so no PullDone is expected from it).
     last_iter: Vec<u64>,
+    /// Last causal trace id per worker (a worker has one operation in flight at a
+    /// time), stamped into the gate events its clock pushes produce.
+    last_trace: Vec<u64>,
+    /// Sequence for coordinator-originated traces (migration legs, evaluation
+    /// pulls); their rank slot is `num_workers` — one past the worker ranks.
+    coord_seq: u32,
     /// The granted push we are waiting on (deterministic mode).
     pending_apply: Option<WorkerEvent>,
     /// A gate-released event we could not dispatch yet (pulls still in flight).
@@ -251,6 +257,8 @@ impl<'job> Coordinator<'job> {
             targets,
             helloed: vec![false; job.num_workers],
             last_iter,
+            last_trace: vec![NO_TRACE; job.num_workers],
+            coord_seq: 0,
             pending_apply: None,
             held: None,
             pull_pending: vec![det; job.num_workers],
@@ -273,6 +281,12 @@ impl<'job> Coordinator<'job> {
 
     fn pulls_in_flight(&self) -> bool {
         self.pull_pending.iter().any(|&p| p)
+    }
+
+    /// Mints the next coordinator-originated trace id (rank slot `num_workers`).
+    fn next_coord_trace(&mut self) -> u64 {
+        self.coord_seq = self.coord_seq.wrapping_add(1);
+        trace_id(self.job.num_workers as u32, self.coord_seq)
     }
 
     /// Reaps one dead (or explicitly evicted) worker: cancels whatever it had in
@@ -301,7 +315,11 @@ impl<'job> Coordinator<'job> {
             }
         }
         for reply in &released {
-            self.obs.event(EventKind::GateRelease, reply.worker as u64);
+            self.obs.event_traced(
+                EventKind::GateRelease,
+                reply.worker as u64,
+                self.last_trace[reply.worker],
+            );
         }
         self.obs.sync_loop(&self.sl);
         for reply in &released {
@@ -486,12 +504,13 @@ impl<'job> Coordinator<'job> {
                     }
                     self.evict(transport, victim)?;
                 }
-                Message::ClockPush { iteration } => {
+                Message::ClockPush { iteration, trace } => {
                     require_helloed(&self.helloed, rank)?;
                     // The worker's fan-out for this iteration fully acked before it
                     // announced the push; until its grant goes out it is blocked.
                     self.awaiting_grant[rank] = true;
                     self.last_iter[rank] = iteration;
+                    self.last_trace[rank] = trace;
                     let event = WorkerEvent::Push {
                         worker: rank,
                         iteration,
@@ -573,9 +592,11 @@ impl<'job> Coordinator<'job> {
         // for the closing evaluation, then gather per-server statistics before
         // shutting down.
         let total = self.start.elapsed().as_secs_f64();
+        let eval_trace = self.next_coord_trace();
         pull_for_eval(
             self.job,
             fan,
+            eval_trace,
             &mut self.eval_weights,
             &mut self.eval_versions,
         )?;
@@ -620,7 +641,8 @@ impl<'job> Coordinator<'job> {
         let replies = self.sl.handle_gated(&mut self.gate, event, now);
         if let Some(pusher) = pusher {
             let sample = self.sl.stats().staleness_sum - staleness_before;
-            self.obs.on_push(pusher, Some(sample), &replies, &self.sl);
+            self.obs
+                .on_push(pusher, Some(sample), &replies, &self.sl, &self.last_trace);
         }
         // A granted worker that has not run its final iteration will pull next; in
         // deterministic mode the coordinator must wait for that pull before the next
@@ -629,9 +651,11 @@ impl<'job> Coordinator<'job> {
             self.send_grant(transport, reply.worker, reply.granted_extra)?;
         }
         if let Some(eval_now) = self.sl.take_pending_eval() {
+            let eval_trace = self.next_coord_trace();
             pull_for_eval(
                 self.job,
                 fan,
+                eval_trace,
                 &mut self.eval_weights,
                 &mut self.eval_versions,
             )?;
@@ -796,7 +820,11 @@ impl<'job> Coordinator<'job> {
             }
         };
         let epoch = plan.from_epoch + 1;
-        match self.migrate(transport, fan, &plan, epoch) {
+        // One coordinator-originated trace id covers the whole migration: every
+        // control leg, shard transfer and the commit/rollback terminal carry it, so
+        // `repro analyze`/`repro trace` can follow a drain end-to-end like a push.
+        let mig_trace = self.next_coord_trace();
+        match self.migrate(transport, fan, &plan, epoch, mig_trace) {
             Ok(()) => {
                 if let Some(admin) = requester {
                     let _ = transport.send(
@@ -818,7 +846,8 @@ impl<'job> Coordinator<'job> {
                 // and the shard servers exit when their coordinator link drops.
                 if !matches!(e, NetError::FaultInjected { .. }) {
                     fan.send_all(&Message::MigrateAbort { epoch });
-                    self.obs.event(EventKind::MigrationRollback, epoch);
+                    self.obs
+                        .event_traced(EventKind::MigrationRollback, epoch, mig_trace);
                 }
                 if let Some(admin) = requester {
                     let _ = transport.send(
@@ -847,8 +876,10 @@ impl<'job> Coordinator<'job> {
         fan: &mut ShardFan,
         plan: &MigrationPlan,
         epoch: u64,
+        mig_trace: u64,
     ) -> Result<(), NetError> {
-        self.obs.event(EventKind::MigrationPrepare, epoch);
+        self.obs
+            .event_traced(EventKind::MigrationPrepare, epoch, mig_trace);
         for server in 0..fan.num_links() {
             fan.send_to(server, &Message::MigratePrepare { epoch })?;
         }
@@ -863,6 +894,7 @@ impl<'job> Coordinator<'job> {
                 &Message::MigrateRequest {
                     epoch,
                     shard: mv.shard,
+                    trace: mig_trace,
                 },
             )?;
             let payload = fan.recv_from(mv.from as usize)?;
@@ -890,7 +922,7 @@ impl<'job> Coordinator<'job> {
                 }
             }
             self.obs
-                .event(EventKind::ShardTransfer, u64::from(mv.shard));
+                .event_traced(EventKind::ShardTransfer, u64::from(mv.shard), mig_trace);
         }
         for server in 0..fan.num_links() {
             // The hook sits between the per-server sends, so the chaos matrix can
@@ -908,7 +940,8 @@ impl<'job> Coordinator<'job> {
             expect_control_ack(fan.recv_from(server)?, epoch, server)?;
         }
         fan.adopt(epoch, &plan.assignment)?;
-        self.obs.event(EventKind::MigrationCommit, epoch);
+        self.obs
+            .event_traced(EventKind::MigrationCommit, epoch, mig_trace);
         self.obs.set_layout(epoch, fan.layout().shards() as u64);
         // Force the clock checkpoint with the committed layout, regardless of
         // cadence: a coordinator restored from anything older would route by a
@@ -1001,10 +1034,11 @@ fn check_restore_skew(sl: &ServerLoop, fan: &mut ShardFan) -> Result<(), NetErro
 fn pull_for_eval(
     job: &JobConfig,
     fan: &mut ShardFan,
+    trace: u64,
     weights: &mut Vec<f32>,
     versions: &mut Vec<u64>,
 ) -> Result<(), NetError> {
-    match fan.pull_group(job.delta_pulls, weights, versions)? {
+    match fan.pull_group(job.delta_pulls, trace, weights, versions)? {
         FanOutcome::Applied => Ok(()),
         FanOutcome::Shutdown { .. } => Err(NetError::Protocol(
             "a shard server shut down underneath the coordinator".to_string(),

@@ -571,6 +571,7 @@ fn serve_shard_inner(
             Message::PushSlice {
                 iteration: _,
                 epoch,
+                trace,
                 grads,
             } => {
                 require_helloed(&helloed, rank)?;
@@ -592,7 +593,7 @@ fn serve_shard_inner(
                 transport.send(rank, &Message::SliceAck { version })?;
                 // A shard server has no gate: its pushes counter is also its local
                 // clock, so the version gauge mirrors it.
-                obs.event(EventKind::Push, rank as u64);
+                obs.event_traced(EventKind::Push, rank as u64, trace);
                 obs.metrics().pushes.store(state.pushes, Relaxed);
                 obs.metrics().version.store(state.pushes, Relaxed);
                 fault.push()?;
@@ -605,6 +606,7 @@ fn serve_shard_inner(
                 known_versions,
                 all,
                 epoch,
+                trace,
             } => {
                 require_helloed(&helloed, rank)?;
                 if state.pending_epoch().is_some() || epoch != state.epoch() {
@@ -618,7 +620,7 @@ fn serve_shard_inner(
                 transport.send_payload(rank, &reply_buf)?;
                 transport.recycle_u64s(rank, known_versions);
                 // `encode_pull` classified the pull internally; mirror its totals.
-                obs.event(EventKind::Pull, rank as u64);
+                obs.event_traced(EventKind::Pull, rank as u64, trace);
                 obs.metrics().pulls_full.store(state.pulls_full, Relaxed);
                 obs.metrics().pulls_delta.store(state.pulls_delta, Relaxed);
                 fault.pull()?;
@@ -644,7 +646,11 @@ fn serve_shard_inner(
                     },
                 )?;
             }
-            Message::MigrateRequest { epoch, shard } => {
+            Message::MigrateRequest {
+                epoch,
+                shard,
+                trace,
+            } => {
                 require_helloed(&helloed, rank)?;
                 if rank != coordinator_rank {
                     return Err(NetError::Protocol(format!(
@@ -655,22 +661,26 @@ fn serve_shard_inner(
                 reply_buf.clear();
                 {
                     let (version, weights, velocity) = state.extract(epoch, shard)?;
+                    // The outgoing shard carries the migration's trace, so the
+                    // destination's stage event joins the same causal chain.
                     wire::encode_migrate_shard(
                         &mut reply_buf,
                         epoch,
                         shard,
                         version,
+                        trace,
                         weights,
                         velocity,
                     );
                 }
                 transport.send_payload(rank, &reply_buf)?;
-                obs.event(EventKind::ShardTransfer, u64::from(shard));
+                obs.event_traced(EventKind::ShardTransfer, u64::from(shard), trace);
             }
             Message::MigrateShard {
                 epoch,
                 shard,
                 version,
+                trace,
                 weights,
                 velocity,
             } => {
@@ -682,7 +692,7 @@ fn serve_shard_inner(
                 }
                 fault.migrate_transfer()?;
                 state.stage(epoch, shard, version, weights, velocity)?;
-                obs.event(EventKind::ShardTransfer, u64::from(shard));
+                obs.event_traced(EventKind::ShardTransfer, u64::from(shard), trace);
                 transport.send(rank, &Message::MigrateAck { epoch, shard })?;
             }
             Message::LayoutUpdate { epoch, assignment } => {

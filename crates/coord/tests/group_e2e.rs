@@ -182,6 +182,7 @@ fn losing_a_shard_server_names_it_instead_of_stalling() {
             known_versions: vec![0],
             all: true,
             epoch: 0,
+            trace: dssp_core::events::NO_TRACE,
         })
         .unwrap();
     let err = link

@@ -119,6 +119,7 @@ proptest! {
             epoch,
             shard,
             version,
+            trace: dssp_core::events::trace_id(7, 42),
             weights: weights.clone(),
             velocity: velocity.clone(),
         };
@@ -129,12 +130,14 @@ proptest! {
                 epoch: e,
                 shard: s,
                 version: v,
+                trace: t,
                 weights: w,
                 velocity: vel,
             } => {
                 prop_assert_eq!(e, epoch);
                 prop_assert_eq!(s, shard);
                 prop_assert_eq!(v, version);
+                prop_assert_eq!(t, dssp_core::events::trace_id(7, 42));
                 let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
                 prop_assert_eq!(bits(&w), bits(&weights), "weights must survive bitwise");
                 prop_assert_eq!(bits(&vel), bits(&velocity), "momentum must survive bitwise");
@@ -156,7 +159,14 @@ proptest! {
         bit in 0u32..8,
     ) {
         let velocity: Vec<f32> = weights.iter().map(|w| w + 1.0).collect();
-        let msg = Message::MigrateShard { epoch, shard, version, weights, velocity };
+        let msg = Message::MigrateShard {
+            epoch,
+            shard,
+            version,
+            trace: dssp_core::events::NO_TRACE,
+            weights,
+            velocity,
+        };
         let mut buf = Vec::new();
         encode(&msg, &mut buf);
 
@@ -232,11 +242,24 @@ proptest! {
                 let (version, weights, velocity) =
                     states[from].extract(epoch, mv.shard).expect("extract");
                 dssp_net::wire::encode_migrate_shard(
-                    &mut buf, epoch, mv.shard, version, weights, velocity,
+                    &mut buf,
+                    epoch,
+                    mv.shard,
+                    version,
+                    dssp_core::events::NO_TRACE,
+                    weights,
+                    velocity,
                 );
             }
             match decode(&buf).expect("relayed frame decodes") {
-                Message::MigrateShard { epoch: e, shard, version, weights, velocity } => {
+                Message::MigrateShard {
+                    epoch: e,
+                    shard,
+                    version,
+                    trace: _,
+                    weights,
+                    velocity,
+                } => {
                     prop_assert!(
                         states[to].stage(e + skew, shard, version, weights.clone(), velocity.clone()).is_err(),
                         "skewed stage must be refused"

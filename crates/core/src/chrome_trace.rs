@@ -8,12 +8,18 @@
 //! commit, or prepare → rollback), and named process/thread metadata so the lanes
 //! read as "worker 0 … worker N / coordinator / shard k".
 //!
+//! Two additions ride the v6 causal trace ids: `span-begin`/`span-end` pairs render
+//! as `op:push` / `op:pull` / `op:clock` duration spans (the worker's own view of
+//! one networked operation), and every trace id that touches more than one lane
+//! becomes a chrome-trace *flow* (`ph: s/t/f` arrows), so clicking one push draws
+//! the arrow from the worker's send through the server's gate decision and back.
+//!
 //! [`render_chrome_trace_from_run`] is the fallback for runs recorded *without* an
 //! event log: it renders a [`RunTrace`]'s evaluation points as counter tracks
 //! (accuracy, loss, pushes over time), which is enough to see run shape but not
 //! individual gating decisions.
 
-use crate::events::{Event, EventKind, Role};
+use crate::events::{Event, EventKind, Role, SpanOp, NO_TRACE};
 use crate::json;
 use dssp_sim::RunTrace;
 
@@ -91,6 +97,16 @@ impl TraceWriter {
         ));
     }
 
+    /// One chrome-trace flow event: `ph` is `s` (start), `t` (step) or `f` (finish).
+    /// Flows with the same name/category/id are drawn as one arrow chain; `bp: "e"`
+    /// on the finish binds the arrowhead to the enclosing slice.
+    fn flow(&mut self, ph: char, id: u64, pid: u32, tid: u32, ts: u64) {
+        let bp = if ph == 'f' { ", \"bp\": \"e\"" } else { "" };
+        self.push(&format!(
+            "{{\"ph\": \"{ph}\", \"name\": \"trace\", \"cat\": \"causal\", \"id\": {id}, \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}{bp}}}"
+        ));
+    }
+
     fn counter(&mut self, name: &str, pid: u32, ts: u64, series: &str, value: f64) {
         self.push(&format!(
             "{{\"ph\": \"C\", \"name\": {}, \"pid\": {pid}, \"ts\": {ts}, \"args\": {{{}: {value:.6}}}}}",
@@ -153,10 +169,42 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
     // Open migrations per server-family lane: prepare opens, commit/rollback closes.
     let mut migrating_since: std::collections::HashMap<(u32, u32), u64> =
         std::collections::HashMap::new();
+    // Open traced operation spans, keyed by (lane, trace): span-begin opens,
+    // span-end closes and emits the `op:<name>` slice.
+    let mut open_spans: std::collections::HashMap<(u32, u32, u64), u64> =
+        std::collections::HashMap::new();
+    // Every traced event, for the flow-arrow pass after the lanes are rendered.
+    let mut flows: Vec<(u64, u64, u32, u32)> = Vec::new();
 
     for e in events {
         let ts = e.ts - t0;
         let (p, tid) = (pid(e.role), e.rank);
+        if e.trace != NO_TRACE {
+            flows.push((e.trace, ts, p, tid));
+        }
+        // Traced operation spans are role-agnostic: any lane may bracket one.
+        match e.kind {
+            EventKind::SpanBegin => {
+                open_spans.insert((p, tid, e.trace), ts);
+                continue;
+            }
+            EventKind::SpanEnd => {
+                if let Some(start) = open_spans.remove(&(p, tid, e.trace)) {
+                    let name = SpanOp::from_code(e.payload)
+                        .map(SpanOp::as_str)
+                        .unwrap_or("?");
+                    w.span(
+                        &format!("op:{name}"),
+                        p,
+                        tid,
+                        start,
+                        ts.saturating_sub(start),
+                    );
+                }
+                continue;
+            }
+            _ => {}
+        }
         if e.role != Role::Worker {
             // Server-family lanes: every event is an instant marker, and the
             // migration phases additionally bracket a duration span so a drain or
@@ -226,6 +274,41 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
             | EventKind::MigrationRollback => {
                 w.instant(e.kind.as_str(), p, tid, ts, ("payload", e.payload));
             }
+            // Consumed by the role-agnostic span pass above.
+            EventKind::SpanBegin | EventKind::SpanEnd => {}
+        }
+    }
+
+    // Causal flow arrows: each trace id that visits more than one lane becomes one
+    // s → t… → f chain, with a flow point at every lane *transition* (consecutive
+    // events on the same lane collapse — the arrow shows the hop, not every event).
+    flows.sort_unstable();
+    let mut i = 0;
+    while i < flows.len() {
+        let trace = flows[i].0;
+        let mut points: Vec<(u64, u32, u32)> = Vec::new();
+        while i < flows.len() && flows[i].0 == trace {
+            let (_, ts, p, t) = flows[i];
+            if points
+                .last()
+                .map(|&(_, lp, lt)| (lp, lt) != (p, t))
+                .unwrap_or(true)
+            {
+                points.push((ts, p, t));
+            }
+            i += 1;
+        }
+        if points.len() < 2 {
+            continue;
+        }
+        let last = points.len() - 1;
+        for (k, &(ts, p, t)) in points.iter().enumerate() {
+            let ph = match k {
+                0 => 's',
+                k if k == last => 'f',
+                _ => 't',
+            };
+            w.flow(ph, trace, p, t, ts);
         }
     }
     w.finish()
@@ -305,12 +388,17 @@ mod tests {
     use super::*;
 
     fn e(ts: u64, role: Role, rank: u32, kind: EventKind, payload: u64) -> Event {
+        et(ts, role, rank, kind, payload, NO_TRACE)
+    }
+
+    fn et(ts: u64, role: Role, rank: u32, kind: EventKind, payload: u64, trace: u64) -> Event {
         Event {
             ts,
             role,
             rank,
             kind,
             payload,
+            trace,
         }
     }
 
@@ -350,6 +438,66 @@ mod tests {
             .unwrap();
         assert_eq!(blocked.get("ts").unwrap().as_u64(), Some(400));
         assert_eq!(blocked.get("dur").unwrap().as_u64(), Some(500));
+    }
+
+    #[test]
+    fn traced_push_renders_an_op_span_and_a_cross_lane_flow() {
+        let trace = crate::events::trace_id(0, 1);
+        let events = vec![
+            // Worker 0 brackets one push; the server's push/grant carry the same id.
+            et(
+                1_000,
+                Role::Worker,
+                0,
+                EventKind::SpanBegin,
+                SpanOp::Push.code(),
+                trace,
+            ),
+            et(1_010, Role::Worker, 0, EventKind::Push, 1, trace),
+            et(1_200, Role::Server, 0, EventKind::Push, 0, trace),
+            et(1_210, Role::Server, 0, EventKind::CreditGrant, 3, trace),
+            et(1_400, Role::Worker, 0, EventKind::GateRelease, 390, trace),
+            et(
+                1_450,
+                Role::Worker,
+                0,
+                EventKind::SpanEnd,
+                SpanOp::Push.code(),
+                trace,
+            ),
+        ];
+        let json_text = render_chrome_trace(&events);
+        let v = json::parse(&json_text).expect("rendered trace is valid JSON");
+        let items = v.get("traceEvents").unwrap().as_array().unwrap();
+        let op = items
+            .iter()
+            .find(|i| i.get("name").and_then(|n| n.as_str()) == Some("op:push"))
+            .expect("op:push span");
+        assert_eq!(op.get("ts").unwrap().as_u64(), Some(0));
+        assert_eq!(op.get("dur").unwrap().as_u64(), Some(450));
+        // Flow chain: worker → server → worker is three lane transitions → s, t, f.
+        let phs: Vec<&str> = items
+            .iter()
+            .filter(|i| i.get("cat").and_then(|c| c.as_str()) == Some("causal"))
+            .filter_map(|i| i.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert_eq!(phs, ["s", "t", "f"]);
+        let finish = items
+            .iter()
+            .find(|i| i.get("ph").and_then(|p| p.as_str()) == Some("f"))
+            .expect("flow finish");
+        assert_eq!(finish.get("bp").and_then(|b| b.as_str()), Some("e"));
+        assert_eq!(finish.get("id").unwrap().as_u64(), Some(trace));
+    }
+
+    #[test]
+    fn untraced_events_draw_no_flows() {
+        let events = vec![
+            e(1_000, Role::Worker, 0, EventKind::Push, 1),
+            e(1_200, Role::Server, 0, EventKind::Push, 0),
+        ];
+        let json_text = render_chrome_trace(&events);
+        assert!(!json_text.contains("\"cat\": \"causal\""));
     }
 
     #[test]

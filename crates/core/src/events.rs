@@ -11,7 +11,7 @@
 //! Recording is designed for the PR 4 zero-allocation hot paths:
 //!
 //! * slots are preallocated at construction (`Box<[Slot]>` of atomics);
-//! * a writer claims an index with one `fetch_add` and fills the slot with three
+//! * a writer claims an index with one `fetch_add` and fills the slot with four
 //!   relaxed stores plus one release store — no locks, no allocation, no `unsafe`;
 //! * when the log is full, events are dropped and counted, never reallocated;
 //! * a disabled log is simply an `Option::None` at the call site — the hook costs one
@@ -112,12 +112,18 @@ pub enum EventKind {
     /// A migration was rolled back; the group keeps its old layout (payload = the
     /// abandoned target epoch).
     MigrationRollback,
+    /// A traced operation started on this role (payload = a [`SpanOp`] discriminant;
+    /// the `trace` field names the operation).
+    SpanBegin,
+    /// A traced operation finished on this role (payload = the same [`SpanOp`]
+    /// discriminant its `span-begin` carried).
+    SpanEnd,
 }
 
 impl EventKind {
     /// All kinds, in wire order (the index is the packed representation — new kinds
     /// are appended at the end, never inserted).
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::Push,
         EventKind::Pull,
         EventKind::GateBlock,
@@ -131,6 +137,8 @@ impl EventKind {
         EventKind::ShardTransfer,
         EventKind::MigrationCommit,
         EventKind::MigrationRollback,
+        EventKind::SpanBegin,
+        EventKind::SpanEnd,
     ];
 
     /// Stable kebab-case name used in the NDJSON `kind` field.
@@ -149,6 +157,8 @@ impl EventKind {
             EventKind::ShardTransfer => "shard-transfer",
             EventKind::MigrationCommit => "migration-commit",
             EventKind::MigrationRollback => "migration-rollback",
+            EventKind::SpanBegin => "span-begin",
+            EventKind::SpanEnd => "span-end",
         }
     }
 
@@ -161,6 +171,64 @@ impl EventKind {
         Self::ALL.iter().position(|k| *k == self).expect("in ALL") as u64
     }
 }
+
+/// The operation a `span-begin`/`span-end` pair brackets, carried in the event
+/// payload (a worker-side networked operation; the span duration is that
+/// operation's communication time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOp {
+    /// A gradient push (single-server `Push` or a group push fan-out, send → ack).
+    Push,
+    /// A weight pull (request → reply applied).
+    Pull,
+    /// A clock push to the coordinator (announce → grant received).
+    Clock,
+}
+
+impl SpanOp {
+    /// The payload value encoding this operation.
+    pub fn code(self) -> u64 {
+        match self {
+            SpanOp::Push => 1,
+            SpanOp::Pull => 2,
+            SpanOp::Clock => 3,
+        }
+    }
+
+    /// Decodes a span payload back into the operation, if known.
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(SpanOp::Push),
+            2 => Some(SpanOp::Pull),
+            3 => Some(SpanOp::Clock),
+            _ => None,
+        }
+    }
+
+    /// Stable name used in rendered timelines and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanOp::Push => "push",
+            SpanOp::Pull => "pull",
+            SpanOp::Clock => "clock",
+        }
+    }
+}
+
+/// Packs a worker-originated causal trace id from the originating rank and a
+/// per-rank operation sequence number. `seq` starts at 1, so the id 0 is reserved
+/// for "untraced" ([`NO_TRACE`]).
+pub fn trace_id(rank: u32, seq: u32) -> u64 {
+    (u64::from(rank) << 32) | u64::from(seq)
+}
+
+/// Unpacks a [`trace_id`] back into `(rank, seq)`.
+pub fn trace_parts(trace: u64) -> (u32, u32) {
+    ((trace >> 32) as u32, trace as u32)
+}
+
+/// The trace id of an untraced event (no causal context).
+pub const NO_TRACE: u64 = 0;
 
 /// One recorded observation: when, who, what, and a kind-specific payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,17 +243,21 @@ pub struct Event {
     pub kind: EventKind,
     /// Kind-specific payload (see [`EventKind`]).
     pub payload: u64,
+    /// Causal trace id ([`trace_id`]) of the worker operation this event belongs
+    /// to, or [`NO_TRACE`] when the event has no causal context.
+    pub trace: u64,
 }
 
 /// Encodes an event as one NDJSON line (no trailing newline).
 pub fn encode_line(e: &Event) -> String {
     format!(
-        "{{\"ts\": {}, \"role\": {}, \"rank\": {}, \"kind\": {}, \"payload\": {}}}",
+        "{{\"ts\": {}, \"role\": {}, \"rank\": {}, \"kind\": {}, \"payload\": {}, \"trace\": {}}}",
         e.ts,
         json::escape(e.role.as_str()),
         e.rank,
         json::escape(e.kind.as_str()),
-        e.payload
+        e.payload,
+        e.trace
     )
 }
 
@@ -217,6 +289,7 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
         rank,
         kind,
         payload: num("payload")?,
+        trace: num("trace")?,
     })
 }
 
@@ -231,6 +304,7 @@ pub fn now_micros() -> u64 {
 struct Slot {
     ts: AtomicU64,
     payload: AtomicU64,
+    trace: AtomicU64,
     // kind index + 1; 0 marks a slot that was claimed but not yet (or never) filled.
     meta: AtomicU64,
 }
@@ -276,6 +350,7 @@ impl EventLog {
             .map(|_| Slot {
                 ts: AtomicU64::new(0),
                 payload: AtomicU64::new(0),
+                trace: AtomicU64::new(0),
                 meta: AtomicU64::new(0),
             })
             .collect::<Vec<_>>()
@@ -300,15 +375,27 @@ impl EventLog {
     }
 
     /// Records one event, timestamped now. Lock-free and allocation-free: one
-    /// `fetch_add` to claim a slot, four atomic stores to fill it.
+    /// `fetch_add` to claim a slot, five atomic stores to fill it.
     #[inline]
     pub fn record(&self, kind: EventKind, payload: u64) {
-        self.record_at(now_micros(), kind, payload);
+        self.record_traced_at(now_micros(), kind, payload, NO_TRACE);
     }
 
     /// Like [`EventLog::record`] with an explicit timestamp (tests, replays).
     #[inline]
     pub fn record_at(&self, ts: u64, kind: EventKind, payload: u64) {
+        self.record_traced_at(ts, kind, payload, NO_TRACE);
+    }
+
+    /// Records one event stamped with a causal [`trace_id`], timestamped now.
+    #[inline]
+    pub fn record_traced(&self, kind: EventKind, payload: u64, trace: u64) {
+        self.record_traced_at(now_micros(), kind, payload, trace);
+    }
+
+    /// Like [`EventLog::record_traced`] with an explicit timestamp.
+    #[inline]
+    pub fn record_traced_at(&self, ts: u64, kind: EventKind, payload: u64, trace: u64) {
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         let Some(slot) = self.slots.get(i) else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -316,8 +403,9 @@ impl EventLog {
         };
         slot.ts.store(ts, Ordering::Relaxed);
         slot.payload.store(payload, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
         // The release store publishes the slot: a reader that acquires a non-zero
-        // meta sees the ts/payload stores above.
+        // meta sees the ts/payload/trace stores above.
         slot.meta.store(kind.index() + 1, Ordering::Release);
     }
 
@@ -352,6 +440,7 @@ impl EventLog {
                 rank: self.rank,
                 kind,
                 payload: slot.payload.load(Ordering::Relaxed),
+                trace: slot.trace.load(Ordering::Relaxed),
             });
         }
         out
@@ -421,6 +510,7 @@ mod tests {
             rank: 2,
             kind: EventKind::CreditGrant,
             payload: 7,
+            trace: trace_id(2, 9),
         }
     }
 
@@ -434,11 +524,27 @@ mod tests {
                     rank: 3,
                     kind,
                     payload: u64::MAX,
+                    trace: trace_id(3, u32::MAX),
                 };
                 let line = encode_line(&e);
                 assert_eq!(parse_line(&line).unwrap(), e, "line: {line}");
             }
         }
+    }
+
+    #[test]
+    fn trace_ids_pack_and_unpack() {
+        assert_eq!(trace_id(0, 1), 1);
+        assert_eq!(trace_parts(trace_id(7, 42)), (7, 42));
+        assert_eq!(
+            trace_parts(trace_id(u32::MAX, u32::MAX)),
+            (u32::MAX, u32::MAX)
+        );
+        assert_eq!(NO_TRACE, 0);
+        for op in [SpanOp::Push, SpanOp::Pull, SpanOp::Clock] {
+            assert_eq!(SpanOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(SpanOp::from_code(0), None);
     }
 
     #[test]
@@ -470,6 +576,12 @@ mod tests {
         assert!(
             parse_line(r#"{"role": "worker", "rank": 0, "kind": "push", "payload": 0}"#).is_err()
         );
+        // Pre-v6 lines without a trace field are rejected too: the stream format is
+        // versioned with the protocol, and a torn flush must fail loudly.
+        assert!(parse_line(
+            r#"{"ts": 1, "role": "worker", "rank": 0, "kind": "push", "payload": 0}"#
+        )
+        .is_err());
     }
 
     #[test]

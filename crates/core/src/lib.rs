@@ -13,6 +13,9 @@
 //! * [`report`] — CSV and Markdown rendering of traces and tables;
 //! * [`events`] — the structured observability event stream: a lock-free, bounded,
 //!   append-only log of synchronization decisions, flushed as NDJSON per role;
+//! * [`analyze`] — fleet health analytics over those streams: per-round
+//!   compute/comms/gate-wait breakdowns, cross-role push-latency percentiles,
+//!   staleness CDF and straggler detection, joined on the v6 causal trace ids;
 //! * [`chrome_trace`] — Trace Event Format (chrome-trace) export of event streams
 //!   and run traces for timeline viewers;
 //! * [`json`] — the minimal hand-rolled JSON reader those artifacts are read back
@@ -41,6 +44,7 @@
 
 #![deny(missing_docs)]
 
+pub mod analyze;
 pub mod chrome_trace;
 pub mod driver;
 pub mod events;

@@ -1,0 +1,119 @@
+//! Golden-file test for the fleet-health analyzer: a recorded events directory
+//! (`tests/fixtures/analyze/`, six workers × two rounds plus the server's push
+//! stream) with a hand-computed breakdown. Worker 5 waits 5 000 µs at the DSSP
+//! gate in round 2 and must come out flagged as the straggler; every other
+//! number in the report is asserted exactly.
+
+use dssp_core::analyze::{analyze_dir, Analysis};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("analyze")
+}
+
+fn golden() -> Analysis {
+    analyze_dir(&fixture_dir()).expect("fixture dir reads")
+}
+
+#[test]
+fn golden_round_breakdown_is_exact() {
+    let a = golden();
+    assert_eq!(a.events, 67);
+    assert_eq!(a.rounds.len(), 2);
+
+    // Round 1: every worker computed 300 µs (pull span-end → push span-begin) and
+    // spent 150 µs on comms (100 µs initial pull + 50 µs push span), no gate wait.
+    let r1 = &a.rounds[0];
+    assert_eq!(r1.iteration, 1);
+    assert_eq!(r1.workers.len(), 6);
+    for w in &r1.workers {
+        assert_eq!(
+            (w.compute_us, w.comms_us, w.gate_wait_us),
+            (300, 150, 0),
+            "round 1 rank {}",
+            w.rank
+        );
+    }
+    assert_eq!(r1.wall_us(), 450);
+
+    // Round 2: 300 µs compute, 50 µs comms; worker 5's 5 000 µs gate wait is
+    // split out of its 5 050 µs push span.
+    let r2 = &a.rounds[1];
+    assert_eq!(r2.iteration, 2);
+    for w in &r2.workers {
+        let want_wait = if w.rank == 5 { 5_000 } else { 0 };
+        assert_eq!(
+            (w.compute_us, w.comms_us, w.gate_wait_us),
+            (300, 50, want_wait),
+            "round 2 rank {}",
+            w.rank
+        );
+    }
+    assert_eq!(r2.wall_us(), 5_350);
+}
+
+#[test]
+fn golden_straggler_is_worker_five() {
+    let a = golden();
+    assert_eq!(a.workers.len(), 6);
+    let flagged: Vec<u32> = a
+        .workers
+        .iter()
+        .filter(|w| w.straggler)
+        .map(|w| w.rank)
+        .collect();
+    assert_eq!(flagged, vec![5]);
+    // One 5 000 µs outlier among six: mean 833.3, σ 1 863.4 → z = √5 ≈ 2.236.
+    let w5 = a.workers.iter().find(|w| w.rank == 5).unwrap();
+    assert!(
+        (w5.z_score - 5f64.sqrt()).abs() < 1e-9,
+        "z = {}",
+        w5.z_score
+    );
+    assert_eq!(
+        (w5.rounds, w5.compute_us, w5.comms_us, w5.gate_wait_us),
+        (2, 600, 200, 5_000)
+    );
+    for w in a.workers.iter().filter(|w| w.rank != 5) {
+        assert_eq!(
+            (w.rounds, w.compute_us, w.comms_us, w.gate_wait_us),
+            (2, 600, 200, 0),
+            "rank {}",
+            w.rank
+        );
+        assert!(w.z_score < 0.0, "rank {} z = {}", w.rank, w.z_score);
+    }
+}
+
+#[test]
+fn golden_push_latency_and_staleness() {
+    let a = golden();
+    // Twelve pushes join across roles: six at 20 µs (round 1), six at 30 µs
+    // (round 2). Nearest-rank p50 over the sorted sample lands on 30.
+    let l = a.push_latency.expect("pushes joined");
+    assert_eq!(
+        (l.count, l.p50_us, l.p90_us, l.p99_us, l.max_us),
+        (12, 30, 30, 30, 30)
+    );
+    // Rounds fully interleave, so the replayed staleness is 0 throughout.
+    assert_eq!(a.staleness_cdf, vec![(0, 1.0)]);
+    for r in &a.rounds {
+        assert!(r.mean_staleness.abs() < 1e-9);
+    }
+    // With only two rounds no wall time can clear mean + 2σ.
+    assert!(a.slow_rounds.is_empty());
+}
+
+#[test]
+fn golden_report_renders_and_json_parses() {
+    let a = golden();
+    let text = a.to_text();
+    assert!(text.contains("6 workers, 2 rounds"), "{text}");
+    assert!(text.contains("stragglers: [5]"), "{text}");
+    let json = a.to_json();
+    let v = dssp_core::json::parse(&json).expect("valid JSON");
+    assert_eq!(v.get("events").and_then(|e| e.as_u64()), Some(67));
+}

@@ -33,6 +33,27 @@ pub const STALENESS_LE: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
 
 const BUCKETS: usize = STALENESS_LE.len() + 1;
 
+/// Upper bounds (µs) of the `dssp_round_time` histogram buckets — the per-worker
+/// inter-push gap observed at the serving role. Spans sub-millisecond loopback
+/// rounds to multi-second straggler rounds.
+pub const ROUND_TIME_LE: [u64; 10] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000, 1_000_000,
+];
+
+const ROUND_BUCKETS: usize = ROUND_TIME_LE.len() + 1;
+
+/// Upper bounds (µs) of the `dssp_push_latency` histogram buckets — the time between
+/// a push's apply and its grant (0 for immediate grants; the gate wait for deferred
+/// ones).
+pub const PUSH_LATENCY_LE: [u64; 10] = [
+    50, 100, 250, 500, 1_000, 2_500, 10_000, 50_000, 250_000, 1_000_000,
+];
+
+const LATENCY_BUCKETS: usize = PUSH_LATENCY_LE.len() + 1;
+
+/// Highest worker rank the per-rank straggler bitmask gauges can represent.
+pub const MAX_STRAGGLER_RANKS: usize = 64;
+
 /// The fixed metric registry of one serving role. All fields are plain atomics so
 /// serving loops update them allocation-free; [`Metrics::render`] snapshots them into
 /// the Prometheus text format on the scrape thread.
@@ -81,6 +102,16 @@ pub struct Metrics {
     staleness_buckets: [AtomicU64; BUCKETS],
     staleness_sum: AtomicU64,
     staleness_count: AtomicU64,
+    round_time_buckets: [AtomicU64; ROUND_BUCKETS],
+    round_time_sum: AtomicU64,
+    round_time_count: AtomicU64,
+    push_latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    push_latency_sum: AtomicU64,
+    push_latency_count: AtomicU64,
+    /// Bitmask of ranks (< [`MAX_STRAGGLER_RANKS`]) that ever had a straggler verdict.
+    straggler_seen: AtomicU64,
+    /// Bitmask of ranks currently flagged as stragglers.
+    straggler_flags: AtomicU64,
 }
 
 impl Metrics {
@@ -110,6 +141,14 @@ impl Metrics {
             staleness_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             staleness_sum: AtomicU64::new(0),
             staleness_count: AtomicU64::new(0),
+            round_time_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            round_time_sum: AtomicU64::new(0),
+            round_time_count: AtomicU64::new(0),
+            push_latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            push_latency_sum: AtomicU64::new(0),
+            push_latency_count: AtomicU64::new(0),
+            straggler_seen: AtomicU64::new(0),
+            straggler_flags: AtomicU64::new(0),
         }
     }
 
@@ -134,6 +173,55 @@ impl Metrics {
         self.staleness_buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.staleness_sum.fetch_add(staleness, Ordering::Relaxed);
         self.staleness_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one per-worker round time (inter-push gap, µs) into the
+    /// `dssp_round_time` histogram. Allocation-free.
+    #[inline]
+    pub fn observe_round_time(&self, us: u64) {
+        let idx = ROUND_TIME_LE
+            .iter()
+            .position(|le| us <= *le)
+            .unwrap_or(ROUND_BUCKETS - 1);
+        self.round_time_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.round_time_sum.fetch_add(us, Ordering::Relaxed);
+        self.round_time_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cross-role push latency sample (apply → grant, µs) into the
+    /// `dssp_push_latency` histogram. Allocation-free.
+    #[inline]
+    pub fn observe_push_latency(&self, us: u64) {
+        let idx = PUSH_LATENCY_LE
+            .iter()
+            .position(|le| us <= *le)
+            .unwrap_or(LATENCY_BUCKETS - 1);
+        self.push_latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.push_latency_sum.fetch_add(us, Ordering::Relaxed);
+        self.push_latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the straggler verdict for one rank (z-score of its cumulative gate wait
+    /// above threshold → 1, otherwise 0). Two bitmask updates; ranks at or beyond
+    /// [`MAX_STRAGGLER_RANKS`] are silently unrepresented.
+    #[inline]
+    pub fn set_straggler(&self, rank: usize, flagged: bool) {
+        if rank >= MAX_STRAGGLER_RANKS {
+            return;
+        }
+        let bit = 1u64 << rank;
+        self.straggler_seen.fetch_or(bit, Ordering::Relaxed);
+        if flagged {
+            self.straggler_flags.fetch_or(bit, Ordering::Relaxed);
+        } else {
+            self.straggler_flags.fetch_and(!bit, Ordering::Relaxed);
+        }
+    }
+
+    /// The current straggler bitmask (bit k = rank k flagged), for tests and the
+    /// offline analyzer's live cross-check.
+    pub fn straggler_flags(&self) -> u64 {
+        self.straggler_flags.load(Ordering::Relaxed)
     }
 
     /// Renders the registry in the Prometheus text exposition format (0.0.4):
@@ -294,6 +382,56 @@ impl Metrics {
             "dssp_staleness_count{{{labels}}} {}",
             self.staleness_count.load(Ordering::Relaxed)
         );
+
+        let mut histogram =
+            |name: &str, help: &str, le: &[u64], buckets: &[AtomicU64], sum: u64, count: u64| {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (i, le) in le.iter().enumerate() {
+                    cumulative += buckets[i].load(Ordering::Relaxed);
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cumulative}");
+                }
+                cumulative += buckets[le.len()].load(Ordering::Relaxed);
+                let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum{{{labels}}} {sum}");
+                let _ = writeln!(out, "{name}_count{{{labels}}} {count}");
+            };
+        histogram(
+            "dssp_round_time",
+            "Per-worker round time in microseconds (inter-push gap at this role).",
+            &ROUND_TIME_LE,
+            &self.round_time_buckets,
+            self.round_time_sum.load(Ordering::Relaxed),
+            self.round_time_count.load(Ordering::Relaxed),
+        );
+        histogram(
+            "dssp_push_latency",
+            "Cross-role push latency in microseconds (gradient apply to clock grant).",
+            &PUSH_LATENCY_LE,
+            &self.push_latency_buckets,
+            self.push_latency_sum.load(Ordering::Relaxed),
+            self.push_latency_count.load(Ordering::Relaxed),
+        );
+
+        let seen = self.straggler_seen.load(Ordering::Relaxed);
+        let flags = self.straggler_flags.load(Ordering::Relaxed);
+        if seen != 0 {
+            let _ = writeln!(
+                out,
+                "# HELP dssp_straggler Whether a worker's gate-wait share is a z-score outlier."
+            );
+            let _ = writeln!(out, "# TYPE dssp_straggler gauge");
+            for rank in 0..MAX_STRAGGLER_RANKS {
+                if seen & (1u64 << rank) != 0 {
+                    let flagged = u64::from(flags & (1u64 << rank) != 0);
+                    let _ = writeln!(
+                        out,
+                        "dssp_straggler{{{labels},worker=\"{rank}\"}} {flagged}"
+                    );
+                }
+            }
+        }
         out
     }
 }
@@ -634,6 +772,42 @@ mod tests {
         );
         assert_eq!(*buckets.last().unwrap(), 6.0);
         assert_eq!(page.value("dssp_staleness_sum", &[]), Some(113.0));
+    }
+
+    #[test]
+    fn latency_histograms_and_straggler_gauges_render() {
+        let m = Metrics::new(Role::Coordinator, 0);
+        for us in [80, 900, 4_000, 2_000_000] {
+            m.observe_round_time(us);
+        }
+        for us in [0, 40, 700, 90_000] {
+            m.observe_push_latency(us);
+        }
+        m.set_straggler(0, false);
+        m.set_straggler(2, true);
+        let page = parse_exposition(&m.render()).expect("rendered page parses");
+        for name in ["dssp_round_time_bucket", "dssp_push_latency_bucket"] {
+            let buckets: Vec<f64> = page
+                .samples
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.value)
+                .collect();
+            assert_eq!(buckets.len(), ROUND_TIME_LE.len() + 1, "{name}");
+            assert!(
+                buckets.windows(2).all(|w| w[0] <= w[1]),
+                "{name} cumulative"
+            );
+            assert_eq!(*buckets.last().unwrap(), 4.0, "{name} total");
+        }
+        assert_eq!(page.value("dssp_round_time_count", &[]), Some(4.0));
+        assert_eq!(page.value("dssp_push_latency_sum", &[]), Some(90740.0));
+        assert_eq!(page.value("dssp_straggler", &[("worker", "0")]), Some(0.0));
+        assert_eq!(page.value("dssp_straggler", &[("worker", "2")]), Some(1.0));
+        // Un-flagging clears the gauge but keeps the series visible.
+        m.set_straggler(2, false);
+        let page = parse_exposition(&m.render()).unwrap();
+        assert_eq!(page.value("dssp_straggler", &[("worker", "2")]), Some(0.0));
     }
 
     #[test]

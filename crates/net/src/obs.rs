@@ -15,16 +15,31 @@
 //! ([`Role::Server`], [`Role::ShardServer`], [`Role::Coordinator`]); workers carry
 //! only an event log (no endpoint) and use [`EventLog`] directly.
 
-use crate::metrics::{Metrics, MetricsServer};
+use crate::metrics::{Metrics, MetricsServer, MAX_STRAGGLER_RANKS};
 use crate::tcp::TransportStats;
 use crate::NetError;
 use dssp_core::driver::{OkReply, ServerLoop};
-use dssp_core::events::{EventKind, EventLog, Role};
+use dssp_core::events::{EventKind, EventLog, Role, NO_TRACE};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Z-score threshold above which a worker's cumulative gate wait flags it as a
+/// straggler on the `dssp_straggler` gauge.
+pub const STRAGGLER_Z: f64 = 2.0;
+
+/// Current Unix time in microseconds (the clock the event log shares, so live
+/// latency windows and offline analysis agree).
+#[inline]
+fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
 
 /// One serving process's observability state. See the module docs for the contract.
 pub struct Obs {
@@ -32,6 +47,14 @@ pub struct Obs {
     dir: Option<PathBuf>,
     metrics: Arc<Metrics>,
     server: Option<MetricsServer>,
+    /// Per-rank µs timestamp of the last push (0 = none yet); consecutive pushes
+    /// yield the `dssp_round_time` samples.
+    last_push_us: [AtomicU64; MAX_STRAGGLER_RANKS],
+    /// Per-rank µs timestamp of the rank's gate block (0 = not blocked); the matching
+    /// release yields a `dssp_push_latency` sample and the rank's wait total.
+    blocked_since_us: [AtomicU64; MAX_STRAGGLER_RANKS],
+    /// Per-rank cumulative gate wait (µs), the input of the z-score straggler check.
+    wait_total_us: [AtomicU64; MAX_STRAGGLER_RANKS],
 }
 
 impl Obs {
@@ -60,6 +83,9 @@ impl Obs {
             dir: event_dir.map(Path::to_path_buf),
             metrics,
             server,
+            last_push_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            blocked_since_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            wait_total_us: std::array::from_fn(|_| AtomicU64::new(0)),
         })
     }
 
@@ -82,11 +108,20 @@ impl Obs {
     }
 
     /// Records one structured event when the event log is enabled; a single branch
-    /// otherwise.
+    /// otherwise. The log's dropped-slot count is mirrored into
+    /// `dssp_events_dropped_total` on every record, so a live scrape sees drops as
+    /// they happen instead of only after the flush.
     #[inline]
     pub fn event(&self, kind: EventKind, payload: u64) {
+        self.event_traced(kind, payload, NO_TRACE);
+    }
+
+    /// [`Obs::event`] with a causal trace id stamped into the event.
+    #[inline]
+    pub fn event_traced(&self, kind: EventKind, payload: u64, trace: u64) {
         if let Some(log) = &self.log {
-            log.record(kind, payload);
+            log.record_traced(kind, payload, trace);
+            self.metrics.events_dropped.store(log.dropped(), Relaxed);
         }
     }
 
@@ -119,6 +154,16 @@ impl Obs {
     /// `gate-block`/`gate-release`/`credit-grant` events derived from the reply set,
     /// and a counter sync. `payload` conventions: the worker rank for `push`,
     /// `gate-block` and `gate-release`; the granted r* for `credit-grant`.
+    ///
+    /// `traces` maps worker rank to that rank's outstanding push trace id (a worker
+    /// has at most one push in flight, so one slot per rank suffices); events about a
+    /// rank — including a `gate-release` caused by someone else's push — carry the
+    /// *released* rank's trace, keeping the causal chain attached to the operation
+    /// that actually waited. This hook also feeds the live fleet-health metrics:
+    /// consecutive pushes from a rank bound one round (`dssp_round_time`), a
+    /// block→release window is that push's gate latency (`dssp_push_latency`, 0 for
+    /// immediate grants), and cumulative waits run through the z-score straggler
+    /// check behind the `dssp_straggler` gauge.
     #[inline]
     pub fn on_push(
         &self,
@@ -126,39 +171,103 @@ impl Obs {
         staleness: Option<u64>,
         replies: &[OkReply],
         sl: &ServerLoop,
+        traces: &[u64],
     ) {
-        self.event(EventKind::Push, pusher as u64);
+        let now = now_us();
+        let trace_of = |rank: usize| traces.get(rank).copied().unwrap_or(NO_TRACE);
+        self.event_traced(EventKind::Push, pusher as u64, trace_of(pusher));
         if let Some(staleness) = staleness {
             self.metrics.observe_staleness(staleness);
+        }
+        if pusher < MAX_STRAGGLER_RANKS {
+            let prev = self.last_push_us[pusher].swap(now, Relaxed);
+            if prev != 0 && now > prev {
+                self.metrics.observe_round_time(now - prev);
+            }
         }
         let mut granted = false;
         for reply in replies {
             if reply.worker == pusher {
                 granted = true;
+                self.metrics.observe_push_latency(0);
                 if reply.granted_extra > 0 {
-                    self.event(EventKind::CreditGrant, reply.granted_extra);
+                    self.event_traced(
+                        EventKind::CreditGrant,
+                        reply.granted_extra,
+                        trace_of(pusher),
+                    );
                 }
             } else {
-                self.event(EventKind::GateRelease, reply.worker as u64);
+                self.event_traced(
+                    EventKind::GateRelease,
+                    reply.worker as u64,
+                    trace_of(reply.worker),
+                );
+                if reply.worker < MAX_STRAGGLER_RANKS {
+                    let since = self.blocked_since_us[reply.worker].swap(0, Relaxed);
+                    if since != 0 && now > since {
+                        let wait = now - since;
+                        self.metrics.observe_push_latency(wait);
+                        self.wait_total_us[reply.worker].fetch_add(wait, Relaxed);
+                    }
+                }
             }
         }
         if !granted {
-            self.event(EventKind::GateBlock, pusher as u64);
+            self.event_traced(EventKind::GateBlock, pusher as u64, trace_of(pusher));
+            if pusher < MAX_STRAGGLER_RANKS {
+                self.blocked_since_us[pusher].store(now, Relaxed);
+            }
         }
+        self.update_stragglers();
         self.sync_loop(sl);
+    }
+
+    /// Re-runs the z-score straggler check over every rank that has pushed at least
+    /// once: a rank whose cumulative gate wait sits more than [`STRAGGLER_Z`]
+    /// standard deviations above the fleet mean is flagged on the `dssp_straggler`
+    /// gauge, and unflagged once it catches back up. A fixed sweep over the
+    /// preallocated per-rank slots — no allocation, called from the push hot path.
+    #[inline]
+    fn update_stragglers(&self) {
+        let mut n = 0u64;
+        let mut sum = 0u64;
+        let mut sumsq = 0u128;
+        for rank in 0..MAX_STRAGGLER_RANKS {
+            if self.last_push_us[rank].load(Relaxed) != 0 {
+                let wait = self.wait_total_us[rank].load(Relaxed);
+                n += 1;
+                sum += wait;
+                sumsq += (wait as u128) * (wait as u128);
+            }
+        }
+        if n < 2 {
+            return;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = (sumsq as f64 / n as f64 - mean * mean).max(0.0);
+        let std = var.sqrt();
+        for rank in 0..MAX_STRAGGLER_RANKS {
+            if self.last_push_us[rank].load(Relaxed) != 0 {
+                let wait = self.wait_total_us[rank].load(Relaxed) as f64;
+                let flagged = std > 0.0 && (wait - mean) / std > STRAGGLER_Z;
+                self.metrics.set_straggler(rank, flagged);
+            }
+        }
     }
 
     /// The per-pull hook: one served pull, full or delta (`delta` is whether the
     /// reply actually shipped incrementally, not what the client asked for — the
-    /// exported ratio is the delta *hit* rate).
+    /// exported ratio is the delta *hit* rate). `trace` is the pulling worker's
+    /// trace id ([`NO_TRACE`] when the client predates v6 tracing).
     #[inline]
-    pub fn on_pull(&self, rank: usize, delta: bool) {
+    pub fn on_pull(&self, rank: usize, delta: bool, trace: u64) {
         if delta {
             self.metrics.pulls_delta.fetch_add(1, Relaxed);
         } else {
             self.metrics.pulls_full.fetch_add(1, Relaxed);
         }
-        self.event(EventKind::Pull, rank as u64);
+        self.event_traced(EventKind::Pull, rank as u64, trace);
     }
 
     /// A completed membership join (`JoinRequest`/`JoinAck` exchange).
@@ -227,7 +336,7 @@ mod tests {
     fn disabled_bundle_is_inert_and_flushes_to_nothing() {
         let obs = Obs::new(Role::Server, 0, None, None).unwrap();
         obs.event(EventKind::Push, 1);
-        obs.on_pull(0, true);
+        obs.on_pull(0, true, NO_TRACE);
         obs.on_join(2);
         assert_eq!(obs.flush().unwrap(), None);
         assert!(obs.metrics_addr().is_none());
@@ -244,6 +353,10 @@ mod tests {
         let job = JobConfig::small(PolicyKind::Dssp { s_l: 2, r_max: 4 });
         let sl = ServerLoop::new(&job);
         // Pusher granted with 3 extra credits, worker 1 released alongside.
+        let traces = [
+            dssp_core::events::trace_id(0, 7),
+            dssp_core::events::trace_id(1, 3),
+        ];
         obs.on_push(
             0,
             Some(5),
@@ -258,9 +371,11 @@ mod tests {
                 },
             ],
             &sl,
+            &traces,
         );
-        // Pusher blocked: no reply addressed to it.
-        obs.on_push(2, Some(0), &[], &sl);
+        // Pusher blocked: no reply addressed to it (rank 2 is past the trace table,
+        // so its events carry NO_TRACE — mixed-version fleets stay legal).
+        obs.on_push(2, Some(0), &[], &sl, &traces);
         let path = obs.flush().unwrap().expect("log enabled");
         let text = std::fs::read_to_string(&path).unwrap();
         for needle in [
@@ -271,6 +386,46 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+        // The pusher's events carry its trace; the released worker's release carries
+        // the *released* rank's trace, not the pusher's.
+        let lines: Vec<&str> = text.lines().collect();
+        let release = lines
+            .iter()
+            .find(|l| l.contains("\"gate-release\""))
+            .expect("release line");
+        assert!(
+            release.contains(&format!("\"trace\": {}", dssp_core::events::trace_id(1, 3))),
+            "release should carry rank 1's trace: {release}"
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn straggler_flags_worker_with_outsized_wait() {
+        let obs = Obs::new(Role::Server, 0, None, None).unwrap();
+        let job = JobConfig::small(PolicyKind::Dssp { s_l: 2, r_max: 4 });
+        let sl = ServerLoop::new(&job);
+        let grant = |worker| OkReply {
+            worker,
+            granted_extra: 0,
+        };
+        // Six workers push so they count as active (a lone outlier among n ranks can
+        // reach at most z = √(n−1), so n = 6 clears the 2.0 threshold); worker 3 then
+        // sits blocked for a long window before being released, which should trip the
+        // z-score check.
+        for rank in 0..6 {
+            obs.on_push(rank, None, &[grant(rank)], &sl, &[]);
+        }
+        obs.on_push(3, None, &[], &sl, &[]); // blocked
+        obs.blocked_since_us[3].store(1, Relaxed); // pretend the block started eons ago
+        obs.on_push(0, None, &[grant(0), grant(3)], &sl, &[]); // release rank 3
+        let flags = obs.metrics().straggler_flags();
+        assert_eq!(flags, 1 << 3, "only rank 3 should be flagged: {flags:#b}");
+        // Wait totals equalize: flag must clear.
+        for rank in (0..6).filter(|&r| r != 3) {
+            obs.wait_total_us[rank].store(obs.wait_total_us[3].load(Relaxed), Relaxed);
+        }
+        obs.on_push(1, None, &[grant(1)], &sl, &[]);
+        assert_eq!(obs.metrics().straggler_flags(), 0);
     }
 }

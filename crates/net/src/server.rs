@@ -169,6 +169,10 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
         }
     });
     let mut pulls = PullState::new(job.num_workers);
+    // Per-rank causal trace table: a worker has at most one operation in flight, so
+    // its most recent trace id is the one its gate-block/release events belong to.
+    // NO_TRACE for ranks that have not sent a traced operation yet.
+    let mut last_trace = vec![dssp_core::events::NO_TRACE; job.num_workers];
     let mut helloed = vec![false; job.num_workers];
     let mut replies: Vec<OkReply> = Vec::new();
     let mut elastic = Elastic {
@@ -203,6 +207,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         &start,
                         &mut elastic,
                         &obs,
+                        &last_trace,
                     )?;
                     if sl.all_done() {
                         break;
@@ -269,13 +274,14 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 }
                 evict_client(&mut sl, transport, &mut gate, victim, &start, &obs)?;
             }
-            Message::Pull => {
+            Message::Pull { trace } => {
                 require_helloed(&helloed, rank)?;
+                last_trace[rank] = trace;
                 match gate.as_mut() {
                     Some(g) => g.offer(WorkerEvent::Pull { worker: rank }),
                     None => {
                         match serve_pull(&sl, transport, rank, None) {
-                            Ok(delta) => obs.on_pull(rank, delta),
+                            Ok(delta) => obs.on_pull(rank, delta, trace),
                             Err(_) => {
                                 evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?
                             }
@@ -284,8 +290,12 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                     }
                 }
             }
-            Message::PullDelta { known_versions } => {
+            Message::PullDelta {
+                trace,
+                known_versions,
+            } => {
                 require_helloed(&helloed, rank)?;
+                last_trace[rank] = trace;
                 match gate.as_mut() {
                     Some(g) => {
                         // The gate orders this like any pull; remember the versions it
@@ -295,7 +305,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                     }
                     None => {
                         match serve_pull(&sl, transport, rank, Some(&known_versions)) {
-                            Ok(delta) => obs.on_pull(rank, delta),
+                            Ok(delta) => obs.on_pull(rank, delta, trace),
                             Err(_) => {
                                 evict_client(&mut sl, transport, &mut gate, rank, &start, &obs)?
                             }
@@ -305,8 +315,13 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                 }
                 transport.recycle_u64s(rank, known_versions);
             }
-            Message::Push { iteration, grads } => {
+            Message::Push {
+                iteration,
+                trace,
+                grads,
+            } => {
                 require_helloed(&helloed, rank)?;
+                last_trace[rank] = trace;
                 match gate.as_mut() {
                     Some(g) => g.offer(WorkerEvent::Push {
                         worker: rank,
@@ -321,7 +336,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         let decision = sl.handle_push_slice(rank, &grads, now, &mut replies);
                         transport.recycle_f32s(rank, grads);
                         let granted = replies.iter().any(|r| r.worker == rank);
-                        obs.on_push(rank, Some(decision.staleness), &replies, &sl);
+                        obs.on_push(rank, Some(decision.staleness), &replies, &sl, &last_trace);
                         deliver_replies(&mut sl, transport, &mut gate, &replies, &start, &obs)?;
                         check_abort(&sl)?;
                         elastic.after_push(&sl, granted, &obs)?;
@@ -351,6 +366,7 @@ fn serve_inner(job: &JobConfig, transport: &mut dyn ServerTransport) -> Result<R
                         &start,
                         &mut elastic,
                         &obs,
+                        &last_trace,
                     )?,
                 }
             }
@@ -530,12 +546,17 @@ fn process_event(
     start: &Instant,
     elastic: &mut Elastic,
     obs: &Obs,
+    last_trace: &[u64],
 ) -> Result<(), NetError> {
     if let WorkerEvent::Pull { worker } = event {
         let known = pulls.take(worker);
+        let trace = last_trace
+            .get(worker)
+            .copied()
+            .unwrap_or(dssp_core::events::NO_TRACE);
         // Split the borrow: `known` borrows `pulls`, which `serve_pull` does not touch.
         match serve_pull(sl, transport, worker, known) {
-            Ok(delta) => obs.on_pull(worker, delta),
+            Ok(delta) => obs.on_pull(worker, delta, trace),
             // The puller died awaiting its reply: reap it instead of crashing the run.
             Err(_) => evict_client(sl, transport, gate, worker, start, obs)?,
         }
@@ -550,7 +571,7 @@ fn process_event(
     if let Some(pusher) = pusher {
         // The deterministic replay path has no per-push staleness sample (the
         // decision is consumed inside `handle_gated`); events and counters still flow.
-        obs.on_push(pusher, None, &replies, sl);
+        obs.on_push(pusher, None, &replies, sl, last_trace);
     }
     deliver_replies(sl, transport, gate, &replies, start, obs)?;
     check_abort(sl)?;

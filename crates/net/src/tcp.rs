@@ -319,32 +319,39 @@ fn decode_pooled(
     match payload.first() {
         Some(&TAG_PUSH) => {
             let mut grads = recycled(grads_pool);
-            let iteration = wire::decode_push_into(payload, &mut grads)?;
-            Ok(Message::Push { iteration, grads })
+            let (iteration, trace) = wire::decode_push_into(payload, &mut grads)?;
+            Ok(Message::Push {
+                iteration,
+                trace,
+                grads,
+            })
         }
         Some(&TAG_PUSH_SLICE) => {
             let mut grads = recycled(grads_pool);
-            let (iteration, epoch) = wire::decode_push_slice_into(payload, &mut grads)?;
+            let (iteration, epoch, trace) = wire::decode_push_slice_into(payload, &mut grads)?;
             Ok(Message::PushSlice {
                 iteration,
                 epoch,
+                trace,
                 grads,
             })
         }
         Some(&TAG_PULL_DELTA) => {
             let mut known = recycled(known_pool);
-            wire::decode_pull_delta_into(payload, &mut known)?;
+            let trace = wire::decode_pull_delta_into(payload, &mut known)?;
             Ok(Message::PullDelta {
+                trace,
                 known_versions: known,
             })
         }
         Some(&TAG_PULL_SHARDS) => {
             let mut known = recycled(known_pool);
-            let (all, epoch) = wire::decode_pull_shards_into(payload, &mut known)?;
+            let (all, epoch, trace) = wire::decode_pull_shards_into(payload, &mut known)?;
             Ok(Message::PullShards {
                 known_versions: known,
                 all,
                 epoch,
+                trace,
             })
         }
         _ => Ok(wire::decode(payload)?),
@@ -637,23 +644,24 @@ impl WorkerTransport for TcpWorkerTransport {
         Ok(wire::decode(&self.payload)?)
     }
 
-    fn send_push(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+    fn send_push(&mut self, iteration: u64, trace: u64, grads: &[f32]) -> Result<(), NetError> {
         self.scratch.clear();
-        wire::encode_push(&mut self.scratch, iteration, grads);
+        wire::encode_push(&mut self.scratch, iteration, trace, grads);
         self.flush_scratch()
     }
 
     fn pull_into(
         &mut self,
         delta: bool,
+        trace: u64,
         weights: &mut Vec<f32>,
         versions: &mut Vec<u64>,
     ) -> Result<PullOutcome, NetError> {
         self.scratch.clear();
         if delta && !versions.is_empty() {
-            wire::encode_pull_delta(&mut self.scratch, versions);
+            wire::encode_pull_delta(&mut self.scratch, trace, versions);
         } else {
-            wire::encode_pull(&mut self.scratch);
+            wire::encode_pull(&mut self.scratch, trace);
         }
         self.flush_scratch()?;
         self.recv_pull_apply(weights, versions)
@@ -663,10 +671,11 @@ impl WorkerTransport for TcpWorkerTransport {
         &mut self,
         iteration: u64,
         epoch: u64,
+        trace: u64,
         grads: &[f32],
     ) -> Result<(), NetError> {
         self.scratch.clear();
-        wire::encode_push_slice(&mut self.scratch, iteration, epoch, grads);
+        wire::encode_push_slice(&mut self.scratch, iteration, epoch, trace, grads);
         self.flush_scratch()
     }
 
@@ -675,9 +684,10 @@ impl WorkerTransport for TcpWorkerTransport {
         known_versions: &[u64],
         all: bool,
         epoch: u64,
+        trace: u64,
     ) -> Result<(), NetError> {
         self.scratch.clear();
-        wire::encode_pull_shards(&mut self.scratch, known_versions, all, epoch);
+        wire::encode_pull_shards(&mut self.scratch, known_versions, all, epoch, trace);
         self.flush_scratch()
     }
 
@@ -724,7 +734,7 @@ mod tests {
                     config_digest: 7,
                 })
                 .unwrap();
-            worker.send_push(1, &[0.5, -1.25]).unwrap();
+            worker.send_push(1, 42, &[0.5, -1.25]).unwrap();
             let reply = worker.recv().unwrap();
             assert!(matches!(reply, Message::PushReply { version: 1, .. }));
             let stats = worker.stats();
@@ -743,8 +753,13 @@ mod tests {
         ));
         let (_, push) = server.recv().unwrap();
         match push {
-            Message::Push { iteration, grads } => {
+            Message::Push {
+                iteration,
+                trace,
+                grads,
+            } => {
                 assert_eq!(iteration, 1);
+                assert_eq!(trace, 42);
                 assert_eq!(grads, vec![0.5, -1.25]);
                 server.recycle_f32s(0, grads);
             }
@@ -782,14 +797,20 @@ mod tests {
             let mut weights = Vec::new();
             let mut versions = Vec::new();
             // First pull: no cache yet, must arrive full.
-            match worker.pull_into(true, &mut weights, &mut versions).unwrap() {
+            match worker
+                .pull_into(true, 0, &mut weights, &mut versions)
+                .unwrap()
+            {
                 PullOutcome::Applied(applied) => assert!(applied.full),
                 other => panic!("unexpected: {other:?}"),
             }
             assert_eq!(weights, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
             assert_eq!(versions, vec![1, 1]);
             // Second pull: delta with one stale shard.
-            match worker.pull_into(true, &mut weights, &mut versions).unwrap() {
+            match worker
+                .pull_into(true, 0, &mut weights, &mut versions)
+                .unwrap()
+            {
                 PullOutcome::Applied(applied) => {
                     assert!(!applied.full);
                     assert_eq!(applied.shards_updated, 1);
@@ -807,7 +828,7 @@ mod tests {
         assert!(matches!(hello, Message::Hello { .. }));
         // Full pull.
         let (rank, msg) = server.recv().unwrap();
-        assert!(matches!(msg, Message::Pull));
+        assert!(matches!(msg, Message::Pull { .. }));
         server
             .send_pull_reply(
                 rank,
@@ -826,7 +847,7 @@ mod tests {
         versions[1] = 2;
         let (rank, msg) = server.recv().unwrap();
         let known = match msg {
-            Message::PullDelta { known_versions } => known_versions,
+            Message::PullDelta { known_versions, .. } => known_versions,
             other => panic!("unexpected: {other:?}"),
         };
         assert_eq!(known, vec![1, 1]);
@@ -852,7 +873,7 @@ mod tests {
         let addr = server.local_addr().to_string();
         let client = thread::spawn(move || {
             let mut worker = TcpWorkerTransport::connect(&addr).unwrap();
-            worker.send(&Message::Pull).unwrap();
+            worker.send(&Message::Pull { trace: 0 }).unwrap();
         });
         assert!(matches!(server.recv(), Err(NetError::Protocol(_))));
         client.join().unwrap();

@@ -250,12 +250,14 @@ pub trait WorkerTransport: Send {
     /// Blocks for the next message from the server.
     fn recv(&mut self) -> Result<Message, NetError>;
 
-    /// Pushes one iteration's gradients from a borrowed slice. The TCP transport
-    /// encodes the frame straight from the slice into a pooled buffer; the default
-    /// copies into an owned [`Message::Push`].
-    fn send_push(&mut self, iteration: u64, grads: &[f32]) -> Result<(), NetError> {
+    /// Pushes one iteration's gradients from a borrowed slice, stamped with the
+    /// worker's causal `trace` id. The TCP transport encodes the frame straight from
+    /// the slice into a pooled buffer; the default copies into an owned
+    /// [`Message::Push`].
+    fn send_push(&mut self, iteration: u64, trace: u64, grads: &[f32]) -> Result<(), NetError> {
         self.send(&Message::Push {
             iteration,
+            trace,
             grads: grads.to_vec(),
         })
     }
@@ -263,19 +265,22 @@ pub trait WorkerTransport: Send {
     /// One pull exchange against the caller's weight/version caches: requests a delta
     /// when `delta` is set and `versions` is warm (otherwise a full pull), then
     /// applies the reply in place. `versions` doubles as the request's
-    /// `known_versions` and is updated by the reply.
+    /// `known_versions` and is updated by the reply. The request carries the worker's
+    /// causal `trace` id.
     fn pull_into(
         &mut self,
         delta: bool,
+        trace: u64,
         weights: &mut Vec<f32>,
         versions: &mut Vec<u64>,
     ) -> Result<PullOutcome, NetError> {
         if delta && !versions.is_empty() {
             self.send(&Message::PullDelta {
+                trace,
                 known_versions: versions.clone(),
             })?;
         } else {
-            self.send(&Message::Pull)?;
+            self.send(&Message::Pull { trace })?;
         }
         let msg = self.recv()?;
         apply_pull_message(msg, weights, versions)
@@ -291,11 +296,13 @@ pub trait WorkerTransport: Send {
         &mut self,
         iteration: u64,
         epoch: u64,
+        trace: u64,
         grads: &[f32],
     ) -> Result<(), NetError> {
         self.send(&Message::PushSlice {
             iteration,
             epoch,
+            trace,
             grads: grads.to_vec(),
         })
     }
@@ -309,11 +316,13 @@ pub trait WorkerTransport: Send {
         known_versions: &[u64],
         all: bool,
         epoch: u64,
+        trace: u64,
     ) -> Result<(), NetError> {
         self.send(&Message::PullShards {
             known_versions: known_versions.to_vec(),
             all,
             epoch,
+            trace,
         })
     }
 
@@ -411,10 +420,10 @@ mod tests {
     #[test]
     fn loopback_routes_by_rank() {
         let (mut server, mut workers) = loopback(2);
-        workers[1].send(&Message::Pull).unwrap();
+        workers[1].send(&Message::Pull { trace: 0 }).unwrap();
         let (rank, msg) = server.recv().unwrap();
         assert_eq!(rank, 1);
-        assert_eq!(msg, Message::Pull);
+        assert_eq!(msg, Message::Pull { trace: 0 });
         server
             .send(
                 0,

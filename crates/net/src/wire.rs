@@ -83,8 +83,13 @@
 /// clock channel, shard-scoped `PushSlice`/`PullShards`, and the deterministic-mode
 /// and stats handshakes); version 5 added live shard migration (the epoch-stamped
 /// `Migrate*`/`LayoutUpdate`/`EpochRefused` family, layout epochs on the bulk
-/// messages, and the `Drain`/`Rebalance` admin channel).
-pub const PROTOCOL_VERSION: u16 = 5;
+/// messages, and the `Drain`/`Rebalance` admin channel); version 6 added the causal
+/// trace id — a `(rank, seq)` pair packed into a `u64` (see `dssp_core::events`) —
+/// to every worker-originated operation (`Push`, `Pull`, `PullDelta`, `ClockPush`,
+/// `PushSlice`, `PullShards`) and to the coordinator-driven migration legs
+/// (`MigrateRequest`, `MigrateShard`), so receivers can stamp the id into their
+/// event logs and the offline analyzer can join per-role timelines.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// The `shard` value in a [`Message::MigrateAck`] acknowledging a control step
 /// (prepare or commit) rather than one shard's transfer.
@@ -133,6 +138,8 @@ pub enum Message {
     Push {
         /// 1-based iteration number of this push.
         iteration: u64,
+        /// Causal trace id (`dssp_core::events::trace_id`), or 0 for untraced.
+        trace: u64,
         /// Flat gradient vector.
         grads: Vec<f32>,
     },
@@ -147,7 +154,10 @@ pub enum Message {
     },
     /// Worker → server: request the current global weights in full (first contact, or
     /// delta pulls disabled).
-    Pull,
+    Pull {
+        /// Causal trace id (`dssp_core::events::trace_id`), or 0 for untraced.
+        trace: u64,
+    },
     /// Server → worker: the current global weights.
     PullReply {
         /// Server weight version (total pushes applied).
@@ -162,6 +172,8 @@ pub enum Message {
     /// [`Message::PullReplyDelta`], or a full [`Message::PullReply`] when the version
     /// vector is incompatible.
     PullDelta {
+        /// Causal trace id (`dssp_core::events::trace_id`), or 0 for untraced.
+        trace: u64,
         /// The per-shard versions the worker already holds, in shard order.
         known_versions: Vec<u64>,
     },
@@ -214,6 +226,8 @@ pub enum Message {
     ClockPush {
         /// 1-based iteration number of the push.
         iteration: u64,
+        /// Causal trace id (`dssp_core::events::trace_id`), or 0 for untraced.
+        trace: u64,
     },
     /// Coordinator → worker: the `OK` of Algorithm 1 for a group run (the group
     /// analogue of [`Message::PushReply`]). Sent immediately or deferred, according to
@@ -246,6 +260,8 @@ pub enum Message {
         /// refuses the slice with [`Message::EpochRefused`] instead of applying it to
         /// the wrong key range.
         epoch: u64,
+        /// Causal trace id (`dssp_core::events::trace_id`), or 0 for untraced.
+        trace: u64,
         /// The gradient run for the server's key range (its owned shards, in order).
         grads: Vec<f32>,
     },
@@ -267,6 +283,8 @@ pub enum Message {
         all: bool,
         /// The layout epoch the sender routed against (see [`Message::PushSlice`]).
         epoch: u64,
+        /// Causal trace id (`dssp_core::events::trace_id`), or 0 for untraced.
+        trace: u64,
     },
     /// Worker → coordinator (deterministic mode only): the worker's pull fan-out
     /// completed on every shard server; mutating events may be dispatched again.
@@ -329,6 +347,8 @@ pub enum Message {
         epoch: u64,
         /// Global index of the shard to extract.
         shard: u32,
+        /// Causal trace id of this migration leg (rank slot `num_workers`), or 0.
+        trace: u64,
     },
     /// One migrating shard's complete state. Source server → coordinator in reply to
     /// [`Message::MigrateRequest`]; relayed verbatim coordinator → destination server
@@ -341,6 +361,8 @@ pub enum Message {
         /// The shard's update version (carried so the destination's version vector
         /// stays bitwise-equal to a never-migrated group's).
         version: u64,
+        /// Causal trace id of this migration leg (rank slot `num_workers`), or 0.
+        trace: u64,
         /// The shard's weights (its full key range).
         weights: Vec<f32>,
         /// The shard's SGD momentum slice, same length as `weights` (empty when the
@@ -430,7 +452,7 @@ impl Message {
             Message::Hello { .. } => TAG_HELLO,
             Message::Push { .. } => TAG_PUSH,
             Message::PushReply { .. } => 3,
-            Message::Pull => 4,
+            Message::Pull { .. } => 4,
             Message::PullReply { .. } => TAG_PULL_REPLY,
             Message::Done { .. } => 6,
             Message::Shutdown { .. } => TAG_SHUTDOWN,
@@ -743,7 +765,11 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&num_workers.to_le_bytes());
             buf.extend_from_slice(&config_digest.to_le_bytes());
         }
-        Message::Push { iteration, grads } => encode_push(buf, *iteration, grads),
+        Message::Push {
+            iteration,
+            trace,
+            grads,
+        } => encode_push(buf, *iteration, *trace, grads),
         Message::PushReply {
             granted_extra,
             version,
@@ -752,13 +778,16 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&granted_extra.to_le_bytes());
             buf.extend_from_slice(&version.to_le_bytes());
         }
-        Message::Pull => buf.push(msg.tag()),
+        Message::Pull { trace } => encode_pull(buf, *trace),
         Message::PullReply {
             clock,
             shard_versions,
             weights,
         } => encode_pull_reply(buf, *clock, shard_versions, weights),
-        Message::PullDelta { known_versions } => encode_pull_delta(buf, known_versions),
+        Message::PullDelta {
+            trace,
+            known_versions,
+        } => encode_pull_delta(buf, *trace, known_versions),
         Message::PullReplyDelta { clock, updates } => encode_pull_reply_delta(
             buf,
             *clock,
@@ -797,9 +826,10 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&servers.to_le_bytes());
             buf.extend_from_slice(&server_index.to_le_bytes());
         }
-        Message::ClockPush { iteration } => {
+        Message::ClockPush { iteration, trace } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&iteration.to_le_bytes());
+            buf.extend_from_slice(&trace.to_le_bytes());
         }
         Message::ClockGrant {
             granted_extra,
@@ -817,8 +847,9 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
         Message::PushSlice {
             iteration,
             epoch,
+            trace,
             grads,
-        } => encode_push_slice(buf, *iteration, *epoch, grads),
+        } => encode_push_slice(buf, *iteration, *epoch, *trace, grads),
         Message::SliceAck { version } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&version.to_le_bytes());
@@ -827,7 +858,8 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             known_versions,
             all,
             epoch,
-        } => encode_pull_shards(buf, known_versions, *all, *epoch),
+            trace,
+        } => encode_pull_shards(buf, known_versions, *all, *epoch, *trace),
         Message::PullDone => buf.push(msg.tag()),
         Message::StatsRequest => buf.push(msg.tag()),
         Message::StatsReply {
@@ -865,7 +897,17 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.push(msg.tag());
             buf.extend_from_slice(&epoch.to_le_bytes());
         }
-        Message::MigrateRequest { epoch, shard } | Message::MigrateAck { epoch, shard } => {
+        Message::MigrateRequest {
+            epoch,
+            shard,
+            trace,
+        } => {
+            buf.push(msg.tag());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&shard.to_le_bytes());
+            buf.extend_from_slice(&trace.to_le_bytes());
+        }
+        Message::MigrateAck { epoch, shard } => {
             buf.push(msg.tag());
             buf.extend_from_slice(&epoch.to_le_bytes());
             buf.extend_from_slice(&shard.to_le_bytes());
@@ -874,9 +916,10 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             epoch,
             shard,
             version,
+            trace,
             weights,
             velocity,
-        } => encode_migrate_shard(buf, *epoch, *shard, *version, weights, velocity),
+        } => encode_migrate_shard(buf, *epoch, *shard, *version, *trace, weights, velocity),
         Message::LayoutUpdate { epoch, assignment }
         | Message::EpochRefused { epoch, assignment } => {
             buf.push(msg.tag());
@@ -905,40 +948,51 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
 
 /// Appends a [`Message::Push`] payload built from a borrowed gradient slice — the
 /// worker's zero-copy push path (no owned `Message` is materialized).
-pub fn encode_push(buf: &mut Vec<u8>, iteration: u64, grads: &[f32]) {
+pub fn encode_push(buf: &mut Vec<u8>, iteration: u64, trace: u64, grads: &[f32]) {
     buf.push(TAG_PUSH);
     buf.extend_from_slice(&iteration.to_le_bytes());
+    buf.extend_from_slice(&trace.to_le_bytes());
     put_f32s(buf, grads);
 }
 
 /// Appends a [`Message::Pull`] payload.
-pub fn encode_pull(buf: &mut Vec<u8>) {
+pub fn encode_pull(buf: &mut Vec<u8>, trace: u64) {
     buf.push(4);
+    buf.extend_from_slice(&trace.to_le_bytes());
 }
 
 /// Appends a [`Message::PullDelta`] payload built from a borrowed version slice.
-pub fn encode_pull_delta(buf: &mut Vec<u8>, known_versions: &[u64]) {
+pub fn encode_pull_delta(buf: &mut Vec<u8>, trace: u64, known_versions: &[u64]) {
     buf.push(TAG_PULL_DELTA);
+    buf.extend_from_slice(&trace.to_le_bytes());
     put_u64s(buf, known_versions);
 }
 
 /// Appends a [`Message::PushSlice`] payload built from a borrowed gradient slice — a
 /// group worker's zero-copy push path: the grads are the sub-slice of its full
 /// gradient buffer covering one shard server's key range under layout `epoch`.
-pub fn encode_push_slice(buf: &mut Vec<u8>, iteration: u64, epoch: u64, grads: &[f32]) {
+pub fn encode_push_slice(buf: &mut Vec<u8>, iteration: u64, epoch: u64, trace: u64, grads: &[f32]) {
     buf.push(TAG_PUSH_SLICE);
     buf.extend_from_slice(&iteration.to_le_bytes());
     buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&trace.to_le_bytes());
     put_f32s(buf, grads);
 }
 
 /// Appends a [`Message::PullShards`] payload built from a borrowed version slice (the
 /// sub-range of the client's global version cache owned by one shard server under
 /// layout `epoch`).
-pub fn encode_pull_shards(buf: &mut Vec<u8>, known_versions: &[u64], all: bool, epoch: u64) {
+pub fn encode_pull_shards(
+    buf: &mut Vec<u8>,
+    known_versions: &[u64],
+    all: bool,
+    epoch: u64,
+    trace: u64,
+) {
     buf.push(TAG_PULL_SHARDS);
     buf.push(u8::from(all));
     buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&trace.to_le_bytes());
     put_u64s(buf, known_versions);
 }
 
@@ -950,6 +1004,7 @@ pub fn encode_migrate_shard(
     epoch: u64,
     shard: u32,
     version: u64,
+    trace: u64,
     weights: &[f32],
     velocity: &[f32],
 ) {
@@ -957,6 +1012,7 @@ pub fn encode_migrate_shard(
     buf.extend_from_slice(&epoch.to_le_bytes());
     buf.extend_from_slice(&shard.to_le_bytes());
     buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&trace.to_le_bytes());
     put_f32s(buf, weights);
     put_f32s(buf, velocity);
 }
@@ -1049,6 +1105,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         }
         11 => Message::ClockPush {
             iteration: r.u64()?,
+            trace: r.u64()?,
         },
         12 => Message::ClockGrant {
             granted_extra: r.u64()?,
@@ -1061,6 +1118,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         TAG_PUSH_SLICE => Message::PushSlice {
             iteration: r.u64()?,
             epoch: r.u64()?,
+            trace: r.u64()?,
             grads: r.f32s()?,
         },
         16 => Message::SliceAck { version: r.u64()? },
@@ -1073,6 +1131,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             Message::PullShards {
                 all,
                 epoch: r.u64()?,
+                trace: r.u64()?,
                 known_versions: r.u64s()?,
             }
         }
@@ -1097,11 +1156,13 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         25 => Message::MigrateRequest {
             epoch: r.u64()?,
             shard: r.u32()?,
+            trace: r.u64()?,
         },
         TAG_MIGRATE_SHARD => Message::MigrateShard {
             epoch: r.u64()?,
             shard: r.u32()?,
             version: r.u64()?,
+            trace: r.u64()?,
             weights: r.f32s()?,
             velocity: r.f32s()?,
         },
@@ -1137,13 +1198,14 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         }
         TAG_PUSH => Message::Push {
             iteration: r.u64()?,
+            trace: r.u64()?,
             grads: r.f32s()?,
         },
         3 => Message::PushReply {
             granted_extra: r.u64()?,
             version: r.u64()?,
         },
-        4 => Message::Pull,
+        4 => Message::Pull { trace: r.u64()? },
         TAG_PULL_REPLY => Message::PullReply {
             clock: r.u64()?,
             shard_versions: r.u64s()?,
@@ -1156,6 +1218,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         },
         TAG_SHUTDOWN => Message::Shutdown { reason: r.u8()? },
         TAG_PULL_DELTA => Message::PullDelta {
+            trace: r.u64()?,
             known_versions: r.u64s()?,
         },
         TAG_PULL_REPLY_DELTA => {
@@ -1181,48 +1244,51 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
 }
 
 /// Decodes a [`Message::Push`] payload into a caller-owned gradient buffer (cleared
-/// first; no allocation once warm) and returns the push's iteration number. Same
-/// strictness as [`decode`].
+/// first; no allocation once warm) and returns the push's `(iteration, trace)` pair.
+/// Same strictness as [`decode`].
 ///
 /// Returns [`WireError::UnknownTag`] if the payload is not a `Push`.
-pub fn decode_push_into(payload: &[u8], grads: &mut Vec<f32>) -> Result<u64, WireError> {
+pub fn decode_push_into(payload: &[u8], grads: &mut Vec<f32>) -> Result<(u64, u64), WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     if tag != TAG_PUSH {
         return Err(WireError::UnknownTag(tag));
     }
     let iteration = r.u64()?;
+    let trace = r.u64()?;
     grads.clear();
     r.f32s_into(grads)?;
     r.finish()?;
-    Ok(iteration)
+    Ok((iteration, trace))
 }
 
 /// Decodes a [`Message::PullDelta`] payload into a caller-owned version buffer
-/// (cleared first; no allocation once warm). Same strictness as [`decode`].
+/// (cleared first; no allocation once warm) and returns the pull's trace id. Same
+/// strictness as [`decode`].
 ///
 /// Returns [`WireError::UnknownTag`] if the payload is not a `PullDelta`.
-pub fn decode_pull_delta_into(payload: &[u8], known: &mut Vec<u64>) -> Result<(), WireError> {
+pub fn decode_pull_delta_into(payload: &[u8], known: &mut Vec<u64>) -> Result<u64, WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     if tag != TAG_PULL_DELTA {
         return Err(WireError::UnknownTag(tag));
     }
+    let trace = r.u64()?;
     known.clear();
     r.u64s_into(known)?;
     r.finish()?;
-    Ok(())
+    Ok(trace)
 }
 
 /// Decodes a [`Message::PushSlice`] payload into a caller-owned gradient buffer
 /// (cleared first; no allocation once warm) and returns the push's
-/// `(iteration, epoch)` pair. Same strictness as [`decode`].
+/// `(iteration, epoch, trace)` triple. Same strictness as [`decode`].
 ///
 /// Returns [`WireError::UnknownTag`] if the payload is not a `PushSlice`.
 pub fn decode_push_slice_into(
     payload: &[u8],
     grads: &mut Vec<f32>,
-) -> Result<(u64, u64), WireError> {
+) -> Result<(u64, u64, u64), WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     if tag != TAG_PUSH_SLICE {
@@ -1230,21 +1296,22 @@ pub fn decode_push_slice_into(
     }
     let iteration = r.u64()?;
     let epoch = r.u64()?;
+    let trace = r.u64()?;
     grads.clear();
     r.f32s_into(grads)?;
     r.finish()?;
-    Ok((iteration, epoch))
+    Ok((iteration, epoch, trace))
 }
 
 /// Decodes a [`Message::PullShards`] payload into a caller-owned version buffer
-/// (cleared first; no allocation once warm) and returns the `(all, epoch)` pair.
-/// Same strictness as [`decode`].
+/// (cleared first; no allocation once warm) and returns the `(all, epoch, trace)`
+/// triple. Same strictness as [`decode`].
 ///
 /// Returns [`WireError::UnknownTag`] if the payload is not a `PullShards`.
 pub fn decode_pull_shards_into(
     payload: &[u8],
     known: &mut Vec<u64>,
-) -> Result<(bool, u64), WireError> {
+) -> Result<(bool, u64, u64), WireError> {
     let mut r = Reader::new(payload);
     let tag = r.u8()?;
     if tag != TAG_PULL_SHARDS {
@@ -1256,10 +1323,11 @@ pub fn decode_pull_shards_into(
         other => return Err(WireError::UnknownTag(other)),
     };
     let epoch = r.u64()?;
+    let trace = r.u64()?;
     known.clear();
     r.u64s_into(known)?;
     r.finish()?;
-    Ok((all, epoch))
+    Ok((all, epoch, trace))
 }
 
 /// What [`apply_pull_reply`] reconstructed from a pull reply payload.
@@ -1551,19 +1619,22 @@ mod tests {
             },
             Message::Push {
                 iteration: 7,
+                trace: (2u64 << 32) | 7,
                 grads: vec![1.5, -0.25, f32::MIN_POSITIVE, -0.0],
             },
             Message::PushReply {
                 granted_extra: 3,
                 version: 41,
             },
-            Message::Pull,
+            Message::Pull { trace: 0 },
+            Message::Pull { trace: u64::MAX },
             Message::PullReply {
                 clock: 99,
                 shard_versions: vec![99, 98, 99],
                 weights: vec![0.125; 9],
             },
             Message::PullDelta {
+                trace: (2u64 << 32) | 8,
                 known_versions: vec![4, 0, u64::MAX],
             },
             Message::PullReplyDelta {
@@ -1597,7 +1668,10 @@ mod tests {
                 servers: 4,
                 server_index: 2,
             },
-            Message::ClockPush { iteration: 17 },
+            Message::ClockPush {
+                iteration: 17,
+                trace: (1u64 << 32) | 17,
+            },
             Message::ClockGrant {
                 granted_extra: 2,
                 version: 40,
@@ -1607,6 +1681,7 @@ mod tests {
             Message::PushSlice {
                 iteration: 9,
                 epoch: 1,
+                trace: (3u64 << 32) | 9,
                 grads: vec![0.5, -2.0, 1e-6],
             },
             Message::SliceAck { version: 9 },
@@ -1614,11 +1689,13 @@ mod tests {
                 known_versions: vec![7, 7, 8],
                 all: false,
                 epoch: 0,
+                trace: (3u64 << 32) | 10,
             },
             Message::PullShards {
                 known_versions: vec![],
                 all: true,
                 epoch: 3,
+                trace: 0,
             },
             Message::PullDone,
             Message::StatsRequest,
@@ -1643,11 +1720,16 @@ mod tests {
             },
             Message::Evict { rank: 2 },
             Message::MigratePrepare { epoch: 5 },
-            Message::MigrateRequest { epoch: 5, shard: 3 },
+            Message::MigrateRequest {
+                epoch: 5,
+                shard: 3,
+                trace: (4u64 << 32) | 1,
+            },
             Message::MigrateShard {
                 epoch: 5,
                 shard: 3,
                 version: 120,
+                trace: (4u64 << 32) | 1,
                 weights: vec![1.0, -0.5, f32::MIN_POSITIVE],
                 velocity: vec![0.25, -0.0, 3e-12],
             },
@@ -1655,6 +1737,7 @@ mod tests {
                 epoch: 5,
                 shard: 3,
                 version: 120,
+                trace: 0,
                 weights: vec![2.0],
                 velocity: vec![], // momentum-free job
             },
@@ -1697,13 +1780,15 @@ mod tests {
     #[test]
     fn group_borrowed_encoders_match_the_owned_message_encoding() {
         let grads = vec![0.25, -0.75];
+        let trace = (6u64 << 32) | 4;
         let mut borrowed = Vec::new();
-        encode_push_slice(&mut borrowed, 4, 2, &grads);
+        encode_push_slice(&mut borrowed, 4, 2, trace, &grads);
         let mut owned = Vec::new();
         encode(
             &Message::PushSlice {
                 iteration: 4,
                 epoch: 2,
+                trace,
                 grads: grads.clone(),
             },
             &mut owned,
@@ -1713,13 +1798,14 @@ mod tests {
         let known = vec![1u64, 9];
         for all in [false, true] {
             let mut borrowed = Vec::new();
-            encode_pull_shards(&mut borrowed, &known, all, 1);
+            encode_pull_shards(&mut borrowed, &known, all, 1, trace);
             let mut owned = Vec::new();
             encode(
                 &Message::PullShards {
                     known_versions: known.clone(),
                     all,
                     epoch: 1,
+                    trace,
                 },
                 &mut owned,
             );
@@ -1729,13 +1815,14 @@ mod tests {
         let weights = vec![0.5, f32::NAN];
         let velocity = vec![-0.25, 0.0];
         let mut borrowed = Vec::new();
-        encode_migrate_shard(&mut borrowed, 3, 7, 55, &weights, &velocity);
+        encode_migrate_shard(&mut borrowed, 3, 7, 55, trace, &weights, &velocity);
         let mut owned = Vec::new();
         encode(
             &Message::MigrateShard {
                 epoch: 3,
                 shard: 7,
                 version: 55,
+                trace,
                 weights: weights.clone(),
                 velocity: velocity.clone(),
             },
@@ -1747,9 +1834,9 @@ mod tests {
     #[test]
     fn group_pooled_decoders_match_the_owned_decode() {
         let mut buf = Vec::new();
-        encode_push_slice(&mut buf, 6, 2, &[3.0, -4.0]);
+        encode_push_slice(&mut buf, 6, 2, 77, &[3.0, -4.0]);
         let mut grads = vec![1.0; 5]; // stale content must be cleared
-        assert_eq!(decode_push_slice_into(&buf, &mut grads), Ok((6, 2)));
+        assert_eq!(decode_push_slice_into(&buf, &mut grads), Ok((6, 2, 77)));
         assert_eq!(grads, vec![3.0, -4.0]);
         assert_eq!(
             decode_push_slice_into(&[4u8], &mut grads),
@@ -1757,9 +1844,9 @@ mod tests {
         );
 
         let mut buf = Vec::new();
-        encode_pull_shards(&mut buf, &[2, 3], true, 1);
+        encode_pull_shards(&mut buf, &[2, 3], true, 1, 78);
         let mut known = vec![0u64; 4];
-        assert_eq!(decode_pull_shards_into(&buf, &mut known), Ok((true, 1)));
+        assert_eq!(decode_pull_shards_into(&buf, &mut known), Ok((true, 1, 78)));
         assert_eq!(known, vec![2, 3]);
         // A corrupt bool discriminant is rejected, not guessed at.
         buf[1] = 7;
@@ -1774,6 +1861,7 @@ mod tests {
         encode(
             &Message::Push {
                 iteration: 1,
+                trace: 0,
                 grads: grads.clone(),
             },
             &mut buf,
@@ -1836,24 +1924,33 @@ mod tests {
     #[test]
     fn borrowed_encoders_match_the_owned_message_encoding() {
         let grads = vec![0.5, -1.5, 3.25];
+        let trace = (1u64 << 32) | 9;
         let mut borrowed = Vec::new();
-        encode_push(&mut borrowed, 9, &grads);
+        encode_push(&mut borrowed, 9, trace, &grads);
         let mut owned = Vec::new();
         encode(
             &Message::Push {
                 iteration: 9,
+                trace,
                 grads: grads.clone(),
             },
             &mut owned,
         );
         assert_eq!(borrowed, owned);
 
+        let mut borrowed = Vec::new();
+        encode_pull(&mut borrowed, trace);
+        let mut owned = Vec::new();
+        encode(&Message::Pull { trace }, &mut owned);
+        assert_eq!(borrowed, owned);
+
         let known = vec![3u64, 7, 0];
         let mut borrowed = Vec::new();
-        encode_pull_delta(&mut borrowed, &known);
+        encode_pull_delta(&mut borrowed, trace, &known);
         let mut owned = Vec::new();
         encode(
             &Message::PullDelta {
+                trace,
                 known_versions: known,
             },
             &mut owned,
@@ -1881,19 +1978,19 @@ mod tests {
     #[test]
     fn pooled_decoders_match_the_owned_decode() {
         let mut buf = Vec::new();
-        encode_push(&mut buf, 21, &[1.0, -2.0]);
+        encode_push(&mut buf, 21, 99, &[1.0, -2.0]);
         let mut grads = vec![9.0; 7]; // stale content must be cleared
-        assert_eq!(decode_push_into(&buf, &mut grads), Ok(21));
+        assert_eq!(decode_push_into(&buf, &mut grads), Ok((21, 99)));
         assert_eq!(grads, vec![1.0, -2.0]);
         assert_eq!(
-            decode_push_into(&[4u8], &mut grads),
+            decode_push_into(&[4u8, 0, 0, 0, 0, 0, 0, 0, 0], &mut grads),
             Err(WireError::UnknownTag(4))
         );
 
         let mut buf = Vec::new();
-        encode_pull_delta(&mut buf, &[5, 6]);
+        encode_pull_delta(&mut buf, 100, &[5, 6]);
         let mut known = vec![0u64; 3];
-        decode_pull_delta_into(&buf, &mut known).unwrap();
+        assert_eq!(decode_pull_delta_into(&buf, &mut known), Ok(100));
         assert_eq!(known, vec![5, 6]);
     }
 
@@ -1968,9 +2065,12 @@ mod tests {
         let mut messages = vec![
             Message::Push {
                 iteration: 3,
+                trace: (1u64 << 32) | 3,
                 grads: vec![1.0, 2.0],
             },
+            Message::Pull { trace: 5 },
             Message::PullDelta {
+                trace: (1u64 << 32) | 4,
                 known_versions: vec![1, 2, 3],
             },
             Message::PullReplyDelta {
@@ -1992,12 +2092,18 @@ mod tests {
             Message::PushSlice {
                 iteration: 2,
                 epoch: 0,
+                trace: 9,
                 grads: vec![1.0],
             },
             Message::PullShards {
                 known_versions: vec![5],
                 all: false,
                 epoch: 0,
+                trace: 9,
+            },
+            Message::ClockPush {
+                iteration: 4,
+                trace: 9,
             },
             Message::StatsReply {
                 pushes: 1,
@@ -2017,6 +2123,7 @@ mod tests {
                 epoch: 1,
                 shard: 0,
                 version: 3,
+                trace: 9,
                 weights: vec![1.0, 2.0],
                 velocity: vec![3.0, 4.0],
             },
@@ -2033,7 +2140,11 @@ mod tests {
                 accepted: false,
                 reason: "nope".into(),
             },
-            Message::MigrateRequest { epoch: 1, shard: 2 },
+            Message::MigrateRequest {
+                epoch: 1,
+                shard: 2,
+                trace: 9,
+            },
         ];
         for msg in messages.drain(..) {
             let mut buf = Vec::new();
@@ -2048,7 +2159,7 @@ mod tests {
     #[test]
     fn trailing_bytes_are_rejected() {
         let mut buf = Vec::new();
-        encode(&Message::Pull, &mut buf);
+        encode(&Message::Pull { trace: 0 }, &mut buf);
         buf.push(0);
         assert_eq!(decode(&buf), Err(WireError::TrailingBytes { extra: 1 }));
     }
@@ -2075,6 +2186,7 @@ mod tests {
         // Push with a declared gradient count of u32::MAX but no data.
         let mut buf = vec![2u8];
         buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // trace id
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode(&buf), Err(WireError::BadLength { .. })));
         // Delta reply with a declared update count of u32::MAX but no data.
@@ -2100,12 +2212,14 @@ mod tests {
     #[test]
     fn frames_round_trip_through_a_stream() {
         let messages = vec![
-            Message::Pull,
+            Message::Pull { trace: 1 },
             Message::Push {
                 iteration: 1,
+                trace: 2,
                 grads: vec![0.5; 3],
             },
             Message::PullDelta {
+                trace: 3,
                 known_versions: vec![8, 9],
             },
             Message::Shutdown {
@@ -2133,18 +2247,19 @@ mod tests {
         let mut scratch = Vec::new();
         let big = Message::Push {
             iteration: 1,
+            trace: 0,
             grads: vec![1.0; 64],
         };
         write_frame(&mut stream, &big, &mut scratch).unwrap();
-        write_frame(&mut stream, &Message::Pull, &mut scratch).unwrap();
+        write_frame(&mut stream, &Message::Pull { trace: 7 }, &mut scratch).unwrap();
         let mut cursor = std::io::Cursor::new(stream);
         let mut payload = Vec::new();
         let len = read_frame_payload(&mut cursor, &mut payload).unwrap();
         assert_eq!(payload.len(), len);
         let cap_after_big = payload.capacity();
         let len = read_frame_payload(&mut cursor, &mut payload).unwrap();
-        assert_eq!(len, 1);
-        assert_eq!(decode(&payload), Ok(Message::Pull));
+        assert_eq!(len, 9);
+        assert_eq!(decode(&payload), Ok(Message::Pull { trace: 7 }));
         assert_eq!(payload.capacity(), cap_after_big, "buffer must be reused");
     }
 
@@ -2179,6 +2294,7 @@ mod tests {
     fn vectored_frame_writes_survive_partial_writes() {
         let msg = Message::Push {
             iteration: 5,
+            trace: (2u64 << 32) | 5,
             grads: vec![0.25; 11],
         };
         let mut scratch = Vec::new();

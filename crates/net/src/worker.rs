@@ -18,7 +18,7 @@ use crate::transport::{PullOutcome, WorkerTransport};
 use crate::wire::{Message, PROTOCOL_VERSION, SHUTDOWN_OK};
 use crate::NetError;
 use dssp_core::driver::{FaultPhase, FaultRole, JobConfig, WorkerStep};
-use dssp_core::events::{EventKind, EventLog, Role};
+use dssp_core::events::{trace_id, EventKind, EventLog, Role, SpanOp};
 use std::time::Instant;
 
 /// Records one structured event when the worker's event log is enabled.
@@ -26,6 +26,39 @@ use std::time::Instant;
 fn ev(log: Option<&EventLog>, kind: EventKind, payload: u64) {
     if let Some(log) = log {
         log.record(kind, payload);
+    }
+}
+
+/// Records one traced event when the worker's event log is enabled.
+#[inline]
+fn ev_traced(log: Option<&EventLog>, kind: EventKind, payload: u64, trace: u64) {
+    if let Some(log) = log {
+        log.record_traced(kind, payload, trace);
+    }
+}
+
+/// This worker's causal trace-id source: a per-rank sequence starting at 1 (so id 0
+/// stays [`dssp_core::events::NO_TRACE`]), one fresh id per worker-originated
+/// operation. The id rides the v6 wire frames and is stamped into both ends' event
+/// logs, which is what lets `repro analyze` join a worker's span to the server
+/// events it caused.
+struct TraceSource {
+    rank: u32,
+    seq: u32,
+}
+
+impl TraceSource {
+    fn new(rank: usize) -> Self {
+        Self {
+            rank: rank as u32,
+            seq: 0,
+        }
+    }
+
+    /// Mints the next trace id.
+    fn next(&mut self) -> u64 {
+        self.seq = self.seq.wrapping_add(1);
+        trace_id(self.rank, self.seq)
     }
 }
 
@@ -142,12 +175,16 @@ fn run_worker_inner(
     // This process's structured chaos hook, if the plan targets this rank.
     let fault = job.fault_plan.filter(|p| p.role == FaultRole::Worker(rank));
     let mut pulls_done: u64 = 0;
+    let mut traces = TraceSource::new(rank);
 
     // Initial pull: the version cache is empty, so this is always a full pull.
-    match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
+    let pull_trace = traces.next();
+    ev_traced(log, EventKind::SpanBegin, SpanOp::Pull.code(), pull_trace);
+    match transport.pull_into(job.delta_pulls, pull_trace, &mut weights, &mut versions)? {
         PullOutcome::Applied(applied) => {
             record_pull(&mut report, applied.full);
-            ev(log, EventKind::Pull, applied.clock);
+            ev_traced(log, EventKind::Pull, applied.clock, pull_trace);
+            ev_traced(log, EventKind::SpanEnd, SpanOp::Pull.code(), pull_trace);
         }
         PullOutcome::Shutdown { .. } => {
             report.shutdown_early = true;
@@ -163,24 +200,36 @@ fn run_worker_inner(
         step.compute_gradient_into(&weights, &mut grads);
         report.iterations = step.completed();
         report.epochs = step.epoch();
-        transport.send_push(iter + 1, &grads)?;
-        ev(log, EventKind::Push, iter + 1);
+        // One trace id per push; its span covers the send plus the gate wait, so the
+        // analyzer can split "network + apply" from "blocked on the DSSP gate".
+        let push_trace = traces.next();
+        ev_traced(log, EventKind::SpanBegin, SpanOp::Push.code(), push_trace);
+        transport.send_push(iter + 1, push_trace, &grads)?;
+        ev_traced(log, EventKind::Push, iter + 1, push_trace);
         fault_due(fault.as_ref(), FaultPhase::Push, iter + 1)?;
         if iter + 1 == target {
-            break; // final push: report Done without waiting for the OK
+            // Final push: report Done without waiting for the OK.
+            ev_traced(log, EventKind::SpanEnd, SpanOp::Push.code(), push_trace);
+            break;
         }
         fault_due(fault.as_ref(), FaultPhase::GateBlocked, iter + 1)?;
-        ev(log, EventKind::GateBlock, iter + 1);
+        ev_traced(log, EventKind::GateBlock, iter + 1, push_trace);
         let wait_start = Instant::now();
         match transport.recv()? {
             Message::PushReply { granted_extra, .. } => {
                 let waited = wait_start.elapsed();
                 report.waiting_time_s += waited.as_secs_f64();
                 report.granted_extra_total += granted_extra;
-                ev(log, EventKind::GateRelease, waited.as_micros() as u64);
+                ev_traced(
+                    log,
+                    EventKind::GateRelease,
+                    waited.as_micros() as u64,
+                    push_trace,
+                );
                 if granted_extra > 0 {
-                    ev(log, EventKind::CreditGrant, granted_extra);
+                    ev_traced(log, EventKind::CreditGrant, granted_extra, push_trace);
                 }
+                ev_traced(log, EventKind::SpanEnd, SpanOp::Push.code(), push_trace);
             }
             Message::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();
@@ -189,11 +238,14 @@ fn run_worker_inner(
             }
             other => return Err(unexpected(rank, &other)),
         }
-        match transport.pull_into(job.delta_pulls, &mut weights, &mut versions)? {
+        let pull_trace = traces.next();
+        ev_traced(log, EventKind::SpanBegin, SpanOp::Pull.code(), pull_trace);
+        match transport.pull_into(job.delta_pulls, pull_trace, &mut weights, &mut versions)? {
             PullOutcome::Applied(applied) => {
                 record_pull(&mut report, applied.full);
                 transport.note_confirmed_clock(applied.clock);
-                ev(log, EventKind::Pull, applied.clock);
+                ev_traced(log, EventKind::Pull, applied.clock, pull_trace);
+                ev_traced(log, EventKind::SpanEnd, SpanOp::Pull.code(), pull_trace);
             }
             PullOutcome::Shutdown { reason } => {
                 report.shutdown_early = reason != SHUTDOWN_OK || !step.finished();

@@ -41,7 +41,7 @@ fn rendered_page_parses_and_keeps_help_type_discipline() {
             .strip_suffix("_bucket")
             .or_else(|| sample.name.strip_suffix("_sum"))
             .or_else(|| sample.name.strip_suffix("_count"))
-            .filter(|f| *f == "dssp_staleness")
+            .filter(|f| ["dssp_staleness", "dssp_round_time", "dssp_push_latency"].contains(f))
             .unwrap_or(&sample.name);
         assert!(
             exp.types.iter().any(|(n, _)| n == family),

@@ -1,8 +1,8 @@
 //! Property-based tests for the structured-event NDJSON codec: encode→parse is the
-//! identity for every role/kind/payload combination, and damaged lines are rejected
-//! rather than misparsed.
+//! identity for every role/kind/payload/trace combination, and damaged lines are
+//! rejected rather than misparsed.
 
-use dssp_core::events::{encode_line, parse_line, Event, EventKind, Role};
+use dssp_core::events::{encode_line, parse_line, trace_id, Event, EventKind, Role};
 use proptest::prelude::*;
 
 /// Picks a role by index (the proptest shim has no enum strategies).
@@ -15,19 +15,9 @@ fn role(variant: u32) -> Role {
     }
 }
 
-/// Picks an event kind by index.
+/// Picks an event kind by index (all 15, spans included).
 fn kind(variant: u32) -> EventKind {
-    match variant % 9 {
-        0 => EventKind::Push,
-        1 => EventKind::Pull,
-        2 => EventKind::GateBlock,
-        3 => EventKind::GateRelease,
-        4 => EventKind::CreditGrant,
-        5 => EventKind::Eviction,
-        6 => EventKind::Join,
-        7 => EventKind::Checkpoint,
-        _ => EventKind::Reconnect,
-    }
+    EventKind::ALL[(variant as usize) % EventKind::ALL.len()]
 }
 
 proptest! {
@@ -36,10 +26,12 @@ proptest! {
     #[test]
     fn encode_then_parse_is_the_identity(
         role_ix in 0u32..4,
-        kind_ix in 0u32..9,
+        kind_ix in 0u32..15,
         ts in 0u64..u64::MAX,
         rank in 0u32..u32::MAX,
         payload in 0u64..u64::MAX,
+        trace_rank in 0u32..u32::MAX,
+        trace_seq in 0u32..u32::MAX,
     ) {
         let event = Event {
             ts,
@@ -47,6 +39,7 @@ proptest! {
             rank,
             kind: kind(kind_ix),
             payload,
+            trace: trace_id(trace_rank, trace_seq),
         };
         let line = encode_line(&event);
         // NDJSON discipline: one line, no raw newline inside it.
@@ -57,10 +50,11 @@ proptest! {
     #[test]
     fn truncated_lines_are_rejected(
         role_ix in 0u32..4,
-        kind_ix in 0u32..9,
+        kind_ix in 0u32..15,
         ts in 0u64..u64::MAX,
         rank in 0u32..u32::MAX,
         payload in 0u64..u64::MAX,
+        trace in 0u64..u64::MAX,
         cut_fraction in 0.0f64..1.0,
     ) {
         let event = Event {
@@ -69,6 +63,7 @@ proptest! {
             rank,
             kind: kind(kind_ix),
             payload,
+            trace,
         };
         let line = encode_line(&event);
         prop_assert!(line.is_ascii()); // slicing below is byte-indexed
@@ -80,11 +75,12 @@ proptest! {
     #[test]
     fn field_corruption_is_rejected_or_roundtrips_differently(
         role_ix in 0u32..4,
-        kind_ix in 0u32..9,
+        kind_ix in 0u32..15,
         ts in 0u64..1_000_000_000u64,
         rank in 0u32..1024,
         payload in 0u64..1_000_000_000u64,
-        flip in 0usize..64,
+        trace in 0u64..1_000_000_000u64,
+        flip in 0usize..96,
     ) {
         let event = Event {
             ts,
@@ -92,6 +88,7 @@ proptest! {
             rank,
             kind: kind(kind_ix),
             payload,
+            trace,
         };
         let mut bytes = encode_line(&event).into_bytes();
         let i = flip % bytes.len();

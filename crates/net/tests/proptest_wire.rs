@@ -30,13 +30,14 @@ fn build_message(
         },
         1 => Message::Push {
             iteration: a,
+            trace: b.rotate_left(5),
             grads: floats,
         },
         2 => Message::PushReply {
             granted_extra: a,
             version: b,
         },
-        3 => Message::Pull,
+        3 => Message::Pull { trace: a ^ b },
         4 => Message::PullReply {
             clock: a,
             shard_versions: versions,
@@ -51,6 +52,7 @@ fn build_message(
             reason: (a % 256) as u8,
         },
         7 => Message::PullDelta {
+            trace: a.wrapping_add(b),
             known_versions: versions,
         },
         8 => Message::PullReplyDelta {
@@ -73,7 +75,10 @@ fn build_message(
             servers: (a % 64) as u32 + 1,
             server_index: (b % 64) as u32,
         },
-        10 => Message::ClockPush { iteration: a },
+        10 => Message::ClockPush {
+            iteration: a,
+            trace: b,
+        },
         11 => Message::ClockGrant {
             granted_extra: a,
             version: b,
@@ -83,6 +88,7 @@ fn build_message(
         14 => Message::PushSlice {
             iteration: a,
             epoch: b % 1024,
+            trace: a.rotate_right(9),
             grads: floats,
         },
         15 => Message::SliceAck { version: a },
@@ -90,6 +96,7 @@ fn build_message(
             known_versions: versions,
             all: a % 2 == 0,
             epoch: b % 1024,
+            trace: b.wrapping_mul(3),
         },
         17 => Message::PullDone,
         18 => Message::StatsRequest,
@@ -114,11 +121,13 @@ fn build_message(
         24 => Message::MigrateRequest {
             epoch: a,
             shard: (b % 512) as u32,
+            trace: a | b,
         },
         25 => Message::MigrateShard {
             epoch: a,
             shard: (b % 512) as u32,
             version: a ^ b,
+            trace: b ^ (a << 1),
             weights: floats.clone(),
             velocity: floats,
         },
@@ -217,12 +226,30 @@ proptest! {
         declared in 1u32..u32::MAX,
         available in 0usize..16,
     ) {
-        // Hand-build a Push whose gradient count claims more elements than exist.
+        // Hand-build a v6 Push (tag, iteration, trace, count) whose gradient count
+        // claims more elements than exist.
         let mut buf = vec![2u8];
         buf.extend_from_slice(&iteration.to_le_bytes());
+        buf.extend_from_slice(&77u64.to_le_bytes()); // trace id
         buf.extend_from_slice(&declared.to_le_bytes());
         let supplied = (available).min((declared as usize).saturating_sub(1));
         buf.extend(std::iter::repeat(0u8).take(supplied * 4));
         prop_assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected(
+        tag in 34u32..256,
+        body in prop::collection::vec(0u32..256, 16),
+        body_len in 0usize..17,
+    ) {
+        // Tags 1..=33 are assigned; everything else (including the reserved 0) must
+        // come back as UnknownTag, whatever bytes follow.
+        let body: Vec<u8> = body[..body_len.min(body.len())].iter().map(|&b| b as u8).collect();
+        for t in [0u8, tag as u8] {
+            let mut buf = vec![t];
+            buf.extend_from_slice(&body);
+            prop_assert!(matches!(decode(&buf), Err(WireError::UnknownTag(x)) if x == t));
+        }
     }
 }

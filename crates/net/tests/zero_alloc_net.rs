@@ -14,7 +14,7 @@
 //! zero-allocation guarantee: [`dssp_core::events::EventLog::record`] claims a
 //! preallocated slot and the metric hooks are plain atomics.
 
-use dssp_core::events::{EventKind, EventLog, Role};
+use dssp_core::events::{trace_id, EventKind, EventLog, Role};
 use dssp_net::transport::{PullOutcome, PullView};
 use dssp_net::{
     Message, Obs, ServerTransport, TcpServerTransport, TcpWorkerTransport, WorkerTransport,
@@ -71,25 +71,30 @@ fn worker_loop(addr: &str) {
     let mut versions = Vec::new();
     let grads = vec![1e-3f32; DIM];
     assert!(matches!(
-        t.pull_into(true, &mut weights, &mut versions).expect("initial pull"),
+        t.pull_into(true, trace_id(0, 1), &mut weights, &mut versions)
+            .expect("initial pull"),
         PullOutcome::Applied(applied) if applied.full
     ));
     for iter in 0..WARMUP + MEASURED {
-        t.send_push(iter + 1, &grads).expect("push");
-        log.record(EventKind::Push, iter + 1);
-        log.record(EventKind::GateBlock, iter + 1);
+        // Causal tracing on: every push/pull carries a fresh v6 trace id, and the
+        // event hooks stamp it — the trace plumbing must stay allocation-free too.
+        let push_trace = trace_id(0, iter as u32 * 2 + 2);
+        t.send_push(iter + 1, push_trace, &grads).expect("push");
+        log.record_traced(EventKind::Push, iter + 1, push_trace);
+        log.record_traced(EventKind::GateBlock, iter + 1, push_trace);
         match t.recv().expect("push reply") {
             Message::PushReply { .. } => {}
             other => panic!("unexpected: {other:?}"),
         }
-        log.record(EventKind::GateRelease, 0);
+        log.record_traced(EventKind::GateRelease, 0, push_trace);
+        let pull_trace = trace_id(0, iter as u32 * 2 + 3);
         match t
-            .pull_into(true, &mut weights, &mut versions)
+            .pull_into(true, pull_trace, &mut weights, &mut versions)
             .expect("pull")
         {
             PullOutcome::Applied(applied) => {
                 assert!(!applied.full, "cache must stay warm");
-                log.record(EventKind::Pull, applied.clock);
+                log.record_traced(EventKind::Pull, applied.clock, pull_trace);
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -119,7 +124,11 @@ fn serve_iterations(
         obs.mirror_transport(&server.transport_stats());
         let (rank, msg) = server.recv().expect("recv");
         match msg {
-            Message::Push { iteration, grads } => {
+            Message::Push {
+                iteration,
+                trace,
+                grads,
+            } => {
                 store.apply_all(&grads, 1e-3);
                 server.recycle_f32s(rank, grads);
                 server
@@ -131,12 +140,15 @@ fn serve_iterations(
                         },
                     )
                     .expect("push reply");
-                obs.event(EventKind::Push, rank as u64);
+                obs.event_traced(EventKind::Push, rank as u64, trace);
                 obs.metrics().pushes.fetch_add(1, Relaxed);
                 obs.metrics().version.store(iteration, Relaxed);
                 obs.metrics().observe_staleness(iteration % 3);
             }
-            Message::PullDelta { known_versions } => {
+            Message::PullDelta {
+                trace,
+                known_versions,
+            } => {
                 server
                     .send_pull_reply(
                         rank,
@@ -150,7 +162,7 @@ fn serve_iterations(
                     )
                     .expect("delta reply");
                 server.recycle_u64s(rank, known_versions);
-                obs.on_pull(rank, true);
+                obs.on_pull(rank, true, trace);
                 served += 1;
             }
             other => panic!("unexpected: {other:?}"),
@@ -177,7 +189,7 @@ fn steady_state_tcp_round_trips_do_not_allocate_on_either_end() {
     let (rank, hello) = server.recv().expect("hello");
     assert!(matches!(hello, Message::Hello { .. }));
     let (_, first_pull) = server.recv().expect("initial pull");
-    assert!(matches!(first_pull, Message::Pull));
+    assert!(matches!(first_pull, Message::Pull { .. }));
     server
         .send_pull_reply(
             rank,

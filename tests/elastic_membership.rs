@@ -123,6 +123,7 @@ fn evict_message_retires_a_worker_and_the_run_completes() {
         }
         t.send(&Message::Push {
             iteration: 1,
+            trace: dssp_core::events::NO_TRACE,
             grads,
         })
         .expect("push");
@@ -191,6 +192,7 @@ fn abrupt_worker_death_is_reaped_not_stalled() {
         .expect("hello");
         t.send(&Message::Push {
             iteration: 1,
+            trace: dssp_core::events::NO_TRACE,
             grads,
         })
         .expect("push");
